@@ -1,0 +1,72 @@
+//! Criterion benches of the §3.1 diffusion dynamics: the cost of the
+//! exact solves vs their truncated approximations — the paper's
+//! "faster" half of "faster and better".
+
+use acir_graph::gen::random::barabasi_albert;
+use acir_spectral::diffusion::{heat_kernel, lazy_walk, pagerank, pagerank_power, Seed};
+use acir_spectral::fiedler_vector;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn graph(n: usize) -> acir_graph::Graph {
+    let mut rng = StdRng::seed_from_u64(11);
+    barabasi_albert(&mut rng, n, 4).unwrap()
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pagerank");
+    let g = graph(5_000);
+    group.bench_function("exact_cg_n5000", |b| {
+        b.iter(|| pagerank(black_box(&g), 0.15, &Seed::Node(3)).unwrap());
+    });
+    for iters in [10usize, 50] {
+        group.bench_function(format!("power_{iters}iters_n5000"), |b| {
+            b.iter(|| pagerank_power(black_box(&g), 0.15, &Seed::Node(3), iters).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_heat_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heat_kernel");
+    let g = graph(5_000);
+    for krylov in [15usize, 40] {
+        group.bench_function(format!("krylov{krylov}_n5000"), |b| {
+            b.iter(|| heat_kernel(black_box(&g), 3.0, &Seed::Node(3), krylov).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_lazy_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lazy_walk");
+    let g = graph(5_000);
+    for steps in [5usize, 50] {
+        group.bench_function(format!("steps{steps}_n5000"), |b| {
+            b.iter(|| lazy_walk(black_box(&g), 0.5, steps, &Seed::Node(3)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_fiedler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fiedler_exact");
+    group.sample_size(20);
+    for n in [300usize, 2_000] {
+        let g = graph(n);
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| fiedler_vector(black_box(&g)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pagerank,
+    bench_heat_kernel,
+    bench_lazy_walk,
+    bench_fiedler
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benches for the extension modules: Chebyshev matrix
+//! functions vs the Krylov route, k-way spectral clustering, and
+//! streaming PageRank.
+
+use acir_graph::gen::random::barabasi_albert;
+use acir_linalg::chebyshev::cheb_heat_kernel;
+use acir_linalg::expm::expm_multiply;
+use acir_spectral::embedding::spectral_clustering;
+use acir_spectral::normalized_laplacian;
+use acir_spectral::streaming::streaming_pagerank_of_graph;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn graph(n: usize) -> acir_graph::Graph {
+    let mut rng = StdRng::seed_from_u64(51);
+    barabasi_albert(&mut rng, n, 4).unwrap()
+}
+
+fn bench_heat_kernel_routes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heat_kernel_routes_n10000");
+    let g = graph(10_000);
+    let nl = normalized_laplacian(&g);
+    let mut neg = nl.clone();
+    neg.scale(-1.0);
+    let mut seed = vec![0.0; 10_000];
+    seed[7] = 1.0;
+    group.bench_function("krylov_dim30", |b| {
+        b.iter(|| expm_multiply(black_box(&neg), 3.0, &seed, 30).unwrap());
+    });
+    group.bench_function("chebyshev_deg30", |b| {
+        b.iter(|| cheb_heat_kernel(black_box(&nl), 3.0, &seed, 2.0, 30).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_spectral_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral_clustering");
+    group.sample_size(10);
+    for n in [200usize, 1_000] {
+        let g = graph(n);
+        group.bench_function(format!("k4_n{n}"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                spectral_clustering(black_box(&g), 4, 4, &mut rng).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming_pagerank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_pagerank_n5000");
+    group.sample_size(10);
+    let g = graph(5_000);
+    for walkers in [1_000usize, 10_000] {
+        group.bench_function(format!("walkers{walkers}"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                streaming_pagerank_of_graph(black_box(&g), 0.2, walkers, 60, &mut rng).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_heat_kernel_routes,
+    bench_spectral_clustering,
+    bench_streaming_pagerank
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion benches of the linear-algebra substrate: the kernels
+//! whose costs determine every experiment's wall-clock.
+
+use acir_graph::gen::random::barabasi_albert;
+use acir_linalg::expm::expm_multiply;
+use acir_linalg::solve::{cg, CgOptions};
+use acir_linalg::{lanczos, SymEig};
+use acir_spectral::{combinatorial_laplacian, normalized_laplacian};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_matvec");
+    for n in [1_000usize, 10_000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = barabasi_albert(&mut rng, n, 4).unwrap();
+        let l = normalized_laplacian(&g);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut y = vec![0.0; n];
+        group.bench_function(format!("ba_n{n}_m4"), |b| {
+            b.iter(|| l.matvec(black_box(&x), &mut y));
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigensolvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigensolvers");
+    // Dense Jacobi (the exact reference path).
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = barabasi_albert(&mut rng, 64, 3).unwrap();
+    let dense = normalized_laplacian(&g).to_dense();
+    group.bench_function("jacobi_dense_n64", |b| {
+        b.iter(|| SymEig::new(black_box(&dense)).unwrap());
+    });
+    // Sparse Lanczos at a scale Jacobi cannot touch.
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = barabasi_albert(&mut rng, 5_000, 3).unwrap();
+    let l = normalized_laplacian(&g);
+    let seed: Vec<f64> = (0..5_000).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+    group.bench_function("lanczos_k60_n5000", |b| {
+        b.iter(|| lanczos(black_box(&l), &seed, 60, &[]).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers");
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = barabasi_albert(&mut rng, 5_000, 3).unwrap();
+    // SPD system: L + 0.1 I (combinatorial Laplacian, shifted).
+    let mut l = combinatorial_laplacian(&g);
+    let n = l.nrows();
+    let eye = acir_linalg::CsrMatrix::identity(n);
+    // Shift by adding 0.1 * I via triplets merge.
+    let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+    for r in 0..n {
+        for (cc, v) in l.row(r) {
+            trips.push((r, cc as usize, v));
+        }
+        trips.push((r, r, 0.1));
+    }
+    l = acir_linalg::CsrMatrix::from_triplets(n, n, trips);
+    let _ = eye;
+    let bvec: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+    group.bench_function("cg_shifted_laplacian_n5000", |b| {
+        b.iter(|| {
+            cg(
+                black_box(&l),
+                &bvec,
+                &vec![0.0; n],
+                &CgOptions {
+                    max_iters: 500,
+                    tol: 1e-8,
+                },
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_expm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heat_kernel_expm");
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = barabasi_albert(&mut rng, 5_000, 3).unwrap();
+    let mut neg = normalized_laplacian(&g);
+    neg.scale(-1.0);
+    let mut s = vec![0.0; 5_000];
+    s[17] = 1.0;
+    for k in [10usize, 30] {
+        group.bench_function(format!("krylov_dim{k}_n5000"), |b| {
+            b.iter(|| expm_multiply(black_box(&neg), 3.0, &s, k).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matvec,
+    bench_eigensolvers,
+    bench_solvers,
+    bench_expm
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benches of the §3.3 strongly local methods. The key
+//! series: push cost vs graph size at fixed (α, ε) — flat if the
+//! strong-locality claim holds — against MOV, whose cost grows with n.
+
+use acir_graph::gen::random::barabasi_albert;
+use acir_local::hkrelax::hk_relax;
+use acir_local::mov::mov_vector;
+use acir_local::nibble::nibble;
+use acir_local::push::ppr_push;
+use acir_local::sweep::sweep_cut_support;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn graph(n: usize) -> acir_graph::Graph {
+    let mut rng = StdRng::seed_from_u64(23);
+    barabasi_albert(&mut rng, n, 4).unwrap()
+}
+
+fn bench_push_locality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("push_vs_graph_size");
+    for n in [2_000usize, 20_000, 200_000] {
+        let g = graph(n);
+        group.bench_function(format!("push_a0.05_e1e-4_n{n}"), |b| {
+            b.iter(|| ppr_push(black_box(&g), &[100], 0.05, 1e-4).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_push_epsilon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("push_vs_epsilon");
+    let g = graph(50_000);
+    for (label, eps) in [("1e-3", 1e-3), ("1e-4", 1e-4), ("1e-5", 1e-5)] {
+        group.bench_function(format!("eps{label}_n50000"), |b| {
+            b.iter(|| ppr_push(black_box(&g), &[100], 0.05, eps).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_other_local(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_methods_n20000");
+    let g = graph(20_000);
+    group.bench_function("nibble_30steps", |b| {
+        b.iter(|| nibble(black_box(&g), 100, 30, 1e-4).unwrap());
+    });
+    group.bench_function("hk_relax_t5", |b| {
+        b.iter(|| hk_relax(black_box(&g), 100, 5.0, 1e-4, 1e-4).unwrap());
+    });
+    group.bench_function("push_plus_sweep", |b| {
+        b.iter(|| {
+            let p = ppr_push(black_box(&g), &[100], 0.05, 1e-4).unwrap();
+            sweep_cut_support(&g, &p.to_dense(g.n()))
+        });
+    });
+    group.finish();
+}
+
+fn bench_mov(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mov_vs_graph_size");
+    group.sample_size(10);
+    for n in [2_000usize, 20_000] {
+        let g = graph(n);
+        group.bench_function(format!("mov_gamma-1_n{n}"), |b| {
+            b.iter(|| mov_vector(black_box(&g), &[100], -1.0).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_push_locality,
+    bench_push_epsilon,
+    bench_other_local,
+    bench_mov
+);
+criterion_main!(benches);

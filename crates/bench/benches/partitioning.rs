@@ -1,0 +1,88 @@
+//! Criterion benches of the §3.2 partitioning rivals and the Figure 1
+//! pipeline components.
+
+use acir_flow::mqi;
+use acir_graph::gen::community::{social_network, SocialNetworkParams};
+use acir_graph::gen::random::barabasi_albert;
+use acir_graph::traversal::largest_component;
+use acir_partition::multilevel::{multilevel_bisect, recursive_partition, MultilevelOptions};
+use acir_partition::ncp::{ncp_local_spectral, ncp_metis_mqi, NcpOptions};
+use acir_partition::spectral_part::spectral_bisect;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fig1_graph() -> acir_graph::Graph {
+    let mut rng = StdRng::seed_from_u64(99);
+    let pc = social_network(
+        &mut rng,
+        &SocialNetworkParams {
+            core_nodes: 1_000,
+            core_attach: 3,
+            communities: 12,
+            community_size_range: (6, 120),
+            whiskers: 60,
+            whisker_max_len: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    largest_component(&pc.graph).0
+}
+
+fn bench_bisection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bisection");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = barabasi_albert(&mut rng, 5_000, 4).unwrap();
+    group.bench_function("spectral_n5000", |b| {
+        b.iter(|| spectral_bisect(black_box(&g)).unwrap());
+    });
+    group.bench_function("multilevel_n5000", |b| {
+        b.iter(|| multilevel_bisect(black_box(&g), &MultilevelOptions::default()).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_mqi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mqi_polish");
+    group.sample_size(10);
+    let g = fig1_graph();
+    let pieces = recursive_partition(&g, 120, &MultilevelOptions::default()).unwrap();
+    let total = g.total_volume();
+    let piece = pieces
+        .iter()
+        .filter(|p| p.len() >= 30 && g.volume(p) <= total / 2.0)
+        .max_by_key(|p| p.len())
+        .cloned()
+        .expect("a usable piece");
+    group.bench_function(format!("piece_of_{}", piece.len()), |b| {
+        b.iter(|| mqi(black_box(&g), &piece).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_ncp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ncp_fig1_components");
+    group.sample_size(10);
+    let g = fig1_graph();
+    let opts = NcpOptions {
+        min_size: 2,
+        max_size: 200,
+        seeds: 12,
+        alphas: vec![0.2, 0.05],
+        epsilons: vec![1e-3, 1e-4],
+        threads: 4,
+        ..Default::default()
+    };
+    group.bench_function("local_spectral", |b| {
+        b.iter(|| ncp_local_spectral(black_box(&g), &opts).unwrap());
+    });
+    group.bench_function("metis_mqi", |b| {
+        b.iter(|| ncp_metis_mqi(black_box(&g), &opts).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bisection, bench_mqi, bench_ncp);
+criterion_main!(benches);

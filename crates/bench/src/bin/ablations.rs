@@ -1,0 +1,83 @@
+//! Ablations: Cheeger sandwich, the complementary worst-case
+//! geometries of spectral vs flow (§3.2), early stopping vs the ridge
+//! path, and input noising vs Tikhonov (§2.3).
+//!
+//! ```text
+//! cargo run --release -p acir-bench --bin ablations [-- --quick] [--seed N] [--out DIR]
+//! ```
+
+use acir::experiment::ExperimentContext;
+use acir::figures::ablations::{
+    run_bayes_risk, run_cheeger_table, run_early_stopping, run_expander_ncp, run_noise_ablation,
+    run_worst_cases,
+};
+use acir_bench::BinArgs;
+
+fn main() {
+    let args = BinArgs::parse();
+    let ctx = ExperimentContext::new(&args.out_dir, args.seed);
+
+    println!("== C2-cheeger: lambda2/2 <= phi(G) <= sqrt(2*lambda2) ==\n");
+    let t = run_cheeger_table(&ctx).expect("cheeger run failed");
+    println!("{t}");
+
+    println!("== C2-stringy / C2-expander: complementary worst cases ==");
+    println!("(cockroach: spectral bisection cuts Θ(k), optimum cuts 2; expanders: no deep cut exists)\n");
+    let (ks, ns): (Vec<usize>, Vec<usize>) = if args.quick {
+        (vec![4, 8, 16], vec![64, 128])
+    } else {
+        (vec![4, 8, 16, 32, 64], vec![64, 128, 256, 512])
+    };
+    let t = run_worst_cases(&ctx, &ks, &ns).expect("worst-case run failed");
+    println!("{t}");
+
+    println!("== C2-flat-ncp: expanders have no communities at any scale ==");
+    println!("(footnote 27: 'partitioning a graph without any good partitions')\n");
+    let flat_n = if args.quick { 400 } else { 2000 };
+    let t = run_expander_ncp(&ctx, flat_n, 4).expect("flat-ncp run failed");
+    println!("{t}");
+
+    println!("== A-early: early-stopped gradient descent tracks the ridge path ==\n");
+    let stops: Vec<usize> = if args.quick {
+        vec![5, 20, 80]
+    } else {
+        vec![5, 10, 20, 40, 80, 160, 320]
+    };
+    let t = run_early_stopping(&ctx, &stops).expect("early-stopping run failed");
+    println!("{t}");
+
+    println!("== A-noise: noisy features behave like Tikhonov (lambda = m*sigma^2) ==\n");
+    let (sigmas, trials) = if args.quick {
+        (vec![0.2, 0.6, 1.2], 120)
+    } else {
+        (vec![0.1, 0.2, 0.4, 0.8, 1.2, 1.6], 600)
+    };
+    let t = run_noise_ablation(&ctx, &sigmas, trials).expect("noise run failed");
+    println!("{t}");
+
+    println!("== A-bayes: approximate computation is *better* on noisy data ==");
+    println!("(risk vs the population eigenvector: exact rank-one estimator vs best");
+    println!(" regularized (heat-kernel-computable) estimator, Monte-Carlo over samples)\n");
+    let (gaps, trials): (Vec<(f64, f64)>, usize) = if args.quick {
+        (vec![(0.55, 0.35), (0.9, 0.05)], 8)
+    } else {
+        (
+            vec![
+                (0.5, 0.4),
+                (0.55, 0.35),
+                (0.6, 0.3),
+                (0.7, 0.2),
+                (0.9, 0.05),
+            ],
+            40,
+        )
+    };
+    let t = run_bayes_risk(&ctx, &gaps, trials).expect("bayes-risk run failed");
+    println!("{t}");
+
+    println!(
+        "artifacts: {}/ablation_cheeger.csv, ablation_worstcase.csv, \
+         ablation_early_stopping.csv, ablation_noise.csv, ablation_bayes.csv",
+        args.out_dir.display()
+    );
+}

@@ -1,0 +1,81 @@
+//! # acir-bench
+//!
+//! Benchmark harness of the ACIR reproduction: criterion microbenches
+//! (`benches/`) and the figure-regeneration binaries (`src/bin/`).
+//!
+//! Binaries (run with `--release`; each writes CSVs under `results/`
+//! and prints the tables recorded in EXPERIMENTS.md):
+//!
+//! * `fig1` — regenerates Figure 1(a–c) on the AtP-DBLP surrogate;
+//! * `casestudy1` — the §3.1 equivalence and regularization-path
+//!   tables;
+//! * `casestudy3` — the §3.3 locality/recovery table and the
+//!   seed-exclusion demo;
+//! * `ablations` — Cheeger table, worst-case geometry sweeps, early
+//!   stopping, and noise ablations.
+//!
+//! A `--quick` flag on each binary shrinks the workload for smoke
+//! runs; the full configuration is the EXPERIMENTS.md reference.
+
+/// Common CLI arguments of the experiment binaries.
+pub struct BinArgs {
+    /// Run the reduced smoke-test configuration.
+    pub quick: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Output directory for CSV artifacts.
+    pub out_dir: std::path::PathBuf,
+}
+
+impl BinArgs {
+    /// Parse from `std::env::args` (supported: `--quick`, `--seed N`,
+    /// `--out DIR`).
+    pub fn parse() -> Self {
+        let mut quick = false;
+        let mut seed = 0xAC1D;
+        let mut out_dir = std::path::PathBuf::from("results");
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--seed" => {
+                    seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs an integer"));
+                }
+                "--out" => {
+                    out_dir = args
+                        .next()
+                        .map(Into::into)
+                        .unwrap_or_else(|| panic!("--out needs a path"));
+                }
+                other => {
+                    panic!("unknown argument: {other} (supported: --quick, --seed N, --out DIR)")
+                }
+            }
+        }
+        Self {
+            quick,
+            seed,
+            out_dir,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn struct_fields() {
+        let a = BinArgs {
+            quick: true,
+            seed: 1,
+            out_dir: "x".into(),
+        };
+        assert!(a.quick);
+        assert_eq!(a.seed, 1);
+        assert_eq!(a.out_dir, std::path::PathBuf::from("x"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Experiment plumbing: output directories, CSV writers, aligned text
+//! tables, and log-log scatter summaries.
+//!
+//! Every figure driver in [`crate::figures`] emits two artifacts per
+//! result: a machine-readable CSV under the context's output directory
+//! and a human-readable aligned table (what the experiment binaries
+//! print). Keeping this in one place guarantees the EXPERIMENTS.md
+//! numbers and the CSVs come from the same code path.
+
+use crate::Result;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Where an experiment writes its artifacts, and its base RNG seed.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// Output directory (created on demand).
+    pub out_dir: PathBuf,
+    /// Base seed: every stochastic component derives from this.
+    pub seed: u64,
+}
+
+impl ExperimentContext {
+    /// Context writing into `out_dir` with the given base seed.
+    pub fn new(out_dir: impl AsRef<Path>, seed: u64) -> Self {
+        Self {
+            out_dir: out_dir.as_ref().to_path_buf(),
+            seed,
+        }
+    }
+
+    /// Write a CSV file (header + rows) under the output directory.
+    /// Returns the full path written.
+    pub fn write_csv(&self, name: &str, header: &[&str], rows: &[Vec<String>]) -> Result<PathBuf> {
+        std::fs::create_dir_all(&self.out_dir)?;
+        let path = self.out_dir.join(name);
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        writeln!(f, "{}", header.join(","))?;
+        for row in rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        f.flush()?;
+        Ok(path)
+    }
+}
+
+/// An aligned fixed-width text table (the experiment binaries' output
+/// format, mirrored into EXPERIMENTS.md).
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells); panics on arity mismatch.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows, for CSV reuse.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}", w = w)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// One scatter series: label, plot glyph, and `(x, y)` points.
+pub type ScatterSeries<'a> = (&'a str, char, &'a [(f64, f64)]);
+
+/// Render a log-log scatter of `(x, y)` series as ASCII art — the
+/// terminal rendition of Figure 1's panels. Each series gets a glyph;
+/// later series overwrite earlier ones on collisions.
+pub fn ascii_loglog_scatter(series: &[ScatterSeries<'_>], width: usize, height: usize) -> String {
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, _, pts)| pts.iter().copied())
+        .filter(|&(x, y)| x > 0.0 && y > 0.0 && x.is_finite() && y.is_finite())
+        .collect();
+    if pts.is_empty() || width < 8 || height < 4 {
+        return String::from("(no finite positive points)\n");
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x0 = x0.min(x.log10());
+        x1 = x1.max(x.log10());
+        y0 = y0.min(y.log10());
+        y1 = y1.max(y.log10());
+    }
+    if x1 - x0 < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if y1 - y0 < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (_, glyph, pts) in series {
+        for &(x, y) in pts.iter() {
+            if !(x > 0.0 && y > 0.0 && x.is_finite() && y.is_finite()) {
+                continue;
+            }
+            let cx = ((x.log10() - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+            let cy = ((y.log10() - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = *glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "y: 1e{y1:.1} (top) .. 1e{y0:.1} (bottom), log scale\n"
+    ));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(" x: 1e{x0:.1} .. 1e{x1:.1}, log scale; "));
+    for (name, glyph, _) in series {
+        out.push_str(&format!("[{glyph}] {name}  "));
+    }
+    out.push('\n');
+    out
+}
+
+/// Format a float compactly for tables (`3` sig figs, scientific when
+/// tiny/huge).
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.is_infinite() {
+        "inf".to_string()
+    } else if v.is_nan() {
+        "nan".to_string()
+    } else if v.abs() >= 1e4 || v.abs() < 1e-3 {
+        format!("{v:.2e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_alignment() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "10000".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        // Right-aligned columns: equal line lengths.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn text_table_arity_checked() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("acir-test-{}", std::process::id()));
+        let ctx = ExperimentContext::new(&dir, 1);
+        let path = ctx
+            .write_csv(
+                "t.csv",
+                &["x", "y"],
+                &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+            )
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "x,y\n1,2\n3,4\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scatter_renders_points() {
+        let a = [(10.0, 0.1), (100.0, 0.01)];
+        let b = [(10.0, 0.5)];
+        let s = ascii_loglog_scatter(&[("flow", 'x', &a), ("spec", 'o', &b)], 40, 10);
+        assert!(s.contains('x'));
+        assert!(s.contains('o'));
+        assert!(s.contains("log scale"));
+        // Degenerate input.
+        let empty = ascii_loglog_scatter(&[("none", 'z', &[])], 40, 10);
+        assert!(empty.contains("no finite"));
+    }
+
+    #[test]
+    fn fmt_f_ranges() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(f64::INFINITY), "inf");
+        assert_eq!(fmt_f(f64::NAN), "nan");
+        assert!(fmt_f(0.5).starts_with("0.5"));
+        assert!(fmt_f(1e-9).contains('e'));
+        assert!(fmt_f(123456.0).contains('e'));
+    }
+}

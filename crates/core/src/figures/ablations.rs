@@ -1,0 +1,478 @@
+//! Ablation drivers: the §3.2 worst-case geometry claims
+//! (C2-cheeger, C2-stringy, C2-expander) and the §2.3 heuristic
+//! equivalences (A-early, A-noise).
+
+use crate::experiment::{fmt_f, ExperimentContext, TextTable};
+use crate::Result;
+use acir_graph::gen::deterministic::{barbell, cockroach, cycle, path};
+use acir_graph::gen::random::random_regular;
+use acir_linalg::{vector, DenseMatrix};
+use acir_partition::cheeger::cheeger_check;
+use acir_partition::conductance::cut_weight;
+use acir_partition::multilevel::{multilevel_bisect, MultilevelOptions};
+use acir_partition::spectral_part::{spectral_bisect, spectral_bisect_ratio};
+use acir_regularize::explicit::ridge;
+use acir_regularize::heuristics::{gradient_descent_path, noisy_features_averaged};
+use acir_regularize::robustness::{risk_profile, PopulationModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// C2-cheeger: the Cheeger sandwich `λ₂/2 ≤ φ(G) ≤ √(2λ₂)` across
+/// graph families, with exact `φ` where brute force is feasible.
+/// Writes `ablation_cheeger.csv`.
+pub fn run_cheeger_table(ctx: &ExperimentContext) -> Result<TextTable> {
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let graphs: Vec<(String, acir_graph::Graph)> = vec![
+        ("path(16)".into(), path(16)?),
+        ("cycle(16)".into(), cycle(16)?),
+        ("barbell(5,2)".into(), barbell(5, 2)?),
+        ("cockroach(4)".into(), cockroach(4)?),
+        ("regular(64,4)".into(), random_regular(&mut rng, 64, 4)?),
+        ("regular(128,6)".into(), random_regular(&mut rng, 128, 6)?),
+    ];
+    let mut table = TextTable::new(&[
+        "graph",
+        "lambda2",
+        "lower(l2/2)",
+        "phi_exact",
+        "phi_sweep",
+        "upper(sqrt(2*l2))",
+        "holds",
+    ]);
+    for (name, g) in graphs {
+        let r = cheeger_check(&g)?;
+        table.row(vec![
+            name,
+            fmt_f(r.lambda2),
+            fmt_f(r.lower),
+            r.phi_exact.map(fmt_f).unwrap_or_else(|| "-".into()),
+            fmt_f(r.phi_sweep),
+            fmt_f(r.upper),
+            r.holds.to_string(),
+        ]);
+    }
+    ctx.write_csv(
+        "ablation_cheeger.csv",
+        &[
+            "graph",
+            "lambda2",
+            "lower",
+            "phi_exact",
+            "phi_sweep",
+            "upper",
+            "holds",
+        ],
+        table.rows(),
+    )?;
+    Ok(table)
+}
+
+/// C2-stringy + C2-expander: the complementary failure modes.
+///
+/// On cockroach graphs the spectral *bisection* (half-size sweep
+/// prefix) cuts Θ(k) edges where the optimal bisection cuts 2, and the
+/// gap grows with k; the flow-refined multilevel bisection stays near
+/// the optimum. On random-regular expanders both methods return Θ(1)
+/// conductance and neither embarrasses the other — "spectral methods
+/// are better for expanders, basically since the quadratic of a
+/// constant is a constant" (footnote 23). Writes
+/// `ablation_worstcase.csv`.
+pub fn run_worst_cases(
+    ctx: &ExperimentContext,
+    ks: &[usize],
+    expander_ns: &[usize],
+) -> Result<TextTable> {
+    let mut table = TextTable::new(&[
+        "family",
+        "param",
+        "spectral_bisection_cut",
+        "flow_bisection_cut",
+        "optimal_cut",
+        "lambda2",
+    ]);
+    for &k in ks {
+        let g = cockroach(k)?;
+        // Combinatorial-Laplacian (ratio-cut) bisection: the exact
+        // Guattery-Miller setting, where the pathology holds for all k.
+        let spec = spectral_bisect_ratio(&g)?;
+        // Spectral bisection = half-size prefix of the sweep order.
+        let half: Vec<u32> = spec.sweep.order[..g.n() / 2].to_vec();
+        let spectral_cut = cut_weight(&g, &half)?;
+        let ml = multilevel_bisect(
+            &g,
+            &MultilevelOptions {
+                seed: ctx.seed,
+                balance: 0.02,
+                ..Default::default()
+            },
+        )?;
+        table.row(vec![
+            "cockroach".into(),
+            k.to_string(),
+            fmt_f(spectral_cut),
+            fmt_f(ml.cut),
+            "2".into(),
+            fmt_f(spec.lambda2),
+        ]);
+    }
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xE87);
+    for &n in expander_ns {
+        let g = random_regular(&mut rng, n, 4)?;
+        let spec = spectral_bisect(&g)?;
+        let half: Vec<u32> = spec.sweep.order[..n / 2].to_vec();
+        let spectral_cut = cut_weight(&g, &half)?;
+        let ml = multilevel_bisect(
+            &g,
+            &MultilevelOptions {
+                seed: ctx.seed,
+                balance: 0.02,
+                ..Default::default()
+            },
+        )?;
+        table.row(vec![
+            "regular4".into(),
+            n.to_string(),
+            fmt_f(spectral_cut),
+            fmt_f(ml.cut),
+            "~Theta(n)".into(),
+            fmt_f(spec.lambda2),
+        ]);
+    }
+    ctx.write_csv(
+        "ablation_worstcase.csv",
+        &[
+            "family",
+            "param",
+            "spectral_cut",
+            "flow_cut",
+            "optimal_cut",
+            "lambda2",
+        ],
+        table.rows(),
+    )?;
+    Ok(table)
+}
+
+/// A-early: early-stopped gradient descent tracks the ridge path.
+/// For each stop iteration `k`, reports the relative distance between
+/// the GD iterate and the ridge solution at `λ = 1/(k·step)`. Writes
+/// `ablation_early_stopping.csv`.
+pub fn run_early_stopping(ctx: &ExperimentContext, stops: &[usize]) -> Result<TextTable> {
+    // A mildly ill-conditioned regression task.
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    use rand::Rng;
+    let m = 40;
+    let d = 6;
+    let a = DenseMatrix::from_fn(m, d, |i, j| {
+        ((i * (j + 1)) as f64 * 0.1).sin() + 0.05 * rng.gen_range(-1.0..1.0)
+    });
+    let truth: Vec<f64> = (0..d).map(|j| (j as f64 - 2.0) * 0.5).collect();
+    let mut b = vec![0.0; m];
+    a.gemv(1.0, &truth, 0.0, &mut b);
+    for bi in &mut b {
+        *bi += 0.1 * rng.gen_range(-1.0..1.0);
+    }
+
+    let step = 0.01;
+    let max_k = stops.iter().copied().max().unwrap_or(1);
+    let paths = gradient_descent_path(&a, &b, step, max_k)?;
+    let mut table = TextTable::new(&[
+        "k",
+        "implied_lambda",
+        "rel_gap_gd_vs_ridge",
+        "gd_norm",
+        "ridge_norm",
+    ]);
+    for &k in stops {
+        let lambda = 1.0 / (k as f64 * step);
+        let ridge_sol = ridge(&a, &b, lambda)?;
+        let gd = &paths[k.min(paths.len() - 1)];
+        let rel = vector::dist2(gd, &ridge_sol) / vector::norm2(&ridge_sol).max(1e-300);
+        table.row(vec![
+            k.to_string(),
+            fmt_f(lambda),
+            fmt_f(rel),
+            fmt_f(vector::norm2(gd)),
+            fmt_f(vector::norm2(&ridge_sol)),
+        ]);
+    }
+    ctx.write_csv(
+        "ablation_early_stopping.csv",
+        &["k", "implied_lambda", "rel_gap", "gd_norm", "ridge_norm"],
+        table.rows(),
+    )?;
+    Ok(table)
+}
+
+/// A-noise: input noising ≈ Tikhonov. For each σ, reports the relative
+/// distance between the noise-averaged solution and the ridge solution
+/// at `λ = m·σ²`. Writes `ablation_noise.csv`.
+pub fn run_noise_ablation(
+    ctx: &ExperimentContext,
+    sigmas: &[f64],
+    trials: usize,
+) -> Result<TextTable> {
+    let a = DenseMatrix::from_rows(&[
+        &[1.0, 0.3, -0.2],
+        &[1.0, 1.2, 0.4],
+        &[1.0, 2.1, -0.5],
+        &[1.0, 2.9, 0.8],
+        &[1.0, 4.2, -0.1],
+        &[1.0, 5.1, 0.6],
+    ]);
+    let b = vec![1.0, 2.2, 2.9, 4.1, 5.2, 5.9];
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let mut table = TextTable::new(&[
+        "sigma",
+        "implied_lambda",
+        "rel_gap_noisy_vs_ridge",
+        "shrinkage",
+    ]);
+    let ls = ridge(&a, &b, 0.0)?;
+    for &sigma in sigmas {
+        let noisy = noisy_features_averaged(&a, &b, sigma, trials, &mut rng)?;
+        let lambda = a.nrows() as f64 * sigma * sigma;
+        let ridge_sol = ridge(&a, &b, lambda)?;
+        let rel = vector::dist2(&noisy, &ridge_sol) / vector::norm2(&ridge_sol).max(1e-300);
+        table.row(vec![
+            fmt_f(sigma),
+            fmt_f(lambda),
+            fmt_f(rel),
+            fmt_f(vector::norm2(&noisy) / vector::norm2(&ls).max(1e-300)),
+        ]);
+    }
+    ctx.write_csv(
+        "ablation_noise.csv",
+        &["sigma", "implied_lambda", "rel_gap", "shrinkage"],
+        table.rows(),
+    )?;
+    Ok(table)
+}
+
+/// C2-flat-ncp: footnote 27's "partitioning a graph without any good
+/// partitions". The NCP of an expander is *flat and high* — no size
+/// scale offers a community — while the social surrogate's NCP dips by
+/// an order of magnitude at its planted scales. Reports the minimum
+/// conductance found at any size for both graphs. Writes
+/// `ablation_flat_ncp.csv`.
+pub fn run_expander_ncp(ctx: &ExperimentContext, n: usize, d: usize) -> Result<TextTable> {
+    use acir_graph::gen::community::{social_network, SocialNetworkParams};
+    use acir_graph::traversal::largest_component;
+    use acir_partition::ncp::{ncp_local_spectral, NcpOptions};
+
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xF1A7);
+    let expander = random_regular(&mut rng, n, d)?;
+    let social = {
+        let pc = social_network(
+            &mut rng,
+            &SocialNetworkParams {
+                core_nodes: n,
+                core_attach: 3,
+                communities: 12,
+                community_size_range: (6, n / 8),
+                whiskers: n / 20,
+                whisker_max_len: 8,
+                ..Default::default()
+            },
+        )?;
+        largest_component(&pc.graph).0
+    };
+    let opts = NcpOptions {
+        min_size: 2,
+        max_size: n / 2,
+        seeds: 24,
+        alphas: vec![0.2, 0.05, 0.01],
+        epsilons: vec![1e-3, 1e-4],
+        threads: 4,
+        rng_seed: ctx.seed,
+        ..Default::default()
+    };
+    let mut table = TextTable::new(&["graph", "n", "ncp_points", "min_phi", "max_phi_of_best"]);
+    for (name, g) in [
+        ("regular_expander", &expander),
+        ("social_surrogate", &social),
+    ] {
+        let pts = ncp_local_spectral(g, &opts)?;
+        let min_phi = pts
+            .iter()
+            .map(|p| p.conductance)
+            .fold(f64::INFINITY, f64::min);
+        let max_phi = pts
+            .iter()
+            .map(|p| p.conductance)
+            .fold(f64::NEG_INFINITY, f64::max);
+        table.row(vec![
+            name.to_string(),
+            g.n().to_string(),
+            pts.len().to_string(),
+            fmt_f(min_phi),
+            fmt_f(max_phi),
+        ]);
+    }
+    ctx.write_csv(
+        "ablation_flat_ncp.csv",
+        &["graph", "n", "ncp_points", "min_phi", "max_phi"],
+        table.rows(),
+    )?;
+    Ok(table)
+}
+
+/// A-bayes: the "faster *and better*" demonstration (paper §1 and
+/// footnote 17 / ref \[36\]). For each signal strength (gap between
+/// within- and between-block probabilities of a 2-block population),
+/// Monte-Carlo risk of the exact rank-one eigenvector estimator vs the
+/// best entropy-regularized (= heat-kernel-computable) estimator
+/// against the *population* eigenvector. Writes `ablation_bayes.csv`.
+pub fn run_bayes_risk(
+    ctx: &ExperimentContext,
+    gaps: &[(f64, f64)],
+    trials: usize,
+) -> Result<TextTable> {
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xBA1E5);
+    let etas = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 128.0];
+    let mut table = TextTable::new(&[
+        "p_in",
+        "p_out",
+        "exact_risk",
+        "best_regularized_risk",
+        "best_eta",
+        "improvement",
+    ]);
+    for &(p_in, p_out) in gaps {
+        let model = PopulationModel {
+            block_size: 15,
+            p_in,
+            p_out,
+        };
+        let profile = risk_profile(&model, &etas, trials, &mut rng)?;
+        let (best_eta, best_risk) = profile.best();
+        table.row(vec![
+            fmt_f(p_in),
+            fmt_f(p_out),
+            fmt_f(profile.exact_risk),
+            fmt_f(best_risk),
+            fmt_f(best_eta),
+            fmt_f(profile.improvement()),
+        ]);
+    }
+    ctx.write_csv(
+        "ablation_bayes.csv",
+        &[
+            "p_in",
+            "p_out",
+            "exact_risk",
+            "best_reg_risk",
+            "best_eta",
+            "improvement",
+        ],
+        table.rows(),
+    )?;
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(tag: &str) -> (ExperimentContext, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("acir-abl-{tag}-{}", std::process::id()));
+        (ExperimentContext::new(&dir, 17), dir)
+    }
+
+    #[test]
+    fn cheeger_table_all_hold() {
+        let (c, dir) = ctx("cheeger");
+        let t = run_cheeger_table(&c).unwrap();
+        assert_eq!(t.len(), 6);
+        for row in t.rows() {
+            assert_eq!(row[6], "true", "{row:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn worst_cases_show_the_gap() {
+        let (c, dir) = ctx("worst");
+        let t = run_worst_cases(&c, &[4, 8], &[64]).unwrap();
+        // Cockroach rows: spectral bisection cut grows with k and beats
+        // nothing; flow stays near the 2-edge optimum.
+        let cockroach_rows: Vec<_> = t.rows().iter().filter(|r| r[0] == "cockroach").collect();
+        assert_eq!(cockroach_rows.len(), 2);
+        for row in &cockroach_rows {
+            let k: f64 = row[1].parse().unwrap();
+            let spec: f64 = row[2].parse().unwrap();
+            let flow: f64 = row[3].parse().unwrap();
+            assert!(spec >= 0.7 * k, "spectral cut {spec} should be Θ(k={k})");
+            assert!(flow <= 6.0, "flow bisection cut {flow} should stay near 2");
+        }
+        // Expander row: both cuts are Θ(n) — no deep cut exists.
+        let expander = t.rows().iter().find(|r| r[0] == "regular4").unwrap();
+        let spec: f64 = expander[2].parse().unwrap();
+        assert!(spec > 20.0, "expander has no small bisection: {spec}");
+        let l2: f64 = expander[5].parse().unwrap();
+        assert!(l2 > 0.05, "expander gap bounded away from zero");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn early_stopping_gap_small_at_matched_lambda() {
+        let (c, dir) = ctx("early");
+        let t = run_early_stopping(&c, &[10, 40, 160]).unwrap();
+        for row in t.rows() {
+            let rel: f64 = row[2].parse().unwrap();
+            assert!(rel < 0.5, "{row:?}");
+        }
+        // Norm grows with k (less shrinkage as stopping weakens).
+        let norms: Vec<f64> = t.rows().iter().map(|r| r[3].parse().unwrap()).collect();
+        assert!(norms.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn expander_ncp_is_flat_social_ncp_dips() {
+        let (c, dir) = ctx("flatncp");
+        let t = run_expander_ncp(&c, 400, 4).unwrap();
+        assert_eq!(t.len(), 2);
+        let get = |name: &str| -> f64 {
+            t.rows().iter().find(|r| r[0] == name).unwrap()[3]
+                .parse()
+                .unwrap()
+        };
+        let expander_min = get("regular_expander");
+        let social_min = get("social_surrogate");
+        assert!(
+            expander_min > 0.1,
+            "expander best community φ = {expander_min} should stay Θ(1)"
+        );
+        assert!(
+            social_min < expander_min / 2.0,
+            "social surrogate should dip well below the expander: {social_min} vs {expander_min}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bayes_risk_shows_regularization_winning_when_noisy() {
+        let (c, dir) = ctx("bayes");
+        let t = run_bayes_risk(&c, &[(0.55, 0.35), (0.9, 0.05)], 8).unwrap();
+        assert_eq!(t.len(), 2);
+        // Noisy regime (first row): positive improvement.
+        let improvement: f64 = t.rows()[0][5].parse().unwrap();
+        assert!(improvement > 0.0, "noisy regime improvement {improvement}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn noise_ablation_matches_ridge() {
+        let (c, dir) = ctx("noise");
+        let t = run_noise_ablation(&c, &[0.2, 0.6, 1.2], 120).unwrap();
+        for row in t.rows() {
+            let rel: f64 = row[2].parse().unwrap();
+            assert!(rel < 0.5, "{row:?}");
+        }
+        // Shrinkage increases with sigma.
+        let shr: Vec<f64> = t.rows().iter().map(|r| r[3].parse().unwrap()).collect();
+        assert!(shr[0] > *shr.last().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,260 @@
+//! Case study §3.1 drivers: the implicit-regularization equivalence
+//! (DESIGN.md C1-eq) and the aggressiveness-as-regularization-strength
+//! sweep (C1-reg).
+
+use crate::experiment::{fmt_f, ExperimentContext, TextTable};
+use crate::Result;
+use acir_graph::traversal::largest_component;
+use acir_graph::Graph;
+use acir_linalg::vector;
+use acir_regularize::equivalence::{
+    check_heat_kernel, check_lazy_walk, check_pagerank, effective_rank, lazy_walk_eta_limit,
+};
+use acir_regularize::regularizers::DiffusionParameter;
+use acir_regularize::sdp::{solve_regularized_sdp, SpectralProblem};
+use acir_regularize::Regularizer;
+use acir_spectral::diffusion::{lazy_walk, tv_distance, Seed};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the case-study-1 experiments.
+#[derive(Debug, Clone)]
+pub struct CaseStudy1Config {
+    /// η grid for the heat-kernel and PageRank checks.
+    pub etas: Vec<f64>,
+    /// Lazy-walk step counts to check.
+    pub lazy_ks: Vec<u32>,
+    /// Size of the random test graph.
+    pub random_n: usize,
+    /// Edge probability of the random test graph.
+    pub random_p: f64,
+}
+
+impl Default for CaseStudy1Config {
+    fn default() -> Self {
+        Self {
+            etas: vec![0.1, 0.5, 1.0, 2.0, 5.0, 10.0],
+            lazy_ks: vec![1, 2, 4, 8],
+            random_n: 60,
+            random_p: 0.12,
+        }
+    }
+}
+
+/// Graph families used by the §3.1 reference experiments.
+fn test_graphs(cfg: &CaseStudy1Config, seed: u64) -> Result<Vec<(String, Graph)>> {
+    use acir_graph::gen::deterministic::{barbell, cycle, lollipop, path};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let er0 = acir_graph::gen::random::erdos_renyi_gnp(&mut rng, cfg.random_n, cfg.random_p)?;
+    let (er, _) = largest_component(&er0);
+    Ok(vec![
+        ("barbell(6,2)".into(), barbell(6, 2)?),
+        ("cycle(12)".into(), cycle(12)?),
+        ("path(14)".into(), path(14)?),
+        ("lollipop(6,5)".into(), lollipop(6, 5)?),
+        (format!("er({},{})", cfg.random_n, cfg.random_p), er),
+    ])
+}
+
+/// C1-eq: for every graph family, every dynamics, and every η, the
+/// relative Frobenius gap between the diffusion operator and the
+/// regularized-SDP optimum. Writes `casestudy1_equivalence.csv` and
+/// returns the table.
+pub fn run_equivalence(ctx: &ExperimentContext, cfg: &CaseStudy1Config) -> Result<TextTable> {
+    let mut table = TextTable::new(&["graph", "dynamics", "eta", "implied_param", "rel_error"]);
+    for (name, g) in test_graphs(cfg, ctx.seed)? {
+        let sp = SpectralProblem::new(&g)?;
+        for &eta in &cfg.etas {
+            let hk = check_heat_kernel(&sp, eta)?;
+            table.row(vec![
+                name.clone(),
+                "heat_kernel".into(),
+                fmt_f(eta),
+                format!("t={}", fmt_f(eta)),
+                fmt_f(hk.relative_error),
+            ]);
+            let pr = check_pagerank(&sp, eta)?;
+            let gamma = match pr.parameter {
+                DiffusionParameter::PageRankGamma(gm) => gm,
+                _ => unreachable!(),
+            };
+            table.row(vec![
+                name.clone(),
+                "pagerank".into(),
+                fmt_f(eta),
+                format!("gamma={}", fmt_f(gamma)),
+                fmt_f(pr.relative_error),
+            ]);
+        }
+        for &k in &cfg.lazy_ks {
+            // Stay in the exact (untruncated) regime for the lazy walk.
+            let eta = lazy_walk_eta_limit(&sp, k)? * 0.5;
+            let lw = check_lazy_walk(&sp, eta, k)?;
+            let alpha = match lw.parameter {
+                DiffusionParameter::LazyWalk { alpha, .. } => alpha,
+                _ => unreachable!(),
+            };
+            table.row(vec![
+                name.clone(),
+                "lazy_walk".into(),
+                fmt_f(eta),
+                format!("alpha={},k={k}", fmt_f(alpha)),
+                fmt_f(lw.relative_error),
+            ]);
+        }
+    }
+    ctx.write_csv(
+        "casestudy1_equivalence.csv",
+        &["graph", "dynamics", "eta", "implied_param", "rel_error"],
+        table.rows(),
+    )?;
+    Ok(table)
+}
+
+/// C1-reg: the aggressiveness parameter *is* the regularization
+/// strength. For a barbell graph: per η, report the effective rank of
+/// the entropy-regularized optimum, its linear objective `Tr(𝓛X)`
+/// (approaching λ₂ as regularization weakens), and — on the dynamics
+/// side — the seed dependence of the truncated lazy walk (TV distance
+/// between runs from opposite-end seeds) at the matching step count.
+pub fn run_regularization_path(
+    ctx: &ExperimentContext,
+    cfg: &CaseStudy1Config,
+) -> Result<TextTable> {
+    let g = acir_graph::gen::deterministic::barbell(8, 0)?;
+    let sp = SpectralProblem::new(&g)?;
+    let lambda2 = sp.lambda2();
+    let mut table = TextTable::new(&[
+        "eta",
+        "eff_rank",
+        "Tr(LX)",
+        "excess_over_lambda2",
+        "walk_steps",
+        "seed_dependence_tv",
+    ]);
+    for &eta in &cfg.etas {
+        let sol = solve_regularized_sdp(&sp, Regularizer::Entropy, eta)?;
+        let rank = effective_rank(&sol.x);
+        // Matching dynamics-side view: a lazy walk truncated after
+        // ~η steps (the η ↔ t dictionary, one step ≈ unit time at
+        // α = 1/2).
+        let steps = (eta.round() as usize).max(1);
+        let a = lazy_walk(&g, 0.5, steps, &Seed::Node(0))?;
+        let b = lazy_walk(&g, 0.5, steps, &Seed::Node((g.n() - 1) as u32))?;
+        let tv = tv_distance(&a, &b);
+        table.row(vec![
+            fmt_f(eta),
+            fmt_f(rank),
+            fmt_f(sol.linear_objective),
+            fmt_f(sol.linear_objective - lambda2),
+            steps.to_string(),
+            fmt_f(tv),
+        ]);
+    }
+    ctx.write_csv(
+        "casestudy1_regpath.csv",
+        &[
+            "eta",
+            "eff_rank",
+            "tr_lx",
+            "excess_over_lambda2",
+            "walk_steps",
+            "seed_dependence_tv",
+        ],
+        table.rows(),
+    )?;
+    Ok(table)
+}
+
+/// C1-reg companion: the equilibration claim quoted in §3.1 — run any
+/// dynamics to its limit and the output forgets the seed. Returns
+/// `(truncated_tv, equilibrated_tv)` between opposite seeds for the
+/// lazy walk on a barbell.
+pub fn seed_forgetting_demo() -> Result<(f64, f64)> {
+    let g = acir_graph::gen::deterministic::barbell(8, 0)?;
+    let far = (g.n() - 1) as u32;
+    let early_a = lazy_walk(&g, 0.5, 3, &Seed::Node(0))?;
+    let early_b = lazy_walk(&g, 0.5, 3, &Seed::Node(far))?;
+    let late_a = lazy_walk(&g, 0.5, 4000, &Seed::Node(0))?;
+    let late_b = lazy_walk(&g, 0.5, 4000, &Seed::Node(far))?;
+    Ok((
+        tv_distance(&early_a, &early_b),
+        tv_distance(&late_a, &late_b),
+    ))
+}
+
+/// Sanity view used by tests and the binary: the rank-one limit. At
+/// very weak regularization the SDP optimum aligns with `v₂v₂ᵀ`.
+pub fn weak_regularization_recovers_v2(g: &Graph) -> Result<f64> {
+    let sp = SpectralProblem::new(g)?;
+    let sol = solve_regularized_sdp(&sp, Regularizer::Entropy, 500.0)?;
+    // Alignment of the dominant eigenvector of X* with v₂.
+    let eig = acir_linalg::SymEig::new(&sol.x)?;
+    let top = eig.eigenvector(eig.dim() - 1);
+    Ok(vector::alignment(&top, &sp.vectors[0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> (ExperimentContext, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "acir-cs1-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        (ExperimentContext::new(&dir, 3), dir)
+    }
+
+    fn small_cfg() -> CaseStudy1Config {
+        CaseStudy1Config {
+            etas: vec![0.5, 2.0],
+            lazy_ks: vec![1, 2],
+            random_n: 24,
+            random_p: 0.25,
+        }
+    }
+
+    #[test]
+    fn equivalence_table_is_tight_everywhere() {
+        let (ctx, dir) = ctx();
+        let t = run_equivalence(&ctx, &small_cfg()).unwrap();
+        // 5 graphs × (2 etas × 2 dynamics + 2 ks).
+        assert_eq!(t.len(), 5 * (2 * 2 + 2));
+        for row in t.rows() {
+            let err: f64 = row[4].parse().unwrap_or(1.0);
+            assert!(err < 1e-6, "{row:?}");
+        }
+        assert!(dir.join("casestudy1_equivalence.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn regularization_path_is_monotone() {
+        let (ctx, dir) = ctx();
+        let t = run_regularization_path(&ctx, &small_cfg()).unwrap();
+        // Effective rank decreases as eta grows (weaker regularization).
+        let ranks: Vec<f64> = t.rows().iter().map(|r| r[1].parse().unwrap()).collect();
+        assert!(ranks[0] > *ranks.last().unwrap());
+        // Excess objective is nonnegative and decreasing.
+        let excess: Vec<f64> = t.rows().iter().map(|r| r[3].parse().unwrap()).collect();
+        assert!(excess.iter().all(|&e| e >= -1e-9));
+        assert!(excess[0] >= *excess.last().unwrap() - 1e-12);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn seeds_are_forgotten_at_equilibrium() {
+        let (early, late) = seed_forgetting_demo().unwrap();
+        assert!(early > 0.5, "truncated runs stay seed-dependent: {early}");
+        assert!(late < 1e-6, "equilibrated runs forget the seed: {late}");
+    }
+
+    #[test]
+    fn weak_regularization_is_rank_one_on_v2() {
+        let g = acir_graph::gen::deterministic::barbell(6, 1).unwrap();
+        let align = weak_regularization_recovers_v2(&g).unwrap();
+        assert!(align > 0.999, "alignment {align}");
+    }
+}

@@ -1,0 +1,314 @@
+//! Figure 1 (a–c): size-resolved conductance and niceness, spectral
+//! (LocalSpectral, blue in the paper) vs flow-based (Metis+MQI, red).
+//!
+//! Pipeline: generate the AtP-DBLP surrogate, keep its largest
+//! component, compute both NCPs, then evaluate the two niceness
+//! measures on every plotted cluster. Panel (a) is conductance vs
+//! size; (b) is average shortest-path length vs size; (c) is the
+//! external/internal conductance ratio vs size.
+//!
+//! Expected shape (paper): "the flow-based algorithm generally yields
+//! clusters with better conductance scores, while the spectral
+//! algorithm generally yields clusters that are nicer."
+
+use crate::experiment::{ascii_loglog_scatter, fmt_f, ExperimentContext, TextTable};
+use crate::Result;
+use acir_graph::gen::community::{social_network, SocialNetworkParams};
+use acir_graph::traversal::largest_component;
+use acir_graph::Graph;
+use acir_partition::ncp::{ncp_local_spectral, ncp_metis_mqi, NcpOptions};
+use acir_partition::niceness::cluster_niceness;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the Figure 1 run.
+#[derive(Debug, Clone)]
+pub struct Fig1Config {
+    /// Surrogate-network generator parameters.
+    pub network: SocialNetworkParams,
+    /// NCP computation parameters.
+    pub ncp: NcpOptions,
+    /// BFS-source budget for the average-shortest-path estimates.
+    pub asp_samples: usize,
+}
+
+impl Default for Fig1Config {
+    fn default() -> Self {
+        Self {
+            network: SocialNetworkParams::default(),
+            ncp: NcpOptions::default(),
+            asp_samples: 48,
+        }
+    }
+}
+
+/// One plotted cluster with all three panel values.
+#[derive(Debug, Clone)]
+pub struct Fig1Point {
+    /// Cluster size.
+    pub size: usize,
+    /// Panel (a): conductance.
+    pub conductance: f64,
+    /// Panel (b): average shortest-path length inside the cluster.
+    pub avg_shortest_path: Option<f64>,
+    /// Panel (c): external / internal conductance ratio.
+    pub ratio: f64,
+}
+
+/// The full Figure 1 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig1Result {
+    /// Spectral (LocalSpectral) series.
+    pub spectral: Vec<Fig1Point>,
+    /// Flow (Metis+MQI) series.
+    pub flow: Vec<Fig1Point>,
+    /// The whisker-union lower envelope `(size, conductance)` — the
+    /// \[28\] structural explanation of panel (a)'s dips.
+    pub whisker_envelope: Vec<(usize, f64)>,
+    /// Summary line of the analyzed graph.
+    pub graph_summary: String,
+}
+
+impl Fig1Result {
+    /// Render the three panels plus a merged table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("graph: {}\n\n", self.graph_summary));
+        let collect =
+            |pts: &[Fig1Point], f: &dyn Fn(&Fig1Point) -> Option<f64>| -> Vec<(f64, f64)> {
+                pts.iter()
+                    .filter_map(|p| f(p).map(|y| (p.size as f64, y)))
+                    .collect()
+            };
+
+        type PanelFn = Box<dyn Fn(&Fig1Point) -> Option<f64>>;
+        let panels: [(&str, PanelFn); 3] = [
+            (
+                "Fig 1(a): conductance vs size",
+                Box::new(|p: &Fig1Point| Some(p.conductance)),
+            ),
+            (
+                "Fig 1(b): avg shortest path vs size",
+                Box::new(|p: &Fig1Point| p.avg_shortest_path),
+            ),
+            (
+                "Fig 1(c): external/internal conductance ratio vs size",
+                Box::new(|p: &Fig1Point| p.ratio.is_finite().then_some(p.ratio)),
+            ),
+        ];
+        for (i, (title, f)) in panels.iter().enumerate() {
+            let s = collect(&self.spectral, f.as_ref());
+            let fl = collect(&self.flow, f.as_ref());
+            out.push_str(&format!("== {title} ==\n"));
+            if i == 0 && !self.whisker_envelope.is_empty() {
+                // Panel (a) carries the whisker-union envelope too.
+                let env: Vec<(f64, f64)> = self
+                    .whisker_envelope
+                    .iter()
+                    .map(|&(k, phi)| (k as f64, phi))
+                    .collect();
+                out.push_str(&ascii_loglog_scatter(
+                    &[
+                        ("Metis+MQI (flow)", 'x', &fl),
+                        ("LocalSpectral", 'o', &s),
+                        ("whisker unions", 'w', &env),
+                    ],
+                    64,
+                    16,
+                ));
+            } else {
+                out.push_str(&ascii_loglog_scatter(
+                    &[("Metis+MQI (flow)", 'x', &fl), ("LocalSpectral", 'o', &s)],
+                    64,
+                    16,
+                ));
+            }
+            out.push('\n');
+        }
+
+        let mut table = TextTable::new(&["method", "size", "phi", "avg_path", "ext/int"]);
+        for (name, pts) in [("spectral", &self.spectral), ("flow", &self.flow)] {
+            for p in pts.iter() {
+                table.row(vec![
+                    name.to_string(),
+                    p.size.to_string(),
+                    fmt_f(p.conductance),
+                    p.avg_shortest_path.map(fmt_f).unwrap_or_else(|| "-".into()),
+                    fmt_f(p.ratio),
+                ]);
+            }
+        }
+        out.push_str(&table.to_string());
+        out
+    }
+
+    /// Headline comparison: on bins where both methods produced a
+    /// cluster, how often does flow win panel (a) and spectral win
+    /// panels (b)/(c)? Returns `(flow_phi_wins, spectral_asp_wins,
+    /// spectral_ratio_wins, comparisons)`.
+    pub fn headline(&self) -> (usize, usize, usize, usize) {
+        let bin = |size: usize| ((size as f64).log10() * 8.0).floor() as i64;
+        let mut smap = std::collections::BTreeMap::new();
+        for p in &self.spectral {
+            smap.insert(bin(p.size), p.clone());
+        }
+        let mut flow_phi = 0;
+        let mut spec_asp = 0;
+        let mut spec_ratio = 0;
+        let mut comparisons = 0;
+        for p in &self.flow {
+            let Some(s) = smap.get(&bin(p.size)) else {
+                continue;
+            };
+            comparisons += 1;
+            if p.conductance <= s.conductance * 1.0001 {
+                flow_phi += 1;
+            }
+            if let (Some(fa), Some(sa)) = (p.avg_shortest_path, s.avg_shortest_path) {
+                if sa <= fa * 1.0001 {
+                    spec_asp += 1;
+                }
+            }
+            // Infinite flow ratio counts as a spectral win if spectral is finite.
+            if s.ratio <= p.ratio * 1.0001 || (!p.ratio.is_finite() && s.ratio.is_finite()) {
+                spec_ratio += 1;
+            }
+        }
+        (flow_phi, spec_asp, spec_ratio, comparisons)
+    }
+}
+
+fn niceness_points(
+    g: &Graph,
+    pts: &[acir_partition::NcpPoint],
+    asp_samples: usize,
+) -> Result<Vec<Fig1Point>> {
+    let mut out = Vec::with_capacity(pts.len());
+    for p in pts {
+        let n = cluster_niceness(g, &p.set, asp_samples)?;
+        out.push(Fig1Point {
+            size: p.size,
+            conductance: p.conductance,
+            avg_shortest_path: n.avg_shortest_path,
+            ratio: n.ratio,
+        });
+    }
+    Ok(out)
+}
+
+/// Run the full Figure 1 experiment and write `fig1a.csv`,
+/// `fig1b.csv`, `fig1c.csv` (size, spectral value, flow value columns
+/// are split per method in one file each).
+pub fn run_fig1(ctx: &ExperimentContext, cfg: &Fig1Config) -> Result<Fig1Result> {
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let pc = social_network(&mut rng, &cfg.network)?;
+    let (g, _) = largest_component(&pc.graph);
+    let graph_summary = acir_graph::stats::summarize(&g).to_string();
+
+    let mut ncp_opts = cfg.ncp.clone();
+    ncp_opts.rng_seed = ctx.seed ^ 0x5eed;
+    let spectral_ncp = ncp_local_spectral(&g, &ncp_opts)?;
+    let flow_ncp = ncp_metis_mqi(&g, &ncp_opts)?;
+
+    let spectral = niceness_points(&g, &spectral_ncp, cfg.asp_samples)?;
+    let flow = niceness_points(&g, &flow_ncp, cfg.asp_samples)?;
+    let whisker_envelope = acir_partition::whisker::whisker_union_envelope(&g)?;
+
+    // CSV artifacts: one per panel, long format.
+    let mut rows_a = Vec::new();
+    let mut rows_b = Vec::new();
+    let mut rows_c = Vec::new();
+    for &(size, phi) in &whisker_envelope {
+        rows_a.push(vec!["whiskers".into(), size.to_string(), format!("{phi}")]);
+    }
+    for (name, pts) in [("spectral", &spectral), ("flow", &flow)] {
+        for p in pts.iter() {
+            rows_a.push(vec![
+                name.into(),
+                p.size.to_string(),
+                format!("{}", p.conductance),
+            ]);
+            if let Some(a) = p.avg_shortest_path {
+                rows_b.push(vec![name.into(), p.size.to_string(), format!("{a}")]);
+            }
+            if p.ratio.is_finite() {
+                rows_c.push(vec![
+                    name.into(),
+                    p.size.to_string(),
+                    format!("{}", p.ratio),
+                ]);
+            }
+        }
+    }
+    ctx.write_csv("fig1a.csv", &["method", "size", "conductance"], &rows_a)?;
+    ctx.write_csv(
+        "fig1b.csv",
+        &["method", "size", "avg_shortest_path"],
+        &rows_b,
+    )?;
+    ctx.write_csv("fig1c.csv", &["method", "size", "ext_int_ratio"], &rows_c)?;
+
+    Ok(Fig1Result {
+        spectral,
+        flow,
+        whisker_envelope,
+        graph_summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Fig1Config {
+        Fig1Config {
+            network: SocialNetworkParams {
+                core_nodes: 250,
+                core_attach: 3,
+                communities: 6,
+                community_size_range: (6, 50),
+                whiskers: 15,
+                whisker_max_len: 5,
+                ..Default::default()
+            },
+            ncp: NcpOptions {
+                min_size: 2,
+                max_size: 120,
+                bins_per_decade: 5,
+                seeds: 10,
+                alphas: vec![0.2, 0.05],
+                epsilons: vec![1e-3, 1e-4],
+                threads: 2,
+                ..Default::default()
+            },
+            asp_samples: 16,
+        }
+    }
+
+    #[test]
+    fn fig1_end_to_end_small() {
+        let dir = std::env::temp_dir().join(format!("acir-fig1-{}", std::process::id()));
+        let ctx = ExperimentContext::new(&dir, 7);
+        let r = run_fig1(&ctx, &tiny_config()).unwrap();
+        assert!(!r.spectral.is_empty());
+        assert!(!r.flow.is_empty());
+        // CSVs exist and have headers.
+        for f in ["fig1a.csv", "fig1b.csv", "fig1c.csv"] {
+            let text = std::fs::read_to_string(dir.join(f)).unwrap();
+            assert!(text.starts_with("method,size,"), "{f}");
+        }
+        // Rendering works and contains all three panels.
+        let rendered = r.render();
+        assert!(rendered.contains("Fig 1(a)"));
+        assert!(rendered.contains("Fig 1(b)"));
+        assert!(rendered.contains("Fig 1(c)"));
+        // Headline comparison has overlapping bins.
+        let (fw, _, _, cmp) = r.headline();
+        assert!(cmp >= 2, "need comparable bins, got {cmp}");
+        assert!(
+            fw * 2 >= cmp,
+            "flow should win conductance often: {fw}/{cmp}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

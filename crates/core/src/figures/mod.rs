@@ -1,0 +1,21 @@
+//! Figure drivers: one module per row group of the DESIGN.md
+//! experiment index.
+//!
+//! Each driver takes an [`crate::experiment::ExperimentContext`] and a
+//! config struct sized by the caller (tests use miniature configs; the
+//! `acir-bench` binaries use paper-scale ones), returns a structured
+//! result, and writes CSV artifacts. The binaries print the
+//! human-readable rendition recorded in EXPERIMENTS.md.
+
+pub mod ablations;
+pub mod casestudy1;
+pub mod casestudy3;
+pub mod fig1;
+
+pub use ablations::{
+    run_bayes_risk, run_cheeger_table, run_early_stopping, run_expander_ncp, run_noise_ablation,
+    run_worst_cases,
+};
+pub use casestudy1::{run_equivalence, run_regularization_path, CaseStudy1Config};
+pub use casestudy3::{run_locality, run_seed_exclusion, CaseStudy3Config};
+pub use fig1::{run_fig1, Fig1Config, Fig1Point, Fig1Result};

@@ -1,0 +1,164 @@
+//! Mutable graph construction.
+//!
+//! Generators and IO accumulate edges into a [`GraphBuilder`] and then
+//! freeze into the immutable CSR [`Graph`]. The builder tolerates
+//! duplicate edges (merged at freeze time) and grows the node count on
+//! demand, which keeps generator code simple.
+
+use crate::csr::{Graph, NodeId};
+use crate::Result;
+
+/// An edge-list accumulator that freezes into a [`Graph`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl GraphBuilder {
+    /// Empty builder with `n` pre-declared nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Empty builder with no nodes (node count grows with edges).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current node count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of accumulated (possibly duplicate) edge records.
+    pub fn edge_records(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Ensure at least `n` nodes exist.
+    pub fn grow_to(&mut self, n: usize) -> &mut Self {
+        self.n = self.n.max(n);
+        self
+    }
+
+    /// Add a fresh node and return its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = self.n as NodeId;
+        self.n += 1;
+        id
+    }
+
+    /// Add an undirected weighted edge, growing the node count if needed.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) -> &mut Self {
+        self.n = self.n.max(u.max(v) as usize + 1);
+        self.edges.push((u, v, w));
+        self
+    }
+
+    /// Add an unweighted (weight-1) edge.
+    pub fn add_pair(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.add_edge(u, v, 1.0)
+    }
+
+    /// Whether an edge record between `u` and `v` (either orientation)
+    /// has been added. `O(edges)` — intended for generators that need
+    /// occasional duplicate checks on small neighborhoods, not hot loops.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edges
+            .iter()
+            .any(|&(a, b, _)| (a == u && b == v) || (a == v && b == u))
+    }
+
+    /// Append all edges of another builder, offsetting its node ids by
+    /// `offset`. Useful for attaching whiskers/communities to a core.
+    pub fn append_offset(&mut self, other: &GraphBuilder, offset: NodeId) -> &mut Self {
+        self.grow_to(offset as usize + other.n);
+        for &(u, v, w) in &other.edges {
+            self.edges.push((u + offset, v + offset, w));
+        }
+        self
+    }
+
+    /// Freeze into an immutable validated [`Graph`].
+    pub fn build(&self) -> Result<Graph> {
+        Graph::from_edges(self.n, self.edges.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_with_edges() {
+        let mut b = GraphBuilder::new();
+        b.add_pair(0, 5);
+        assert_eq!(b.n(), 6);
+        let g = b.build().unwrap();
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn with_nodes_allows_isolated() {
+        let b = GraphBuilder::with_nodes(4);
+        let g = b.build().unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn add_node_sequences_ids() {
+        let mut b = GraphBuilder::new();
+        assert_eq!(b.add_node(), 0);
+        assert_eq!(b.add_node(), 1);
+        b.grow_to(10);
+        assert_eq!(b.add_node(), 10);
+    }
+
+    #[test]
+    fn has_edge_checks_both_orientations() {
+        let mut b = GraphBuilder::new();
+        b.add_pair(1, 2);
+        assert!(b.has_edge(1, 2));
+        assert!(b.has_edge(2, 1));
+        assert!(!b.has_edge(0, 1));
+    }
+
+    #[test]
+    fn append_offset_disjoint_union() {
+        let mut core = GraphBuilder::new();
+        core.add_pair(0, 1);
+        let mut whisker = GraphBuilder::new();
+        whisker.add_pair(0, 1);
+        whisker.add_pair(1, 2);
+        core.append_offset(&whisker, 2);
+        let g = core.build().unwrap();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 3);
+        assert!(g.has_edge(2, 3));
+        assert!(g.has_edge(3, 4));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn duplicates_merge_at_build() {
+        let mut b = GraphBuilder::new();
+        b.add_pair(0, 1).add_pair(0, 1);
+        assert_eq!(b.edge_records(), 2);
+        let g = b.build().unwrap();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.edge_weight(0, 1), 2.0);
+    }
+
+    #[test]
+    fn build_propagates_weight_errors() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, -3.0);
+        assert!(b.build().is_err());
+    }
+}

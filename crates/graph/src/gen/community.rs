@@ -1,0 +1,546 @@
+//! Generators with planted community structure.
+//!
+//! These produce the synthetic stand-ins for the paper's Figure 1 data
+//! (AtP-DBLP and the networks of \[27, 28\]). Per DESIGN.md §2, the
+//! substitution is justified because the relevant structural properties
+//! are reproduced: expander-like cores, whisker-rich peripheries,
+//! heavy-tailed degrees, and small planted communities that local
+//! methods should recover.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+use crate::gen::random::{barabasi_albert, erdos_renyi_gnp};
+use crate::{GraphError, Result};
+use rand::Rng;
+
+/// Ground-truth community assignment returned alongside a generated
+/// graph.
+#[derive(Debug, Clone)]
+pub struct PlantedCommunities {
+    /// The generated graph.
+    pub graph: Graph,
+    /// `community[u]` is the community index of node `u`
+    /// (`u32::MAX` = background/core).
+    pub community: Vec<u32>,
+}
+
+impl PlantedCommunities {
+    /// Node lists per community (background nodes excluded).
+    pub fn community_nodes(&self) -> Vec<Vec<NodeId>> {
+        let k = self
+            .community
+            .iter()
+            .filter(|&&c| c != u32::MAX)
+            .max()
+            .map_or(0, |&c| c as usize + 1);
+        let mut out = vec![Vec::new(); k];
+        for (u, &c) in self.community.iter().enumerate() {
+            if c != u32::MAX {
+                out[c as usize].push(u as NodeId);
+            }
+        }
+        out
+    }
+}
+
+/// Stochastic block model / planted partition: `k` blocks of
+/// `block_size` nodes; within-block edges with probability `p_in`,
+/// between-block with `p_out`.
+pub fn planted_partition(
+    rng: &mut impl Rng,
+    k: usize,
+    block_size: usize,
+    p_in: f64,
+    p_out: f64,
+) -> Result<PlantedCommunities> {
+    if k == 0 || block_size == 0 {
+        return Err(GraphError::InvalidArgument(
+            "planted_partition needs k, block_size >= 1".into(),
+        ));
+    }
+    for p in [p_in, p_out] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(GraphError::InvalidArgument(
+                "probabilities must be in [0,1]".into(),
+            ));
+        }
+    }
+    let n = k * block_size;
+    let mut b = GraphBuilder::with_nodes(n);
+    let block_of = |u: usize| u / block_size;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if block_of(u) == block_of(v) {
+                p_in
+            } else {
+                p_out
+            };
+            if p > 0.0 && rng.gen_bool(p) {
+                b.add_pair(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    let community: Vec<u32> = (0..n).map(|u| block_of(u) as u32).collect();
+    Ok(PlantedCommunities {
+        graph: b.build()?,
+        community,
+    })
+}
+
+/// LFR-style benchmark: power-law degree sequence (exponent `tau1`),
+/// power-law community sizes (exponent `tau2`), and a mixing parameter
+/// `mu` — the fraction of each node's edges that leave its community.
+///
+/// This is a simplified LFR: degrees are drawn from a bounded Pareto,
+/// community sizes likewise; intra-community stubs are paired within
+/// the community and inter-community stubs are paired globally.
+/// It keeps LFR's defining feature (tunable mixing on a heavy-tailed
+/// substrate) while staying simple enough to verify.
+#[allow(clippy::too_many_arguments)]
+pub fn lfr_like(
+    rng: &mut impl Rng,
+    n: usize,
+    tau1: f64,
+    tau2: f64,
+    mu: f64,
+    k_min: usize,
+    k_max: usize,
+    c_min: usize,
+    c_max: usize,
+) -> Result<PlantedCommunities> {
+    if n == 0 || k_min == 0 || k_min > k_max || c_min == 0 || c_min > c_max || c_max > n {
+        return Err(GraphError::InvalidArgument(
+            "lfr_like: bad size parameters".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&mu) {
+        return Err(GraphError::InvalidArgument(
+            "lfr_like: mu must be in [0,1]".into(),
+        ));
+    }
+    if tau1 <= 1.0 || tau2 <= 1.0 {
+        return Err(GraphError::InvalidArgument(
+            "lfr_like: exponents must exceed 1".into(),
+        ));
+    }
+
+    // Bounded-Pareto sampler via inverse CDF.
+    let pareto = |rng: &mut dyn rand::RngCore, lo: f64, hi: f64, alpha: f64| -> f64 {
+        let a = alpha - 1.0;
+        let u: f64 = rand::Rng::gen_range(rng, 0.0..1.0);
+        let l = lo.powf(-a);
+        let h = hi.powf(-a);
+        (l - u * (l - h)).powf(-1.0 / a)
+    };
+
+    // Community sizes until they cover n.
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut covered = 0usize;
+    while covered < n {
+        let s = pareto(rng, c_min as f64, c_max as f64, tau2).round() as usize;
+        let s = s.clamp(c_min, c_max).min(n - covered).max(1);
+        sizes.push(s);
+        covered += s;
+    }
+    // Assign nodes to communities contiguously.
+    let mut community = vec![0u32; n];
+    let mut start = 0usize;
+    let mut members: Vec<Vec<NodeId>> = Vec::with_capacity(sizes.len());
+    for (c, &s) in sizes.iter().enumerate() {
+        let mut mem = Vec::with_capacity(s);
+        for (u, slot) in community.iter_mut().enumerate().skip(start).take(s) {
+            *slot = c as u32;
+            mem.push(u as NodeId);
+        }
+        members.push(mem);
+        start += s;
+    }
+
+    // Degrees; split into internal/external stubs by mu.
+    let mut internal_stubs: Vec<Vec<NodeId>> = vec![Vec::new(); sizes.len()];
+    let mut external_stubs: Vec<NodeId> = Vec::new();
+    for (u, &cu) in community.iter().enumerate() {
+        let d = pareto(rng, k_min as f64, k_max as f64, tau1).round() as usize;
+        let d = d.clamp(k_min, k_max);
+        let ext = ((d as f64) * mu).round() as usize;
+        let int = d - ext;
+        let c = cu as usize;
+        for _ in 0..int {
+            internal_stubs[c].push(u as NodeId);
+        }
+        for _ in 0..ext {
+            external_stubs.push(u as NodeId);
+        }
+    }
+
+    let mut b = GraphBuilder::with_nodes(n);
+    use rand::seq::SliceRandom;
+    // Pair internal stubs within each community.
+    for stubs in internal_stubs.iter_mut() {
+        stubs.shuffle(rng);
+        for chunk in stubs.chunks(2) {
+            if chunk.len() == 2 && chunk[0] != chunk[1] {
+                b.add_pair(chunk[0], chunk[1]);
+            }
+        }
+    }
+    // Pair external stubs globally (cross-community preferred; same-
+    // community pairs are allowed — they just reduce effective mu).
+    external_stubs.shuffle(rng);
+    for chunk in external_stubs.chunks(2) {
+        if chunk.len() == 2 && chunk[0] != chunk[1] {
+            b.add_pair(chunk[0], chunk[1]);
+        }
+    }
+
+    Ok(PlantedCommunities {
+        graph: b.build()?,
+        community,
+    })
+}
+
+/// Parameters for [`social_network`], the Figure 1 surrogate.
+#[derive(Debug, Clone)]
+pub struct SocialNetworkParams {
+    /// Nodes in the expander-like preferential-attachment core.
+    pub core_nodes: usize,
+    /// Attachment parameter of the core (edges per new core node).
+    pub core_attach: usize,
+    /// Number of planted communities attached to the core.
+    pub communities: usize,
+    /// Smallest / largest community size (sizes log-spaced between).
+    pub community_size_range: (usize, usize),
+    /// Internal edge probability within each community (scaled down
+    /// with size so big communities are sparse like real ones).
+    pub community_density: f64,
+    /// Minimum edges connecting each community to the core.
+    pub community_anchors: usize,
+    /// Additional anchors per community node: each community gets
+    /// `max(community_anchors, round(size × anchor_density))` core
+    /// edges. Positive densities make community conductance *rise*
+    /// with size — the defining feature of real social-network NCPs
+    /// \[27, 28\] (small communities are good, large ones blend into the
+    /// expander core).
+    pub anchor_density: f64,
+    /// Number of whiskers (pendant paths/trees) hanging off the core.
+    pub whiskers: usize,
+    /// Maximum whisker length.
+    pub whisker_max_len: usize,
+}
+
+impl Default for SocialNetworkParams {
+    fn default() -> Self {
+        Self {
+            core_nodes: 4000,
+            core_attach: 4,
+            communities: 60,
+            community_size_range: (8, 800),
+            community_density: 0.5,
+            community_anchors: 2,
+            anchor_density: 0.25,
+            whiskers: 150,
+            whisker_max_len: 12,
+        }
+    }
+}
+
+/// The AtP-DBLP surrogate for Figure 1: a preferential-attachment core
+/// (expander-like at large scales, heavy-tailed degrees) with planted
+/// communities across a range of sizes (each connected to the core by a
+/// few anchor edges, so small communities have low conductance and
+/// larger ones progressively worse — the rising NCP of \[27, 28\]) and
+/// pendant whiskers (the stringy periphery that spectral methods
+/// regularize away).
+pub fn social_network(
+    rng: &mut impl Rng,
+    params: &SocialNetworkParams,
+) -> Result<PlantedCommunities> {
+    let p = params;
+    if p.core_nodes <= p.core_attach || p.core_attach == 0 {
+        return Err(GraphError::InvalidArgument(
+            "social_network: need core_nodes > core_attach > 0".into(),
+        ));
+    }
+    let (cmin, cmax) = p.community_size_range;
+    if cmin < 3 || cmin > cmax {
+        return Err(GraphError::InvalidArgument(
+            "social_network: need 3 <= community min size <= max size".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&p.community_density) {
+        return Err(GraphError::InvalidArgument(
+            "social_network: community_density must be in [0,1]".into(),
+        ));
+    }
+    if !(p.anchor_density >= 0.0 && p.anchor_density.is_finite()) {
+        return Err(GraphError::InvalidArgument(
+            "social_network: anchor_density must be nonnegative".into(),
+        ));
+    }
+
+    // 1. Core.
+    let core = barabasi_albert(rng, p.core_nodes, p.core_attach)?;
+    let mut b = GraphBuilder::with_nodes(p.core_nodes);
+    for (u, v, w) in core.edges() {
+        b.add_edge(u, v, w);
+    }
+    let mut community = vec![u32::MAX; p.core_nodes];
+
+    // 2. Planted communities, log-spaced sizes.
+    for c in 0..p.communities {
+        let t = if p.communities > 1 {
+            c as f64 / (p.communities - 1) as f64
+        } else {
+            0.0
+        };
+        let size = ((cmin as f64).ln() + t * ((cmax as f64).ln() - (cmin as f64).ln()))
+            .exp()
+            .round() as usize;
+        let size = size.clamp(cmin, cmax);
+        // Density shrinks with size: expected internal degree ≈
+        // density * 10·ln(size), keeping communities sparse but connected.
+        let p_in = (p.community_density * 10.0 * (size as f64).ln() / size as f64).min(1.0);
+        let sub = erdos_renyi_gnp(rng, size, p_in)?;
+        let offset = b.n() as NodeId;
+        for (u, v, w) in sub.edges() {
+            b.add_edge(u + offset, v + offset, w);
+        }
+        b.grow_to(offset as usize + size);
+        community.resize(offset as usize + size, c as u32);
+        // Ring backbone guarantees connectivity inside the community.
+        for i in 0..size {
+            b.add_pair(offset + i as NodeId, offset + ((i + 1) % size) as NodeId);
+        }
+        // Anchor edges into the core: a floor plus a size-proportional
+        // component, so larger communities have worse conductance (the
+        // rising NCP of real networks).
+        let anchors = p
+            .community_anchors
+            .max((size as f64 * p.anchor_density).round() as usize)
+            .max(1);
+        for _ in 0..anchors {
+            let inside = offset + rng.gen_range(0..size) as NodeId;
+            let anchor = rng.gen_range(0..p.core_nodes as NodeId);
+            b.add_pair(inside, anchor);
+        }
+    }
+
+    // 3. Whiskers: pendant paths off random core nodes.
+    for _ in 0..p.whiskers {
+        let len = rng.gen_range(1..=p.whisker_max_len.max(1));
+        let mut prev = rng.gen_range(0..p.core_nodes as NodeId);
+        for _ in 0..len {
+            let x = b.n() as NodeId;
+            b.grow_to(x as usize + 1);
+            b.add_pair(prev, x);
+            prev = x;
+        }
+        community.resize(b.n(), u32::MAX);
+    }
+
+    community.resize(b.n(), u32::MAX);
+    Ok(PlantedCommunities {
+        graph: b.build()?,
+        community,
+    })
+}
+
+/// Convenience: a small planted cluster inside a big ambient graph —
+/// the §3.3 workload (find the cluster near a seed without touching the
+/// whole graph). Returns the graph and the planted cluster's node list
+/// (ids `0..cluster_size`).
+pub fn planted_cluster(
+    rng: &mut impl Rng,
+    ambient_nodes: usize,
+    ambient_attach: usize,
+    cluster_size: usize,
+    cluster_p: f64,
+    bridge_edges: usize,
+) -> Result<(Graph, Vec<NodeId>)> {
+    if cluster_size < 3 || ambient_nodes < ambient_attach + 1 {
+        return Err(GraphError::InvalidArgument(
+            "planted_cluster: bad sizes".into(),
+        ));
+    }
+    let cluster = erdos_renyi_gnp(rng, cluster_size, cluster_p)?;
+    let ambient = barabasi_albert(rng, ambient_nodes, ambient_attach)?;
+    let mut b = GraphBuilder::with_nodes(cluster_size + ambient_nodes);
+    for (u, v, w) in cluster.edges() {
+        b.add_edge(u, v, w);
+    }
+    // Ring backbone keeps the cluster connected even at low p.
+    for i in 0..cluster_size {
+        b.add_pair(i as NodeId, ((i + 1) % cluster_size) as NodeId);
+    }
+    let off = cluster_size as NodeId;
+    for (u, v, w) in ambient.edges() {
+        b.add_edge(u + off, v + off, w);
+    }
+    for _ in 0..bridge_edges.max(1) {
+        let inside = rng.gen_range(0..cluster_size as NodeId);
+        let outside = off + rng.gen_range(0..ambient_nodes as NodeId);
+        b.add_pair(inside, outside);
+    }
+    Ok((b.build()?, (0..cluster_size as NodeId).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sbm_blocks_denser_inside() {
+        let mut r = rng(1);
+        let pc = planted_partition(&mut r, 3, 30, 0.4, 0.02).unwrap();
+        let g = &pc.graph;
+        assert_eq!(g.n(), 90);
+        // Count internal vs external edges.
+        let mut internal = 0usize;
+        let mut external = 0usize;
+        for (u, v, _) in g.edges() {
+            if pc.community[u as usize] == pc.community[v as usize] {
+                internal += 1;
+            } else {
+                external += 1;
+            }
+        }
+        assert!(
+            internal > external,
+            "internal={internal} external={external}"
+        );
+        let comms = pc.community_nodes();
+        assert_eq!(comms.len(), 3);
+        assert!(comms.iter().all(|c| c.len() == 30));
+    }
+
+    #[test]
+    fn sbm_validates_args() {
+        let mut r = rng(2);
+        assert!(planted_partition(&mut r, 0, 5, 0.5, 0.1).is_err());
+        assert!(planted_partition(&mut r, 2, 5, 1.5, 0.1).is_err());
+    }
+
+    #[test]
+    fn lfr_mixing_controls_cut_fraction() {
+        let mut r = rng(3);
+        let low_mu = lfr_like(&mut r, 400, 2.5, 2.0, 0.1, 4, 30, 20, 80).unwrap();
+        let high_mu = lfr_like(&mut r, 400, 2.5, 2.0, 0.6, 4, 30, 20, 80).unwrap();
+        let cut_frac = |pc: &PlantedCommunities| {
+            let mut cut = 0usize;
+            let mut tot = 0usize;
+            for (u, v, _) in pc.graph.edges() {
+                tot += 1;
+                if pc.community[u as usize] != pc.community[v as usize] {
+                    cut += 1;
+                }
+            }
+            cut as f64 / tot.max(1) as f64
+        };
+        assert!(cut_frac(&low_mu) < cut_frac(&high_mu));
+    }
+
+    #[test]
+    fn lfr_validates_args() {
+        let mut r = rng(4);
+        assert!(lfr_like(&mut r, 0, 2.5, 2.0, 0.1, 4, 30, 20, 80).is_err());
+        assert!(lfr_like(&mut r, 100, 2.5, 2.0, 1.5, 4, 30, 20, 80).is_err());
+        assert!(lfr_like(&mut r, 100, 0.5, 2.0, 0.1, 4, 30, 20, 80).is_err());
+        assert!(lfr_like(&mut r, 100, 2.5, 2.0, 0.1, 10, 4, 20, 80).is_err());
+    }
+
+    #[test]
+    fn social_network_structure() {
+        let mut r = rng(5);
+        let params = SocialNetworkParams {
+            core_nodes: 300,
+            core_attach: 3,
+            communities: 8,
+            community_size_range: (6, 60),
+            community_density: 0.5,
+            community_anchors: 2,
+            whiskers: 20,
+            whisker_max_len: 6,
+            ..Default::default()
+        };
+        let pc = social_network(&mut r, &params).unwrap();
+        let g = &pc.graph;
+        assert!(g.n() > 300);
+        assert!(is_connected(g), "anchors and whiskers keep it connected");
+        // Communities exist and have the declared range of sizes.
+        let comms = pc.community_nodes();
+        assert_eq!(comms.len(), 8);
+        assert!(comms.iter().all(|c| c.len() >= 6 && c.len() <= 60));
+        // Community labels align with graph size.
+        assert_eq!(pc.community.len(), g.n());
+        // Degree-1 whisker tips exist.
+        let tips = (0..g.n() as NodeId).filter(|&u| g.degree(u) == 1.0).count();
+        assert!(tips >= 10, "found {tips} whisker tips");
+    }
+
+    #[test]
+    fn social_network_validates() {
+        let mut r = rng(6);
+        let p = SocialNetworkParams {
+            core_nodes: 2,
+            core_attach: 4,
+            ..Default::default()
+        };
+        assert!(social_network(&mut r, &p).is_err());
+        let p2 = SocialNetworkParams {
+            community_size_range: (1, 5),
+            ..Default::default()
+        };
+        assert!(social_network(&mut r, &p2).is_err());
+    }
+
+    #[test]
+    fn planted_cluster_low_conductance() {
+        let mut r = rng(7);
+        let (g, cluster) = planted_cluster(&mut r, 500, 3, 40, 0.3, 3).unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(cluster.len(), 40);
+        // The planted cluster should have few outgoing edges relative to
+        // its internal volume.
+        let in_cluster: Vec<bool> = {
+            let mut m = vec![false; g.n()];
+            for &u in &cluster {
+                m[u as usize] = true;
+            }
+            m
+        };
+        let mut cut = 0.0;
+        for &u in &cluster {
+            for (v, w) in g.neighbors(u) {
+                if !in_cluster[v as usize] {
+                    cut += w;
+                }
+            }
+        }
+        let vol = g.volume(&cluster);
+        assert!(cut / vol < 0.2, "conductance-ish {}", cut / vol);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = SocialNetworkParams {
+            core_nodes: 100,
+            core_attach: 2,
+            communities: 3,
+            community_size_range: (5, 20),
+            whiskers: 5,
+            whisker_max_len: 3,
+            ..Default::default()
+        };
+        let a = social_network(&mut rng(9), &p).unwrap();
+        let b = social_network(&mut rng(9), &p).unwrap();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.community, b.community);
+    }
+}

@@ -1,0 +1,382 @@
+//! Deterministic graph constructions.
+//!
+//! Includes the paper's cited worst cases: the Guattery–Miller
+//! "cockroach" graph (§3.2: spectral methods "confuse long paths with
+//! deep cuts") and related stringy constructions, plus standard families
+//! with analytically known spectra and cuts for testing.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+use crate::{GraphError, Result};
+
+/// Path graph `P_n`: 0 − 1 − ⋯ − (n−1).
+pub fn path(n: usize) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::InvalidArgument("path needs n >= 1".into()));
+    }
+    Graph::from_pairs(
+        n,
+        (0..n.saturating_sub(1)).map(|i| (i as NodeId, i as NodeId + 1)),
+    )
+}
+
+/// Cycle graph `C_n` (`n >= 3`).
+pub fn cycle(n: usize) -> Result<Graph> {
+    if n < 3 {
+        return Err(GraphError::InvalidArgument("cycle needs n >= 3".into()));
+    }
+    Graph::from_pairs(n, (0..n).map(|i| (i as NodeId, ((i + 1) % n) as NodeId)))
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::InvalidArgument("complete needs n >= 1".into()));
+    }
+    let mut b = GraphBuilder::with_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_pair(u as NodeId, v as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// Star graph: node 0 joined to nodes `1..n`.
+pub fn star(n: usize) -> Result<Graph> {
+    if n < 2 {
+        return Err(GraphError::InvalidArgument("star needs n >= 2".into()));
+    }
+    Graph::from_pairs(n, (1..n).map(|i| (0, i as NodeId)))
+}
+
+/// `rows × cols` 2-D grid (4-neighbor).
+pub fn grid2d(rows: usize, cols: usize) -> Result<Graph> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::InvalidArgument(
+            "grid needs rows, cols >= 1".into(),
+        ));
+    }
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut b = GraphBuilder::with_nodes(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_pair(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_pair(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree with `levels` levels (`2^levels − 1` nodes).
+pub fn binary_tree(levels: usize) -> Result<Graph> {
+    if levels == 0 {
+        return Err(GraphError::InvalidArgument("tree needs levels >= 1".into()));
+    }
+    let n = (1usize << levels) - 1;
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 1..n {
+        b.add_pair(i as NodeId, ((i - 1) / 2) as NodeId);
+    }
+    b.build()
+}
+
+/// `d`-dimensional hypercube (`2^d` nodes) — a mild expander with known
+/// spectrum (normalized Laplacian eigenvalues `2k/d`).
+pub fn hypercube(d: usize) -> Result<Graph> {
+    if d == 0 || d > 24 {
+        return Err(GraphError::InvalidArgument(
+            "hypercube needs 1 <= d <= 24".into(),
+        ));
+    }
+    let n = 1usize << d;
+    let mut b = GraphBuilder::with_nodes(n);
+    for u in 0..n {
+        for bit in 0..d {
+            let v = u ^ (1 << bit);
+            if v > u {
+                b.add_pair(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Barbell: two `K_k` cliques joined by a path of `bridge` extra nodes
+/// (`bridge = 0` joins the cliques by a single edge).
+///
+/// The canonical "two communities + bottleneck" graph: the optimal
+/// conductance cut separates the cliques.
+pub fn barbell(k: usize, bridge: usize) -> Result<Graph> {
+    if k < 2 {
+        return Err(GraphError::InvalidArgument("barbell needs k >= 2".into()));
+    }
+    let n = 2 * k + bridge;
+    let mut b = GraphBuilder::with_nodes(n);
+    let clique = |b: &mut GraphBuilder, base: usize| {
+        for u in 0..k {
+            for v in (u + 1)..k {
+                b.add_pair((base + u) as NodeId, (base + v) as NodeId);
+            }
+        }
+    };
+    clique(&mut b, 0);
+    clique(&mut b, k + bridge);
+    // Path through the bridge nodes.
+    let mut prev = (k - 1) as NodeId; // a clique-A node
+    for i in 0..bridge {
+        let x = (k + i) as NodeId;
+        b.add_pair(prev, x);
+        prev = x;
+    }
+    b.add_pair(prev, (k + bridge) as NodeId); // into clique B
+    b.build()
+}
+
+/// Lollipop: `K_k` clique with a path of `tail` nodes hanging off it —
+/// the classic "whisker" shape that dominates the low-conductance
+/// profile of real social networks at small scales \[27, 28\].
+pub fn lollipop(k: usize, tail: usize) -> Result<Graph> {
+    if k < 2 {
+        return Err(GraphError::InvalidArgument("lollipop needs k >= 2".into()));
+    }
+    let n = k + tail;
+    let mut b = GraphBuilder::with_nodes(n);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_pair(u as NodeId, v as NodeId);
+        }
+    }
+    let mut prev = 0 as NodeId;
+    for i in 0..tail {
+        let x = (k + i) as NodeId;
+        b.add_pair(prev, x);
+        prev = x;
+    }
+    b.build()
+}
+
+/// Guattery–Miller "cockroach" graph on `4k` nodes.
+///
+/// Two horizontal paths of `2k` nodes each; the right halves are joined
+/// by vertical rungs (a ladder), the left halves are bare antennae. The
+/// optimal conductance cut separates top from bottom (cutting `k`
+/// rungs is NOT optimal — cutting the ladder from the antennae is worse
+/// — the best cut removes only the rightmost structure), while the
+/// Fiedler vector orders nodes left-to-right and so sweeps to a
+/// left/right cut that is a factor `Θ(k)` worse. This is the input
+/// class on which spectral partitioning provably saturates its
+/// quadratic Cheeger bound (\[21\]; paper §3.2 "long stringy pieces").
+pub fn cockroach(k: usize) -> Result<Graph> {
+    if k < 1 {
+        return Err(GraphError::InvalidArgument("cockroach needs k >= 1".into()));
+    }
+    let n = 4 * k;
+    // Top path: 0 .. 2k-1 (left to right); bottom path: 2k .. 4k-1.
+    let top = |i: usize| i as NodeId;
+    let bot = |i: usize| (2 * k + i) as NodeId;
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 0..(2 * k - 1) {
+        b.add_pair(top(i), top(i + 1));
+        b.add_pair(bot(i), bot(i + 1));
+    }
+    // Rungs join the right halves: positions k .. 2k-1.
+    for i in k..(2 * k) {
+        b.add_pair(top(i), bot(i));
+    }
+    b.build()
+}
+
+/// Ladder graph: two paths of length `len` joined by a rung at every
+/// position. A "long stringy" graph whose best cut is across the middle.
+pub fn ladder(len: usize) -> Result<Graph> {
+    if len < 2 {
+        return Err(GraphError::InvalidArgument("ladder needs len >= 2".into()));
+    }
+    let mut b = GraphBuilder::with_nodes(2 * len);
+    for i in 0..len {
+        if i + 1 < len {
+            b.add_pair(i as NodeId, (i + 1) as NodeId);
+            b.add_pair((len + i) as NodeId, (len + i + 1) as NodeId);
+        }
+        b.add_pair(i as NodeId, (len + i) as NodeId);
+    }
+    b.build()
+}
+
+/// Ring of `count` cliques of size `k`, adjacent cliques joined by one
+/// edge. Clear multi-community structure with known optimal cuts.
+pub fn ring_of_cliques(count: usize, k: usize) -> Result<Graph> {
+    if count < 3 || k < 2 {
+        return Err(GraphError::InvalidArgument(
+            "ring_of_cliques needs count >= 3, k >= 2".into(),
+        ));
+    }
+    let n = count * k;
+    let mut b = GraphBuilder::with_nodes(n);
+    for c in 0..count {
+        let base = c * k;
+        for u in 0..k {
+            for v in (u + 1)..k {
+                b.add_pair((base + u) as NodeId, (base + v) as NodeId);
+            }
+        }
+        // Link node 0 of this clique to node 1 of the next.
+        let next = ((c + 1) % count) * k;
+        b.add_pair(base as NodeId, (next + 1 % k) as NodeId);
+    }
+    b.build()
+}
+
+/// Dumbbell variant of [`barbell`] with two cliques and a single edge.
+pub fn dumbbell(k: usize) -> Result<Graph> {
+    barbell(k, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter, is_connected};
+
+    #[test]
+    fn path_shape() {
+        let g = path(5).unwrap();
+        assert_eq!((g.n(), g.m()), (5, 4));
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(4));
+        assert!(path(0).is_err());
+        let single = path(1).unwrap();
+        assert_eq!((single.n(), single.m()), (1, 0));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6).unwrap();
+        assert_eq!((g.n(), g.m()), (6, 6));
+        assert!(g.degrees().iter().all(|&d| d == 2.0));
+        assert_eq!(diameter(&g), Some(3));
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5).unwrap();
+        assert_eq!(g.m(), 10);
+        assert!(g.degrees().iter().all(|&d| d == 4.0));
+        assert_eq!(diameter(&g), Some(1));
+        assert!(complete(0).is_err());
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(5).unwrap();
+        assert_eq!(g.degree(0), 4.0);
+        assert!((1..5).all(|i| g.degree(i) == 1.0));
+        assert!(star(1).is_err());
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid2d(3, 4).unwrap();
+        assert_eq!(g.n(), 12);
+        // Edges: 3*3 horizontal + 2*4 vertical = 17.
+        assert_eq!(g.m(), 17);
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(5));
+        assert!(grid2d(0, 3).is_err());
+    }
+
+    #[test]
+    fn tree_shape() {
+        let g = binary_tree(4).unwrap();
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 14);
+        assert!(is_connected(&g));
+        assert!(binary_tree(0).is_err());
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4).unwrap();
+        assert_eq!(g.n(), 16);
+        assert!(g.degrees().iter().all(|&d| d == 4.0));
+        assert_eq!(g.m(), 32);
+        assert_eq!(diameter(&g), Some(4));
+        assert!(hypercube(0).is_err());
+        assert!(hypercube(30).is_err());
+    }
+
+    #[test]
+    fn barbell_bottleneck() {
+        let g = barbell(5, 2).unwrap();
+        assert_eq!(g.n(), 12);
+        assert!(is_connected(&g));
+        // Cliques intact.
+        assert!(g.has_edge(0, 4));
+        assert!(g.has_edge(7, 11));
+        // Bridge path: 4-5, 5-6, 6-7.
+        assert!(g.has_edge(4, 5));
+        assert!(g.has_edge(5, 6));
+        assert!(g.has_edge(6, 7));
+        assert!(barbell(1, 0).is_err());
+    }
+
+    #[test]
+    fn dumbbell_single_bridge_edge() {
+        let g = dumbbell(4).unwrap();
+        assert_eq!(g.n(), 8);
+        // 2 * C(4,2) + 1 bridge.
+        assert_eq!(g.m(), 13);
+        assert!(g.has_edge(3, 4));
+    }
+
+    #[test]
+    fn lollipop_whisker() {
+        let g = lollipop(4, 3).unwrap();
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 6 + 3);
+        assert_eq!(g.degree(6), 1.0); // tail end
+        assert!(is_connected(&g));
+        assert!(lollipop(1, 2).is_err());
+    }
+
+    #[test]
+    fn cockroach_structure() {
+        let k = 3;
+        let g = cockroach(k).unwrap();
+        assert_eq!(g.n(), 12);
+        // Edges: 2*(2k-1) path edges + k rungs.
+        assert_eq!(g.m(), 2 * (2 * k - 1) + k);
+        assert!(is_connected(&g));
+        // Antenna tips have degree 1.
+        assert_eq!(g.degree(0), 1.0);
+        assert_eq!(g.degree(2 * k as u32), 1.0);
+        // Rung positions have degree 3 (interior).
+        assert_eq!(g.degree(k as u32), 3.0);
+        assert!(cockroach(0).is_err());
+    }
+
+    #[test]
+    fn ladder_structure() {
+        let g = ladder(4).unwrap();
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 3 + 3 + 4);
+        assert!(is_connected(&g));
+        assert!(ladder(1).is_err());
+    }
+
+    #[test]
+    fn ring_of_cliques_structure() {
+        let g = ring_of_cliques(4, 4).unwrap();
+        assert_eq!(g.n(), 16);
+        // 4 cliques * 6 + 4 links.
+        assert_eq!(g.m(), 28);
+        assert!(is_connected(&g));
+        assert!(ring_of_cliques(2, 3).is_err());
+        assert!(ring_of_cliques(3, 1).is_err());
+    }
+}

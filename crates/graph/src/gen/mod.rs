@@ -1,0 +1,26 @@
+//! Graph generators.
+//!
+//! Three families, matching the data the paper's case studies need:
+//!
+//! * [`deterministic`] — closed-form constructions, including the
+//!   worst-case inputs the paper cites: "long stringy" graphs
+//!   (Guattery–Miller cockroach, ladders, lollipops) that saturate the
+//!   spectral method's quadratic Cheeger guarantee, and structured
+//!   graphs (paths, cycles, grids, hypercubes) with known spectra for
+//!   testing.
+//! * [`random`] — classic random models: Erdős–Rényi, preferential
+//!   attachment, Watts–Strogatz, random-regular (expanders — the
+//!   worst case for flow-based methods), forest fire.
+//! * [`community`] — networks with planted structure: stochastic block
+//!   models, LFR-style power-law community benchmarks, and the
+//!   whiskered social-network surrogate standing in for AtP-DBLP in the
+//!   Figure 1 reproduction (see DESIGN.md §2 for the substitution
+//!   argument).
+
+pub mod community;
+pub mod deterministic;
+pub mod random;
+
+pub use community::*;
+pub use deterministic::*;
+pub use random::*;

@@ -1,0 +1,557 @@
+//! Random graph models.
+//!
+//! All generators take a caller-supplied `Rng` so experiments are
+//! reproducible from a seed. The models cover the structural regimes the
+//! paper's §3.2 discussion needs: Erdős–Rényi (featureless baseline),
+//! preferential attachment and forest fire (heavy-tailed degrees and
+//! whiskers, as in social/information networks), Watts–Strogatz (locally
+//! low-dimensional with shortcuts), and random-regular graphs (expanders
+//! — the inputs on which flow-based partitioning saturates its
+//! `O(log n)` guarantee and "there are no good partitions to find").
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+use crate::{GraphError, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)`: each of the `C(n,2)` edges present
+/// independently with probability `p`.
+///
+/// Uses the geometric skipping method, `O(n + m)` expected time.
+pub fn erdos_renyi_gnp(rng: &mut impl Rng, n: usize, p: f64) -> Result<Graph> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidArgument("p must be in [0, 1]".into()));
+    }
+    let mut b = GraphBuilder::with_nodes(n);
+    if p > 0.0 {
+        if p >= 1.0 {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    b.add_pair(u as NodeId, v as NodeId);
+                }
+            }
+        } else {
+            // Iterate over the C(n,2) pairs in lexicographic order,
+            // skipping geometrically between successes.
+            let lq = (1.0 - p).ln();
+            let total = n.saturating_mul(n.saturating_sub(1)) / 2;
+            let mut idx: f64 = -1.0;
+            loop {
+                let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+                idx += 1.0 + (r.ln() / lq).floor();
+                if idx >= total as f64 {
+                    break;
+                }
+                let k = idx as usize;
+                // Decode pair index k -> (u, v), u < v.
+                let u = pair_row(k, n);
+                let before = u * (2 * n - u - 1) / 2;
+                let v = u + 1 + (k - before);
+                b.add_pair(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Row index of the k-th pair (lexicographic upper-triangle order).
+fn pair_row(k: usize, n: usize) -> usize {
+    // Smallest u with u*(2n-u-1)/2 > k is the row after ours.
+    let mut u = 0usize;
+    let mut consumed = 0usize;
+    while u + 1 < n {
+        let row_len = n - u - 1;
+        if consumed + row_len > k {
+            break;
+        }
+        consumed += row_len;
+        u += 1;
+    }
+    u
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges sampled uniformly.
+pub fn erdos_renyi_gnm(rng: &mut impl Rng, n: usize, m: usize) -> Result<Graph> {
+    let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
+    if m > max_m {
+        return Err(GraphError::InvalidArgument(format!(
+            "m = {m} exceeds max {max_m} for n = {n}"
+        )));
+    }
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_nodes(n);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if chosen.insert(key) {
+            b.add_pair(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: start from a small clique,
+/// then each new node attaches to `m_attach` existing nodes chosen
+/// proportionally to degree. Produces the heavy-tailed degree
+/// distributions characteristic of the paper's MMDS graphs.
+pub fn barabasi_albert(rng: &mut impl Rng, n: usize, m_attach: usize) -> Result<Graph> {
+    if m_attach == 0 || n <= m_attach {
+        return Err(GraphError::InvalidArgument(
+            "barabasi_albert needs 0 < m_attach < n".into(),
+        ));
+    }
+    let mut b = GraphBuilder::with_nodes(n);
+    // Degree-proportional sampling via the repeated-endpoints trick.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m_attach);
+    // Seed: clique on m_attach + 1 nodes.
+    for u in 0..=(m_attach) {
+        for v in (u + 1)..=(m_attach) {
+            b.add_pair(u as NodeId, v as NodeId);
+            endpoints.push(u as NodeId);
+            endpoints.push(v as NodeId);
+        }
+    }
+    for new in (m_attach + 1)..n {
+        // Pick m_attach distinct targets, degree-proportionally. A Vec
+        // (not a HashSet) keeps iteration order — and hence the generated
+        // graph — deterministic for a given RNG seed.
+        let mut picked: Vec<NodeId> = Vec::with_capacity(m_attach);
+        let mut guard = 0;
+        while picked.len() < m_attach && guard < 100 * m_attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+            guard += 1;
+        }
+        // Fallback: fill with uniform nodes if degree sampling stalled.
+        while picked.len() < m_attach {
+            let t = rng.gen_range(0..new as NodeId);
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            b.add_pair(new as NodeId, t);
+            endpoints.push(new as NodeId);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small world: ring lattice where each node connects to
+/// `k/2` neighbors on each side, each edge rewired with probability
+/// `beta`. Locally one-dimensional ("locally low-dimensional regions",
+/// §3.2) with long-range shortcuts.
+pub fn watts_strogatz(rng: &mut impl Rng, n: usize, k: usize, beta: f64) -> Result<Graph> {
+    if k % 2 != 0 || k < 2 || k >= n {
+        return Err(GraphError::InvalidArgument(
+            "watts_strogatz needs even 2 <= k < n".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidArgument("beta must be in [0, 1]".into()));
+    }
+    let half = k / 2;
+    // Track the edge set to avoid duplicates while rewiring.
+    let mut edges = std::collections::HashSet::new();
+    for u in 0..n {
+        for d in 1..=half {
+            let v = (u + d) % n;
+            let key = (u.min(v) as NodeId, u.max(v) as NodeId);
+            edges.insert(key);
+        }
+    }
+    let original: Vec<(NodeId, NodeId)> = {
+        let mut v: Vec<_> = edges.iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    for (u, v) in original {
+        if rng.gen_bool(beta) {
+            // Rewire: keep u, choose a fresh partner.
+            let mut guard = 0;
+            loop {
+                let w = rng.gen_range(0..n as NodeId);
+                let key = (u.min(w), u.max(w));
+                if w != u && !edges.contains(&key) {
+                    edges.remove(&(u.min(v), u.max(v)));
+                    edges.insert(key);
+                    break;
+                }
+                guard += 1;
+                if guard > 100 {
+                    break; // dense corner case: keep the original edge
+                }
+            }
+        }
+    }
+    let mut b = GraphBuilder::with_nodes(n);
+    for (u, v) in edges {
+        b.add_pair(u, v);
+    }
+    b.build()
+}
+
+/// Random `d`-regular graph via the configuration model with
+/// edge-swap repair of self-loops and multi-edges.
+///
+/// A raw stub pairing is simple with probability ≈ `e^{-(d²-1)/4}`,
+/// which is hopeless already at `d = 6`; instead of rejecting whole
+/// pairings, conflicting pairs are repaired by random 2-swaps against
+/// good pairs (the standard fix, which preserves the degree sequence).
+///
+/// For `d >= 3` these are expanders with high probability — the family
+/// on which flow-based partitioning is provably `Θ(log n)` off optimal
+/// and "anyone would wonder why you'd partition a graph with no good
+/// partitions" (paper §3.2 and footnote 23).
+pub fn random_regular(rng: &mut impl Rng, n: usize, d: usize) -> Result<Graph> {
+    if n * d % 2 != 0 || d == 0 || d >= n {
+        return Err(GraphError::InvalidArgument(
+            "random_regular needs 0 < d < n with n*d even".into(),
+        ));
+    }
+    let mut stubs: Vec<NodeId> = (0..n as NodeId)
+        .flat_map(|u| std::iter::repeat(u).take(d))
+        .collect();
+    stubs.shuffle(rng);
+    let mut pairs: Vec<(NodeId, NodeId)> = stubs
+        .chunks(2)
+        .map(|c| (c[0].min(c[1]), c[0].max(c[1])))
+        .collect();
+
+    let mut counts: std::collections::HashMap<(NodeId, NodeId), usize> = Default::default();
+    for &p in &pairs {
+        *counts.entry(p).or_insert(0) += 1;
+    }
+    let is_bad = |p: (NodeId, NodeId),
+                  counts: &std::collections::HashMap<(NodeId, NodeId), usize>| {
+        p.0 == p.1 || counts[&p] > 1
+    };
+
+    let m = pairs.len();
+    let mut budget = 200usize * m + 10_000;
+    loop {
+        let bad: Vec<usize> = (0..m).filter(|&i| is_bad(pairs[i], &counts)).collect();
+        if bad.is_empty() {
+            break;
+        }
+        for &i in &bad {
+            if !is_bad(pairs[i], &counts) {
+                continue; // repaired by an earlier swap this round
+            }
+            // Swap against a uniformly random partner pair.
+            let j = rng.gen_range(0..m);
+            if j == i {
+                continue;
+            }
+            let (a, b) = pairs[i];
+            let (c, dd) = pairs[j];
+            // Propose (a,c) and (b,dd), randomly mirrored.
+            let (p1, p2) = if rng.gen_bool(0.5) {
+                ((a.min(c), a.max(c)), (b.min(dd), b.max(dd)))
+            } else {
+                ((a.min(dd), a.max(dd)), (b.min(c), b.max(c)))
+            };
+            if p1.0 == p1.1 || p2.0 == p2.1 {
+                continue;
+            }
+            let extra = usize::from(p1 == p2);
+            if counts.get(&p1).copied().unwrap_or(0) + extra > 0 {
+                continue;
+            }
+            if counts.get(&p2).copied().unwrap_or(0) > 0 {
+                continue;
+            }
+            // Apply the swap.
+            for old in [pairs[i], pairs[j]] {
+                let c = counts.get_mut(&old).expect("tracked");
+                *c -= 1;
+                if *c == 0 {
+                    counts.remove(&old);
+                }
+            }
+            pairs[i] = p1;
+            pairs[j] = p2;
+            *counts.entry(p1).or_insert(0) += 1;
+            *counts.entry(p2).or_insert(0) += 1;
+            budget = budget.saturating_sub(1);
+        }
+        budget = budget.saturating_sub(bad.len().max(1));
+        if budget == 0 {
+            return Err(GraphError::InvalidArgument(
+                "random_regular repair did not converge; try smaller d".into(),
+            ));
+        }
+    }
+    Graph::from_pairs(n, pairs)
+}
+
+/// Forest-fire model (Leskovec et al.): each new node picks an
+/// ambassador and "burns" through its neighborhood with forward
+/// probability `p`, linking to every burned node. Produces heavy tails,
+/// densification, and the whisker-rich periphery of real social
+/// networks — the properties \[27, 28\] identify as driving Figure 1.
+pub fn forest_fire(rng: &mut impl Rng, n: usize, p: f64) -> Result<Graph> {
+    if !(0.0..1.0).contains(&p) {
+        return Err(GraphError::InvalidArgument(
+            "forest_fire needs p in [0, 1)".into(),
+        ));
+    }
+    if n == 0 {
+        return Err(GraphError::InvalidArgument(
+            "forest_fire needs n >= 1".into(),
+        ));
+    }
+    let mut b = GraphBuilder::with_nodes(n);
+    // Adjacency mirror for burning (builder has no fast adjacency).
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for new in 1..n {
+        let ambassador = rng.gen_range(0..new as NodeId);
+        // Burn outward from the ambassador.
+        let mut burned = vec![false; new];
+        let mut frontier = vec![ambassador];
+        burned[ambassador as usize] = true;
+        let mut links = vec![ambassador];
+        // Geometric number of neighbors to burn per visited node.
+        while let Some(u) = frontier.pop() {
+            let mut candidates: Vec<NodeId> = adj[u as usize]
+                .iter()
+                .copied()
+                .filter(|&v| !burned[v as usize])
+                .collect();
+            candidates.shuffle(rng);
+            // Burn a geometric(1-p) number of neighbors.
+            let mut burn_count = 0usize;
+            while rng.gen_bool(p) {
+                burn_count += 1;
+            }
+            for &v in candidates.iter().take(burn_count) {
+                burned[v as usize] = true;
+                links.push(v);
+                frontier.push(v);
+            }
+        }
+        for &t in &links {
+            b.add_pair(new as NodeId, t);
+            adj[new].push(t);
+            adj[t as usize].push(new as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// R-MAT / Kronecker-style generator (Chakrabarti–Zhan–Faloutsos):
+/// `2^scale` nodes, `edge_factor · 2^scale` sampled edges, each drawn by
+/// recursively descending the adjacency matrix with quadrant
+/// probabilities `(a, b, c, d)` (the classic Graph500 choice is
+/// `(0.57, 0.19, 0.19, 0.05)`). Produces the skewed degree
+/// distributions and self-similar community structure of large
+/// information networks — the standard synthetic workload for
+/// MMDS-scale graph benchmarks.
+///
+/// Self-loops are dropped and duplicate edges merged, so the final
+/// edge count is at most `edge_factor · 2^scale`. Isolated nodes can
+/// remain (use `largest_component` downstream, as with real data).
+pub fn rmat(
+    rng: &mut impl Rng,
+    scale: u32,
+    edge_factor: usize,
+    probs: (f64, f64, f64, f64),
+) -> Result<Graph> {
+    if scale == 0 || scale > 24 {
+        return Err(GraphError::InvalidArgument(
+            "rmat needs 1 <= scale <= 24".into(),
+        ));
+    }
+    if edge_factor == 0 {
+        return Err(GraphError::InvalidArgument(
+            "rmat needs edge_factor >= 1".into(),
+        ));
+    }
+    let (a, b, c, d) = probs;
+    if [a, b, c, d].iter().any(|&p| !(p > 0.0 && p < 1.0)) || (a + b + c + d - 1.0).abs() > 1e-9 {
+        return Err(GraphError::InvalidArgument(
+            "rmat quadrant probabilities must be positive and sum to 1".into(),
+        ));
+    }
+    let n = 1usize << scale;
+    let m_target = edge_factor * n;
+    let mut builder = GraphBuilder::with_nodes(n);
+    for _ in 0..m_target {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r: f64 = rng.gen_range(0.0..1.0);
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u != v {
+            builder.add_pair(u as NodeId, v as NodeId);
+        }
+    }
+    // Merge duplicates into unweighted simple edges (weight 1), per the
+    // Graph500 convention of ignoring multiplicity.
+    let g = builder.build()?;
+    let simple = g.edges().map(|(u, v, _)| (u, v, 1.0)).collect::<Vec<_>>();
+    Graph::from_edges(n, simple)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn gnp_density_close_to_p() {
+        let mut r = rng(1);
+        let n = 200;
+        let p = 0.05;
+        let g = erdos_renyi_gnp(&mut r, n, p).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let m = g.m() as f64;
+        assert!(
+            (m - expected).abs() < 4.0 * expected.sqrt() + 10.0,
+            "m={m}, expected≈{expected}"
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut r = rng(2);
+        let empty = erdos_renyi_gnp(&mut r, 10, 0.0).unwrap();
+        assert_eq!(empty.m(), 0);
+        let full = erdos_renyi_gnp(&mut r, 10, 1.0).unwrap();
+        assert_eq!(full.m(), 45);
+        assert!(erdos_renyi_gnp(&mut r, 10, 1.5).is_err());
+    }
+
+    #[test]
+    fn gnp_deterministic_given_seed() {
+        let g1 = erdos_renyi_gnp(&mut rng(7), 50, 0.1).unwrap();
+        let g2 = erdos_renyi_gnp(&mut rng(7), 50, 0.1).unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut r = rng(3);
+        let g = erdos_renyi_gnm(&mut r, 30, 100).unwrap();
+        assert_eq!(g.m(), 100);
+        assert!(erdos_renyi_gnm(&mut r, 5, 11).is_err());
+    }
+
+    #[test]
+    fn ba_heavy_tail() {
+        let mut r = rng(4);
+        let n = 500;
+        let g = barabasi_albert(&mut r, n, 3).unwrap();
+        assert!(is_connected(&g));
+        // Max degree far above the mean — heavy tail signature.
+        let (_, dmax) = g.degree_range();
+        let mean = g.total_volume() / n as f64;
+        assert!(dmax > 4.0 * mean, "dmax={dmax}, mean={mean}");
+        assert!(barabasi_albert(&mut r, 5, 5).is_err());
+        assert!(barabasi_albert(&mut r, 5, 0).is_err());
+    }
+
+    #[test]
+    fn ws_shape_and_rewiring() {
+        let mut r = rng(5);
+        let g0 = watts_strogatz(&mut r, 100, 4, 0.0).unwrap();
+        // No rewiring: exactly the ring lattice.
+        assert_eq!(g0.m(), 200);
+        assert!(g0.degrees().iter().all(|&d| d == 4.0));
+        let g1 = watts_strogatz(&mut r, 100, 4, 0.3).unwrap();
+        assert_eq!(g1.m(), 200); // rewiring preserves edge count
+        assert!(watts_strogatz(&mut r, 10, 3, 0.1).is_err()); // odd k
+        assert!(watts_strogatz(&mut r, 10, 10, 0.1).is_err()); // k >= n
+        assert!(watts_strogatz(&mut r, 10, 4, 2.0).is_err());
+    }
+
+    #[test]
+    fn regular_graph_is_regular() {
+        let mut r = rng(6);
+        let g = random_regular(&mut r, 60, 4).unwrap();
+        assert!(g.degrees().iter().all(|&d| d == 4.0));
+        assert!(is_connected(&g)); // whp for d=4, n=60
+        assert!(random_regular(&mut r, 5, 3).is_err()); // odd n*d
+        assert!(random_regular(&mut r, 5, 5).is_err());
+    }
+
+    #[test]
+    fn forest_fire_connected_and_tailed() {
+        let mut r = rng(8);
+        let g = forest_fire(&mut r, 300, 0.35).unwrap();
+        assert!(is_connected(&g)); // every node links to its ambassador
+        assert!(g.m() >= 299);
+        assert!(forest_fire(&mut r, 10, 1.0).is_err());
+        assert!(forest_fire(&mut r, 0, 0.3).is_err());
+    }
+
+    #[test]
+    fn rmat_shape_and_skew() {
+        let mut r = rng(23);
+        let g = rmat(&mut r, 10, 8, (0.57, 0.19, 0.19, 0.05)).unwrap();
+        assert_eq!(g.n(), 1024);
+        assert!(g.m() > 1024, "m = {}", g.m());
+        assert!(g.m() <= 8 * 1024);
+        // Skew: max degree far above mean (the R-MAT signature).
+        let (_, dmax) = g.degree_range();
+        let mean = g.total_volume() / g.n() as f64;
+        assert!(dmax > 5.0 * mean, "dmax {dmax} vs mean {mean}");
+        // All weights 1 (duplicates merged, not summed).
+        assert!(g.edges().all(|(_, _, w)| w == 1.0));
+    }
+
+    #[test]
+    fn rmat_validates() {
+        let mut r = rng(24);
+        assert!(rmat(&mut r, 0, 8, (0.25, 0.25, 0.25, 0.25)).is_err());
+        assert!(rmat(&mut r, 30, 8, (0.25, 0.25, 0.25, 0.25)).is_err());
+        assert!(rmat(&mut r, 5, 0, (0.25, 0.25, 0.25, 0.25)).is_err());
+        assert!(rmat(&mut r, 5, 4, (0.5, 0.5, 0.1, 0.1)).is_err());
+        assert!(rmat(&mut r, 5, 4, (1.0, 0.0, 0.0, 0.0)).is_err());
+    }
+
+    #[test]
+    fn rmat_deterministic() {
+        let a = rmat(&mut rng(9), 8, 4, (0.57, 0.19, 0.19, 0.05)).unwrap();
+        let b = rmat(&mut rng(9), 8, 4, (0.57, 0.19, 0.19, 0.05)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pair_row_decoding() {
+        // n = 4 pairs in order: (0,1)(0,2)(0,3)(1,2)(1,3)(2,3).
+        let n = 4;
+        let expect = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        for (k, &(eu, ev)) in expect.iter().enumerate() {
+            let u = pair_row(k, n);
+            let before = u * (2 * n - u - 1) / 2;
+            let v = u + 1 + (k - before);
+            assert_eq!((u, v), (eu, ev), "k={k}");
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Graph IO: whitespace edge lists, the METIS graph format, and a
+//! serde-friendly exchange form.
+//!
+//! Formats:
+//! * **Edge list** — one `u v [w]` triple per line, `#` comments;
+//!   read/write against any `io::Read`/`io::Write`.
+//! * **METIS** — the classic partitioner input format: a header line
+//!   `n m [fmt]` followed by one line per node listing its (1-based)
+//!   neighbors, with optional edge weights when `fmt = 1`; the lingua
+//!   franca for exchanging graphs with external partitioning tools.
+//! * [`GraphData`] — a plain serializable struct for experiment
+//!   artifacts (serde `Serialize`/`Deserialize`).
+
+use crate::csr::{Graph, NodeId};
+use crate::{GraphError, Result};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Parse an edge list. Lines: `u v` or `u v w`, `#`-prefixed comments
+/// and blank lines ignored. Node count is `max id + 1` unless
+/// `min_nodes` is larger.
+pub fn read_edge_list(reader: impl Read, min_nodes: usize) -> Result<Graph> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+    let mut max_node: usize = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse_err = |message: String| GraphError::Parse {
+            line: lineno + 1,
+            message,
+        };
+        let u: NodeId = parts
+            .next()
+            .ok_or_else(|| parse_err("missing source".into()))?
+            .parse()
+            .map_err(|e| parse_err(format!("bad source: {e}")))?;
+        let v: NodeId = parts
+            .next()
+            .ok_or_else(|| parse_err("missing target".into()))?
+            .parse()
+            .map_err(|e| parse_err(format!("bad target: {e}")))?;
+        let w: f64 = match parts.next() {
+            Some(tok) => tok
+                .parse()
+                .map_err(|e| parse_err(format!("bad weight: {e}")))?,
+            None => 1.0,
+        };
+        if parts.next().is_some() {
+            return Err(parse_err("trailing tokens".into()));
+        }
+        max_node = max_node.max(u as usize + 1).max(v as usize + 1);
+        edges.push((u, v, w));
+    }
+    Graph::from_edges(max_node.max(min_nodes), edges)
+}
+
+/// Write a graph as an edge list (one line per undirected edge, `u <= v`;
+/// weight included when ≠ 1).
+pub fn write_edge_list(g: &Graph, mut writer: impl Write) -> Result<()> {
+    writeln!(writer, "# nodes {} edges {}", g.n(), g.m())?;
+    for (u, v, w) in g.edges() {
+        if (w - 1.0).abs() < f64::EPSILON {
+            writeln!(writer, "{u} {v}")?;
+        } else {
+            writeln!(writer, "{u} {v} {w}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a graph in METIS format.
+///
+/// Header: `n m [fmt]` where `fmt` is `0`/absent (unweighted) or `1`
+/// (edge weights). Line `i` (1-based, after the header) lists node
+/// `i`'s neighbors as 1-based indices, each followed by its weight when
+/// `fmt = 1`. `%`-prefixed comment lines are ignored. Every edge must
+/// appear from both endpoints (the format stores both directions);
+/// inconsistent weights are a parse error.
+pub fn read_metis(reader: impl Read) -> Result<Graph> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+    // Find the header.
+    let (header_lineno, header) = loop {
+        match lines.next() {
+            Some((no, line)) => {
+                let line = line?;
+                let t = line.trim().to_string();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break (no, t);
+                }
+            }
+            None => {
+                return Err(GraphError::Parse {
+                    line: 1,
+                    message: "missing METIS header".into(),
+                })
+            }
+        }
+    };
+    let parse_err = |line: usize, message: String| GraphError::Parse {
+        line: line + 1,
+        message,
+    };
+    let mut head = header.split_whitespace();
+    let n: usize = head
+        .next()
+        .ok_or_else(|| parse_err(header_lineno, "missing n".into()))?
+        .parse()
+        .map_err(|e| parse_err(header_lineno, format!("bad n: {e}")))?;
+    let m_declared: usize = head
+        .next()
+        .ok_or_else(|| parse_err(header_lineno, "missing m".into()))?
+        .parse()
+        .map_err(|e| parse_err(header_lineno, format!("bad m: {e}")))?;
+    let weighted = match head.next() {
+        None | Some("0") | Some("00") => false,
+        Some("1") | Some("01") => true,
+        Some(other) => {
+            return Err(parse_err(
+                header_lineno,
+                format!("unsupported METIS fmt field {other}"),
+            ))
+        }
+    };
+
+    let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(m_declared);
+    let mut node = 0usize;
+    for (lineno, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.starts_with('%') {
+            continue;
+        }
+        if node >= n {
+            if t.is_empty() {
+                continue;
+            }
+            return Err(parse_err(lineno, format!("more than {n} node lines")));
+        }
+        let mut tok = t.split_whitespace();
+        while let Some(v_tok) = tok.next() {
+            let v: usize = v_tok
+                .parse()
+                .map_err(|e| parse_err(lineno, format!("bad neighbor: {e}")))?;
+            if v == 0 || v > n {
+                return Err(parse_err(lineno, format!("neighbor {v} out of 1..={n}")));
+            }
+            let w = if weighted {
+                tok.next()
+                    .ok_or_else(|| parse_err(lineno, "missing edge weight".into()))?
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad weight: {e}")))?
+            } else {
+                1.0
+            };
+            // Keep each undirected edge once (from its smaller endpoint;
+            // self-loops are kept from their single appearance).
+            if node < v {
+                edges.push((node as NodeId, (v - 1) as NodeId, w));
+            }
+        }
+        node += 1;
+    }
+    if node != n {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("expected {n} node lines, found {node}"),
+        });
+    }
+    let g = Graph::from_edges(n, edges)?;
+    if g.m() != m_declared {
+        return Err(GraphError::Parse {
+            line: header_lineno + 1,
+            message: format!("header declares {m_declared} edges, body has {}", g.m()),
+        });
+    }
+    Ok(g)
+}
+
+/// Write a graph in METIS format (weighted iff any edge weight ≠ 1).
+pub fn write_metis(g: &Graph, mut writer: impl Write) -> Result<()> {
+    let weighted = g.edges().any(|(_, _, w)| (w - 1.0).abs() > f64::EPSILON);
+    writeln!(
+        writer,
+        "{} {}{}",
+        g.n(),
+        g.m(),
+        if weighted { " 1" } else { "" }
+    )?;
+    for u in 0..g.n() as NodeId {
+        let mut first = true;
+        for (v, w) in g.neighbors(u) {
+            if !first {
+                write!(writer, " ")?;
+            }
+            first = false;
+            if weighted {
+                write!(writer, "{} {}", v + 1, w)?;
+            } else {
+                write!(writer, "{}", v + 1)?;
+            }
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Serde-serializable exchange form of a graph.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct GraphData {
+    /// Node count.
+    pub n: usize,
+    /// Undirected edges `(u, v, w)` with `u <= v`.
+    pub edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl From<&Graph> for GraphData {
+    fn from(g: &Graph) -> Self {
+        Self {
+            n: g.n(),
+            edges: g.edges().collect(),
+        }
+    }
+}
+
+impl GraphData {
+    /// Rebuild the CSR graph.
+    pub fn to_graph(&self) -> Result<Graph> {
+        Graph::from_edges(self.n, self.edges.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edge_list() {
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 2.5), (2, 3, 1.0)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), 0).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn parses_comments_blanks_and_default_weight() {
+        let text = "# comment\n\n0 1\n1 2 3.5\n";
+        let g = read_edge_list(text.as_bytes(), 0).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.edge_weight(0, 1), 1.0);
+        assert_eq!(g.edge_weight(1, 2), 3.5);
+    }
+
+    #[test]
+    fn min_nodes_pads_isolated() {
+        let g = read_edge_list("0 1\n".as_bytes(), 10).unwrap();
+        assert_eq!(g.n(), 10);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = read_edge_list("0 1\nx 2\n".as_bytes(), 0).unwrap_err();
+        match e {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(read_edge_list("0\n".as_bytes(), 0).is_err());
+        assert!(read_edge_list("0 1 2 3\n".as_bytes(), 0).is_err());
+        assert!(read_edge_list("0 1 abc\n".as_bytes(), 0).is_err());
+    }
+
+    #[test]
+    fn graph_data_roundtrip() {
+        let g = Graph::from_edges(3, [(0, 1, 1.0), (1, 2, 2.0)]).unwrap();
+        let data = GraphData::from(&g);
+        assert_eq!(data.n, 3);
+        let g2 = data.to_graph().unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn metis_roundtrip_unweighted() {
+        let g = Graph::from_pairs(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("4 4\n"), "{text}");
+        let g2 = read_metis(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn metis_roundtrip_weighted() {
+        let g = Graph::from_edges(3, [(0, 1, 2.5), (1, 2, 1.0)]).unwrap();
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        assert!(String::from_utf8_lossy(&buf).starts_with("3 2 1\n"));
+        let g2 = read_metis(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn metis_parses_reference_sample() {
+        // The canonical METIS manual example graph (7 nodes, 11 edges).
+        let text = "% a comment\n7 11\n5 3 2\n1 3 4\n5 4 2 1\n2 3 6 7\n1 3 6\n5 4 7\n6 4\n";
+        let g = read_metis(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 11);
+        assert!(g.has_edge(0, 4)); // node 1 - node 5, 0-based
+        assert!(g.has_edge(3, 6));
+    }
+
+    #[test]
+    fn metis_rejects_malformed() {
+        assert!(read_metis("".as_bytes()).is_err());
+        assert!(read_metis("abc 3\n".as_bytes()).is_err());
+        // Neighbor out of range.
+        assert!(read_metis("2 1\n3\n1\n".as_bytes()).is_err());
+        // Edge count mismatch with header.
+        assert!(read_metis("2 5\n2\n1\n".as_bytes()).is_err());
+        // Missing node lines.
+        assert!(read_metis("3 1\n2\n1\n".as_bytes()).is_err());
+        // Weighted fmt but missing weight.
+        assert!(read_metis("2 1 1\n2\n1 1.0\n".as_bytes()).is_err());
+        // Unsupported fmt (vertex weights).
+        assert!(read_metis("2 1 10\n2\n1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("".as_bytes(), 0).unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+    }
+}

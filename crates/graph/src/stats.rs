@@ -1,0 +1,245 @@
+//! Structural statistics.
+//!
+//! Used by the experiments to certify that generated surrogates have the
+//! properties the paper attributes to real social/information networks
+//! (heavy-tailed degrees, whiskers, clustering) before any conclusion is
+//! drawn from them — the DESIGN.md substitution contract.
+
+use crate::csr::{Graph, NodeId};
+use crate::traversal::connected_components;
+
+/// Degree distribution as (degree, count) pairs, ascending by degree
+/// (unweighted degrees).
+pub fn degree_histogram(g: &Graph) -> Vec<(usize, usize)> {
+    let mut counts: std::collections::BTreeMap<usize, usize> = Default::default();
+    for u in 0..g.n() as NodeId {
+        *counts.entry(g.degree_unweighted(u)).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// Estimate of the power-law exponent via the Hill / maximum-likelihood
+/// estimator `1 + n_tail / Σ ln(d_i / d_min)` over degrees `>= d_min`.
+/// Returns `None` if fewer than 10 tail nodes.
+pub fn powerlaw_exponent_mle(g: &Graph, d_min: usize) -> Option<f64> {
+    let d_min = d_min.max(1);
+    let tail: Vec<f64> = (0..g.n() as NodeId)
+        .map(|u| g.degree_unweighted(u) as f64)
+        .filter(|&d| d >= d_min as f64)
+        .collect();
+    if tail.len() < 10 {
+        return None;
+    }
+    let s: f64 = tail.iter().map(|&d| (d / d_min as f64).ln()).sum();
+    if s <= 0.0 {
+        return None;
+    }
+    Some(1.0 + tail.len() as f64 / s)
+}
+
+/// Global clustering coefficient (transitivity):
+/// `3 × triangles / wedges`. `O(Σ d_u²)` — fine for the graph sizes here.
+pub fn global_clustering(g: &Graph) -> f64 {
+    let mut triangles = 0u64; // counted 3 times each around vertices? (see below)
+    let mut wedges = 0u64;
+    for u in 0..g.n() as NodeId {
+        let nbrs: Vec<NodeId> = g
+            .neighbor_ids(u)
+            .iter()
+            .copied()
+            .filter(|&v| v != u)
+            .collect();
+        let d = nbrs.len() as u64;
+        wedges += d * d.saturating_sub(1) / 2;
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                if g.has_edge(nbrs[i], nbrs[j]) {
+                    triangles += 1; // each triangle counted once per corner
+                }
+            }
+        }
+    }
+    if wedges == 0 {
+        0.0
+    } else {
+        triangles as f64 / wedges as f64
+    }
+}
+
+/// Census of whiskers: maximal subtrees hanging off the 2-edge-connected
+/// core, detected by iteratively shaving degree-1 nodes.
+///
+/// Returns `(whisker_node_count, shave_rounds)` — how much of the graph
+/// is "stringy periphery" (paper §3.2: the pieces spectral methods
+/// regularize away) and how deep it runs.
+pub fn whisker_census(g: &Graph) -> (usize, usize) {
+    let n = g.n();
+    let mut alive_deg: Vec<usize> = (0..n as NodeId).map(|u| g.degree_unweighted(u)).collect();
+    let mut removed = vec![false; n];
+    let mut rounds = 0usize;
+    let mut total_removed = 0usize;
+    loop {
+        let shave: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&u| !removed[u as usize] && alive_deg[u as usize] <= 1)
+            .collect();
+        // Only count nodes that have at least one edge in the original
+        // graph (isolated nodes are not whiskers), but shave them too so
+        // they do not loop forever.
+        let real: Vec<&NodeId> = shave
+            .iter()
+            .filter(|&&u| g.degree_unweighted(u) > 0)
+            .collect();
+        if shave.is_empty() {
+            break;
+        }
+        total_removed += real.len();
+        for &u in &shave {
+            removed[u as usize] = true;
+            for (v, _) in g.neighbors(u) {
+                if !removed[v as usize] && alive_deg[v as usize] > 0 {
+                    alive_deg[v as usize] -= 1;
+                }
+            }
+        }
+        if !real.is_empty() {
+            rounds += 1;
+        }
+        if real.is_empty() {
+            break;
+        }
+    }
+    (total_removed, rounds)
+}
+
+/// Summary statistics bundle for experiment logs.
+#[derive(Debug, Clone)]
+pub struct GraphSummary {
+    /// Node count.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// Connected components.
+    pub components: usize,
+    /// Min/max weighted degree.
+    pub degree_range: (f64, f64),
+    /// Mean unweighted degree.
+    pub mean_degree: f64,
+    /// Global clustering coefficient.
+    pub clustering: f64,
+    /// Whisker node count.
+    pub whisker_nodes: usize,
+}
+
+/// Compute a [`GraphSummary`].
+pub fn summarize(g: &Graph) -> GraphSummary {
+    let (_, components) = connected_components(g);
+    let (whisker_nodes, _) = whisker_census(g);
+    GraphSummary {
+        n: g.n(),
+        m: g.m(),
+        components,
+        degree_range: g.degree_range(),
+        mean_degree: if g.n() == 0 {
+            0.0
+        } else {
+            g.arc_count() as f64 / g.n() as f64
+        },
+        clustering: global_clustering(g),
+        whisker_nodes,
+    }
+}
+
+impl std::fmt::Display for GraphSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} comps={} deg=[{:.1},{:.1}] mean_deg={:.2} clust={:.4} whiskers={}",
+            self.n,
+            self.m,
+            self.components,
+            self.degree_range.0,
+            self.degree_range.1,
+            self.mean_degree,
+            self.clustering,
+            self.whisker_nodes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::deterministic::{complete, lollipop, path, star};
+    use crate::Graph;
+
+    #[test]
+    fn histogram_of_star() {
+        let g = star(5).unwrap();
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![(1, 4), (4, 1)]);
+    }
+
+    #[test]
+    fn clustering_extremes() {
+        assert!((global_clustering(&complete(5).unwrap()) - 1.0).abs() < 1e-12);
+        assert_eq!(global_clustering(&path(5).unwrap()), 0.0);
+        assert_eq!(global_clustering(&Graph::from_pairs(2, []).unwrap()), 0.0);
+    }
+
+    #[test]
+    fn clustering_of_triangle_with_pendant() {
+        // Triangle 0-1-2 plus pendant 2-3: wedges = 1+1+3 = 5, closed = 3.
+        let g = Graph::from_pairs(4, [(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        assert!((global_clustering(&g) - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whiskers_of_lollipop() {
+        // K5 with a 4-node tail: tail nodes shave off; 4 whisker nodes.
+        let g = lollipop(5, 4).unwrap();
+        let (count, rounds) = whisker_census(&g);
+        assert_eq!(count, 4);
+        assert_eq!(rounds, 4); // one node per round, deepest whisker = 4
+    }
+
+    #[test]
+    fn whiskers_of_clique_none() {
+        let g = complete(6).unwrap();
+        assert_eq!(whisker_census(&g).0, 0);
+    }
+
+    #[test]
+    fn whiskers_of_tree_everything() {
+        // A path is all whisker: shaving eats it entirely.
+        let g = path(6).unwrap();
+        let (count, _) = whisker_census(&g);
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn powerlaw_mle_detects_heavy_tail() {
+        use crate::gen::random::barabasi_albert;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut r = StdRng::seed_from_u64(11);
+        let g = barabasi_albert(&mut r, 2000, 3).unwrap();
+        let alpha = powerlaw_exponent_mle(&g, 5).unwrap();
+        // BA graphs have exponent ≈ 3; accept a generous band.
+        assert!(alpha > 2.0 && alpha < 4.5, "alpha = {alpha}");
+        // Regular graph: no tail beyond d_min → None or degenerate.
+        let reg = complete(5).unwrap();
+        assert!(powerlaw_exponent_mle(&reg, 10).is_none());
+    }
+
+    #[test]
+    fn summary_display() {
+        let g = lollipop(5, 3).unwrap();
+        let s = summarize(&g);
+        assert_eq!(s.n, 8);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.whisker_nodes, 3);
+        let text = s.to_string();
+        assert!(text.contains("n=8"));
+        assert!(text.contains("whiskers=3"));
+    }
+}

@@ -1,0 +1,388 @@
+//! Traversal primitives: BFS, connected components, shortest paths.
+//!
+//! These are the "natural operations" of the geodesic view of a graph
+//! (paper §2.1). They also power the Figure 1(b) niceness measure —
+//! average shortest-path length inside a cluster — and the largest-
+//! connected-component preprocessing every experiment applies.
+
+use crate::csr::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Breadth-first search from `source`; returns hop distances with
+/// `u32::MAX` for unreachable nodes.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut q = VecDeque::new();
+    dist[source as usize] = 0;
+    q.push_back(source);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        for (v, _) in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS restricted to a node subset (given as a membership mask).
+/// Distances are within the induced subgraph; non-members get `u32::MAX`.
+pub fn bfs_distances_within(g: &Graph, source: NodeId, member: &[bool]) -> Vec<u32> {
+    debug_assert_eq!(member.len(), g.n());
+    let mut dist = vec![u32::MAX; g.n()];
+    if !member[source as usize] {
+        return dist;
+    }
+    let mut q = VecDeque::new();
+    dist[source as usize] = 0;
+    q.push_back(source);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        for (v, _) in g.neighbors(u) {
+            if member[v as usize] && dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Multi-source BFS: hop distance to the nearest of `sources`
+/// (`u32::MAX` if unreachable from all of them).
+pub fn bfs_distances_multi(g: &Graph, sources: &[NodeId]) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut q = VecDeque::new();
+    for &s in sources {
+        if dist[s as usize] == u32::MAX {
+            dist[s as usize] = 0;
+            q.push_back(s);
+        }
+    }
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        for (v, _) in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Iterative depth-first search from `source`; returns nodes in
+/// preorder (the "natural operation" counterpart of BFS in §2.1).
+/// Neighbors are visited in ascending id order.
+pub fn dfs_preorder(g: &Graph, source: NodeId) -> Vec<NodeId> {
+    let mut visited = vec![false; g.n()];
+    let mut order = Vec::new();
+    let mut stack = vec![source];
+    while let Some(u) = stack.pop() {
+        if visited[u as usize] {
+            continue;
+        }
+        visited[u as usize] = true;
+        order.push(u);
+        // Push in reverse so the smallest neighbor is popped first.
+        let nbrs = g.neighbor_ids(u);
+        for &v in nbrs.iter().rev() {
+            if !visited[v as usize] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Connected components; returns `(component_id_per_node, component_count)`.
+/// Component ids are assigned in order of discovery from node 0 upward.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.n();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut q = VecDeque::new();
+    for s in 0..n as NodeId {
+        if comp[s as usize] != u32::MAX {
+            continue;
+        }
+        comp[s as usize] = count;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for (v, _) in g.neighbors(u) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = count;
+                    q.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count as usize)
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.n() == 0 || connected_components(g).1 == 1
+}
+
+/// Extract the largest connected component.
+///
+/// Returns the component as a new graph plus the mapping `new id → old
+/// id`. Ties broken toward the lowest component id.
+pub fn largest_component(g: &Graph) -> (Graph, Vec<NodeId>) {
+    if g.n() == 0 {
+        return (Graph::from_pairs(0, []).unwrap(), vec![]);
+    }
+    let (comp, count) = connected_components(g);
+    let mut sizes = vec![0usize; count];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+        .map(|(i, _)| i as u32)
+        .unwrap();
+    let nodes: Vec<NodeId> = (0..g.n() as NodeId)
+        .filter(|&u| comp[u as usize] == best)
+        .collect();
+    let (sub, map) = g.induced_subgraph(&nodes).expect("nodes are valid");
+    (sub, map)
+}
+
+/// Exact average shortest-path length within the subgraph induced by
+/// `nodes`, over connected pairs only.
+///
+/// Returns `None` if fewer than 2 nodes or no connected pairs. This is
+/// the Figure 1(b) "niceness" measure; `O(|S|·(|S| + E(S)))`.
+pub fn average_shortest_path(g: &Graph, nodes: &[NodeId]) -> Option<f64> {
+    if nodes.len() < 2 {
+        return None;
+    }
+    let mut member = vec![false; g.n()];
+    for &u in nodes {
+        member[u as usize] = true;
+    }
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for &s in nodes {
+        let dist = bfs_distances_within(g, s, &member);
+        for &t in nodes {
+            if t != s && dist[t as usize] != u32::MAX {
+                total += dist[t as usize] as u64;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        None
+    } else {
+        Some(total as f64 / pairs as f64)
+    }
+}
+
+/// Sampled average shortest-path length within a cluster: BFS from up to
+/// `samples` member nodes (deterministically strided), averaging over
+/// reached pairs. Cheap surrogate for [`average_shortest_path`] on large
+/// clusters.
+pub fn average_shortest_path_sampled(g: &Graph, nodes: &[NodeId], samples: usize) -> Option<f64> {
+    if nodes.len() < 2 || samples == 0 {
+        return None;
+    }
+    if nodes.len() <= samples {
+        return average_shortest_path(g, nodes);
+    }
+    let mut member = vec![false; g.n()];
+    for &u in nodes {
+        member[u as usize] = true;
+    }
+    let stride = nodes.len() / samples;
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for k in 0..samples {
+        let s = nodes[k * stride];
+        let dist = bfs_distances_within(g, s, &member);
+        for &t in nodes {
+            if t != s && dist[t as usize] != u32::MAX {
+                total += dist[t as usize] as u64;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        None
+    } else {
+        Some(total as f64 / pairs as f64)
+    }
+}
+
+/// Graph diameter (max eccentricity) of a connected graph by all-pairs
+/// BFS; `None` if disconnected or empty. `O(n·(n+m))` — reference use.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    if g.n() == 0 || !is_connected(g) {
+        return None;
+    }
+    let mut best = 0;
+    for s in 0..g.n() as NodeId {
+        let d = bfs_distances(g, s);
+        best = best.max(d.into_iter().max().unwrap());
+    }
+    Some(best)
+}
+
+/// Nodes within `radius` hops of `seed` (the "local neighborhood" used
+/// to seed local clustering methods).
+pub fn ball(g: &Graph, seed: NodeId, radius: u32) -> Vec<NodeId> {
+    let dist = bfs_distances(g, seed);
+    (0..g.n() as NodeId)
+        .filter(|&u| dist[u as usize] <= radius)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path 0-1-2-3 plus isolated node 4.
+    fn path_plus_isolated() -> Graph {
+        Graph::from_pairs(5, [(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_plus_isolated();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[..4], [0, 1, 2, 3]);
+        assert_eq!(d[4], u32::MAX);
+    }
+
+    #[test]
+    fn multi_source_bfs_takes_nearest() {
+        let g = Graph::from_pairs(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let d = bfs_distances_multi(&g, &[0, 5]);
+        assert_eq!(d, vec![0, 1, 2, 2, 1, 0]);
+        // Duplicate sources are harmless; empty sources reach nothing.
+        assert_eq!(bfs_distances_multi(&g, &[0, 0])[5], 5);
+        assert!(bfs_distances_multi(&g, &[]).iter().all(|&x| x == u32::MAX));
+    }
+
+    #[test]
+    fn dfs_preorder_on_tree() {
+        // Star: DFS from the hub visits leaves in ascending order;
+        // DFS from a leaf goes leaf → hub → other leaves.
+        let g = Graph::from_pairs(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(dfs_preorder(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(dfs_preorder(&g, 2), vec![2, 0, 1, 3]);
+        // Disconnected part is not reached.
+        let g2 = Graph::from_pairs(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(dfs_preorder(&g2, 0), vec![0, 1]);
+    }
+
+    #[test]
+    fn dfs_goes_deep_on_path() {
+        let g = Graph::from_pairs(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(dfs_preorder(&g, 2), vec![2, 1, 0, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_within_mask() {
+        let g = path_plus_isolated();
+        // Exclude node 1: node 2 becomes unreachable from 0.
+        let member = vec![true, false, true, true, true];
+        let d = bfs_distances_within(&g, 0, &member);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[2], u32::MAX);
+        // Source outside mask: everything unreachable.
+        let d2 = bfs_distances_within(&g, 1, &member);
+        assert!(d2.iter().all(|&x| x == u32::MAX));
+    }
+
+    #[test]
+    fn components_counts() {
+        let g = path_plus_isolated();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[3]);
+        assert_ne!(comp[0], comp[4]);
+        assert!(!is_connected(&g));
+        let g2 = Graph::from_pairs(2, [(0, 1)]).unwrap();
+        assert!(is_connected(&g2));
+        assert!(is_connected(&Graph::from_pairs(0, []).unwrap()));
+    }
+
+    #[test]
+    fn largest_component_extracts_path() {
+        let g = path_plus_isolated();
+        let (lcc, map) = largest_component(&g);
+        assert_eq!(lcc.n(), 4);
+        assert_eq!(lcc.m(), 3);
+        assert_eq!(map, vec![0, 1, 2, 3]);
+        let empty = Graph::from_pairs(0, []).unwrap();
+        let (e, m) = largest_component(&empty);
+        assert_eq!(e.n(), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn average_shortest_path_of_path_graph() {
+        let g = Graph::from_pairs(3, [(0, 1), (1, 2)]).unwrap();
+        // Pairs: (0,1)=1 (0,2)=2 (1,2)=1, symmetric; mean = 4/3.
+        let asp = average_shortest_path(&g, &[0, 1, 2]).unwrap();
+        assert!((asp - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_shortest_path_within_subset_ignores_outside_shortcuts() {
+        // Square 0-1-2-3-0: within {0,1,2} the 0→2 path must go through 1.
+        let g = Graph::from_pairs(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let asp = average_shortest_path(&g, &[0, 1, 2]).unwrap();
+        assert!((asp - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_shortest_path_degenerate() {
+        let g = path_plus_isolated();
+        assert_eq!(average_shortest_path(&g, &[0]), None);
+        // Two disconnected members: no connected pairs.
+        assert_eq!(average_shortest_path(&g, &[0, 4]), None);
+    }
+
+    #[test]
+    fn sampled_asp_matches_exact_when_small() {
+        let g = Graph::from_pairs(3, [(0, 1), (1, 2)]).unwrap();
+        let exact = average_shortest_path(&g, &[0, 1, 2]).unwrap();
+        let sampled = average_shortest_path_sampled(&g, &[0, 1, 2], 10).unwrap();
+        assert_eq!(exact, sampled);
+        assert_eq!(average_shortest_path_sampled(&g, &[0, 1, 2], 0), None);
+    }
+
+    #[test]
+    fn sampled_asp_close_on_cycle() {
+        let n = 60u32;
+        let g = Graph::from_pairs(n as usize, (0..n).map(|i| (i, (i + 1) % n))).unwrap();
+        let nodes: Vec<NodeId> = (0..n).collect();
+        let exact = average_shortest_path(&g, &nodes).unwrap();
+        let sampled = average_shortest_path_sampled(&g, &nodes, 10).unwrap();
+        // Cycle is vertex-transitive: sampling is exact up to rounding.
+        assert!((exact - sampled).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diameter_of_path_and_disconnected() {
+        let g = Graph::from_pairs(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(diameter(&g), Some(3));
+        assert_eq!(diameter(&path_plus_isolated()), None);
+    }
+
+    #[test]
+    fn ball_radius() {
+        let g = Graph::from_pairs(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(ball(&g, 2, 1), vec![1, 2, 3]);
+        assert_eq!(ball(&g, 0, 0), vec![0]);
+        assert_eq!(ball(&g, 0, 10).len(), 5);
+    }
+}

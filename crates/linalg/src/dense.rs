@@ -1,0 +1,440 @@
+//! Row-major dense matrices with the BLAS-2/3 kernels the reproduction
+//! needs.
+//!
+//! Dense matrices appear only in the *exact*/reference paths of the
+//! reproduction (paper footnote 14: in small-scale applications `v₂` is
+//! computed "exactly" by a black-box solver). They are deliberately simple:
+//! row-major `Vec<f64>` storage, no views, no expression templates.
+
+use crate::vector;
+use crate::{LinalgError, Result};
+
+/// A dense row-major `nrows × ncols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// All-zero matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Diagonal matrix from a slice.
+    pub fn from_diag(d: &[f64]) -> Self {
+        let mut m = Self::zeros(d.len(), d.len());
+        for (i, &v) in d.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Build from a function of `(row, col)`.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                data.push(f(i, j));
+            }
+        }
+        Self { nrows, ncols, data }
+    }
+
+    /// Build from explicit rows; panics if rows are ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            assert_eq!(r.len(), ncols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self { nrows, ncols, data }
+    }
+
+    /// Build from a flat row-major buffer; panics on size mismatch.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "buffer size mismatch");
+        Self { nrows, ncols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Whether the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.nrows == self.ncols
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Borrow row `i` mutably.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Copy column `j` out into a vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.nrows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix trace; panics if not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace of non-square matrix");
+        (0..self.nrows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        vector::norm2(&self.data)
+    }
+
+    /// Max absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        vector::norm_inf(&self.data)
+    }
+
+    /// `self ← a·self`.
+    pub fn scale(&mut self, a: f64) {
+        vector::scale(a, &mut self.data);
+    }
+
+    /// `self ← self + a·other`. Errors on shape mismatch.
+    pub fn axpy(&mut self, a: f64, other: &Self) -> Result<()> {
+        if self.nrows != other.nrows || self.ncols != other.ncols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.nrows * self.ncols,
+                found: other.nrows * other.ncols,
+            });
+        }
+        vector::axpy(a, &other.data, &mut self.data);
+        Ok(())
+    }
+
+    /// Add `a` to every diagonal entry (matrix shift `A + aI`).
+    pub fn shift_diag(&mut self, a: f64) {
+        let n = self.nrows.min(self.ncols);
+        for i in 0..n {
+            self[(i, i)] += a;
+        }
+    }
+
+    /// GEMV: `y ← alpha·A·x + beta·y`.
+    ///
+    /// Panics on dimension mismatch (lowest-level kernel; callers validate).
+    pub fn gemv(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "gemv: x length");
+        assert_eq!(y.len(), self.nrows, "gemv: y length");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let r = vector::dot(self.row(i), x);
+            *yi = alpha * r + beta * *yi;
+        }
+    }
+
+    /// GEMM: returns `A · B`. Errors on inner-dimension mismatch.
+    pub fn matmul(&self, b: &Self) -> Result<Self> {
+        if self.ncols != b.nrows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.ncols,
+                found: b.nrows,
+            });
+        }
+        let mut c = Self::zeros(self.nrows, b.ncols);
+        // i-k-j loop order: stream through B's rows for cache friendliness.
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = b.row(k);
+                let crow = c.row_mut(i);
+                vector::axpy(aik, brow, crow);
+            }
+        }
+        Ok(c)
+    }
+
+    /// Outer product update `self ← self + a·u·vᵀ`.
+    pub fn rank1_update(&mut self, a: f64, u: &[f64], v: &[f64]) {
+        assert_eq!(u.len(), self.nrows);
+        assert_eq!(v.len(), self.ncols);
+        for (i, &ui) in u.iter().enumerate() {
+            let c = a * ui;
+            if c != 0.0 {
+                vector::axpy(c, v, self.row_mut(i));
+            }
+        }
+    }
+
+    /// Symmetrize in place: `self ← (self + selfᵀ)/2`. Panics if not square.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square());
+        for i in 0..self.nrows {
+            for j in (i + 1)..self.ncols {
+                let m = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = m;
+                self[(j, i)] = m;
+            }
+        }
+    }
+
+    /// Whether `‖A − Aᵀ‖_max ≤ tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.nrows {
+            for j in (i + 1)..self.ncols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Quadratic form `xᵀ A x`; panics on dimension mismatch.
+    pub fn quad_form(&self, x: &[f64]) -> f64 {
+        assert!(self.is_square());
+        assert_eq!(x.len(), self.nrows);
+        let mut y = vec![0.0; self.nrows];
+        self.gemv(1.0, x, 0.0, &mut y);
+        vector::dot(x, &y)
+    }
+
+    /// `Tr(AᵀB) = Σᵢⱼ AᵢⱼBᵢⱼ` — the Frobenius inner product, used for the
+    /// SDP objective `Tr(LX)` of the paper's Problems (4)/(5).
+    pub fn frob_inner(&self, b: &Self) -> Result<f64> {
+        if self.nrows != b.nrows || self.ncols != b.ncols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.nrows * self.ncols,
+                found: b.nrows * b.ncols,
+            });
+        }
+        Ok(vector::dot(&self.data, &b.data))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &self.data[i * self.ncols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[i * self.ncols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mat2() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])
+    }
+
+    #[test]
+    fn constructors() {
+        let z = DenseMatrix::zeros(2, 3);
+        assert_eq!(z.nrows(), 2);
+        assert_eq!(z.ncols(), 3);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+
+        let i = DenseMatrix::identity(3);
+        assert_eq!(i.trace(), 3.0);
+
+        let d = DenseMatrix::from_diag(&[1.0, 2.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+
+        let f = DenseMatrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        assert_eq!(f[(1, 1)], 2.0);
+
+        let v = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v, mat2());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = DenseMatrix::from_rows(&[&[1.0], &[1.0, 2.0]]);
+    }
+
+    #[test]
+    fn row_col_access() {
+        let m = mat2();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = DenseMatrix::from_fn(3, 2, |i, j| (3 * i + j) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(0, 2)], m[(2, 0)]);
+    }
+
+    #[test]
+    fn gemv_matches_hand_computation() {
+        let m = mat2();
+        let mut y = vec![1.0, 1.0];
+        m.gemv(2.0, &[1.0, 1.0], 3.0, &mut y);
+        // 2*[3, 7] + 3*[1,1] = [9, 17]
+        assert_eq!(y, vec![9.0, 17.0]);
+    }
+
+    #[test]
+    fn matmul_identity_and_assoc() {
+        let m = mat2();
+        let i = DenseMatrix::identity(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+        assert_eq!(i.matmul(&m).unwrap(), m);
+
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let b = DenseMatrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]);
+        let ab = a.matmul(&b).unwrap();
+        assert_eq!(ab, DenseMatrix::from_rows(&[&[3.0, 2.0], &[1.0, 1.0]]));
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rank1_update_outer_product() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.rank1_update(2.0, &[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(m, DenseMatrix::from_rows(&[&[6.0, 8.0], &[12.0, 16.0]]));
+    }
+
+    #[test]
+    fn symmetrize_and_check() {
+        let mut m = mat2();
+        assert!(!m.is_symmetric(1e-12));
+        m.symmetrize();
+        assert!(m.is_symmetric(1e-12));
+        assert_eq!(m[(0, 1)], 2.5);
+    }
+
+    #[test]
+    fn quad_form_and_frob_inner() {
+        let l = DenseMatrix::from_rows(&[&[1.0, -1.0], &[-1.0, 1.0]]);
+        // Path-graph Laplacian: x = [1, -1] gives xᵀLx = 4.
+        assert_eq!(l.quad_form(&[1.0, -1.0]), 4.0);
+        assert_eq!(l.quad_form(&[1.0, 1.0]), 0.0);
+
+        let x = DenseMatrix::identity(2);
+        assert_eq!(l.frob_inner(&x).unwrap(), l.trace());
+    }
+
+    #[test]
+    fn shift_and_axpy() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.shift_diag(3.0);
+        assert_eq!(m, DenseMatrix::from_diag(&[3.0, 3.0]));
+        let other = DenseMatrix::identity(2);
+        m.axpy(-1.0, &other).unwrap();
+        assert_eq!(m, DenseMatrix::from_diag(&[2.0, 2.0]));
+        let bad = DenseMatrix::zeros(3, 3);
+        assert!(m.axpy(1.0, &bad).is_err());
+    }
+
+    #[test]
+    fn norms() {
+        let m = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, -4.0]]);
+        assert_eq!(m.fro_norm(), 5.0);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_transpose_rule(
+            a in proptest::collection::vec(-5.0..5.0f64, 6),
+            b in proptest::collection::vec(-5.0..5.0f64, 6),
+        ) {
+            // (AB)ᵀ = BᵀAᵀ for 2x3 · 3x2.
+            let a = DenseMatrix::from_vec(2, 3, a);
+            let b = DenseMatrix::from_vec(3, 2, b);
+            let lhs = a.matmul(&b).unwrap().transpose();
+            let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+            let mut diff = lhs.clone();
+            diff.axpy(-1.0, &rhs).unwrap();
+            prop_assert!(diff.max_abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_quad_form_of_psd_gram_nonneg(
+            a in proptest::collection::vec(-5.0..5.0f64, 9),
+            x in proptest::collection::vec(-5.0..5.0f64, 3),
+        ) {
+            // AᵀA is PSD, so xᵀ(AᵀA)x ≥ 0.
+            let a = DenseMatrix::from_vec(3, 3, a);
+            let g = a.transpose().matmul(&a).unwrap();
+            prop_assert!(g.quad_form(&x) >= -1e-9);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Dense symmetric eigendecomposition by the cyclic Jacobi method.
+//!
+//! This is the reproduction's "exact" black-box eigensolver (paper
+//! footnote 14). Jacobi is chosen over QR because it is short, provably
+//! convergent, and delivers small eigenvalues to high *relative* accuracy —
+//! exactly what the regularized-SDP equivalence checks in
+//! `acir-regularize` need, since they compare matrix functions of the
+//! spectrum.
+
+use crate::dense::DenseMatrix;
+use crate::{LinalgError, Result};
+
+/// A full symmetric eigendecomposition `A = V · diag(λ) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEig {
+    /// Eigenvalues in ascending order.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors; `eigenvectors.col(k)` pairs with
+    /// `eigenvalues[k]`.
+    pub eigenvectors: DenseMatrix,
+}
+
+impl SymEig {
+    /// Compute the eigendecomposition of a symmetric matrix.
+    ///
+    /// Returns an error if `a` is not square or not symmetric (to `1e-8`
+    /// absolute tolerance), or if the sweep limit is exhausted (which for
+    /// Jacobi indicates NaN/Inf input rather than genuine non-convergence).
+    pub fn new(a: &DenseMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::InvalidArgument("matrix must be square"));
+        }
+        if !a.is_symmetric(1e-8) {
+            return Err(LinalgError::InvalidArgument("matrix must be symmetric"));
+        }
+        let n = a.nrows();
+        let mut m = a.clone();
+        m.symmetrize();
+        let mut v = DenseMatrix::identity(n);
+
+        const MAX_SWEEPS: usize = 100;
+        let tol = 1e-14 * m.fro_norm().max(f64::MIN_POSITIVE);
+        let mut converged = false;
+        for _ in 0..MAX_SWEEPS {
+            let off = off_diag_norm(&m);
+            if off <= tol {
+                converged = true;
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    rotate(&mut m, &mut v, p, q);
+                }
+            }
+        }
+        if !converged && off_diag_norm(&m) > tol * 1e3 {
+            return Err(LinalgError::NotConverged {
+                iterations: MAX_SWEEPS,
+                residual: off_diag_norm(&m),
+            });
+        }
+
+        // Sort ascending, permuting eigenvector columns to match.
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).unwrap());
+        let eigenvalues: Vec<f64> = idx.iter().map(|&i| m[(i, i)]).collect();
+        let eigenvectors = DenseMatrix::from_fn(n, n, |r, c| v[(r, idx[c])]);
+
+        Ok(Self {
+            eigenvalues,
+            eigenvectors,
+        })
+    }
+
+    /// Order of the decomposed matrix.
+    pub fn dim(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// Eigenvector for the k-th smallest eigenvalue, as an owned vector.
+    pub fn eigenvector(&self, k: usize) -> Vec<f64> {
+        self.eigenvectors.col(k)
+    }
+
+    /// Reconstruct `f(A) = V · diag(f(λ)) · Vᵀ` for a scalar function `f`.
+    ///
+    /// This is how the exact heat kernel `exp(-tL)`, the exact PageRank
+    /// resolvent, and the regularized-SDP optimizers are produced on the
+    /// small reference graphs: apply the scalar map to the spectrum.
+    pub fn matrix_function(&self, f: impl Fn(f64) -> f64) -> DenseMatrix {
+        let n = self.dim();
+        let mut out = DenseMatrix::zeros(n, n);
+        for k in 0..n {
+            let fk = f(self.eigenvalues[k]);
+            if fk == 0.0 {
+                continue;
+            }
+            let col = self.eigenvectors.col(k);
+            out.rank1_update(fk, &col, &col);
+        }
+        out
+    }
+
+    /// Reconstruct the original matrix (`matrix_function` with identity).
+    pub fn reconstruct(&self) -> DenseMatrix {
+        self.matrix_function(|x| x)
+    }
+}
+
+/// Frobenius norm of the strictly upper off-diagonal part (× √2 would be
+/// the full off-diagonal norm; the constant is irrelevant for tolerance
+/// checks).
+fn off_diag_norm(m: &DenseMatrix) -> f64 {
+    let n = m.nrows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            s += m[(i, j)] * m[(i, j)];
+        }
+    }
+    s.sqrt()
+}
+
+/// One Jacobi rotation zeroing `m[(p, q)]`, accumulating into `v`.
+fn rotate(m: &mut DenseMatrix, v: &mut DenseMatrix, p: usize, q: usize) {
+    let apq = m[(p, q)];
+    if apq.abs() < f64::MIN_POSITIVE {
+        return;
+    }
+    let app = m[(p, p)];
+    let aqq = m[(q, q)];
+    let theta = (aqq - app) / (2.0 * apq);
+    // Stable tangent: smaller root of t² + 2θt − 1 = 0.
+    let t = if theta >= 0.0 {
+        1.0 / (theta + (1.0 + theta * theta).sqrt())
+    } else {
+        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+
+    let n = m.nrows();
+    // Update rows/columns p and q of the symmetric matrix.
+    for k in 0..n {
+        if k == p || k == q {
+            continue;
+        }
+        let akp = m[(k, p)];
+        let akq = m[(k, q)];
+        m[(k, p)] = c * akp - s * akq;
+        m[(p, k)] = m[(k, p)];
+        m[(k, q)] = s * akp + c * akq;
+        m[(q, k)] = m[(k, q)];
+    }
+    m[(p, p)] = app - t * apq;
+    m[(q, q)] = aqq + t * apq;
+    m[(p, q)] = 0.0;
+    m[(q, p)] = 0.0;
+
+    // Accumulate rotation into the eigenvector matrix.
+    for k in 0..n {
+        let vkp = v[(k, p)];
+        let vkq = v[(k, q)];
+        v[(k, p)] = c * vkp - s * vkq;
+        v[(k, q)] = s * vkp + c * vkq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+    use proptest::prelude::*;
+
+    fn check_decomposition(a: &DenseMatrix, eig: &SymEig, tol: f64) {
+        let n = a.nrows();
+        // A v_k = λ_k v_k
+        for k in 0..n {
+            let v = eig.eigenvector(k);
+            let mut av = vec![0.0; n];
+            a.gemv(1.0, &v, 0.0, &mut av);
+            let mut lv = v.clone();
+            vector::scale(eig.eigenvalues[k], &mut lv);
+            assert!(
+                vector::dist2(&av, &lv) < tol,
+                "eigenpair {k} residual {}",
+                vector::dist2(&av, &lv)
+            );
+        }
+        // Vᵀ V = I
+        let vt_v = eig
+            .eigenvectors
+            .transpose()
+            .matmul(&eig.eigenvectors)
+            .unwrap();
+        let mut diff = vt_v;
+        diff.axpy(-1.0, &DenseMatrix::identity(n)).unwrap();
+        assert!(diff.max_abs() < tol, "orthogonality defect");
+        // Ascending order.
+        for w in eig.eigenvalues.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = DenseMatrix::from_diag(&[3.0, 1.0, 2.0]);
+        let eig = SymEig::new(&a).unwrap();
+        assert!((eig.eigenvalues[0] - 1.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[2] - 3.0).abs() < 1e-12);
+        check_decomposition(&a, &eig, 1e-10);
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let eig = SymEig::new(&a).unwrap();
+        assert!((eig.eigenvalues[0] - 1.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[1] - 3.0).abs() < 1e-12);
+        check_decomposition(&a, &eig, 1e-10);
+    }
+
+    #[test]
+    fn path_graph_laplacian_spectrum() {
+        // L of the n-path has eigenvalues 2 - 2cos(kπ/n), k = 0..n-1.
+        let n = 8;
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n - 1 {
+            a[(i, i)] += 1.0;
+            a[(i + 1, i + 1)] += 1.0;
+            a[(i, i + 1)] = -1.0;
+            a[(i + 1, i)] = -1.0;
+        }
+        let eig = SymEig::new(&a).unwrap();
+        for (k, &lam) in eig.eigenvalues.iter().enumerate() {
+            let expected = 2.0 - 2.0 * (std::f64::consts::PI * k as f64 / n as f64).cos();
+            assert!((lam - expected).abs() < 1e-10, "k={k}: {lam} vs {expected}");
+        }
+        check_decomposition(&a, &eig, 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_square_and_asymmetric() {
+        let rect = DenseMatrix::zeros(2, 3);
+        assert!(SymEig::new(&rect).is_err());
+        let asym = DenseMatrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        assert!(SymEig::new(&asym).is_err());
+    }
+
+    #[test]
+    fn matrix_function_exponential_of_diag() {
+        let a = DenseMatrix::from_diag(&[0.0, 1.0]);
+        let eig = SymEig::new(&a).unwrap();
+        let e = eig.matrix_function(f64::exp);
+        assert!((e[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((e[(1, 1)] - 1.0f64.exp()).abs() < 1e-12);
+        assert!(e[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruct_recovers_input() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -1.0], &[0.5, -1.0, 2.0]]);
+        let eig = SymEig::new(&a).unwrap();
+        let mut diff = eig.reconstruct();
+        diff.axpy(-1.0, &a).unwrap();
+        assert!(diff.max_abs() < 1e-10);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_random_symmetric_decomposes(
+            data in proptest::collection::vec(-5.0..5.0f64, 25)
+        ) {
+            let mut a = DenseMatrix::from_vec(5, 5, data);
+            a.symmetrize();
+            let eig = SymEig::new(&a).unwrap();
+            check_decomposition(&a, &eig, 1e-8);
+            // Trace equals eigenvalue sum.
+            let sum: f64 = eig.eigenvalues.iter().sum();
+            prop_assert!((sum - a.trace()).abs() < 1e-8);
+        }
+
+        #[test]
+        fn prop_psd_gram_has_nonneg_spectrum(
+            data in proptest::collection::vec(-3.0..3.0f64, 16)
+        ) {
+            let b = DenseMatrix::from_vec(4, 4, data);
+            let g = b.transpose().matmul(&b).unwrap();
+            let eig = SymEig::new(&g).unwrap();
+            prop_assert!(eig.eigenvalues[0] >= -1e-8);
+        }
+    }
+}

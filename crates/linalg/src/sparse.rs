@@ -1,0 +1,524 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The reproduction's graphs have up to millions of edges; everything that
+//! touches them must "not damage the sparsity of the matrix" (paper §3.1).
+//! CSR with `u32` column indices keeps the memory footprint at 12 bytes
+//! per stored entry and makes the matvec a linear scan.
+
+use crate::dense::DenseMatrix;
+use crate::vector;
+
+/// A sparse matrix in compressed-sparse-row format.
+///
+/// Invariants (checked by [`CsrMatrix::validate`] and maintained by all
+/// constructors):
+/// * `row_ptr.len() == nrows + 1`, `row_ptr[0] == 0`,
+///   `row_ptr[nrows] == col_idx.len() == values.len()`;
+/// * `row_ptr` is non-decreasing;
+/// * within each row, column indices are strictly increasing (sorted,
+///   no duplicates) and `< ncols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from COO triplets `(row, col, value)`. Duplicate coordinates
+    /// are summed; explicit zeros are kept (callers may [`Self::prune`]).
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Self {
+        let mut entries: Vec<(usize, usize, f64)> = triplets.into_iter().collect();
+        for &(r, c, _) in &entries {
+            assert!(r < nrows && c < ncols, "triplet ({r},{c}) out of range");
+        }
+        entries.sort_unstable_by_key(|a| (a.0, a.1));
+
+        // Merge consecutive duplicates (same row and column) by summing.
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(entries.len());
+        for (r, c, v) in entries {
+            match merged.last_mut() {
+                Some((lr, lc, lv)) if *lr == r && *lc == c => *lv += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+
+        let mut row_ptr = vec![0usize; nrows + 1];
+        let mut col_idx = Vec::with_capacity(merged.len());
+        let mut values = Vec::with_capacity(merged.len());
+        for (r, c, v) in merged {
+            row_ptr[r + 1] += 1;
+            col_idx.push(c as u32);
+            values.push(v);
+        }
+        for i in 1..=nrows {
+            row_ptr[i] += row_ptr[i - 1];
+        }
+        let m = Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        debug_assert!(m.validate().is_ok(), "{:?}", m.validate());
+        m
+    }
+
+    /// Build directly from CSR arrays, validating the invariants.
+    pub fn from_csr(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> crate::Result<Self> {
+        let m = Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Identity matrix in CSR form.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Diagonal matrix from a slice.
+    pub fn from_diag(d: &[f64]) -> Self {
+        let n = d.len();
+        Self {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n as u32).collect(),
+            values: d.to_vec(),
+        }
+    }
+
+    /// Check the CSR structural invariants.
+    pub fn validate(&self) -> crate::Result<()> {
+        use crate::LinalgError::InvalidArgument;
+        if self.row_ptr.len() != self.nrows + 1 {
+            return Err(InvalidArgument("row_ptr length must be nrows + 1"));
+        }
+        if self.row_ptr[0] != 0 {
+            return Err(InvalidArgument("row_ptr[0] must be 0"));
+        }
+        if *self.row_ptr.last().unwrap() != self.col_idx.len()
+            || self.col_idx.len() != self.values.len()
+        {
+            return Err(InvalidArgument("row_ptr end must equal nnz"));
+        }
+        for w in self.row_ptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(InvalidArgument("row_ptr must be non-decreasing"));
+            }
+        }
+        for r in 0..self.nrows {
+            let cols = &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]];
+            for w in cols.windows(2) {
+                if w[1] <= w[0] {
+                    return Err(InvalidArgument("row columns must be strictly increasing"));
+                }
+            }
+            if let Some(&c) = cols.last() {
+                if c as usize >= self.ncols {
+                    return Err(InvalidArgument("column index out of range"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterator over `(col, value)` pairs of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let range = self.row_ptr[i]..self.row_ptr[i + 1];
+        self.col_idx[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[range].iter().copied())
+    }
+
+    /// Entry lookup by binary search within the row. `O(log row_nnz)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let range = self.row_ptr[i]..self.row_ptr[i + 1];
+        let cols = &self.col_idx[range.clone()];
+        match cols.binary_search(&(j as u32)) {
+            Ok(k) => self.values[range.start + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse matrix–vector product `y = A x` (overwrites `y`).
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec: x length");
+        assert_eq!(y.len(), self.nrows, "matvec: y length");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (c, v) in self.row(i) {
+                acc += v * x[c as usize];
+            }
+            *yi = acc;
+        }
+    }
+
+    /// Transposed product `y = Aᵀ x` (overwrites `y`).
+    pub fn matvec_transpose(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows, "matvec_transpose: x length");
+        assert_eq!(y.len(), self.ncols, "matvec_transpose: y length");
+        y.fill(0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (c, v) in self.row(i) {
+                y[c as usize] += v * xi;
+            }
+        }
+    }
+
+    /// Transpose into a new CSR matrix.
+    pub fn transpose(&self) -> Self {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 1..=self.ncols {
+            counts[i] += counts[i - 1];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                let k = cursor[c as usize];
+                col_idx[k] = r as u32;
+                values[k] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        Self {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// The main diagonal as a vector (length `min(nrows, ncols)`).
+    pub fn diag(&self) -> Vec<f64> {
+        (0..self.nrows.min(self.ncols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// Row sums (for adjacency matrices these are weighted degrees).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.nrows)
+            .map(|i| self.row(i).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Scale row `i` by `s[i]` in place: `A ← diag(s)·A`.
+    pub fn scale_rows(&mut self, s: &[f64]) {
+        assert_eq!(s.len(), self.nrows);
+        for (r, &factor) in s.iter().enumerate() {
+            let range = self.row_ptr[r]..self.row_ptr[r + 1];
+            vector::scale(factor, &mut self.values[range]);
+        }
+    }
+
+    /// Scale column `j` by `s[j]` in place: `A ← A·diag(s)`.
+    pub fn scale_cols(&mut self, s: &[f64]) {
+        assert_eq!(s.len(), self.ncols);
+        for (c, v) in self.col_idx.iter().zip(self.values.iter_mut()) {
+            *v *= s[*c as usize];
+        }
+    }
+
+    /// Scale every stored value by `a`.
+    pub fn scale(&mut self, a: f64) {
+        vector::scale(a, &mut self.values);
+    }
+
+    /// Drop stored entries with `|value| <= tol`.
+    pub fn prune(&mut self, tol: f64) {
+        let mut new_row_ptr = vec![0usize; self.nrows + 1];
+        let mut w = 0usize;
+        for r in 0..self.nrows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                if self.values[k].abs() > tol {
+                    self.col_idx[w] = self.col_idx[k];
+                    self.values[w] = self.values[k];
+                    w += 1;
+                }
+            }
+            new_row_ptr[r + 1] = w;
+        }
+        self.col_idx.truncate(w);
+        self.values.truncate(w);
+        self.row_ptr = new_row_ptr;
+    }
+
+    /// Densify. Only sensible for small reference computations.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.nrows, self.ncols);
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                m[(r, c as usize)] = v;
+            }
+        }
+        m
+    }
+
+    /// Whether the sparsity pattern and values are symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                if (self.get(c as usize, r) - v).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Quadratic form `xᵀ A x`.
+    pub fn quad_form(&self, x: &[f64]) -> f64 {
+        assert_eq!(self.nrows, self.ncols);
+        let mut y = vec![0.0; self.nrows];
+        self.matvec(x, &mut y);
+        vector::dot(x, &y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// 2x2 matrix [\[1, 2\], \[0, 3\]].
+    fn upper() -> CsrMatrix {
+        CsrMatrix::from_triplets(2, 2, [(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)])
+    }
+
+    #[test]
+    fn from_triplets_sums_duplicates() {
+        let m = CsrMatrix::from_triplets(2, 2, [(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0)]);
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.nnz(), 2);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn from_triplets_handles_empty_rows() {
+        let m = CsrMatrix::from_triplets(4, 4, [(0, 1, 1.0), (3, 2, 2.0)]);
+        assert_eq!(m.row(1).count(), 0);
+        assert_eq!(m.row(2).count(), 0);
+        assert_eq!(m.get(3, 2), 2.0);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_triplets_rejects_out_of_range() {
+        let _ = CsrMatrix::from_triplets(2, 2, [(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn from_csr_validates() {
+        // row_ptr not ending at nnz.
+        assert!(CsrMatrix::from_csr(1, 1, vec![0, 2], vec![0], vec![1.0]).is_err());
+        // unsorted columns.
+        assert!(CsrMatrix::from_csr(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
+        // duplicate columns.
+        assert!(CsrMatrix::from_csr(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err());
+        // good.
+        assert!(CsrMatrix::from_csr(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn get_and_row_iter() {
+        let m = upper();
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 0.0);
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (1, 2.0)]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = upper();
+        let mut y = vec![0.0; 2];
+        m.matvec(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 3.0]);
+
+        let mut yt = vec![0.0; 2];
+        m.matvec_transpose(&[1.0, 1.0], &mut yt);
+        assert_eq!(yt, vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = upper();
+        let t = m.transpose();
+        t.validate().unwrap();
+        assert_eq!(t.get(1, 0), 2.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn identity_and_diag() {
+        let i = CsrMatrix::identity(3);
+        let mut y = vec![0.0; 3];
+        i.matvec(&[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![1.0, 2.0, 3.0]);
+        assert_eq!(i.diag(), vec![1.0; 3]);
+
+        let d = CsrMatrix::from_diag(&[2.0, 5.0]);
+        assert_eq!(d.get(1, 1), 5.0);
+        assert_eq!(d.row_sums(), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn scaling_rows_cols_values() {
+        let mut m = upper();
+        m.scale_rows(&[2.0, 1.0]);
+        assert_eq!(m.get(0, 1), 4.0);
+        m.scale_cols(&[1.0, 0.5]);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 1), 1.5);
+        m.scale(2.0);
+        assert_eq!(m.get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn prune_drops_small_entries() {
+        let mut m = CsrMatrix::from_triplets(2, 2, [(0, 0, 1e-12), (0, 1, 1.0), (1, 0, -2.0)]);
+        m.prune(1e-9);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(1, 0), -2.0);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let sym = CsrMatrix::from_triplets(2, 2, [(0, 1, 1.0), (1, 0, 1.0)]);
+        assert!(sym.is_symmetric(1e-12));
+        assert!(!upper().is_symmetric(1e-12));
+        let rect = CsrMatrix::from_triplets(1, 2, [(0, 1, 1.0)]);
+        assert!(!rect.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn quad_form_path_laplacian() {
+        // L of the 2-path = [[1,-1],[-1,1]].
+        let l =
+            CsrMatrix::from_triplets(2, 2, [(0, 0, 1.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 1.0)]);
+        assert_eq!(l.quad_form(&[1.0, -1.0]), 4.0);
+        assert_eq!(l.quad_form(&[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn to_dense_matches() {
+        let m = upper();
+        let d = m.to_dense();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(d[(i, j)], m.get(i, j));
+            }
+        }
+    }
+
+    /// Strategy: random small COO matrix.
+    fn coo_strategy() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+        (1usize..8, 1usize..8).prop_flat_map(|(r, c)| {
+            let trip = proptest::collection::vec(
+                (0..r, 0..c, -10.0..10.0f64).prop_map(|(i, j, v)| (i, j, v)),
+                0..24,
+            );
+            (Just(r), Just(c), trip)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_csr_invariants_hold((r, c, trip) in coo_strategy()) {
+            let m = CsrMatrix::from_triplets(r, c, trip);
+            prop_assert!(m.validate().is_ok());
+        }
+
+        #[test]
+        fn prop_matvec_matches_dense((r, c, trip) in coo_strategy(),
+                                     x in proptest::collection::vec(-5.0..5.0f64, 8)) {
+            let m = CsrMatrix::from_triplets(r, c, trip);
+            let x = &x[..c];
+            let mut y_sparse = vec![0.0; r];
+            m.matvec(x, &mut y_sparse);
+            let mut y_dense = vec![0.0; r];
+            m.to_dense().gemv(1.0, x, 0.0, &mut y_dense);
+            for (a, b) in y_sparse.iter().zip(&y_dense) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_transpose_matvec_consistent((r, c, trip) in coo_strategy(),
+                                            x in proptest::collection::vec(-5.0..5.0f64, 8)) {
+            let m = CsrMatrix::from_triplets(r, c, trip);
+            let x = &x[..r];
+            let mut via_transpose_mat = vec![0.0; c];
+            m.transpose().matvec(x, &mut via_transpose_mat);
+            let mut via_matvec_t = vec![0.0; c];
+            m.matvec_transpose(x, &mut via_matvec_t);
+            for (a, b) in via_transpose_mat.iter().zip(&via_matvec_t) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

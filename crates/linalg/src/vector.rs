@@ -1,0 +1,276 @@
+//! BLAS-1 style vector kernels.
+//!
+//! Free functions over `&[f64]` / `&mut [f64]` so they compose with both
+//! owned buffers and matrix rows without copies. All functions panic on
+//! length mismatch in debug builds (via `zip` + `debug_assert`), matching
+//! the crate convention that dimension errors are programmer errors at
+//! this lowest level.
+
+/// Dot product `xᵀy`.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// One-norm `‖x‖₁ = Σ|xᵢ|`.
+#[inline]
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|a| a.abs()).sum()
+}
+
+/// Infinity norm `max |xᵢ|` (0 for the empty vector).
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, a| m.max(a.abs()))
+}
+
+/// `y ← a·x + y`.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `x ← a·x`.
+#[inline]
+pub fn scale(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Copy `src` into `dst`.
+#[inline]
+pub fn copy(src: &[f64], dst: &mut [f64]) {
+    dst.copy_from_slice(src);
+}
+
+/// Normalize `x` to unit 2-norm in place; returns the original norm.
+///
+/// If `‖x‖₂ == 0` the vector is left untouched and 0.0 is returned.
+pub fn normalize2(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Normalize `x` to unit 1-norm in place (probability normalization);
+/// returns the original 1-norm. A zero vector is left untouched.
+pub fn normalize1(x: &mut [f64]) -> f64 {
+    let n = norm1(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// `‖x − y‖₂`.
+pub fn dist2(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Project `x` onto the orthogonal complement of unit vector `u`:
+/// `x ← x − (uᵀx)·u`.
+///
+/// Used by eigenvector iterations to deflate known eigenvectors (e.g. the
+/// trivial degree-weighted eigenvector `D^{1/2}·1` of a normalized
+/// Laplacian, paper §3.1).
+pub fn deflate(x: &mut [f64], u: &[f64]) {
+    let c = dot(x, u);
+    axpy(-c, u, x);
+}
+
+/// Alignment `|xᵀy| / (‖x‖·‖y‖)` in `[0, 1]`; 1 means parallel up to sign.
+///
+/// The natural eigenvector comparison: the paper stresses that `v₂` is only
+/// defined up to sign (and possibly not uniquely at all), so comparisons
+/// must be sign-invariant.
+pub fn alignment(x: &[f64], y: &[f64]) -> f64 {
+    let nx = norm2(x);
+    let ny = norm2(y);
+    if nx == 0.0 || ny == 0.0 {
+        return 0.0;
+    }
+    (dot(x, y) / (nx * ny)).abs().min(1.0)
+}
+
+/// Sum of entries.
+#[inline]
+pub fn sum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// Elementwise product `z = x ⊙ y` written into `z`.
+pub fn hadamard(x: &[f64], y: &[f64], z: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len(), z.len());
+    for ((zi, xi), yi) in z.iter_mut().zip(x).zip(y) {
+        *zi = xi * yi;
+    }
+}
+
+/// Index and value of the maximum entry; `None` for the empty slice.
+pub fn argmax(x: &[f64]) -> Option<(usize, f64)> {
+    x.iter()
+        .copied()
+        .enumerate()
+        .fold(None, |best, (i, v)| match best {
+            Some((_, bv)) if bv >= v => best,
+            _ => Some((i, v)),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let x = [3.0, 4.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm1(&x), 7.0);
+        assert_eq!(norm_inf(&x), 4.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_scale_copy() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, [6.0, 12.0]);
+        let mut z = [0.0, 0.0];
+        copy(&y, &mut z);
+        assert_eq!(z, y);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut x = vec![3.0, 4.0];
+        let n = normalize2(&mut x);
+        assert_eq!(n, 5.0);
+        assert!((norm2(&x) - 1.0).abs() < 1e-15);
+
+        let mut p = vec![1.0, 3.0];
+        normalize1(&mut p);
+        assert!((sum(&p) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut x = vec![0.0, 0.0];
+        assert_eq!(normalize2(&mut x), 0.0);
+        assert_eq!(x, vec![0.0, 0.0]);
+        assert_eq!(normalize1(&mut x), 0.0);
+    }
+
+    #[test]
+    fn deflate_removes_component() {
+        let u = [1.0, 0.0];
+        let mut x = [3.0, 7.0];
+        deflate(&mut x, &u);
+        assert_eq!(x, [0.0, 7.0]);
+        assert!(dot(&x, &u).abs() < 1e-15);
+    }
+
+    #[test]
+    fn alignment_is_sign_invariant() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [-1.0, -2.0, -3.0];
+        assert!((alignment(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [0.0, 0.0, 0.0];
+        assert_eq!(alignment(&x, &z), 0.0);
+    }
+
+    #[test]
+    fn alignment_orthogonal_is_zero() {
+        assert!(alignment(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        let mut z = [0.0; 3];
+        hadamard(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &mut z);
+        assert_eq!(z, [4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn argmax_basic() {
+        assert_eq!(argmax(&[1.0, 5.0, 3.0]), Some((1, 5.0)));
+        assert_eq!(argmax(&[]), None);
+        // First max wins on ties.
+        assert_eq!(argmax(&[2.0, 2.0]), Some((0, 2.0)));
+    }
+
+    #[test]
+    fn dist2_matches_norm_of_difference() {
+        let x = [1.0, 2.0];
+        let y = [4.0, 6.0];
+        assert_eq!(dist2(&x, &y), 5.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cauchy_schwarz(x in proptest::collection::vec(-100.0..100.0f64, 1..32),
+                               y in proptest::collection::vec(-100.0..100.0f64, 1..32)) {
+            let n = x.len().min(y.len());
+            let (x, y) = (&x[..n], &y[..n]);
+            prop_assert!(dot(x, y).abs() <= norm2(x) * norm2(y) + 1e-9);
+        }
+
+        #[test]
+        fn prop_triangle_inequality(x in proptest::collection::vec(-10.0..10.0f64, 1..32),
+                                    y in proptest::collection::vec(-10.0..10.0f64, 1..32)) {
+            let n = x.len().min(y.len());
+            let (x, y) = (&x[..n], &y[..n]);
+            let mut s = x.to_vec();
+            axpy(1.0, y, &mut s);
+            prop_assert!(norm2(&s) <= norm2(x) + norm2(y) + 1e-9);
+        }
+
+        #[test]
+        fn prop_normalize2_yields_unit(x in proptest::collection::vec(-100.0..100.0f64, 1..32)) {
+            let mut v = x.clone();
+            let n = normalize2(&mut v);
+            if n > 1e-9 {
+                prop_assert!((norm2(&v) - 1.0).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_deflate_orthogonalizes(x in proptest::collection::vec(-10.0..10.0f64, 2..16)) {
+            let mut u = vec![0.0; x.len()];
+            u[0] = 0.6; u[1] = 0.8; // unit vector
+            let mut v = x.clone();
+            deflate(&mut v, &u);
+            prop_assert!(dot(&v, &u).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_norm_ordering(x in proptest::collection::vec(-10.0..10.0f64, 1..32)) {
+            // ‖x‖∞ ≤ ‖x‖₂ ≤ ‖x‖₁
+            prop_assert!(norm_inf(&x) <= norm2(&x) + 1e-12);
+            prop_assert!(norm2(&x) <= norm1(&x) + 1e-12);
+        }
+    }
+}

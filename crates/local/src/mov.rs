@@ -1,0 +1,290 @@
+//! The MOV locally-biased spectral method (Mahoney–Orecchia–Vishnoi,
+//! paper ref \[33\]) — the "optimization approach" of §3.3.
+//!
+//! MOV modifies the global spectral program (Problem (3)) with a
+//! seed-correlation constraint, giving the paper's Problem (8):
+//!
+//! ```text
+//! minimize  xᵀ𝓛x
+//! s.t.      xᵀx = 1,   xᵀD^{1/2}1 = 0,   (xᵀD^{1/2}s)² ≥ κ.
+//! ```
+//!
+//! Its solution has the closed form (up to normalization)
+//!
+//! ```text
+//! x*(γ) ∝ (𝓛 − γ·I)⁺ D^{1/2} s          (γ < λ₂, on span⊥(D^{1/2}1))
+//! ```
+//!
+//! where `γ` trades off locality (very negative `γ` → concentrated near
+//! the seed) against globality (`γ → λ₂` → the Fiedler vector). The
+//! exact solution can be found "relatively quickly by running a
+//! so-called Personalized PageRank computation" — here, projected
+//! conjugate gradient on the SPD-on-the-subspace system.
+//!
+//! The defining *disadvantage* (the paper's point): the computation
+//! touches every node of the graph. [`MovResult::touched`] therefore
+//! always equals `n`, in deliberate contrast to the push methods.
+
+use crate::{LocalError, Result};
+use acir_graph::{Graph, NodeId};
+use acir_linalg::solve::{cg, CgOptions};
+use acir_linalg::{vector, CsrMatrix, LinOp};
+use acir_spectral::{normalized_laplacian, trivial_eigenvector};
+
+/// Output of [`mov_vector`].
+#[derive(Debug, Clone)]
+pub struct MovResult {
+    /// The locally-biased vector, unit-norm, orthogonal to `D^{1/2}1`
+    /// (in the `x`-coordinates of Problem (8), i.e. already
+    /// `D^{−1/2}`-free: sweep it with degree normalization as usual).
+    pub vector: Vec<f64>,
+    /// Rayleigh quotient `xᵀ𝓛x` achieved.
+    pub rayleigh: f64,
+    /// Seed correlation `(xᵀD^{1/2}s)²` achieved.
+    pub seed_correlation: f64,
+    /// CG iterations used.
+    pub cg_iterations: usize,
+    /// Nodes touched — always `n`: the optimization approach is not
+    /// strongly local.
+    pub touched: usize,
+}
+
+/// Operator `(𝓛 − γI)` restricted to the complement of `v₁` by
+/// projection on both sides.
+struct ProjectedShiftedLaplacian<'a> {
+    nl: &'a CsrMatrix,
+    gamma: f64,
+    v1: &'a [f64],
+}
+
+impl LinOp for ProjectedShiftedLaplacian<'_> {
+    fn dim(&self) -> usize {
+        self.nl.nrows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        // y = P(𝓛 − γI)P x with P = I − v₁v₁ᵀ.
+        let mut px = x.to_vec();
+        vector::deflate(&mut px, self.v1);
+        self.nl.matvec(&px, y);
+        for (yi, xi) in y.iter_mut().zip(&px) {
+            *yi -= self.gamma * xi;
+        }
+        vector::deflate(y, self.v1);
+    }
+}
+
+/// Compute the MOV locally-biased vector for seed set `seeds` and shift
+/// `gamma`.
+///
+/// Requires `gamma < λ₂` (the caller usually knows `λ₂`, or passes a
+/// safely negative `gamma`; the PPR correspondence is `γ = −(1−γ_pr)/…`
+/// — any `γ ≤ 0` is always valid). If CG stalls because `gamma` is too
+/// close to (or above) `λ₂`, an error is returned.
+pub fn mov_vector(g: &Graph, seeds: &[NodeId], gamma: f64) -> Result<MovResult> {
+    let n = g.n();
+    if seeds.is_empty() {
+        return Err(LocalError::InvalidArgument("mov_vector needs seeds".into()));
+    }
+    for &u in seeds {
+        if u as usize >= n {
+            return Err(LocalError::InvalidArgument(format!(
+                "seed {u} out of range"
+            )));
+        }
+        if g.degree(u) <= 0.0 {
+            return Err(LocalError::InvalidArgument(format!(
+                "seed {u} has zero degree"
+            )));
+        }
+    }
+    if !gamma.is_finite() {
+        return Err(LocalError::InvalidArgument("gamma must be finite".into()));
+    }
+    // Any γ ≤ 0 is valid on a connected graph (λ₂ > 0). For γ > 0 the
+    // shifted operator is only positive definite on span⊥(v₁) when
+    // γ < λ₂, and CG on an indefinite system can terminate at a
+    // non-minimizing stationary point without noticing — so check
+    // explicitly against the exact λ₂.
+    if gamma > 0.0 {
+        let f = acir_spectral::fiedler_vector(g)?;
+        if gamma >= f.lambda2 * (1.0 - 1e-9) {
+            return Err(LocalError::InvalidArgument(format!(
+                "gamma = {gamma} must be strictly below lambda_2 = {}",
+                f.lambda2
+            )));
+        }
+    }
+
+    let nl = normalized_laplacian(g);
+    let v1 = trivial_eigenvector(g);
+
+    // Right-hand side: D^{1/2} s, projected off v₁, unit-normalized.
+    let mut rhs = vec![0.0; n];
+    let mass = 1.0 / seeds.len() as f64;
+    for &u in seeds {
+        rhs[u as usize] += mass * g.degree(u).sqrt();
+    }
+    vector::deflate(&mut rhs, &v1);
+    if vector::normalize2(&mut rhs) < 1e-300 {
+        return Err(LocalError::InvalidArgument(
+            "seed vector coincides with the trivial eigenvector".into(),
+        ));
+    }
+    let seed_dir = rhs.clone();
+
+    let op = ProjectedShiftedLaplacian {
+        nl: &nl,
+        gamma,
+        v1: &v1,
+    };
+    let opts = CgOptions {
+        max_iters: 20_000,
+        tol: 1e-10,
+    };
+    let res = cg(&op, &rhs, &vec![0.0; n], &opts)?;
+    if !res.converged {
+        return Err(LocalError::InvalidArgument(format!(
+            "CG did not converge (relative residual {:.2e}); gamma = {gamma} may be >= lambda_2",
+            res.relative_residual
+        )));
+    }
+
+    let mut x = res.x;
+    vector::deflate(&mut x, &v1);
+    if vector::normalize2(&mut x) < 1e-300 {
+        return Err(LocalError::InvalidArgument("MOV solution vanished".into()));
+    }
+    // Fix sign so the seed correlation is positive.
+    if vector::dot(&x, &seed_dir) < 0.0 {
+        vector::scale(-1.0, &mut x);
+    }
+
+    let rayleigh = nl.quad_form(&x);
+    let corr = vector::dot(&x, &seed_dir);
+    Ok(MovResult {
+        vector: x,
+        rayleigh,
+        seed_correlation: corr * corr,
+        cg_iterations: res.iterations,
+        touched: n,
+    })
+}
+
+/// Sweep helper: MOV vectors live in the `x = D^{1/2} y` coordinates of
+/// Problem (8); the conductance sweep wants the `y = D^{−1/2} x`
+/// embedding (so that the profile relates to the random-walk view).
+pub fn mov_embedding(g: &Graph, mov: &MovResult) -> Vec<f64> {
+    mov.vector
+        .iter()
+        .zip(g.degrees())
+        .map(|(&x, &d)| if d > 0.0 { x / d.sqrt() } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::sweep_cut;
+    use acir_graph::gen::deterministic::{barbell, cycle, path};
+    use acir_spectral::fiedler_vector;
+
+    #[test]
+    fn very_negative_gamma_localizes_near_seed() {
+        let g = path(30).unwrap();
+        let r = mov_vector(&g, &[0], -50.0).unwrap();
+        // Mass concentrated at the seed end.
+        let head: f64 = r.vector[..5].iter().map(|x| x * x).sum();
+        let tail: f64 = r.vector[25..].iter().map(|x| x * x).sum();
+        assert!(head > 10.0 * tail, "head {head} vs tail {tail}");
+        assert_eq!(r.touched, 30);
+    }
+
+    #[test]
+    fn gamma_near_lambda2_recovers_fiedler() {
+        let g = barbell(6, 0).unwrap();
+        let f = fiedler_vector(&g).unwrap();
+        // γ close below λ₂: x*(γ) → v₂ regardless of seed.
+        let r = mov_vector(&g, &[0], f.lambda2 * 0.98).unwrap();
+        assert!(
+            vector::alignment(&r.vector, &f.vector) > 0.99,
+            "alignment {}",
+            vector::alignment(&r.vector, &f.vector)
+        );
+    }
+
+    #[test]
+    fn solution_satisfies_problem8_constraints() {
+        let g = cycle(12).unwrap();
+        let r = mov_vector(&g, &[3], -1.0).unwrap();
+        assert!((vector::norm2(&r.vector) - 1.0).abs() < 1e-9, "unit norm");
+        let v1 = trivial_eigenvector(&g);
+        assert!(vector::dot(&r.vector, &v1).abs() < 1e-8, "orthogonality");
+        assert!(r.seed_correlation > 0.0, "positive correlation");
+        assert!(r.rayleigh >= 0.0);
+    }
+
+    #[test]
+    fn stationarity_of_problem8_solution() {
+        // KKT: (𝓛 − γI)x = c·D^{1/2}s (projected) for some scalar c.
+        let g = barbell(5, 1).unwrap();
+        let gamma = -0.5;
+        let r = mov_vector(&g, &[2], gamma).unwrap();
+        let nl = normalized_laplacian(&g);
+        let v1 = trivial_eigenvector(&g);
+        let mut s = vec![0.0; g.n()];
+        s[2] = g.degree(2).sqrt();
+        vector::deflate(&mut s, &v1);
+        vector::normalize2(&mut s);
+        // residual = (𝓛 − γ)x, should be parallel to s.
+        let mut lx = vec![0.0; g.n()];
+        nl.matvec(&r.vector, &mut lx);
+        vector::axpy(-gamma, &r.vector, &mut lx);
+        vector::deflate(&mut lx, &v1);
+        let c = vector::dot(&lx, &s);
+        vector::axpy(-c, &s, &mut lx);
+        assert!(
+            vector::norm2(&lx) < 1e-7,
+            "off-seed residual {}",
+            vector::norm2(&lx)
+        );
+    }
+
+    #[test]
+    fn sweep_of_mov_finds_local_cluster() {
+        let g = barbell(8, 0).unwrap();
+        let r = mov_vector(&g, &[1], -2.0).unwrap();
+        let emb = mov_embedding(&g, &r);
+        let cut = sweep_cut(&g, &emb);
+        assert_eq!(cut.set, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn gamma_above_lambda2_errors() {
+        let g = cycle(8).unwrap();
+        // λ₂ of C₈ ≈ 0.293; γ = 0.9 is between eigenvalues and makes the
+        // projected system indefinite.
+        assert!(mov_vector(&g, &[0], 0.9).is_err());
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let g = cycle(5).unwrap();
+        assert!(mov_vector(&g, &[], -1.0).is_err());
+        assert!(mov_vector(&g, &[9], -1.0).is_err());
+        assert!(mov_vector(&g, &[0], f64::NAN).is_err());
+        let iso = acir_graph::Graph::from_pairs(3, [(0, 1)]).unwrap();
+        assert!(mov_vector(&iso, &[2], -1.0).is_err());
+    }
+
+    #[test]
+    fn embedding_is_degree_rescaled() {
+        let g = path(6).unwrap();
+        let r = mov_vector(&g, &[0], -3.0).unwrap();
+        let emb = mov_embedding(&g, &r);
+        for (u, (&e, &v)) in emb.iter().zip(&r.vector).enumerate() {
+            let d = g.degree(u as u32).sqrt();
+            assert!((e * d - v).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Spielman–Teng truncated random walks ("Nibble", paper ref \[39\]).
+//!
+//! The original strongly local method: run the lazy random walk from a
+//! seed for `T` steps, but after every step set to zero every entry
+//! with `q[u] < ε·d_u` ("\[39\] sets to zero very small probabilities",
+//! §3.3). Sweep the distribution at each step and keep the best
+//! cluster seen. The truncation keeps the support — and therefore the
+//! work — bounded independently of the graph size, at the cost of
+//! leaking probability mass; that leak *is* the implicit regularizer.
+
+use crate::sweep::sweep_cut_support;
+use crate::{LocalError, Result};
+use acir_graph::{Graph, NodeId};
+
+/// Output of [`nibble`].
+#[derive(Debug, Clone)]
+pub struct NibbleResult {
+    /// Best cluster found across all steps (sorted).
+    pub set: Vec<NodeId>,
+    /// Its conductance.
+    pub conductance: f64,
+    /// Step at which the best cluster appeared (1-based).
+    pub best_step: usize,
+    /// Final truncated distribution as sorted `(node, value)` pairs.
+    pub vector: Vec<(NodeId, f64)>,
+    /// Total probability mass discarded by truncation.
+    pub mass_lost: f64,
+    /// Edge traversals performed (work measure).
+    pub work: usize,
+    /// Maximum support size over all steps (touched-node measure).
+    pub max_support: usize,
+}
+
+/// Run truncated lazy random walks from `seed` for `steps` steps with
+/// truncation threshold `epsilon` and holding probability 1/2.
+///
+/// Errors on bad parameters or a degree-0/out-of-range seed.
+pub fn nibble(g: &Graph, seed: NodeId, steps: usize, epsilon: f64) -> Result<NibbleResult> {
+    let n = g.n();
+    if seed as usize >= n {
+        return Err(LocalError::InvalidArgument(format!(
+            "seed {seed} out of range"
+        )));
+    }
+    if g.degree(seed) <= 0.0 {
+        return Err(LocalError::InvalidArgument(format!(
+            "seed {seed} has zero degree"
+        )));
+    }
+    if steps == 0 {
+        return Err(LocalError::InvalidArgument("steps must be positive".into()));
+    }
+    if !(epsilon > 0.0 && epsilon.is_finite()) {
+        return Err(LocalError::InvalidArgument(format!(
+            "epsilon must be positive, got {epsilon}"
+        )));
+    }
+
+    // Sparse distribution: values on a support list, plus a dense
+    // scratch indexed by node (allocated once).
+    let mut q = vec![0.0f64; n];
+    let mut support: Vec<NodeId> = vec![seed];
+    q[seed as usize] = 1.0;
+
+    let mut best: Option<(Vec<NodeId>, f64, usize)> = None;
+    let mut mass_lost = 0.0;
+    let mut work = 0usize;
+    let mut max_support = 1usize;
+    let mut next = vec![0.0f64; n];
+
+    for step in 1..=steps {
+        // One lazy step over the support: next = (q + M q)/2 restricted
+        // to the out-neighborhood of the support.
+        let mut next_support: Vec<NodeId> = Vec::with_capacity(support.len() * 2);
+        for &u in &support {
+            let qu = q[u as usize];
+            if qu == 0.0 {
+                continue;
+            }
+            // Lazy half stays.
+            if next[u as usize] == 0.0 {
+                next_support.push(u);
+            }
+            next[u as usize] += 0.5 * qu;
+            let du = g.degree(u);
+            for (v, w) in g.neighbors(u) {
+                work += 1;
+                if next[v as usize] == 0.0 {
+                    next_support.push(v);
+                }
+                next[v as usize] += 0.5 * qu * w / du;
+            }
+        }
+        // Truncate: zero entries below ε·d_v (degree-0 nodes cannot
+        // receive mass, so no special case needed).
+        let mut kept: Vec<NodeId> = Vec::with_capacity(next_support.len());
+        for &v in &next_support {
+            let x = next[v as usize];
+            if x < epsilon * g.degree(v) {
+                mass_lost += x;
+                next[v as usize] = 0.0;
+            } else if x > 0.0 {
+                kept.push(v);
+            }
+        }
+        // Swap buffers: clear old support in q, move next into q.
+        for &u in &support {
+            q[u as usize] = 0.0;
+        }
+        for &v in &kept {
+            q[v as usize] = next[v as usize];
+            next[v as usize] = 0.0;
+        }
+        // Clear truncated slots of `next` (already zeroed above).
+        support = kept;
+        max_support = max_support.max(support.len());
+        if support.is_empty() {
+            break; // everything truncated away
+        }
+
+        // Sweep the current distribution.
+        let sr = sweep_cut_support(g, &q);
+        if sr.set.is_empty() {
+            continue;
+        }
+        match &best {
+            Some((_, phi, _)) if *phi <= sr.conductance => {}
+            _ => best = Some((sr.set, sr.conductance, step)),
+        }
+    }
+
+    let (set, conductance, best_step) = best.unwrap_or((vec![seed], f64::INFINITY, 0));
+    let mut vector: Vec<(NodeId, f64)> = support
+        .iter()
+        .map(|&u| (u, q[u as usize]))
+        .filter(|&(_, x)| x > 0.0)
+        .collect();
+    vector.sort_unstable_by_key(|&(u, _)| u);
+
+    Ok(NibbleResult {
+        set,
+        conductance,
+        best_step,
+        vector,
+        mass_lost,
+        work,
+        max_support,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acir_graph::gen::deterministic::{barbell, cycle};
+    use acir_graph::gen::random::barabasi_albert;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_barbell_community() {
+        let g = barbell(8, 0).unwrap();
+        let r = nibble(&g, 3, 40, 1e-5).unwrap();
+        assert_eq!(r.set, (0..8).collect::<Vec<u32>>());
+        assert!(r.conductance < 0.02);
+        assert!(r.best_step >= 1);
+    }
+
+    #[test]
+    fn mass_conservation_with_leak() {
+        let g = cycle(30).unwrap();
+        let r = nibble(&g, 0, 10, 1e-4).unwrap();
+        let kept: f64 = r.vector.iter().map(|&(_, x)| x).sum();
+        assert!((kept + r.mass_lost - 1.0).abs() < 1e-9);
+        assert!(r.mass_lost >= 0.0);
+    }
+
+    #[test]
+    fn truncation_bounds_support() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = barabasi_albert(&mut rng, 3000, 3).unwrap();
+        // Generous epsilon: the walk must stay tiny even after many steps.
+        let r = nibble(&g, 1500, 30, 1e-2).unwrap();
+        assert!(
+            r.max_support < 300,
+            "support {} should stay far below n = 3000",
+            r.max_support
+        );
+        // Finer epsilon expands the support.
+        let r2 = nibble(&g, 1500, 30, 1e-5).unwrap();
+        assert!(r2.max_support > r.max_support);
+    }
+
+    #[test]
+    fn aggressive_truncation_can_kill_the_walk() {
+        // ε so large that even the seed's mass dies after a step or two.
+        let g = cycle(10).unwrap();
+        let r = nibble(&g, 0, 50, 10.0).unwrap();
+        assert!(r.vector.is_empty() || r.mass_lost > 0.9);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let g = cycle(5).unwrap();
+        assert!(nibble(&g, 9, 5, 1e-3).is_err());
+        assert!(nibble(&g, 0, 0, 1e-3).is_err());
+        assert!(nibble(&g, 0, 5, 0.0).is_err());
+        assert!(nibble(&g, 0, 5, f64::NAN).is_err());
+        let iso = acir_graph::Graph::from_pairs(2, []).unwrap();
+        assert!(nibble(&iso, 0, 5, 1e-3).is_err());
+    }
+
+    #[test]
+    fn work_scales_with_epsilon_not_n() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let small = barabasi_albert(&mut rng, 400, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let big = barabasi_albert(&mut rng, 4000, 3).unwrap();
+        let a = nibble(&small, 200, 15, 1e-3).unwrap();
+        let b = nibble(&big, 200, 15, 1e-3).unwrap();
+        // Same seed region, same parameters: work within a small factor.
+        let ratio = b.work as f64 / a.work.max(1) as f64;
+        assert!(ratio < 5.0, "work ratio {ratio} suggests global scaling");
+    }
+}

@@ -1,0 +1,229 @@
+//! Degree-normalized sweep cuts.
+//!
+//! Every method in this reproduction — global spectral (§3.2), the MOV
+//! program, and the strongly local diffusions (§3.3) — turns its
+//! embedding vector into a cluster the same way: order nodes by
+//! `x_u / d_u` (descending), and return the prefix with the smallest
+//! conductance. Cheeger-type theorems guarantee the best prefix is
+//! quadratically close to the best cut correlated with the vector.
+
+use acir_graph::{Graph, NodeId};
+
+/// Outcome of a sweep cut.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The best-conductance prefix set, sorted by node id.
+    pub set: Vec<NodeId>,
+    /// Conductance of that set.
+    pub conductance: f64,
+    /// The full profile: `(prefix_size, conductance)` per prefix.
+    pub profile: Vec<(usize, f64)>,
+    /// The sweep ordering itself: `order[..k]` is the prefix whose
+    /// conductance is `profile[k-1].1`. NCP harvesting uses this to
+    /// recover the best cluster at *every* size from a single sweep.
+    pub order: Vec<NodeId>,
+}
+
+/// Shared implementation: sweep over `candidates` ordered by
+/// `score[u] / d_u` descending, computing the conductance of every
+/// prefix incrementally in `O(vol(candidates))` total.
+fn sweep_over(g: &Graph, score: &[f64], candidates: Vec<NodeId>) -> SweepResult {
+    let n = g.n();
+    debug_assert_eq!(score.len(), n);
+    let mut order = candidates;
+    order.sort_by(|&a, &b| {
+        let da = g.degree(a).max(f64::MIN_POSITIVE);
+        let db = g.degree(b).max(f64::MIN_POSITIVE);
+        let ra = score[a as usize] / da;
+        let rb = score[b as usize] / db;
+        rb.partial_cmp(&ra)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    let total = g.total_volume();
+    let mut in_set = vec![false; n];
+    let mut cut = 0.0;
+    let mut vol = 0.0;
+    let mut best_phi = f64::INFINITY;
+    let mut best_len = 0usize;
+    let mut profile = Vec::with_capacity(order.len());
+
+    for (i, &u) in order.iter().enumerate() {
+        let d = g.degree(u);
+        // Adding u: every edge to the current set leaves the cut; every
+        // other edge joins it. Self-loops never cross a cut.
+        let mut to_set = 0.0;
+        let mut self_loop = 0.0;
+        for (v, w) in g.neighbors(u) {
+            if v == u {
+                self_loop += w;
+            } else if in_set[v as usize] {
+                to_set += w;
+            }
+        }
+        cut += d - self_loop - 2.0 * to_set;
+        vol += d;
+        in_set[u as usize] = true;
+
+        let denom = vol.min(total - vol);
+        let phi = if denom > 0.0 {
+            cut / denom
+        } else {
+            f64::INFINITY
+        };
+        profile.push((i + 1, phi));
+        // Skip the degenerate full-graph prefix.
+        if (i + 1 < order.len() || vol < total) && phi < best_phi {
+            best_phi = phi;
+            best_len = i + 1;
+        }
+    }
+
+    let mut set: Vec<NodeId> = order[..best_len].to_vec();
+    set.sort_unstable();
+    SweepResult {
+        set,
+        conductance: best_phi,
+        profile,
+        order,
+    }
+}
+
+/// Global sweep cut: consider all nodes, ordered by `score[u]/d_u`.
+///
+/// Returns the best prefix among sizes `1..n` (never the full set, whose
+/// conductance is undefined).
+pub fn sweep_cut(g: &Graph, score: &[f64]) -> SweepResult {
+    let candidates: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    sweep_over(g, score, candidates)
+}
+
+/// Strongly local sweep cut: consider only nodes with `score[u] > 0`
+/// (the support of a truncated diffusion), so the cost is proportional
+/// to the support volume — this is what keeps the §3.3 operational
+/// methods independent of graph size.
+pub fn sweep_cut_support(g: &Graph, score: &[f64]) -> SweepResult {
+    let candidates: Vec<NodeId> = (0..g.n() as NodeId)
+        .filter(|&u| score[u as usize] > 0.0)
+        .collect();
+    sweep_over(g, score, candidates)
+}
+
+/// Conductance of an explicit node set (`min`-side normalized):
+/// `φ(S) = cut(S) / min(vol(S), vol(S̄))` — the paper's Eq. (6).
+pub fn set_conductance(g: &Graph, set: &[NodeId]) -> f64 {
+    let n = g.n();
+    let mut member = vec![false; n];
+    for &u in set {
+        member[u as usize] = true;
+    }
+    let mut cut = 0.0;
+    let mut vol = 0.0;
+    for &u in set {
+        vol += g.degree(u);
+        for (v, w) in g.neighbors(u) {
+            if !member[v as usize] {
+                cut += w;
+            }
+        }
+    }
+    let denom = vol.min(g.total_volume() - vol);
+    if denom > 0.0 {
+        cut / denom
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acir_graph::gen::deterministic::{barbell, complete, cycle, path};
+    use acir_graph::Graph;
+
+    #[test]
+    fn sweep_finds_barbell_bottleneck() {
+        let g = barbell(6, 0).unwrap();
+        // Score: clique A high, clique B low (a caricature of v2).
+        let score: Vec<f64> = (0..12).map(|i| if i < 6 { 1.0 } else { -1.0 }).collect();
+        let r = sweep_cut(&g, &score);
+        assert_eq!(r.set, (0..6).collect::<Vec<u32>>());
+        // cut = 1, vol(A) = 31.
+        assert!((r.conductance - 1.0 / 31.0).abs() < 1e-12);
+        assert_eq!(r.profile.len(), 12);
+    }
+
+    #[test]
+    fn sweep_profile_matches_set_conductance() {
+        let g = path(8).unwrap();
+        let score: Vec<f64> = (0..8).map(|i| -(i as f64)).collect();
+        let r = sweep_cut(&g, &score);
+        // Ordering is node 0, 1, ..., so prefix k = {0..k-1}.
+        for (k, phi) in &r.profile {
+            if *k < 8 {
+                let set: Vec<u32> = (0..*k as u32).collect();
+                assert!(
+                    (phi - set_conductance(&g, &set)).abs() < 1e-12,
+                    "prefix {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_normalization_matters() {
+        // High raw score on a high-degree node should rank below a
+        // slightly lower score on a degree-1 node after normalization.
+        let g = Graph::from_pairs(4, [(0, 1), (0, 2), (0, 3)]).unwrap(); // star, hub 0
+        let score = vec![1.0, 0.9, 0.0, 0.0];
+        let r = sweep_cut(&g, &score);
+        // hub has ratio 1/3; node 1 has 0.9 → node 1 first; prefix {1}
+        // has conductance 1/1 = 1; {1, hub}: cut 2, vol 4 → 2/min(4,2)=1.
+        // All prefixes are conductance 1 on a star; just check order
+        // via the profile membership.
+        assert_eq!(r.profile.len(), 4);
+        assert!(!r.set.is_empty());
+    }
+
+    #[test]
+    fn support_sweep_ignores_zero_entries() {
+        let g = cycle(10).unwrap();
+        let mut score = vec![0.0; 10];
+        score[2] = 1.0;
+        score[3] = 0.8;
+        score[4] = 0.6;
+        let r = sweep_cut_support(&g, &score);
+        assert!(r.profile.len() == 3, "only support nodes considered");
+        assert_eq!(r.set, vec![2, 3, 4]);
+        // Arc of 3 on a 10-cycle: cut 2, vol 6 → 1/3.
+        assert!((r.conductance - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_conductance_known_values() {
+        let g = complete(4).unwrap();
+        // {0}: cut 3, vol 3 → 1. {0,1}: cut 4, vol 6, min(6, 6) → 2/3.
+        assert!((set_conductance(&g, &[0]) - 1.0).abs() < 1e-12);
+        assert!((set_conductance(&g, &[0, 1]) - 4.0 / 6.0).abs() < 1e-12);
+        assert!(set_conductance(&g, &[]).is_infinite());
+    }
+
+    #[test]
+    fn self_loops_do_not_cross_cuts() {
+        let g = Graph::from_edges(2, [(0, 0, 5.0), (0, 1, 1.0)]).unwrap();
+        // {0}: cut 1 (self-loop stays inside), vol 6, other side vol 1.
+        assert!((set_conductance(&g, &[0]) - 1.0).abs() < 1e-12);
+        let r = sweep_cut(&g, &[1.0, 0.0]);
+        assert!((r.conductance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_ties_are_deterministic() {
+        let g = cycle(6).unwrap();
+        let score = vec![1.0; 6];
+        let a = sweep_cut(&g, &score);
+        let b = sweep_cut(&g, &score);
+        assert_eq!(a.set, b.set);
+    }
+}

@@ -1,0 +1,171 @@
+//! Cheeger-inequality checks (§3.2).
+//!
+//! The discrete Cheeger inequality — "originally proved in a continuous
+//! setting for compact Riemannian manifolds" \[12, 14\] — bounds the
+//! graph conductance by the spectral gap of the normalized Laplacian:
+//!
+//! ```text
+//! λ₂ / 2  ≤  φ(G)  ≤  √(2·λ₂)
+//! ```
+//!
+//! and the sweep cut of the Fiedler vector achieves the upper bound.
+//! This module verifies the inequality experimentally: exact `φ(G)` by
+//! brute force on small graphs, the sweep value as an upper bound
+//! otherwise.
+
+use crate::conductance::conductance_of_mask;
+use crate::spectral_part::spectral_bisect;
+use crate::{PartitionError, Result};
+use acir_graph::Graph;
+
+/// Outcome of a Cheeger check.
+#[derive(Debug, Clone)]
+pub struct CheegerReport {
+    /// `λ₂` of the normalized Laplacian.
+    pub lambda2: f64,
+    /// Exact `φ(G)` if brute force was feasible.
+    pub phi_exact: Option<f64>,
+    /// Conductance of the spectral sweep cut (an upper bound on φ(G)).
+    pub phi_sweep: f64,
+    /// Lower bound `λ₂/2`.
+    pub lower: f64,
+    /// Upper bound `√(2·λ₂)`.
+    pub upper: f64,
+    /// Whether every applicable inequality held (with small slack).
+    pub holds: bool,
+}
+
+/// Maximum node count for the exact brute-force conductance.
+pub const BRUTEFORCE_LIMIT: usize = 22;
+
+/// Exact `φ(G)` (Problem (7)) by enumerating all 2^(n−1) − 1 proper
+/// subsets. Errors above [`BRUTEFORCE_LIMIT`] nodes.
+pub fn conductance_exact_bruteforce(g: &Graph) -> Result<f64> {
+    let n = g.n();
+    if n < 2 {
+        return Err(PartitionError::InvalidArgument(
+            "conductance needs at least 2 nodes".into(),
+        ));
+    }
+    if n > BRUTEFORCE_LIMIT {
+        return Err(PartitionError::InvalidArgument(format!(
+            "brute force limited to {BRUTEFORCE_LIMIT} nodes, got {n}"
+        )));
+    }
+    let mut best = f64::INFINITY;
+    let mut mask = vec![false; n];
+    // Node 0 is always excluded from S, halving the enumeration
+    // (φ(S) = φ(S̄)); bit i of `bits` decides node i + 1.
+    for bits in 1u32..(1u32 << (n - 1)) {
+        for i in 0..(n - 1) {
+            mask[i + 1] = (bits >> i) & 1 == 1;
+        }
+        let phi = conductance_of_mask(g, &mask);
+        if phi < best {
+            best = phi;
+        }
+    }
+    Ok(best)
+}
+
+/// Run the Cheeger check on a connected graph.
+pub fn cheeger_check(g: &Graph) -> Result<CheegerReport> {
+    let cut = spectral_bisect(g)?;
+    let lambda2 = cut.lambda2;
+    let lower = lambda2 / 2.0;
+    let upper = (2.0 * lambda2).sqrt();
+    let phi_sweep = cut.sweep.conductance;
+    let phi_exact = if g.n() <= BRUTEFORCE_LIMIT {
+        Some(conductance_exact_bruteforce(g)?)
+    } else {
+        None
+    };
+
+    const SLACK: f64 = 1e-9;
+    let mut holds = phi_sweep >= lower - SLACK && phi_sweep <= upper + SLACK;
+    if let Some(phi) = phi_exact {
+        holds = holds && phi >= lower - SLACK && phi <= upper + SLACK && phi <= phi_sweep + SLACK;
+    }
+    Ok(CheegerReport {
+        lambda2,
+        phi_exact,
+        phi_sweep,
+        lower,
+        upper,
+        holds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acir_graph::gen::deterministic::{barbell, complete, cycle, path, star};
+    use acir_graph::Graph;
+
+    #[test]
+    fn bruteforce_known_values() {
+        // Dumbbell K3–K3: best cut separates the triangles;
+        // cut 1, vol 7 each side → 1/7.
+        let g = barbell(3, 0).unwrap();
+        let phi = conductance_exact_bruteforce(&g).unwrap();
+        assert!((phi - 1.0 / 7.0).abs() < 1e-12);
+
+        // C4: best cut = opposite pair of edges: cut 2 / vol 4 = 1/2.
+        let c4 = cycle(4).unwrap();
+        assert!((conductance_exact_bruteforce(&c4).unwrap() - 0.5).abs() < 1e-12);
+
+        // K4: φ = min over sizes: {1}: 3/3 = 1; {2}: 4/6 = 2/3.
+        let k4 = complete(4).unwrap();
+        assert!((conductance_exact_bruteforce(&k4).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bruteforce_limits() {
+        let big = cycle(30).unwrap();
+        assert!(conductance_exact_bruteforce(&big).is_err());
+        let tiny = Graph::from_pairs(1, []).unwrap();
+        assert!(conductance_exact_bruteforce(&tiny).is_err());
+    }
+
+    #[test]
+    fn cheeger_holds_across_families() {
+        for g in [
+            path(12).unwrap(),
+            cycle(14).unwrap(),
+            complete(8).unwrap(),
+            star(9).unwrap(),
+            barbell(5, 1).unwrap(),
+        ] {
+            let r = cheeger_check(&g).unwrap();
+            assert!(r.holds, "failed on a graph: {r:?}");
+            if let Some(phi) = r.phi_exact {
+                assert!(phi >= r.lower - 1e-9);
+                assert!(phi <= r.upper + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cheeger_holds_on_larger_random_graph() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(41);
+        let g = acir_graph::gen::random::random_regular(&mut rng, 64, 4).unwrap();
+        let r = cheeger_check(&g).unwrap();
+        assert!(r.phi_exact.is_none());
+        assert!(r.holds, "{r:?}");
+        // Expander: λ₂ bounded away from 0.
+        assert!(r.lambda2 > 0.05);
+    }
+
+    #[test]
+    fn path_tightness_of_lower_bound() {
+        // Long paths make the lower bound relatively tight (φ ≈ λ₂ ...
+        // within the quadratic window): check the ratio stays within
+        // the window predicted by Cheeger.
+        let g = path(50).unwrap();
+        let r = cheeger_check(&g).unwrap();
+        assert!(r.phi_sweep <= (2.0 * r.lambda2).sqrt() + 1e-9);
+        assert!(r.phi_sweep >= r.lambda2 / 2.0 - 1e-9);
+    }
+}

@@ -1,0 +1,203 @@
+//! Conductance and related cut quality measures — the paper's
+//! Problems (6) and (7).
+//!
+//! `φ(S) = |E(S, S̄)| / min(A(S), A(S̄))` where `A(S) = Σ_{i∈S} d_i` is
+//! the volume. "Conductance probably is the combinatorial quantity that
+//! most closely captures the intuitive bi-criterial notion of what it
+//! means for a set of nodes to be a good 'community'" (footnote 27).
+
+use crate::{PartitionError, Result};
+use acir_graph::{Graph, NodeId};
+
+/// Cut statistics for a node set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutStats {
+    /// Total weight of edges leaving the set.
+    pub cut: f64,
+    /// Volume of the set (`Σ degrees`).
+    pub volume: f64,
+    /// Volume of the complement.
+    pub complement_volume: f64,
+    /// Conductance `cut / min(volume, complement_volume)`.
+    pub conductance: f64,
+    /// Expansion `cut / min(|S|, |S̄|)` (the unweighted-denominator
+    /// variant, footnote 19).
+    pub expansion: f64,
+    /// Number of nodes in the set.
+    pub size: usize,
+}
+
+/// Validate a set: non-empty, in-range, duplicate-free; returns a
+/// membership mask.
+pub(crate) fn membership_mask(g: &Graph, set: &[NodeId]) -> Result<Vec<bool>> {
+    if set.is_empty() {
+        return Err(PartitionError::InvalidArgument("empty node set".into()));
+    }
+    let mut mask = vec![false; g.n()];
+    for &u in set {
+        if u as usize >= g.n() {
+            return Err(PartitionError::InvalidArgument(format!(
+                "node {u} out of range"
+            )));
+        }
+        if mask[u as usize] {
+            return Err(PartitionError::InvalidArgument(format!(
+                "duplicate node {u}"
+            )));
+        }
+        mask[u as usize] = true;
+    }
+    Ok(mask)
+}
+
+/// Weight of edges crossing from `set` to its complement.
+pub fn cut_weight(g: &Graph, set: &[NodeId]) -> Result<f64> {
+    let mask = membership_mask(g, set)?;
+    let mut cut = 0.0;
+    for &u in set {
+        for (v, w) in g.neighbors(u) {
+            if !mask[v as usize] {
+                cut += w;
+            }
+        }
+    }
+    Ok(cut)
+}
+
+/// Full cut statistics of a set.
+pub fn cut_stats(g: &Graph, set: &[NodeId]) -> Result<CutStats> {
+    let mask = membership_mask(g, set)?;
+    let mut cut = 0.0;
+    let mut volume = 0.0;
+    for &u in set {
+        volume += g.degree(u);
+        for (v, w) in g.neighbors(u) {
+            if !mask[v as usize] {
+                cut += w;
+            }
+        }
+    }
+    let total = g.total_volume();
+    let complement_volume = total - volume;
+    let vol_denom = volume.min(complement_volume);
+    let size_denom = set.len().min(g.n() - set.len()) as f64;
+    Ok(CutStats {
+        cut,
+        volume,
+        complement_volume,
+        conductance: if vol_denom > 0.0 {
+            cut / vol_denom
+        } else {
+            f64::INFINITY
+        },
+        expansion: if size_denom > 0.0 {
+            cut / size_denom
+        } else {
+            f64::INFINITY
+        },
+        size: set.len(),
+    })
+}
+
+/// Conductance `φ(S)` of a node set (Problem (6)).
+pub fn conductance(g: &Graph, set: &[NodeId]) -> Result<f64> {
+    Ok(cut_stats(g, set)?.conductance)
+}
+
+/// Conductance computed from a boolean membership mask (avoids
+/// materializing the node list in hot loops).
+pub fn conductance_of_mask(g: &Graph, mask: &[bool]) -> f64 {
+    let mut cut = 0.0;
+    let mut volume = 0.0;
+    for u in 0..g.n() as NodeId {
+        if !mask[u as usize] {
+            continue;
+        }
+        volume += g.degree(u);
+        for (v, w) in g.neighbors(u) {
+            if !mask[v as usize] {
+                cut += w;
+            }
+        }
+    }
+    let denom = volume.min(g.total_volume() - volume);
+    if denom > 0.0 {
+        cut / denom
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acir_graph::gen::deterministic::{barbell, complete, cycle, path};
+    use acir_graph::Graph;
+
+    #[test]
+    fn known_values_on_cycle() {
+        let g = cycle(8).unwrap();
+        // Arc of 3 nodes: cut 2, vol 6 → 1/3; expansion 2/3.
+        let s = cut_stats(&g, &[0, 1, 2]).unwrap();
+        assert!((s.conductance - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.expansion - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.size, 3);
+    }
+
+    #[test]
+    fn min_side_normalization() {
+        // A 6-node set on an 8-cycle: denominator is the *complement*.
+        let g = cycle(8).unwrap();
+        let s = cut_stats(&g, &[0, 1, 2, 3, 4, 5]).unwrap();
+        assert!((s.conductance - 2.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barbell_optimal_cut() {
+        let g = barbell(6, 0).unwrap();
+        let phi = conductance(&g, &(0..6).collect::<Vec<u32>>()).unwrap();
+        assert!((phi - 1.0 / 31.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_conductance_of_clique() {
+        let g = complete(5).unwrap();
+        assert!((conductance(&g, &[0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_edges_respected() {
+        let g = Graph::from_edges(3, [(0, 1, 5.0), (1, 2, 1.0)]).unwrap();
+        // {0}: cut 5, vol 5, complement vol 7 → 1.
+        assert!((conductance(&g, &[0]).unwrap() - 1.0).abs() < 1e-12);
+        // {0,1}: cut 1, vol 11, comp 1 → 1/1 = 1.
+        assert!((conductance(&g, &[0, 1]).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(cut_weight(&g, &[0]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn mask_variant_matches() {
+        let g = path(7).unwrap();
+        let set = vec![1u32, 2, 3];
+        let mut mask = vec![false; 7];
+        for &u in &set {
+            mask[u as usize] = true;
+        }
+        assert!((conductance(&g, &set).unwrap() - conductance_of_mask(&g, &mask)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        let g = path(4).unwrap();
+        assert!(conductance(&g, &[]).is_err());
+        assert!(conductance(&g, &[9]).is_err());
+        assert!(conductance(&g, &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn whole_graph_is_infinite() {
+        let g = path(4).unwrap();
+        let s = cut_stats(&g, &[0, 1, 2, 3]).unwrap();
+        assert!(s.conductance.is_infinite());
+    }
+}

@@ -1,0 +1,133 @@
+//! # acir-partition
+//!
+//! Graph partitioning for the ACIR reproduction of Mahoney (PODS 2012)
+//! case study §3.2 — the conductance objective (Problems (6)/(7)), its
+//! two rival approximation families, and the measurement apparatus of
+//! Figure 1.
+//!
+//! * [`mod@conductance`] — cut/volume/conductance/expansion primitives.
+//! * [`spectral_part`] — global spectral partitioning: exact Fiedler
+//!   vector + sweep cut (and a truncated power-method variant — the
+//!   early-stopping regularization knob).
+//! * [`multilevel`] — a METIS-like multilevel bisection (heavy-edge
+//!   matching coarsening, BFS region-growing initial cut, boundary
+//!   Kernighan–Lin/FM refinement) and recursive partitioning; combined
+//!   with MQI from `acir-flow` this is the paper's "Metis+MQI"
+//!   flow-based clusterer.
+//! * [`ncp`] — Network Community Profile computation: the
+//!   best-conductance cluster at every size scale, by the local
+//!   spectral method and by Metis+MQI; this regenerates Figure 1(a).
+//! * [`niceness`] — the Figure 1(b)/(c) cluster "niceness" measures:
+//!   internal average shortest-path length, and the ratio of external
+//!   to internal conductance.
+//! * [`cheeger`] — Cheeger-inequality checks `λ₂/2 ≤ φ(G) ≤ √(2λ₂)`
+//!   with a brute-force exact `φ(G)` for small graphs.
+//! * [`whisker`] — exact whisker extraction and the whisker-union
+//!   envelope: the \[27, 28\] explanation of the NCP's small-scale
+//!   dips.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cheeger;
+pub mod conductance;
+pub mod multilevel;
+pub mod ncp;
+pub mod niceness;
+pub mod spectral_part;
+pub mod whisker;
+
+pub use cheeger::{cheeger_check, conductance_exact_bruteforce, CheegerReport};
+pub use conductance::{conductance, cut_weight, CutStats};
+pub use multilevel::{multilevel_bisect, recursive_partition, refine_bisection, MultilevelOptions};
+pub use ncp::{ncp_local_spectral, ncp_metis_mqi, NcpOptions, NcpPoint};
+pub use niceness::{cluster_niceness, ClusterNiceness};
+pub use spectral_part::{
+    spectral_bisect, spectral_bisect_ratio, spectral_bisect_truncated, SpectralCut,
+};
+pub use whisker::{whisker_union_envelope, whiskers, Whisker};
+
+/// Errors from the partitioning layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionError {
+    /// Invalid argument.
+    InvalidArgument(String),
+    /// Underlying spectral error.
+    Spectral(acir_spectral::SpectralError),
+    /// Underlying local-method error.
+    Local(acir_local::LocalError),
+    /// Underlying flow error.
+    Flow(acir_flow::FlowError),
+    /// Underlying graph error.
+    Graph(acir_graph::GraphError),
+    /// Underlying linear-algebra error.
+    Linalg(acir_linalg::LinalgError),
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            PartitionError::Spectral(e) => write!(f, "spectral: {e}"),
+            PartitionError::Local(e) => write!(f, "local: {e}"),
+            PartitionError::Flow(e) => write!(f, "flow: {e}"),
+            PartitionError::Graph(e) => write!(f, "graph: {e}"),
+            PartitionError::Linalg(e) => write!(f, "linalg: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl From<acir_spectral::SpectralError> for PartitionError {
+    fn from(e: acir_spectral::SpectralError) -> Self {
+        PartitionError::Spectral(e)
+    }
+}
+
+impl From<acir_local::LocalError> for PartitionError {
+    fn from(e: acir_local::LocalError) -> Self {
+        PartitionError::Local(e)
+    }
+}
+
+impl From<acir_flow::FlowError> for PartitionError {
+    fn from(e: acir_flow::FlowError) -> Self {
+        PartitionError::Flow(e)
+    }
+}
+
+impl From<acir_graph::GraphError> for PartitionError {
+    fn from(e: acir_graph::GraphError) -> Self {
+        PartitionError::Graph(e)
+    }
+}
+
+impl From<acir_linalg::LinalgError> for PartitionError {
+    fn from(e: acir_linalg::LinalgError) -> Self {
+        PartitionError::Linalg(e)
+    }
+}
+
+/// Result alias for partitioning operations.
+pub type Result<T> = std::result::Result<T, PartitionError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_conversion() {
+        assert!(PartitionError::InvalidArgument("p".into())
+            .to_string()
+            .contains("p"));
+        let e: PartitionError = acir_spectral::SpectralError::InvalidArgument("s".into()).into();
+        assert!(e.to_string().contains("spectral"));
+        let e: PartitionError = acir_local::LocalError::InvalidArgument("l".into()).into();
+        assert!(e.to_string().contains("local"));
+        let e: PartitionError = acir_flow::FlowError::InvalidArgument("f".into()).into();
+        assert!(e.to_string().contains("flow"));
+        let e: PartitionError = acir_graph::GraphError::BadWeight(0.0).into();
+        assert!(e.to_string().contains("graph"));
+    }
+}

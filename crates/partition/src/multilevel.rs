@@ -1,0 +1,569 @@
+//! Multilevel graph bisection — the "Metis" half of the paper's
+//! Metis+MQI flow-based clusterer (Figure 1).
+//!
+//! The classic three-phase scheme:
+//!
+//! 1. **Coarsen** by heavy-edge matching until the graph is small,
+//!    carrying each supernode's original *volume* so conductance is
+//!    preserved across levels;
+//! 2. **Initial cut** on the coarsest graph by BFS region-growing from
+//!    several seeds, keeping the best conductance;
+//! 3. **Uncoarsen + refine** with greedy boundary Fiduccia–Mattheyses
+//!    passes under a volume-balance constraint.
+//!
+//! The output bisection is then typically polished with MQI
+//! (`acir_flow::mqi`) — see [`crate::ncp`] for the full Metis+MQI
+//! pipeline.
+
+use crate::{PartitionError, Result};
+use acir_graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Options for [`multilevel_bisect`].
+#[derive(Debug, Clone)]
+pub struct MultilevelOptions {
+    /// Stop coarsening when at most this many supernodes remain.
+    pub coarsen_until: usize,
+    /// Allowed volume imbalance: each side must hold at least
+    /// `(0.5 − balance) · total volume`.
+    pub balance: f64,
+    /// Greedy FM refinement passes per level.
+    pub refine_passes: usize,
+    /// RNG seed (matching order, initial-cut seeds).
+    pub seed: u64,
+    /// Number of BFS seeds tried for the initial cut.
+    pub initial_tries: usize,
+}
+
+impl Default for MultilevelOptions {
+    fn default() -> Self {
+        Self {
+            coarsen_until: 64,
+            balance: 0.15,
+            refine_passes: 6,
+            seed: 0xACE1,
+            initial_tries: 8,
+        }
+    }
+}
+
+/// A bisection: membership mask of side A plus its quality.
+#[derive(Debug, Clone)]
+pub struct Bisection {
+    /// `true` for nodes on side A.
+    pub side: Vec<bool>,
+    /// Cut weight between the sides.
+    pub cut: f64,
+    /// Conductance of side A (min-side normalized, true graph volumes).
+    pub conductance: f64,
+}
+
+/// One coarsening level: graph, per-node volume, and the mapping from
+/// finer nodes to coarse nodes.
+struct Level {
+    graph: Graph,
+    volume: Vec<f64>,
+    /// `fine_to_coarse[u]` for the *finer* level below (empty at the
+    /// finest level).
+    fine_to_coarse: Vec<u32>,
+}
+
+/// Cut weight of a mask on a graph.
+fn cut_of(g: &Graph, side: &[bool]) -> f64 {
+    let mut cut = 0.0;
+    for u in 0..g.n() as NodeId {
+        if !side[u as usize] {
+            continue;
+        }
+        for (v, w) in g.neighbors(u) {
+            if !side[v as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+fn side_volume(volume: &[f64], side: &[bool]) -> f64 {
+    volume
+        .iter()
+        .zip(side)
+        .filter(|&(_, &s)| s)
+        .map(|(&v, _)| v)
+        .sum()
+}
+
+/// Multilevel bisection of `g`. Errors on graphs with fewer than 2
+/// nodes or zero volume.
+pub fn multilevel_bisect(g: &Graph, opts: &MultilevelOptions) -> Result<Bisection> {
+    if g.n() < 2 {
+        return Err(PartitionError::InvalidArgument(
+            "multilevel_bisect needs at least 2 nodes".into(),
+        ));
+    }
+    if g.total_volume() <= 0.0 {
+        return Err(PartitionError::InvalidArgument(
+            "multilevel_bisect needs positive volume".into(),
+        ));
+    }
+    if !(0.0..0.5).contains(&opts.balance) {
+        return Err(PartitionError::InvalidArgument(
+            "balance must be in [0, 0.5)".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // --- Phase 1: coarsen. ---
+    let mut levels: Vec<Level> = vec![Level {
+        graph: g.clone(),
+        volume: g.degrees().to_vec(),
+        fine_to_coarse: Vec::new(),
+    }];
+    while levels.last().unwrap().graph.n() > opts.coarsen_until.max(4) {
+        let top = levels.last().unwrap();
+        let (coarse_graph, coarse_volume, mapping) =
+            coarsen_once(&top.graph, &top.volume, &mut rng)?;
+        // Matching can stall (e.g. a clique of self-matched nodes);
+        // stop if we shrank by less than 10%.
+        if coarse_graph.n() as f64 > top.graph.n() as f64 * 0.95 {
+            break;
+        }
+        levels.push(Level {
+            graph: coarse_graph,
+            volume: coarse_volume,
+            fine_to_coarse: mapping,
+        });
+    }
+
+    // --- Phase 2: initial cut on the coarsest level. ---
+    let coarsest = levels.last().unwrap();
+    let mut side = initial_cut(
+        &coarsest.graph,
+        &coarsest.volume,
+        opts.initial_tries.max(1),
+        &mut rng,
+    );
+
+    // --- Phase 3: uncoarsen + refine. ---
+    for li in (0..levels.len()).rev() {
+        let level = &levels[li];
+        refine(
+            &level.graph,
+            &level.volume,
+            &mut side,
+            opts.balance,
+            opts.refine_passes,
+        );
+        if li > 0 {
+            // Project to the finer level below.
+            let mapping = &levels[li].fine_to_coarse;
+            let finer_n = levels[li - 1].graph.n();
+            let mut fine_side = vec![false; finer_n];
+            for u in 0..finer_n {
+                fine_side[u] = side[mapping[u] as usize];
+            }
+            side = fine_side;
+        }
+    }
+
+    let cut = cut_of(g, &side);
+    let vol_a = side_volume(g.degrees(), &side);
+    let denom = vol_a.min(g.total_volume() - vol_a);
+    Ok(Bisection {
+        conductance: if denom > 0.0 {
+            cut / denom
+        } else {
+            f64::INFINITY
+        },
+        cut,
+        side,
+    })
+}
+
+/// One round of heavy-edge matching; returns the coarse graph, its
+/// volumes, and the fine→coarse mapping.
+fn coarsen_once(
+    g: &Graph,
+    volume: &[f64],
+    rng: &mut StdRng,
+) -> Result<(Graph, Vec<f64>, Vec<u32>)> {
+    let n = g.n();
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.shuffle(rng);
+    let mut mate = vec![u32::MAX; n];
+    for &u in &order {
+        if mate[u as usize] != u32::MAX {
+            continue;
+        }
+        // Heaviest unmatched neighbor.
+        let mut best: Option<(NodeId, f64)> = None;
+        for (v, w) in g.neighbors(u) {
+            if v != u && mate[v as usize] == u32::MAX {
+                match best {
+                    Some((_, bw)) if bw >= w => {}
+                    _ => best = Some((v, w)),
+                }
+            }
+        }
+        match best {
+            Some((v, _)) => {
+                mate[u as usize] = v;
+                mate[v as usize] = u;
+            }
+            None => mate[u as usize] = u, // self-matched
+        }
+    }
+    // Assign coarse ids.
+    let mut coarse_id = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for u in 0..n {
+        if coarse_id[u] != u32::MAX {
+            continue;
+        }
+        let m = mate[u] as usize;
+        coarse_id[u] = next;
+        coarse_id[m] = next;
+        next += 1;
+    }
+    let coarse_n = next as usize;
+    let mut coarse_volume = vec![0.0; coarse_n];
+    for u in 0..n {
+        coarse_volume[coarse_id[u] as usize] += volume[u];
+    }
+    let mut b = GraphBuilder::with_nodes(coarse_n);
+    for (u, v, w) in g.edges() {
+        let cu = coarse_id[u as usize];
+        let cv = coarse_id[v as usize];
+        if cu != cv {
+            b.add_edge(cu, cv, w);
+        }
+    }
+    Ok((b.build()?, coarse_volume, coarse_id))
+}
+
+/// BFS region-growing initial cut: grow from a random seed until half
+/// the volume is absorbed; keep the best of `tries` attempts by
+/// volume-based conductance.
+fn initial_cut(g: &Graph, volume: &[f64], tries: usize, rng: &mut StdRng) -> Vec<bool> {
+    let n = g.n();
+    let total: f64 = volume.iter().sum();
+    let mut best: Option<(Vec<bool>, f64)> = None;
+    for _ in 0..tries {
+        let seed = rng.gen_range(0..n as NodeId);
+        let mut side = vec![false; n];
+        let mut vol = 0.0;
+        let mut queue = std::collections::VecDeque::new();
+        side[seed as usize] = true;
+        vol += volume[seed as usize];
+        queue.push_back(seed);
+        'grow: while let Some(u) = queue.pop_front() {
+            for (v, _) in g.neighbors(u) {
+                if !side[v as usize] {
+                    side[v as usize] = true;
+                    vol += volume[v as usize];
+                    queue.push_back(v);
+                    if vol >= total / 2.0 {
+                        break 'grow;
+                    }
+                }
+            }
+        }
+        // Degenerate grow (disconnected component absorbed everything
+        // reachable): accept anyway, refinement will shuffle.
+        let cut = cut_of(g, &side);
+        let denom = vol.min(total - vol);
+        let phi = if denom > 0.0 {
+            cut / denom
+        } else {
+            f64::INFINITY
+        };
+        match &best {
+            Some((_, bp)) if *bp <= phi => {}
+            _ => best = Some((side, phi)),
+        }
+    }
+    best.expect("tries >= 1").0
+}
+
+/// Greedy boundary FM passes: move the node with the best gain
+/// (cut-weight decrease) that keeps both sides above the balance
+/// floor; stop a pass when no positive-gain balanced move exists.
+fn refine(g: &Graph, volume: &[f64], side: &mut [bool], balance: f64, passes: usize) {
+    let n = g.n();
+    let total: f64 = volume.iter().sum();
+    let floor = (0.5 - balance) * total;
+    let mut vol_a = side_volume(volume, side);
+
+    for _ in 0..passes {
+        let mut moved_any = false;
+        // Gain of moving u to the other side: ext − int.
+        let mut gains: Vec<(f64, NodeId)> = Vec::new();
+        for u in 0..n as NodeId {
+            let mut internal = 0.0;
+            let mut external = 0.0;
+            for (v, w) in g.neighbors(u) {
+                if v == u {
+                    continue;
+                }
+                if side[v as usize] == side[u as usize] {
+                    internal += w;
+                } else {
+                    external += w;
+                }
+            }
+            if external > 0.0 {
+                gains.push((external - internal, u));
+            }
+        }
+        gains.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        for &(gain, u) in &gains {
+            if gain <= 0.0 {
+                break;
+            }
+            // Re-check the gain (earlier moves may have changed it).
+            let mut internal = 0.0;
+            let mut external = 0.0;
+            for (v, w) in g.neighbors(u) {
+                if v == u {
+                    continue;
+                }
+                if side[v as usize] == side[u as usize] {
+                    internal += w;
+                } else {
+                    external += w;
+                }
+            }
+            if external - internal <= 0.0 {
+                continue;
+            }
+            let vu = volume[u as usize];
+            let (new_a, new_b) = if side[u as usize] {
+                (vol_a - vu, total - vol_a + vu)
+            } else {
+                (vol_a + vu, total - vol_a - vu)
+            };
+            if new_a < floor || new_b < floor {
+                continue;
+            }
+            side[u as usize] = !side[u as usize];
+            vol_a = new_a;
+            moved_any = true;
+        }
+        if !moved_any {
+            break;
+        }
+    }
+}
+
+/// Standalone greedy FM refinement of an existing bisection — the
+/// "local improvement methods, which can be used to clean up partitions
+/// found with other methods" of the paper's footnote 20. Returns the
+/// refined bisection; never worsens the cut.
+pub fn refine_bisection(
+    g: &Graph,
+    side: &[bool],
+    balance: f64,
+    passes: usize,
+) -> Result<Bisection> {
+    if side.len() != g.n() {
+        return Err(PartitionError::InvalidArgument(format!(
+            "side mask length {} != n {}",
+            side.len(),
+            g.n()
+        )));
+    }
+    if !(0.0..0.5).contains(&balance) {
+        return Err(PartitionError::InvalidArgument(
+            "balance must be in [0, 0.5)".into(),
+        ));
+    }
+    let mut refined = side.to_vec();
+    refine(g, g.degrees(), &mut refined, balance, passes.max(1));
+    let cut = cut_of(g, &refined);
+    let vol_a = side_volume(g.degrees(), &refined);
+    let denom = vol_a.min(g.total_volume() - vol_a);
+    Ok(Bisection {
+        conductance: if denom > 0.0 {
+            cut / denom
+        } else {
+            f64::INFINITY
+        },
+        cut,
+        side: refined,
+    })
+}
+
+/// Recursively bisect until every piece has at most `max_nodes` nodes;
+/// returns the pieces as sorted node lists (in original ids).
+///
+/// This is how the Figure 1 pipeline manufactures candidate clusters at
+/// a given size scale before MQI polishing.
+pub fn recursive_partition(
+    g: &Graph,
+    max_nodes: usize,
+    opts: &MultilevelOptions,
+) -> Result<Vec<Vec<NodeId>>> {
+    if max_nodes == 0 {
+        return Err(PartitionError::InvalidArgument(
+            "max_nodes must be positive".into(),
+        ));
+    }
+    let mut pieces: Vec<Vec<NodeId>> = Vec::new();
+    // Work stack of (node list in original ids).
+    let all: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    let mut stack = vec![all];
+    let mut salt = 0u64;
+    while let Some(nodes) = stack.pop() {
+        if nodes.len() <= max_nodes || nodes.len() < 4 {
+            pieces.push(nodes);
+            continue;
+        }
+        let (sub, map) = g.induced_subgraph(&nodes)?;
+        if sub.total_volume() <= 0.0 {
+            pieces.push(nodes);
+            continue;
+        }
+        let mut sub_opts = opts.clone();
+        sub_opts.seed = opts.seed.wrapping_add(salt);
+        salt += 1;
+        let bis = multilevel_bisect(&sub, &sub_opts)?;
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for (local, &orig) in map.iter().enumerate() {
+            if bis.side[local] {
+                a.push(orig);
+            } else {
+                b.push(orig);
+            }
+        }
+        if a.is_empty() || b.is_empty() {
+            pieces.push(nodes); // refuse to loop on a degenerate cut
+            continue;
+        }
+        stack.push(a);
+        stack.push(b);
+    }
+    for p in &mut pieces {
+        p.sort_unstable();
+    }
+    Ok(pieces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conductance::conductance;
+    use acir_graph::gen::deterministic::{barbell, grid2d, ring_of_cliques};
+    use acir_graph::gen::random::erdos_renyi_gnp;
+
+    #[test]
+    fn bisects_barbell_at_the_bridge() {
+        let g = barbell(10, 0).unwrap();
+        let r = multilevel_bisect(&g, &MultilevelOptions::default()).unwrap();
+        assert!((r.cut - 1.0).abs() < 1e-9, "cut = {}", r.cut);
+        // One clique per side.
+        let a: Vec<u32> = (0..20).filter(|&u| r.side[u as usize]).collect();
+        assert!(a.len() == 10);
+        assert!(r.conductance < 0.02);
+    }
+
+    #[test]
+    fn grid_bisection_is_balanced_and_cheap() {
+        let g = grid2d(10, 10).unwrap();
+        let r = multilevel_bisect(&g, &MultilevelOptions::default()).unwrap();
+        let a = r.side.iter().filter(|&&s| s).count();
+        assert!((30..=70).contains(&a), "side size {a}");
+        // A 10x10 grid has a width-10 cut; accept anything near it.
+        assert!(r.cut <= 20.0, "cut {}", r.cut);
+    }
+
+    #[test]
+    fn conductance_matches_direct_computation() {
+        let g = barbell(6, 2).unwrap();
+        let r = multilevel_bisect(&g, &MultilevelOptions::default()).unwrap();
+        let a: Vec<u32> = (0..g.n() as u32).filter(|&u| r.side[u as usize]).collect();
+        let direct = conductance(&g, &a).unwrap();
+        assert!((r.conductance - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = grid2d(8, 8).unwrap();
+        let o = MultilevelOptions::default();
+        let a = multilevel_bisect(&g, &o).unwrap();
+        let b = multilevel_bisect(&g, &o).unwrap();
+        assert_eq!(a.side, b.side);
+    }
+
+    #[test]
+    fn recursive_partition_respects_size_cap() {
+        let g = ring_of_cliques(6, 8).unwrap();
+        let pieces = recursive_partition(&g, 10, &MultilevelOptions::default()).unwrap();
+        let covered: usize = pieces.iter().map(Vec::len).sum();
+        assert_eq!(covered, g.n(), "pieces cover the graph");
+        // No duplicates across pieces.
+        let mut seen = vec![false; g.n()];
+        for p in &pieces {
+            for &u in p {
+                assert!(!seen[u as usize]);
+                seen[u as usize] = true;
+            }
+        }
+        assert!(pieces.iter().all(|p| p.len() <= 10 || p.len() < 4));
+        // Ring of cliques: pieces should align with cliques often.
+        assert!(pieces.len() >= 6);
+    }
+
+    #[test]
+    fn refine_bisection_cleans_noisy_cut() {
+        // Barbell with two nodes on the wrong side: FM moves them back.
+        let g = barbell(8, 0).unwrap();
+        let mut side = vec![false; 16];
+        side[..8].fill(true);
+        side[2] = false; // wrong
+        side[12] = true; // wrong
+        let noisy_cut = {
+            let mut cut = 0.0;
+            for (u, v, w) in g.edges() {
+                if side[u as usize] != side[v as usize] {
+                    cut += w;
+                }
+            }
+            cut
+        };
+        let refined = refine_bisection(&g, &side, 0.15, 4).unwrap();
+        assert!(refined.cut < noisy_cut);
+        assert!((refined.cut - 1.0).abs() < 1e-9, "cut {}", refined.cut);
+        assert!(refine_bisection(&g, &side[..3], 0.15, 2).is_err());
+        assert!(refine_bisection(&g, &side, 0.9, 2).is_err());
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let g = barbell(4, 0).unwrap();
+        let o = MultilevelOptions {
+            balance: 0.7,
+            ..Default::default()
+        };
+        assert!(multilevel_bisect(&g, &o).is_err());
+        let tiny = acir_graph::Graph::from_pairs(1, []).unwrap();
+        assert!(multilevel_bisect(&tiny, &MultilevelOptions::default()).is_err());
+        let hollow = acir_graph::Graph::from_pairs(3, []).unwrap();
+        assert!(multilevel_bisect(&hollow, &MultilevelOptions::default()).is_err());
+        assert!(recursive_partition(&g, 0, &MultilevelOptions::default()).is_err());
+    }
+
+    #[test]
+    fn works_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = erdos_renyi_gnp(&mut rng, 120, 0.08).unwrap();
+        let r = multilevel_bisect(&g, &MultilevelOptions::default()).unwrap();
+        assert!(r.conductance.is_finite());
+        let a = r.side.iter().filter(|&&s| s).count();
+        assert!(a > 0 && a < 120);
+    }
+}

@@ -1,0 +1,170 @@
+//! Cluster "niceness" measures — the Y-axes of Figure 1(b) and 1(c).
+//!
+//! The paper's empirical point: flow-based clusters win on the
+//! *objective* (conductance, Fig 1(a)) but spectral clusters win on
+//! *niceness*:
+//!
+//! * **Fig 1(b)** — average shortest-path length inside the cluster
+//!   (compact, ball-like clusters score low; stringy quota-fillers
+//!   score high);
+//! * **Fig 1(c)** — ratio of external conductance to internal
+//!   conductance (a good community is well separated *and* internally
+//!   well connected; a low ratio means exactly that).
+//!
+//! Internal conductance is the conductance profile of the *induced*
+//! subgraph `G[S]`: we approximate `φ(G[S])` from above with a spectral
+//! sweep inside `G[S]` (exact enough for the comparison; a disconnected
+//! `G[S]` has internal conductance 0 and therefore an infinite ratio —
+//! the nastiest possible cluster).
+
+use crate::conductance::cut_stats;
+use crate::spectral_part::spectral_bisect;
+use crate::Result;
+use acir_graph::traversal::{average_shortest_path_sampled, is_connected};
+use acir_graph::{Graph, NodeId};
+
+/// Niceness report for one cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterNiceness {
+    /// Cluster size (nodes).
+    pub size: usize,
+    /// External conductance `φ(S)` in the host graph.
+    pub external_conductance: f64,
+    /// Average shortest-path length within `G[S]` (Fig 1(b));
+    /// `None` for singletons.
+    pub avg_shortest_path: Option<f64>,
+    /// Internal conductance `φ(G[S])` (spectral-sweep upper bound);
+    /// 0 when `G[S]` is disconnected.
+    pub internal_conductance: f64,
+    /// `external / internal` (Fig 1(c)); `f64::INFINITY` when the
+    /// cluster is internally disconnected.
+    pub ratio: f64,
+    /// Whether `G[S]` is connected.
+    pub connected: bool,
+}
+
+/// Compute the niceness measures of a cluster.
+///
+/// `asp_samples` bounds the BFS sources used for the average
+/// shortest-path estimate (clusters larger than this are sampled).
+pub fn cluster_niceness(g: &Graph, set: &[NodeId], asp_samples: usize) -> Result<ClusterNiceness> {
+    let stats = cut_stats(g, set)?;
+    let (sub, _) = g.induced_subgraph(set)?;
+    let connected = is_connected(&sub) && sub.n() > 0;
+
+    let internal_conductance = if !connected || sub.n() < 2 || sub.total_volume() <= 0.0 {
+        0.0
+    } else {
+        match spectral_bisect(&sub) {
+            Ok(cut) => cut.sweep.conductance.min(1.0),
+            Err(_) => 0.0,
+        }
+    };
+
+    let avg_shortest_path = average_shortest_path_sampled(g, set, asp_samples.max(1));
+
+    let ratio = if internal_conductance > 0.0 {
+        stats.conductance / internal_conductance
+    } else {
+        f64::INFINITY
+    };
+
+    Ok(ClusterNiceness {
+        size: set.len(),
+        external_conductance: stats.conductance,
+        avg_shortest_path,
+        internal_conductance,
+        ratio,
+        connected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acir_graph::gen::deterministic::{barbell, complete, path};
+    use acir_graph::GraphBuilder;
+
+    #[test]
+    fn clique_cluster_is_maximally_nice() {
+        let g = barbell(8, 0).unwrap();
+        let clique: Vec<u32> = (0..8).collect();
+        let n = cluster_niceness(&g, &clique, 64).unwrap();
+        assert!(n.connected);
+        assert!(n.external_conductance < 0.05);
+        // Clique internal: ASP = 1, internal conductance high.
+        assert!((n.avg_shortest_path.unwrap() - 1.0).abs() < 1e-12);
+        assert!(n.internal_conductance > 0.5);
+        assert!(n.ratio < 0.1);
+    }
+
+    #[test]
+    fn stringy_cluster_scores_badly_on_asp() {
+        // A path segment inside a longer path: low conductance (cut 2)
+        // but terrible compactness.
+        let g = path(40).unwrap();
+        let segment: Vec<u32> = (10..30).collect();
+        let n = cluster_niceness(&g, &segment, 64).unwrap();
+        assert!(n.connected);
+        assert!(
+            n.avg_shortest_path.unwrap() > 5.0,
+            "stringy: long internal paths"
+        );
+        // Internal conductance of a path is poor too.
+        assert!(n.internal_conductance < 0.3);
+    }
+
+    #[test]
+    fn disconnected_cluster_has_infinite_ratio() {
+        let g = path(10).unwrap();
+        // Two far-apart nodes: induced subgraph has no edges.
+        let n = cluster_niceness(&g, &[0, 9], 16).unwrap();
+        assert!(!n.connected);
+        assert_eq!(n.internal_conductance, 0.0);
+        assert!(n.ratio.is_infinite());
+        assert_eq!(n.avg_shortest_path, None);
+    }
+
+    #[test]
+    fn compact_beats_stringy_at_equal_conductance() {
+        // Build a graph holding both a clique community and an
+        // equally-low-conductance stringy community; the niceness
+        // measures must rank the clique nicer.
+        let mut b = GraphBuilder::new();
+        // Clique 0..9 attached to hub 20 by one edge.
+        for u in 0..10u32 {
+            for v in (u + 1)..10 {
+                b.add_pair(u, v);
+            }
+        }
+        b.add_pair(0, 20);
+        // Path 10..19 attached to hub by one edge.
+        for u in 10..19u32 {
+            b.add_pair(u, u + 1);
+        }
+        b.add_pair(10, 20);
+        let g = b.build().unwrap();
+        let clique: Vec<u32> = (0..10).collect();
+        let stringy: Vec<u32> = (10..20).collect();
+        let nc = cluster_niceness(&g, &clique, 64).unwrap();
+        let ns = cluster_niceness(&g, &stringy, 64).unwrap();
+        assert!(nc.avg_shortest_path.unwrap() < ns.avg_shortest_path.unwrap());
+        assert!(nc.ratio < ns.ratio);
+    }
+
+    #[test]
+    fn singleton_cluster() {
+        let g = complete(4).unwrap();
+        let n = cluster_niceness(&g, &[0], 8).unwrap();
+        assert_eq!(n.size, 1);
+        assert_eq!(n.avg_shortest_path, None);
+        assert_eq!(n.internal_conductance, 0.0);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let g = path(4).unwrap();
+        assert!(cluster_niceness(&g, &[], 8).is_err());
+        assert!(cluster_niceness(&g, &[11], 8).is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! Whisker analysis — the mechanism behind the small-scale dips of the
+//! network community profile.
+//!
+//! Refs \[27, 28\] (and §3.2's "structures analogous to stringy pieces
+//! that are cut off or regularized away by spectral methods") identify
+//! *whiskers* — maximal subtrees hanging off the graph's 2-core by a
+//! single edge — as the best-conductance sets at small scales in real
+//! social networks, and *unions of whiskers* as the NCP's lower
+//! envelope at medium scales. This module extracts the whiskers exactly
+//! (1-shaving), computes each one's conductance (cut = the one anchor
+//! edge), and builds the union envelope, so experiments can check how
+//! much of a computed NCP is explained by pure whisker structure.
+
+use crate::{PartitionError, Result};
+use acir_graph::{Graph, NodeId};
+
+/// One whisker: a maximal subtree attached to the 2-core by one edge.
+#[derive(Debug, Clone)]
+pub struct Whisker {
+    /// The whisker's nodes (sorted; excludes the core anchor).
+    pub nodes: Vec<NodeId>,
+    /// The core node it hangs from.
+    pub anchor: NodeId,
+    /// Weight of the single anchor edge (the whisker's cut).
+    pub cut: f64,
+    /// Volume of the whisker nodes.
+    pub volume: f64,
+}
+
+impl Whisker {
+    /// Conductance of the whisker as a cluster.
+    pub fn conductance(&self) -> f64 {
+        if self.volume > 0.0 {
+            self.cut / self.volume
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Extract all whiskers of `g` by iterated degree-1 shaving.
+///
+/// Each connected component of the shaved node set attaches to the
+/// 2-core by exactly one edge (otherwise the attachment cycle would
+/// have protected it from shaving). Components that are entire
+/// connected components of `g` (trees with no core) are skipped — they
+/// have conductance 0 and are not "whiskers" of anything.
+pub fn whiskers(g: &Graph) -> Result<Vec<Whisker>> {
+    let n = g.n();
+    // Iterated shaving.
+    let mut alive_deg: Vec<usize> = (0..n as NodeId).map(|u| g.degree_unweighted(u)).collect();
+    let mut removed = vec![false; n];
+    let mut stack: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&u| alive_deg[u as usize] == 1)
+        .collect();
+    while let Some(u) = stack.pop() {
+        if removed[u as usize] {
+            continue;
+        }
+        removed[u as usize] = true;
+        for (v, _) in g.neighbors(u) {
+            if !removed[v as usize] && alive_deg[v as usize] > 0 {
+                alive_deg[v as usize] -= 1;
+                if alive_deg[v as usize] == 1 {
+                    stack.push(v);
+                }
+            }
+        }
+    }
+
+    // Components of the removed set + their anchor edges.
+    let mut comp = vec![u32::MAX; n];
+    let mut out = Vec::new();
+    let mut next_comp = 0u32;
+    for s in 0..n as NodeId {
+        if !removed[s as usize] || comp[s as usize] != u32::MAX {
+            continue;
+        }
+        let mut nodes = Vec::new();
+        let mut anchor: Option<(NodeId, f64)> = None;
+        let mut q = std::collections::VecDeque::new();
+        comp[s as usize] = next_comp;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            nodes.push(u);
+            for (v, w) in g.neighbors(u) {
+                if removed[v as usize] {
+                    if comp[v as usize] == u32::MAX {
+                        comp[v as usize] = next_comp;
+                        q.push_back(v);
+                    }
+                } else {
+                    // Edge into the surviving 2-core.
+                    match &anchor {
+                        Some(_) => {
+                            return Err(PartitionError::InvalidArgument(
+                                "shaved component with two core attachments (invariant violation)"
+                                    .into(),
+                            ))
+                        }
+                        None => anchor = Some((v, w)),
+                    }
+                }
+            }
+        }
+        next_comp += 1;
+        let Some((anchor, cut)) = anchor else {
+            continue; // an entire tree component of g, not a whisker
+        };
+        nodes.sort_unstable();
+        let volume = g.volume(&nodes);
+        out.push(Whisker {
+            nodes,
+            anchor,
+            cut,
+            volume,
+        });
+    }
+    // Largest volume first (the envelope order).
+    out.sort_by(|a, b| b.volume.partial_cmp(&a.volume).unwrap());
+    Ok(out)
+}
+
+/// The whisker union envelope: for `k = 1..=count`, the union of the
+/// `k` largest-volume whiskers, its size, and its conductance
+/// `(Σ cuts) / (Σ volumes)` — the \[28\] lower-envelope construction.
+/// Returns `(size, conductance)` pairs, one per `k`.
+pub fn whisker_union_envelope(g: &Graph) -> Result<Vec<(usize, f64)>> {
+    let ws = whiskers(g)?;
+    let total = g.total_volume();
+    let mut out = Vec::with_capacity(ws.len());
+    let mut cut = 0.0;
+    let mut vol = 0.0;
+    let mut size = 0usize;
+    for w in &ws {
+        cut += w.cut;
+        vol += w.volume;
+        size += w.nodes.len();
+        if vol > total / 2.0 {
+            break;
+        }
+        out.push((size, cut / vol));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acir_graph::gen::deterministic::{complete, lollipop};
+    use acir_graph::GraphBuilder;
+
+    #[test]
+    fn lollipop_has_one_whisker() {
+        let g = lollipop(6, 4).unwrap(); // K6 + 4-node tail
+        let ws = whiskers(&g).unwrap();
+        assert_eq!(ws.len(), 1);
+        let w = &ws[0];
+        assert_eq!(w.nodes, vec![6, 7, 8, 9]);
+        assert_eq!(w.anchor, 0);
+        assert_eq!(w.cut, 1.0);
+        // Tail volume: degrees 2,2,2,1 = 7.
+        assert_eq!(w.volume, 7.0);
+        assert!((w.conductance() - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clique_has_no_whiskers() {
+        let g = complete(6).unwrap();
+        assert!(whiskers(&g).unwrap().is_empty());
+    }
+
+    #[test]
+    fn multiple_whiskers_sorted_by_volume() {
+        // K5 core with a 2-node whisker at node 0 and a 5-node whisker
+        // at node 1.
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_pair(u, v);
+            }
+        }
+        b.add_pair(0, 5);
+        b.add_pair(5, 6);
+        let mut prev = 1u32;
+        for i in 0..5u32 {
+            let x = 7 + i;
+            b.add_pair(prev, x);
+            prev = x;
+        }
+        let g = b.build().unwrap();
+        let ws = whiskers(&g).unwrap();
+        assert_eq!(ws.len(), 2);
+        assert!(ws[0].volume > ws[1].volume);
+        assert_eq!(ws[0].nodes.len(), 5);
+        assert_eq!(ws[1].nodes.len(), 2);
+        assert_eq!(ws[0].anchor, 1);
+        assert_eq!(ws[1].anchor, 0);
+        // Every whisker's conductance equals the direct computation.
+        for w in &ws {
+            let direct = crate::conductance::conductance(&g, &w.nodes).unwrap();
+            assert!((w.conductance() - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn union_envelope_improves_conductance_with_k() {
+        // Core = K8; three whiskers of lengths 6, 4, 2.
+        let mut b = GraphBuilder::new();
+        for u in 0..8u32 {
+            for v in (u + 1)..8 {
+                b.add_pair(u, v);
+            }
+        }
+        let mut next = 8u32;
+        for (root, len) in [(0u32, 6u32), (1, 4), (2, 2)] {
+            let mut prev = root;
+            for _ in 0..len {
+                b.add_pair(prev, next);
+                prev = next;
+                next += 1;
+            }
+        }
+        let g = b.build().unwrap();
+        let env = whisker_union_envelope(&g).unwrap();
+        assert_eq!(env.len(), 3);
+        // Sizes accumulate 6, 10, 12.
+        assert_eq!(env[0].0, 6);
+        assert_eq!(env[1].0, 10);
+        assert_eq!(env[2].0, 12);
+        // Unions of large whiskers keep conductance low; envelope values
+        // match direct union computations.
+        let ws = whiskers(&g).unwrap();
+        let mut union: Vec<u32> = Vec::new();
+        for (k, &(_, phi)) in env.iter().enumerate() {
+            union.extend(ws[k].nodes.iter().copied());
+            let mut sorted = union.clone();
+            sorted.sort_unstable();
+            let direct = crate::conductance::conductance(&g, &sorted).unwrap();
+            assert!((phi - direct).abs() < 1e-12, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn whiskers_on_social_surrogate_match_census() {
+        use acir_graph::gen::community::{social_network, SocialNetworkParams};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let pc = social_network(
+            &mut rng,
+            &SocialNetworkParams {
+                core_nodes: 200,
+                core_attach: 3,
+                communities: 4,
+                community_size_range: (5, 25),
+                whiskers: 12,
+                whisker_max_len: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (g, _) = acir_graph::traversal::largest_component(&pc.graph);
+        let ws = whiskers(&g).unwrap();
+        let whisker_nodes: usize = ws.iter().map(|w| w.nodes.len()).sum();
+        let (census, _) = acir_graph::stats::whisker_census(&g);
+        assert_eq!(
+            whisker_nodes, census,
+            "two independent whisker counts agree"
+        );
+        assert!(!ws.is_empty());
+    }
+}

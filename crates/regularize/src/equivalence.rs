@@ -1,0 +1,325 @@
+//! The Mahoney–Orecchia implicit-regularization theorem as executable
+//! checks (§3.1: "these three diffusion-based dynamics arise as
+//! solutions to the regularized SDP ... Conversely, solutions to the
+//! regularized SDP of Problem (5) for appropriate values of η can be
+//! computed exactly by running one of the above three diffusion-based
+//! approximation algorithms").
+//!
+//! The two sides are computed by *independent* code paths:
+//!
+//! * the **implicit** side builds the diffusion operator as a matrix
+//!   function of the normalized Laplacian — `exp(−t𝓛)`, the PageRank
+//!   resolvent `(𝓛 + νI)^{−1}`, or the lazy-walk power
+//!   `(I − (1−α)𝓛)^k` — projects out the trivial eigenvector, and
+//!   normalizes the trace;
+//! * the **explicit** side solves the regularized SDP via KKT
+//!   conditions and multiplier bisection ([`crate::sdp`]).
+//!
+//! Agreement to numerical precision is the theorem. These checks power
+//! the `casestudy1` experiment binary (DESIGN.md row C1-eq).
+
+use crate::regularizers::{DiffusionParameter, Regularizer};
+use crate::sdp::{solve_regularized_sdp, SpectralProblem};
+use crate::{RegularizeError, Result};
+use acir_linalg::{DenseMatrix, SymEig};
+
+/// Outcome of one implicit-vs-explicit comparison.
+#[derive(Debug, Clone)]
+pub struct EquivalenceReport {
+    /// `‖X_implicit − X_explicit‖_F`.
+    pub frobenius_error: f64,
+    /// Error relative to `‖X_explicit‖_F`.
+    pub relative_error: f64,
+    /// The diffusion parameter used on the implicit side.
+    pub parameter: DiffusionParameter,
+    /// η used on the explicit side.
+    pub eta: f64,
+}
+
+impl EquivalenceReport {
+    /// Whether the two sides agree to the given relative tolerance.
+    pub fn agrees(&self, tol: f64) -> bool {
+        self.relative_error <= tol
+    }
+}
+
+/// Project a symmetric operator onto the complement of the trivial
+/// eigenvector and normalize its trace to 1: the "density-matrix view"
+/// of a diffusion operator.
+fn project_and_normalize(sp: &SpectralProblem, op: &DenseMatrix) -> Result<DenseMatrix> {
+    let n = op.nrows();
+    // P = I − v₁v₁ᵀ; X = P op P / Tr(P op P).
+    let mut p = DenseMatrix::identity(n);
+    p.rank1_update(-1.0, &sp.trivial, &sp.trivial);
+    let pop = p.matmul(op)?.matmul(&p)?;
+    let tr = pop.trace();
+    if tr.abs() < 1e-300 {
+        return Err(RegularizeError::InvalidArgument(
+            "projected operator has zero trace".into(),
+        ));
+    }
+    let mut x = pop;
+    x.scale(1.0 / tr);
+    Ok(x)
+}
+
+fn compare(
+    sp: &SpectralProblem,
+    implicit: &DenseMatrix,
+    explicit: &DenseMatrix,
+    parameter: DiffusionParameter,
+    eta: f64,
+) -> EquivalenceReport {
+    let _ = sp;
+    let mut diff = implicit.clone();
+    diff.axpy(-1.0, explicit).expect("same shape");
+    let fro = diff.fro_norm();
+    let base = explicit.fro_norm().max(f64::MIN_POSITIVE);
+    EquivalenceReport {
+        frobenius_error: fro,
+        relative_error: fro / base,
+        parameter,
+        eta,
+    }
+}
+
+/// Check: `exp(−η𝓛)` (projected, trace-normalized) equals the
+/// entropy-regularized SDP optimum at the same `η`.
+pub fn check_heat_kernel(sp: &SpectralProblem, eta: f64) -> Result<EquivalenceReport> {
+    let explicit = solve_regularized_sdp(sp, Regularizer::Entropy, eta)?;
+    // Implicit side: matrix exponential of the dense Laplacian, by
+    // scaling-and-squaring (not by the eigendecomposition the SDP side
+    // used — keep the two paths independent).
+    let mut neg = sp.laplacian.clone();
+    neg.scale(-eta);
+    let hk = acir_linalg::expm::expm_dense(&neg)?;
+    let implicit = project_and_normalize(sp, &hk)?;
+    Ok(compare(sp, &implicit, &explicit.x, explicit.implied, eta))
+}
+
+/// Check: the PageRank resolvent `(𝓛 + νI)^{−1}` at the ν implied by
+/// the log-det multiplier (projected, normalized) equals the log-det
+/// SDP optimum; reports the corresponding teleportation `γ = ν/(1+ν)`.
+pub fn check_pagerank(sp: &SpectralProblem, eta: f64) -> Result<EquivalenceReport> {
+    let explicit = solve_regularized_sdp(sp, Regularizer::LogDet, eta)?;
+    let nu = explicit.multiplier;
+    // Implicit side: dense inverse by LU (independent path).
+    let mut shifted = sp.laplacian.clone();
+    shifted.shift_diag(nu);
+    let inv = acir_linalg::solve::Lu::new(&shifted)?.inverse()?;
+    let implicit = project_and_normalize(sp, &inv)?;
+    Ok(compare(sp, &implicit, &explicit.x, explicit.implied, eta))
+}
+
+/// Check: the `k`-step lazy-walk operator `(I − (1−α)𝓛)^k` at the
+/// `(α, k)` implied by the p-norm solution equals the p-norm SDP
+/// optimum, for `p = 1 + 1/k`.
+///
+/// Requires the implied `τ ≥ λmax` (equivalently `α ≥ 1 − 1/λmax`), so
+/// that no eigenvalue is truncated — the regime in which the lazy walk
+/// is *exactly* the regularizer (outside it, the SDP clips the top of
+/// the spectrum and the correspondence is only approximate; the report
+/// then carries the true gap).
+pub fn check_lazy_walk(sp: &SpectralProblem, eta: f64, k: u32) -> Result<EquivalenceReport> {
+    if k == 0 {
+        return Err(RegularizeError::InvalidArgument(
+            "k must be positive".into(),
+        ));
+    }
+    let p = 1.0 + 1.0 / k as f64;
+    let explicit = solve_regularized_sdp(sp, Regularizer::PNorm(p), eta)?;
+    let tau = explicit.multiplier;
+    let alpha = 1.0 - 1.0 / tau;
+    // Implicit side: dense matrix power of W = I − (1−α)𝓛 = αI + (1−α)𝒜.
+    let n = sp.laplacian.nrows();
+    let mut w = sp.laplacian.clone();
+    w.scale(-(1.0 - alpha));
+    w.shift_diag(1.0);
+    let mut wk = DenseMatrix::identity(n);
+    for _ in 0..k {
+        wk = wk.matmul(&w)?;
+    }
+    let implicit = project_and_normalize(sp, &wk)?;
+    Ok(compare(sp, &implicit, &explicit.x, explicit.implied, eta))
+}
+
+/// Convenience: run all three checks across grids of η values and
+/// return the worst relative error per dynamics. The lazy walk gets
+/// its own η grid because its exact correspondence holds only in the
+/// untruncated regime `τ ≥ λmax`, which requires η small enough (τ
+/// grows as η shrinks); see [`check_lazy_walk`].
+pub fn full_equivalence_suite(
+    sp: &SpectralProblem,
+    etas: &[f64],
+    lazy_etas: &[f64],
+    lazy_k: u32,
+) -> Result<Vec<(String, f64)>> {
+    let mut worst_hk = 0.0f64;
+    let mut worst_pr = 0.0f64;
+    let mut worst_lw = 0.0f64;
+    for &eta in etas {
+        worst_hk = worst_hk.max(check_heat_kernel(sp, eta)?.relative_error);
+        worst_pr = worst_pr.max(check_pagerank(sp, eta)?.relative_error);
+    }
+    for &eta in lazy_etas {
+        worst_lw = worst_lw.max(check_lazy_walk(sp, eta, lazy_k)?.relative_error);
+    }
+    Ok(vec![
+        ("heat_kernel/entropy".to_string(), worst_hk),
+        ("pagerank/logdet".to_string(), worst_pr),
+        ("lazy_walk/pnorm".to_string(), worst_lw),
+    ])
+}
+
+/// The largest η for which the p-norm/lazy-walk correspondence is
+/// exact (no spectrum clipping): the η at which the water-filling level
+/// `τ` equals `λmax`. For `k = 1` this is closed-form; generally it is
+/// found by bisection on η.
+pub fn lazy_walk_eta_limit(sp: &SpectralProblem, k: u32) -> Result<f64> {
+    if k == 0 {
+        return Err(RegularizeError::InvalidArgument(
+            "k must be positive".into(),
+        ));
+    }
+    let p = 1.0 + 1.0 / k as f64;
+    let lmax = sp.lambda.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    // τ(η) decreasing... τ shrinks as η grows; find η where τ(η) = λmax.
+    let reg = Regularizer::PNorm(p);
+    let tau_of = |eta: f64| -> f64 {
+        reg.optimal_spectrum(&sp.lambda, eta)
+            .map(|(_, t)| t)
+            .unwrap_or(f64::NAN)
+    };
+    let mut lo = 1e-6;
+    let mut hi = 1e6;
+    if tau_of(lo) < lmax {
+        return Ok(lo); // pathologically flat spectrum; everything clips
+    }
+    for _ in 0..100 {
+        let mid = (lo * hi).sqrt();
+        if tau_of(mid) > lmax {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// Diagnostic: the effective rank `(Tr X)²/Tr(X²) = 1/Σμ²` of a
+/// density matrix — a scalar "how regularized is this" measure (1 =
+/// the unregularized rank-one optimum; larger = smoother).
+pub fn effective_rank(x: &DenseMatrix) -> f64 {
+    let eig = SymEig::new(x).expect("density matrices are symmetric");
+    let sum_sq: f64 = eig.eigenvalues.iter().map(|&m| m * m).sum();
+    if sum_sq <= 0.0 {
+        return 0.0;
+    }
+    let tr: f64 = eig.eigenvalues.iter().sum();
+    tr * tr / sum_sq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acir_graph::gen::deterministic::{barbell, cycle, lollipop, path};
+    use acir_graph::gen::random::erdos_renyi_gnp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn heat_kernel_equivalence_holds() {
+        let g = barbell(5, 2).unwrap();
+        let sp = SpectralProblem::new(&g).unwrap();
+        for eta in [0.1, 1.0, 5.0] {
+            let r = check_heat_kernel(&sp, eta).unwrap();
+            assert!(r.agrees(1e-8), "eta {eta}: rel err {}", r.relative_error);
+            assert_eq!(r.parameter, DiffusionParameter::HeatKernelTime(eta));
+        }
+    }
+
+    #[test]
+    fn pagerank_equivalence_holds() {
+        let g = lollipop(5, 3).unwrap();
+        let sp = SpectralProblem::new(&g).unwrap();
+        for eta in [0.2, 1.0, 8.0] {
+            let r = check_pagerank(&sp, eta).unwrap();
+            assert!(r.agrees(1e-7), "eta {eta}: rel err {}", r.relative_error);
+            if let DiffusionParameter::PageRankGamma(gamma) = r.parameter {
+                assert!((0.0..1.0).contains(&gamma), "gamma {gamma}");
+            } else {
+                panic!("wrong parameter kind");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_walk_equivalence_holds_when_untruncated() {
+        let g = cycle(10).unwrap();
+        let sp = SpectralProblem::new(&g).unwrap();
+        // τ grows as η shrinks; pick η below the clipping limit so the
+        // correspondence is exact (strong regularization spreads mass
+        // over the full spectrum without truncating its top).
+        for k in [1u32, 2, 4] {
+            let eta = lazy_walk_eta_limit(&sp, k).unwrap() * 0.5;
+            let r = check_lazy_walk(&sp, eta, k).unwrap();
+            assert!(r.agrees(1e-7), "k {k}: rel err {}", r.relative_error);
+            if let DiffusionParameter::LazyWalk { alpha, steps } = r.parameter {
+                assert!((steps - k as f64).abs() < 1e-12);
+                assert!((0.0..1.0).contains(&alpha));
+            } else {
+                panic!("wrong parameter kind");
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_on_random_graph() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let g0 = erdos_renyi_gnp(&mut rng, 24, 0.25).unwrap();
+        let (g, _) = acir_graph::traversal::largest_component(&g0);
+        let sp = SpectralProblem::new(&g).unwrap();
+        let lazy_eta = lazy_walk_eta_limit(&sp, 2).unwrap() * 0.5;
+        let suite =
+            full_equivalence_suite(&sp, &[0.3, 1.0, 3.0], &[lazy_eta, lazy_eta * 0.3], 2).unwrap();
+        for (name, err) in suite {
+            assert!(err < 1e-6, "{name}: worst rel err {err}");
+        }
+    }
+
+    #[test]
+    fn regularization_strength_monotone_in_effective_rank() {
+        // Smaller η (stronger regularization) → smoother X* → larger
+        // effective rank; as η → ∞, effective rank → 1 (the Problem (4)
+        // rank-one optimum).
+        let g = path(12).unwrap();
+        let sp = SpectralProblem::new(&g).unwrap();
+        let strong = solve_regularized_sdp(&sp, Regularizer::Entropy, 0.1).unwrap();
+        let medium = solve_regularized_sdp(&sp, Regularizer::Entropy, 2.0).unwrap();
+        let weak = solve_regularized_sdp(&sp, Regularizer::Entropy, 200.0).unwrap();
+        let r_strong = effective_rank(&strong.x);
+        let r_medium = effective_rank(&medium.x);
+        let r_weak = effective_rank(&weak.x);
+        assert!(
+            r_strong > r_medium && r_medium > r_weak,
+            "{r_strong} > {r_medium} > {r_weak}"
+        );
+        assert!((r_weak - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn lazy_walk_rejects_k_zero() {
+        let g = cycle(6).unwrap();
+        let sp = SpectralProblem::new(&g).unwrap();
+        assert!(check_lazy_walk(&sp, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn effective_rank_of_identity_like() {
+        // X = I/n has effective rank n.
+        let n = 5;
+        let mut x = DenseMatrix::identity(n);
+        x.scale(1.0 / n as f64);
+        assert!((effective_rank(&x) - n as f64).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,234 @@
+//! Explicit regularization — the paper's Eq. (1):
+//! `x̂ = argmin_x f(x) + λ·g(x)`.
+//!
+//! The classical, "solve a modified objective exactly" form of
+//! regularization that §2.3 contrasts with the implicit kind. Provided
+//! here: ridge (Tikhonov / ℓ₂), lasso (ℓ₁, solved by ISTA since the
+//! paper's own example is "ℓ₁-regularized ℓ₂-regression" being *harder*
+//! than the unregularized problem), and graph-Laplacian (smoothness)
+//! regularization — the vocabulary for the heuristic-equivalence
+//! experiments in [`crate::heuristics`].
+
+use crate::{RegularizeError, Result};
+use acir_linalg::solve::Cholesky;
+use acir_linalg::{vector, CsrMatrix, DenseMatrix, LinOp};
+
+/// Ridge regression: `argmin ‖Ax − b‖² + λ‖x‖²`, solved exactly via
+/// the normal equations `(AᵀA + λI)x = Aᵀb` (Cholesky).
+pub fn ridge(a: &DenseMatrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    if b.len() != a.nrows() {
+        return Err(RegularizeError::InvalidArgument(format!(
+            "b length {} != rows {}",
+            b.len(),
+            a.nrows()
+        )));
+    }
+    if !(lambda >= 0.0 && lambda.is_finite()) {
+        return Err(RegularizeError::InvalidArgument(format!(
+            "lambda must be nonnegative, got {lambda}"
+        )));
+    }
+    let at = a.transpose();
+    let mut gram = at.matmul(a)?;
+    gram.shift_diag(lambda);
+    let mut atb = vec![0.0; a.ncols()];
+    at.gemv(1.0, b, 0.0, &mut atb);
+    Ok(Cholesky::new(&gram)?.solve(&atb)?)
+}
+
+/// Lasso: `argmin ½‖Ax − b‖² + λ‖x‖₁` by ISTA (proximal gradient with
+/// soft thresholding). Returns the iterate after `iters` steps.
+pub fn lasso(a: &DenseMatrix, b: &[f64], lambda: f64, iters: usize) -> Result<Vec<f64>> {
+    if b.len() != a.nrows() {
+        return Err(RegularizeError::InvalidArgument(format!(
+            "b length {} != rows {}",
+            b.len(),
+            a.nrows()
+        )));
+    }
+    if !(lambda >= 0.0 && lambda.is_finite()) {
+        return Err(RegularizeError::InvalidArgument(
+            "lambda must be nonnegative".into(),
+        ));
+    }
+    let at = a.transpose();
+    let gram = at.matmul(a)?;
+    // Step size 1/L with L ≥ λmax(AᵀA) via a crude norm bound.
+    let l = gram.max_abs() * gram.nrows() as f64;
+    let step = if l > 0.0 { 1.0 / l } else { 1.0 };
+    let mut atb = vec![0.0; a.ncols()];
+    at.gemv(1.0, b, 0.0, &mut atb);
+
+    let mut x = vec![0.0; a.ncols()];
+    let mut grad = vec![0.0; a.ncols()];
+    for _ in 0..iters {
+        // grad = AᵀA x − Aᵀb.
+        gram.gemv(1.0, &x, 0.0, &mut grad);
+        vector::axpy(-1.0, &atb, &mut grad);
+        for (xi, gi) in x.iter_mut().zip(&grad) {
+            *xi = soft_threshold(*xi - step * gi, step * lambda);
+        }
+    }
+    Ok(x)
+}
+
+/// The soft-thresholding (shrinkage) operator
+/// `S_t(x) = sign(x)·max(|x| − t, 0)` — the proximal map of `t‖·‖₁`
+/// and the formal version of the "'truncating' to zero small entries
+/// or 'shrinking' all entries of a solution vector" heuristic (§2.3).
+#[inline]
+pub fn soft_threshold(x: f64, t: f64) -> f64 {
+    if x > t {
+        x - t
+    } else if x < -t {
+        x + t
+    } else {
+        0.0
+    }
+}
+
+/// Hard thresholding: zero out entries with `|x| ≤ t` (the ℓ₀-flavored
+/// truncation the strongly local methods of §3.3 apply).
+#[inline]
+pub fn hard_threshold(x: f64, t: f64) -> f64 {
+    if x.abs() > t {
+        x
+    } else {
+        0.0
+    }
+}
+
+/// Graph-Tikhonov smoothing: `argmin ‖x − y‖² + λ·xᵀLx`, the canonical
+/// "solution niceness = smoothness across edges" regularizer. Solved
+/// with CG on `(I + λL)x = y`.
+pub fn graph_tikhonov(l: &CsrMatrix, y: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    if l.nrows() != l.ncols() || l.nrows() != y.len() {
+        return Err(RegularizeError::InvalidArgument(
+            "graph_tikhonov dimension mismatch".into(),
+        ));
+    }
+    if !(lambda >= 0.0 && lambda.is_finite()) {
+        return Err(RegularizeError::InvalidArgument(
+            "lambda must be nonnegative".into(),
+        ));
+    }
+    struct Op<'a> {
+        l: &'a CsrMatrix,
+        lambda: f64,
+    }
+    impl LinOp for Op<'_> {
+        fn dim(&self) -> usize {
+            self.l.nrows()
+        }
+        fn apply(&self, x: &[f64], out: &mut [f64]) {
+            self.l.matvec(x, out);
+            for (o, xi) in out.iter_mut().zip(x) {
+                *o = xi + self.lambda * *o;
+            }
+        }
+    }
+    let op = Op { l, lambda };
+    let res = acir_linalg::solve::cg(
+        &op,
+        y,
+        &vec![0.0; y.len()],
+        &acir_linalg::solve::CgOptions {
+            max_iters: 10_000,
+            tol: 1e-12,
+        },
+    )?;
+    Ok(res.x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acir_spectral::combinatorial_laplacian;
+
+    fn design() -> (DenseMatrix, Vec<f64>) {
+        // Overdetermined 4x2 system.
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let b = vec![1.0, 2.0, 2.0, 4.0];
+        (a, b)
+    }
+
+    #[test]
+    fn ridge_zero_lambda_is_least_squares() {
+        let (a, b) = design();
+        let x = ridge(&a, &b, 0.0).unwrap();
+        // Normal equations residual orthogonal to columns.
+        let mut ax = vec![0.0; 4];
+        a.gemv(1.0, &x, 0.0, &mut ax);
+        let r: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| q - p).collect();
+        let at = a.transpose();
+        let mut atr = vec![0.0; 2];
+        at.gemv(1.0, &r, 0.0, &mut atr);
+        assert!(vector::norm2(&atr) < 1e-10);
+    }
+
+    #[test]
+    fn ridge_shrinks_with_lambda() {
+        let (a, b) = design();
+        let x0 = ridge(&a, &b, 0.0).unwrap();
+        let x1 = ridge(&a, &b, 10.0).unwrap();
+        let x2 = ridge(&a, &b, 1000.0).unwrap();
+        assert!(vector::norm2(&x1) < vector::norm2(&x0));
+        assert!(vector::norm2(&x2) < vector::norm2(&x1));
+    }
+
+    #[test]
+    fn ridge_validates() {
+        let (a, b) = design();
+        assert!(ridge(&a, &b[..2], 1.0).is_err());
+        assert!(ridge(&a, &b, -1.0).is_err());
+        assert!(ridge(&a, &b, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn lasso_sparsifies() {
+        let (a, b) = design();
+        let dense = lasso(&a, &b, 0.0, 4000).unwrap();
+        let sparse = lasso(&a, &b, 8.0, 4000).unwrap();
+        let nnz = |v: &[f64]| v.iter().filter(|&&x| x.abs() > 1e-9).count();
+        assert!(nnz(&sparse) <= nnz(&dense));
+        assert!(vector::norm1(&sparse) < vector::norm1(&dense));
+        // λ = 0 ISTA converges to least squares.
+        let ls = ridge(&a, &b, 0.0).unwrap();
+        assert!(vector::dist2(&dense, &ls) < 1e-5);
+    }
+
+    #[test]
+    fn thresholding_operators() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+        assert_eq!(hard_threshold(3.0, 1.0), 3.0);
+        assert_eq!(hard_threshold(0.5, 1.0), 0.0);
+        assert_eq!(hard_threshold(-0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn graph_tikhonov_smooths_noise() {
+        // Path graph, noisy step signal: smoothing reduces the Dirichlet
+        // energy xᵀLx while staying close to the input.
+        let g = acir_graph::gen::deterministic::path(20).unwrap();
+        let l = combinatorial_laplacian(&g);
+        let y: Vec<f64> = (0..20)
+            .map(|i| if i < 10 { 0.0 } else { 1.0 } + if i % 2 == 0 { 0.2 } else { -0.2 })
+            .collect();
+        let x = graph_tikhonov(&l, &y, 2.0).unwrap();
+        assert!(l.quad_form(&x) < l.quad_form(&y), "energy reduced");
+        assert!(vector::dist2(&x, &y) < vector::norm2(&y), "fidelity kept");
+        // λ = 0 is the identity.
+        let x0 = graph_tikhonov(&l, &y, 0.0).unwrap();
+        assert!(vector::dist2(&x0, &y) < 1e-9);
+    }
+
+    #[test]
+    fn graph_tikhonov_validates() {
+        let g = acir_graph::gen::deterministic::path(4).unwrap();
+        let l = combinatorial_laplacian(&g);
+        assert!(graph_tikhonov(&l, &[1.0, 2.0], 1.0).is_err());
+        assert!(graph_tikhonov(&l, &[0.0; 4], -1.0).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! The §2.3 menagerie of implicit regularizers, as measurable
+//! operators.
+//!
+//! "Regularization is often observed as a side-effect or by-product of
+//! other design decisions": binning, pruning, adding noise, truncating,
+//! early stopping. Each heuristic here comes with the experiment that
+//! demonstrates its regularization effect (run at scale in the
+//! `ablations` binary; unit-tested here in miniature):
+//!
+//! * [`gradient_descent_path`] — early-stopped gradient descent on
+//!   least squares follows the ridge path: iterate `k` with step `s`
+//!   behaves like ridge with `λ ≈ 1/(k·s)`;
+//! * [`noisy_features_least_squares`] — adding iid noise to the design
+//!   matrix before solving ≈ Tikhonov with `λ = n·σ²` in expectation;
+//! * [`bin_vector`] — binning/aggregation as a smoothing projection;
+//! * the thresholding operators live in [`crate::explicit`].
+
+use crate::{RegularizeError, Result};
+use acir_linalg::{vector, DenseMatrix};
+use rand::Rng;
+
+/// Run `iters` steps of gradient descent on `½‖Ax − b‖²` from zero with
+/// step size `step`, recording every iterate (index 0 = the zero
+/// start). The returned path is the object compared against the ridge
+/// path in the A-early ablation.
+pub fn gradient_descent_path(
+    a: &DenseMatrix,
+    b: &[f64],
+    step: f64,
+    iters: usize,
+) -> Result<Vec<Vec<f64>>> {
+    if b.len() != a.nrows() {
+        return Err(RegularizeError::InvalidArgument(format!(
+            "b length {} != rows {}",
+            b.len(),
+            a.nrows()
+        )));
+    }
+    if !(step > 0.0 && step.is_finite()) {
+        return Err(RegularizeError::InvalidArgument(
+            "step must be positive".into(),
+        ));
+    }
+    let at = a.transpose();
+    let gram = at.matmul(a)?;
+    let mut atb = vec![0.0; a.ncols()];
+    at.gemv(1.0, b, 0.0, &mut atb);
+
+    let mut x = vec![0.0; a.ncols()];
+    let mut grad = vec![0.0; a.ncols()];
+    let mut path = Vec::with_capacity(iters + 1);
+    path.push(x.clone());
+    for _ in 0..iters {
+        gram.gemv(1.0, &x, 0.0, &mut grad);
+        vector::axpy(-1.0, &atb, &mut grad);
+        vector::axpy(-step, &grad, &mut x);
+        path.push(x.clone());
+    }
+    Ok(path)
+}
+
+/// Solve least squares after perturbing every entry of `A` with iid
+/// `N(0, σ²)`-ish noise (uniform of matching variance, to stay within
+/// the `rand` crate): `argmin ‖(A+E)x − b‖²`. In expectation
+/// `(A+E)ᵀ(A+E) = AᵀA + m·σ²·I`, so this behaves like ridge with
+/// `λ = m·σ²` — the "adding noise ≈ Tikhonov" equivalence of §2.3.
+pub fn noisy_features_least_squares(
+    a: &DenseMatrix,
+    b: &[f64],
+    sigma: f64,
+    rng: &mut impl Rng,
+) -> Result<Vec<f64>> {
+    if !(sigma >= 0.0 && sigma.is_finite()) {
+        return Err(RegularizeError::InvalidArgument(
+            "sigma must be nonnegative".into(),
+        ));
+    }
+    // Uniform on [−w, w] has variance w²/3 = σ² → w = σ√3.
+    let w = sigma * 3.0f64.sqrt();
+    let noisy = DenseMatrix::from_fn(a.nrows(), a.ncols(), |i, j| {
+        a[(i, j)] + if w > 0.0 { rng.gen_range(-w..w) } else { 0.0 }
+    });
+    crate::explicit::ridge(&noisy, b, 0.0)
+}
+
+/// Average the ridge-like effect of feature noising over `trials`
+/// repetitions (the expectation is the regularized solution; a single
+/// draw is noisy).
+pub fn noisy_features_averaged(
+    a: &DenseMatrix,
+    b: &[f64],
+    sigma: f64,
+    trials: usize,
+    rng: &mut impl Rng,
+) -> Result<Vec<f64>> {
+    if trials == 0 {
+        return Err(RegularizeError::InvalidArgument(
+            "trials must be positive".into(),
+        ));
+    }
+    let mut acc = vec![0.0; a.ncols()];
+    for _ in 0..trials {
+        let x = noisy_features_least_squares(a, b, sigma, rng)?;
+        vector::axpy(1.0 / trials as f64, &x, &mut acc);
+    }
+    Ok(acc)
+}
+
+/// Bin a vector into `bins` contiguous buckets, replacing each entry
+/// with its bucket mean — aggregation as an explicit smoothing
+/// projection (idempotent, energy non-increasing).
+pub fn bin_vector(x: &[f64], bins: usize) -> Result<Vec<f64>> {
+    if bins == 0 || bins > x.len() {
+        return Err(RegularizeError::InvalidArgument(format!(
+            "bins must be in 1..={}, got {bins}",
+            x.len()
+        )));
+    }
+    let n = x.len();
+    let mut out = vec![0.0; n];
+    for bidx in 0..bins {
+        let lo = bidx * n / bins;
+        let hi = ((bidx + 1) * n / bins).max(lo + 1);
+        let mean: f64 = x[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        for o in &mut out[lo..hi] {
+            *o = mean;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::ridge;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn design() -> (DenseMatrix, Vec<f64>) {
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 0.2],
+            &[1.0, 1.1],
+            &[1.0, 1.9],
+            &[1.0, 3.2],
+            &[1.0, 4.1],
+        ]);
+        let b = vec![0.9, 2.1, 3.0, 4.2, 4.8];
+        (a, b)
+    }
+
+    #[test]
+    fn gd_converges_to_least_squares() {
+        let (a, b) = design();
+        let path = gradient_descent_path(&a, &b, 0.02, 5000).unwrap();
+        let ls = ridge(&a, &b, 0.0).unwrap();
+        assert!(vector::dist2(path.last().unwrap(), &ls) < 1e-6);
+    }
+
+    #[test]
+    fn early_stopping_tracks_ridge_path() {
+        // The quantitative A-early claim: for each early-stopped iterate
+        // there is a ridge λ ≈ 1/(k·step) giving a nearby solution.
+        let (a, b) = design();
+        let step = 0.02;
+        let path = gradient_descent_path(&a, &b, step, 200).unwrap();
+        for &k in &[5usize, 20, 80] {
+            let lambda = 1.0 / (k as f64 * step);
+            let ridge_sol = ridge(&a, &b, lambda).unwrap();
+            let gd_sol = &path[k];
+            let rel = vector::dist2(gd_sol, &ridge_sol) / vector::norm2(&ridge_sol);
+            assert!(rel < 0.35, "k = {k}: relative gap {rel}");
+        }
+        // And the path's norm grows monotonically (shrinkage early).
+        for w in path.windows(2).take(50) {
+            assert!(vector::norm2(&w[1]) >= vector::norm2(&w[0]) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn gd_validates() {
+        let (a, b) = design();
+        assert!(gradient_descent_path(&a, &b[..2], 0.1, 10).is_err());
+        assert!(gradient_descent_path(&a, &b, 0.0, 10).is_err());
+    }
+
+    #[test]
+    fn noise_addition_shrinks_like_ridge() {
+        let (a, b) = design();
+        let ls = ridge(&a, &b, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let noisy = noisy_features_averaged(&a, &b, 0.8, 200, &mut rng).unwrap();
+        // The noisy-feature solution is shrunk relative to plain LS...
+        assert!(vector::norm2(&noisy) < vector::norm2(&ls));
+        // ...and lands near the ridge solution with λ = m·σ².
+        let lambda = a.nrows() as f64 * 0.8 * 0.8;
+        let ridge_sol = ridge(&a, &b, lambda).unwrap();
+        let rel = vector::dist2(&noisy, &ridge_sol) / vector::norm2(&ridge_sol);
+        assert!(rel < 0.35, "relative gap {rel}");
+    }
+
+    #[test]
+    fn noise_zero_is_plain_least_squares() {
+        let (a, b) = design();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = noisy_features_least_squares(&a, &b, 0.0, &mut rng).unwrap();
+        let ls = ridge(&a, &b, 0.0).unwrap();
+        assert!(vector::dist2(&x, &ls) < 1e-10);
+        assert!(noisy_features_least_squares(&a, &b, -1.0, &mut rng).is_err());
+        assert!(noisy_features_averaged(&a, &b, 0.1, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn binning_is_idempotent_smoothing() {
+        let x = vec![1.0, 3.0, 2.0, 4.0, 10.0, 12.0];
+        let binned = bin_vector(&x, 2).unwrap();
+        assert_eq!(
+            binned,
+            vec![2.0, 2.0, 2.0, 26.0 / 3.0, 26.0 / 3.0, 26.0 / 3.0]
+        );
+        let twice = bin_vector(&binned, 2).unwrap();
+        assert_eq!(binned, twice);
+        // Energy (variance) non-increasing.
+        let var = |v: &[f64]| {
+            let m = vector::sum(v) / v.len() as f64;
+            v.iter().map(|&a| (a - m) * (a - m)).sum::<f64>()
+        };
+        assert!(var(&binned) <= var(&x));
+        assert!(bin_vector(&x, 0).is_err());
+        assert!(bin_vector(&x, 7).is_err());
+    }
+
+    #[test]
+    fn binning_full_resolution_is_identity() {
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(bin_vector(&x, 3).unwrap(), x);
+    }
+}

@@ -1,0 +1,324 @@
+//! The three spectral regularizers `G(X)` of the Mahoney–Orecchia
+//! theorem (paper §3.1 and ref \[32\]).
+//!
+//! A spectral (unitarily invariant) regularizer acts on the eigenvalue
+//! vector `μ` of the density matrix `X` (with `μ ≥ 0, Σμ = 1`):
+//!
+//! | Regularizer | `g(μ)`             | SDP optimizer on spectrum `λ` | Diffusion |
+//! |-------------|--------------------|-------------------------------|-----------|
+//! | Entropy     | `Σ μᵢ ln μᵢ`       | `μᵢ ∝ exp(−η λᵢ)`             | Heat Kernel, `t = η` |
+//! | LogDet      | `−Σ ln μᵢ`         | `μᵢ = 1/(η(λᵢ + ν))`          | PageRank, `γ = ν/(1+ν)` |
+//! | PNorm(p)    | `(1/p) Σ μᵢᵖ`      | `μᵢ ∝ (τ − λᵢ)₊^{1/(p−1)}`    | Lazy walk, `k = 1/(p−1)`, `α = 1 − 1/τ` |
+//!
+//! Each optimizer is obtained from the KKT conditions of
+//! `min Σλᵢμᵢ + (1/η) g(μ)` over the simplex; `ν`/`τ` are the trace-
+//! constraint multipliers, found here by bisection.
+
+use crate::{RegularizeError, Result};
+
+/// The regularization functions `G(X)` of Problem (5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Regularizer {
+    /// Generalized (von Neumann) entropy `Tr(X ln X)`.
+    Entropy,
+    /// Log-determinant `−ln det(X)` (on the feasible subspace).
+    LogDet,
+    /// Matrix p-norm `(1/p)·Tr(Xᵖ)`, `p > 1`.
+    PNorm(f64),
+}
+
+impl Regularizer {
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<()> {
+        if let Regularizer::PNorm(p) = self {
+            if !(*p > 1.0 && p.is_finite()) {
+                return Err(RegularizeError::InvalidArgument(format!(
+                    "p-norm regularizer needs p > 1, got {p}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// `g(μ)` on a spectrum (entries must be ≥ 0; entropy/log-det use
+    /// the conventions `0·ln 0 = 0`, `−ln 0 = +∞`).
+    pub fn g(&self, mu: &[f64]) -> f64 {
+        match self {
+            Regularizer::Entropy => mu
+                .iter()
+                .map(|&m| if m > 0.0 { m * m.ln() } else { 0.0 })
+                .sum(),
+            Regularizer::LogDet => mu
+                .iter()
+                .map(|&m| if m > 0.0 { -m.ln() } else { f64::INFINITY })
+                .sum(),
+            Regularizer::PNorm(p) => mu.iter().map(|&m| m.powf(*p)).sum::<f64>() / p,
+        }
+    }
+
+    /// Solve `min_μ  Σ λᵢμᵢ + (1/η)·g(μ)` over the probability simplex,
+    /// returning the optimal `μ` and the trace-constraint multiplier
+    /// (the Gibbs log-partition for entropy, `ν` for log-det, `τ` for
+    /// p-norm).
+    ///
+    /// `lambda` is the spectrum of the Laplacian restricted to the
+    /// feasible subspace; `eta > 0` is the inverse regularization
+    /// strength of Problem (5).
+    pub fn optimal_spectrum(&self, lambda: &[f64], eta: f64) -> Result<(Vec<f64>, f64)> {
+        self.validate()?;
+        if lambda.is_empty() {
+            return Err(RegularizeError::InvalidArgument("empty spectrum".into()));
+        }
+        if !(eta > 0.0 && eta.is_finite()) {
+            return Err(RegularizeError::InvalidArgument(format!(
+                "eta must be positive, got {eta}"
+            )));
+        }
+        match self {
+            Regularizer::Entropy => {
+                // μᵢ ∝ exp(−η λᵢ): softmax, computed stably.
+                let lmin = lambda.iter().cloned().fold(f64::INFINITY, f64::min);
+                let w: Vec<f64> = lambda.iter().map(|&l| (-eta * (l - lmin)).exp()).collect();
+                let z: f64 = w.iter().sum();
+                let mu = w.into_iter().map(|x| x / z).collect();
+                // Multiplier: log-partition (shifted back).
+                Ok((mu, z.ln() / eta - lmin))
+            }
+            Regularizer::LogDet => {
+                // μᵢ = 1/(η(λᵢ + ν)); find ν > −λmin with Σμ = 1 by
+                // bisection (Σμ is decreasing in ν).
+                let lmin = lambda.iter().cloned().fold(f64::INFINITY, f64::min);
+                let n = lambda.len() as f64;
+                let total =
+                    |nu: f64| -> f64 { lambda.iter().map(|&l| 1.0 / (eta * (l + nu))).sum() };
+                // Bracket: ν → −λmin⁺ gives Σ → ∞; large ν gives Σ → 0.
+                let mut lo = -lmin + 1e-15;
+                let mut hi = -lmin + n / eta + 1.0; // Σ(hi) < 1 guaranteed
+                debug_assert!(total(hi) < 1.0);
+                for _ in 0..200 {
+                    let mid = 0.5 * (lo + hi);
+                    if total(mid) > 1.0 {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                let nu = 0.5 * (lo + hi);
+                let mu: Vec<f64> = lambda.iter().map(|&l| 1.0 / (eta * (l + nu))).collect();
+                let z: f64 = mu.iter().sum();
+                // Renormalize the residual bisection error.
+                Ok((mu.into_iter().map(|m| m / z).collect(), nu))
+            }
+            Regularizer::PNorm(p) => {
+                // μᵢ = (η(τ − λᵢ))₊^{1/(p−1)}: water-filling; Σμ is
+                // increasing in τ.
+                let q = 1.0 / (p - 1.0);
+                let total = |tau: f64| -> f64 {
+                    lambda
+                        .iter()
+                        .map(|&l| (eta * (tau - l)).max(0.0).powf(q))
+                        .sum()
+                };
+                let lmin = lambda.iter().cloned().fold(f64::INFINITY, f64::min);
+                let lmax = lambda.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut lo = lmin;
+                let mut hi = lmax + 1.0 / eta + 1.0;
+                while total(hi) < 1.0 {
+                    hi = lmax + (hi - lmax) * 2.0;
+                }
+                for _ in 0..200 {
+                    let mid = 0.5 * (lo + hi);
+                    if total(mid) < 1.0 {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                let tau = 0.5 * (lo + hi);
+                let mu: Vec<f64> = lambda
+                    .iter()
+                    .map(|&l| (eta * (tau - l)).max(0.0).powf(q))
+                    .collect();
+                let z: f64 = mu.iter().sum();
+                Ok((mu.into_iter().map(|m| m / z).collect(), tau))
+            }
+        }
+    }
+
+    /// The diffusion parameter implied by `η` (and the solved
+    /// multiplier): `t` for entropy/Heat-Kernel, `γ` for
+    /// log-det/PageRank, `(α, k)` for p-norm/lazy-walk.
+    pub fn implied_diffusion_parameter(&self, eta: f64, multiplier: f64) -> DiffusionParameter {
+        match self {
+            Regularizer::Entropy => DiffusionParameter::HeatKernelTime(eta),
+            Regularizer::LogDet => {
+                // X* ∝ (𝓛 + νI)^{-1}; PageRank resolvent is
+                // ∝ (𝓛 + (γ/(1−γ))I)^{-1} ⇒ γ = ν/(1+ν).
+                DiffusionParameter::PageRankGamma(multiplier / (1.0 + multiplier))
+            }
+            Regularizer::PNorm(p) => {
+                // μ ∝ (τ−λ)^k with k = 1/(p−1); the k-step lazy walk
+                // W = I − (1−α)𝓛 has spectrum (1−α)(1/(1−α) − λ), so
+                // τ = 1/(1−α) ⇒ α = 1 − 1/τ.
+                DiffusionParameter::LazyWalk {
+                    alpha: 1.0 - 1.0 / multiplier,
+                    steps: 1.0 / (p - 1.0),
+                }
+            }
+        }
+    }
+}
+
+/// Diffusion parameter implied by a regularized-SDP solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DiffusionParameter {
+    /// Heat-kernel time `t`.
+    HeatKernelTime(f64),
+    /// PageRank teleportation `γ`.
+    PageRankGamma(f64),
+    /// Lazy-walk holding probability and (real-valued) step count.
+    LazyWalk {
+        /// Holding probability `α`.
+        alpha: f64,
+        /// Step count `k = 1/(p−1)`.
+        steps: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const LAMBDA: [f64; 4] = [0.2, 0.5, 1.1, 1.9];
+
+    fn objective(reg: &Regularizer, lambda: &[f64], eta: f64, mu: &[f64]) -> f64 {
+        let linear: f64 = lambda.iter().zip(mu).map(|(&l, &m)| l * m).sum();
+        linear + reg.g(mu) / eta
+    }
+
+    #[test]
+    fn entropy_solution_is_gibbs() {
+        let (mu, _) = Regularizer::Entropy.optimal_spectrum(&LAMBDA, 2.0).unwrap();
+        // μᵢ ∝ exp(−2λᵢ).
+        let w: Vec<f64> = LAMBDA.iter().map(|&l| (-2.0 * l).exp()).collect();
+        let z: f64 = w.iter().sum();
+        for (m, wi) in mu.iter().zip(&w) {
+            assert!((m - wi / z).abs() < 1e-12);
+        }
+        assert!((mu.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logdet_solution_satisfies_kkt() {
+        let eta = 3.0;
+        let (mu, nu) = Regularizer::LogDet.optimal_spectrum(&LAMBDA, eta).unwrap();
+        assert!((mu.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        // KKT: λᵢ − 1/(η μᵢ) + ν = 0.
+        for (&l, &m) in LAMBDA.iter().zip(&mu) {
+            assert!((l - 1.0 / (eta * m) + nu).abs() < 1e-6, "KKT at λ={l}");
+        }
+    }
+
+    #[test]
+    fn pnorm_solution_satisfies_waterfilling() {
+        let eta = 1.5;
+        let p = 1.5; // k = 2
+        let (mu, tau) = Regularizer::PNorm(p)
+            .optimal_spectrum(&LAMBDA, eta)
+            .unwrap();
+        assert!((mu.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        // μᵢ ∝ (τ − λᵢ)₊².
+        let w: Vec<f64> = LAMBDA.iter().map(|&l| (tau - l).max(0.0).powi(2)).collect();
+        let z: f64 = w.iter().sum();
+        for (m, wi) in mu.iter().zip(&w) {
+            assert!((m - wi / z).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn pnorm_can_truncate_top_of_spectrum() {
+        // Strong regularization (small η): τ can drop below λmax and
+        // zero out the high end — the low-rank bias of the lazy walk.
+        let lambda = [0.0, 0.1, 1.9, 2.0];
+        let (mu, tau) = Regularizer::PNorm(2.0)
+            .optimal_spectrum(&lambda, 0.2)
+            .unwrap();
+        if tau < 2.0 {
+            assert_eq!(mu[3], 0.0);
+        }
+        // Either way the small-λ end dominates.
+        assert!(mu[0] > mu[3]);
+    }
+
+    #[test]
+    fn small_eta_means_stronger_smoothing() {
+        // η → 0: entropy solution → uniform; η → ∞: all mass on λmin.
+        let (mu_strong, _) = Regularizer::Entropy
+            .optimal_spectrum(&LAMBDA, 1e-6)
+            .unwrap();
+        for m in &mu_strong {
+            assert!((m - 0.25).abs() < 1e-4);
+        }
+        let (mu_weak, _) = Regularizer::Entropy
+            .optimal_spectrum(&LAMBDA, 100.0)
+            .unwrap();
+        assert!(mu_weak[0] > 0.999);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Regularizer::PNorm(1.0).validate().is_err());
+        assert!(Regularizer::PNorm(0.5).validate().is_err());
+        assert!(Regularizer::PNorm(f64::NAN).validate().is_err());
+        assert!(Regularizer::Entropy.optimal_spectrum(&[], 1.0).is_err());
+        assert!(Regularizer::Entropy.optimal_spectrum(&LAMBDA, 0.0).is_err());
+        assert!(Regularizer::Entropy
+            .optimal_spectrum(&LAMBDA, -1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn implied_parameters() {
+        let p = Regularizer::Entropy.implied_diffusion_parameter(2.5, 0.0);
+        assert_eq!(p, DiffusionParameter::HeatKernelTime(2.5));
+        let p = Regularizer::LogDet.implied_diffusion_parameter(1.0, 1.0);
+        assert_eq!(p, DiffusionParameter::PageRankGamma(0.5));
+        let p = Regularizer::PNorm(1.5).implied_diffusion_parameter(1.0, 2.0);
+        match p {
+            DiffusionParameter::LazyWalk { alpha, steps } => {
+                assert!((alpha - 0.5).abs() < 1e-12);
+                assert!((steps - 2.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_solutions_are_simplex_optimal(
+            lambda in proptest::collection::vec(0.0..2.0f64, 2..6),
+            eta in 0.1..10.0f64,
+            reg_idx in 0..3usize,
+            // Random feasible comparison point via softmax of raw values.
+            raw in proptest::collection::vec(-3.0..3.0f64, 6),
+        ) {
+            let reg = match reg_idx {
+                0 => Regularizer::Entropy,
+                1 => Regularizer::LogDet,
+                _ => Regularizer::PNorm(1.7),
+            };
+            let (mu, _) = reg.optimal_spectrum(&lambda, eta).unwrap();
+            prop_assert!((mu.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+            prop_assert!(mu.iter().all(|&m| m >= -1e-12));
+            // Any other feasible point has no smaller objective.
+            let w: Vec<f64> = raw[..lambda.len()].iter().map(|&x| x.exp()).collect();
+            let z: f64 = w.iter().sum();
+            let other: Vec<f64> = w.into_iter().map(|x| x / z).collect();
+            let f_opt = objective(&reg, &lambda, eta, &mu);
+            let f_other = objective(&reg, &lambda, eta, &other);
+            prop_assert!(f_opt <= f_other + 1e-7, "{f_opt} > {f_other}");
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Problems (3), (4), and (5) of the paper, and the exact solver for
+//! the regularized SDP.
+//!
+//! Problem (3) minimizes the Rayleigh quotient over unit vectors
+//! orthogonal to the trivial eigenvector; Problem (4) is its SDP
+//! relaxation over density matrices (equivalent: the optimum is rank
+//! one); Problem (5) adds `(1/η)·G(X)`:
+//!
+//! ```text
+//! minimize   Tr(𝓛X) + (1/η)·G(X)
+//! subject to X ⪰ 0,  Tr(X) = 1,  X·D^{1/2}1 = 0.
+//! ```
+//!
+//! For a spectral `G` the problem is unitarily invariant, so the
+//! optimizer commutes with `𝓛` restricted to the feasible subspace:
+//! diagonalize `𝓛`, drop the trivial eigenpair, solve the separable
+//! scalar problem over the remaining spectrum
+//! ([`Regularizer::optimal_spectrum`]), and reassemble. This gives the
+//! *exact* optimum of Problem (5) — the reference that the diffusion
+//! dynamics are checked against in [`crate::equivalence`].
+
+use crate::regularizers::{DiffusionParameter, Regularizer};
+use crate::{RegularizeError, Result};
+use acir_graph::Graph;
+use acir_linalg::{vector, DenseMatrix, SymEig};
+use acir_spectral::{normalized_laplacian, trivial_eigenvector};
+
+/// The spectral data of a graph needed by the SDP machinery: the
+/// normalized Laplacian's eigendecomposition with the trivial eigenpair
+/// identified.
+#[derive(Debug, Clone)]
+pub struct SpectralProblem {
+    /// Eigenvalues of `𝓛` restricted to the feasible subspace
+    /// (ascending, trivial `λ₁ = 0` removed).
+    pub lambda: Vec<f64>,
+    /// Matching eigenvectors (columns of length `n`).
+    pub vectors: Vec<Vec<f64>>,
+    /// The trivial eigenvector `D^{1/2}1` (unit norm).
+    pub trivial: Vec<f64>,
+    /// The dense normalized Laplacian (kept for objective evaluation).
+    pub laplacian: DenseMatrix,
+}
+
+impl SpectralProblem {
+    /// Build from a connected graph (dense eigendecomposition; intended
+    /// for the reference scales of the equivalence experiments,
+    /// `n ≲ 500`).
+    pub fn new(g: &Graph) -> Result<Self> {
+        if g.n() < 2 {
+            return Err(RegularizeError::InvalidArgument(
+                "need at least 2 nodes".into(),
+            ));
+        }
+        if !acir_graph::traversal::is_connected(g) {
+            return Err(RegularizeError::InvalidArgument(
+                "SpectralProblem requires a connected graph".into(),
+            ));
+        }
+        let nl = normalized_laplacian(g).to_dense();
+        let eig = SymEig::new(&nl)?;
+        let trivial = trivial_eigenvector(g);
+        // Identify the trivial eigenpair as the one whose eigenvector
+        // aligns with D^{1/2}1 (λ should be ≈ 0).
+        let mut best = (0usize, -1.0f64);
+        for k in 0..eig.dim() {
+            let a = vector::alignment(&eig.eigenvector(k), &trivial);
+            if a > best.1 {
+                best = (k, a);
+            }
+        }
+        let (skip, align) = best;
+        if align < 0.999 {
+            return Err(RegularizeError::InvalidArgument(format!(
+                "could not identify the trivial eigenvector (alignment {align})"
+            )));
+        }
+        let mut lambda = Vec::with_capacity(eig.dim() - 1);
+        let mut vectors = Vec::with_capacity(eig.dim() - 1);
+        for k in 0..eig.dim() {
+            if k == skip {
+                continue;
+            }
+            lambda.push(eig.eigenvalues[k]);
+            vectors.push(eig.eigenvector(k));
+        }
+        Ok(Self {
+            lambda,
+            vectors,
+            trivial,
+            laplacian: nl,
+        })
+    }
+
+    /// `λ₂` — the smallest feasible eigenvalue.
+    pub fn lambda2(&self) -> f64 {
+        self.lambda[0]
+    }
+
+    /// The exact Problem (4) optimum: the rank-one density matrix
+    /// `v₂v₂ᵀ` (paper: the SDP relaxation is tight).
+    pub fn problem4_optimum(&self) -> DenseMatrix {
+        let v2 = &self.vectors[0];
+        let n = v2.len();
+        let mut x = DenseMatrix::zeros(n, n);
+        x.rank1_update(1.0, v2, v2);
+        x
+    }
+
+    /// Objective `Tr(𝓛X)` of Problem (4) for a density matrix.
+    pub fn objective(&self, x: &DenseMatrix) -> f64 {
+        self.laplacian.frob_inner(x).expect("dimension match")
+    }
+
+    /// Assemble `X = Σ μᵢ vᵢvᵢᵀ` from a spectrum on the feasible
+    /// eigenvectors.
+    pub fn assemble(&self, mu: &[f64]) -> Result<DenseMatrix> {
+        if mu.len() != self.lambda.len() {
+            return Err(RegularizeError::InvalidArgument(format!(
+                "spectrum length {} != {}",
+                mu.len(),
+                self.lambda.len()
+            )));
+        }
+        let n = self.trivial.len();
+        let mut x = DenseMatrix::zeros(n, n);
+        for (m, v) in mu.iter().zip(&self.vectors) {
+            if *m != 0.0 {
+                x.rank1_update(*m, v, v);
+            }
+        }
+        Ok(x)
+    }
+}
+
+/// An exact solution of the regularized SDP (Problem (5)).
+#[derive(Debug, Clone)]
+pub struct RegularizedSdpSolution {
+    /// The optimal density matrix `X*`.
+    pub x: DenseMatrix,
+    /// Its spectrum on the feasible eigenvectors (aligned with
+    /// `SpectralProblem::lambda`).
+    pub mu: Vec<f64>,
+    /// Objective value `Tr(𝓛X*) + (1/η)G(X*)`.
+    pub objective: f64,
+    /// Linear part `Tr(𝓛X*)` alone.
+    pub linear_objective: f64,
+    /// The trace-constraint Lagrange multiplier.
+    pub multiplier: f64,
+    /// The diffusion parameter this solution corresponds to under the
+    /// Mahoney–Orecchia dictionary.
+    pub implied: DiffusionParameter,
+}
+
+/// Solve Problem (5) exactly for regularizer `reg` at strength `1/η`.
+pub fn solve_regularized_sdp(
+    problem: &SpectralProblem,
+    reg: Regularizer,
+    eta: f64,
+) -> Result<RegularizedSdpSolution> {
+    let (mu, multiplier) = reg.optimal_spectrum(&problem.lambda, eta)?;
+    let x = problem.assemble(&mu)?;
+    let linear_objective: f64 = problem.lambda.iter().zip(&mu).map(|(&l, &m)| l * m).sum();
+    let objective = linear_objective + reg.g(&mu) / eta;
+    let implied = reg.implied_diffusion_parameter(eta, multiplier);
+    Ok(RegularizedSdpSolution {
+        x,
+        mu,
+        objective,
+        linear_objective,
+        multiplier,
+        implied,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acir_graph::gen::deterministic::{barbell, complete, cycle, path};
+    use acir_spectral::fiedler_vector;
+
+    #[test]
+    fn spectral_problem_identifies_trivial_pair() {
+        let g = barbell(4, 1).unwrap();
+        let sp = SpectralProblem::new(&g).unwrap();
+        assert_eq!(sp.lambda.len(), g.n() - 1);
+        assert!(sp.lambda[0] > 1e-10, "trivial eigenvalue removed");
+        // λ₂ matches the Fiedler computation.
+        let f = fiedler_vector(&g).unwrap();
+        assert!((sp.lambda2() - f.lambda2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn problem4_is_rank_one_and_tight() {
+        // Paper: Problems (3) and (4) are equivalent; the SDP optimum is
+        // the rank-one matrix on v₂ with objective λ₂.
+        let g = path(10).unwrap();
+        let sp = SpectralProblem::new(&g).unwrap();
+        let x = sp.problem4_optimum();
+        assert!((x.trace() - 1.0).abs() < 1e-10);
+        assert!((sp.objective(&x) - sp.lambda2()).abs() < 1e-9);
+        // Rank one: X² = X.
+        let x2 = x.matmul(&x).unwrap();
+        let mut diff = x2;
+        diff.axpy(-1.0, &x).unwrap();
+        assert!(diff.max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn regularized_solution_is_feasible() {
+        let g = cycle(9).unwrap();
+        let sp = SpectralProblem::new(&g).unwrap();
+        for reg in [
+            Regularizer::Entropy,
+            Regularizer::LogDet,
+            Regularizer::PNorm(1.5),
+        ] {
+            let sol = solve_regularized_sdp(&sp, reg, 2.0).unwrap();
+            // Tr X = 1.
+            assert!((sol.x.trace() - 1.0).abs() < 1e-9, "{reg:?}");
+            // X v₁ = 0.
+            let mut y = vec![0.0; g.n()];
+            sol.x.gemv(1.0, &sp.trivial, 0.0, &mut y);
+            assert!(vector::norm2(&y) < 1e-9, "{reg:?}");
+            // PSD via spectrum ≥ 0.
+            let eig = SymEig::new(&sol.x).unwrap();
+            assert!(eig.eigenvalues[0] > -1e-9, "{reg:?}");
+        }
+    }
+
+    #[test]
+    fn regularization_term_raises_linear_objective() {
+        // The regularized optimum trades objective for niceness: its
+        // Tr(𝓛X) is ≥ λ₂ (the unregularized optimum), approaching λ₂
+        // as η → ∞.
+        let g = barbell(5, 0).unwrap();
+        let sp = SpectralProblem::new(&g).unwrap();
+        let strong = solve_regularized_sdp(&sp, Regularizer::Entropy, 0.5).unwrap();
+        let weak = solve_regularized_sdp(&sp, Regularizer::Entropy, 50.0).unwrap();
+        assert!(strong.linear_objective >= weak.linear_objective - 1e-12);
+        assert!(weak.linear_objective >= sp.lambda2() - 1e-12);
+        assert!(weak.linear_objective - sp.lambda2() < 0.05);
+    }
+
+    #[test]
+    fn complete_graph_solutions_are_uniform() {
+        // K_n: all nontrivial eigenvalues equal, so μ is uniform for
+        // every regularizer.
+        let g = complete(6).unwrap();
+        let sp = SpectralProblem::new(&g).unwrap();
+        for reg in [
+            Regularizer::Entropy,
+            Regularizer::LogDet,
+            Regularizer::PNorm(2.0),
+        ] {
+            let sol = solve_regularized_sdp(&sp, reg, 1.0).unwrap();
+            for &m in &sol.mu {
+                assert!((m - 1.0 / 5.0).abs() < 1e-9, "{reg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let disconnected = acir_graph::Graph::from_pairs(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(SpectralProblem::new(&disconnected).is_err());
+        let tiny = acir_graph::Graph::from_pairs(1, []).unwrap();
+        assert!(SpectralProblem::new(&tiny).is_err());
+        let g = path(5).unwrap();
+        let sp = SpectralProblem::new(&g).unwrap();
+        assert!(solve_regularized_sdp(&sp, Regularizer::Entropy, 0.0).is_err());
+        assert!(sp.assemble(&[0.5, 0.5]).is_err());
+    }
+
+    use acir_linalg::vector;
+}

@@ -1,0 +1,287 @@
+//! The graph matrices of §3.1.
+//!
+//! For a connected, weighted, undirected graph with adjacency `A` and
+//! diagonal degree matrix `D`:
+//!
+//! * combinatorial Laplacian `L = D − A`;
+//! * normalized Laplacian `𝓛 = D^{−1/2} L D^{−1/2} = I − 𝒜` where
+//!   `𝒜 = D^{−1/2} A D^{−1/2}` is the normalized adjacency;
+//! * random-walk transition matrix `M = A D^{−1}` (column-stochastic:
+//!   each column sums to 1, matching the paper's "charge evolves as
+//!   `M` times an input seed vector" convention in Eq. (2));
+//! * lazy walk `W_α = αI + (1−α)M`.
+//!
+//! Everything stays in CSR with exactly the graph's sparsity (plus the
+//! diagonal), honoring the paper's point that the Power Method wins at
+//! scale because it does "not damage the sparsity of the matrix".
+//!
+//! Isolated (degree-0) nodes are permitted: they contribute a zero row
+//! and column to `L`/`𝓛`, and `M` leaves their charge in place (the
+//! convention that makes `M` substochastic rather than undefined).
+
+use crate::Result;
+use acir_graph::{Graph, NodeId};
+use acir_linalg::CsrMatrix;
+
+/// Sparse adjacency matrix `A` of the graph.
+pub fn adjacency_matrix(g: &Graph) -> CsrMatrix {
+    let n = g.n();
+    let mut trip = Vec::with_capacity(g.arc_count());
+    for u in 0..n as NodeId {
+        for (v, w) in g.neighbors(u) {
+            trip.push((u as usize, v as usize, w));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, trip)
+}
+
+/// Combinatorial Laplacian `L = D − A`.
+///
+/// Self-loops cancel out of `L` (they appear in both `D` and `A`), so
+/// the result is always positive semidefinite with `L·1 = 0`.
+pub fn combinatorial_laplacian(g: &Graph) -> CsrMatrix {
+    let n = g.n();
+    let mut trip = Vec::with_capacity(g.arc_count() + n);
+    for u in 0..n as NodeId {
+        let mut diag = g.degree(u);
+        for (v, w) in g.neighbors(u) {
+            if v == u {
+                // Self-loop: contributes w to the degree and w to A_uu,
+                // net zero in L.
+                diag -= w;
+            } else {
+                trip.push((u as usize, v as usize, -w));
+            }
+        }
+        trip.push((u as usize, u as usize, diag));
+    }
+    let mut m = CsrMatrix::from_triplets(n, n, trip);
+    m.prune(0.0);
+    m
+}
+
+/// Normalized adjacency `𝒜 = D^{−1/2} A D^{−1/2}` (degree-0 rows/cols
+/// are zero).
+pub fn normalized_adjacency(g: &Graph) -> CsrMatrix {
+    let n = g.n();
+    let inv_sqrt: Vec<f64> = g
+        .degrees()
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
+    let mut trip = Vec::with_capacity(g.arc_count());
+    for u in 0..n as NodeId {
+        for (v, w) in g.neighbors(u) {
+            trip.push((
+                u as usize,
+                v as usize,
+                w * inv_sqrt[u as usize] * inv_sqrt[v as usize],
+            ));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, trip)
+}
+
+/// Normalized Laplacian `𝓛 = I − 𝒜` (for degree-0 nodes the diagonal
+/// entry is 0, keeping `𝓛` PSD).
+pub fn normalized_laplacian(g: &Graph) -> CsrMatrix {
+    let n = g.n();
+    let mut a = normalized_adjacency(g);
+    a.scale(-1.0);
+    // Add the identity on non-isolated nodes.
+    let mut trip: Vec<(usize, usize, f64)> = Vec::with_capacity(n);
+    for u in 0..n {
+        if g.degree(u as NodeId) > 0.0 {
+            trip.push((u, u, 1.0));
+        }
+    }
+    let eye = CsrMatrix::from_triplets(n, n, trip);
+    // Sum the two CSR matrices by re-tripleting (n is moderate; clarity
+    // over micro-optimization here — the result is built once per graph).
+    let mut all = Vec::with_capacity(a.nnz() + eye.nnz());
+    for r in 0..n {
+        for (c, v) in a.row(r) {
+            all.push((r, c as usize, v));
+        }
+        for (c, v) in eye.row(r) {
+            all.push((r, c as usize, v));
+        }
+    }
+    let mut m = CsrMatrix::from_triplets(n, n, all);
+    m.prune(0.0);
+    m
+}
+
+/// Random-walk transition matrix `M = A D^{−1}` (column-stochastic).
+///
+/// Column `v` holds `w(u,v)/d_v`: multiplying a probability
+/// distribution by `M` moves its mass along edges. Degree-0 columns are
+/// zero (their mass is frozen by convention in [`crate::diffusion`]).
+pub fn random_walk_matrix(g: &Graph) -> CsrMatrix {
+    let n = g.n();
+    let inv_deg: Vec<f64> = g
+        .degrees()
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 })
+        .collect();
+    let mut trip = Vec::with_capacity(g.arc_count());
+    for u in 0..n as NodeId {
+        for (v, w) in g.neighbors(u) {
+            trip.push((u as usize, v as usize, w * inv_deg[v as usize]));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, trip)
+}
+
+/// Lazy random-walk matrix `W_α = αI + (1−α)M` for holding probability
+/// `α ∈ (0, 1)` (§3.1 "Lazy Random Walk").
+pub fn lazy_walk_matrix(g: &Graph, alpha: f64) -> Result<CsrMatrix> {
+    if !(0.0..1.0).contains(&alpha) || alpha == 0.0 {
+        return Err(crate::SpectralError::InvalidArgument(format!(
+            "lazy walk needs alpha in (0, 1), got {alpha}"
+        )));
+    }
+    let n = g.n();
+    let m = random_walk_matrix(g);
+    let mut trip = Vec::with_capacity(m.nnz() + n);
+    for r in 0..n {
+        for (c, v) in m.row(r) {
+            trip.push((r, c as usize, (1.0 - alpha) * v));
+        }
+        trip.push((r, r, alpha));
+    }
+    Ok(CsrMatrix::from_triplets(n, n, trip))
+}
+
+/// The trivial eigenvector of the normalized Laplacian: the unit vector
+/// proportional to `D^{1/2}·1` (paper §3.1). `𝓛 v₁ = 0`.
+pub fn trivial_eigenvector(g: &Graph) -> Vec<f64> {
+    let mut v: Vec<f64> = g.degrees().iter().map(|&d| d.sqrt()).collect();
+    acir_linalg::vector::normalize2(&mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acir_graph::gen::deterministic::{complete, cycle, path, star};
+    use acir_linalg::vector;
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let g = path(6).unwrap();
+        let l = combinatorial_laplacian(&g);
+        let mut y = vec![0.0; 6];
+        l.matvec(&[1.0; 6], &mut y);
+        assert!(vector::norm_inf(&y) < 1e-14);
+        assert!(l.is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn laplacian_quadratic_form_is_cut_energy() {
+        // xᵀLx = Σ_{(u,v)∈E} w(u,v)(x_u − x_v)².
+        let g = Graph::from_edges(3, [(0, 1, 2.0), (1, 2, 1.0)]).unwrap();
+        let l = combinatorial_laplacian(&g);
+        let x = [1.0, 0.0, -1.0];
+        // 2*(1-0)² + 1*(0+1)² = 3.
+        assert!((l.quad_form(&x) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_cancel_in_laplacian() {
+        let g = Graph::from_edges(2, [(0, 0, 5.0), (0, 1, 1.0)]).unwrap();
+        let l = combinatorial_laplacian(&g);
+        assert_eq!(l.get(0, 0), 1.0); // only the real edge remains
+        assert_eq!(l.get(0, 1), -1.0);
+    }
+
+    #[test]
+    fn normalized_laplacian_trivial_eigenvector() {
+        let g = star(5).unwrap();
+        let nl = normalized_laplacian(&g);
+        let v1 = trivial_eigenvector(&g);
+        let mut y = vec![0.0; 5];
+        nl.matvec(&v1, &mut y);
+        assert!(vector::norm_inf(&y) < 1e-12, "𝓛 D^{{1/2}}1 = 0");
+        assert!((vector::norm2(&v1) - 1.0).abs() < 1e-12);
+        assert!(nl.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn normalized_laplacian_spectrum_of_complete_graph() {
+        // K_n: eigenvalues 0 and n/(n−1) (multiplicity n−1).
+        let n = 5;
+        let g = complete(n).unwrap();
+        let nl = normalized_laplacian(&g).to_dense();
+        let eig = acir_linalg::SymEig::new(&nl).unwrap();
+        assert!(eig.eigenvalues[0].abs() < 1e-12);
+        for k in 1..n {
+            assert!((eig.eigenvalues[k] - n as f64 / (n as f64 - 1.0)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn normalized_laplacian_spectrum_in_0_2() {
+        let g = cycle(7).unwrap();
+        let nl = normalized_laplacian(&g).to_dense();
+        let eig = acir_linalg::SymEig::new(&nl).unwrap();
+        assert!(eig.eigenvalues[0] > -1e-12);
+        assert!(*eig.eigenvalues.last().unwrap() <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn walk_matrix_columns_stochastic() {
+        let g = star(4).unwrap();
+        let m = random_walk_matrix(&g);
+        // Column sums: Σ_u M_uv = Σ_u w(u,v)/d_v = 1.
+        let mut col_sums = vec![0.0; 4];
+        m.matvec_transpose(&[1.0; 4], &mut col_sums);
+        for &s in &col_sums {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn walk_preserves_probability_mass() {
+        let g = cycle(5).unwrap();
+        let m = random_walk_matrix(&g);
+        let mut p = vec![0.0; 5];
+        p[2] = 1.0;
+        let mut q = vec![0.0; 5];
+        m.matvec(&p, &mut q);
+        assert!((vector::sum(&q) - 1.0).abs() < 1e-12);
+        // One step from node 2 on a cycle: half mass to each neighbor.
+        assert!((q[1] - 0.5).abs() < 1e-12);
+        assert!((q[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lazy_walk_mixes_slower() {
+        let g = cycle(6).unwrap();
+        let w = lazy_walk_matrix(&g, 0.5).unwrap();
+        let mut p = vec![0.0; 6];
+        p[0] = 1.0;
+        let mut q = vec![0.0; 6];
+        w.matvec(&p, &mut q);
+        assert!((q[0] - 0.5).abs() < 1e-12); // holds half the mass
+        assert!((vector::sum(&q) - 1.0).abs() < 1e-12);
+        assert!(lazy_walk_matrix(&g, 0.0).is_err());
+        assert!(lazy_walk_matrix(&g, 1.0).is_err());
+    }
+
+    #[test]
+    fn isolated_nodes_are_harmless() {
+        let g = Graph::from_pairs(3, [(0, 1)]).unwrap(); // node 2 isolated
+        let l = combinatorial_laplacian(&g);
+        assert_eq!(l.get(2, 2), 0.0);
+        let nl = normalized_laplacian(&g);
+        assert_eq!(nl.get(2, 2), 0.0);
+        let m = random_walk_matrix(&g);
+        let mut y = vec![0.0; 3];
+        m.matvec(&[0.0, 0.0, 1.0], &mut y);
+        // Mass on an isolated node goes nowhere under M itself.
+        assert_eq!(vector::sum(&y), 0.0);
+    }
+
+    use acir_graph::Graph;
+}

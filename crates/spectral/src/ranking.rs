@@ -1,0 +1,175 @@
+//! Spectral ranking (paper §3.1 and ref \[42\]).
+//!
+//! PageRank "provides a ranking or measure of importance for a Web
+//! page"; more generally, "other spectral ranking procedures compute
+//! vectors that can be used instead of the second eigenvector v₂ to
+//! perform ranking, classification, clustering, etc." This module
+//! provides the ranking vectors and the comparison metrics the
+//! experiments use to check that truncated/tweaked approximations rank
+//! almost as well as exact computations.
+
+use crate::diffusion::{pagerank, pagerank_power, Seed};
+use crate::Result;
+use acir_graph::Graph;
+use acir_linalg::power::{power_method, PowerOptions};
+
+/// Global PageRank scores with uniform teleportation (the classic
+/// setting: seed = uniform).
+pub fn pagerank_scores(g: &Graph, gamma: f64) -> Result<Vec<f64>> {
+    pagerank(g, gamma, &Seed::Uniform)
+}
+
+/// Truncated global PageRank (power-method iterations), the Web-scale
+/// variant of [`pagerank_scores`].
+pub fn pagerank_scores_truncated(g: &Graph, gamma: f64, iters: usize) -> Result<Vec<f64>> {
+    Ok(pagerank_power(g, gamma, &Seed::Uniform, iters)?.0)
+}
+
+/// Eigenvector centrality: the dominant eigenvector of the adjacency
+/// matrix, computed with the Power Method (footnote 15). `max_iters`
+/// exposes the early-stopping knob.
+pub fn eigenvector_centrality(g: &Graph, max_iters: usize) -> Result<Vec<f64>> {
+    let a = crate::laplacian::adjacency_matrix(g);
+    let seed = vec![1.0; g.n()];
+    let opts = PowerOptions {
+        max_iters,
+        tol: 1e-12,
+        deflate: vec![],
+    };
+    let r = power_method(&a, &seed, &opts)?;
+    // Fix sign: centralities are conventionally nonnegative.
+    let mut v = r.eigenvector;
+    let total: f64 = v.iter().sum();
+    if total < 0.0 {
+        for x in &mut v {
+            *x = -*x;
+        }
+    }
+    Ok(v)
+}
+
+/// Ranking (node order, best first) induced by a score vector.
+/// Ties broken by node id for determinism.
+pub fn ranking_of(scores: &[f64]) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Kendall tau-a rank correlation between two score vectors, in
+/// `[−1, 1]`. `O(n²)` — reference/testing use.
+pub fn kendall_tau(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let sx = (x[i] - x[j]).signum();
+            let sy = (y[i] - y[j]).signum();
+            let prod = sx * sy;
+            if prod > 0.0 {
+                concordant += 1;
+            } else if prod < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// Fraction of overlap between the top-`k` sets of two score vectors,
+/// in `[0, 1]` — the ranking metric that matters in retrieval settings.
+pub fn top_k_overlap(x: &[f64], y: &[f64], k: usize) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let k = k.min(x.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let top = |s: &[f64]| -> std::collections::HashSet<u32> {
+        ranking_of(s).into_iter().take(k).collect()
+    };
+    let tx = top(x);
+    let ty = top(y);
+    tx.intersection(&ty).count() as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acir_graph::gen::deterministic::{lollipop, path, star};
+
+    #[test]
+    fn pagerank_ranks_hub_first() {
+        let g = star(8).unwrap();
+        let scores = pagerank_scores(&g, 0.15).unwrap();
+        let rank = ranking_of(&scores);
+        assert_eq!(rank[0], 0, "hub of the star ranks first");
+    }
+
+    #[test]
+    fn truncated_pagerank_ranks_almost_as_well() {
+        // The paper's practical claim: tweaked/truncated PageRank is
+        // good enough for ranking.
+        let g = lollipop(8, 5).unwrap();
+        let exact = pagerank_scores(&g, 0.15).unwrap();
+        // 30 iterations ≈ (1−γ)^30 ≈ 0.8% residual: "tweaked" but close.
+        let rough = pagerank_scores_truncated(&g, 0.15, 30).unwrap();
+        assert!(kendall_tau(&exact, &rough) > 0.9);
+        assert!(top_k_overlap(&exact, &rough, 5) >= 0.8);
+        // Even a very aggressive truncation preserves most of the order.
+        let very_rough = pagerank_scores_truncated(&g, 0.15, 5).unwrap();
+        assert!(kendall_tau(&exact, &very_rough) > 0.5);
+    }
+
+    #[test]
+    fn eigenvector_centrality_prefers_clique() {
+        let g = lollipop(6, 4).unwrap();
+        let c = eigenvector_centrality(&g, 2000).unwrap();
+        // Clique nodes outrank tail nodes.
+        let tail_end = c[9];
+        assert!(c[1] > tail_end);
+        assert!(c.iter().all(|&v| v >= -1e-9), "nonnegative by sign fix");
+    }
+
+    #[test]
+    fn ranking_of_breaks_ties_by_id() {
+        assert_eq!(ranking_of(&[1.0, 3.0, 3.0]), vec![1, 2, 0]);
+        assert_eq!(ranking_of(&[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let rev = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau(&x, &x), 1.0);
+        assert_eq!(kendall_tau(&x, &rev), -1.0);
+        assert_eq!(kendall_tau(&[1.0], &[2.0]), 1.0);
+    }
+
+    #[test]
+    fn top_k_overlap_basics() {
+        let x = [5.0, 4.0, 3.0, 2.0];
+        let y = [5.0, 4.0, 0.0, 3.0];
+        assert_eq!(top_k_overlap(&x, &y, 2), 1.0);
+        assert!((top_k_overlap(&x, &y, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(top_k_overlap(&x, &y, 0), 1.0);
+    }
+
+    #[test]
+    fn path_centrality_is_symmetric_and_peaked() {
+        let g = path(7).unwrap();
+        let c = eigenvector_centrality(&g, 5000).unwrap();
+        assert!((c[0] - c[6]).abs() < 1e-6);
+        assert!(c[3] > c[0]);
+    }
+}

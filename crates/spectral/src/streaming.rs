@@ -1,0 +1,260 @@
+//! PageRank estimation over an edge stream (paper ref \[37\], Das Sarma,
+//! Gollapudi & Panigrahy, "Estimating PageRank on graph streams").
+//!
+//! §3.3 points to this as evidence that the "operational and
+//! interactive approach to database algorithms is already being adopted
+//! in practice": when the graph only exists as a stream of edges (too
+//! large, or arriving from a log), PageRank can still be estimated by
+//! simulating random walks with **one step per pass** over the stream
+//! and `O(walkers)` memory — no random access to the adjacency
+//! structure at all.
+//!
+//! Implementation: each walker carries a geometric(γ) remaining length
+//! (the standard decomposition: the PageRank distribution is the law of
+//! the endpoint of a γ-geometric-length walk from the seed
+//! distribution). One pass over the stream advances every active
+//! walker by a single step, chosen by weighted reservoir sampling over
+//! the edges incident to the walker's current node — so the memory is
+//! the walker table, never the graph.
+//!
+//! This estimator is itself an *approximation with a knob* (the walker
+//! count), and its output concentrates on the exact PageRank as
+//! walkers grow — one more instance of the paper's theme, measured in
+//! the tests by rank correlation against the exact solve.
+
+use crate::{Result, SpectralError};
+use acir_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// Outcome of a streaming PageRank estimation.
+#[derive(Debug, Clone)]
+pub struct StreamingPageRank {
+    /// Estimated PageRank scores (empirical endpoint distribution;
+    /// sums to 1).
+    pub scores: Vec<f64>,
+    /// Passes made over the edge stream.
+    pub passes: usize,
+    /// Walkers simulated.
+    pub walkers: usize,
+    /// Peak memory in walker slots (== walkers; recorded to make the
+    /// streaming claim explicit: independent of `m`).
+    pub peak_memory_slots: usize,
+}
+
+/// Estimate global PageRank (uniform teleportation `gamma`) from an
+/// edge stream, using `walkers` walks and one step per pass.
+///
+/// `stream` is any replayable edge sequence — each pass calls it to
+/// obtain a fresh iteration over the edges, mimicking a re-scan of an
+/// on-disk log. `max_passes` bounds the work (walks longer than that
+/// are truncated — an early-stopping knob like any other; with
+/// probability `(1-γ)^max_passes` per walker).
+pub fn streaming_pagerank<I>(
+    n: usize,
+    mut stream: impl FnMut() -> I,
+    gamma: f64,
+    walkers: usize,
+    max_passes: usize,
+    rng: &mut impl Rng,
+) -> Result<StreamingPageRank>
+where
+    I: Iterator<Item = (NodeId, NodeId, f64)>,
+{
+    if n == 0 {
+        return Err(SpectralError::InvalidArgument("empty graph".into()));
+    }
+    if !(0.0 < gamma && gamma < 1.0) {
+        return Err(SpectralError::InvalidArgument(format!(
+            "gamma must be in (0, 1), got {gamma}"
+        )));
+    }
+    if walkers == 0 || max_passes == 0 {
+        return Err(SpectralError::InvalidArgument(
+            "need walkers > 0 and max_passes > 0".into(),
+        ));
+    }
+
+    // Walker state: current node + remaining steps (geometric(gamma)).
+    let mut position: Vec<NodeId> = (0..walkers)
+        .map(|_| rng.gen_range(0..n as NodeId))
+        .collect();
+    let mut remaining: Vec<u32> = (0..walkers)
+        .map(|_| {
+            let mut len = 0u32;
+            while !rng.gen_bool(gamma) && (len as usize) < max_passes {
+                len += 1;
+            }
+            len
+        })
+        .collect();
+
+    // Reservoir per active walker: (chosen neighbor, total weight seen).
+    let mut reservoir: Vec<(NodeId, f64)> = vec![(0, 0.0); walkers];
+    // Active walkers grouped by current node, rebuilt each pass, so an
+    // edge only touches the walkers sitting at its endpoints — one pass
+    // costs O(n + m + Σ_w deg(pos(w))) instead of O(m·walkers).
+    let mut at_node: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut passes = 0usize;
+    while remaining.iter().any(|&r| r > 0) && passes < max_passes {
+        for slot in reservoir.iter_mut() {
+            *slot = (0, 0.0);
+        }
+        for bucket in at_node.iter_mut() {
+            bucket.clear();
+        }
+        for (walker, &r) in remaining.iter().enumerate() {
+            if r > 0 {
+                at_node[position[walker] as usize].push(walker as u32);
+            }
+        }
+        for (a, b, w) in stream() {
+            // Each undirected edge can move a walker from either side;
+            // a self-loop is offered once (it keeps the walker put, with
+            // its weight still diluting the reservoir, as a real
+            // self-transition should).
+            let sides: &[(NodeId, NodeId)] = if a == b { &[(a, b)] } else { &[(a, b), (b, a)] };
+            for &(here, to) in sides {
+                for &walker in &at_node[here as usize] {
+                    // Weighted reservoir sampling (A-Chao): keep `to`
+                    // with probability w / total-so-far.
+                    let slot = &mut reservoir[walker as usize];
+                    slot.1 += w;
+                    if rng.gen_bool((w / slot.1).clamp(0.0, 1.0)) {
+                        slot.0 = to;
+                    }
+                }
+            }
+        }
+        for walker in 0..walkers {
+            if remaining[walker] == 0 {
+                continue;
+            }
+            let (next, total) = reservoir[walker];
+            if total > 0.0 {
+                position[walker] = next;
+            }
+            // Isolated node: the walk is stuck; it simply ends here.
+            remaining[walker] -= 1;
+        }
+        passes += 1;
+    }
+
+    let mut scores = vec![0.0f64; n];
+    for &p in &position {
+        scores[p as usize] += 1.0 / walkers as f64;
+    }
+    Ok(StreamingPageRank {
+        scores,
+        passes,
+        walkers,
+        peak_memory_slots: walkers,
+    })
+}
+
+/// Convenience wrapper: stream the edges of an in-memory [`Graph`]
+/// (each undirected edge once per pass), as the tests and examples do.
+pub fn streaming_pagerank_of_graph(
+    g: &Graph,
+    gamma: f64,
+    walkers: usize,
+    max_passes: usize,
+    rng: &mut impl Rng,
+) -> Result<StreamingPageRank> {
+    streaming_pagerank(g.n(), || g.edges(), gamma, walkers, max_passes, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::{kendall_tau, pagerank_scores, top_k_overlap};
+    use acir_graph::gen::deterministic::star;
+    use acir_graph::gen::random::barabasi_albert;
+    use acir_linalg::vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scores_form_a_distribution() {
+        let g = star(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = streaming_pagerank_of_graph(&g, 0.2, 500, 60, &mut rng).unwrap();
+        assert!((vector::sum(&r.scores) - 1.0).abs() < 1e-9);
+        assert!(r.scores.iter().all(|&s| s >= 0.0));
+        assert_eq!(r.peak_memory_slots, 500);
+        assert!(r.passes <= 60);
+    }
+
+    #[test]
+    fn hub_gets_the_most_mass() {
+        let g = star(10).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = streaming_pagerank_of_graph(&g, 0.15, 2000, 80, &mut rng).unwrap();
+        let max = r
+            .scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max, 0, "the hub ranks first");
+    }
+
+    #[test]
+    fn correlates_with_exact_pagerank() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = barabasi_albert(&mut rng, 150, 3).unwrap();
+        let exact = pagerank_scores(&g, 0.15).unwrap();
+        let est = streaming_pagerank_of_graph(&g, 0.15, 20_000, 120, &mut rng).unwrap();
+        let tau = kendall_tau(&exact, &est.scores);
+        assert!(tau > 0.55, "kendall tau {tau}");
+        let overlap = top_k_overlap(&exact, &est.scores, 10);
+        assert!(overlap >= 0.7, "top-10 overlap {overlap}");
+    }
+
+    #[test]
+    fn more_walkers_estimate_better() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = barabasi_albert(&mut rng, 100, 3).unwrap();
+        let exact = pagerank_scores(&g, 0.2).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let rough = streaming_pagerank_of_graph(&g, 0.2, 500, 80, &mut rng_a).unwrap();
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let fine = streaming_pagerank_of_graph(&g, 0.2, 20_000, 80, &mut rng_b).unwrap();
+        let err = |s: &[f64]| vector::dist2(s, &exact);
+        assert!(err(&fine.scores) < err(&rough.scores));
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let g = star(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(streaming_pagerank_of_graph(&g, 0.0, 10, 10, &mut rng).is_err());
+        assert!(streaming_pagerank_of_graph(&g, 1.0, 10, 10, &mut rng).is_err());
+        assert!(streaming_pagerank_of_graph(&g, 0.2, 0, 10, &mut rng).is_err());
+        assert!(streaming_pagerank_of_graph(&g, 0.2, 10, 0, &mut rng).is_err());
+        let empty = acir_graph::Graph::from_pairs(0, []).unwrap();
+        assert!(streaming_pagerank_of_graph(&empty, 0.2, 10, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn self_loops_hold_walkers_proportionally() {
+        // Node 0 has a heavy self-loop plus one edge to node 1: the
+        // stationary distribution favors node 0 strongly, and so does
+        // PageRank at small gamma.
+        let g = acir_graph::Graph::from_edges(2, [(0, 0, 9.0), (0, 1, 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let r = streaming_pagerank_of_graph(&g, 0.1, 5000, 60, &mut rng).unwrap();
+        assert!(r.scores[0] > 0.7, "node 0 share {}", r.scores[0]);
+    }
+
+    #[test]
+    fn isolated_walkers_stay_put() {
+        // A graph with an isolated node: walkers starting there end
+        // there (the stream never offers them a move).
+        let g = acir_graph::Graph::from_pairs(3, [(0, 1)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = streaming_pagerank_of_graph(&g, 0.3, 3000, 40, &mut rng).unwrap();
+        // Node 2 keeps roughly its 1/3 share of uniform starts.
+        assert!((r.scores[2] - 1.0 / 3.0).abs() < 0.05, "{}", r.scores[2]);
+    }
+}

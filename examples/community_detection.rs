@@ -1,0 +1,77 @@
+//! Community detection on a synthetic social network: the Figure 1
+//! workflow at laptop scale.
+//!
+//! Generates an AtP-DBLP-like network (power-law core, planted
+//! communities, whiskers), computes the network community profile with
+//! both rival methods, and prints the conductance-vs-niceness
+//! trade-off the paper's Figure 1 illustrates.
+//!
+//! ```text
+//! cargo run --release -p acir --example community_detection
+//! ```
+
+use acir::experiment::{fmt_f, TextTable};
+use acir::prelude::*;
+use acir_graph::gen::community::{social_network, SocialNetworkParams};
+use acir_graph::traversal::largest_component;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2012);
+    let params = SocialNetworkParams {
+        core_nodes: 1500,
+        core_attach: 3,
+        communities: 25,
+        community_size_range: (8, 300),
+        whiskers: 80,
+        whisker_max_len: 10,
+        ..Default::default()
+    };
+    let pc = social_network(&mut rng, &params).expect("generator");
+    let (g, _) = largest_component(&pc.graph);
+    println!("network: {}", acir_graph::stats::summarize(&g));
+
+    let opts = NcpOptions {
+        min_size: 3,
+        max_size: 600,
+        seeds: 32,
+        alphas: vec![0.2, 0.05, 0.01],
+        epsilons: vec![1e-3, 1e-4],
+        threads: 4,
+        ..Default::default()
+    };
+    println!("\ncomputing NCPs (spectral: {} seeds x {} alphas x {} epsilons; flow: Metis+MQI ladder)...",
+        opts.seeds, opts.alphas.len(), opts.epsilons.len());
+    let spectral = ncp_local_spectral(&g, &opts).expect("spectral NCP");
+    let flow = ncp_metis_mqi(&g, &opts).expect("flow NCP");
+
+    let mut table = TextTable::new(&[
+        "method",
+        "size",
+        "conductance",
+        "avg_path",
+        "ext/int ratio",
+        "connected",
+    ]);
+    for (name, pts) in [("spectral", &spectral), ("flow", &flow)] {
+        for p in pts.iter() {
+            let nice = cluster_niceness(&g, &p.set, 24).expect("niceness");
+            table.row(vec![
+                name.into(),
+                p.size.to_string(),
+                fmt_f(p.conductance),
+                nice.avg_shortest_path
+                    .map(fmt_f)
+                    .unwrap_or_else(|| "-".into()),
+                fmt_f(nice.ratio),
+                nice.connected.to_string(),
+            ]);
+        }
+    }
+    println!("\n{table}");
+    println!(
+        "the paper's Figure 1 shape: flow rows tend to win on conductance,\n\
+         spectral rows tend to win on the two niceness columns."
+    );
+}

@@ -1,0 +1,102 @@
+//! The paper's headline phenomenon, end to end: approximate
+//! computation implicitly regularizes.
+//!
+//! Three demonstrations on one small graph:
+//! 1. the Mahoney–Orecchia theorem — each diffusion equals a
+//!    regularized-SDP optimum, to machine precision;
+//! 2. aggressiveness = regularization strength — truncating a
+//!    diffusion earlier yields a smoother, more seed-dependent output;
+//! 3. the same effect outside graphs — early-stopped gradient descent
+//!    tracks the ridge regularization path.
+//!
+//! ```text
+//! cargo run --release -p acir --example implicit_regularization
+//! ```
+
+use acir::experiment::{fmt_f, TextTable};
+use acir::prelude::*;
+use acir_linalg::{vector, DenseMatrix};
+use acir_regularize::equivalence::{effective_rank, lazy_walk_eta_limit};
+use acir_regularize::explicit::ridge;
+use acir_regularize::heuristics::gradient_descent_path;
+use acir_spectral::diffusion::tv_distance;
+
+fn main() {
+    let g = gen::deterministic::barbell(8, 2).expect("generator");
+    let sp = SpectralProblem::new(&g).expect("spectral problem");
+    println!("graph: barbell(8,2); lambda_2 = {:.5}\n", sp.lambda2());
+
+    // 1. The theorem.
+    println!("1) diffusion == regularized-SDP optimum (relative Frobenius gap):");
+    let mut t = TextTable::new(&["dynamics", "regularizer G(X)", "eta", "rel_gap"]);
+    for eta in [0.5, 2.0, 8.0] {
+        let hk = check_heat_kernel(&sp, eta).expect("hk");
+        t.row(vec![
+            "heat kernel".into(),
+            "Tr(X ln X)".into(),
+            fmt_f(eta),
+            fmt_f(hk.relative_error),
+        ]);
+        let pr = check_pagerank(&sp, eta).expect("pr");
+        t.row(vec![
+            "PageRank".into(),
+            "-ln det X".into(),
+            fmt_f(eta),
+            fmt_f(pr.relative_error),
+        ]);
+    }
+    let lazy_eta = lazy_walk_eta_limit(&sp, 3).expect("limit") * 0.5;
+    let lw = check_lazy_walk(&sp, lazy_eta, 3).expect("lw");
+    t.row(vec![
+        "lazy walk (k=3)".into(),
+        "Tr(X^p)/p".into(),
+        fmt_f(lazy_eta),
+        fmt_f(lw.relative_error),
+    ]);
+    println!("{t}");
+
+    // 2. Aggressiveness as regularization strength.
+    println!("2) truncating the dynamics earlier = regularizing harder:");
+    let mut t = TextTable::new(&[
+        "eta (~time)",
+        "effective rank of X*",
+        "seed dependence (TV)",
+    ]);
+    for eta in [0.25, 1.0, 4.0, 16.0] {
+        let sol = solve_regularized_sdp(&sp, Regularizer::Entropy, eta).expect("sdp");
+        let steps = (eta.ceil() as usize).max(1);
+        let a = lazy_walk(&g, 0.5, steps, &Seed::Node(0)).expect("walk");
+        let b = lazy_walk(&g, 0.5, steps, &Seed::Node((g.n() - 1) as u32)).expect("walk");
+        t.row(vec![
+            fmt_f(eta),
+            fmt_f(effective_rank(&sol.x)),
+            fmt_f(tv_distance(&a, &b)),
+        ]);
+    }
+    println!("{t}");
+
+    // 3. Early stopping outside graphs.
+    println!("3) early-stopped gradient descent vs the ridge path:");
+    let a = DenseMatrix::from_rows(&[
+        &[1.0, 0.1],
+        &[1.0, 0.9],
+        &[1.0, 2.2],
+        &[1.0, 3.1],
+        &[1.0, 3.8],
+    ]);
+    let b = vec![1.1, 1.8, 3.2, 3.9, 5.1];
+    let step = 0.02;
+    let path = gradient_descent_path(&a, &b, step, 200).expect("gd");
+    let mut t = TextTable::new(&["iterations k", "ridge lambda = 1/(k*step)", "relative gap"]);
+    for k in [5usize, 20, 80] {
+        let lam = 1.0 / (k as f64 * step);
+        let r = ridge(&a, &b, lam).expect("ridge");
+        let gap = vector::dist2(&path[k], &r) / vector::norm2(&r);
+        t.row(vec![k.to_string(), fmt_f(lam), fmt_f(gap)]);
+    }
+    println!("{t}");
+    println!(
+        "all three tables say the same thing: the knob you turn to compute\n\
+         *less* is a regularization parameter, not just an error tolerance."
+    );
+}

@@ -1,0 +1,70 @@
+//! Semi-supervised community recovery with the MOV locally-biased
+//! spectral method (§3.3: "one might have domain knowledge about
+//! certain nodes, and one might want to use that to find locally-biased
+//! clusters in a semi-supervised manner").
+//!
+//! A three-block SBM where global spectral bisection can only see the
+//! strongest cut; with three *labeled* nodes from one target block, the
+//! MOV program steers the spectral problem toward that block. The
+//! correlation parameter γ interpolates: γ → λ₂ recovers the global
+//! Fiedler cut; γ ≪ 0 pins the solution to the labels.
+//!
+//! ```text
+//! cargo run --release -p acir --example semi_supervised
+//! ```
+
+use acir::experiment::{fmt_f, TextTable};
+use acir::prelude::*;
+use acir_graph::gen::community::planted_partition;
+use acir_graph::traversal::largest_component;
+use acir_local::mov::mov_embedding;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let pc = planted_partition(&mut rng, 3, 40, 0.35, 0.03).expect("generator");
+    let (g, map) = largest_component(&pc.graph);
+    let truth: Vec<u32> = map.iter().map(|&old| pc.community[old as usize]).collect();
+    println!(
+        "three-block SBM: n = {}, m = {}; target = block 2, labels = 3 nodes",
+        g.n(),
+        g.m()
+    );
+
+    // Three labeled members of block 2 (the "domain knowledge").
+    let labels: Vec<NodeId> = (0..g.n() as u32)
+        .filter(|&u| truth[u as usize] == 2)
+        .take(3)
+        .collect();
+    let block_size = truth.iter().filter(|&&c| c == 2).count();
+
+    let f = fiedler_vector(&g).expect("fiedler");
+    println!("lambda_2 = {:.4}\n", f.lambda2);
+
+    let mut table = TextTable::new(&[
+        "gamma",
+        "cluster size",
+        "phi",
+        "precision vs block 2",
+        "recall vs block 2",
+    ]);
+    for gamma in [-20.0, -2.0, -0.2, f.lambda2 * 0.5, f.lambda2 * 0.95] {
+        let mov = mov_vector(&g, &labels, gamma).expect("mov");
+        let emb = mov_embedding(&g, &mov);
+        let cut = sweep_cut(&g, &emb);
+        let hits = cut.set.iter().filter(|&&u| truth[u as usize] == 2).count();
+        table.row(vec![
+            fmt_f(gamma),
+            cut.set.len().to_string(),
+            fmt_f(cut.conductance),
+            fmt_f(hits as f64 / cut.set.len().max(1) as f64),
+            fmt_f(hits as f64 / block_size as f64),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "small gamma pins the cluster to the labeled block (high precision);\n\
+         gamma -> lambda_2 forgets the labels and returns the global cut."
+    );
+}

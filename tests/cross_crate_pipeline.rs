@@ -1,0 +1,153 @@
+//! Cross-crate integration: full pipelines that exercise generator →
+//! spectral/local/flow → partition layers together.
+
+use acir::prelude::*;
+use acir_graph::gen::community::{planted_partition, social_network, SocialNetworkParams};
+use acir_graph::traversal::largest_component;
+use acir_local::mov::mov_embedding;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generate → spectral partition → MQI polish: the polish never
+/// worsens the spectral side, and often improves it.
+#[test]
+fn spectral_then_mqi_pipeline() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let pc = planted_partition(&mut rng, 2, 40, 0.3, 0.01).unwrap();
+    let (g, _) = largest_component(&pc.graph);
+    let spec = spectral_bisect(&g).unwrap();
+    // MQI needs the small-volume side.
+    let total = g.total_volume();
+    let side = if g.volume(&spec.sweep.set) <= total / 2.0 {
+        spec.sweep.set.clone()
+    } else {
+        g.complement(&spec.sweep.set)
+    };
+    let polished = mqi(&g, &side).unwrap();
+    assert!(polished.conductance <= spec.sweep.conductance + 1e-9);
+    // The planted bisection is essentially recovered.
+    assert!(polished.conductance < 0.1);
+}
+
+/// Four different algorithms, one planted answer: exact spectral,
+/// truncated spectral, local push sweep, and FlowImprove all find the
+/// barbell bottleneck.
+#[test]
+fn four_methods_agree_on_barbell() {
+    let g = gen::deterministic::barbell(12, 0).unwrap();
+    let clique_a: Vec<NodeId> = (0..12).collect();
+    let phi_opt = conductance(&g, &clique_a).unwrap();
+
+    let exact = spectral_bisect(&g).unwrap();
+    assert!((exact.sweep.conductance - phi_opt).abs() < 1e-9);
+
+    let truncated = spectral_bisect_truncated(&g, 2000).unwrap();
+    assert!((truncated.sweep.conductance - phi_opt).abs() < 1e-9);
+
+    let push = ppr_push(&g, &[5], 0.05, 1e-7).unwrap();
+    let local = sweep_cut_support(&g, &push.to_dense(g.n()));
+    assert!((local.conductance - phi_opt).abs() < 1e-9);
+
+    let fi = flow_improve(&g, &clique_a[..10]).unwrap();
+    assert!((fi.conductance - phi_opt).abs() < 1e-9);
+    assert_eq!(fi.set, clique_a);
+}
+
+/// MOV with γ → λ₂ reproduces the global spectral cut; with γ very
+/// negative it localizes: both ends of the interpolation are checked
+/// against independent implementations.
+#[test]
+fn mov_interpolates_between_local_and_global() {
+    let g = gen::deterministic::barbell(7, 1).unwrap();
+    let f = fiedler_vector(&g).unwrap();
+
+    let global_end = mov_vector(&g, &[0], f.lambda2 * 0.95).unwrap();
+    assert!(
+        acir_linalg::vector::alignment(&global_end.vector, &f.vector) > 0.98,
+        "near-λ₂ MOV aligns with the Fiedler vector"
+    );
+
+    let local_end = mov_vector(&g, &[0], -100.0).unwrap();
+    let emb = mov_embedding(&g, &local_end);
+    // Strongly local: the seed's entry dominates.
+    let seed_share = emb[0].abs() / emb.iter().map(|x| x.abs()).sum::<f64>();
+    assert!(seed_share > 0.3, "seed share {seed_share}");
+}
+
+/// The social-network surrogate carries the structural properties the
+/// DESIGN.md substitution argument promises, and the NCP machinery
+/// runs end to end on it.
+#[test]
+fn surrogate_network_has_promised_structure() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let params = SocialNetworkParams {
+        core_nodes: 600,
+        core_attach: 3,
+        communities: 10,
+        community_size_range: (6, 100),
+        whiskers: 40,
+        whisker_max_len: 8,
+        ..Default::default()
+    };
+    let pc = social_network(&mut rng, &params).unwrap();
+    let (g, _) = largest_component(&pc.graph);
+    let summary = acir_graph::stats::summarize(&g);
+    // Heavy tail: max degree far above mean.
+    assert!(summary.degree_range.1 > 5.0 * summary.mean_degree);
+    // Whiskers present.
+    assert!(summary.whisker_nodes > 20);
+    // Some clustering (communities).
+    assert!(summary.clustering > 0.01);
+
+    // NCP over it finds low-conductance clusters at small scales.
+    let opts = NcpOptions {
+        min_size: 3,
+        max_size: 150,
+        seeds: 16,
+        alphas: vec![0.1, 0.02],
+        epsilons: vec![1e-3, 1e-4],
+        threads: 2,
+        ..Default::default()
+    };
+    let ncp = ncp_local_spectral(&g, &opts).unwrap();
+    let best = ncp
+        .iter()
+        .map(|p| p.conductance)
+        .fold(f64::INFINITY, f64::min);
+    assert!(best < 0.2, "best community conductance {best}");
+}
+
+/// Graph IO round trips through the partition pipeline: write, read,
+/// and get identical cuts.
+#[test]
+fn io_roundtrip_preserves_cuts() {
+    let g = gen::deterministic::lollipop(8, 5).unwrap();
+    let mut buf = Vec::new();
+    acir_graph::io::write_edge_list(&g, &mut buf).unwrap();
+    let g2 = acir_graph::io::read_edge_list(buf.as_slice(), 0).unwrap();
+    assert_eq!(g, g2);
+    let c1 = spectral_bisect(&g).unwrap();
+    let c2 = spectral_bisect(&g2).unwrap();
+    assert_eq!(c1.sweep.set, c2.sweep.set);
+}
+
+/// The regularized SDP layer consumes graphs from every generator
+/// family without issue.
+#[test]
+fn sdp_layer_works_across_generators() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let graphs = vec![
+        gen::deterministic::cycle(9).unwrap(),
+        gen::deterministic::grid2d(3, 4).unwrap(),
+        gen::deterministic::hypercube(3).unwrap(),
+        largest_component(&gen::random::erdos_renyi_gnp(&mut rng, 20, 0.3).unwrap()).0,
+        gen::random::random_regular(&mut rng, 16, 3).unwrap(),
+    ];
+    for g in graphs {
+        let sp = SpectralProblem::new(&g).unwrap();
+        let sol = solve_regularized_sdp(&sp, Regularizer::Entropy, 1.0).unwrap();
+        assert!((sol.x.trace() - 1.0).abs() < 1e-9);
+        let r = check_heat_kernel(&sp, 1.0).unwrap();
+        assert!(r.relative_error < 1e-9, "{}", r.relative_error);
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based cross-crate invariants on randomly generated graphs.
+
+use acir::prelude::*;
+use acir_graph::traversal::largest_component;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random connected graph via ER + largest component.
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    (6usize..28, 0u64..1000)
+        .prop_map(|(n, seed)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Density above the connectivity threshold most of the time.
+            let p = (2.2 * (n as f64).ln() / n as f64).min(0.9);
+            let g = acir_graph::gen::random::erdos_renyi_gnp(&mut rng, n, p).unwrap();
+            largest_component(&g).0
+        })
+        .prop_filter("need >= 4 nodes", |g| g.n() >= 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The normalized Laplacian of any graph is PSD with spectrum in
+    /// \[0, 2\], and its Fiedler pair satisfies the eigen equation.
+    #[test]
+    fn laplacian_spectrum_in_bounds(g in arb_connected_graph()) {
+        let nl = normalized_laplacian(&g);
+        let eig = acir_linalg::SymEig::new(&nl.to_dense()).unwrap();
+        prop_assert!(eig.eigenvalues[0] > -1e-9);
+        prop_assert!(*eig.eigenvalues.last().unwrap() < 2.0 + 1e-9);
+        let f = fiedler_vector(&g).unwrap();
+        prop_assert!((f.rayleigh - f.lambda2).abs() < 1e-7);
+    }
+
+    /// Sweep-cut conductance always matches a direct recomputation,
+    /// and satisfies the Cheeger upper bound.
+    #[test]
+    fn sweep_cut_is_consistent_and_cheeger_bounded(g in arb_connected_graph()) {
+        let cut = spectral_bisect(&g).unwrap();
+        let direct = set_conductance(&g, &cut.sweep.set);
+        prop_assert!((cut.sweep.conductance - direct).abs() < 1e-9);
+        prop_assert!(cut.sweep.conductance <= (2.0 * cut.lambda2).sqrt() + 1e-9);
+        prop_assert!(cut.sweep.conductance >= cut.lambda2 / 2.0 - 1e-9);
+    }
+
+    /// PPR push: mass conservation, residual bound, and agreement with
+    /// the exact lazy PPR within ε per unit degree.
+    #[test]
+    fn push_invariants(g in arb_connected_graph(), raw_seed in 0u32..1000, eps_pow in 3u32..6) {
+        let seed = raw_seed % g.n() as u32;
+        let eps = 10f64.powi(-(eps_pow as i32));
+        let r = ppr_push(&g, &[seed], 0.15, eps).unwrap();
+        let p_mass: f64 = r.vector.iter().map(|&(_, x)| x).sum();
+        prop_assert!((p_mass + r.residual_mass - 1.0).abs() < 1e-9);
+        let exact = acir_local::push::ppr_exact_reference(&g, &[seed], 0.15, 4000).unwrap();
+        let dense = r.to_dense(g.n());
+        for u in 0..g.n() {
+            let err = (exact[u] - dense[u]) / g.degree(u as u32).max(1e-300);
+            prop_assert!(err >= -1e-7 && err <= eps + 1e-7, "node {u}: {err}");
+        }
+    }
+
+    /// MQI output is a subset of its input side and never has worse
+    /// conductance.
+    #[test]
+    fn mqi_improves_subsets(g in arb_connected_graph(), bits in 0u64..u64::MAX) {
+        let total = g.total_volume();
+        let side: Vec<NodeId> = (0..g.n() as u32)
+            .filter(|&u| (bits >> (u % 60)) & 1 == 1)
+            .collect();
+        prop_assume!(!side.is_empty());
+        prop_assume!(g.volume(&side) <= total / 2.0);
+        let before = conductance(&g, &side).unwrap();
+        let r = mqi(&g, &side).unwrap();
+        prop_assert!(r.conductance <= before + 1e-9);
+        let side_set: std::collections::HashSet<_> = side.iter().collect();
+        prop_assert!(r.set.iter().all(|u| side_set.contains(u)));
+    }
+
+    /// Max-flow equals min-cut capacity on random unit-capacity
+    /// networks (duality, checked independently).
+    #[test]
+    fn maxflow_mincut_duality(g in arb_connected_graph(), s_raw in 0u32..100, t_raw in 0u32..100) {
+        let n = g.n() as u32;
+        let s = s_raw % n;
+        let t = t_raw % n;
+        prop_assume!(s != t);
+        let mut net = acir_flow::FlowNetwork::new(g.n());
+        for (u, v, w) in g.edges() {
+            net.add_edge(u as usize, v as usize, w).unwrap();
+        }
+        let orig = net.clone();
+        let r = net.max_flow(s as usize, t as usize).unwrap();
+        // Recompute the cut across the partition on original capacities.
+        let mut cut = 0.0;
+        for (u, v, w) in g.edges() {
+            if r.source_side[u as usize] != r.source_side[v as usize] {
+                cut += w;
+            }
+        }
+        let _ = orig;
+        prop_assert!((cut - r.value).abs() < 1e-6, "cut {cut} vs flow {}", r.value);
+        prop_assert!(r.source_side[s as usize]);
+        prop_assert!(!r.source_side[t as usize]);
+    }
+
+    /// The heat kernel preserves probability mass and converges to the
+    /// stationary distribution as t grows.
+    #[test]
+    fn heat_kernel_stochasticity(g in arb_connected_graph(), raw_seed in 0u32..1000) {
+        let seed = raw_seed % g.n() as u32;
+        // Work in the random-walk frame: D^{1/2} exp(-t·𝓛) D^{-1/2}
+        // preserves 1-mass; equivalently check that the symmetric heat
+        // kernel preserves the D^{1/2}-weighted inner product with the
+        // trivial eigenvector.
+        let out = heat_kernel(&g, 2.0, &Seed::Node(seed), 40).unwrap();
+        let v1 = acir_spectral::trivial_eigenvector(&g);
+        let before: f64 = v1[seed as usize] * 1.0;
+        let after: f64 = out.iter().zip(&v1).map(|(a, b)| a * b).sum();
+        prop_assert!((before - after).abs() < 1e-8);
+    }
+
+    /// Graph IO round trips: edge-list and METIS formats both
+    /// reconstruct the graph exactly for arbitrary random inputs.
+    #[test]
+    fn io_roundtrips(g in arb_connected_graph()) {
+        let mut buf = Vec::new();
+        acir_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        prop_assert_eq!(&acir_graph::io::read_edge_list(buf.as_slice(), g.n()).unwrap(), &g);
+        let mut buf = Vec::new();
+        acir_graph::io::write_metis(&g, &mut buf).unwrap();
+        prop_assert_eq!(&acir_graph::io::read_metis(buf.as_slice()).unwrap(), &g);
+        let data = acir_graph::io::GraphData::from(&g);
+        prop_assert_eq!(&data.to_graph().unwrap(), &g);
+    }
+
+    /// Three independent heat-kernel routes agree on arbitrary graphs:
+    /// dense spectral (via SymEig), Krylov (expm_multiply), and
+    /// Chebyshev recurrence.
+    #[test]
+    fn heat_kernel_routes_agree_on_random_graphs(
+        g in arb_connected_graph(),
+        t_raw in 1u32..40,
+        seed_raw in 0u32..1000,
+    ) {
+        let t = t_raw as f64 * 0.1;
+        let seed = seed_raw % g.n() as u32;
+        let n = g.n();
+        let nl = normalized_laplacian(&g);
+        let mut s = vec![0.0; n];
+        s[seed as usize] = 1.0;
+        // Dense spectral route.
+        let eig = acir_linalg::SymEig::new(&nl.to_dense()).unwrap();
+        let h = eig.matrix_function(|lam| (-t * lam).exp());
+        let mut dense = vec![0.0; n];
+        h.gemv(1.0, &s, 0.0, &mut dense);
+        // Krylov route.
+        let krylov = heat_kernel(&g, t, &Seed::Node(seed), n).unwrap();
+        // Chebyshev route.
+        let cheb = acir_linalg::chebyshev::cheb_heat_kernel(&nl, t, &s, 2.0, 50).unwrap();
+        prop_assert!(acir_linalg::vector::dist2(&dense, &krylov) < 1e-8);
+        prop_assert!(acir_linalg::vector::dist2(&dense, &cheb) < 1e-8);
+    }
+
+    /// Whisker extraction invariants on arbitrary graphs: each whisker's
+    /// conductance matches the direct computation, whisker node counts
+    /// match the independent shaving census, and whiskers are disjoint.
+    #[test]
+    fn whisker_invariants(g in arb_connected_graph()) {
+        let ws = acir_partition::whisker::whiskers(&g).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0usize;
+        for w in &ws {
+            for &u in &w.nodes {
+                prop_assert!(seen.insert(u), "whiskers overlap at node {u}");
+            }
+            total += w.nodes.len();
+            let direct = conductance(&g, &w.nodes).unwrap();
+            prop_assert!((w.conductance() - direct).abs() < 1e-9);
+        }
+        let (census, _) = acir_graph::stats::whisker_census(&g);
+        if g.m() + 1 == g.n() {
+            // A tree has no 2-core: the census shaves everything but
+            // there are no whiskers *of* anything (documented behavior).
+            prop_assert_eq!(total, 0);
+        } else {
+            prop_assert_eq!(total, census);
+        }
+    }
+
+    /// The regularized SDP optimum always lies between the trivial
+    /// bounds: λ₂ ≤ Tr(𝓛X*) ≤ mean(λ).
+    #[test]
+    fn sdp_objective_bounds(g in arb_connected_graph(), eta_pow in -2i32..2) {
+        let sp = SpectralProblem::new(&g).unwrap();
+        let eta = 10f64.powi(eta_pow);
+        for reg in [Regularizer::Entropy, Regularizer::LogDet, Regularizer::PNorm(1.5)] {
+            let sol = solve_regularized_sdp(&sp, reg, eta).unwrap();
+            let mean = sp.lambda.iter().sum::<f64>() / sp.lambda.len() as f64;
+            prop_assert!(sol.linear_objective >= sp.lambda2() - 1e-9);
+            prop_assert!(sol.linear_objective <= mean + 1e-9,
+                "{reg:?}: {} > {mean}", sol.linear_objective);
+        }
+    }
+}
