@@ -61,11 +61,21 @@ impl TextTable {
         }
     }
 
-    /// Append a row (stringified cells); panics on arity mismatch.
-    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+    /// Append a row (stringified cells).
+    ///
+    /// Returns [`AcirError::TableArity`](crate::AcirError::TableArity)
+    /// when the cell count does not match the header, so drivers fed
+    /// malformed data degrade into an ordinary recoverable error
+    /// instead of aborting an entire experiment run.
+    pub fn row(&mut self, cells: Vec<String>) -> Result<&mut Self> {
+        if cells.len() != self.header.len() {
+            return Err(crate::AcirError::TableArity {
+                expected: self.header.len(),
+                got: cells.len(),
+            });
+        }
         self.rows.push(cells);
-        self
+        Ok(self)
     }
 
     /// Number of data rows.
@@ -195,8 +205,8 @@ mod tests {
     #[test]
     fn text_table_alignment() {
         let mut t = TextTable::new(&["name", "value"]);
-        t.row(vec!["alpha".into(), "1".into()]);
-        t.row(vec!["b".into(), "10000".into()]);
+        t.row(vec!["alpha".into(), "1".into()]).unwrap();
+        t.row(vec!["b".into(), "10000".into()]).unwrap();
         let s = t.to_string();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -209,10 +219,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "column count mismatch")]
-    fn text_table_arity_checked() {
+    fn text_table_arity_is_an_error_not_a_panic() {
         let mut t = TextTable::new(&["a", "b"]);
-        t.row(vec!["only one".into()]);
+        let err = t.row(vec!["only one".into()]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("expected 2"), "got: {msg}");
+        assert!(msg.contains("got 1"), "got: {msg}");
+        // The malformed row was not appended; the table stays usable.
+        assert!(t.is_empty());
+        t.row(vec!["x".into(), "y".into()]).unwrap();
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

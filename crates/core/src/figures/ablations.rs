@@ -49,7 +49,7 @@ pub fn run_cheeger_table(ctx: &ExperimentContext) -> Result<TextTable> {
             fmt_f(r.phi_sweep),
             fmt_f(r.upper),
             r.holds.to_string(),
-        ]);
+        ])?;
     }
     ctx.write_csv(
         "ablation_cheeger.csv",
@@ -113,7 +113,7 @@ pub fn run_worst_cases(
             fmt_f(ml.cut),
             "2".into(),
             fmt_f(spec.lambda2),
-        ]);
+        ])?;
     }
     let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xE87);
     for &n in expander_ns {
@@ -136,7 +136,7 @@ pub fn run_worst_cases(
             fmt_f(ml.cut),
             "~Theta(n)".into(),
             fmt_f(spec.lambda2),
-        ]);
+        ])?;
     }
     ctx.write_csv(
         "ablation_worstcase.csv",
@@ -194,7 +194,7 @@ pub fn run_early_stopping(ctx: &ExperimentContext, stops: &[usize]) -> Result<Te
             fmt_f(rel),
             fmt_f(vector::norm2(gd)),
             fmt_f(vector::norm2(&ridge_sol)),
-        ]);
+        ])?;
     }
     ctx.write_csv(
         "ablation_early_stopping.csv",
@@ -239,7 +239,7 @@ pub fn run_noise_ablation(
             fmt_f(lambda),
             fmt_f(rel),
             fmt_f(vector::norm2(&noisy) / vector::norm2(&ls).max(1e-300)),
-        ]);
+        ])?;
     }
     ctx.write_csv(
         "ablation_noise.csv",
@@ -307,7 +307,7 @@ pub fn run_expander_ncp(ctx: &ExperimentContext, n: usize, d: usize) -> Result<T
             pts.len().to_string(),
             fmt_f(min_phi),
             fmt_f(max_phi),
-        ]);
+        ])?;
     }
     ctx.write_csv(
         "ablation_flat_ncp.csv",
@@ -353,7 +353,7 @@ pub fn run_bayes_risk(
             fmt_f(best_risk),
             fmt_f(best_eta),
             fmt_f(profile.improvement()),
-        ]);
+        ])?;
     }
     ctx.write_csv(
         "ablation_bayes.csv",

@@ -72,7 +72,7 @@ pub fn run_equivalence(ctx: &ExperimentContext, cfg: &CaseStudy1Config) -> Resul
                 fmt_f(eta),
                 format!("t={}", fmt_f(eta)),
                 fmt_f(hk.relative_error),
-            ]);
+            ])?;
             let pr = check_pagerank(&sp, eta)?;
             let gamma = match pr.parameter {
                 DiffusionParameter::PageRankGamma(gm) => gm,
@@ -84,7 +84,7 @@ pub fn run_equivalence(ctx: &ExperimentContext, cfg: &CaseStudy1Config) -> Resul
                 fmt_f(eta),
                 format!("gamma={}", fmt_f(gamma)),
                 fmt_f(pr.relative_error),
-            ]);
+            ])?;
         }
         for &k in &cfg.lazy_ks {
             // Stay in the exact (untruncated) regime for the lazy walk.
@@ -100,7 +100,7 @@ pub fn run_equivalence(ctx: &ExperimentContext, cfg: &CaseStudy1Config) -> Resul
                 fmt_f(eta),
                 format!("alpha={},k={k}", fmt_f(alpha)),
                 fmt_f(lw.relative_error),
-            ]);
+            ])?;
         }
     }
     ctx.write_csv(
@@ -149,7 +149,7 @@ pub fn run_regularization_path(
             fmt_f(sol.linear_objective - lambda2),
             steps.to_string(),
             fmt_f(tv),
-        ]);
+        ])?;
     }
     ctx.write_csv(
         "casestudy1_regpath.csv",

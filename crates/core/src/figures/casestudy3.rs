@@ -107,7 +107,7 @@ pub fn run_locality(ctx: &ExperimentContext, cfg: &CaseStudy3Config) -> Result<T
             fmt_f(cut.conductance),
             fmt_f(phi_planted),
             fmt_f(jaccard(&cut.set, &planted)),
-        ]);
+        ])?;
 
         // Nibble.
         let nib = nibble(&g, seed, cfg.nibble_steps, cfg.epsilon)?;
@@ -119,7 +119,7 @@ pub fn run_locality(ctx: &ExperimentContext, cfg: &CaseStudy3Config) -> Result<T
             fmt_f(nib.conductance),
             fmt_f(phi_planted),
             fmt_f(jaccard(&nib.set, &planted)),
-        ]);
+        ])?;
 
         // Heat-kernel push.
         let hk = hk_relax(&g, seed, cfg.hk_t, cfg.epsilon, 1e-4)?;
@@ -132,7 +132,7 @@ pub fn run_locality(ctx: &ExperimentContext, cfg: &CaseStudy3Config) -> Result<T
             fmt_f(hk_cut.conductance),
             fmt_f(phi_planted),
             fmt_f(jaccard(&hk_cut.set, &planted)),
-        ]);
+        ])?;
 
         // MOV (optimization approach): touches everything by design.
         if cfg.include_mov {
@@ -147,7 +147,7 @@ pub fn run_locality(ctx: &ExperimentContext, cfg: &CaseStudy3Config) -> Result<T
                 fmt_f(mov_cut.conductance),
                 fmt_f(phi_planted),
                 fmt_f(jaccard(&mov_cut.set, &planted)),
-            ]);
+            ])?;
         }
     }
     ctx.write_csv(

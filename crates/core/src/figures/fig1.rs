@@ -129,13 +129,15 @@ impl Fig1Result {
         let mut table = TextTable::new(&["method", "size", "phi", "avg_path", "ext/int"]);
         for (name, pts) in [("spectral", &self.spectral), ("flow", &self.flow)] {
             for p in pts.iter() {
-                table.row(vec![
-                    name.to_string(),
-                    p.size.to_string(),
-                    fmt_f(p.conductance),
-                    p.avg_shortest_path.map(fmt_f).unwrap_or_else(|| "-".into()),
-                    fmt_f(p.ratio),
-                ]);
+                table
+                    .row(vec![
+                        name.to_string(),
+                        p.size.to_string(),
+                        fmt_f(p.conductance),
+                        p.avg_shortest_path.map(fmt_f).unwrap_or_else(|| "-".into()),
+                        fmt_f(p.ratio),
+                    ])
+                    .expect("static 5-column row");
             }
         }
         out.push_str(&table.to_string());

@@ -53,28 +53,49 @@
 pub mod experiment;
 pub mod figures;
 
+/// Solver resilience vocabulary, re-exported from `acir-runtime`.
+///
+/// Budgets ([`Budget`](runtime::Budget)), structured outcomes
+/// ([`SolverOutcome`](runtime::SolverOutcome)) with quality
+/// [`Certificate`](runtime::Certificate)s, divergence guards, retry
+/// policies, and the fault-injection harness. Every iterative kernel
+/// in the workspace has a `*_budgeted` (and often `*_resilient`)
+/// variant speaking this vocabulary; truncation under a budget returns
+/// a *certified partial answer* — the paper's implicitly regularized
+/// iterate — never a bare error.
+pub mod runtime {
+    pub use acir_runtime::fault::corrupt;
+    pub use acir_runtime::{
+        Budget, BudgetMeter, Certificate, ConvergenceGuard, Diagnostics, DivergenceCause,
+        Exhaustion, FaultConfig, FaultStream, GuardConfig, GuardVerdict, RetryPolicy,
+        SolverOutcome,
+    };
+}
+
 /// Curated re-exports: the API surface the examples and experiment
 /// binaries are written against.
 pub mod prelude {
-    pub use acir_flow::{flow_improve, mqi};
+    pub use acir_flow::{flow_improve, mqi, mqi_budgeted};
     pub use acir_graph::gen;
     pub use acir_graph::{Graph, GraphBuilder, NodeId};
-    pub use acir_local::push::ppr_push;
+    pub use acir_local::push::{ppr_push, ppr_push_budgeted};
     pub use acir_local::sweep::{set_conductance, sweep_cut, sweep_cut_support};
-    pub use acir_local::{hk_relax, mov_vector, nibble};
+    pub use acir_local::{hk_relax, hk_relax_budgeted, mov_vector, nibble};
     pub use acir_partition::{
         cheeger_check, cluster_niceness, conductance, multilevel_bisect, ncp_local_spectral,
-        ncp_metis_mqi, refine_bisection, spectral_bisect, spectral_bisect_ratio,
-        spectral_bisect_truncated, whisker_union_envelope, whiskers, MultilevelOptions,
-        NcpOptions,
+        ncp_local_spectral_budgeted, ncp_metis_mqi, refine_bisection, spectral_bisect,
+        spectral_bisect_budgeted, spectral_bisect_ratio, spectral_bisect_truncated,
+        whisker_union_envelope, whiskers, MultilevelOptions, NcpOptions,
     };
     pub use acir_regularize::{
         check_heat_kernel, check_lazy_walk, check_pagerank, solve_regularized_sdp, Regularizer,
         SpectralProblem,
     };
+    pub use acir_runtime::{Budget, Certificate, RetryPolicy, SolverOutcome};
     pub use acir_spectral::{
-        fiedler_vector, heat_kernel, heat_kernel_chebyshev, lazy_walk, normalized_laplacian,
-        pagerank, pagerank_power, spectral_clustering, spectral_embedding,
+        fiedler_vector, fiedler_vector_budgeted, heat_kernel, heat_kernel_chebyshev,
+        heat_kernel_chebyshev_budgeted, lazy_walk, normalized_laplacian, pagerank,
+        pagerank_budgeted, pagerank_power, spectral_clustering, spectral_embedding,
         streaming_pagerank_of_graph, Seed,
     };
 
@@ -88,6 +109,14 @@ pub enum AcirError {
     Inner(Box<dyn std::error::Error + Send + Sync>),
     /// IO failure while writing experiment artifacts.
     Io(std::io::Error),
+    /// A [`TextTable`](experiment::TextTable) row whose cell count
+    /// disagrees with its header.
+    TableArity {
+        /// Number of columns the header declares.
+        expected: usize,
+        /// Number of cells the offending row carried.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for AcirError {
@@ -95,6 +124,12 @@ impl std::fmt::Display for AcirError {
         match self {
             AcirError::Inner(e) => write!(f, "{e}"),
             AcirError::Io(e) => write!(f, "io: {e}"),
+            AcirError::TableArity { expected, got } => {
+                write!(
+                    f,
+                    "table row arity mismatch: expected {expected} cells, got {got}"
+                )
+            }
         }
     }
 }

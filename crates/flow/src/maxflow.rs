@@ -7,6 +7,7 @@
 //! residue.
 
 use crate::{FlowError, Result};
+use acir_runtime::{Budget, Certificate, Diagnostics, DivergenceCause, SolverOutcome};
 
 /// Residual capacities below this are treated as zero.
 const EPS: f64 = 1e-9;
@@ -123,23 +124,134 @@ impl FlowNetwork {
                 total += pushed;
             }
         }
-        // Min-cut: residual reachability from s.
-        let mut source_side = vec![false; n];
-        source_side[s] = true;
+        Ok(MaxFlowResult {
+            value: total,
+            source_side: self.residual_reachable(s),
+        })
+    }
+
+    /// Nodes reachable from `s` in the current residual network (the
+    /// source side of a min cut once the flow is maximum).
+    fn residual_reachable(&self, s: usize) -> Vec<bool> {
+        let mut side = vec![false; self.n()];
+        side[s] = true;
         let mut queue = std::collections::VecDeque::new();
         queue.push_back(s);
         while let Some(u) = queue.pop_front() {
             for &ai in &self.head[u] {
                 let v = self.to[ai as usize] as usize;
-                if self.cap[ai as usize] > EPS && !source_side[v] {
-                    source_side[v] = true;
+                if self.cap[ai as usize] > EPS && !side[v] {
+                    side[v] = true;
                     queue.push_back(v);
                 }
             }
         }
-        Ok(MaxFlowResult {
-            value: total,
-            source_side,
+        side
+    }
+
+    /// Budgeted variant of [`max_flow`](Self::max_flow).
+    ///
+    /// Each Dinic blocking-flow phase costs one budget iteration and
+    /// one arc sweep of work units. On exhaustion the flow routed so
+    /// far is returned as a certified partial answer: it is feasible —
+    /// hence a lower bound on the maximum — and the witnessed trivial
+    /// cut `min(cap out of s, cap into t)` bounds the maximum from
+    /// above, giving a [`Certificate::FlowGap`]. A non-finite running
+    /// total (corrupted capacities slipped past construction) halts the
+    /// run as [`SolverOutcome::Diverged`] rather than returning a
+    /// poisoned flow.
+    pub fn max_flow_budgeted(
+        &mut self,
+        s: usize,
+        t: usize,
+        budget: &Budget,
+    ) -> Result<SolverOutcome<MaxFlowResult>> {
+        let n = self.n();
+        if s >= n || t >= n {
+            return Err(FlowError::InvalidArgument("endpoint out of range".into()));
+        }
+        if s == t {
+            return Err(FlowError::InvalidArgument("source equals sink".into()));
+        }
+        // Witnessed trivial cuts on the *original* capacities, taken
+        // before any augmentation: ({s}, rest) and (rest, {t}).
+        let out_s: f64 = self.head[s].iter().map(|&ai| self.cap[ai as usize]).sum();
+        let in_t: f64 = self.head[t]
+            .iter()
+            .map(|&ai| self.cap[(ai ^ 1) as usize])
+            .sum();
+        let upper = out_s.min(in_t);
+
+        let mut meter = budget.start();
+        let mut diags = Diagnostics::new();
+        let mut total = 0.0;
+        let mut phases = 0usize;
+        let mut level = vec![-1i32; n];
+        let mut iter = vec![0usize; n];
+        loop {
+            meter.tick_iter();
+            meter.add_work(self.to.len() as u64);
+            if let Some(ex) = meter.check() {
+                diags.absorb_meter(&meter);
+                diags.note(format!(
+                    "{ex} after {phases} blocking-flow phases; returning feasible partial flow"
+                ));
+                return Ok(SolverOutcome::BudgetExhausted {
+                    best_so_far: MaxFlowResult {
+                        value: total,
+                        source_side: self.residual_reachable(s),
+                    },
+                    exhausted: ex,
+                    certificate: Certificate::FlowGap {
+                        value: total,
+                        upper_bound: upper,
+                    },
+                    diagnostics: diags,
+                });
+            }
+            // BFS to build the level graph.
+            level.fill(-1);
+            level[s] = 0;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(s);
+            while let Some(u) = queue.pop_front() {
+                for &ai in &self.head[u] {
+                    let v = self.to[ai as usize] as usize;
+                    if self.cap[ai as usize] > EPS && level[v] < 0 {
+                        level[v] = level[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if level[t] < 0 {
+                break;
+            }
+            iter.fill(0);
+            loop {
+                let pushed = self.dfs_push(s, t, f64::INFINITY, &level, &mut iter);
+                if pushed <= EPS {
+                    break;
+                }
+                total += pushed;
+            }
+            phases += 1;
+            if !total.is_finite() {
+                diags.absorb_meter(&meter);
+                return Ok(SolverOutcome::diverged(
+                    DivergenceCause::NonFiniteIterate { at_iter: phases },
+                    diags,
+                ));
+            }
+            diags.push_residual((upper - total).max(0.0));
+        }
+        diags.absorb_meter(&meter);
+        diags.note(format!("maximum flow reached after {phases} phases"));
+        Ok(SolverOutcome::Converged {
+            value: MaxFlowResult {
+                value: total,
+                source_side: self.residual_reachable(s),
+            },
+            diagnostics: diags,
         })
     }
 
@@ -307,6 +419,48 @@ mod tests {
         net.add_arc(0, 1, 1.0).unwrap();
         assert!(net.max_flow(0, 0).is_err());
         assert!(net.max_flow(0, 9).is_err());
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_plain() {
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 3.0).unwrap();
+        net.add_arc(0, 2, 2.0).unwrap();
+        net.add_arc(1, 2, 1.0).unwrap();
+        net.add_arc(1, 3, 2.0).unwrap();
+        net.add_arc(2, 3, 3.0).unwrap();
+        let mut plain = net.clone();
+        let out = net.max_flow_budgeted(0, 3, &Budget::unlimited()).unwrap();
+        assert!(out.is_converged());
+        let r = out.value().unwrap();
+        let p = plain.max_flow(0, 3).unwrap();
+        assert!((r.value - p.value).abs() < 1e-9);
+        assert_eq!(r.source_side, p.source_side);
+        assert!(!out.diagnostics().events.is_empty());
+    }
+
+    #[test]
+    fn budgeted_exhaustion_brackets_true_max_flow() {
+        // The diamond needs two Dinic phases (flow 4, then the length-3
+        // augmenting path worth 1 more). Allow only one.
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 3.0).unwrap();
+        net.add_arc(0, 2, 2.0).unwrap();
+        net.add_arc(1, 2, 1.0).unwrap();
+        net.add_arc(1, 3, 2.0).unwrap();
+        net.add_arc(2, 3, 3.0).unwrap();
+        let out = net.max_flow_budgeted(0, 3, &Budget::iterations(2)).unwrap();
+        assert!(!out.is_converged() && out.is_usable());
+        let (lo, hi) = match out.certificate() {
+            Some(&Certificate::FlowGap { value, upper_bound }) => (value, upper_bound),
+            c => panic!("wrong certificate {c:?}"),
+        };
+        // True max flow is 5; the certificate must bracket it from
+        // below by the feasible partial and from above by the cut.
+        assert!((lo - 4.0).abs() < 1e-9, "partial flow {lo}");
+        assert!(lo <= 5.0 + 1e-9 && 5.0 <= hi + 1e-9, "[{lo}, {hi}]");
+        assert!((out.value().unwrap().value - lo).abs() < 1e-12);
+        assert!(!out.diagnostics().events.is_empty());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use crate::maxflow::FlowNetwork;
 use crate::{FlowError, Result};
 use acir_graph::{Graph, NodeId};
+use acir_runtime::{Budget, Certificate, Diagnostics, DivergenceCause, SolverOutcome};
 
 /// Outcome of MQI.
 #[derive(Debug, Clone)]
@@ -180,6 +181,171 @@ pub fn mqi(g: &Graph, a_side: &[NodeId]) -> Result<MqiResult> {
     })
 }
 
+/// Build the result struct for whatever side `current` holds.
+fn finish(g: &Graph, current: &[bool], initial_conductance: f64, iterations: usize) -> MqiResult {
+    let n = g.n();
+    let mut set: Vec<NodeId> = (0..n as NodeId).filter(|&u| current[u as usize]).collect();
+    set.sort_unstable();
+    let (fc, fv) = cut_and_volume(g, current);
+    MqiResult {
+        set,
+        conductance: if fv > 0.0 { fc / fv } else { f64::INFINITY },
+        initial_conductance,
+        iterations,
+    }
+}
+
+/// Budgeted variant of [`mqi`].
+///
+/// Each max-flow round costs one budget iteration plus the round's
+/// flow-network arcs as work units. MQI is an *anytime* algorithm —
+/// every accepted round strictly improves conductance, and the current
+/// side is always a valid answer — so exhaustion returns the best set
+/// found with a [`Certificate::FlowGap`] reading `value` = achieved
+/// conductance ≤ `upper_bound` = the input side's conductance: the
+/// slack is the improvement already banked, and the guarantee
+/// `φ(S) ≤ φ(A)` of Lang–Rao holds at every truncation point.
+pub fn mqi_budgeted(
+    g: &Graph,
+    a_side: &[NodeId],
+    budget: &Budget,
+) -> Result<SolverOutcome<MqiResult>> {
+    let n = g.n();
+    if a_side.is_empty() {
+        return Err(FlowError::InvalidArgument(
+            "MQI needs a non-empty side".into(),
+        ));
+    }
+    let mut member = vec![false; n];
+    for &u in a_side {
+        if u as usize >= n {
+            return Err(FlowError::InvalidArgument(format!("node {u} out of range")));
+        }
+        if member[u as usize] {
+            return Err(FlowError::InvalidArgument(format!("duplicate node {u}")));
+        }
+        member[u as usize] = true;
+    }
+    let (cut0, vol0) = cut_and_volume(g, &member);
+    if vol0 > g.total_volume() / 2.0 + 1e-9 {
+        return Err(FlowError::InvalidArgument(
+            "MQI side must have at most half the total volume".into(),
+        ));
+    }
+    let mut diags = Diagnostics::new();
+    if cut0 == 0.0 {
+        diags.note("input side is already disconnected: conductance 0, nothing to improve");
+        return Ok(SolverOutcome::Converged {
+            value: finish(g, &member, 0.0, 0),
+            diagnostics: diags,
+        });
+    }
+    let initial_conductance = cut0 / vol0;
+
+    let mut meter = budget.start();
+    let mut current = member;
+    let mut best_phi = initial_conductance;
+    let mut iterations = 0usize;
+
+    loop {
+        meter.tick_iter();
+        if let Some(ex) = meter.check() {
+            diags.absorb_meter(&meter);
+            diags.note(format!(
+                "{ex} after {iterations} flow rounds; current side is a valid improved cut"
+            ));
+            return Ok(SolverOutcome::BudgetExhausted {
+                best_so_far: finish(g, &current, initial_conductance, iterations),
+                exhausted: ex,
+                certificate: Certificate::FlowGap {
+                    value: best_phi,
+                    upper_bound: initial_conductance,
+                },
+                diagnostics: diags,
+            });
+        }
+        let nodes: Vec<NodeId> = (0..n as NodeId).filter(|&u| current[u as usize]).collect();
+        let k = nodes.len();
+        let mut local = vec![usize::MAX; n];
+        for (i, &u) in nodes.iter().enumerate() {
+            local[u as usize] = i;
+        }
+        let (c, a) = cut_and_volume(g, &current);
+        if c == 0.0 {
+            break;
+        }
+        let s = k;
+        let t = k + 1;
+        let mut net = FlowNetwork::new(k + 2);
+        let mut arcs = 0u64;
+        for (i, &u) in nodes.iter().enumerate() {
+            net.add_arc(s, i, c * g.degree(u))?;
+            arcs += 1;
+            let mut boundary = 0.0;
+            for (v, w) in g.neighbors(u) {
+                if current[v as usize] {
+                    if local[v as usize] > i {
+                        net.add_edge(i, local[v as usize], a * w)?;
+                        arcs += 1;
+                    }
+                } else {
+                    boundary += w;
+                }
+            }
+            if boundary > 0.0 {
+                net.add_arc(i, t, a * boundary)?;
+                arcs += 1;
+            }
+        }
+        meter.add_work(arcs);
+        let flow = net.max_flow(s, t)?;
+        iterations += 1;
+        diags.push_residual(best_phi);
+
+        if flow.value >= c * a * (1.0 - 1e-12) - 1e-9 {
+            break;
+        }
+        let improved: Vec<NodeId> = nodes
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| flow.source_side[i])
+            .map(|(_, &u)| u)
+            .collect();
+        if improved.is_empty() || improved.len() == nodes.len() {
+            break;
+        }
+        let mut next = vec![false; n];
+        for &u in &improved {
+            next[u as usize] = true;
+        }
+        let (nc, nv) = cut_and_volume(g, &next);
+        let phi = if nv > 0.0 { nc / nv } else { f64::INFINITY };
+        if !phi.is_finite() {
+            diags.absorb_meter(&meter);
+            return Ok(SolverOutcome::diverged(
+                DivergenceCause::NonFiniteResidual {
+                    at_iter: iterations,
+                },
+                diags,
+            ));
+        }
+        if phi >= best_phi - 1e-15 {
+            break;
+        }
+        best_phi = phi;
+        current = next;
+    }
+
+    diags.absorb_meter(&meter);
+    diags.note(format!(
+        "quotient-cut optimum inside the side after {iterations} flow rounds"
+    ));
+    Ok(SolverOutcome::Converged {
+        value: finish(g, &current, initial_conductance, iterations),
+        diagnostics: diags,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +456,48 @@ mod tests {
                 r.initial_conductance
             );
         }
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_plain() {
+        let g = lollipop(6, 6).unwrap();
+        let side = vec![3, 4, 5, 6, 7, 8];
+        let out = mqi_budgeted(&g, &side, &Budget::unlimited()).unwrap();
+        assert!(out.is_converged());
+        let r = out.value().unwrap();
+        let p = mqi(&g, &side).unwrap();
+        assert_eq!(r.set, p.set);
+        assert!((r.conductance - p.conductance).abs() < 1e-12);
+        assert!(!out.diagnostics().events.is_empty());
+    }
+
+    #[test]
+    fn budgeted_exhaustion_returns_valid_anytime_cut() {
+        // Zero flow rounds allowed: the partial answer must be the
+        // input side itself, still certified φ(S) ≤ φ(A).
+        let g = lollipop(6, 6).unwrap();
+        let side = vec![3, 4, 5, 6, 7, 8];
+        let out = mqi_budgeted(&g, &side, &Budget::iterations(1)).unwrap();
+        assert!(!out.is_converged() && out.is_usable());
+        let r = out.value().unwrap();
+        let (lo, hi) = match out.certificate() {
+            Some(&Certificate::FlowGap { value, upper_bound }) => (value, upper_bound),
+            c => panic!("wrong certificate {c:?}"),
+        };
+        assert!(lo <= hi + 1e-12, "achieved {lo} vs initial {hi}");
+        assert!((r.conductance - lo).abs() < 1e-12);
+        assert!((r.initial_conductance - hi).abs() < 1e-12);
+        // Anytime guarantee: never worse than the input side.
+        assert!(r.conductance <= r.initial_conductance + 1e-12);
+    }
+
+    #[test]
+    fn budgeted_zero_cut_short_circuits_as_converged() {
+        let g = acir_graph::Graph::from_pairs(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .unwrap();
+        let out = mqi_budgeted(&g, &[0, 1, 2], &Budget::iterations(1)).unwrap();
+        assert!(out.is_converged());
+        assert_eq!(out.value().unwrap().conductance, 0.0);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::maxflow::MaxFlowResult;
 use crate::{FlowError, Result};
+use acir_runtime::{Budget, Certificate, Diagnostics, DivergenceCause, SolverOutcome};
 use std::collections::VecDeque;
 
 const EPS: f64 = 1e-9;
@@ -73,6 +74,43 @@ impl PushRelabelNetwork {
 
     /// Compute the max `s → t` flow (mutates residual capacities).
     pub fn max_flow(&mut self, s: usize, t: usize) -> Result<MaxFlowResult> {
+        match self.max_flow_metered(s, t, &Budget::unlimited())? {
+            SolverOutcome::Converged { value, .. } => Ok(value),
+            // Unlimited budgets never exhaust, and divergence requires
+            // contaminated capacities, which construction rejects.
+            SolverOutcome::BudgetExhausted { best_so_far, .. } => Ok(best_so_far),
+            SolverOutcome::Diverged { cause, .. } => Err(FlowError::InvalidArgument(format!(
+                "push-relabel halted: {cause}"
+            ))),
+        }
+    }
+
+    /// Budgeted variant of [`max_flow`](Self::max_flow).
+    ///
+    /// Each node discharge costs one budget iteration plus its arc
+    /// scans as work units. Push–relabel maintains a *preflow*, but the
+    /// excess already collected at `t` decomposes into feasible `s → t`
+    /// paths, so on exhaustion it is a valid lower bound on the maximum
+    /// flow; the witnessed trivial cut `min(cap out of s, cap into t)`
+    /// bounds it from above — a [`Certificate::FlowGap`]. The
+    /// `source_side` of a partial result is residual reachability from
+    /// `s` at the moment the budget ran out. A non-finite sink excess
+    /// halts the run as [`SolverOutcome::Diverged`].
+    pub fn max_flow_budgeted(
+        &mut self,
+        s: usize,
+        t: usize,
+        budget: &Budget,
+    ) -> Result<SolverOutcome<MaxFlowResult>> {
+        self.max_flow_metered(s, t, budget)
+    }
+
+    fn max_flow_metered(
+        &mut self,
+        s: usize,
+        t: usize,
+        budget: &Budget,
+    ) -> Result<SolverOutcome<MaxFlowResult>> {
         let n = self.n();
         if s >= n || t >= n {
             return Err(FlowError::InvalidArgument("endpoint out of range".into()));
@@ -80,6 +118,15 @@ impl PushRelabelNetwork {
         if s == t {
             return Err(FlowError::InvalidArgument("source equals sink".into()));
         }
+        // Witnessed trivial cuts on the original capacities.
+        let out_s: f64 = self.head[s].iter().map(|&ai| self.cap[ai as usize]).sum();
+        let in_t: f64 = self.head[t]
+            .iter()
+            .map(|&ai| self.cap[(ai ^ 1) as usize])
+            .sum();
+        let upper = out_s.min(in_t);
+        let mut meter = budget.start();
+        let mut diags = Diagnostics::new();
 
         let mut height = vec![0usize; n];
         let mut excess = vec![0.0f64; n];
@@ -142,7 +189,39 @@ impl PushRelabelNetwork {
 
         let mut work = 0usize;
         let relabel_interval = 6 * n + self.to.len() / 2 + 1;
+        let mut discharges = 0usize;
         while let Some(u) = active.pop_front() {
+            discharges += 1;
+            meter.tick_iter();
+            meter.add_work(self.head[u].len() as u64);
+            if let Some(ex) = meter.check() {
+                diags.absorb_meter(&meter);
+                diags.note(format!(
+                    "{ex} after {discharges} discharges; returning sink excess as partial flow"
+                ));
+                let value = excess[t];
+                return Ok(SolverOutcome::BudgetExhausted {
+                    best_so_far: MaxFlowResult {
+                        value,
+                        source_side: self.residual_reachable(s),
+                    },
+                    exhausted: ex,
+                    certificate: Certificate::FlowGap {
+                        value,
+                        upper_bound: upper,
+                    },
+                    diagnostics: diags,
+                });
+            }
+            if !excess[t].is_finite() {
+                diags.absorb_meter(&meter);
+                return Ok(SolverOutcome::diverged(
+                    DivergenceCause::NonFiniteIterate {
+                        at_iter: discharges,
+                    },
+                    diags,
+                ));
+            }
             in_queue[u] = false;
             // Discharge u.
             while excess[u] > EPS {
@@ -205,23 +284,34 @@ impl PushRelabelNetwork {
         // Flow value = excess collected at t; min-cut side = nodes that
         // reach t... conventionally: source side = nodes NOT reaching t
         // in the residual, computed as residual-reachability from s.
-        let mut source_side = vec![false; n];
-        source_side[s] = true;
+        diags.absorb_meter(&meter);
+        diags.note(format!("preflow drained after {discharges} discharges"));
+        diags.push_residual((upper - excess[t]).max(0.0));
+        Ok(SolverOutcome::Converged {
+            value: MaxFlowResult {
+                value: excess[t],
+                source_side: self.residual_reachable(s),
+            },
+            diagnostics: diags,
+        })
+    }
+
+    /// Nodes reachable from `s` in the current residual network.
+    fn residual_reachable(&self, s: usize) -> Vec<bool> {
+        let mut side = vec![false; self.n()];
+        side[s] = true;
         let mut q = VecDeque::new();
         q.push_back(s);
         while let Some(u) = q.pop_front() {
             for &ai in &self.head[u] {
                 let v = self.to[ai as usize] as usize;
-                if self.cap[ai as usize] > EPS && !source_side[v] {
-                    source_side[v] = true;
+                if self.cap[ai as usize] > EPS && !side[v] {
+                    side[v] = true;
                     q.push_back(v);
                 }
             }
         }
-        Ok(MaxFlowResult {
-            value: excess[t],
-            source_side,
-        })
+        side
     }
 }
 
@@ -299,6 +389,68 @@ mod tests {
                 b.value
             );
         }
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_plain() {
+        let mut net = PushRelabelNetwork::new(4);
+        net.add_arc(0, 1, 3.0).unwrap();
+        net.add_arc(0, 2, 2.0).unwrap();
+        net.add_arc(1, 2, 1.0).unwrap();
+        net.add_arc(1, 3, 2.0).unwrap();
+        net.add_arc(2, 3, 3.0).unwrap();
+        let mut plain = net.clone();
+        let out = net.max_flow_budgeted(0, 3, &Budget::unlimited()).unwrap();
+        assert!(out.is_converged());
+        let r = out.value().unwrap();
+        let p = plain.max_flow(0, 3).unwrap();
+        assert!((r.value - p.value).abs() < 1e-9);
+        assert!(!out.diagnostics().events.is_empty());
+    }
+
+    #[test]
+    fn budgeted_exhaustion_certificate_brackets_max_flow() {
+        // A long chain forces many discharges; starve the budget.
+        let n = 40;
+        let mut net = PushRelabelNetwork::new(n);
+        for u in 0..n - 1 {
+            net.add_arc(u, u + 1, 2.0).unwrap();
+        }
+        let out = net
+            .max_flow_budgeted(0, n - 1, &Budget::iterations(3))
+            .unwrap();
+        assert!(!out.is_converged() && out.is_usable());
+        let (lo, hi) = match out.certificate() {
+            Some(&Certificate::FlowGap { value, upper_bound }) => (value, upper_bound),
+            c => panic!("wrong certificate {c:?}"),
+        };
+        // True max flow is 2.0: the partial must not exceed it, the
+        // witnessed cut must not undershoot it.
+        assert!(lo <= 2.0 + 1e-9 && 2.0 <= hi + 1e-9, "[{lo}, {hi}]");
+        assert_eq!(out.value().unwrap().value, lo);
+        assert!(!out.diagnostics().events.is_empty());
+    }
+
+    #[test]
+    fn budgeted_deadline_axis_fires() {
+        use std::time::Duration;
+        let n = 60;
+        let mut net = PushRelabelNetwork::new(n);
+        for u in 0..n - 1 {
+            net.add_arc(u, u + 1, 1.0).unwrap();
+        }
+        // A zero deadline exhausts on the very first discharge.
+        let out = net
+            .max_flow_budgeted(0, n - 1, &Budget::deadline(Duration::ZERO))
+            .unwrap();
+        assert!(!out.is_converged() && out.is_usable());
+        assert!(matches!(
+            out,
+            SolverOutcome::BudgetExhausted {
+                exhausted: acir_runtime::Exhaustion::Deadline,
+                ..
+            }
+        ));
     }
 
     #[test]

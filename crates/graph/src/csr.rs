@@ -106,7 +106,7 @@ impl Graph {
         if self.offsets.len() != n + 1 || self.offsets[0] != 0 {
             return bad("offsets malformed");
         }
-        if *self.offsets.last().unwrap() != self.targets.len()
+        if self.offsets.last().copied() != Some(self.targets.len())
             || self.targets.len() != self.weights.len()
         {
             return bad("offsets end mismatch");

@@ -128,7 +128,11 @@ pub fn read_metis(reader: impl Read) -> Result<Graph> {
         }
     };
 
-    let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(m_declared);
+    // Every directed appearance, keyed by (from, to), 0-based. The
+    // header's edge count is attacker-controlled, so capacity is not
+    // pre-reserved from it.
+    let mut directed: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
     let mut node = 0usize;
     for (lineno, line) in lines {
         let line = line?;
@@ -158,10 +162,11 @@ pub fn read_metis(reader: impl Read) -> Result<Graph> {
             } else {
                 1.0
             };
-            // Keep each undirected edge once (from its smaller endpoint;
-            // self-loops are kept from their single appearance).
-            if node < v {
-                edges.push((node as NodeId, (v - 1) as NodeId, w));
+            if directed.insert((node, v - 1), w).is_some() {
+                return Err(parse_err(
+                    lineno,
+                    format!("duplicate neighbor {v} on node {}'s line", node + 1),
+                ));
             }
         }
         node += 1;
@@ -171,6 +176,41 @@ pub fn read_metis(reader: impl Read) -> Result<Graph> {
             line: 0,
             message: format!("expected {n} node lines, found {node}"),
         });
+    }
+    // The format stores both directions of every edge; enforce the
+    // symmetry the docs promise. Self-loops appear once.
+    let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(directed.len() / 2 + 1);
+    let sym_err = |message: String| GraphError::Parse { line: 0, message };
+    for (&(a, b), &w) in &directed {
+        if a == b {
+            edges.push((a as NodeId, b as NodeId, w));
+        } else if a < b {
+            match directed.get(&(b, a)) {
+                Some(&wr) if wr == w => edges.push((a as NodeId, b as NodeId, w)),
+                Some(&wr) => {
+                    return Err(sym_err(format!(
+                        "inconsistent weights on edge {}-{}: {w} vs {wr}",
+                        a + 1,
+                        b + 1
+                    )))
+                }
+                None => {
+                    return Err(sym_err(format!(
+                        "edge {}-{} listed only from node {}",
+                        a + 1,
+                        b + 1,
+                        a + 1
+                    )))
+                }
+            }
+        } else if !directed.contains_key(&(b, a)) {
+            return Err(sym_err(format!(
+                "edge {}-{} listed only from node {}",
+                b + 1,
+                a + 1,
+                a + 1
+            )));
+        }
     }
     let g = Graph::from_edges(n, edges)?;
     if g.m() != m_declared {
@@ -330,6 +370,44 @@ mod tests {
         assert!(read_metis("2 1 1\n2\n1 1.0\n".as_bytes()).is_err());
         // Unsupported fmt (vertex weights).
         assert!(read_metis("2 1 10\n2\n1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn edge_list_rejects_hostile_weights() {
+        // "nan"/"inf"/negatives parse as f64 but must be rejected at
+        // graph construction, not propagated into solvers.
+        for text in ["0 1 nan\n", "0 1 inf\n", "0 1 -1.0\n", "0 1 0.0\n"] {
+            let e = read_edge_list(text.as_bytes(), 0).unwrap_err();
+            assert!(matches!(e, GraphError::BadWeight(_)), "{text:?} gave {e:?}");
+        }
+    }
+
+    #[test]
+    fn metis_huge_declared_edge_count_is_error_not_allocation() {
+        // The header's m is attacker-controlled; it must not drive a
+        // pre-allocation. This returns a parse error promptly.
+        let e = read_metis("2 123456789012345\n2\n1\n".as_bytes());
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn metis_rejects_asymmetric_adjacency() {
+        // Edge 1-3 listed only from node 1: the format requires both
+        // directions, and the old edge-count check alone missed this.
+        let e = read_metis("3 2\n2 3\n1\n\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("listed only"), "{e}");
+    }
+
+    #[test]
+    fn metis_rejects_inconsistent_direction_weights() {
+        let e = read_metis("2 1 1\n2 2.0\n1 3.0\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("inconsistent"), "{e}");
+    }
+
+    #[test]
+    fn metis_rejects_duplicate_neighbor() {
+        let e = read_metis("2 1\n2 2\n1\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("duplicate"), "{e}");
     }
 
     #[test]

@@ -146,7 +146,7 @@ pub fn largest_component(g: &Graph) -> (Graph, Vec<NodeId>) {
         .enumerate()
         .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
         .map(|(i, _)| i as u32)
-        .unwrap();
+        .unwrap_or(0);
     let nodes: Vec<NodeId> = (0..g.n() as NodeId)
         .filter(|&u| comp[u as usize] == best)
         .collect();
@@ -229,7 +229,7 @@ pub fn diameter(g: &Graph) -> Option<u32> {
     let mut best = 0;
     for s in 0..g.n() as NodeId {
         let d = bfs_distances(g, s);
-        best = best.max(d.into_iter().max().unwrap());
+        best = best.max(d.into_iter().max().unwrap_or(0));
     }
     Some(best)
 }

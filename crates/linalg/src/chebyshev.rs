@@ -17,6 +17,10 @@
 
 use crate::vector;
 use crate::{LinOp, LinalgError, Result};
+use acir_runtime::{
+    Budget, Certificate, ConvergenceGuard, Diagnostics, DivergenceCause, GuardVerdict, RetryPolicy,
+    SolverOutcome,
+};
 
 /// A Chebyshev expansion of a scalar function on `[a, b]`.
 #[derive(Debug, Clone)]
@@ -121,6 +125,168 @@ impl ChebyshevExpansion {
     }
 }
 
+impl ChebyshevExpansion {
+    /// Apply `f(A)·v` under an explicit resource [`Budget`], with
+    /// blow-up guards and a structured [`SolverOutcome`].
+    ///
+    /// Each recurrence step costs one iteration and one work unit (its
+    /// matvec). On budget exhaustion the partial sum through degree `d`
+    /// is returned with a [`Certificate::ResidualNorm`] equal to
+    /// `Σ_{k>d} |c_k| · ‖v‖` — a rigorous bound on the dropped tail
+    /// whenever the spectrum lies in `[a, b]`, since `|T_k| ≤ 1` there.
+    ///
+    /// A spectrum escaping `[a, b]` makes the Chebyshev vectors grow
+    /// exponentially; the guard detects this (or any NaN/Inf
+    /// contamination) and returns [`SolverOutcome::Diverged`] — see
+    /// [`cheb_heat_kernel_resilient`] for the escalation ladder that
+    /// re-estimates the interval and falls back to the power-method
+    /// (Krylov) route.
+    pub fn apply_budgeted(
+        &self,
+        op: &dyn LinOp,
+        v: &[f64],
+        budget: &Budget,
+    ) -> Result<SolverOutcome<Vec<f64>>> {
+        let n = op.dim();
+        if v.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: v.len(),
+            });
+        }
+        let vnorm = vector::norm2(v);
+        let alpha = 2.0 / (self.b - self.a);
+        let beta = -(self.a + self.b) / (self.b - self.a);
+        let apply_t = |input: &[f64], out: &mut [f64]| {
+            op.apply(input, out);
+            for (o, i) in out.iter_mut().zip(input) {
+                *o = alpha * *o + beta * *i;
+            }
+        };
+
+        let mut meter = budget.start();
+        let mut diags = Diagnostics::new();
+        // Remaining-tail weights: tail[d] = Σ_{k>d} |c_k|.
+        let mut tail: Vec<f64> = vec![0.0; self.coeffs.len()];
+        for d in (0..self.coeffs.len().saturating_sub(1)).rev() {
+            tail[d] = tail[d + 1] + self.coeffs[d + 1].abs();
+        }
+
+        let mut t_prev = v.to_vec();
+        let mut t_curr = vec![0.0; n];
+        apply_t(v, &mut t_curr);
+        meter.add_work(1);
+        let mut acc: Vec<f64> = v.iter().map(|&x| 0.5 * self.coeffs[0] * x).collect();
+        if self.coeffs.len() > 1 {
+            vector::axpy(self.coeffs[1], &t_curr, &mut acc);
+        }
+        let mut t_next = vec![0.0; n];
+        for (deg, &c) in self.coeffs.iter().enumerate().skip(2) {
+            meter.tick_iter();
+            if let Some(exhausted) = meter.add_work(1) {
+                diags.absorb_meter(&meter);
+                diags.note(format!("truncated at degree {}", deg - 1));
+                return Ok(SolverOutcome::BudgetExhausted {
+                    best_so_far: acc,
+                    exhausted,
+                    certificate: Certificate::ResidualNorm {
+                        value: tail[deg - 1] * vnorm,
+                    },
+                    diagnostics: diags,
+                });
+            }
+            apply_t(&t_curr, &mut t_next);
+            for (nx, pr) in t_next.iter_mut().zip(&t_prev) {
+                *nx = 2.0 * *nx - *pr;
+            }
+            // On [a, b] every Chebyshev vector satisfies ‖T_k v‖ ≤ ‖v‖
+            // (spectral calculus); exponential growth means the
+            // spectrum escaped the interval.
+            let tnorm = vector::norm2(&t_next);
+            diags.push_residual(tnorm);
+            if let GuardVerdict::Halt(cause) = ConvergenceGuard::check_finite(&t_next, deg) {
+                diags.absorb_meter(&meter);
+                return Ok(SolverOutcome::diverged(cause, diags));
+            }
+            if tnorm > 1e8 * vnorm.max(f64::MIN_POSITIVE) {
+                diags.absorb_meter(&meter);
+                return Ok(SolverOutcome::diverged(
+                    DivergenceCause::ResidualBlowup {
+                        at_iter: deg,
+                        residual: tnorm,
+                        best: vnorm,
+                    },
+                    diags,
+                ));
+            }
+            vector::axpy(c, &t_next, &mut acc);
+            std::mem::swap(&mut t_prev, &mut t_curr);
+            std::mem::swap(&mut t_curr, &mut t_next);
+        }
+        diags.absorb_meter(&meter);
+        Ok(SolverOutcome::Converged {
+            value: acc,
+            diagnostics: diags,
+        })
+    }
+}
+
+/// Budgeted variant of [`cheb_heat_kernel`]: `exp(−t·A)·v` under an
+/// explicit [`Budget`], returning a structured [`SolverOutcome`].
+pub fn cheb_heat_kernel_budgeted(
+    op: &dyn LinOp,
+    t: f64,
+    v: &[f64],
+    lambda_max: f64,
+    degree: usize,
+    budget: &Budget,
+) -> Result<SolverOutcome<Vec<f64>>> {
+    if !(t >= 0.0 && t.is_finite()) {
+        return Err(LinalgError::InvalidArgument("t must be nonnegative"));
+    }
+    if !(lambda_max > 0.0 && lambda_max.is_finite()) {
+        return Err(LinalgError::InvalidArgument("lambda_max must be positive"));
+    }
+    let exp = ChebyshevExpansion::fit(|x| (-t * x).exp(), 0.0, lambda_max, degree)?;
+    exp.apply_budgeted(op, v, budget)
+}
+
+/// Heat kernel with the Chebyshev escalation ladder. Attempt 0 expands
+/// on `[0, lambda_max]` as given; if that diverges (the spectrum
+/// escaped the interval, so the polynomials blew up), attempt 1
+/// re-estimates the spectral interval with a short Lanczos (power
+/// method family) run and refits; any later attempt abandons
+/// polynomials entirely and falls back to the Krylov route
+/// ([`crate::expm::expm_multiply`]), which needs no interval at all.
+pub fn cheb_heat_kernel_resilient(
+    op: &dyn LinOp,
+    t: f64,
+    v: &[f64],
+    lambda_max: f64,
+    degree: usize,
+    budget: &Budget,
+    policy: &RetryPolicy,
+) -> Result<SolverOutcome<Vec<f64>>> {
+    policy.run(|attempt| match attempt {
+        0 => cheb_heat_kernel_budgeted(op, t, v, lambda_max, degree, budget),
+        1 => {
+            let (lo, hi) = crate::lanczos::spectral_interval(op, 20)?;
+            // Pad: underestimating the interval is what kills Chebyshev.
+            let hi = hi.max(lambda_max) + 0.1 * (hi - lo).abs().max(1.0);
+            let mut out = cheb_heat_kernel_budgeted(op, t, v, hi.max(1e-6), degree, budget)?;
+            out.diagnostics_mut()
+                .note(format!("re-estimated spectral interval to [0, {hi:.3e}]"));
+            Ok(out)
+        }
+        _ => {
+            let value = crate::expm::expm_multiply(op, -t, v, 30)?;
+            let mut diagnostics = Diagnostics::new();
+            diagnostics.note("fell back to Krylov expm (power-method family)");
+            Ok(SolverOutcome::Converged { value, diagnostics })
+        }
+    })
+}
+
 /// Convenience: `exp(−t·A)·v` for an operator with spectrum in
 /// `[0, lambda_max]`, expanded to `degree`.
 pub fn cheb_heat_kernel(
@@ -211,6 +377,73 @@ mod tests {
         // A degree-d expansion from a delta seed has support within d hops.
         let support = rough.iter().filter(|x| x.abs() > 1e-12).count();
         assert!(support <= 7, "degree-6 support {support} exceeds 7 nodes");
+    }
+
+    #[test]
+    fn budgeted_full_run_matches_plain() {
+        let n = 24;
+        let l = path_laplacian(n);
+        let mut seed = vec![0.0; n];
+        seed[5] = 1.0;
+        let plain = cheb_heat_kernel(&l, 1.3, &seed, 4.0, 40).unwrap();
+        let out = cheb_heat_kernel_budgeted(&l, 1.3, &seed, 4.0, 40, &Budget::unlimited()).unwrap();
+        assert!(out.is_converged());
+        assert!(vector::dist2(out.value().unwrap(), &plain) < 1e-12);
+    }
+
+    #[test]
+    fn budgeted_truncation_certificate_bounds_error() {
+        let n = 30;
+        let l = path_laplacian(n);
+        let mut seed = vec![0.0; n];
+        seed[0] = 1.0;
+        let exact = cheb_heat_kernel(&l, 2.0, &seed, 4.0, 60).unwrap();
+        let out = cheb_heat_kernel_budgeted(&l, 2.0, &seed, 4.0, 60, &Budget::work(10)).unwrap();
+        assert!(!out.is_converged() && out.is_usable());
+        let cert = out.certificate().unwrap().slack();
+        let err = vector::dist2(out.value().unwrap(), &exact);
+        assert!(
+            err <= cert + 1e-9,
+            "truncation error {err} exceeds certificate {cert}"
+        );
+        assert!(cert > 0.0);
+    }
+
+    #[test]
+    fn budgeted_detects_spectrum_outside_interval() {
+        // An interval that is definitely too small: [0, 1] for a
+        // Laplacian with eigenvalues near 4 → the recurrence blows up.
+        // The delta seed has energy on the whole spectrum.
+        let n = 20;
+        let l = path_laplacian(n);
+        let mut seed = vec![0.0; n];
+        seed[n / 2] = 1.0;
+        let out = cheb_heat_kernel_budgeted(&l, 1.0, &seed, 1.0, 60, &Budget::unlimited()).unwrap();
+        assert!(!out.is_usable(), "escaped spectrum must be flagged");
+    }
+
+    #[test]
+    fn resilient_ladder_recovers_from_bad_interval() {
+        let n = 24;
+        let l = path_laplacian(n);
+        let mut seed = vec![0.0; n];
+        seed[5] = 1.0;
+        let reference = cheb_heat_kernel(&l, 1.3, &seed, 4.0, 40).unwrap();
+        // lambda_max = 1.0 is wrong (spectrum ⊂ [0, 4]); the ladder must
+        // re-estimate the interval or fall back to Krylov.
+        let out = cheb_heat_kernel_resilient(
+            &l,
+            1.3,
+            &seed,
+            1.0,
+            40,
+            &Budget::unlimited(),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(out.is_usable(), "ladder should recover: {out:?}");
+        assert!(out.diagnostics().restarts >= 1);
+        assert!(vector::dist2(out.value().unwrap(), &reference) < 1e-6);
     }
 
     #[test]

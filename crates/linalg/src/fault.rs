@@ -1,0 +1,96 @@
+//! Fault-injecting operator wrapper for resilience testing.
+//!
+//! [`FaultyOp`] wraps any [`LinOp`] and corrupts its outputs according
+//! to an [`acir_runtime::FaultConfig`]: NaN poisoning, sign flips,
+//! adversarial rounding, and latency spikes, all seeded and
+//! reproducible. It is the bridge between the dependency-free fault
+//! primitives of `acir-runtime` and the operator-based solvers of this
+//! crate: every budgeted solver can be driven through a `FaultyOp` to
+//! prove it degrades into a structured [`acir_runtime::SolverOutcome`]
+//! instead of silently returning poisoned numbers.
+
+use crate::LinOp;
+use acir_runtime::{FaultConfig, FaultStream};
+use std::cell::RefCell;
+
+/// A [`LinOp`] decorator that injects faults into every application.
+///
+/// Interior mutability keeps the wrapper usable through the `&self`
+/// operator interface; the fault stream advances deterministically with
+/// each `apply`, so a run is exactly reproducible from the config seed.
+pub struct FaultyOp<'a> {
+    inner: &'a dyn LinOp,
+    stream: RefCell<FaultStream>,
+}
+
+impl<'a> FaultyOp<'a> {
+    /// Wrap `inner`, corrupting its outputs per `config`.
+    pub fn new(inner: &'a dyn LinOp, config: FaultConfig) -> Self {
+        Self {
+            inner,
+            stream: RefCell::new(config.stream()),
+        }
+    }
+
+    /// Number of operator applications performed so far.
+    pub fn applies(&self) -> u64 {
+        self.stream.borrow().applies()
+    }
+}
+
+impl LinOp for FaultyOp<'_> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let mut stream = self.stream.borrow_mut();
+        stream.begin_apply();
+        self.inner.apply(x, y);
+        stream.corrupt_slice(y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+
+    #[test]
+    fn clean_config_is_transparent() {
+        let a = DenseMatrix::from_diag(&[1.0, 2.0, 3.0]);
+        let f = FaultyOp::new(&a, FaultConfig::default());
+        let y = f.apply_vec(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![1.0, 2.0, 3.0]);
+        assert_eq!(f.applies(), 1);
+        assert_eq!(f.dim(), 3);
+    }
+
+    #[test]
+    fn nan_injection_poisons_output() {
+        let a = DenseMatrix::from_diag(&[1.0, 2.0, 3.0, 4.0]);
+        let f = FaultyOp::new(&a, FaultConfig::nans(1.0));
+        let y = f.apply_vec(&[1.0; 4]);
+        assert!(y.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn faults_wait_for_clean_applies() {
+        let a = DenseMatrix::identity(4);
+        let f = FaultyOp::new(&a, FaultConfig::nans(1.0).after_clean_applies(2));
+        assert!(f.apply_vec(&[1.0; 4]).iter().all(|v| v.is_finite()));
+        assert!(f.apply_vec(&[1.0; 4]).iter().all(|v| v.is_finite()));
+        assert!(f.apply_vec(&[1.0; 4]).iter().all(|v| v.is_nan()));
+        assert_eq!(f.applies(), 3);
+    }
+
+    #[test]
+    fn same_seed_reproduces_run() {
+        let a = DenseMatrix::identity(32);
+        let mk = || FaultyOp::new(&a, FaultConfig::sign_flips(0.5).with_seed(42));
+        let y1 = mk().apply_vec(&[1.0; 32]);
+        let y2 = mk().apply_vec(&[1.0; 32]);
+        assert_eq!(y1, y2);
+        assert!(y1.iter().any(|&v| v < 0.0));
+    }
+}

@@ -17,6 +17,10 @@
 use crate::tridiag::tridiag_eig;
 use crate::vector;
 use crate::{LinOp, LinalgError, Result};
+use acir_runtime::{
+    Budget, Certificate, ConvergenceGuard, Diagnostics, DivergenceCause, GuardVerdict, RetryPolicy,
+    SolverOutcome,
+};
 
 /// Output of a Lanczos run.
 #[derive(Debug, Clone)]
@@ -138,6 +142,210 @@ pub fn lanczos(
         beta,
         basis,
         breakdown,
+    })
+}
+
+/// Lanczos under an explicit resource [`Budget`], with contamination
+/// guards and a structured [`SolverOutcome`].
+///
+/// Each Lanczos step costs one iteration and one work unit (its
+/// matvec). On budget exhaustion the partial tridiagonalization built
+/// so far is returned with a [`Certificate::ResidualNorm`] carrying the
+/// last off-diagonal `β_j`: by the standard Lanczos residual bound,
+/// every Ritz value of the partial `T_j` lies within `β_j` of a true
+/// eigenvalue of the operator. NaN/Inf contamination of a Krylov vector
+/// yields [`SolverOutcome::Diverged`]. A *lucky* breakdown (invariant
+/// subspace found early) is convergence, exactly as in [`lanczos`].
+pub fn lanczos_budgeted(
+    op: &dyn LinOp,
+    v0: &[f64],
+    k: usize,
+    deflate: &[Vec<f64>],
+    budget: &Budget,
+) -> Result<SolverOutcome<LanczosResult>> {
+    let n = op.dim();
+    if v0.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: n,
+            found: v0.len(),
+        });
+    }
+    if k == 0 {
+        return Err(LinalgError::InvalidArgument("k must be positive"));
+    }
+    let k = k.min(n);
+
+    let mut q = v0.to_vec();
+    for u in deflate {
+        vector::deflate(&mut q, u);
+    }
+    if vector::normalize2(&mut q) < 1e-300 {
+        return Err(LinalgError::InvalidArgument(
+            "seed vector is zero after deflation",
+        ));
+    }
+
+    let mut meter = budget.start();
+    let mut diags = Diagnostics::new();
+    let mut alpha = Vec::with_capacity(k);
+    let mut beta: Vec<f64> = Vec::with_capacity(k.saturating_sub(1));
+    let mut basis = vec![q.clone()];
+    let mut breakdown = false;
+    let mut w = vec![0.0; n];
+
+    for j in 0..k {
+        op.apply(&basis[j], &mut w);
+        if let GuardVerdict::Halt(cause) = ConvergenceGuard::check_finite(&w, j) {
+            diags.absorb_meter(&meter);
+            return Ok(SolverOutcome::diverged(cause, diags));
+        }
+        for u in deflate {
+            vector::deflate(&mut w, u);
+        }
+        let a_j = vector::dot(&basis[j], &w);
+        alpha.push(a_j);
+        vector::axpy(-a_j, &basis[j], &mut w);
+        if j > 0 {
+            vector::axpy(-beta[j - 1], &basis[j - 1], &mut w);
+        }
+        for _ in 0..2 {
+            for u in deflate {
+                vector::deflate(&mut w, u);
+            }
+            for b in &basis {
+                vector::deflate(&mut w, b);
+            }
+        }
+        if j + 1 == k {
+            break;
+        }
+        let b_j = vector::norm2(&w);
+        // The residual of the tridiagonalization *is* the off-diagonal.
+        diags.push_residual(b_j);
+        if b_j < 1e-12 {
+            breakdown = true;
+            diags.note(format!("lucky breakdown at step {j}: invariant subspace"));
+            break;
+        }
+        meter.tick_iter();
+        if let Some(exhausted) = meter.add_work(1) {
+            diags.absorb_meter(&meter);
+            return Ok(SolverOutcome::BudgetExhausted {
+                best_so_far: LanczosResult {
+                    alpha,
+                    beta,
+                    basis,
+                    breakdown: false,
+                },
+                exhausted,
+                certificate: Certificate::ResidualNorm { value: b_j },
+                diagnostics: diags,
+            });
+        }
+        beta.push(b_j);
+        let mut next = w.clone();
+        vector::scale(1.0 / b_j, &mut next);
+        basis.push(next);
+    }
+
+    diags.absorb_meter(&meter);
+    Ok(SolverOutcome::Converged {
+        value: LanczosResult {
+            alpha,
+            beta,
+            basis,
+            breakdown,
+        },
+        diagnostics: diags,
+    })
+}
+
+/// Budgeted, retrying version of [`smallest_eigenpairs`]: computes the
+/// `m` smallest eigenpairs under `budget`, escalating through restarts
+/// with freshly perturbed seeds when the Krylov space collapses below
+/// `m` dimensions (a *structural* breakdown — the seed was too poor to
+/// span enough of the spectrum) or the run diverges.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues ascending,
+/// wrapped in the outcome of the final attempt.
+#[allow(clippy::type_complexity)]
+pub fn smallest_eigenpairs_resilient(
+    op: &dyn LinOp,
+    m: usize,
+    krylov: usize,
+    deflate: &[Vec<f64>],
+    budget: &Budget,
+    policy: &RetryPolicy,
+) -> Result<SolverOutcome<(Vec<f64>, Vec<Vec<f64>>)>> {
+    let n = op.dim();
+    if m == 0 || m > n {
+        return Err(LinalgError::InvalidArgument("need 0 < m <= n"));
+    }
+    let k = krylov.max(3 * m).min(n);
+    let outcome = policy.run(|attempt| {
+        // A different deterministic seed per attempt: the LCG stream is
+        // offset so retries explore a genuinely different direction.
+        let mut state = 0x9e3779b97f4a7c15u64 ^ ((attempt as u64) << 32 | 0x51_7cc1);
+        let v0: Vec<f64> = (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+            .collect();
+        let out = lanczos_budgeted(op, &v0, k, deflate, budget)?;
+        // A collapsed Krylov space that cannot yield m pairs is a
+        // breakdown worth retrying with a new seed.
+        Ok(match out {
+            SolverOutcome::Converged { value, diagnostics } if value.k() < m => {
+                let at_iter = value.k();
+                SolverOutcome::diverged(
+                    DivergenceCause::Breakdown {
+                        at_iter,
+                        what: "Krylov space collapsed below the requested pair count",
+                    },
+                    diagnostics,
+                )
+            }
+            other => other,
+        })
+    })?;
+
+    // Lift the surviving tridiagonalization to Ritz pairs.
+    Ok(match outcome {
+        SolverOutcome::Converged { value, diagnostics } => {
+            let (vals, vecs) = value.ritz_pairs()?;
+            let take = m.min(vals.len());
+            SolverOutcome::Converged {
+                value: (vals[..take].to_vec(), vecs[..take].to_vec()),
+                diagnostics,
+            }
+        }
+        SolverOutcome::BudgetExhausted {
+            best_so_far,
+            exhausted,
+            certificate,
+            diagnostics,
+        } => {
+            let (vals, vecs) = best_so_far.ritz_pairs()?;
+            let take = m.min(vals.len());
+            SolverOutcome::BudgetExhausted {
+                best_so_far: (vals[..take].to_vec(), vecs[..take].to_vec()),
+                exhausted,
+                certificate,
+                diagnostics,
+            }
+        }
+        SolverOutcome::Diverged {
+            at_iter,
+            cause,
+            diagnostics,
+        } => SolverOutcome::Diverged {
+            at_iter,
+            cause,
+            diagnostics,
+        },
     })
 }
 
@@ -316,6 +524,79 @@ mod tests {
         assert!(hi < 8.0, "padding should stay sane: hi = {hi}");
         let empty_err = spectral_interval(&DenseMatrix::zeros(0, 0), 5);
         assert!(empty_err.is_err());
+    }
+
+    #[test]
+    fn budgeted_full_run_matches_plain() {
+        let n = 12;
+        let l = path_laplacian(n);
+        let seed: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let out = lanczos_budgeted(&l, &seed, 8, &[], &Budget::unlimited()).unwrap();
+        assert!(out.is_converged());
+        let plain = lanczos(&l, &seed, 8, &[]).unwrap();
+        let got = out.value().unwrap();
+        assert_eq!(got.alpha.len(), plain.alpha.len());
+        for (a, b) in got.alpha.iter().zip(&plain.alpha) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn budgeted_exhaustion_certificate_brackets_spectrum() {
+        let n = 40;
+        let l = path_laplacian(n);
+        let seed: Vec<f64> = (0..n).map(|i| ((i as f64) + 0.5).sin()).collect();
+        let out = lanczos_budgeted(&l, &seed, n, &[], &Budget::iterations(6)).unwrap();
+        assert!(!out.is_converged() && out.is_usable());
+        let cert_slack = out.certificate().unwrap().slack();
+        let partial = out.value().unwrap();
+        // Every Ritz value of the partial T must be within β (the
+        // certificate) of a true eigenvalue λ_k = 2 − 2cos(πk/n).
+        let (ritz, _) = partial.ritz_pairs().unwrap();
+        for theta in &ritz {
+            let nearest = (0..n)
+                .map(|k| 2.0 - 2.0 * (std::f64::consts::PI * k as f64 / n as f64).cos())
+                .map(|lam| (lam - theta).abs())
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                nearest <= cert_slack + 1e-9,
+                "ritz {theta} is {nearest} from spectrum, certificate {cert_slack}"
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_detects_poisoned_operator() {
+        let n = 10;
+        let l = path_laplacian(n);
+        let faulty = crate::fault::FaultyOp::new(
+            &l,
+            acir_runtime::FaultConfig::nans(1.0).after_clean_applies(3),
+        );
+        let seed: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5).sin()).collect();
+        let out = lanczos_budgeted(&faulty, &seed, n, &[], &Budget::unlimited()).unwrap();
+        assert!(!out.is_usable());
+    }
+
+    #[test]
+    fn resilient_eigenpairs_match_plain_path() {
+        let n = 16;
+        let l = path_laplacian(n);
+        let out = smallest_eigenpairs_resilient(
+            &l,
+            3,
+            n,
+            &[],
+            &Budget::unlimited(),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(out.is_converged());
+        let (vals, _) = out.value().unwrap();
+        for (k, v) in vals.iter().enumerate() {
+            let expected = 2.0 - 2.0 * (std::f64::consts::PI * k as f64 / n as f64).cos();
+            assert!((v - expected).abs() < 1e-7, "k={k}");
+        }
     }
 
     #[test]

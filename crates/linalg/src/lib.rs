@@ -40,6 +40,7 @@
 pub mod chebyshev;
 pub mod dense;
 pub mod expm;
+pub mod fault;
 pub mod jacobi;
 pub mod lanczos;
 pub mod power;
@@ -50,11 +51,16 @@ pub mod tridiag;
 pub mod vector;
 
 pub use dense::DenseMatrix;
+pub use fault::FaultyOp;
 pub use jacobi::SymEig;
-pub use lanczos::{lanczos, LanczosResult};
-pub use power::{power_method, PowerOptions, PowerResult};
-pub use solve::{cg, CgOptions, CgResult};
+pub use lanczos::{lanczos, lanczos_budgeted, LanczosResult};
+pub use power::{power_method, power_method_budgeted, PowerOptions, PowerResult};
+pub use solve::{cg, cg_budgeted, cg_resilient, CgOptions, CgResult};
 pub use sparse::CsrMatrix;
+
+// Resilience-runtime vocabulary, re-exported so downstream crates can
+// budget and match on outcomes without an explicit acir-runtime dep.
+pub use acir_runtime::{Budget, Certificate, DivergenceCause, RetryPolicy, SolverOutcome};
 
 /// Errors produced by the linear-algebra substrate.
 #[derive(Debug, Clone, PartialEq)]

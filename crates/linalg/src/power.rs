@@ -11,6 +11,9 @@
 
 use crate::vector;
 use crate::{LinOp, LinalgError, Result};
+use acir_runtime::{
+    Budget, Certificate, ConvergenceGuard, Diagnostics, GuardConfig, GuardVerdict, SolverOutcome,
+};
 
 /// Options for [`power_method`].
 #[derive(Debug, Clone)]
@@ -110,6 +113,136 @@ pub fn power_method(op: &dyn LinOp, v0: &[f64], opts: &PowerOptions) -> Result<P
         iterations,
         residual,
         converged: opts.tol > 0.0 && residual <= opts.tol,
+    })
+}
+
+/// Power method under an explicit resource [`Budget`], with divergence
+/// guards and a structured [`SolverOutcome`].
+///
+/// The effective iteration ceiling is the smaller of `opts.max_iters`
+/// and `budget.max_iters`; each matvec costs one work unit. Hitting any
+/// budget axis returns [`SolverOutcome::BudgetExhausted`] carrying the
+/// *best* iterate seen (smallest eigen-residual) and a
+/// [`Certificate::RayleighInterval`]: for a symmetric operator and unit
+/// vector `v`, some true eigenvalue lies within `‖Av − θv‖₂` of the
+/// Rayleigh quotient `θ`. NaN/Inf contamination — e.g. from a faulted
+/// operator ([`crate::fault::FaultyOp`]) — yields
+/// [`SolverOutcome::Diverged`] and never a poisoned value.
+///
+/// Errors only on malformed input (dimension mismatch, zero seed).
+pub fn power_method_budgeted(
+    op: &dyn LinOp,
+    v0: &[f64],
+    opts: &PowerOptions,
+    budget: &Budget,
+) -> Result<SolverOutcome<PowerResult>> {
+    let n = op.dim();
+    if v0.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: n,
+            found: v0.len(),
+        });
+    }
+    let mut v = v0.to_vec();
+    for u in &opts.deflate {
+        vector::deflate(&mut v, u);
+    }
+    if vector::normalize2(&mut v) < 1e-300 {
+        return Err(LinalgError::InvalidArgument(
+            "seed vector is zero after deflation",
+        ));
+    }
+
+    let mut meter = budget
+        .with_max_iters(budget.max_iters.min(opts.max_iters))
+        .start();
+    // Power residuals plateau legitimately under pure early stopping,
+    // so only contamination and blow-up are treated as divergence.
+    let mut guard = ConvergenceGuard::new(GuardConfig::contamination_only());
+    let mut diags = Diagnostics::new();
+
+    let mut av = vec![0.0; n];
+    let mut eigenvalue;
+    let mut residual;
+    let mut best: Option<PowerResult> = None;
+    let mut iterations = 0;
+
+    loop {
+        op.apply(&v, &mut av);
+        for u in &opts.deflate {
+            vector::deflate(&mut av, u);
+        }
+        eigenvalue = vector::dot(&v, &av);
+        let mut r = av.clone();
+        vector::axpy(-eigenvalue, &v, &mut r);
+        residual = vector::norm2(&r);
+        iterations += 1;
+
+        diags.push_residual(residual);
+        if let GuardVerdict::Halt(cause) = guard.observe(residual) {
+            diags.absorb_meter(&meter);
+            return Ok(SolverOutcome::diverged(cause, diags));
+        }
+        if residual < best.as_ref().map_or(f64::INFINITY, |b| b.residual) {
+            best = Some(PowerResult {
+                eigenvalue,
+                eigenvector: v.clone(),
+                iterations,
+                residual,
+                converged: false,
+            });
+        }
+
+        let norm = vector::norm2(&av);
+        if norm < 1e-300 {
+            diags.note("seed fell into the null space of the deflated operator");
+            break;
+        }
+        for (vi, avi) in v.iter_mut().zip(&av) {
+            *vi = avi / norm;
+        }
+        if let GuardVerdict::Halt(cause) = ConvergenceGuard::check_finite(&v, iterations - 1) {
+            diags.absorb_meter(&meter);
+            return Ok(SolverOutcome::diverged(cause, diags));
+        }
+        if opts.tol > 0.0 && residual <= opts.tol {
+            break;
+        }
+        meter.tick_iter();
+        if let Some(exhausted) = meter.add_work(1) {
+            diags.absorb_meter(&meter);
+            let best_so_far = best.unwrap_or(PowerResult {
+                eigenvalue,
+                eigenvector: v,
+                iterations,
+                residual,
+                converged: false,
+            });
+            let certificate = Certificate::RayleighInterval {
+                center: best_so_far.eigenvalue,
+                radius: best_so_far.residual,
+            };
+            return Ok(SolverOutcome::BudgetExhausted {
+                best_so_far,
+                exhausted,
+                certificate,
+                diagnostics: diags,
+            });
+        }
+    }
+
+    diags.absorb_meter(&meter);
+    diags.iterations = iterations;
+    let converged = opts.tol > 0.0 && residual <= opts.tol;
+    Ok(SolverOutcome::Converged {
+        value: PowerResult {
+            eigenvalue,
+            eigenvector: v,
+            iterations,
+            residual,
+            converged,
+        },
+        diagnostics: diags,
     })
 }
 
@@ -214,6 +347,73 @@ mod tests {
         let rq = rayleigh_quotient(&a, &[1.0, 1.0]);
         assert!((rq - 2.5).abs() < 1e-12);
         assert!((1.0..=4.0).contains(&rq));
+    }
+
+    #[test]
+    fn budgeted_converges_like_plain() {
+        let a = DenseMatrix::from_diag(&[1.0, 5.0, 2.0]);
+        let out = power_method_budgeted(
+            &a,
+            &[1.0, 1.0, 1.0],
+            &PowerOptions::default(),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert!(out.is_converged());
+        let r = out.value().unwrap();
+        assert!((r.eigenvalue - 5.0).abs() < 1e-8);
+        assert!(!out.diagnostics().residuals.is_empty());
+    }
+
+    #[test]
+    fn budgeted_exhaustion_returns_certified_partial() {
+        // Tiny spectral gap: cannot converge in 3 iterations.
+        let a = DenseMatrix::from_diag(&[1.0, 1.001]);
+        let out = power_method_budgeted(
+            &a,
+            &[1.0, 1.0],
+            &PowerOptions {
+                tol: 1e-14,
+                ..Default::default()
+            },
+            &Budget::iterations(3),
+        )
+        .unwrap();
+        assert!(!out.is_converged() && out.is_usable());
+        match out.certificate() {
+            Some(Certificate::RayleighInterval { center, radius }) => {
+                // The enclosure must contain a true eigenvalue.
+                assert!(
+                    (center - radius..=center + radius).contains(&1.0)
+                        || (center - radius..=center + radius).contains(&1.001),
+                    "interval [{}, {}] misses both eigenvalues",
+                    center - radius,
+                    center + radius
+                );
+            }
+            c => panic!("wrong certificate {c:?}"),
+        }
+    }
+
+    #[test]
+    fn budgeted_detects_nan_injection() {
+        let a = DenseMatrix::from_diag(&[1.0, 5.0, 2.0]);
+        let faulty = crate::fault::FaultyOp::new(
+            &a,
+            acir_runtime::FaultConfig::nans(0.8).after_clean_applies(2),
+        );
+        let out = power_method_budgeted(
+            &faulty,
+            &[1.0, 1.0, 1.0],
+            &PowerOptions {
+                tol: 1e-14,
+                ..Default::default()
+            },
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert!(!out.is_usable(), "poisoned run must not yield a value");
+        assert!(!out.diagnostics().residuals.is_empty());
     }
 
     #[test]

@@ -34,13 +34,17 @@ use rand::Rng;
 /// makes `E[SᵀS] = I`.
 pub fn rademacher_sketch(rng: &mut impl Rng, rows: usize, cols: usize) -> DenseMatrix {
     let scale = 1.0 / (rows as f64).sqrt();
-    DenseMatrix::from_fn(rows, cols, |_, _| {
-        if rng.gen_bool(0.5) {
-            scale
-        } else {
-            -scale
-        }
-    })
+    DenseMatrix::from_fn(
+        rows,
+        cols,
+        |_, _| {
+            if rng.gen_bool(0.5) {
+                scale
+            } else {
+                -scale
+            }
+        },
+    )
 }
 
 /// Thin QR factorization of a tall matrix by modified Gram–Schmidt
@@ -90,7 +94,9 @@ pub fn randomized_range_finder(
     let (m, n) = (a.nrows(), a.ncols());
     let l = (k + oversample).min(n).min(m);
     if k == 0 || l == 0 {
-        return Err(LinalgError::InvalidArgument("need k >= 1 and a non-empty matrix"));
+        return Err(LinalgError::InvalidArgument(
+            "need k >= 1 and a non-empty matrix",
+        ));
     }
     // Y = A Ω with Ω n×l (the sketch generator emits l×n; transpose).
     let omega = rademacher_sketch(rng, l, n).transpose();
@@ -145,7 +151,7 @@ pub fn randomized_svd(
 ) -> Result<TruncatedSvd> {
     let q = randomized_range_finder(a, k, oversample, power_iters, rng)?;
     let b = q.transpose().matmul(a)?; // l × n
-    // SVD of B: BBᵀ = W diag(s²) Wᵀ; U_B = W, Vᵀ = diag(1/s) Wᵀ B.
+                                      // SVD of B: BBᵀ = W diag(s²) Wᵀ; U_B = W, Vᵀ = diag(1/s) Wᵀ B.
     let bbt = b.matmul(&b.transpose())?;
     let eig = SymEig::new(&bbt)?;
     let l = bbt.nrows();
@@ -164,8 +170,8 @@ pub fn randomized_svd(
     // Vᵀ rows: vᵀ_j = (1/s_j) w_jᵀ B.
     let wt_b = u_small.transpose().matmul(&b)?; // k × n
     let mut vt = wt_b;
-    for j in 0..k {
-        let inv = if s[j] > 1e-12 { 1.0 / s[j] } else { 0.0 };
+    for (j, sj) in s.iter().enumerate().take(k) {
+        let inv = if *sj > 1e-12 { 1.0 / sj } else { 0.0 };
         vector::scale(inv, vt.row_mut(j));
     }
     let u = q.matmul(&u_small)?; // m × k
@@ -203,7 +209,7 @@ pub fn sketched_least_squares(
     gram.shift_diag(1e-12); // guard against sketched rank deficiency
     let mut rhs = vec![0.0; n];
     sat.gemv(1.0, &sb, 0.0, &mut rhs);
-    Ok(Cholesky::new(&gram)?.solve(&rhs)?)
+    Cholesky::new(&gram)?.solve(&rhs)
 }
 
 #[cfg(test)]
@@ -286,7 +292,8 @@ mod tests {
         // observed data itself.
         let mut r = rng(3);
         let clean = low_rank(24, 18, 2, &mut r);
-        let noisy = DenseMatrix::from_fn(24, 18, |i, j| clean[(i, j)] + 0.05 * r.gen_range(-1.0..1.0));
+        let noisy =
+            DenseMatrix::from_fn(24, 18, |i, j| clean[(i, j)] + 0.05 * r.gen_range(-1.0..1.0));
         let svd = randomized_svd(&noisy, 2, 6, 2, &mut r).unwrap();
         let denoised = svd.reconstruct();
         let err = |x: &DenseMatrix| {

@@ -12,6 +12,10 @@
 use crate::dense::DenseMatrix;
 use crate::vector;
 use crate::{LinOp, LinalgError, Result};
+use acir_runtime::{
+    Budget, Certificate, ConvergenceGuard, Diagnostics, DivergenceCause, GuardConfig, GuardVerdict,
+    RetryPolicy, SolverOutcome,
+};
 
 /// Cholesky factorization `A = G Gᵀ` (lower triangular `G`) of an SPD
 /// matrix. Errors with [`LinalgError::NotPositiveDefinite`] if a pivot is
@@ -270,6 +274,175 @@ pub fn cg(op: &dyn LinOp, b: &[f64], x0: &[f64], opts: &CgOptions) -> Result<CgR
         iterations,
         relative_residual,
         converged: relative_residual <= opts.tol,
+    })
+}
+
+/// Conjugate gradient under an explicit resource [`Budget`], with
+/// divergence guards and a structured [`SolverOutcome`].
+///
+/// The effective iteration ceiling is the smaller of `opts.max_iters`
+/// and `budget.max_iters`; each matvec costs one work unit. On budget
+/// exhaustion the *best* iterate seen (smallest relative residual) is
+/// returned with a [`Certificate::ResidualNorm`] quality bound — per
+/// the paper, the truncated CG solve is the regularized answer, not a
+/// failure. NaN/Inf contamination or a nonpositive-curvature direction
+/// (a CG stall, e.g. from an indefinite or corrupted operator) yields
+/// [`SolverOutcome::Diverged`]; see [`cg_resilient`] for the
+/// jittered-restart escalation policy.
+pub fn cg_budgeted(
+    op: &dyn LinOp,
+    b: &[f64],
+    x0: &[f64],
+    opts: &CgOptions,
+    budget: &Budget,
+) -> Result<SolverOutcome<CgResult>> {
+    let n = op.dim();
+    if b.len() != n || x0.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: n,
+            found: if b.len() != n { b.len() } else { x0.len() },
+        });
+    }
+    let bnorm = vector::norm2(b).max(f64::MIN_POSITIVE);
+    let mut x = x0.to_vec();
+    let mut r = b.to_vec();
+    let ax = op.apply_vec(&x);
+    vector::axpy(-1.0, &ax, &mut r);
+    let mut p = r.clone();
+    let mut rs = vector::dot(&r, &r);
+
+    let mut meter = budget
+        .with_max_iters(budget.max_iters.min(opts.max_iters))
+        .start();
+    let mut guard = ConvergenceGuard::new(GuardConfig::default());
+    let mut diags = Diagnostics::new();
+    // Initial matvec for the starting residual.
+    meter.add_work(1);
+
+    let mut best_x = x.clone();
+    let mut best_rel = rs.sqrt() / bnorm;
+    let mut iterations = 0;
+    let mut ap = vec![0.0; n];
+
+    loop {
+        let rel = rs.sqrt() / bnorm;
+        diags.push_residual(rel);
+        if let GuardVerdict::Halt(cause) = guard.observe(rel) {
+            diags.absorb_meter(&meter);
+            return Ok(SolverOutcome::diverged(cause, diags));
+        }
+        if rel < best_rel {
+            best_rel = rel;
+            best_x.copy_from_slice(&x);
+        }
+        if rel <= opts.tol {
+            diags.absorb_meter(&meter);
+            diags.iterations = iterations;
+            return Ok(SolverOutcome::Converged {
+                value: CgResult {
+                    x,
+                    iterations,
+                    relative_residual: rel,
+                    converged: true,
+                },
+                diagnostics: diags,
+            });
+        }
+        meter.tick_iter();
+        if let Some(exhausted) = meter.add_work(1) {
+            diags.absorb_meter(&meter);
+            return Ok(SolverOutcome::BudgetExhausted {
+                best_so_far: CgResult {
+                    x: best_x,
+                    iterations,
+                    relative_residual: best_rel,
+                    converged: false,
+                },
+                exhausted,
+                certificate: Certificate::ResidualNorm { value: best_rel },
+                diagnostics: diags,
+            });
+        }
+
+        op.apply(&p, &mut ap);
+        let pap = vector::dot(&p, &ap);
+        if !pap.is_finite() || pap <= 0.0 {
+            if pap.abs() < 1e-300 && rel <= opts.tol.max(1e-12) {
+                // Numerically converged; the direction just died first.
+                diags.absorb_meter(&meter);
+                diags.iterations = iterations;
+                return Ok(SolverOutcome::Converged {
+                    value: CgResult {
+                        x,
+                        iterations,
+                        relative_residual: rel,
+                        converged: true,
+                    },
+                    diagnostics: diags,
+                });
+            }
+            diags.absorb_meter(&meter);
+            return Ok(SolverOutcome::diverged(
+                DivergenceCause::Breakdown {
+                    at_iter: iterations,
+                    what: "nonpositive-curvature direction (CG stall)",
+                },
+                diags,
+            ));
+        }
+        let alpha = rs / pap;
+        vector::axpy(alpha, &p, &mut x);
+        vector::axpy(-alpha, &ap, &mut r);
+        let rs_new = vector::dot(&r, &r);
+        let beta = rs_new / rs;
+        for (pi, ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rs = rs_new;
+        iterations += 1;
+    }
+}
+
+/// CG with the stall-recovery escalation ladder: on divergence
+/// (contamination, blow-up, or a nonpositive-curvature stall), restart
+/// from the best-known iterate perturbed by a deterministic jitter that
+/// grows with the attempt index, knocking the search out of the
+/// degenerate Krylov subspace.
+///
+/// Budget exhaustion is *not* retried — a certified partial solve is a
+/// legitimate outcome. The budget applies per attempt.
+pub fn cg_resilient(
+    op: &dyn LinOp,
+    b: &[f64],
+    x0: &[f64],
+    opts: &CgOptions,
+    budget: &Budget,
+    policy: &RetryPolicy,
+) -> Result<SolverOutcome<CgResult>> {
+    let bnorm = vector::norm2(b).max(f64::MIN_POSITIVE);
+    policy.run(|attempt| {
+        if attempt == 0 {
+            cg_budgeted(op, b, x0, opts, budget)
+        } else {
+            // Deterministic jitter, scaled up 10× per escalation.
+            let scale = bnorm * 1e-8 * 10f64.powi(attempt as i32 - 1);
+            let mut state = 0x9e3779b97f4a7c15u64 ^ (attempt as u64);
+            let seeded: Vec<f64> = x0
+                .iter()
+                .map(|&xi| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let u = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                    if xi.is_finite() {
+                        xi + scale * u
+                    } else {
+                        scale * u
+                    }
+                })
+                .collect();
+            cg_budgeted(op, b, &seeded, opts, budget)
+        }
     })
 }
 
@@ -640,6 +813,137 @@ mod tests {
     fn jacobi_iteration_rejects_zero_diagonal() {
         let a = CsrMatrix::from_triplets(2, 2, [(0, 1, 1.0), (1, 0, 1.0)]);
         assert!(jacobi_iteration(&a, &[1.0, 1.0], 1.0, 10, 1e-6).is_err());
+    }
+
+    #[test]
+    fn cg_budgeted_converges_and_matches_plain() {
+        let a = spd3();
+        let b = [1.0, 2.0, 3.0];
+        let opts = CgOptions::default();
+        let out = cg_budgeted(&a, &b, &[0.0; 3], &opts, &Budget::unlimited()).unwrap();
+        assert!(out.is_converged());
+        let plain = cg(&a, &b, &[0.0; 3], &opts).unwrap();
+        assert!(vector::dist2(&out.value().unwrap().x, &plain.x) < 1e-10);
+    }
+
+    #[test]
+    fn cg_budgeted_exhaustion_certifies_best_iterate() {
+        // 1D Poisson: needs ~n iterations; give it only 3.
+        let n = 50;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, t);
+        let b = vec![1.0; n];
+        let out = cg_budgeted(
+            &a,
+            &b,
+            &vec![0.0; n],
+            &CgOptions {
+                tol: 1e-12,
+                ..Default::default()
+            },
+            &Budget::iterations(3),
+        )
+        .unwrap();
+        assert!(!out.is_converged() && out.is_usable());
+        let cert = out.certificate().unwrap();
+        // Verify the certificate against the actual residual of the
+        // returned iterate.
+        let x = &out.value().unwrap().x;
+        let mut ax = vec![0.0; n];
+        a.matvec(x, &mut ax);
+        let mut r = b.clone();
+        vector::axpy(-1.0, &ax, &mut r);
+        let actual = vector::norm2(&r) / vector::norm2(&b);
+        assert!(
+            actual <= cert.slack() * (1.0 + 1e-9),
+            "certificate {} vs actual {}",
+            cert.slack(),
+            actual
+        );
+    }
+
+    #[test]
+    fn cg_budgeted_diverges_on_indefinite_stall() {
+        // Indefinite matrix: CG hits a nonpositive-curvature direction.
+        let a = DenseMatrix::from_diag(&[1.0, -1.0]);
+        let out = cg_budgeted(
+            &a,
+            &[0.0, 1.0],
+            &[0.0, 0.0],
+            &CgOptions::default(),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert!(!out.is_usable());
+    }
+
+    #[test]
+    fn cg_budgeted_diverges_on_nan_injection() {
+        let a = spd3();
+        let faulty = crate::fault::FaultyOp::new(
+            &a,
+            acir_runtime::FaultConfig::nans(1.0).after_clean_applies(2),
+        );
+        let out = cg_budgeted(
+            &faulty,
+            &[1.0, 2.0, 3.0],
+            &[0.0; 3],
+            &CgOptions::default(),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert!(
+            !out.is_usable(),
+            "NaN-poisoned CG must diverge, not converge"
+        );
+    }
+
+    #[test]
+    fn cg_resilient_restarts_after_transient_stall() {
+        // Operator that stalls on the very first attempt only: the
+        // retry's jittered restart must recover.
+        use std::cell::Cell;
+        struct FlakyOnce<'a> {
+            inner: &'a DenseMatrix,
+            calls: Cell<u32>,
+        }
+        impl LinOp for FlakyOnce<'_> {
+            fn dim(&self) -> usize {
+                self.inner.dim()
+            }
+            fn apply(&self, x: &[f64], y: &mut [f64]) {
+                let c = self.calls.get();
+                self.calls.set(c + 1);
+                self.inner.apply(x, y);
+                if c == 1 {
+                    // Corrupt the second matvec of attempt 0.
+                    y.fill(f64::NAN);
+                }
+            }
+        }
+        let a = spd3();
+        let flaky = FlakyOnce {
+            inner: &a,
+            calls: Cell::new(0),
+        };
+        let out = cg_resilient(
+            &flaky,
+            &[1.0, 2.0, 3.0],
+            &[0.0; 3],
+            &CgOptions::default(),
+            &Budget::unlimited(),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(out.is_converged(), "retry should recover: {out:?}");
+        assert!(out.diagnostics().restarts >= 1);
     }
 
     proptest! {

@@ -23,6 +23,7 @@
 
 use crate::{LocalError, Result};
 use acir_graph::{Graph, NodeId};
+use acir_runtime::{Budget, Certificate, Diagnostics, DivergenceCause, SolverOutcome};
 use std::collections::VecDeque;
 
 /// Output of [`ppr_push`].
@@ -163,6 +164,183 @@ pub fn ppr_push(g: &Graph, seeds: &[NodeId], alpha: f64, epsilon: f64) -> Result
         pushes,
         work,
         touched,
+    })
+}
+
+/// ACL push under an explicit resource [`Budget`], with contamination
+/// guards and a structured [`SolverOutcome`].
+///
+/// Each push costs one iteration; each edge traversal costs one work
+/// unit. On budget exhaustion the partial diffusion is returned with a
+/// [`Certificate::ResidualMass`]: the un-pushed residual mass and the
+/// worst per-degree residual, which by the ACL invariant
+/// `p + pr_α(r) = pr_α(s)` bound the pointwise error of the truncated
+/// vector — the partial push *is* a more aggressively regularized PPR,
+/// not a failure. NaN/Inf contamination (e.g. corrupted edge weights)
+/// yields [`SolverOutcome::Diverged`].
+pub fn ppr_push_budgeted(
+    g: &Graph,
+    seeds: &[NodeId],
+    alpha: f64,
+    epsilon: f64,
+    budget: &Budget,
+) -> Result<SolverOutcome<PushResult>> {
+    if !(0.0 < alpha && alpha < 1.0) {
+        return Err(LocalError::InvalidArgument(format!(
+            "ppr_push needs alpha in (0, 1), got {alpha}"
+        )));
+    }
+    if !(epsilon > 0.0 && epsilon.is_finite()) {
+        return Err(LocalError::InvalidArgument(format!(
+            "ppr_push needs epsilon > 0, got {epsilon}"
+        )));
+    }
+    if seeds.is_empty() {
+        return Err(LocalError::InvalidArgument("ppr_push needs seeds".into()));
+    }
+    let n = g.n();
+    for &u in seeds {
+        if u as usize >= n {
+            return Err(LocalError::InvalidArgument(format!(
+                "seed {u} out of range"
+            )));
+        }
+        if g.degree(u) <= 0.0 {
+            return Err(LocalError::InvalidArgument(format!(
+                "seed {u} has zero degree"
+            )));
+        }
+    }
+
+    let mut p = vec![0.0f64; n];
+    let mut r = vec![0.0f64; n];
+    let mut in_queue = vec![false; n];
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    let seed_mass = 1.0 / seeds.len() as f64;
+    for &u in seeds {
+        r[u as usize] += seed_mass;
+    }
+    for &u in seeds {
+        if !in_queue[u as usize] && r[u as usize] >= epsilon * g.degree(u) {
+            in_queue[u as usize] = true;
+            queue.push_back(u);
+        }
+    }
+
+    let mut meter = budget.start();
+    let mut diags = Diagnostics::new();
+    let mut pushes = 0usize;
+    let mut work = 0usize;
+    // Tracked incrementally: each push moves exactly α·r[u] into p.
+    let mut residual_mass = 1.0f64;
+    let push_cap = ((4.0 / (epsilon * alpha)).ceil() as usize).saturating_add(16);
+
+    let finish = |p: &[f64], r: &[f64], pushes: usize, work: usize| -> PushResult {
+        let mut vector: Vec<(NodeId, f64)> = p
+            .iter()
+            .enumerate()
+            .filter(|&(_, &x)| x > 0.0)
+            .map(|(u, &x)| (u as NodeId, x))
+            .collect();
+        vector.sort_unstable_by_key(|&(u, _)| u);
+        let touched = (0..n).filter(|&u| p[u] > 0.0 || r[u] > 0.0).count();
+        PushResult {
+            vector,
+            residual_mass: r.iter().sum(),
+            pushes,
+            work,
+            touched,
+        }
+    };
+
+    while let Some(u) = queue.pop_front() {
+        in_queue[u as usize] = false;
+        let du = g.degree(u);
+        let ru = r[u as usize];
+        if !ru.is_finite() {
+            diags.absorb_meter(&meter);
+            return Ok(SolverOutcome::diverged(
+                DivergenceCause::NonFiniteIterate { at_iter: pushes },
+                diags,
+            ));
+        }
+        if ru < epsilon * du {
+            continue;
+        }
+        pushes += 1;
+        if pushes > push_cap {
+            diags.absorb_meter(&meter);
+            return Ok(SolverOutcome::diverged(
+                DivergenceCause::Breakdown {
+                    at_iter: pushes,
+                    what: "exceeded the theoretical O(1/(εα)) push bound",
+                },
+                diags,
+            ));
+        }
+        p[u as usize] += alpha * ru;
+        residual_mass -= alpha * ru;
+        let stay = (1.0 - alpha) * ru / 2.0;
+        r[u as usize] = stay;
+        let spread = (1.0 - alpha) * ru / 2.0;
+        let mut traversals = 0u64;
+        for (v, w) in g.neighbors(u) {
+            work += 1;
+            traversals += 1;
+            let dv = g.degree(v);
+            r[v as usize] += spread * w / du;
+            // A NaN residual never re-enters the queue (comparisons with
+            // NaN are false), so contamination must be caught here.
+            if !r[v as usize].is_finite() {
+                diags.absorb_meter(&meter);
+                return Ok(SolverOutcome::diverged(
+                    DivergenceCause::NonFiniteIterate { at_iter: pushes },
+                    diags,
+                ));
+            }
+            if !in_queue[v as usize] && r[v as usize] >= epsilon * dv && dv > 0.0 {
+                in_queue[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+        if !in_queue[u as usize] && r[u as usize] >= epsilon * du {
+            in_queue[u as usize] = true;
+            queue.push_back(u);
+        }
+
+        meter.tick_iter();
+        diags.push_residual(residual_mass);
+        if let Some(exhausted) = meter.add_work(traversals) {
+            diags.absorb_meter(&meter);
+            // Worst per-degree residual over positive-degree nodes: the
+            // pointwise error bound for the partial vector.
+            let per_degree_bound = (0..n)
+                .map(|u| {
+                    let d = g.degree(u as NodeId);
+                    if d > 0.0 {
+                        r[u] / d
+                    } else {
+                        0.0
+                    }
+                })
+                .fold(0.0f64, f64::max)
+                .max(epsilon);
+            return Ok(SolverOutcome::BudgetExhausted {
+                best_so_far: finish(&p, &r, pushes, work),
+                exhausted,
+                certificate: Certificate::ResidualMass {
+                    remaining: residual_mass,
+                    per_degree_bound,
+                },
+                diagnostics: diags,
+            });
+        }
+    }
+
+    diags.absorb_meter(&meter);
+    Ok(SolverOutcome::Converged {
+        value: finish(&p, &r, pushes, work),
+        diagnostics: diags,
     })
 }
 
@@ -308,6 +486,67 @@ mod tests {
         assert!(ppr_push(&g, &[9], 0.1, 1e-3).is_err());
         let iso = acir_graph::Graph::from_pairs(2, []).unwrap();
         assert!(ppr_push(&iso, &[0], 0.1, 1e-3).is_err());
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_plain() {
+        let g = barbell(6, 2).unwrap();
+        let out = ppr_push_budgeted(&g, &[0], 0.1, 1e-4, &Budget::unlimited()).unwrap();
+        assert!(out.is_converged());
+        let plain = ppr_push(&g, &[0], 0.1, 1e-4).unwrap();
+        assert_eq!(out.value().unwrap().vector, plain.vector);
+        assert_eq!(out.value().unwrap().pushes, plain.pushes);
+    }
+
+    #[test]
+    fn budgeted_exhaustion_certificate_bounds_error() {
+        let g = barbell(10, 2).unwrap();
+        let out = ppr_push_budgeted(&g, &[0], 0.05, 1e-6, &Budget::iterations(5)).unwrap();
+        assert!(!out.is_converged() && out.is_usable());
+        let (remaining, per_degree) = match out.certificate() {
+            Some(&acir_runtime::Certificate::ResidualMass {
+                remaining,
+                per_degree_bound,
+            }) => (remaining, per_degree_bound),
+            c => panic!("wrong certificate {c:?}"),
+        };
+        // Verify against the exact answer: per-node error of the partial
+        // vector is bounded by the certified per-degree residual bound
+        // (the ACL invariant, with the remaining PPR mass ≤ remaining).
+        let exact = ppr_exact_reference(&g, &[0], 0.05, 5000).unwrap();
+        let dense = out.value().unwrap().to_dense(g.n());
+        for u in 0..g.n() {
+            let err = (exact[u] - dense[u]) / g.degree(u as u32);
+            assert!(err >= -1e-9);
+            assert!(
+                err <= per_degree + 1e-9,
+                "node {u}: err {err} vs bound {per_degree}"
+            );
+        }
+        assert!(remaining > 0.0 && remaining <= 1.0 + 1e-12);
+        assert!(!out.diagnostics().events.is_empty() || !out.diagnostics().residuals.is_empty());
+    }
+
+    #[test]
+    fn corrupted_edge_lists_rejected_before_push() {
+        // Graph-level fault injection: the CSR constructor is the first
+        // line of defense — corrupted triplets must never reach a
+        // diffusion. (In-loop NaN guards in ppr_push_budgeted remain as
+        // defense-in-depth for operators built outside `Graph`.)
+        use acir_runtime::fault::corrupt;
+        let base: Vec<(u32, u32, f64)> = (0..9).map(|i| (i, i + 1, 1.0)).collect();
+
+        let mut dangling = base.clone();
+        assert!(corrupt::dangling_arcs(&mut dangling, 10, 0.5, 11) > 0);
+        assert!(acir_graph::Graph::from_edges(10, dangling).is_err());
+
+        let mut zeroed = base.clone();
+        assert!(corrupt::zero_weights(&mut zeroed, 0.5, 11) > 0);
+        assert!(acir_graph::Graph::from_edges(10, zeroed).is_err());
+
+        let mut negated = base;
+        assert!(corrupt::negative_weights(&mut negated, 0.5, 11) > 0);
+        assert!(acir_graph::Graph::from_edges(10, negated).is_err());
     }
 
     #[test]

@@ -40,10 +40,13 @@ pub mod whisker;
 pub use cheeger::{cheeger_check, conductance_exact_bruteforce, CheegerReport};
 pub use conductance::{conductance, cut_weight, CutStats};
 pub use multilevel::{multilevel_bisect, recursive_partition, refine_bisection, MultilevelOptions};
-pub use ncp::{ncp_local_spectral, ncp_metis_mqi, NcpOptions, NcpPoint};
+pub use ncp::{
+    ncp_local_spectral, ncp_local_spectral_budgeted, ncp_metis_mqi, NcpOptions, NcpPoint,
+};
 pub use niceness::{cluster_niceness, ClusterNiceness};
 pub use spectral_part::{
-    spectral_bisect, spectral_bisect_ratio, spectral_bisect_truncated, SpectralCut,
+    spectral_bisect, spectral_bisect_budgeted, spectral_bisect_ratio, spectral_bisect_truncated,
+    SpectralCut,
 };
 pub use whisker::{whisker_union_envelope, whiskers, Whisker};
 

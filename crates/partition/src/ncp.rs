@@ -26,6 +26,7 @@ use acir_flow::mqi;
 use acir_graph::{Graph, NodeId};
 use acir_local::push::ppr_push;
 use acir_local::sweep::sweep_cut_support;
+use acir_runtime::{Budget, Certificate, Diagnostics, SolverOutcome};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -231,6 +232,88 @@ pub fn ncp_local_spectral(g: &Graph, opts: &NcpOptions) -> Result<Vec<NcpPoint>>
     Ok(accum.into_points())
 }
 
+/// Budgeted local-spectral NCP: the same (seed, α, ε) sweep grid as
+/// [`ncp_local_spectral`], metered against a [`Budget`] — one budget
+/// iteration and `work = edge traversals` per push run.
+///
+/// Runs single-threaded (the meter is shared run state). The NCP is a
+/// lower envelope that only improves with more runs, so exhaustion
+/// returns the profile harvested so far as a certified partial: the
+/// [`Certificate::ResidualNorm`] carries the *unexplored fraction* of
+/// the planned grid — `0` means full coverage, `0.75` means three
+/// quarters of the planned push runs never executed and the true
+/// envelope at some scales may lie below the returned one.
+pub fn ncp_local_spectral_budgeted(
+    g: &Graph,
+    opts: &NcpOptions,
+    budget: &Budget,
+) -> Result<SolverOutcome<Vec<NcpPoint>>> {
+    validate(g, opts)?;
+    if opts.seeds == 0 || opts.alphas.is_empty() || opts.epsilons.is_empty() {
+        return Err(crate::PartitionError::InvalidArgument(
+            "local spectral NCP needs seeds, alphas and epsilons".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(opts.rng_seed);
+    let mut seeds: Vec<NodeId> = Vec::with_capacity(opts.seeds);
+    let mut guard = 0;
+    while seeds.len() < opts.seeds && guard < 50 * opts.seeds {
+        let u = rng.gen_range(0..g.n() as NodeId);
+        if g.degree(u) > 0.0 {
+            seeds.push(u);
+        }
+        guard += 1;
+    }
+    if seeds.is_empty() {
+        return Err(crate::PartitionError::InvalidArgument(
+            "no positive-degree seeds available".into(),
+        ));
+    }
+
+    let planned = seeds.len() * opts.alphas.len() * opts.epsilons.len();
+    let mut meter = budget.start();
+    let mut diags = Diagnostics::new();
+    let mut accum = NcpAccum::default();
+    let mut done = 0usize;
+    'grid: for &seed in &seeds {
+        for &alpha in &opts.alphas {
+            for &eps in &opts.epsilons {
+                meter.tick_iter();
+                if let Some(ex) = meter.check() {
+                    diags.absorb_meter(&meter);
+                    diags.note(format!(
+                        "{ex}: explored {done} of {planned} planned push runs"
+                    ));
+                    let remaining = 1.0 - done as f64 / planned as f64;
+                    return Ok(SolverOutcome::BudgetExhausted {
+                        best_so_far: accum.into_points(),
+                        exhausted: ex,
+                        certificate: Certificate::ResidualNorm { value: remaining },
+                        diagnostics: diags,
+                    });
+                }
+                let Ok(push) = ppr_push(g, &[seed], alpha, eps) else {
+                    continue;
+                };
+                meter.add_work(push.work as u64);
+                let dense = push.to_dense(g.n());
+                let sweep = sweep_cut_support(g, &dense);
+                harvest_sweep(g, &mut accum, opts, &sweep.order, &sweep.profile);
+                done += 1;
+                if done == planned {
+                    break 'grid;
+                }
+            }
+        }
+    }
+    diags.absorb_meter(&meter);
+    diags.note(format!("explored the full grid of {planned} push runs"));
+    Ok(SolverOutcome::Converged {
+        value: accum.into_points(),
+        diagnostics: diags,
+    })
+}
+
 /// Compute the NCP with the Metis+MQI pipeline: recursive multilevel
 /// partitioning at a ladder of size targets, each piece improved by
 /// MQI before harvesting.
@@ -433,6 +516,40 @@ mod tests {
             flow_wins * 2 >= comparisons,
             "flow won {flow_wins}/{comparisons} bins"
         );
+    }
+
+    #[test]
+    fn budgeted_ncp_full_budget_matches_plain() {
+        let g = ring_of_cliques(6, 8).unwrap();
+        let mut opts = small_opts();
+        opts.threads = 1; // plain path must match the single-threaded grid order
+        let out = ncp_local_spectral_budgeted(&g, &opts, &Budget::unlimited()).unwrap();
+        assert!(out.is_converged());
+        let plain = ncp_local_spectral(&g, &opts).unwrap();
+        let pts = out.value().unwrap();
+        assert_eq!(pts.len(), plain.len());
+        for (a, b) in pts.iter().zip(&plain) {
+            assert_eq!(a.set, b.set);
+            assert!((a.conductance - b.conductance).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn budgeted_ncp_exhaustion_reports_coverage() {
+        let g = ring_of_cliques(6, 8).unwrap();
+        let out = ncp_local_spectral_budgeted(&g, &small_opts(), &Budget::iterations(5)).unwrap();
+        assert!(!out.is_converged() && out.is_usable());
+        let unexplored = match out.certificate() {
+            Some(&Certificate::ResidualNorm { value }) => value,
+            c => panic!("wrong certificate {c:?}"),
+        };
+        assert!((0.0..=1.0).contains(&unexplored) && unexplored > 0.0);
+        // Whatever was harvested is still a valid (partial) profile.
+        for p in out.value().unwrap() {
+            let direct = crate::conductance::conductance(&g, &p.set).unwrap();
+            assert!((p.conductance - direct).abs() < 1e-9);
+        }
+        assert!(!out.diagnostics().events.is_empty());
     }
 
     #[test]

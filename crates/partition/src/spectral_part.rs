@@ -9,9 +9,10 @@
 
 use crate::{PartitionError, Result};
 use acir_graph::Graph;
-use acir_linalg::power::{power_method, PowerOptions};
+use acir_linalg::power::{power_method, power_method_budgeted, PowerOptions};
 use acir_linalg::{vector, LinOp, ShiftedOp};
 use acir_local::sweep::{sweep_cut, SweepResult};
+use acir_runtime::{Budget, Certificate, SolverOutcome};
 use acir_spectral::{fiedler_vector, normalized_laplacian, trivial_eigenvector};
 
 /// Outcome of a spectral bisection.
@@ -85,6 +86,92 @@ pub fn spectral_bisect_truncated(g: &Graph, iters: usize) -> Result<SpectralCut>
         sweep,
         embedding,
         lambda2: rq,
+    })
+}
+
+/// Budgeted spectral bisection: power iteration on `2I − 𝓛` under a
+/// resource [`Budget`], then a sweep cut over whatever iterate the
+/// budget affords.
+///
+/// The sweep is an *anytime* consumer — any embedding vector yields a
+/// valid cut with a real conductance — so budget exhaustion degrades
+/// gracefully into a certified partial: the returned
+/// [`Certificate::RayleighInterval`] (translated back from the shifted
+/// operator, so `center ≈ λ₂ of 𝓛`) bounds how far the iterate's
+/// eigenvalue estimate can be from a true one. This is §2.3 early
+/// stopping surfaced as an explicit resource knob.
+pub fn spectral_bisect_budgeted(g: &Graph, budget: &Budget) -> Result<SolverOutcome<SpectralCut>> {
+    let nl = normalized_laplacian(g);
+    let v1 = trivial_eigenvector(g);
+    let shifted = ShiftedOp::new(&nl, -1.0, 2.0);
+    let mut state = 0x243f6a8885a308d3u64;
+    let seed: Vec<f64> = (0..g.n())
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect();
+    let opts = PowerOptions {
+        max_iters: usize::MAX,
+        tol: 1e-10,
+        deflate: vec![v1],
+    };
+    let out = power_method_budgeted(&shifted, &seed, &opts, budget)?;
+
+    let build = |r: acir_linalg::power::PowerResult| {
+        let embedding = d_inv_sqrt_scale(g, &r.eigenvector);
+        let sweep = sweep_cut(g, &embedding);
+        let rq = {
+            let lx = nl.apply_vec(&r.eigenvector);
+            vector::dot(&r.eigenvector, &lx)
+        };
+        SpectralCut {
+            sweep,
+            embedding,
+            lambda2: rq,
+        }
+    };
+
+    Ok(match out {
+        SolverOutcome::Converged { value, diagnostics } => SolverOutcome::Converged {
+            value: build(value),
+            diagnostics,
+        },
+        SolverOutcome::BudgetExhausted {
+            best_so_far,
+            exhausted,
+            certificate,
+            mut diagnostics,
+        } => {
+            // Translate the enclosure from 2I − 𝓛 back to 𝓛: an
+            // eigenvalue μ of the shifted operator corresponds to
+            // λ = 2 − μ, with the same radius.
+            let certificate = match certificate {
+                Certificate::RayleighInterval { center, radius } => Certificate::RayleighInterval {
+                    center: 2.0 - center,
+                    radius,
+                },
+                other => other,
+            };
+            diagnostics.note("sweep cut computed from the truncated power iterate");
+            SolverOutcome::BudgetExhausted {
+                best_so_far: build(best_so_far),
+                exhausted,
+                certificate,
+                diagnostics,
+            }
+        }
+        SolverOutcome::Diverged {
+            at_iter,
+            cause,
+            diagnostics,
+        } => SolverOutcome::Diverged {
+            at_iter,
+            cause,
+            diagnostics,
+        },
     })
 }
 
@@ -193,6 +280,36 @@ mod tests {
         assert!(early.sweep.conductance.is_finite());
         assert!(!early.sweep.set.is_empty());
         assert!(spectral_bisect_truncated(&g, 0).is_err());
+    }
+
+    #[test]
+    fn budgeted_bisect_converges_like_exact() {
+        let g = barbell(6, 0).unwrap();
+        let out = spectral_bisect_budgeted(&g, &Budget::unlimited()).unwrap();
+        assert!(out.is_converged());
+        let exact = spectral_bisect(&g).unwrap();
+        let cut = out.value().unwrap();
+        assert!((cut.sweep.conductance - exact.sweep.conductance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budgeted_bisect_exhaustion_still_cuts() {
+        let g = barbell(6, 0).unwrap();
+        let out = spectral_bisect_budgeted(&g, &Budget::iterations(3)).unwrap();
+        assert!(!out.is_converged() && out.is_usable());
+        let cut = out.value().unwrap();
+        // Anytime: a real cut with finite conductance, plus a
+        // certificate translated back to the Laplacian's spectrum.
+        assert!(cut.sweep.conductance.is_finite());
+        assert!(!cut.sweep.set.is_empty());
+        match out.certificate() {
+            Some(&Certificate::RayleighInterval { center, radius }) => {
+                // spec(𝓛) ⊆ [0, 2]: the interval must intersect it.
+                assert!(center - radius <= 2.0 + 1e-9 && center + radius >= -1e-9);
+            }
+            c => panic!("wrong certificate {c:?}"),
+        }
+        assert!(!out.diagnostics().events.is_empty());
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Iteration / work / wall-clock budgets and their cheap in-loop meter.
+
+use std::time::{Duration, Instant};
+
+/// A resource ceiling for one solver run.
+///
+/// Three independent axes, each optional:
+///
+/// * **iterations** — outer-loop count (the paper's early-stopping
+///   regularization knob);
+/// * **work units** — solver-defined atomic operations (matvecs for
+///   Krylov methods, pushes for local diffusions, arc scans for flow),
+///   so heterogeneous solvers can share one budget meaningfully;
+/// * **deadline** — wall-clock bound for latency-sensitive callers.
+///
+/// `Budget` is `Copy`-cheap to pass around; call [`Budget::start`] to
+/// begin metering a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum outer iterations (restarts count extra attempts
+    /// separately; see [`crate::RetryPolicy`]).
+    pub max_iters: usize,
+    /// Maximum solver-defined work units.
+    pub max_work: u64,
+    /// Optional wall-clock deadline for the whole run.
+    pub deadline: Option<Duration>,
+}
+
+impl Budget {
+    /// No ceilings at all: solvers run to their own convergence logic.
+    pub fn unlimited() -> Self {
+        Self {
+            max_iters: usize::MAX,
+            max_work: u64::MAX,
+            deadline: None,
+        }
+    }
+
+    /// Ceiling on outer iterations only.
+    pub fn iterations(max_iters: usize) -> Self {
+        Self {
+            max_iters,
+            ..Self::unlimited()
+        }
+    }
+
+    /// Ceiling on work units only.
+    pub fn work(max_work: u64) -> Self {
+        Self {
+            max_work,
+            ..Self::unlimited()
+        }
+    }
+
+    /// Wall-clock deadline only.
+    pub fn deadline(deadline: Duration) -> Self {
+        Self {
+            deadline: Some(deadline),
+            ..Self::unlimited()
+        }
+    }
+
+    /// Builder: replace the iteration ceiling.
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Builder: replace the work ceiling.
+    pub fn with_max_work(mut self, max_work: u64) -> Self {
+        self.max_work = max_work;
+        self
+    }
+
+    /// Builder: replace the deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Begin metering a run against this budget.
+    pub fn start(&self) -> BudgetMeter {
+        BudgetMeter {
+            budget: *self,
+            iters: 0,
+            work: 0,
+            started: Instant::now(),
+            exhausted: None,
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// Which budget axis ran out first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exhaustion {
+    /// The iteration ceiling was reached.
+    Iterations,
+    /// The work-unit ceiling was reached.
+    Work,
+    /// The wall-clock deadline passed.
+    Deadline,
+}
+
+impl std::fmt::Display for Exhaustion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Exhaustion::Iterations => write!(f, "iteration budget exhausted"),
+            Exhaustion::Work => write!(f, "work budget exhausted"),
+            Exhaustion::Deadline => write!(f, "wall-clock deadline exceeded"),
+        }
+    }
+}
+
+/// Live accounting for one run against a [`Budget`].
+///
+/// Designed for tight loops: integer compares on every call, and the
+/// deadline clock is consulted only when a deadline is actually set.
+/// Once an axis is exhausted the meter latches: further checks keep
+/// reporting the same [`Exhaustion`], so solvers can exit cleanly from
+/// any depth.
+#[derive(Debug, Clone)]
+pub struct BudgetMeter {
+    budget: Budget,
+    iters: usize,
+    work: u64,
+    started: Instant,
+    exhausted: Option<Exhaustion>,
+}
+
+impl BudgetMeter {
+    /// Account for one outer iteration; returns the exhaustion if any
+    /// axis is now out of budget.
+    #[inline]
+    pub fn tick_iter(&mut self) -> Option<Exhaustion> {
+        self.iters += 1;
+        self.check()
+    }
+
+    /// Account for `units` work units; returns the exhaustion if any
+    /// axis is now out of budget.
+    #[inline]
+    pub fn add_work(&mut self, units: u64) -> Option<Exhaustion> {
+        self.work = self.work.saturating_add(units);
+        self.check()
+    }
+
+    /// Re-check all axes without consuming anything.
+    #[inline]
+    pub fn check(&mut self) -> Option<Exhaustion> {
+        if self.exhausted.is_some() {
+            return self.exhausted;
+        }
+        if self.iters >= self.budget.max_iters {
+            self.exhausted = Some(Exhaustion::Iterations);
+        } else if self.work >= self.budget.max_work {
+            self.exhausted = Some(Exhaustion::Work);
+        } else if let Some(deadline) = self.budget.deadline {
+            if self.started.elapsed() >= deadline {
+                self.exhausted = Some(Exhaustion::Deadline);
+            }
+        }
+        self.exhausted
+    }
+
+    /// Iterations consumed so far.
+    pub fn iterations(&self) -> usize {
+        self.iters
+    }
+
+    /// Work units consumed so far.
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// Wall time since [`Budget::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The budget this meter enforces.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Whether any axis has latched exhausted.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let mut m = Budget::unlimited().start();
+        for _ in 0..10_000 {
+            assert_eq!(m.tick_iter(), None);
+            assert_eq!(m.add_work(1_000), None);
+        }
+    }
+
+    #[test]
+    fn iteration_ceiling_latches() {
+        let mut m = Budget::iterations(3).start();
+        assert_eq!(m.tick_iter(), None);
+        assert_eq!(m.tick_iter(), None);
+        assert_eq!(m.tick_iter(), Some(Exhaustion::Iterations));
+        // Latched: later work checks report the same cause.
+        assert_eq!(m.add_work(1), Some(Exhaustion::Iterations));
+        assert!(m.is_exhausted());
+    }
+
+    #[test]
+    fn work_ceiling_counts_units() {
+        let mut m = Budget::work(100).start();
+        assert_eq!(m.add_work(60), None);
+        assert_eq!(m.add_work(60), Some(Exhaustion::Work));
+        assert_eq!(m.work(), 120);
+    }
+
+    #[test]
+    fn deadline_fires_within_tolerance() {
+        let mut m = Budget::deadline(Duration::from_millis(20)).start();
+        assert_eq!(m.check(), None);
+        let t0 = Instant::now();
+        let cause = loop {
+            if let Some(c) = m.tick_iter() {
+                break c;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(cause, Exhaustion::Deadline);
+        let waited = t0.elapsed();
+        assert!(
+            waited >= Duration::from_millis(15),
+            "fired early: {waited:?}"
+        );
+        assert!(
+            waited < Duration::from_millis(500),
+            "fired late: {waited:?}"
+        );
+    }
+
+    #[test]
+    fn builder_combines_axes() {
+        let b = Budget::unlimited()
+            .with_max_iters(5)
+            .with_max_work(7)
+            .with_deadline(Duration::from_secs(3600));
+        assert_eq!(b.max_iters, 5);
+        assert_eq!(b.max_work, 7);
+        let mut m = b.start();
+        assert_eq!(m.add_work(7), Some(Exhaustion::Work));
+    }
+}

@@ -1,0 +1,120 @@
+//! Structured per-run diagnostics: residual trail, work counters,
+//! wall time, and events.
+
+use crate::budget::BudgetMeter;
+use std::time::Duration;
+
+/// Hard cap on stored residuals; beyond it the trail is thinned by
+/// dropping every other stored sample, so memory stays bounded on
+/// million-iteration runs while early and late behavior both survive.
+const MAX_RESIDUALS: usize = 4096;
+
+/// What a solver run did, regardless of how it ended.
+///
+/// Every [`crate::SolverOutcome`] carries one of these, so callers can
+/// always answer "how hard did it try, and what did convergence look
+/// like" — the observability half of treating truncated runs as
+/// first-class answers.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    /// Residual trail (possibly thinned; see [`Diagnostics::push_residual`]).
+    pub residuals: Vec<f64>,
+    /// Stride between stored residuals (1 = every iteration recorded).
+    pub residual_stride: usize,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// Solver-defined work units consumed (matvecs, pushes, arc scans).
+    pub work: u64,
+    /// Wall time of the run.
+    pub elapsed: Duration,
+    /// Restarts / escalations performed by a [`crate::RetryPolicy`].
+    pub restarts: usize,
+    /// Human-readable event trail ("restarted with fresh seed", …).
+    pub events: Vec<String>,
+}
+
+impl Diagnostics {
+    /// Fresh, empty diagnostics.
+    pub fn new() -> Self {
+        Self {
+            residual_stride: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Record one residual sample, thinning the trail if it has grown
+    /// past the cap.
+    pub fn push_residual(&mut self, r: f64) {
+        if self.residuals.len() >= MAX_RESIDUALS {
+            let mut keep = 0;
+            for i in (0..self.residuals.len()).step_by(2) {
+                self.residuals[keep] = self.residuals[i];
+                keep += 1;
+            }
+            self.residuals.truncate(keep);
+            self.residual_stride = self.residual_stride.max(1) * 2;
+        }
+        self.residuals.push(r);
+    }
+
+    /// Record a notable event.
+    pub fn note(&mut self, event: impl Into<String>) {
+        self.events.push(event.into());
+    }
+
+    /// Copy counters out of a finished meter.
+    pub fn absorb_meter(&mut self, meter: &BudgetMeter) {
+        self.iterations = meter.iterations();
+        self.work = meter.work();
+        self.elapsed = meter.elapsed();
+    }
+
+    /// Last recorded residual, if any.
+    pub fn last_residual(&self) -> Option<f64> {
+        self.residuals.last().copied()
+    }
+
+    /// Best (smallest) recorded residual, ignoring non-finite samples.
+    pub fn best_residual(&self) -> Option<f64> {
+        self.residuals
+            .iter()
+            .copied()
+            .filter(|r| r.is_finite())
+            .min_by(f64::total_cmp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn residual_trail_thins_but_keeps_endpoints() {
+        let mut d = Diagnostics::new();
+        for i in 0..(MAX_RESIDUALS * 4) {
+            d.push_residual(i as f64);
+        }
+        assert!(d.residuals.len() <= MAX_RESIDUALS + 1);
+        assert!(d.residual_stride >= 4);
+        assert_eq!(d.residuals[0], 0.0);
+        assert_eq!(d.last_residual(), Some((MAX_RESIDUALS * 4 - 1) as f64));
+    }
+
+    #[test]
+    fn best_residual_ignores_nans() {
+        let mut d = Diagnostics::new();
+        d.push_residual(3.0);
+        d.push_residual(f64::NAN);
+        d.push_residual(1.5);
+        assert_eq!(d.best_residual(), Some(1.5));
+    }
+
+    #[test]
+    fn events_accumulate() {
+        let mut d = Diagnostics::new();
+        d.note("restarted");
+        d.note(format!("attempt {}", 2));
+        assert_eq!(d.events.len(), 2);
+    }
+}

@@ -1,0 +1,332 @@
+//! Deterministic fault injection: value corruption streams for operator
+//! wrappers and graph-level corruption for edge lists.
+//!
+//! Everything here is seeded and reproducible — a failing fault test
+//! can be replayed exactly. The numeric corruption kinds mirror the
+//! ways large-scale pipelines actually go wrong: NaN poisoning from
+//! upstream bad data, sign flips from bit corruption or races,
+//! adversarial rounding from mixed-precision hardware, and latency
+//! spikes from slow storage tiers.
+
+use std::time::Duration;
+
+/// SplitMix64: tiny, seedable, dependency-free PRNG for fault decisions.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// What faults to inject, and how often.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Per-entry probability of replacing a value with NaN.
+    pub nan_rate: f64,
+    /// Per-entry probability of flipping a value's sign.
+    pub sign_flip_rate: f64,
+    /// When set, every entry is adversarially rounded to a multiple of
+    /// this quantum (simulating catastrophic precision loss).
+    pub rounding_quantum: Option<f64>,
+    /// Artificial delay added to each operator application.
+    pub latency: Option<Duration>,
+    /// Applications that pass through clean before faults start (lets a
+    /// solver build up state worth poisoning).
+    pub clean_applies: u64,
+    /// PRNG seed; same seed → same fault pattern.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            nan_rate: 0.0,
+            sign_flip_rate: 0.0,
+            rounding_quantum: None,
+            latency: None,
+            clean_applies: 0,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// NaN poisoning at `rate` per entry.
+    pub fn nans(rate: f64) -> Self {
+        Self {
+            nan_rate: rate,
+            ..Self::default()
+        }
+    }
+
+    /// Sign flips at `rate` per entry.
+    pub fn sign_flips(rate: f64) -> Self {
+        Self {
+            sign_flip_rate: rate,
+            ..Self::default()
+        }
+    }
+
+    /// Adversarial rounding to multiples of `quantum`.
+    pub fn rounding(quantum: f64) -> Self {
+        Self {
+            rounding_quantum: Some(quantum),
+            ..Self::default()
+        }
+    }
+
+    /// Pure latency injection (for deadline tests).
+    pub fn latency(delay: Duration) -> Self {
+        Self {
+            latency: Some(delay),
+            ..Self::default()
+        }
+    }
+
+    /// Builder: change the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: let the first `n` applications through unfaulted.
+    pub fn after_clean_applies(mut self, n: u64) -> Self {
+        self.clean_applies = n;
+        self
+    }
+
+    /// Start a stream of fault decisions for one run.
+    pub fn stream(&self) -> FaultStream {
+        FaultStream {
+            cfg: *self,
+            rng: SplitMix64::new(self.seed),
+            applies: 0,
+        }
+    }
+}
+
+/// Stateful fault decisions for a sequence of operator applications.
+pub struct FaultStream {
+    cfg: FaultConfig,
+    rng: SplitMix64,
+    applies: u64,
+}
+
+impl FaultStream {
+    /// Mark the start of one operator application: sleeps if latency
+    /// injection is on, and advances the clean-apply countdown.
+    pub fn begin_apply(&mut self) {
+        self.applies += 1;
+        if let Some(delay) = self.cfg.latency {
+            std::thread::sleep(delay);
+        }
+    }
+
+    /// Whether faults are active for the current application.
+    fn active(&self) -> bool {
+        self.applies > self.cfg.clean_applies
+    }
+
+    /// Corrupt a whole output vector in place according to the config.
+    pub fn corrupt_slice(&mut self, values: &mut [f64]) {
+        if !self.active() {
+            return;
+        }
+        if let Some(q) = self.cfg.rounding_quantum {
+            for v in values.iter_mut() {
+                // Round *away* from the true value when possible: the
+                // adversarial direction.
+                let down = (*v / q).floor() * q;
+                let up = (*v / q).ceil() * q;
+                *v = if (*v - down) >= (up - *v) { down } else { up };
+            }
+        }
+        if self.cfg.sign_flip_rate > 0.0 {
+            for v in values.iter_mut() {
+                if self.rng.unit_f64() < self.cfg.sign_flip_rate {
+                    *v = -*v;
+                }
+            }
+        }
+        if self.cfg.nan_rate > 0.0 {
+            for v in values.iter_mut() {
+                if self.rng.unit_f64() < self.cfg.nan_rate {
+                    *v = f64::NAN;
+                }
+            }
+        }
+    }
+
+    /// Applications begun so far.
+    pub fn applies(&self) -> u64 {
+        self.applies
+    }
+}
+
+/// Graph-level corruption for adversarial-input tests: operates on raw
+/// edge triplets so it stays independent of any graph crate.
+pub mod corrupt {
+    use super::SplitMix64;
+
+    /// Retarget roughly `rate` of all arcs to out-of-range node ids
+    /// (`>= n`), producing dangling references a robust reader must
+    /// reject. Returns the number of edges corrupted.
+    pub fn dangling_arcs(edges: &mut [(u32, u32, f64)], n: u32, rate: f64, seed: u64) -> usize {
+        let mut rng = SplitMix64::new(seed);
+        let mut hit = 0;
+        for e in edges.iter_mut() {
+            if rng.unit_f64() < rate {
+                let bogus = n + 1 + rng.below(16) as u32;
+                if rng.next_u64() & 1 == 0 {
+                    e.0 = bogus;
+                } else {
+                    e.1 = bogus;
+                }
+                hit += 1;
+            }
+        }
+        hit
+    }
+
+    /// Zero out roughly `rate` of all edge weights. Returns the number
+    /// of edges corrupted.
+    pub fn zero_weights(edges: &mut [(u32, u32, f64)], rate: f64, seed: u64) -> usize {
+        let mut rng = SplitMix64::new(seed);
+        let mut hit = 0;
+        for e in edges.iter_mut() {
+            if rng.unit_f64() < rate {
+                e.2 = 0.0;
+                hit += 1;
+            }
+        }
+        hit
+    }
+
+    /// Negate roughly `rate` of all edge weights (illegal for
+    /// conductance/flow computations). Returns the number corrupted.
+    pub fn negative_weights(edges: &mut [(u32, u32, f64)], rate: f64, seed: u64) -> usize {
+        let mut rng = SplitMix64::new(seed);
+        let mut hit = 0;
+        for e in edges.iter_mut() {
+            if rng.unit_f64() < rate {
+                e.2 = -e.2.abs().max(1.0);
+                hit += 1;
+            }
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn same_seed_same_faults() {
+        let mut a = FaultConfig::nans(0.3).with_seed(9).stream();
+        let mut b = FaultConfig::nans(0.3).with_seed(9).stream();
+        let mut va = vec![1.0; 64];
+        let mut vb = vec![1.0; 64];
+        a.begin_apply();
+        b.begin_apply();
+        a.corrupt_slice(&mut va);
+        b.corrupt_slice(&mut vb);
+        assert_eq!(
+            va.iter().map(|v| v.is_nan()).collect::<Vec<_>>(),
+            vb.iter().map(|v| v.is_nan()).collect::<Vec<_>>()
+        );
+        assert!(va.iter().any(|v| v.is_nan()));
+        assert!(va.iter().any(|v| !v.is_nan()));
+    }
+
+    #[test]
+    fn clean_applies_pass_through() {
+        let mut s = FaultConfig::nans(1.0).after_clean_applies(2).stream();
+        let mut v = vec![1.0; 8];
+        s.begin_apply();
+        s.corrupt_slice(&mut v);
+        assert!(v.iter().all(|x| x.is_finite()));
+        s.begin_apply();
+        s.corrupt_slice(&mut v);
+        assert!(v.iter().all(|x| x.is_finite()));
+        s.begin_apply();
+        s.corrupt_slice(&mut v);
+        assert!(v.iter().all(|x| x.is_nan()));
+    }
+
+    #[test]
+    fn sign_flips_preserve_magnitude() {
+        let mut s = FaultConfig::sign_flips(0.5).stream();
+        let mut v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let before: f64 = v.iter().map(|x| x.abs()).sum();
+        s.begin_apply();
+        s.corrupt_slice(&mut v);
+        let after: f64 = v.iter().map(|x| x.abs()).sum();
+        assert!((before - after).abs() < 1e-12);
+        assert!(v.iter().any(|&x| x < 0.0));
+    }
+
+    #[test]
+    fn rounding_quantizes() {
+        let mut s = FaultConfig::rounding(0.5).stream();
+        let mut v = vec![0.3, 1.4, 2.74, -0.9];
+        s.begin_apply();
+        s.corrupt_slice(&mut v);
+        for x in &v {
+            let q = x / 0.5;
+            assert!((q - q.round()).abs() < 1e-9, "not quantized: {x}");
+        }
+    }
+
+    #[test]
+    fn latency_injection_delays() {
+        let mut s = FaultConfig::latency(Duration::from_millis(5)).stream();
+        let t0 = std::time::Instant::now();
+        s.begin_apply();
+        assert!(t0.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn graph_corruption_is_seeded_and_counted() {
+        let base: Vec<(u32, u32, f64)> = (0..50).map(|i| (i, (i + 1) % 50, 1.0)).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let ha = corrupt::dangling_arcs(&mut a, 50, 0.3, 7);
+        let hb = corrupt::dangling_arcs(&mut b, 50, 0.3, 7);
+        assert_eq!(a, b);
+        assert_eq!(ha, hb);
+        assert!(ha > 0);
+        assert!(a.iter().any(|&(u, v, _)| u >= 50 || v >= 50));
+
+        let mut c = base.clone();
+        let hz = corrupt::zero_weights(&mut c, 0.2, 3);
+        assert_eq!(c.iter().filter(|e| e.2 == 0.0).count(), hz);
+
+        let mut d = base;
+        let hn = corrupt::negative_weights(&mut d, 0.2, 3);
+        assert_eq!(d.iter().filter(|e| e.2 < 0.0).count(), hn);
+        assert!(hn > 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Divergence, contamination, and stagnation detection for iterative
+//! solver loops.
+
+use crate::outcome::DivergenceCause;
+
+/// Tuning for a [`ConvergenceGuard`].
+#[derive(Debug, Clone, Copy)]
+pub struct GuardConfig {
+    /// A residual larger than `divergence_factor × best-so-far` is
+    /// treated as divergence (the iteration has blown past anything it
+    /// previously achieved) — but only once it also exceeds the *first*
+    /// observed residual. Without that scale anchor, a solver that has
+    /// converged to machine precision would be flagged for femto-scale
+    /// floating-point noise (e.g. 1e-10 after a best of 1e-16).
+    pub divergence_factor: f64,
+    /// Number of iterations over which the residual must improve by at
+    /// least [`GuardConfig::stagnation_drop`] (relative) before the run
+    /// is declared stagnant. `usize::MAX` disables the check.
+    pub stagnation_window: usize,
+    /// Required relative residual drop per window: the residual must
+    /// fall below `(1 − stagnation_drop) ×` its value one window ago.
+    pub stagnation_drop: f64,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            divergence_factor: 1e6,
+            stagnation_window: 128,
+            stagnation_drop: 1e-4,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// A guard that only detects NaN/Inf contamination and blow-up,
+    /// never stagnation — for solvers whose residuals legitimately
+    /// plateau (e.g. pure early-stopping runs with `tol = 0`).
+    pub fn contamination_only() -> Self {
+        Self {
+            stagnation_window: usize::MAX,
+            ..Self::default()
+        }
+    }
+}
+
+/// What the guard concluded from the latest residual.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuardVerdict {
+    /// Keep iterating.
+    Proceed,
+    /// The run should stop with [`crate::SolverOutcome::Diverged`].
+    Halt(DivergenceCause),
+}
+
+/// Watches a residual sequence for the three ways iterations go wrong:
+/// non-finite contamination, blow-up past the best achieved value, and
+/// stagnation (no meaningful progress over a window).
+///
+/// The guard also remembers the index of the best residual seen, so
+/// solvers can report *which* iterate to return as `best_so_far`.
+#[derive(Debug, Clone)]
+pub struct ConvergenceGuard {
+    cfg: GuardConfig,
+    observed: usize,
+    first: f64,
+    best: f64,
+    best_at: usize,
+    window: Vec<f64>,
+}
+
+impl ConvergenceGuard {
+    /// New guard with the given tuning.
+    pub fn new(cfg: GuardConfig) -> Self {
+        let window_len = if cfg.stagnation_window == usize::MAX {
+            0
+        } else {
+            cfg.stagnation_window
+        };
+        Self {
+            cfg,
+            observed: 0,
+            first: f64::INFINITY,
+            best: f64::INFINITY,
+            best_at: 0,
+            window: Vec::with_capacity(window_len),
+        }
+    }
+
+    /// Feed the residual of the iteration that just completed.
+    pub fn observe(&mut self, residual: f64) -> GuardVerdict {
+        let at_iter = self.observed;
+        self.observed += 1;
+
+        if !residual.is_finite() {
+            return GuardVerdict::Halt(DivergenceCause::NonFiniteResidual { at_iter });
+        }
+        if !self.first.is_finite() {
+            self.first = residual;
+        }
+        if residual < self.best {
+            self.best = residual;
+            self.best_at = at_iter;
+        } else if self.best.is_finite()
+            && residual > self.cfg.divergence_factor * self.best.max(f64::MIN_POSITIVE)
+            && residual > self.first
+        {
+            return GuardVerdict::Halt(DivergenceCause::ResidualBlowup {
+                at_iter,
+                residual,
+                best: self.best,
+            });
+        }
+
+        if self.cfg.stagnation_window != usize::MAX {
+            if self.window.len() == self.cfg.stagnation_window {
+                let then = self.window[0];
+                if residual > (1.0 - self.cfg.stagnation_drop) * then {
+                    return GuardVerdict::Halt(DivergenceCause::Stagnation {
+                        at_iter,
+                        window: self.cfg.stagnation_window,
+                    });
+                }
+                self.window.remove(0);
+            }
+            self.window.push(residual);
+        }
+        GuardVerdict::Proceed
+    }
+
+    /// Verify a whole iterate for contamination (cheap linear scan;
+    /// call at checkpoints, not every inner op).
+    pub fn check_finite(values: &[f64], at_iter: usize) -> GuardVerdict {
+        if values.iter().all(|v| v.is_finite()) {
+            GuardVerdict::Proceed
+        } else {
+            GuardVerdict::Halt(DivergenceCause::NonFiniteIterate { at_iter })
+        }
+    }
+
+    /// Best residual seen so far (`+∞` before any finite observation).
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+
+    /// Iteration index (0-based) at which the best residual occurred.
+    pub fn best_at(&self) -> usize {
+        self.best_at
+    }
+
+    /// Residuals observed so far.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+}
+
+impl Default for ConvergenceGuard {
+    fn default() -> Self {
+        Self::new(GuardConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn clean_decay_proceeds() {
+        let mut g = ConvergenceGuard::default();
+        let mut r = 1.0;
+        for _ in 0..500 {
+            assert_eq!(g.observe(r), GuardVerdict::Proceed);
+            r *= 0.9;
+        }
+        assert!(g.best() < 1e-20);
+    }
+
+    #[test]
+    fn nan_is_flagged_immediately() {
+        let mut g = ConvergenceGuard::default();
+        assert_eq!(g.observe(0.5), GuardVerdict::Proceed);
+        match g.observe(f64::NAN) {
+            GuardVerdict::Halt(DivergenceCause::NonFiniteResidual { at_iter }) => {
+                assert_eq!(at_iter, 1)
+            }
+            v => panic!("wrong verdict {v:?}"),
+        }
+    }
+
+    #[test]
+    fn blowup_past_best_is_divergence() {
+        let mut g = ConvergenceGuard::new(GuardConfig {
+            divergence_factor: 100.0,
+            ..GuardConfig::contamination_only()
+        });
+        assert_eq!(g.observe(1e-3), GuardVerdict::Proceed);
+        assert_eq!(g.observe(1e-2), GuardVerdict::Proceed);
+        match g.observe(1.0) {
+            GuardVerdict::Halt(DivergenceCause::ResidualBlowup { best, .. }) => {
+                assert_eq!(best, 1e-3)
+            }
+            v => panic!("wrong verdict {v:?}"),
+        }
+    }
+
+    #[test]
+    fn machine_precision_noise_after_convergence_is_not_blowup() {
+        let mut g = ConvergenceGuard::new(GuardConfig::contamination_only());
+        assert_eq!(g.observe(0.8), GuardVerdict::Proceed);
+        assert_eq!(g.observe(1e-16), GuardVerdict::Proceed);
+        // A million times the best, but far below where the run started:
+        // floating-point noise around a converged iterate, not blow-up.
+        assert_eq!(g.observe(4e-10), GuardVerdict::Proceed);
+        // Climbing past the first residual is the real thing.
+        assert!(matches!(
+            g.observe(2.0),
+            GuardVerdict::Halt(DivergenceCause::ResidualBlowup { .. })
+        ));
+    }
+
+    #[test]
+    fn plateau_is_stagnation() {
+        let mut g = ConvergenceGuard::new(GuardConfig {
+            stagnation_window: 10,
+            stagnation_drop: 1e-3,
+            ..GuardConfig::default()
+        });
+        let mut verdict = GuardVerdict::Proceed;
+        for _ in 0..100 {
+            verdict = g.observe(0.5);
+            if verdict != GuardVerdict::Proceed {
+                break;
+            }
+        }
+        assert!(
+            matches!(
+                verdict,
+                GuardVerdict::Halt(DivergenceCause::Stagnation { window: 10, .. })
+            ),
+            "got {verdict:?}"
+        );
+    }
+
+    #[test]
+    fn contamination_only_never_stagnates() {
+        let mut g = ConvergenceGuard::new(GuardConfig::contamination_only());
+        for _ in 0..10_000 {
+            assert_eq!(g.observe(0.5), GuardVerdict::Proceed);
+        }
+    }
+
+    #[test]
+    fn check_finite_catches_poisoned_iterates() {
+        assert_eq!(
+            ConvergenceGuard::check_finite(&[1.0, 2.0], 3),
+            GuardVerdict::Proceed
+        );
+        assert!(matches!(
+            ConvergenceGuard::check_finite(&[1.0, f64::INFINITY], 3),
+            GuardVerdict::Halt(DivergenceCause::NonFiniteIterate { at_iter: 3 })
+        ));
+    }
+
+    #[test]
+    fn best_at_tracks_minimum() {
+        let mut g = ConvergenceGuard::new(GuardConfig::contamination_only());
+        for r in [5.0, 2.0, 3.0, 1.0, 4.0] {
+            let _ = g.observe(r);
+        }
+        assert_eq!(g.best(), 1.0);
+        assert_eq!(g.best_at(), 3);
+    }
+}

@@ -1,0 +1,408 @@
+//! Structured solver outcomes: converged, budget-exhausted with a
+//! quality certificate, or diverged with a cause.
+
+use crate::budget::Exhaustion;
+use crate::diagnostics::Diagnostics;
+
+/// Why an iteration was halted as diverged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DivergenceCause {
+    /// The scalar residual became NaN or infinite.
+    NonFiniteResidual {
+        /// Iteration at which contamination was observed.
+        at_iter: usize,
+    },
+    /// The iterate vector itself contains NaN or infinite entries.
+    NonFiniteIterate {
+        /// Iteration at which contamination was observed.
+        at_iter: usize,
+    },
+    /// The residual blew up far past the best value achieved.
+    ResidualBlowup {
+        /// Iteration at which the blow-up was observed.
+        at_iter: usize,
+        /// The offending residual.
+        residual: f64,
+        /// Best residual previously achieved.
+        best: f64,
+    },
+    /// No meaningful progress over a whole observation window.
+    Stagnation {
+        /// Iteration at which stagnation was declared.
+        at_iter: usize,
+        /// Window length that saw no progress.
+        window: usize,
+    },
+    /// A structural breakdown specific to the method (e.g. a Lanczos
+    /// β collapse that full reorthogonalization could not repair, or a
+    /// CG direction with nonpositive curvature).
+    Breakdown {
+        /// Iteration at which the breakdown occurred.
+        at_iter: usize,
+        /// Method-specific description.
+        what: &'static str,
+    },
+}
+
+impl DivergenceCause {
+    /// Iteration index at which the failure was detected.
+    pub fn at_iter(&self) -> usize {
+        match *self {
+            DivergenceCause::NonFiniteResidual { at_iter }
+            | DivergenceCause::NonFiniteIterate { at_iter }
+            | DivergenceCause::ResidualBlowup { at_iter, .. }
+            | DivergenceCause::Stagnation { at_iter, .. }
+            | DivergenceCause::Breakdown { at_iter, .. } => at_iter,
+        }
+    }
+}
+
+impl std::fmt::Display for DivergenceCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DivergenceCause::NonFiniteResidual { at_iter } => {
+                write!(f, "non-finite residual at iteration {at_iter}")
+            }
+            DivergenceCause::NonFiniteIterate { at_iter } => {
+                write!(f, "non-finite iterate at iteration {at_iter}")
+            }
+            DivergenceCause::ResidualBlowup {
+                at_iter,
+                residual,
+                best,
+            } => write!(
+                f,
+                "residual blow-up at iteration {at_iter}: {residual:.3e} vs best {best:.3e}"
+            ),
+            DivergenceCause::Stagnation { at_iter, window } => write!(
+                f,
+                "stagnation: no progress over {window} iterations (declared at {at_iter})"
+            ),
+            DivergenceCause::Breakdown { at_iter, what } => {
+                write!(f, "method breakdown at iteration {at_iter}: {what}")
+            }
+        }
+    }
+}
+
+/// A computable quality bound attached to a truncated result.
+///
+/// Per the paper, the truncated iterate *is* the (implicitly
+/// regularized) answer; the certificate quantifies how far from the
+/// un-regularized limit it can be, in the natural metric of the method
+/// that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Certificate {
+    /// Relative residual norm at the returned iterate: for a linear
+    /// solve, `‖A x − b‖ / ‖b‖ ≤ value`.
+    ResidualNorm {
+        /// The residual bound.
+        value: f64,
+    },
+    /// An eigenvalue enclosure: some true eigenvalue of the operator
+    /// lies within `radius` of `center` (e.g. Rayleigh quotient ±
+    /// eigen-residual norm, by symmetric perturbation theory).
+    RayleighInterval {
+        /// Rayleigh quotient of the returned vector.
+        center: f64,
+        /// Enclosure radius `‖A v − θ v‖₂` for the unit vector `v`.
+        radius: f64,
+    },
+    /// Local diffusion bound: un-pushed residual mass `remaining`
+    /// guarantees per-node error ≤ `per_degree_bound × deg(u)` (the
+    /// ACL push invariant).
+    ResidualMass {
+        /// Residual mass not yet distributed.
+        remaining: f64,
+        /// Per-unit-degree error bound (the ε of the push loop).
+        per_degree_bound: f64,
+    },
+    /// Flow duality gap: the returned flow has `value`, and any flow —
+    /// including the max — is bounded above by the witnessed cut
+    /// capacity `upper_bound`.
+    FlowGap {
+        /// Flow value achieved so far (a feasible lower bound).
+        value: f64,
+        /// Capacity of a witnessed cut (an upper bound on the max flow).
+        upper_bound: f64,
+    },
+}
+
+impl Certificate {
+    /// The scalar slack of the certificate: how far the result can be
+    /// from the exact answer, in the method's own metric. Zero means
+    /// exact.
+    pub fn slack(&self) -> f64 {
+        match *self {
+            Certificate::ResidualNorm { value } => value,
+            Certificate::RayleighInterval { radius, .. } => radius,
+            Certificate::ResidualMass { remaining, .. } => remaining,
+            Certificate::FlowGap { value, upper_bound } => (upper_bound - value).max(0.0),
+        }
+    }
+}
+
+impl std::fmt::Display for Certificate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Certificate::ResidualNorm { value } => write!(f, "relative residual ≤ {value:.3e}"),
+            Certificate::RayleighInterval { center, radius } => {
+                write!(
+                    f,
+                    "eigenvalue in [{:.6e}, {:.6e}]",
+                    center - radius,
+                    center + radius
+                )
+            }
+            Certificate::ResidualMass {
+                remaining,
+                per_degree_bound,
+            } => write!(
+                f,
+                "residual mass {remaining:.3e}, per-degree error ≤ {per_degree_bound:.3e}"
+            ),
+            Certificate::FlowGap { value, upper_bound } => {
+                write!(f, "flow {value:.6e} ≤ max-flow ≤ {upper_bound:.6e}")
+            }
+        }
+    }
+}
+
+/// How an iterative run ended.
+///
+/// The three-way split is the crate's core contract: *usable* results
+/// (`Converged`, `BudgetExhausted`) always carry a value, and
+/// budget-exhausted values always carry a [`Certificate`]; *unusable*
+/// runs (`Diverged`) never leak a poisoned value. All three carry
+/// [`Diagnostics`].
+#[derive(Debug, Clone)]
+pub enum SolverOutcome<T> {
+    /// The method met its own convergence criterion.
+    Converged {
+        /// The converged result.
+        value: T,
+        /// Run diagnostics.
+        diagnostics: Diagnostics,
+    },
+    /// A budget axis ran out first; the best iterate found is returned
+    /// as a certified partial result.
+    BudgetExhausted {
+        /// Best iterate at exhaustion (the regularized answer).
+        best_so_far: T,
+        /// Which axis ran out.
+        exhausted: Exhaustion,
+        /// Quality bound for `best_so_far`.
+        certificate: Certificate,
+        /// Run diagnostics.
+        diagnostics: Diagnostics,
+    },
+    /// The iteration was halted as unrecoverable; no value is returned.
+    Diverged {
+        /// Iteration at which the run was halted.
+        at_iter: usize,
+        /// What went wrong.
+        cause: DivergenceCause,
+        /// Run diagnostics.
+        diagnostics: Diagnostics,
+    },
+}
+
+impl<T> SolverOutcome<T> {
+    /// Build a `Diverged` outcome from its cause.
+    ///
+    /// The cause is also recorded in the diagnostics event trail, so a
+    /// divergence is never silent even when the solver noted nothing
+    /// else along the way.
+    pub fn diverged(cause: DivergenceCause, mut diagnostics: Diagnostics) -> Self {
+        diagnostics.note(format!("diverged: {cause}"));
+        SolverOutcome::Diverged {
+            at_iter: cause.at_iter(),
+            cause,
+            diagnostics,
+        }
+    }
+
+    /// Did the method meet its own convergence criterion?
+    pub fn is_converged(&self) -> bool {
+        matches!(self, SolverOutcome::Converged { .. })
+    }
+
+    /// Is there a value at all (converged or certified-partial)?
+    pub fn is_usable(&self) -> bool {
+        !matches!(self, SolverOutcome::Diverged { .. })
+    }
+
+    /// The value, if usable.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            SolverOutcome::Converged { value, .. } => Some(value),
+            SolverOutcome::BudgetExhausted { best_so_far, .. } => Some(best_so_far),
+            SolverOutcome::Diverged { .. } => None,
+        }
+    }
+
+    /// The value by move, if usable.
+    pub fn into_value(self) -> Option<T> {
+        match self {
+            SolverOutcome::Converged { value, .. } => Some(value),
+            SolverOutcome::BudgetExhausted { best_so_far, .. } => Some(best_so_far),
+            SolverOutcome::Diverged { .. } => None,
+        }
+    }
+
+    /// The certificate carried by a budget-exhausted result.
+    pub fn certificate(&self) -> Option<&Certificate> {
+        match self {
+            SolverOutcome::BudgetExhausted { certificate, .. } => Some(certificate),
+            _ => None,
+        }
+    }
+
+    /// Diagnostics of the run, however it ended.
+    pub fn diagnostics(&self) -> &Diagnostics {
+        match self {
+            SolverOutcome::Converged { diagnostics, .. }
+            | SolverOutcome::BudgetExhausted { diagnostics, .. }
+            | SolverOutcome::Diverged { diagnostics, .. } => diagnostics,
+        }
+    }
+
+    /// Mutable diagnostics access (used by retry policies to annotate).
+    pub fn diagnostics_mut(&mut self) -> &mut Diagnostics {
+        match self {
+            SolverOutcome::Converged { diagnostics, .. }
+            | SolverOutcome::BudgetExhausted { diagnostics, .. }
+            | SolverOutcome::Diverged { diagnostics, .. } => diagnostics,
+        }
+    }
+
+    /// Map the carried value, preserving the outcome shape.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> SolverOutcome<U> {
+        match self {
+            SolverOutcome::Converged { value, diagnostics } => SolverOutcome::Converged {
+                value: f(value),
+                diagnostics,
+            },
+            SolverOutcome::BudgetExhausted {
+                best_so_far,
+                exhausted,
+                certificate,
+                diagnostics,
+            } => SolverOutcome::BudgetExhausted {
+                best_so_far: f(best_so_far),
+                exhausted,
+                certificate,
+                diagnostics,
+            },
+            SolverOutcome::Diverged {
+                at_iter,
+                cause,
+                diagnostics,
+            } => SolverOutcome::Diverged {
+                at_iter,
+                cause,
+                diagnostics,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    fn diags() -> Diagnostics {
+        let mut d = Diagnostics::new();
+        d.push_residual(0.5);
+        d
+    }
+
+    #[test]
+    fn accessors_follow_the_contract() {
+        let c: SolverOutcome<u32> = SolverOutcome::Converged {
+            value: 7,
+            diagnostics: diags(),
+        };
+        assert!(c.is_converged() && c.is_usable());
+        assert_eq!(c.value(), Some(&7));
+        assert!(c.certificate().is_none());
+
+        let b: SolverOutcome<u32> = SolverOutcome::BudgetExhausted {
+            best_so_far: 3,
+            exhausted: Exhaustion::Work,
+            certificate: Certificate::ResidualNorm { value: 1e-2 },
+            diagnostics: diags(),
+        };
+        assert!(!b.is_converged() && b.is_usable());
+        assert_eq!(b.certificate().map(Certificate::slack), Some(1e-2));
+        assert_eq!(b.into_value(), Some(3));
+
+        let d: SolverOutcome<u32> =
+            SolverOutcome::diverged(DivergenceCause::NonFiniteResidual { at_iter: 4 }, diags());
+        assert!(!d.is_usable());
+        assert_eq!(d.value(), None);
+        assert_eq!(d.diagnostics().residuals.len(), 1);
+        match d {
+            SolverOutcome::Diverged { at_iter, .. } => assert_eq!(at_iter, 4),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let b: SolverOutcome<u32> = SolverOutcome::BudgetExhausted {
+            best_so_far: 3,
+            exhausted: Exhaustion::Iterations,
+            certificate: Certificate::ResidualMass {
+                remaining: 0.2,
+                per_degree_bound: 1e-4,
+            },
+            diagnostics: diags(),
+        };
+        let mapped = b.map(|v| v * 2);
+        assert_eq!(mapped.value(), Some(&6));
+        assert!(matches!(
+            mapped.certificate(),
+            Some(Certificate::ResidualMass { .. })
+        ));
+    }
+
+    #[test]
+    fn certificate_slack_semantics() {
+        assert_eq!(Certificate::ResidualNorm { value: 0.5 }.slack(), 0.5);
+        assert_eq!(
+            Certificate::FlowGap {
+                value: 3.0,
+                upper_bound: 5.0
+            }
+            .slack(),
+            2.0
+        );
+        assert_eq!(
+            Certificate::RayleighInterval {
+                center: 1.0,
+                radius: 0.25
+            }
+            .slack(),
+            0.25
+        );
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let s = DivergenceCause::ResidualBlowup {
+            at_iter: 9,
+            residual: 1e3,
+            best: 1e-3,
+        }
+        .to_string();
+        assert!(s.contains("iteration 9"));
+        let s = Certificate::FlowGap {
+            value: 1.0,
+            upper_bound: 2.0,
+        }
+        .to_string();
+        assert!(s.contains("max-flow"));
+    }
+}

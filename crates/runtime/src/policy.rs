@@ -1,0 +1,154 @@
+//! Retry-with-escalation: a small, reusable shell around "attempt,
+//! and on divergence try the next-stronger variant".
+
+use crate::outcome::SolverOutcome;
+
+/// Bounded retry loop for solvers with known escalation ladders.
+///
+/// Each attempt is a closure receiving the 0-based attempt index; the
+/// closure encodes the ladder — e.g. for Lanczos: attempt 0 is the
+/// plain run, attempt 1 restarts with a perturbed seed, attempt 2
+/// switches to full reorthogonalization of everything. A new attempt is
+/// made only when the previous one *diverged* (budget exhaustion is a
+/// legitimate answer and is returned as-is; retrying it would just
+/// spend the same budget again).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts allowed (including the first). `1` disables
+    /// retries.
+    pub max_attempts: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 3 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        Self { max_attempts: 1 }
+    }
+
+    /// A policy allowing `n` total attempts.
+    pub fn attempts(n: usize) -> Self {
+        Self {
+            max_attempts: n.max(1),
+        }
+    }
+
+    /// Run `attempt(k)` for `k = 0, 1, …` until it converges, exhausts
+    /// its budget, errors, or the attempt limit is reached. Divergence
+    /// of the final attempt is returned as-is. The returned outcome's
+    /// diagnostics record the number of escalations in
+    /// [`crate::Diagnostics::restarts`] and an event per retry.
+    pub fn run<T, E>(
+        &self,
+        mut attempt: impl FnMut(usize) -> Result<SolverOutcome<T>, E>,
+    ) -> Result<SolverOutcome<T>, E> {
+        let attempts = self.max_attempts.max(1);
+        // Event trail carried across attempts, so the surviving outcome
+        // tells the full escalation story.
+        let mut events: Vec<String> = Vec::new();
+        let mut k = 0;
+        loop {
+            let mut outcome = attempt(k)?;
+            outcome.diagnostics_mut().restarts = k;
+            let mut all = std::mem::take(&mut events);
+            all.extend(std::mem::take(&mut outcome.diagnostics_mut().events));
+            outcome.diagnostics_mut().events = all;
+            match &outcome {
+                SolverOutcome::Diverged { cause, .. } if k + 1 < attempts => {
+                    let note = format!("attempt {k} diverged ({cause}); escalating");
+                    events = std::mem::take(&mut outcome.diagnostics_mut().events);
+                    events.push(note);
+                    k += 1;
+                }
+                _ => return Ok(outcome),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::diagnostics::Diagnostics;
+    use crate::outcome::DivergenceCause;
+
+    fn diverged<T>() -> SolverOutcome<T> {
+        SolverOutcome::diverged(
+            DivergenceCause::NonFiniteResidual { at_iter: 1 },
+            Diagnostics::new(),
+        )
+    }
+
+    fn converged(v: u32) -> SolverOutcome<u32> {
+        SolverOutcome::Converged {
+            value: v,
+            diagnostics: Diagnostics::new(),
+        }
+    }
+
+    #[test]
+    fn first_success_returns_immediately() {
+        let mut calls = 0;
+        let out: Result<_, ()> = RetryPolicy::default().run(|k| {
+            calls += 1;
+            assert_eq!(k, 0);
+            Ok(converged(9))
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(out.unwrap().value(), Some(&9));
+    }
+
+    #[test]
+    fn divergence_escalates_then_succeeds() {
+        let out: Result<_, ()> = RetryPolicy::attempts(3).run(|k| {
+            Ok(if k < 2 {
+                diverged()
+            } else {
+                converged(k as u32)
+            })
+        });
+        let out = out.unwrap();
+        assert_eq!(out.value(), Some(&2));
+        assert_eq!(out.diagnostics().restarts, 2);
+        assert!(!out.diagnostics().events.is_empty());
+    }
+
+    #[test]
+    fn persistent_divergence_is_returned() {
+        let mut calls = 0;
+        let out: Result<SolverOutcome<u32>, ()> = RetryPolicy::attempts(3).run(|_| {
+            calls += 1;
+            Ok(diverged())
+        });
+        assert_eq!(calls, 3);
+        assert!(!out.unwrap().is_usable());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_not_retried() {
+        let mut calls = 0;
+        let out: Result<SolverOutcome<u32>, ()> = RetryPolicy::attempts(5).run(|_| {
+            calls += 1;
+            Ok(SolverOutcome::BudgetExhausted {
+                best_so_far: 1,
+                exhausted: crate::budget::Exhaustion::Work,
+                certificate: crate::outcome::Certificate::ResidualNorm { value: 0.1 },
+                diagnostics: Diagnostics::new(),
+            })
+        });
+        assert_eq!(calls, 1);
+        assert!(out.unwrap().is_usable());
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let out: Result<SolverOutcome<u32>, &str> = RetryPolicy::default().run(|_| Err("boom"));
+        assert_eq!(out.unwrap_err(), "boom");
+    }
+}

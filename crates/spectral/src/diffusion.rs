@@ -20,8 +20,9 @@ use crate::laplacian::{normalized_laplacian, random_walk_matrix};
 use crate::{Result, SpectralError};
 use acir_graph::{Graph, NodeId};
 use acir_linalg::expm::expm_multiply;
-use acir_linalg::solve::{cg, CgOptions};
+use acir_linalg::solve::{cg, cg_budgeted, CgOptions};
 use acir_linalg::{vector, CsrMatrix, LinOp};
+use acir_runtime::{Budget, Diagnostics, SolverOutcome};
 
 /// Seed ("charge") distributions for diffusions.
 #[derive(Debug, Clone)]
@@ -139,6 +140,23 @@ pub fn heat_kernel_chebyshev(g: &Graph, t: f64, seed: &Seed, degree: usize) -> R
     )?)
 }
 
+/// The symmetrized PageRank system operator `I − (1−γ)·𝒜`.
+struct SysOp<'a> {
+    a: &'a CsrMatrix,
+    c: f64,
+}
+impl LinOp for SysOp<'_> {
+    fn dim(&self) -> usize {
+        self.a.nrows()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.a.matvec(x, y);
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = *xi - self.c * *yi;
+        }
+    }
+}
+
 /// Exact PageRank vector `R_γ s = γ(I − (1−γ)M)^{−1} s` (paper Eq. (2)),
 /// via the symmetrized SPD system solved with conjugate gradient:
 ///
@@ -167,21 +185,6 @@ pub fn pagerank(g: &Graph, gamma: f64, seed: &Seed) -> Result<Vec<f64>> {
 
     // System operator: I − (1−γ)·𝒜.
     let a_norm = crate::laplacian::normalized_adjacency(g);
-    struct SysOp<'a> {
-        a: &'a CsrMatrix,
-        c: f64,
-    }
-    impl LinOp for SysOp<'_> {
-        fn dim(&self) -> usize {
-            self.a.nrows()
-        }
-        fn apply(&self, x: &[f64], y: &mut [f64]) {
-            self.a.matvec(x, y);
-            for (yi, xi) in y.iter_mut().zip(x) {
-                *yi = *xi - self.c * *yi;
-            }
-        }
-    }
     let op = SysOp {
         a: &a_norm,
         c: 1.0 - gamma,
@@ -201,6 +204,98 @@ pub fn pagerank(g: &Graph, gamma: f64, seed: &Seed) -> Result<Vec<f64>> {
         ));
     }
     Ok(res.x.iter().zip(&sqrt_d).map(|(y, d)| y * d).collect())
+}
+
+/// Budgeted variant of [`pagerank`]: the same symmetrized CG solve
+/// under a resource [`Budget`], returning a structured
+/// [`SolverOutcome`].
+///
+/// On exhaustion the best CG iterate is mapped back through
+/// `x = D^{1/2} y` and returned with its
+/// [`acir_runtime::Certificate::ResidualNorm`] — the relative residual
+/// of the *symmetrized* system, which bounds the PageRank error up to
+/// the conditioning of `D^{1/2}`. Early-truncated PageRank is exactly
+/// the paper's regularized approximation, so a budget here is an
+/// aggressiveness knob, not a failure mode.
+pub fn pagerank_budgeted(
+    g: &Graph,
+    gamma: f64,
+    seed: &Seed,
+    budget: &Budget,
+) -> Result<SolverOutcome<Vec<f64>>> {
+    if !(0.0 < gamma && gamma <= 1.0) {
+        return Err(SpectralError::InvalidArgument(format!(
+            "pagerank needs gamma in (0, 1], got {gamma}"
+        )));
+    }
+    if g.degrees().iter().any(|&d| d <= 0.0) {
+        return Err(SpectralError::InvalidArgument(
+            "pagerank requires positive degrees (no isolated nodes)".into(),
+        ));
+    }
+    let s = seed.to_vector(g)?;
+    if gamma == 1.0 {
+        let mut diags = Diagnostics::new();
+        diags.note("gamma = 1: PageRank is the seed itself");
+        return Ok(SolverOutcome::Converged {
+            value: s,
+            diagnostics: diags,
+        });
+    }
+    let n = g.n();
+    let sqrt_d: Vec<f64> = g.degrees().iter().map(|&d| d.sqrt()).collect();
+    let a_norm = crate::laplacian::normalized_adjacency(g);
+    let op = SysOp {
+        a: &a_norm,
+        c: 1.0 - gamma,
+    };
+    let b: Vec<f64> = (0..n).map(|i| gamma * s[i] / sqrt_d[i]).collect();
+    let opts = CgOptions {
+        max_iters: 10_000,
+        tol: 1e-12,
+    };
+    let out = cg_budgeted(&op, &b, &vec![0.0; n], &opts, budget)?;
+    Ok(out.map(|res| res.x.iter().zip(&sqrt_d).map(|(y, d)| y * d).collect()))
+}
+
+/// Budgeted variant of [`heat_kernel_chebyshev`]: the same Chebyshev
+/// evaluation under a resource [`Budget`].
+///
+/// Exhaustion returns the series truncated at the last affordable
+/// degree with an [`acir_runtime::Certificate::ResidualNorm`] bounding
+/// the dropped Chebyshev tail (`Σ_{k>d} |c_k| · ‖s‖`); NaN injection in
+/// the operator surfaces as a structured `Diverged`, never a poisoned
+/// vector.
+pub fn heat_kernel_chebyshev_budgeted(
+    g: &Graph,
+    t: f64,
+    seed: &Seed,
+    degree: usize,
+    budget: &Budget,
+) -> Result<SolverOutcome<Vec<f64>>> {
+    if !(t >= 0.0 && t.is_finite()) {
+        return Err(SpectralError::InvalidArgument(format!(
+            "heat kernel time must be nonnegative, got {t}"
+        )));
+    }
+    let s = seed.to_vector(g)?;
+    if t == 0.0 {
+        let mut diags = Diagnostics::new();
+        diags.note("t = 0: heat kernel is the identity");
+        return Ok(SolverOutcome::Converged {
+            value: s,
+            diagnostics: diags,
+        });
+    }
+    let nl = normalized_laplacian(g);
+    Ok(acir_linalg::chebyshev::cheb_heat_kernel_budgeted(
+        &nl,
+        t,
+        &s,
+        2.0,
+        degree.max(1),
+        budget,
+    )?)
 }
 
 /// Truncated iterative PageRank: `x ← γs + (1−γ)Mx` for `iters`
@@ -399,6 +494,53 @@ mod tests {
         let (x_long, _) = pagerank_power(&g, 0.05, &Seed::Node(0), 500).unwrap();
         assert!(tv_distance(&x_long, &exact) < tv_distance(&x, &exact));
         assert!(tv_distance(&x_long, &exact) < 1e-9);
+    }
+
+    #[test]
+    fn pagerank_budgeted_unlimited_matches_plain() {
+        let g = barbell(4, 1).unwrap();
+        let out = pagerank_budgeted(&g, 0.2, &Seed::Node(0), &Budget::unlimited()).unwrap();
+        assert!(out.is_converged());
+        let exact = pagerank(&g, 0.2, &Seed::Node(0)).unwrap();
+        assert!(vector::dist2(out.value().unwrap(), &exact) < 1e-9);
+        // gamma = 1 short-circuits.
+        let one = pagerank_budgeted(&g, 1.0, &Seed::Node(2), &Budget::iterations(1)).unwrap();
+        assert!(one.is_converged());
+        assert_eq!(one.value().unwrap()[2], 1.0);
+    }
+
+    #[test]
+    fn pagerank_budgeted_exhaustion_is_certified_partial() {
+        let g = path(50).unwrap();
+        let out = pagerank_budgeted(&g, 0.01, &Seed::Node(0), &Budget::iterations(3)).unwrap();
+        assert!(!out.is_converged() && out.is_usable());
+        let slack = out.certificate().unwrap().slack();
+        assert!(slack > 0.0 && slack.is_finite());
+        // The partial iterate is still seed-biased — a usable
+        // regularized answer, per the paper.
+        let x = out.value().unwrap();
+        assert!(x[0] > x[25]);
+    }
+
+    #[test]
+    fn heat_kernel_chebyshev_budgeted_matches_and_degrades() {
+        let g = barbell(5, 2).unwrap();
+        let t = 1.9;
+        let out = heat_kernel_chebyshev_budgeted(&g, t, &Seed::Node(2), 50, &Budget::unlimited())
+            .unwrap();
+        assert!(out.is_converged());
+        let plain = heat_kernel_chebyshev(&g, t, &Seed::Node(2), 50).unwrap();
+        assert!(vector::dist2(out.value().unwrap(), &plain) < 1e-12);
+        // Starve it: partial series with a finite tail bound.
+        let starved =
+            heat_kernel_chebyshev_budgeted(&g, t, &Seed::Node(2), 50, &Budget::work(4)).unwrap();
+        assert!(!starved.is_converged() && starved.is_usable());
+        let slack = starved.certificate().unwrap().slack();
+        let err = vector::dist2(starved.value().unwrap(), &plain);
+        assert!(
+            err <= slack + 1e-9,
+            "error {err} exceeds tail bound {slack}"
+        );
     }
 
     #[test]

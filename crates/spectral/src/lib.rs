@@ -36,10 +36,11 @@ pub mod ranking;
 pub mod streaming;
 
 pub use diffusion::{
-    heat_kernel, heat_kernel_chebyshev, lazy_walk, pagerank, pagerank_power, Seed,
+    heat_kernel, heat_kernel_chebyshev, heat_kernel_chebyshev_budgeted, lazy_walk, pagerank,
+    pagerank_budgeted, pagerank_power, Seed,
 };
 pub use embedding::{adjusted_rand_index, kmeans, spectral_clustering, spectral_embedding};
-pub use fiedler::{fiedler_vector, FiedlerResult};
+pub use fiedler::{fiedler_vector, fiedler_vector_budgeted, FiedlerResult};
 pub use laplacian::{
     adjacency_matrix, combinatorial_laplacian, lazy_walk_matrix, normalized_adjacency,
     normalized_laplacian, random_walk_matrix, trivial_eigenvector,

@@ -57,16 +57,18 @@ fn main() {
     for (name, pts) in [("spectral", &spectral), ("flow", &flow)] {
         for p in pts.iter() {
             let nice = cluster_niceness(&g, &p.set, 24).expect("niceness");
-            table.row(vec![
-                name.into(),
-                p.size.to_string(),
-                fmt_f(p.conductance),
-                nice.avg_shortest_path
-                    .map(fmt_f)
-                    .unwrap_or_else(|| "-".into()),
-                fmt_f(nice.ratio),
-                nice.connected.to_string(),
-            ]);
+            table
+                .row(vec![
+                    name.into(),
+                    p.size.to_string(),
+                    fmt_f(p.conductance),
+                    nice.avg_shortest_path
+                        .map(fmt_f)
+                        .unwrap_or_else(|| "-".into()),
+                    fmt_f(nice.ratio),
+                    nice.connected.to_string(),
+                ])
+                .expect("table row");
         }
     }
     println!("\n{table}");

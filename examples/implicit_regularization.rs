@@ -36,14 +36,16 @@ fn main() {
             "Tr(X ln X)".into(),
             fmt_f(eta),
             fmt_f(hk.relative_error),
-        ]);
+        ])
+        .expect("table row");
         let pr = check_pagerank(&sp, eta).expect("pr");
         t.row(vec![
             "PageRank".into(),
             "-ln det X".into(),
             fmt_f(eta),
             fmt_f(pr.relative_error),
-        ]);
+        ])
+        .expect("table row");
     }
     let lazy_eta = lazy_walk_eta_limit(&sp, 3).expect("limit") * 0.5;
     let lw = check_lazy_walk(&sp, lazy_eta, 3).expect("lw");
@@ -52,7 +54,8 @@ fn main() {
         "Tr(X^p)/p".into(),
         fmt_f(lazy_eta),
         fmt_f(lw.relative_error),
-    ]);
+    ])
+    .expect("table row");
     println!("{t}");
 
     // 2. Aggressiveness as regularization strength.
@@ -71,7 +74,8 @@ fn main() {
             fmt_f(eta),
             fmt_f(effective_rank(&sol.x)),
             fmt_f(tv_distance(&a, &b)),
-        ]);
+        ])
+        .expect("table row");
     }
     println!("{t}");
 
@@ -92,7 +96,8 @@ fn main() {
         let lam = 1.0 / (k as f64 * step);
         let r = ridge(&a, &b, lam).expect("ridge");
         let gap = vector::dist2(&path[k], &r) / vector::norm2(&r);
-        t.row(vec![k.to_string(), fmt_f(lam), fmt_f(gap)]);
+        t.row(vec![k.to_string(), fmt_f(lam), fmt_f(gap)])
+            .expect("table row");
     }
     println!("{t}");
     println!(

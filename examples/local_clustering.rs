@@ -39,49 +39,57 @@ fn main() {
 
     let push = ppr_push(&g, &[seed], 0.05, 1e-5).expect("push");
     let cut = sweep_cut_support(&g, &push.to_dense(g.n()));
-    table.row(vec![
-        "push (ACL)".into(),
-        push.touched.to_string(),
-        fmt_f(cut.conductance),
-        fmt_f(overlap(&cut.set)),
-        format!(
-            "{} pushes, residual {:.1e}",
-            push.pushes, push.residual_mass
-        ),
-    ]);
+    table
+        .row(vec![
+            "push (ACL)".into(),
+            push.touched.to_string(),
+            fmt_f(cut.conductance),
+            fmt_f(overlap(&cut.set)),
+            format!(
+                "{} pushes, residual {:.1e}",
+                push.pushes, push.residual_mass
+            ),
+        ])
+        .expect("table row");
 
     let nib = nibble(&g, seed, 50, 1e-5).expect("nibble");
-    table.row(vec![
-        "nibble (ST)".into(),
-        nib.max_support.to_string(),
-        fmt_f(nib.conductance),
-        fmt_f(overlap(&nib.set)),
-        format!(
-            "best at step {}, mass lost {:.1e}",
-            nib.best_step, nib.mass_lost
-        ),
-    ]);
+    table
+        .row(vec![
+            "nibble (ST)".into(),
+            nib.max_support.to_string(),
+            fmt_f(nib.conductance),
+            fmt_f(overlap(&nib.set)),
+            format!(
+                "best at step {}, mass lost {:.1e}",
+                nib.best_step, nib.mass_lost
+            ),
+        ])
+        .expect("table row");
 
     let hk = hk_relax(&g, seed, 8.0, 1e-5, 1e-4).expect("hk");
     let hk_cut = sweep_cut_support(&g, &hk.to_dense(g.n()));
-    table.row(vec![
-        "hk-relax (Chung)".into(),
-        hk.touched.to_string(),
-        fmt_f(hk_cut.conductance),
-        fmt_f(overlap(&hk_cut.set)),
-        format!("{} Taylor terms", hk.terms),
-    ]);
+    table
+        .row(vec![
+            "hk-relax (Chung)".into(),
+            hk.touched.to_string(),
+            fmt_f(hk_cut.conductance),
+            fmt_f(overlap(&hk_cut.set)),
+            format!("{} Taylor terms", hk.terms),
+        ])
+        .expect("table row");
 
     let mov = mov_vector(&g, &[seed], -1.0).expect("mov");
     let emb = mov_embedding(&g, &mov);
     let mov_cut = sweep_cut(&g, &emb);
-    table.row(vec![
-        "MOV (optimization)".into(),
-        mov.touched.to_string(),
-        fmt_f(mov_cut.conductance),
-        fmt_f(overlap(&mov_cut.set)),
-        format!("{} CG iterations over the whole graph", mov.cg_iterations),
-    ]);
+    table
+        .row(vec![
+            "MOV (optimization)".into(),
+            mov.touched.to_string(),
+            fmt_f(mov_cut.conductance),
+            fmt_f(overlap(&mov_cut.set)),
+            format!("{} CG iterations over the whole graph", mov.cg_iterations),
+        ])
+        .expect("table row");
 
     println!("\n{table}");
     println!(

@@ -54,13 +54,15 @@ fn main() {
         let emb = mov_embedding(&g, &mov);
         let cut = sweep_cut(&g, &emb);
         let hits = cut.set.iter().filter(|&&u| truth[u as usize] == 2).count();
-        table.row(vec![
-            fmt_f(gamma),
-            cut.set.len().to_string(),
-            fmt_f(cut.conductance),
-            fmt_f(hits as f64 / cut.set.len().max(1) as f64),
-            fmt_f(hits as f64 / block_size as f64),
-        ]);
+        table
+            .row(vec![
+                fmt_f(gamma),
+                cut.set.len().to_string(),
+                fmt_f(cut.conductance),
+                fmt_f(hits as f64 / cut.set.len().max(1) as f64),
+                fmt_f(hits as f64 / block_size as f64),
+            ])
+            .expect("table row");
     }
     println!("{table}");
     println!(

@@ -35,13 +35,15 @@ fn main() {
     ]);
     for walkers in [1_000usize, 10_000, 100_000] {
         let est = streaming_pagerank_of_graph(&g, 0.15, walkers, 120, &mut rng).expect("stream");
-        table.row(vec![
-            walkers.to_string(),
-            est.passes.to_string(),
-            est.peak_memory_slots.to_string(),
-            fmt_f(kendall_tau(&exact, &est.scores)),
-            fmt_f(top_k_overlap(&exact, &est.scores, 20)),
-        ]);
+        table
+            .row(vec![
+                walkers.to_string(),
+                est.passes.to_string(),
+                est.peak_memory_slots.to_string(),
+                fmt_f(kendall_tau(&exact, &est.scores)),
+                fmt_f(top_k_overlap(&exact, &est.scores, 20)),
+            ])
+            .expect("table row");
     }
     println!("{table}");
     println!(

@@ -1,0 +1,64 @@
+//! Offline stand-in for the one `crossbeam` entry point this workspace
+//! uses: `crossbeam::scope`, implemented over [`std::thread::scope`]
+//! (stable since Rust 1.63, within the workspace MSRV).
+//!
+//! Behavior difference from upstream: a panicking worker propagates at
+//! scope exit (std semantics) instead of surfacing as `Err`; the `Ok`
+//! path — the only one workspace code relies on for results — is
+//! identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+
+/// Scope handle passed to the `crossbeam::scope` closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Placeholder passed to spawned closures (upstream passes `&Scope`;
+/// every workspace call site ignores it with `|_|`).
+#[derive(Debug, Clone, Copy)]
+pub struct NestedScope;
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped worker thread.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(NestedScope) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(NestedScope))
+    }
+}
+
+/// Run `f` with a scope in which borrowing, scoped threads can be
+/// spawned; all workers are joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_merge_borrowed_state() {
+        let data = [1u64, 2, 3, 4];
+        let sums = std::sync::Mutex::new(Vec::new());
+        super::scope(|scope| {
+            for chunk in data.chunks(2) {
+                let sums = &sums;
+                scope.spawn(move |_| {
+                    sums.lock().unwrap().push(chunk.iter().sum::<u64>());
+                });
+            }
+        })
+        .unwrap();
+        let mut got = sums.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 7]);
+    }
+}

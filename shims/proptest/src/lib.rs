@@ -1,0 +1,214 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses.
+//!
+//! The build environment has no network access, so the workspace replaces
+//! `proptest` with this shim via a path dependency. It implements random
+//! (non-shrinking) property testing with the same surface syntax:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(...)]` header, `pat in strategy` arguments, and
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assume!` inside bodies;
+//! * numeric [`Range`](core::ops::Range) strategies, tuples of
+//!   strategies, [`Just`], `prop_map` / `prop_filter` / `prop_flat_map`
+//!   combinators, and [`collection::vec`].
+//!
+//! Differences from upstream: failures are *not* shrunk (the failing
+//! input is printed as-is via the panic message) and the
+//! `proptest-regressions` corpus files are ignored. Case counts and the
+//! deterministic per-test seed keep runs reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection;
+
+/// Everything call sites conventionally import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Deterministic pseudo-random source for sampling (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from a test name.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `u64` in `[0, span)`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The `proptest!` macro: a block of `#[test]` functions whose arguments
+/// are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = cfg.cases.saturating_mul(100).max(1000);
+                while accepted < cfg.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest shim: too many rejected samples in {} ({} accepted of {} wanted)",
+                        stringify!($name), accepted, cfg.cases,
+                    );
+                    $(
+                        let sampled = match $crate::strategy::Strategy::try_sample(&($strat), &mut rng) {
+                            Some(v) => v,
+                            None => continue,
+                        };
+                        let $arg = sampled;
+                    )*
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                        (|| { $body Ok(()) })();
+                    if outcome.is_ok() {
+                        accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),*) $body)*
+        }
+    };
+}
+
+/// Assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2i32..2, f in -1.0..1.0f64) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2..2).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn map_filter_flat_map_compose((n, v) in (1usize..8).prop_flat_map(|n| {
+            (Just(n), collection::vec(0.0..1.0f64, n))
+        })) {
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn assume_discards_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn mapped_strategies_apply(x in evens()) {
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn tuple_destructuring_works((a, b) in (0u32..5, 5u32..10)) {
+            prop_assert!(a < 5 && (5..10).contains(&b));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_also_works(x in 0u64..u64::MAX) {
+            prop_assert!(x < u64::MAX);
+        }
+    }
+
+    #[test]
+    fn filter_rejection_resamples() {
+        let strat = (0u64..100).prop_filter("must be small", |&x| x < 5);
+        let mut rng = crate::TestRng::deterministic("filter_rejection_resamples");
+        let mut hits = 0;
+        for _ in 0..200 {
+            if let Some(v) = Strategy::try_sample(&strat, &mut rng) {
+                assert!(v < 5);
+                hits += 1;
+            }
+        }
+        assert!(hits > 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Value-generation strategies: numeric ranges, tuples, `Just`, and the
+//! `prop_map` / `prop_filter` / `prop_flat_map` combinators.
+
+use crate::TestRng;
+use core::ops::{Range, RangeInclusive};
+
+/// How many times a filtered strategy is resampled before one draw is
+/// reported as rejected to the runner.
+const LOCAL_REJECT_TRIES: usize = 16;
+
+/// A recipe for generating values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Draw one value, or `None` if a filter rejected the sample.
+    fn try_sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values for which `keep` returns true; `reason` is used
+    /// in diagnostics when everything is rejected.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        keep: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            keep,
+        }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds
+    /// out of it (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn try_sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        (**self).try_sample(rng)
+    }
+}
+
+/// Always produces a clone of one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn try_sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn try_sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.try_sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: String,
+    keep: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn try_sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        for _ in 0..LOCAL_REJECT_TRIES {
+            if let Some(v) = self.inner.try_sample(rng) {
+                if (self.keep)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn try_sample(&self, rng: &mut TestRng) -> Option<T::Value> {
+        let first = self.inner.try_sample(rng)?;
+        (self.f)(first).try_sample(rng)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn try_sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "strategy: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                Some(self.start.wrapping_add(rng.below(span) as $t))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn try_sample(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return Some(rng.next_u64() as $t);
+                }
+                Some(lo.wrapping_add(rng.below(span as u64) as $t))
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn try_sample(&self, rng: &mut TestRng) -> Option<f64> {
+        assert!(self.start < self.end, "strategy: empty range");
+        Some(self.start + (self.end - self.start) * rng.unit_f64())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn try_sample(&self, rng: &mut TestRng) -> Option<f64> {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "strategy: empty range");
+        Some(lo + (hi - lo) * rng.unit_f64())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn try_sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.try_sample(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);

@@ -1,0 +1,28 @@
+//! Runner configuration and control-flow types for the `proptest!` macro.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this shim trades a little coverage
+        // for CI wall-clock. Tests that need more pass an explicit
+        // `with_cases`.
+        Self { cases: 64 }
+    }
+}
+
+/// Marker returned by `prop_assume!` when a case is discarded.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;

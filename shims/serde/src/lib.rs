@@ -1,0 +1,19 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]` (for a future JSON exchange path); nothing serializes
+//! through serde at runtime yet. This shim provides the trait names and
+//! no-op derive macros so those annotations compile without the real
+//! crate, which is unreachable in the offline build environment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde shim.
+//!
+//! The derives intentionally emit nothing: the workspace only tags types
+//! for a future exchange format and never calls serde's runtime methods,
+//! so empty expansions keep every annotation compiling with zero
+//! third-party proc-macro machinery (syn/quote are likewise unreachable
+//! offline).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,9 @@
+//! Offline placeholder for `serde_json`.
+//!
+//! Some workspace manifests declare `serde_json` for a planned artifact
+//! export path, but no workspace code calls into it yet. This empty shim
+//! lets those manifests resolve without network access; grow it (or
+//! hand-roll JSON, as `acir::experiment` already does for tables) when
+//! the export path lands.
+
+#![forbid(unsafe_code)]

@@ -205,3 +205,144 @@ proptest! {
         }
     }
 }
+
+/// `I + 𝓛`: a strictly positive-definite system for exercising CG.
+struct ShiftPlusIdentity<'a>(&'a dyn acir_linalg::LinOp);
+
+impl acir_linalg::LinOp for ShiftPlusIdentity<'_> {
+    fn dim(&self) -> usize {
+        self.0.dim()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.0.apply(x, y);
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += xi;
+        }
+    }
+}
+
+// Fault-injection and resilience invariants: the runtime's structural
+// guarantees, checked property-style across random graphs, fault
+// onsets, and budgets.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Total NaN injection after a few clean operator applies: every
+    /// budgeted linear-algebra kernel returns a structured outcome
+    /// whose usable value (if any) is fully finite — a poisoned
+    /// `Converged` is never produced — and a divergence always carries
+    /// a non-empty event trail.
+    #[test]
+    fn nan_injection_never_poisons_outcomes(
+        g in arb_connected_graph(),
+        onset in 0u64..4,
+        fault_seed in 0u64..1000,
+    ) {
+        let n = g.n();
+        let nl = normalized_laplacian(&g);
+        let cfg = acir_runtime::FaultConfig::nans(1.0)
+            .after_clean_applies(onset)
+            .with_seed(fault_seed);
+        let mut v0 = vec![0.0; n];
+        v0[0] = 1.0;
+        v0[n - 1] += 0.5;
+
+        // Power method.
+        let faulty = acir_linalg::FaultyOp::new(&nl, cfg);
+        let opts = acir_linalg::PowerOptions { max_iters: 50, tol: 1e-12, deflate: vec![] };
+        let out = acir_linalg::power_method_budgeted(&faulty, &v0, &opts, &Budget::unlimited()).unwrap();
+        match out.value() {
+            Some(r) => {
+                prop_assert!(r.eigenvalue.is_finite());
+                prop_assert!(r.eigenvector.iter().all(|x| x.is_finite()));
+            }
+            None => prop_assert!(!out.diagnostics().events.is_empty()),
+        }
+
+        // CG on the strictly SPD system I + 𝓛.
+        let spd = ShiftPlusIdentity(&nl);
+        let faulty = acir_linalg::FaultyOp::new(&spd, cfg);
+        let out = acir_linalg::cg_budgeted(
+            &faulty, &v0, &vec![0.0; n], &acir_linalg::CgOptions::default(), &Budget::iterations(60),
+        ).unwrap();
+        match out.value() {
+            Some(r) => prop_assert!(r.x.iter().all(|x| x.is_finite())),
+            None => prop_assert!(!out.diagnostics().events.is_empty()),
+        }
+
+        // Lanczos.
+        let faulty = acir_linalg::FaultyOp::new(&nl, cfg);
+        let out = acir_linalg::lanczos_budgeted(&faulty, &v0, n.min(12), &[], &Budget::unlimited()).unwrap();
+        match out.value() {
+            Some(r) => {
+                prop_assert!(r.alpha.iter().chain(&r.beta).all(|x| x.is_finite()));
+                prop_assert!(r.basis.iter().flatten().all(|x| x.is_finite()));
+            }
+            None => prop_assert!(!out.diagnostics().events.is_empty()),
+        }
+
+        // Chebyshev heat kernel.
+        let faulty = acir_linalg::FaultyOp::new(&nl, cfg);
+        let out = acir_linalg::chebyshev::cheb_heat_kernel_budgeted(
+            &faulty, 1.5, &v0, 2.0, 30, &Budget::unlimited(),
+        ).unwrap();
+        match out.value() {
+            Some(r) => prop_assert!(r.iter().all(|x| x.is_finite())),
+            None => prop_assert!(!out.diagnostics().events.is_empty()),
+        }
+    }
+
+    /// Wall-clock deadlines bind: an otherwise-endless power iteration
+    /// under `Budget::deadline(d)` returns promptly after `d`, reports
+    /// exhaustion on the deadline axis, and still hands back a finite
+    /// best-so-far iterate.
+    #[test]
+    fn deadlines_bind_within_tolerance(g in arb_connected_graph(), ms in 0u64..20) {
+        let nl = normalized_laplacian(&g);
+        let v0 = vec![1.0; g.n()];
+        // tol = 0 means the tolerance can never be met: only the
+        // deadline can stop this run.
+        let opts = acir_linalg::PowerOptions { max_iters: usize::MAX, tol: 0.0, deflate: vec![] };
+        let budget = Budget::deadline(std::time::Duration::from_millis(ms));
+        let t0 = std::time::Instant::now();
+        let out = acir_linalg::power_method_budgeted(&nl, &v0, &opts, &budget).unwrap();
+        let elapsed = t0.elapsed();
+        prop_assert!(
+            matches!(
+                out,
+                SolverOutcome::BudgetExhausted { exhausted: acir_runtime::Exhaustion::Deadline, .. }
+            ),
+            "expected deadline exhaustion, got converged={} usable={}",
+            out.is_converged(),
+            out.is_usable()
+        );
+        let r = out.value().expect("deadline exhaustion keeps best-so-far");
+        prop_assert!(r.eigenvalue.is_finite());
+        prop_assert!(
+            elapsed < std::time::Duration::from_millis(ms + 400),
+            "took {elapsed:?} against a {ms}ms deadline"
+        );
+    }
+
+    /// Truncated PPR push at any work budget: the partial vector plus
+    /// the certificate's residual mass account for all probability
+    /// mass, so the certified error bound is trustworthy.
+    #[test]
+    fn ppr_budget_certificate_accounts_for_all_mass(
+        g in arb_connected_graph(),
+        raw_seed in 0u32..1000,
+        work in 1u64..40,
+    ) {
+        let seed = raw_seed % g.n() as u32;
+        let out = ppr_push_budgeted(&g, &[seed], 0.15, 1e-7, &Budget::work(work)).unwrap();
+        prop_assert!(out.is_usable());
+        let r = out.value().expect("usable");
+        let p_mass: f64 = r.vector.iter().map(|&(_, x)| x).sum();
+        prop_assert!((p_mass + r.residual_mass - 1.0).abs() < 1e-9);
+        if let Some(Certificate::ResidualMass { remaining, per_degree_bound }) = out.certificate() {
+            prop_assert!((remaining - r.residual_mass).abs() < 1e-9);
+            prop_assert!(*remaining >= -1e-12);
+            prop_assert!(*per_degree_bound >= 0.0);
+        }
+    }
+}
