@@ -3,7 +3,7 @@
 //! path, and input noising vs Tikhonov (§2.3).
 //!
 //! ```text
-//! cargo run --release -p acir-bench --bin ablations [-- --quick] [--seed N] [--out DIR]
+//! cargo run --release -p acir-bench --bin ablations [-- --quick] [--seed N] [--out DIR] [--threads N]
 //! ```
 
 use acir::experiment::ExperimentContext;

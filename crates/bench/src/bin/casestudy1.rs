@@ -3,7 +3,7 @@
 //! regularization-strength sweep.
 //!
 //! ```text
-//! cargo run --release -p acir-bench --bin casestudy1 [-- --quick] [--seed N] [--out DIR]
+//! cargo run --release -p acir-bench --bin casestudy1 [-- --quick] [--seed N] [--out DIR] [--threads N]
 //! ```
 
 use acir::experiment::ExperimentContext;

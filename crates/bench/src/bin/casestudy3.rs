@@ -3,7 +3,7 @@
 //! curiosity.
 //!
 //! ```text
-//! cargo run --release -p acir-bench --bin casestudy3 [-- --quick] [--seed N] [--out DIR]
+//! cargo run --release -p acir-bench --bin casestudy3 [-- --quick] [--seed N] [--out DIR] [--threads N]
 //! ```
 
 use acir::experiment::ExperimentContext;

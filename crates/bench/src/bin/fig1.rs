@@ -3,7 +3,7 @@
 //! on the AtP-DBLP surrogate network.
 //!
 //! ```text
-//! cargo run --release -p acir-bench --bin fig1 [-- --quick] [--seed N] [--out DIR]
+//! cargo run --release -p acir-bench --bin fig1 [-- --quick] [--seed N] [--out DIR] [--threads N]
 //! ```
 
 use acir::experiment::ExperimentContext;
@@ -33,7 +33,7 @@ fn main() {
                 seeds: 24,
                 alphas: vec![0.2, 0.05, 0.01],
                 epsilons: vec![1e-3, 1e-4],
-                threads: 4,
+                threads: args.threads.unwrap_or(4),
                 ..Default::default()
             },
             asp_samples: 24,
@@ -55,7 +55,7 @@ fn main() {
                 seeds: 96,
                 alphas: vec![0.3, 0.1, 0.03, 0.01],
                 epsilons: vec![1e-3, 1e-4, 1e-5],
-                threads: 8,
+                threads: args.threads.unwrap_or(8),
                 ..Default::default()
             },
             asp_samples: 48,

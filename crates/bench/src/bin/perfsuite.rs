@@ -1,0 +1,321 @@
+//! Wall-clock perfsuite for the deterministic parallel execution layer.
+//!
+//! Times four kernels — SpMV on the normalized Laplacian, a batch of
+//! PPR push runs, the Lanczos Fiedler solve, and a quick NCP sweep —
+//! on the Figure-1 social surrogate at 1/2/4/8 worker threads, checks
+//! that every kernel's output is bit-identical across thread counts,
+//! and writes the timings to `BENCH_parallel.json` in the working
+//! directory (repo root, when run from there). The file is re-read and
+//! validated before the process exits, so a committed artifact always
+//! parses.
+//!
+//! ```text
+//! cargo run --release -p acir-bench --bin perfsuite [-- --quick] [--seed N] [--threads N]
+//! ```
+//!
+//! `--threads N` caps the sweep at N (the env override applies to every
+//! other binary; here the sweep *is* the thread axis, so the flag
+//! truncates it instead). Speedups are relative to the 1-thread row of
+//! the same kernel; `host_cpus` records how much hardware parallelism
+//! the host actually had, since speedup on a 1-CPU host is bounded by 1.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use acir::prelude::*;
+use acir_bench::BinArgs;
+use acir_graph::gen::community::{social_network, SocialNetworkParams};
+use acir_graph::traversal::largest_component;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::Value;
+
+/// Thread counts the suite sweeps, ascending (validated on re-read).
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Where the artifact lands, relative to the working directory.
+const OUT_FILE: &str = "BENCH_parallel.json";
+
+struct KernelTiming {
+    kernel: &'static str,
+    /// `(threads, best-of-reps seconds)` in sweep order.
+    rows: Vec<(usize, f64)>,
+}
+
+fn main() {
+    let args = BinArgs::parse();
+    let sweep: Vec<usize> = match args.threads {
+        Some(cap) => THREAD_SWEEP.iter().copied().filter(|&t| t <= cap).collect(),
+        None => THREAD_SWEEP.to_vec(),
+    };
+    assert!(
+        !sweep.is_empty(),
+        "--threads below 1 leaves nothing to sweep"
+    );
+
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let params = if args.quick {
+        SocialNetworkParams {
+            core_nodes: 800,
+            core_attach: 3,
+            communities: 16,
+            community_size_range: (6, 150),
+            whiskers: 50,
+            whisker_max_len: 8,
+            ..Default::default()
+        }
+    } else {
+        // Mid-size cut of the fig1 surrogate: big enough that every
+        // kernel takes its parallel path, small enough that the full
+        // 4-count sweep of the Lanczos solve stays in CI-friendly time.
+        SocialNetworkParams {
+            core_nodes: 3000,
+            core_attach: 4,
+            communities: 40,
+            community_size_range: (8, 600),
+            whiskers: 150,
+            whisker_max_len: 12,
+            ..Default::default()
+        }
+    };
+    let pc = social_network(&mut rng, &params).expect("surrogate generation failed");
+    let (g, _) = largest_component(&pc.graph);
+    let reps = if args.quick { 3 } else { 5 };
+    println!(
+        "perfsuite: fig1 surrogate LCC with {} nodes / {} edges; sweeping {:?} threads, best of {} reps",
+        g.n(),
+        g.m(),
+        sweep,
+        reps,
+    );
+
+    let timings = vec![
+        bench_spmv(&g, &sweep, if args.quick { 20 } else { 50 }, reps),
+        bench_ppr_batch(&g, &sweep, if args.quick { 8 } else { 32 }, reps),
+        bench_fiedler(&g, &sweep, reps.min(2)),
+        bench_ncp_quick(&g, &sweep, args.seed, reps),
+    ];
+
+    for t in &timings {
+        let base = t.rows[0].1;
+        for &(threads, secs) in &t.rows {
+            println!(
+                "  {:<14} threads={threads}  {:>9.3} ms  speedup {:.2}x",
+                t.kernel,
+                secs * 1e3,
+                base / secs
+            );
+        }
+    }
+
+    let doc = render(&args, &g, &sweep, &timings);
+    let text = serde_json::to_string_pretty(&doc);
+    std::fs::write(OUT_FILE, format!("{text}\n")).expect("writing BENCH_parallel.json failed");
+
+    validate(&std::fs::read_to_string(OUT_FILE).expect("re-reading artifact failed"));
+    println!("wrote {OUT_FILE} (validated: parses, thread counts monotone)");
+}
+
+/// Run `f` `reps` times under each thread count in `sweep`, returning
+/// the best wall time per count; `check` receives every result and the
+/// 1-thread reference so kernels prove bit-identity while being timed.
+fn sweep_kernel<T>(
+    kernel: &'static str,
+    sweep: &[usize],
+    reps: usize,
+    mut f: impl FnMut() -> T,
+    check: impl Fn(&T, &T),
+) -> KernelTiming {
+    let mut rows = Vec::new();
+    let mut reference: Option<T> = None;
+    for &threads in sweep {
+        std::env::set_var(THREADS_ENV, threads.to_string());
+        let mut best = f64::INFINITY; // first call doubles as warmup
+        let mut last = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let out = f();
+            best = best.min(t0.elapsed().as_secs_f64());
+            last = Some(out);
+        }
+        let out = last.expect("reps >= 1");
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => check(r, &out),
+        }
+        rows.push((threads, best));
+    }
+    std::env::remove_var(THREADS_ENV);
+    KernelTiming { kernel, rows }
+}
+
+fn bench_spmv(g: &Graph, sweep: &[usize], iters: usize, reps: usize) -> KernelTiming {
+    let l = normalized_laplacian(g);
+    let x: Vec<f64> = (0..l.ncols())
+        .map(|i| 1.0 + (i % 17) as f64 / 17.0)
+        .collect();
+    sweep_kernel(
+        "spmv",
+        sweep,
+        reps,
+        || {
+            let mut y = vec![0.0; l.nrows()];
+            for _ in 0..iters {
+                l.matvec(&x, &mut y);
+            }
+            y
+        },
+        |a, b| assert_eq!(a, b, "spmv must be bit-identical across thread counts"),
+    )
+}
+
+fn bench_ppr_batch(g: &Graph, sweep: &[usize], batch: usize, reps: usize) -> KernelTiming {
+    let seed_sets: Vec<Vec<NodeId>> = (0..batch)
+        .map(|i| vec![(i * g.n() / batch) as NodeId])
+        .collect();
+    sweep_kernel(
+        "ppr_batch",
+        sweep,
+        reps,
+        || ppr_push_batch(g, &seed_sets, 0.05, 1e-4).expect("ppr_push_batch failed"),
+        |a, b| {
+            assert_eq!(a.len(), b.len());
+            for (ra, rb) in a.iter().zip(b) {
+                assert_eq!(
+                    ra.vector, rb.vector,
+                    "ppr_batch must be bit-identical across thread counts"
+                );
+            }
+        },
+    )
+}
+
+fn bench_fiedler(g: &Graph, sweep: &[usize], reps: usize) -> KernelTiming {
+    sweep_kernel(
+        "lanczos_fiedler",
+        sweep,
+        reps,
+        || fiedler_vector(g).expect("fiedler_vector failed"),
+        |a, b| {
+            assert_eq!(
+                a.vector, b.vector,
+                "fiedler must be bit-identical across thread counts"
+            );
+            assert_eq!(a.lambda2.to_bits(), b.lambda2.to_bits());
+        },
+    )
+}
+
+fn bench_ncp_quick(g: &Graph, sweep: &[usize], seed: u64, reps: usize) -> KernelTiming {
+    let opts = NcpOptions {
+        min_size: 2,
+        max_size: 400,
+        seeds: 12,
+        alphas: vec![0.1, 0.01],
+        epsilons: vec![1e-3],
+        rng_seed: seed ^ 0x5eed,
+        ..Default::default()
+    };
+    sweep_kernel(
+        "ncp_quick",
+        sweep,
+        reps,
+        || ncp_local_spectral(g, &opts).expect("ncp_local_spectral failed"),
+        |a, b| {
+            assert_eq!(a.len(), b.len());
+            for (pa, pb) in a.iter().zip(b) {
+                assert_eq!(pa.size, pb.size);
+                assert_eq!(
+                    pa.conductance.to_bits(),
+                    pb.conductance.to_bits(),
+                    "ncp must be bit-identical across thread counts"
+                );
+            }
+        },
+    )
+}
+
+fn render(args: &BinArgs, g: &Graph, sweep: &[usize], timings: &[KernelTiming]) -> Value {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut root = BTreeMap::new();
+    root.insert("schema".into(), Value::from("acir-bench-parallel-v1"));
+    root.insert("host_cpus".into(), Value::from(host_cpus));
+    root.insert("quick".into(), Value::from(args.quick));
+    root.insert("seed".into(), Value::from(args.seed));
+    let mut graph = BTreeMap::new();
+    graph.insert("nodes".into(), Value::from(g.n()));
+    graph.insert("edges".into(), Value::from(g.m()));
+    root.insert("graph".into(), Value::Object(graph));
+    root.insert(
+        "thread_counts".into(),
+        Value::Array(sweep.iter().map(|&t| Value::from(t)).collect()),
+    );
+    let kernels = timings
+        .iter()
+        .map(|t| {
+            let base = t.rows[0].1;
+            let mut k = BTreeMap::new();
+            k.insert("kernel".into(), Value::from(t.kernel));
+            k.insert(
+                "results".into(),
+                Value::Array(
+                    t.rows
+                        .iter()
+                        .map(|&(threads, secs)| {
+                            let mut r = BTreeMap::new();
+                            r.insert("threads".into(), Value::from(threads));
+                            r.insert("secs".into(), Value::from(secs));
+                            r.insert("speedup".into(), Value::from(base / secs));
+                            Value::Object(r)
+                        })
+                        .collect(),
+                ),
+            );
+            Value::Object(k)
+        })
+        .collect();
+    root.insert("kernels".into(), Value::Array(kernels));
+    Value::Object(root)
+}
+
+/// The same checks the CI smoke runs: the artifact parses, names the
+/// expected schema, and every kernel's thread counts ascend strictly
+/// with positive timings.
+fn validate(text: &str) {
+    let doc = serde_json::from_str(text).expect("BENCH_parallel.json does not parse");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("acir-bench-parallel-v1"),
+        "schema marker missing"
+    );
+    assert!(doc.get("host_cpus").and_then(Value::as_u64).unwrap_or(0) >= 1);
+    let kernels = doc
+        .get("kernels")
+        .and_then(Value::as_array)
+        .expect("kernels array missing");
+    assert!(!kernels.is_empty(), "no kernels recorded");
+    for k in kernels {
+        let name = k
+            .get("kernel")
+            .and_then(Value::as_str)
+            .expect("kernel name");
+        let results = k
+            .get("results")
+            .and_then(Value::as_array)
+            .expect("results array");
+        assert!(!results.is_empty(), "{name}: empty results");
+        let mut prev = 0u64;
+        for r in results {
+            let threads = r.get("threads").and_then(Value::as_u64).expect("threads");
+            let secs = r.get("secs").and_then(Value::as_f64).expect("secs");
+            assert!(
+                threads > prev,
+                "{name}: thread counts must be strictly increasing"
+            );
+            assert!(secs > 0.0, "{name}: non-positive timing");
+            prev = threads;
+        }
+    }
+}

@@ -72,13 +72,25 @@ pub mod runtime {
     };
 }
 
+/// Deterministic parallel execution, re-exported from `acir-exec`.
+///
+/// The scoped-thread [`ExecPool`](exec::ExecPool) every parallel kernel
+/// in the workspace runs on. Work decomposition is always a pure
+/// function of the input (never the thread count), so any result
+/// computed on the pool is bit-identical from 1 to N threads; the
+/// `ACIR_THREADS` environment variable steers the width globally.
+pub mod exec {
+    pub use acir_exec::{chunk_ranges, ExecPool, MAX_CHUNKS, THREADS_ENV};
+}
+
 /// Curated re-exports: the API surface the examples and experiment
 /// binaries are written against.
 pub mod prelude {
+    pub use acir_exec::{ExecPool, THREADS_ENV};
     pub use acir_flow::{flow_improve, mqi, mqi_budgeted};
     pub use acir_graph::gen;
     pub use acir_graph::{Graph, GraphBuilder, NodeId};
-    pub use acir_local::push::{ppr_push, ppr_push_budgeted};
+    pub use acir_local::push::{ppr_push, ppr_push_batch, ppr_push_budgeted};
     pub use acir_local::sweep::{set_conductance, sweep_cut, sweep_cut_support};
     pub use acir_local::{hk_relax, hk_relax_budgeted, mov_vector, nibble};
     pub use acir_partition::{
@@ -94,9 +106,9 @@ pub mod prelude {
     pub use acir_runtime::{Budget, Certificate, RetryPolicy, SolverOutcome};
     pub use acir_spectral::{
         fiedler_vector, fiedler_vector_budgeted, heat_kernel, heat_kernel_chebyshev,
-        heat_kernel_chebyshev_budgeted, lazy_walk, normalized_laplacian, pagerank,
-        pagerank_budgeted, pagerank_power, spectral_clustering, spectral_embedding,
-        streaming_pagerank_of_graph, Seed,
+        heat_kernel_chebyshev_budgeted, heat_kernel_chebyshev_multi, lazy_walk,
+        normalized_laplacian, pagerank, pagerank_budgeted, pagerank_power, pagerank_power_multi,
+        spectral_clustering, spectral_embedding, streaming_pagerank_of_graph, Seed,
     };
 
     pub use crate::experiment::{ExperimentContext, TextTable};

@@ -99,9 +99,7 @@ impl ChebyshevExpansion {
         let beta = -(self.a + self.b) / (self.b - self.a);
         let apply_t = |input: &[f64], out: &mut [f64]| {
             op.apply(input, out);
-            for (o, i) in out.iter_mut().zip(input) {
-                *o = alpha * *o + beta * *i;
-            }
+            vector::axpby(beta, input, alpha, out);
         };
 
         let mut t_prev = v.to_vec(); // T_0 v
@@ -114,14 +112,64 @@ impl ChebyshevExpansion {
         let mut t_next = vec![0.0; n];
         for &c in self.coeffs.iter().skip(2) {
             apply_t(&t_curr, &mut t_next);
-            for (nx, pr) in t_next.iter_mut().zip(&t_prev) {
-                *nx = 2.0 * *nx - *pr;
-            }
+            vector::axpby(-1.0, &t_prev, 2.0, &mut t_next);
             vector::axpy(c, &t_next, &mut acc);
             std::mem::swap(&mut t_prev, &mut t_curr);
             std::mem::swap(&mut t_curr, &mut t_next);
         }
         Ok(acc)
+    }
+
+    /// Apply `f(A)·vⱼ` to a batch of vectors, advancing the three-term
+    /// recurrences in lockstep so each degree costs one blocked SpMM
+    /// ([`crate::CsrMatrix::matvec_multi`]) over the whole batch instead
+    /// of one matvec per vector. Per-vector arithmetic is identical to
+    /// [`Self::apply`], so every output is bit-identical to the
+    /// corresponding single-vector call.
+    pub fn apply_multi(&self, a: &crate::CsrMatrix, vs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        let n = a.nrows();
+        for v in vs {
+            if v.len() != n {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: n,
+                    found: v.len(),
+                });
+            }
+        }
+        if vs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let alpha = 2.0 / (self.b - self.a);
+        let beta = -(self.a + self.b) / (self.b - self.a);
+        let apply_t_multi = |inputs: &[Vec<f64>]| -> Vec<Vec<f64>> {
+            let mut outs = a.matvec_multi(inputs);
+            for (out, input) in outs.iter_mut().zip(inputs) {
+                vector::axpby(beta, input, alpha, out);
+            }
+            outs
+        };
+
+        let mut t_prev: Vec<Vec<f64>> = vs.to_vec();
+        let mut t_curr = apply_t_multi(vs);
+        let mut accs: Vec<Vec<f64>> = vs
+            .iter()
+            .map(|v| v.iter().map(|&x| 0.5 * self.coeffs[0] * x).collect())
+            .collect();
+        if self.coeffs.len() > 1 {
+            for (acc, tc) in accs.iter_mut().zip(&t_curr) {
+                vector::axpy(self.coeffs[1], tc, acc);
+            }
+        }
+        for &c in self.coeffs.iter().skip(2) {
+            let mut t_next = apply_t_multi(&t_curr);
+            for ((nx, pr), acc) in t_next.iter_mut().zip(&t_prev).zip(accs.iter_mut()) {
+                vector::axpby(-1.0, pr, 2.0, nx);
+                vector::axpy(c, nx, acc);
+            }
+            t_prev = t_curr;
+            t_curr = t_next;
+        }
+        Ok(accs)
     }
 }
 
@@ -159,9 +207,7 @@ impl ChebyshevExpansion {
         let beta = -(self.a + self.b) / (self.b - self.a);
         let apply_t = |input: &[f64], out: &mut [f64]| {
             op.apply(input, out);
-            for (o, i) in out.iter_mut().zip(input) {
-                *o = alpha * *o + beta * *i;
-            }
+            vector::axpby(beta, input, alpha, out);
         };
 
         let mut meter = budget.start();
@@ -196,9 +242,7 @@ impl ChebyshevExpansion {
                 });
             }
             apply_t(&t_curr, &mut t_next);
-            for (nx, pr) in t_next.iter_mut().zip(&t_prev) {
-                *nx = 2.0 * *nx - *pr;
-            }
+            vector::axpby(-1.0, &t_prev, 2.0, &mut t_next);
             // On [a, b] every Chebyshev vector satisfies ‖T_k v‖ ≤ ‖v‖
             // (spectral calculus); exponential growth means the
             // spectrum escaped the interval.
@@ -306,6 +350,27 @@ pub fn cheb_heat_kernel(
     exp.apply(op, v)
 }
 
+/// Batched [`cheb_heat_kernel`]: `exp(−t·A)·vⱼ` for every vector in
+/// `vs` with one blocked SpMM per degree. Each output is bit-identical
+/// to the corresponding single-vector call (see
+/// [`ChebyshevExpansion::apply_multi`]).
+pub fn cheb_heat_kernel_multi(
+    a: &crate::CsrMatrix,
+    t: f64,
+    vs: &[Vec<f64>],
+    lambda_max: f64,
+    degree: usize,
+) -> Result<Vec<Vec<f64>>> {
+    if !(t >= 0.0 && t.is_finite()) {
+        return Err(LinalgError::InvalidArgument("t must be nonnegative"));
+    }
+    if !(lambda_max > 0.0 && lambda_max.is_finite()) {
+        return Err(LinalgError::InvalidArgument("lambda_max must be positive"));
+    }
+    let exp = ChebyshevExpansion::fit(|x| (-t * x).exp(), 0.0, lambda_max, degree)?;
+    exp.apply_multi(a, vs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +386,28 @@ mod tests {
             t.push((i + 1, i, -1.0));
         }
         CsrMatrix::from_triplets(n, n, t)
+    }
+
+    #[test]
+    fn apply_multi_bit_identical_to_independent_applies() {
+        let n = 40;
+        let a = path_laplacian(n);
+        let exp = ChebyshevExpansion::fit(|x| (-0.8 * x).exp(), 0.0, 4.0, 25).unwrap();
+        let vs: Vec<Vec<f64>> = (0..3)
+            .map(|s| {
+                let mut v = vec![0.0; n];
+                v[s * 7 + 1] = 1.0;
+                v[s * 11 + 2] = 0.5;
+                v
+            })
+            .collect();
+        let batched = exp.apply_multi(&a, &vs).unwrap();
+        for (v, got) in vs.iter().zip(&batched) {
+            let single = exp.apply(&a, v).unwrap();
+            assert_eq!(&single, got);
+        }
+        assert!(exp.apply_multi(&a, &[]).unwrap().is_empty());
+        assert!(exp.apply_multi(&a, &[vec![0.0; 3]]).is_err());
     }
 
     #[test]

@@ -17,10 +17,49 @@
 use crate::tridiag::tridiag_eig;
 use crate::vector;
 use crate::{LinOp, LinalgError, Result};
+use acir_exec::ExecPool;
 use acir_runtime::{
     Budget, Certificate, ConvergenceGuard, Diagnostics, DivergenceCause, GuardVerdict, RetryPolicy,
     SolverOutcome,
 };
+
+/// Below this many multiplied-out elements (`directions × vector length`)
+/// a reorthogonalization sweep runs on one thread: the sweep is too small
+/// to amortize worker spawn cost.
+const PAR_MIN_REORTH: usize = 1 << 15;
+
+/// Full reorthogonalization sweep ("twice is enough"): two classical
+/// Gram–Schmidt passes projecting `w` against the deflation directions
+/// and the entire Lanczos basis. The deflated directions are re-projected
+/// on every pass as well: without this, rounding lets a deflated
+/// eigenvector (e.g. the trivial `D^{1/2}·1` of a normalized Laplacian)
+/// drift back in and reappear as a ghost Ritz value near its eigenvalue.
+///
+/// Within a pass every projection coefficient is computed against the
+/// *same* iterate (classical, not modified, Gram–Schmidt), so the dot
+/// products are independent and evaluated on the [`ExecPool`]. Each dot
+/// is internally sequential and the subtractions are applied in fixed
+/// direction order, so the result is bit-identical at any thread count;
+/// the second pass mops up the rounding the first leaves behind.
+fn reorthogonalize(w: &mut [f64], deflate: &[Vec<f64>], basis: &[Vec<f64>]) {
+    let dirs: Vec<&[f64]> = deflate
+        .iter()
+        .map(Vec::as_slice)
+        .chain(basis.iter().map(Vec::as_slice))
+        .collect();
+    // Path choice depends on problem size alone, never on thread count.
+    let pool = if dirs.len() * w.len() < PAR_MIN_REORTH {
+        ExecPool::with_threads(1)
+    } else {
+        ExecPool::from_env()
+    };
+    for _ in 0..2 {
+        let coeffs = pool.par_map(&dirs, 1, |u| vector::dot(w, u));
+        for (u, c) in dirs.iter().zip(&coeffs) {
+            vector::axpy(-c, u, w);
+        }
+    }
+}
 
 /// Output of a Lanczos run.
 #[derive(Debug, Clone)]
@@ -110,19 +149,7 @@ pub fn lanczos(
         if j > 0 {
             vector::axpy(-beta[j - 1], &basis[j - 1], &mut w);
         }
-        // Full reorthogonalization (twice is enough). The deflated
-        // directions are re-projected out on every pass as well:
-        // without this, rounding lets a deflated eigenvector (e.g. the
-        // trivial D^{1/2}1 of a normalized Laplacian) drift back in and
-        // reappear as a ghost Ritz value near its eigenvalue.
-        for _ in 0..2 {
-            for u in deflate {
-                vector::deflate(&mut w, u);
-            }
-            for b in &basis {
-                vector::deflate(&mut w, b);
-            }
-        }
+        reorthogonalize(&mut w, deflate, &basis);
         if j + 1 == k {
             break;
         }
@@ -208,14 +235,7 @@ pub fn lanczos_budgeted(
         if j > 0 {
             vector::axpy(-beta[j - 1], &basis[j - 1], &mut w);
         }
-        for _ in 0..2 {
-            for u in deflate {
-                vector::deflate(&mut w, u);
-            }
-            for b in &basis {
-                vector::deflate(&mut w, b);
-            }
-        }
+        reorthogonalize(&mut w, deflate, &basis);
         if j + 1 == k {
             break;
         }

@@ -99,9 +99,7 @@ pub fn power_method(op: &dyn LinOp, v0: &[f64], opts: &PowerOptions) -> Result<P
             // Seed lay in the null space of the (deflated) operator.
             break;
         }
-        for (vi, avi) in v.iter_mut().zip(&av) {
-            *vi = avi / norm;
-        }
+        vector::copy_div(norm, &av, &mut v);
         if opts.tol > 0.0 && residual <= opts.tol {
             break;
         }
@@ -198,9 +196,7 @@ pub fn power_method_budgeted(
             diags.note("seed fell into the null space of the deflated operator");
             break;
         }
-        for (vi, avi) in v.iter_mut().zip(&av) {
-            *vi = avi / norm;
-        }
+        vector::copy_div(norm, &av, &mut v);
         if let GuardVerdict::Halt(cause) = ConvergenceGuard::check_finite(&v, iterations - 1) {
             diags.absorb_meter(&meter);
             return Ok(SolverOutcome::diverged(cause, diags));

@@ -261,9 +261,7 @@ pub fn cg(op: &dyn LinOp, b: &[f64], x0: &[f64], opts: &CgOptions) -> Result<CgR
         vector::axpy(-alpha, &ap, &mut r);
         let rs_new = vector::dot(&r, &r);
         let beta = rs_new / rs;
-        for (pi, ri) in p.iter_mut().zip(&r) {
-            *pi = ri + beta * *pi;
-        }
+        vector::axpby(1.0, &r, beta, &mut p);
         rs = rs_new;
         iterations += 1;
     }
@@ -395,9 +393,7 @@ pub fn cg_budgeted(
         vector::axpy(-alpha, &ap, &mut r);
         let rs_new = vector::dot(&r, &r);
         let beta = rs_new / rs;
-        for (pi, ri) in p.iter_mut().zip(&r) {
-            *pi = ri + beta * *pi;
-        }
+        vector::axpby(1.0, &r, beta, &mut p);
         rs = rs_new;
         iterations += 1;
     }
@@ -536,9 +532,7 @@ pub fn pcg_jacobi(
         }
         let rz_new = vector::dot(&r, &z);
         let beta = rz_new / rz;
-        for (pi, zi) in p.iter_mut().zip(&z) {
-            *pi = zi + beta * *pi;
-        }
+        vector::axpby(1.0, &z, beta, &mut p);
         rz = rz_new;
         iterations += 1;
     }

@@ -4,9 +4,36 @@
 //! touches them must "not damage the sparsity of the matrix" (paper §3.1).
 //! CSR with `u32` column indices keeps the memory footprint at 12 bytes
 //! per stored entry and makes the matvec a linear scan.
+//!
+//! ## Parallelism and determinism
+//!
+//! The hot products ([`CsrMatrix::matvec`], [`CsrMatrix::matvec_transpose`],
+//! [`CsrMatrix::matvec_multi`]) run on the ambient [`ExecPool`] once the
+//! matrix is large enough to pay for fan-out. Work is split into
+//! **nnz-balanced row chunks** whose boundaries depend only on the matrix
+//! (see [`CsrMatrix::nnz_balanced_row_chunks`]), and chunk partials are
+//! combined in fixed chunk order, so every product is bit-identical from
+//! 1 to N threads. Path selection (sequential vs. chunked) keys on `nnz`
+//! alone — never on the thread count — which keeps the rounding of the
+//! transpose product (the one kernel whose chunked merge re-associates
+//! additions) reproducible as well.
 
 use crate::dense::DenseMatrix;
 use crate::vector;
+use acir_exec::ExecPool;
+
+/// Below this many stored entries the products stay on their sequential
+/// paths: fan-out costs more than the scan. A size (not thread-count)
+/// threshold, so the chosen path — and its rounding — is reproducible.
+const PAR_MIN_NNZ: usize = 16_384;
+
+/// Target stored entries per row chunk for [`CsrMatrix::matvec`] /
+/// [`CsrMatrix::matvec_multi`].
+const CHUNK_TARGET_NNZ: usize = 8_192;
+
+/// Chunk-count cap for [`CsrMatrix::matvec_transpose`], which needs one
+/// dense accumulator of `ncols` floats per chunk.
+const TRANSPOSE_MAX_CHUNKS: usize = 8;
 
 /// A sparse matrix in compressed-sparse-row format.
 ///
@@ -188,13 +215,63 @@ impl CsrMatrix {
         }
     }
 
+    /// Split `0..nrows` into row ranges of roughly `target_nnz` stored
+    /// entries each, at most `max_chunks` ranges.
+    ///
+    /// The boundaries are a pure function of the matrix (its `row_ptr`)
+    /// and the arguments — thread counts never enter — which is what
+    /// makes the chunked products deterministic. Rows are never split,
+    /// so chunk outputs are disjoint row ranges.
+    pub fn nnz_balanced_row_chunks(
+        &self,
+        target_nnz: usize,
+        max_chunks: usize,
+    ) -> Vec<std::ops::Range<usize>> {
+        let total = self.nnz();
+        let max_chunks = max_chunks.max(1);
+        let target = target_nnz.max(1).max(total.div_ceil(max_chunks));
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < self.nrows {
+            let goal = self.row_ptr[start] + target;
+            // First row boundary at or past the nnz goal.
+            let mut end =
+                match self.row_ptr[start + 1..=self.nrows].binary_search_by(|p| p.cmp(&goal)) {
+                    Ok(k) => start + 1 + k,
+                    Err(k) => (start + 1 + k).min(self.nrows),
+                };
+            end = end.max(start + 1);
+            out.push(start..end);
+            start = end;
+        }
+        out
+    }
+
     /// Sparse matrix–vector product `y = A x` (overwrites `y`).
+    ///
+    /// Parallelized over nnz-balanced row chunks on the ambient
+    /// [`ExecPool`]; each `y[i]` is accumulated sequentially over its
+    /// row either way, so the result is bit-identical to the
+    /// sequential scan at every thread count.
     pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "matvec: x length");
         assert_eq!(y.len(), self.nrows, "matvec: y length");
-        for (i, yi) in y.iter_mut().enumerate() {
+        if self.nnz() < PAR_MIN_NNZ {
+            self.matvec_rows(x, 0, y);
+            return;
+        }
+        let chunks = self.nnz_balanced_row_chunks(CHUNK_TARGET_NNZ, acir_exec::MAX_CHUNKS);
+        let lens: Vec<usize> = chunks.iter().map(|r| r.len()).collect();
+        ExecPool::from_env().par_parts_mut(y, &lens, |c, y_chunk| {
+            self.matvec_rows(x, chunks[c].start, y_chunk);
+        });
+    }
+
+    /// Sequential kernel: `y_chunk[k] = (A x)[first_row + k]`.
+    fn matvec_rows(&self, x: &[f64], first_row: usize, y_chunk: &mut [f64]) {
+        for (k, yi) in y_chunk.iter_mut().enumerate() {
             let mut acc = 0.0;
-            for (c, v) in self.row(i) {
+            for (c, v) in self.row(first_row + k) {
                 acc += v * x[c as usize];
             }
             *yi = acc;
@@ -202,11 +279,40 @@ impl CsrMatrix {
     }
 
     /// Transposed product `y = Aᵀ x` (overwrites `y`).
+    ///
+    /// Large matrices scatter into one dense accumulator per row chunk
+    /// (chunk boundaries fixed by the matrix, never the thread count)
+    /// and the accumulators are summed into `y` in ascending chunk
+    /// order — deterministic at every thread count, at the cost of
+    /// `TRANSPOSE_MAX_CHUNKS · ncols` transient floats.
     pub fn matvec_transpose(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.nrows, "matvec_transpose: x length");
         assert_eq!(y.len(), self.ncols, "matvec_transpose: y length");
+        if self.nnz() < PAR_MIN_NNZ {
+            y.fill(0.0);
+            self.scatter_rows(x, 0..self.nrows, y);
+            return;
+        }
+        let chunks = self.nnz_balanced_row_chunks(CHUNK_TARGET_NNZ, TRANSPOSE_MAX_CHUNKS);
+        let pool = ExecPool::from_env();
+        let partials: Vec<Vec<f64>> = pool.par_map(&chunks, 1, |r| {
+            let mut buf = vec![0.0f64; self.ncols];
+            self.scatter_rows(x, r.clone(), &mut buf);
+            buf
+        });
         y.fill(0.0);
-        for (i, &xi) in x.iter().enumerate() {
+        for buf in &partials {
+            // Fixed chunk order; the inner add is elementwise.
+            for (yi, bi) in y.iter_mut().zip(buf) {
+                *yi += bi;
+            }
+        }
+    }
+
+    /// Sequential kernel: `y[c] += Σ_{i ∈ rows} A[i,c]·x[i]`.
+    fn scatter_rows(&self, x: &[f64], rows: std::ops::Range<usize>, y: &mut [f64]) {
+        for i in rows {
+            let xi = x[i];
             if xi == 0.0 {
                 continue;
             }
@@ -214,6 +320,59 @@ impl CsrMatrix {
                 y[c as usize] += v * xi;
             }
         }
+    }
+
+    /// Blocked multi-vector product (SpMM): `ys[j] = A xs[j]` for every
+    /// right-hand side, in **one traversal of the matrix** amortized
+    /// over all `k = xs.len()` vectors.
+    ///
+    /// For each row the stored entries are scanned once and each entry
+    /// updates all `k` accumulators, so the memory traffic over the CSR
+    /// arrays — the bottleneck of sparse products — is paid once
+    /// instead of `k` times. Per (row, rhs) the accumulation order is
+    /// identical to [`CsrMatrix::matvec`], so each returned vector is
+    /// bit-identical to the corresponding independent matvec (a
+    /// property pinned by tests).
+    ///
+    /// Parallelized over the same nnz-balanced row chunks as `matvec`.
+    /// Panics if any `xs[j].len() != ncols`.
+    pub fn matvec_multi(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let k = xs.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        for (j, x) in xs.iter().enumerate() {
+            assert_eq!(x.len(), self.ncols, "matvec_multi: xs[{j}] length");
+        }
+        // Row-major staging block: row i occupies block[i*k..(i+1)*k],
+        // so row chunks own disjoint block slices.
+        let mut block = vec![0.0f64; self.nrows * k];
+        let chunks = self.nnz_balanced_row_chunks(CHUNK_TARGET_NNZ, acir_exec::MAX_CHUNKS);
+        let pool = if self.nnz() * k < PAR_MIN_NNZ {
+            ExecPool::with_threads(1)
+        } else {
+            ExecPool::from_env()
+        };
+        let lens: Vec<usize> = chunks.iter().map(|r| r.len() * k).collect();
+        pool.par_parts_mut(&mut block, &lens, |ci, chunk| {
+            let first_row = chunks[ci].start;
+            for (local, acc) in chunk.chunks_exact_mut(k).enumerate() {
+                for (c, v) in self.row(first_row + local) {
+                    let xc = c as usize;
+                    for (a, x) in acc.iter_mut().zip(xs) {
+                        *a += v * x[xc];
+                    }
+                }
+            }
+        });
+        // Unstage: column j of the block is output vector j.
+        let mut out = vec![vec![0.0f64; self.nrows]; k];
+        for (i, row) in block.chunks_exact(k).enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                out[j][i] = v;
+            }
+        }
+        out
     }
 
     /// Transpose into a new CSR matrix.
@@ -475,6 +634,90 @@ mod tests {
         }
     }
 
+    /// Deterministic pseudo-random matrix big enough to cross the
+    /// parallel thresholds.
+    fn big_matrix(nrows: usize, row_nnz: usize) -> CsrMatrix {
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let ncols = nrows;
+        let mut trip = Vec::with_capacity(nrows * row_nnz);
+        for r in 0..nrows {
+            for _ in 0..row_nnz {
+                let c = (next() % ncols as u64) as usize;
+                let v = (next() % 1000) as f64 / 500.0 - 1.0;
+                trip.push((r, c, v));
+            }
+        }
+        CsrMatrix::from_triplets(nrows, ncols, trip)
+    }
+
+    #[test]
+    fn nnz_row_chunks_tile_rows_and_balance_nnz() {
+        let m = big_matrix(500, 40); // ~20k nnz, over the threshold
+        let chunks = m.nnz_balanced_row_chunks(2048, 64);
+        let mut expect = 0usize;
+        for r in &chunks {
+            assert_eq!(r.start, expect);
+            assert!(!r.is_empty());
+            expect = r.end;
+        }
+        assert_eq!(expect, m.nrows());
+        assert!(chunks.len() > 1);
+        // Chunks are a function of the matrix only: identical on recompute.
+        assert_eq!(chunks, m.nnz_balanced_row_chunks(2048, 64));
+        // Each chunk except the last carries at least the target nnz.
+        for r in &chunks[..chunks.len() - 1] {
+            let nnz: usize = r.clone().map(|i| m.row(i).count()).sum();
+            assert!(nnz >= 2048, "chunk {r:?} has {nnz} nnz");
+        }
+        // Degenerate shapes.
+        assert!(CsrMatrix::identity(0)
+            .nnz_balanced_row_chunks(8, 4)
+            .is_empty());
+        assert_eq!(
+            CsrMatrix::from_triplets(3, 3, []).nnz_balanced_row_chunks(8, 4),
+            vec![0..3]
+        );
+    }
+
+    #[test]
+    fn parallel_products_bit_identical_across_thread_counts() {
+        let m = big_matrix(600, 40);
+        let x: Vec<f64> = (0..m.ncols())
+            .map(|i| ((i % 17) as f64 - 8.0) / 3.0)
+            .collect();
+        let run = |threads: &str| {
+            std::env::set_var("ACIR_THREADS", threads);
+            let mut y = vec![0.0; m.nrows()];
+            m.matvec(&x, &mut y);
+            let mut yt = vec![0.0; m.ncols()];
+            m.matvec_transpose(&x, &mut yt);
+            let multi = m.matvec_multi(std::slice::from_ref(&x));
+            std::env::remove_var("ACIR_THREADS");
+            (y, yt, multi)
+        };
+        let (y1, yt1, multi1) = run("1");
+        for threads in ["2", "4", "7"] {
+            let (yt, ytt, multit) = run(threads);
+            assert_eq!(y1, yt, "matvec differs at {threads} threads");
+            assert_eq!(yt1, ytt, "matvec_transpose differs at {threads} threads");
+            assert_eq!(multi1, multit, "matvec_multi differs at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn matvec_multi_empty_and_single() {
+        let m = upper();
+        assert!(m.matvec_multi(&[]).is_empty());
+        let out = m.matvec_multi(&[vec![1.0, 1.0]]);
+        assert_eq!(out, vec![vec![3.0, 3.0]]);
+    }
+
     /// Strategy: random small COO matrix.
     fn coo_strategy() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
         (1usize..8, 1usize..8).prop_flat_map(|(r, c)| {
@@ -504,6 +747,24 @@ mod tests {
             m.to_dense().gemv(1.0, x, 0.0, &mut y_dense);
             for (a, b) in y_sparse.iter().zip(&y_dense) {
                 prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_matvec_multi_matches_independent_matvecs(
+            (r, c, trip) in coo_strategy(),
+            xs in proptest::collection::vec(proptest::collection::vec(-5.0..5.0f64, 8), 1..5),
+        ) {
+            let m = CsrMatrix::from_triplets(r, c, trip);
+            let xs: Vec<Vec<f64>> = xs.into_iter().map(|x| x[..c].to_vec()).collect();
+            let multi = m.matvec_multi(&xs);
+            prop_assert_eq!(multi.len(), xs.len());
+            for (j, x) in xs.iter().enumerate() {
+                let mut y = vec![0.0; r];
+                m.matvec(x, &mut y);
+                // Bit-identical, not merely close: the per-(row, rhs)
+                // accumulation order is the same by construction.
+                prop_assert_eq!(&multi[j], &y);
             }
         }
 

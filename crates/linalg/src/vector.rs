@@ -5,12 +5,51 @@
 //! length mismatch in debug builds (via `zip` + `debug_assert`), matching
 //! the crate convention that dimension errors are programmer errors at
 //! this lowest level.
+//!
+//! ## Determinism and parallelism
+//!
+//! The reductions ([`dot`], [`norm2`], [`norm1`], [`sum`]) accumulate
+//! **strictly sequentially, left to right** — the 4-way unrolled bodies
+//! change loop overhead, never the order of floating-point additions, so
+//! every result is bit-identical to the naive loop (pinned by tests).
+//! They are deliberately *not* thread-parallel: a chunked reduction
+//! re-associates additions, and these primitives sit under every
+//! convergence test in the workspace.
+//!
+//! The elementwise updates ([`axpy`], [`scale`], [`hadamard`]) have no
+//! cross-element data flow, so they fan out on the ambient
+//! [`ExecPool`](acir_exec::ExecPool) once a vector is long enough to pay
+//! for it — with per-element arithmetic unchanged, hence bit-identical
+//! at every thread count.
+
+use acir_exec::ExecPool;
+
+/// Below this length the elementwise updates stay sequential: the memory
+/// scan is far cheaper than waking workers. A size (not thread-count)
+/// threshold — results are identical on both paths anyway.
+const PAR_MIN_LEN: usize = 1 << 15;
 
 /// Dot product `xᵀy`.
+///
+/// Accumulated left-to-right (4-way unrolled, order preserved): the
+/// result is bit-identical to the naive sequential loop.
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     debug_assert_eq!(x.len(), y.len());
-    x.iter().zip(y).map(|(a, b)| a * b).sum()
+    let n4 = x.len() - x.len() % 4;
+    let mut acc = 0.0f64;
+    let mut i = 0;
+    // Left-associated adds: ((((acc + x0·y0) + x1·y1) + x2·y2) + x3·y3)
+    // is the exact addition sequence of the one-at-a-time loop.
+    while i < n4 {
+        acc = acc + x[i] * y[i] + x[i + 1] * y[i + 1] + x[i + 2] * y[i + 2] + x[i + 3] * y[i + 3];
+        i += 4;
+    }
+    while i < x.len() {
+        acc += x[i] * y[i];
+        i += 1;
+    }
+    acc
 }
 
 /// Euclidean norm `‖x‖₂`.
@@ -19,10 +58,21 @@ pub fn norm2(x: &[f64]) -> f64 {
     dot(x, x).sqrt()
 }
 
-/// One-norm `‖x‖₁ = Σ|xᵢ|`.
+/// One-norm `‖x‖₁ = Σ|xᵢ|` (sequential accumulation order).
 #[inline]
 pub fn norm1(x: &[f64]) -> f64 {
-    x.iter().map(|a| a.abs()).sum()
+    let n4 = x.len() - x.len() % 4;
+    let mut acc = 0.0f64;
+    let mut i = 0;
+    while i < n4 {
+        acc = acc + x[i].abs() + x[i + 1].abs() + x[i + 2].abs() + x[i + 3].abs();
+        i += 4;
+    }
+    while i < x.len() {
+        acc += x[i].abs();
+        i += 1;
+    }
+    acc
 }
 
 /// Infinity norm `max |xᵢ|` (0 for the empty vector).
@@ -32,19 +82,88 @@ pub fn norm_inf(x: &[f64]) -> f64 {
 }
 
 /// `y ← a·x + y`.
+///
+/// Elementwise (no cross-element data flow): 4-way unrolled, and
+/// thread-parallel for long vectors with per-element arithmetic
+/// unchanged — bit-identical at every thread count.
 #[inline]
 pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
+    if y.len() >= PAR_MIN_LEN {
+        ExecPool::from_env().par_zip_mut(y, x, PAR_MIN_LEN / 4, |yc, xc| axpy_seq(a, xc, yc));
+    } else {
+        axpy_seq(a, x, y);
+    }
+}
+
+#[inline]
+fn axpy_seq(a: f64, x: &[f64], y: &mut [f64]) {
+    let (y4, ytail) = y.split_at_mut(y.len() - y.len() % 4);
+    let (x4, xtail) = x.split_at(y4.len());
+    for (yc, xc) in y4.chunks_exact_mut(4).zip(x4.chunks_exact(4)) {
+        yc[0] += a * xc[0];
+        yc[1] += a * xc[1];
+        yc[2] += a * xc[2];
+        yc[3] += a * xc[3];
+    }
+    for (yi, xi) in ytail.iter_mut().zip(xtail) {
         *yi += a * xi;
     }
 }
 
-/// `x ← a·x`.
+/// `y ← a·x + b·y` elementwise — the CG direction update `p ← r + β·p`
+/// and the Chebyshev three-term recurrence `t ← 2·t − t_prev` are both
+/// instances. Thread-parallel for long vectors with per-element
+/// arithmetic unchanged, hence bit-identical at every thread count.
+#[inline]
+pub fn axpby(a: f64, x: &[f64], b: f64, y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    if y.len() >= PAR_MIN_LEN {
+        ExecPool::from_env().par_zip_mut(y, x, PAR_MIN_LEN / 4, |yc, xc| axpby_seq(a, xc, b, yc));
+    } else {
+        axpby_seq(a, x, b, y);
+    }
+}
+
+#[inline]
+fn axpby_seq(a: f64, x: &[f64], b: f64, y: &mut [f64]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = a * xi + b * *yi;
+    }
+}
+
+/// `y[i] ← x[i] / c` — the normalized copy of power iteration. Kept as a
+/// true division (not a multiply by `1/c`) so results match the scalar
+/// loop bit-for-bit; thread-parallel for long vectors.
+#[inline]
+pub fn copy_div(c: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    if y.len() >= PAR_MIN_LEN {
+        ExecPool::from_env().par_zip_mut(y, x, PAR_MIN_LEN / 4, |yc, xc| {
+            for (yi, xi) in yc.iter_mut().zip(xc) {
+                *yi = xi / c;
+            }
+        });
+    } else {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = xi / c;
+        }
+    }
+}
+
+/// `x ← a·x` (elementwise; thread-parallel for long vectors).
 #[inline]
 pub fn scale(a: f64, x: &mut [f64]) {
-    for xi in x.iter_mut() {
-        *xi *= a;
+    if x.len() >= PAR_MIN_LEN {
+        ExecPool::from_env().par_chunks_mut(x, PAR_MIN_LEN / 4, |_, chunk| {
+            for xi in chunk.iter_mut() {
+                *xi *= a;
+            }
+        });
+    } else {
+        for xi in x.iter_mut() {
+            *xi *= a;
+        }
     }
 }
 
@@ -116,12 +235,25 @@ pub fn sum(x: &[f64]) -> f64 {
     x.iter().sum()
 }
 
-/// Elementwise product `z = x ⊙ y` written into `z`.
+/// Elementwise product `z = x ⊙ y` written into `z` (thread-parallel
+/// for long vectors; per-element arithmetic unchanged).
 pub fn hadamard(x: &[f64], y: &[f64], z: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
     debug_assert_eq!(x.len(), z.len());
-    for ((zi, xi), yi) in z.iter_mut().zip(x).zip(y) {
-        *zi = xi * yi;
+    if z.len() >= PAR_MIN_LEN {
+        ExecPool::from_env().par_chunks_mut(z, PAR_MIN_LEN / 4, |start, chunk| {
+            let (xc, yc) = (
+                &x[start..start + chunk.len()],
+                &y[start..start + chunk.len()],
+            );
+            for ((zi, xi), yi) in chunk.iter_mut().zip(xc).zip(yc) {
+                *zi = xi * yi;
+            }
+        });
+    } else {
+        for ((zi, xi), yi) in z.iter_mut().zip(x).zip(y) {
+            *zi = xi * yi;
+        }
     }
 }
 
@@ -227,6 +359,121 @@ mod tests {
         let x = [1.0, 2.0];
         let y = [4.0, 6.0];
         assert_eq!(dist2(&x, &y), 5.0);
+    }
+
+    /// The naive reference implementations the unrolled kernels are
+    /// pinned against: one element at a time, strictly left to right.
+    fn naive_dot(x: &[f64], y: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (a, b) in x.iter().zip(y) {
+            acc += a * b;
+        }
+        acc
+    }
+
+    fn naive_norm1(x: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for a in x {
+            acc += a.abs();
+        }
+        acc
+    }
+
+    fn naive_axpy(a: f64, x: &[f64], y: &mut [f64]) {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += a * xi;
+        }
+    }
+
+    /// Awkward values whose sums are rounding-order sensitive, at
+    /// lengths straddling every unroll remainder (0..=3).
+    fn awkward(len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                let s = if i % 3 == 0 { -1.0 } else { 1.0 };
+                s * (1.0 + (i as f64) * 1e-3) * 10f64.powi((i % 13) as i32 - 6)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unrolled_kernels_bit_identical_to_naive_ordering() {
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 97, 1024, 1031] {
+            let x = awkward(len);
+            let y: Vec<f64> = awkward(len).iter().map(|v| v * 0.7 - 0.1).collect();
+            assert_eq!(
+                dot(&x, &y).to_bits(),
+                naive_dot(&x, &y).to_bits(),
+                "dot at len {len}"
+            );
+            assert_eq!(
+                norm2(&x).to_bits(),
+                naive_dot(&x, &x).sqrt().to_bits(),
+                "norm2 at len {len}"
+            );
+            assert_eq!(
+                norm1(&x).to_bits(),
+                naive_norm1(&x).to_bits(),
+                "norm1 at len {len}"
+            );
+            let mut got = y.clone();
+            axpy(0.3, &x, &mut got);
+            let mut want = y.clone();
+            naive_axpy(0.3, &x, &mut want);
+            assert_eq!(got, want, "axpy at len {len}");
+        }
+    }
+
+    #[test]
+    fn axpby_and_copy_div_match_scalar_loops_at_any_thread_count() {
+        // Crosses PAR_MIN_LEN so the pool path actually runs; the scalar
+        // references mirror the loops these helpers replaced in CG,
+        // Chebyshev, and power iteration.
+        let n = (1 << 15) + 5;
+        let x = awkward(n);
+        let base: Vec<f64> = awkward(n).iter().map(|v| v * 1.3 + 0.125).collect();
+        let want_axpby: Vec<f64> = base
+            .iter()
+            .zip(&x)
+            .map(|(yi, xi)| 0.7 * xi + (-1.9) * yi)
+            .collect();
+        let want_div: Vec<f64> = x.iter().map(|xi| xi / 3.7).collect();
+        for threads in ["1", "4"] {
+            std::env::set_var("ACIR_THREADS", threads);
+            let mut y = base.clone();
+            axpby(0.7, &x, -1.9, &mut y);
+            assert_eq!(y, want_axpby, "axpby at {threads} threads");
+            let mut d = vec![0.0; n];
+            copy_div(3.7, &x, &mut d);
+            assert_eq!(d, want_div, "copy_div at {threads} threads");
+            std::env::remove_var("ACIR_THREADS");
+        }
+    }
+
+    #[test]
+    fn long_elementwise_ops_match_sequential_at_any_thread_count() {
+        // Crosses PAR_MIN_LEN so the pool path actually runs.
+        let n = (1 << 15) + 3;
+        let x = awkward(n);
+        let base: Vec<f64> = awkward(n).iter().map(|v| v + 0.25).collect();
+        let mut want = base.clone();
+        naive_axpy(-1.7, &x, &mut want);
+        for threads in ["1", "4"] {
+            std::env::set_var("ACIR_THREADS", threads);
+            let mut got = base.clone();
+            axpy(-1.7, &x, &mut got);
+            assert_eq!(got, want, "axpy differs at {threads} threads");
+            let mut s = x.clone();
+            scale(0.5, &mut s);
+            assert!(s.iter().zip(&x).all(|(a, b)| *a == b * 0.5));
+            let mut h = vec![0.0; n];
+            hadamard(&x, &base, &mut h);
+            assert!(h
+                .iter()
+                .zip(x.iter().zip(&base))
+                .all(|(z, (a, b))| *z == a * b));
+            std::env::remove_var("ACIR_THREADS");
+        }
     }
 
     proptest! {

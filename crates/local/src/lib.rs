@@ -37,7 +37,7 @@ pub mod sweep;
 pub use hkrelax::{hk_relax, hk_relax_budgeted, HkRelaxResult};
 pub use mov::{mov_vector, MovResult};
 pub use nibble::{nibble, NibbleResult};
-pub use push::{ppr_push, ppr_push_budgeted, PushResult};
+pub use push::{ppr_push, ppr_push_batch, ppr_push_budgeted, PushResult};
 pub use sweep::{sweep_cut, sweep_cut_support, SweepResult};
 
 /// Errors from the local-methods layer.

@@ -167,6 +167,26 @@ pub fn ppr_push(g: &Graph, seeds: &[NodeId], alpha: f64, epsilon: f64) -> Result
     })
 }
 
+/// Run [`ppr_push`] for many seed sets in one call, fanned out over the
+/// ambient [`acir_exec::ExecPool`].
+///
+/// Each push is strongly local (its work is output-sized, independent
+/// of `n`), so a batch of seeds is embarrassingly parallel; results come
+/// back in input order and each entry is exactly what the corresponding
+/// single-seed call returns, at any thread count. The whole batch fails
+/// on the first invalid seed set — parameter errors are programmer
+/// errors, not data-dependent outcomes.
+pub fn ppr_push_batch(
+    g: &Graph,
+    seed_sets: &[Vec<NodeId>],
+    alpha: f64,
+    epsilon: f64,
+) -> Result<Vec<PushResult>> {
+    let outs = acir_exec::ExecPool::from_env()
+        .par_map(seed_sets, 1, |seeds| ppr_push(g, seeds, alpha, epsilon));
+    outs.into_iter().collect()
+}
+
 /// ACL push under an explicit resource [`Budget`], with contamination
 /// guards and a structured [`SolverOutcome`].
 ///
@@ -390,6 +410,31 @@ mod tests {
     use acir_graph::gen::random::barabasi_albert;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn push_batch_matches_single_runs_at_any_thread_count() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = barabasi_albert(&mut rng, 300, 3).unwrap();
+        let seed_sets: Vec<Vec<NodeId>> = vec![vec![0], vec![5, 9], vec![42], vec![100, 200, 17]];
+        let singles: Vec<PushResult> = seed_sets
+            .iter()
+            .map(|s| ppr_push(&g, s, 0.1, 1e-4).unwrap())
+            .collect();
+        for threads in ["1", "4"] {
+            std::env::set_var("ACIR_THREADS", threads);
+            let batch = ppr_push_batch(&g, &seed_sets, 0.1, 1e-4).unwrap();
+            assert_eq!(batch.len(), singles.len());
+            for (got, want) in batch.iter().zip(&singles) {
+                assert_eq!(got.vector, want.vector, "at {threads} threads");
+                assert_eq!(got.pushes, want.pushes);
+                assert_eq!(got.work, want.work);
+                assert_eq!(got.residual_mass.to_bits(), want.residual_mass.to_bits());
+            }
+            std::env::remove_var("ACIR_THREADS");
+        }
+        // One bad seed set poisons the whole batch.
+        assert!(ppr_push_batch(&g, &[vec![0], vec![]], 0.1, 1e-4).is_err());
+    }
 
     #[test]
     fn push_residuals_below_threshold() {

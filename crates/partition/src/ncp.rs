@@ -16,18 +16,21 @@
 //!
 //! Both return the same [`NcpPoint`] shape (including the winning
 //! cluster itself, so the Figure 1(b)/(c) niceness measures can be
-//! evaluated on exactly the plotted clusters). Seed-level work is
-//! parallelized with crossbeam scoped threads.
+//! evaluated on exactly the plotted clusters). Seed-level work fans out
+//! on the deterministic [`acir_exec::ExecPool`] (`opts.threads` by
+//! default, the `ACIR_THREADS` environment variable when set); the
+//! per-bin accumulator's tie-breaking makes every profile independent
+//! of the thread count.
 
 use crate::conductance::conductance_of_mask;
 use crate::multilevel::{recursive_partition, MultilevelOptions};
 use crate::Result;
+use acir_exec::ExecPool;
 use acir_flow::mqi;
 use acir_graph::{Graph, NodeId};
 use acir_local::push::ppr_push;
 use acir_local::sweep::sweep_cut_support;
-use acir_runtime::{Budget, Certificate, Diagnostics, SolverOutcome};
-use parking_lot::Mutex;
+use acir_runtime::{Budget, Certificate, Diagnostics, Exhaustion, SolverOutcome};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -197,48 +200,54 @@ pub fn ncp_local_spectral(g: &Graph, opts: &NcpOptions) -> Result<Vec<NcpPoint>>
         ));
     }
 
-    // Per-chunk accumulators merged in chunk order afterward, so the
-    // result is independent of thread completion order.
-    let chunk = seeds.len().div_ceil(opts.threads).max(1);
-    let n_chunks = seeds.chunks(chunk).count();
-    let results: Mutex<Vec<Option<NcpAccum>>> = Mutex::new((0..n_chunks).map(|_| None).collect());
-    crossbeam::scope(|scope| {
-        for (ci, chunk_seeds) in seeds.chunks(chunk).enumerate() {
-            let results = &results;
-            scope.spawn(move |_| {
-                let mut local = NcpAccum::default();
-                for &seed in chunk_seeds {
-                    for &alpha in &opts.alphas {
-                        for &eps in &opts.epsilons {
-                            let Ok(push) = ppr_push(g, &[seed], alpha, eps) else {
-                                continue;
-                            };
-                            let dense = push.to_dense(g.n());
-                            let sweep = sweep_cut_support(g, &dense);
-                            harvest_sweep(g, &mut local, opts, &sweep.order, &sweep.profile);
-                        }
-                    }
-                }
-                results.lock()[ci] = Some(local);
-            });
+    // Per-seed accumulators fanned out on the pool and merged in seed
+    // order afterward: the work decomposition is a function of the seed
+    // list alone and the merge order is fixed, so the profile is
+    // independent of both thread count and completion order.
+    let pool = ExecPool::from_env_or(opts.threads);
+    let locals = pool.par_map(&seeds, 1, |&seed| {
+        let mut local = NcpAccum::default();
+        for &alpha in &opts.alphas {
+            for &eps in &opts.epsilons {
+                let Ok(push) = ppr_push(g, &[seed], alpha, eps) else {
+                    continue;
+                };
+                let dense = push.to_dense(g.n());
+                let sweep = sweep_cut_support(g, &dense);
+                harvest_sweep(g, &mut local, opts, &sweep.order, &sweep.profile);
+            }
         }
-    })
-    .map_err(|_| crate::PartitionError::InvalidArgument("NCP worker panicked".into()))?;
+        local
+    });
 
     let mut accum = NcpAccum::default();
-    for r in results.into_inner().into_iter().flatten() {
+    for r in locals {
         accum.merge(r, opts.bins_per_decade);
     }
     Ok(accum.into_points())
+}
+
+/// What one budgeted NCP worker reports back: its harvest, how much of
+/// its grid share it covered, and its own metering record.
+struct BudgetedShard {
+    accum: NcpAccum,
+    done: usize,
+    exhausted: Option<Exhaustion>,
+    diags: Diagnostics,
 }
 
 /// Budgeted local-spectral NCP: the same (seed, α, ε) sweep grid as
 /// [`ncp_local_spectral`], metered against a [`Budget`] — one budget
 /// iteration and `work = edge traversals` per push run.
 ///
-/// Runs single-threaded (the meter is shared run state). The NCP is a
-/// lower envelope that only improves with more runs, so exhaustion
-/// returns the profile harvested so far as a certified partial: the
+/// The grid is split into `opts.threads` contiguous seed chunks and the
+/// budget into matching fair shares ([`Budget::split_across`]); each
+/// worker meters its own share and keeps its own [`Diagnostics`], so no
+/// lock sits on the hot path. Shards merge in chunk order — together
+/// with the deterministic split, the outcome is reproducible for a
+/// given `opts`. The NCP is a lower envelope that only improves with
+/// more runs, so exhaustion (any worker running dry) returns the
+/// profile harvested so far as a certified partial: the
 /// [`Certificate::ResidualNorm`] carries the *unexplored fraction* of
 /// the planned grid — `0` means full coverage, `0.75` means three
 /// quarters of the planned push runs never executed and the true
@@ -271,42 +280,78 @@ pub fn ncp_local_spectral_budgeted(
     }
 
     let planned = seeds.len() * opts.alphas.len() * opts.epsilons.len();
-    let mut meter = budget.start();
-    let mut diags = Diagnostics::new();
-    let mut accum = NcpAccum::default();
-    let mut done = 0usize;
-    'grid: for &seed in &seeds {
-        for &alpha in &opts.alphas {
-            for &eps in &opts.epsilons {
-                meter.tick_iter();
-                if let Some(ex) = meter.check() {
-                    diags.absorb_meter(&meter);
-                    diags.note(format!(
-                        "{ex}: explored {done} of {planned} planned push runs"
-                    ));
-                    let remaining = 1.0 - done as f64 / planned as f64;
-                    return Ok(SolverOutcome::BudgetExhausted {
-                        best_so_far: accum.into_points(),
-                        exhausted: ex,
-                        certificate: Certificate::ResidualNorm { value: remaining },
-                        diagnostics: diags,
-                    });
-                }
-                let Ok(push) = ppr_push(g, &[seed], alpha, eps) else {
-                    continue;
-                };
-                meter.add_work(push.work as u64);
-                let dense = push.to_dense(g.n());
-                let sweep = sweep_cut_support(g, &dense);
-                harvest_sweep(g, &mut accum, opts, &sweep.order, &sweep.profile);
-                done += 1;
-                if done == planned {
-                    break 'grid;
+    // Contiguous seed chunks with matching fair budget shares: both are
+    // pure functions of (seeds, threads, budget), so the run is
+    // reproducible. Each worker owns its meter and diagnostics — no
+    // shared lock on the push/sweep hot path.
+    let chunk = seeds.len().div_ceil(opts.threads).max(1);
+    let chunks: Vec<&[NodeId]> = seeds.chunks(chunk).collect();
+    let shares = budget.split_across(chunks.len());
+    let jobs: Vec<(&[NodeId], Budget)> = chunks.into_iter().zip(shares).collect();
+
+    let pool = ExecPool::from_env_or(opts.threads);
+    let shards = pool.par_map(&jobs, 1, |&(chunk_seeds, share)| {
+        let mut meter = share.start();
+        let mut diags = Diagnostics::new();
+        let mut accum = NcpAccum::default();
+        let mut done = 0usize;
+        let mut exhausted = None;
+        'grid: for &seed in chunk_seeds {
+            for &alpha in &opts.alphas {
+                for &eps in &opts.epsilons {
+                    meter.tick_iter();
+                    if let Some(ex) = meter.check() {
+                        exhausted = Some(ex);
+                        break 'grid;
+                    }
+                    let Ok(push) = ppr_push(g, &[seed], alpha, eps) else {
+                        continue;
+                    };
+                    meter.add_work(push.work as u64);
+                    let dense = push.to_dense(g.n());
+                    let sweep = sweep_cut_support(g, &dense);
+                    harvest_sweep(g, &mut accum, opts, &sweep.order, &sweep.profile);
+                    done += 1;
                 }
             }
         }
+        diags.absorb_meter(&meter);
+        BudgetedShard {
+            accum,
+            done,
+            exhausted,
+            diags,
+        }
+    });
+
+    // Merge shards in chunk order: accumulators fold, counters add, and
+    // the reported exhaustion is the first worker's (fixed order, not
+    // completion order).
+    let mut accum = NcpAccum::default();
+    let mut diags = Diagnostics::new();
+    let mut done = 0usize;
+    let mut exhausted = None;
+    for shard in shards {
+        accum.merge(shard.accum, opts.bins_per_decade);
+        done += shard.done;
+        diags.merge(&shard.diags);
+        if exhausted.is_none() {
+            exhausted = shard.exhausted;
+        }
     }
-    diags.absorb_meter(&meter);
+
+    if let Some(ex) = exhausted {
+        diags.note(format!(
+            "{ex}: explored {done} of {planned} planned push runs"
+        ));
+        let remaining = 1.0 - done as f64 / planned as f64;
+        return Ok(SolverOutcome::BudgetExhausted {
+            best_so_far: accum.into_points(),
+            exhausted: ex,
+            certificate: Certificate::ResidualNorm { value: remaining },
+            diagnostics: diags,
+        });
+    }
     diags.note(format!("explored the full grid of {planned} push runs"));
     Ok(SolverOutcome::Converged {
         value: accum.into_points(),
@@ -332,61 +377,48 @@ pub fn ncp_metis_mqi(g: &Graph, opts: &NcpOptions) -> Result<Vec<NcpPoint>> {
     };
 
     let total = g.total_volume();
-    let chunk = targets.len().div_ceil(opts.threads).max(1);
-    let n_chunks = targets.chunks(chunk).count();
-    let results: Mutex<Vec<Option<NcpAccum>>> = Mutex::new((0..n_chunks).map(|_| None).collect());
-    crossbeam::scope(|scope| {
-        for (ci, chunk_targets) in targets.chunks(chunk).enumerate() {
-            let results = &results;
-            scope.spawn(move |_| {
-                let mut local = NcpAccum::default();
-                for (ti, &target) in chunk_targets.iter().enumerate() {
-                    let ml = MultilevelOptions {
-                        seed: opts.rng_seed ^ ((ci * 1000 + ti) as u64),
-                        ..Default::default()
-                    };
-                    let Ok(pieces) = recursive_partition(g, target, &ml) else {
-                        continue;
-                    };
-                    for piece in pieces {
-                        if piece.len() < opts.min_size
-                            || piece.len() > opts.max_size
-                            || piece.len() >= g.n()
-                        {
-                            continue;
-                        }
-                        if g.volume(&piece) > total / 2.0 {
-                            continue;
-                        }
-                        // Harvest the raw piece...
-                        let mut mask = vec![false; g.n()];
-                        for &u in &piece {
-                            mask[u as usize] = true;
-                        }
-                        let phi_raw = conductance_of_mask(g, &mask);
-                        local.offer(opts.bins_per_decade, phi_raw, &piece);
-                        // ...and its MQI polish.
-                        if let Ok(improved) = mqi(g, &piece) {
-                            if improved.set.len() >= opts.min_size
-                                && improved.set.len() <= opts.max_size
-                            {
-                                local.offer(
-                                    opts.bins_per_decade,
-                                    improved.conductance,
-                                    &improved.set,
-                                );
-                            }
-                        }
-                    }
+    // One job per ladder target, each seeded by its *global* ladder
+    // index: the multilevel RNG stream for a target no longer depends on
+    // how targets happen to be chunked across workers, only on the
+    // ladder itself. Merging in ladder order keeps the profile
+    // independent of thread count and completion order.
+    let indexed: Vec<(usize, usize)> = targets.iter().copied().enumerate().collect();
+    let pool = ExecPool::from_env_or(opts.threads);
+    let locals = pool.par_map(&indexed, 1, |&(ti, target)| {
+        let mut local = NcpAccum::default();
+        let ml = MultilevelOptions {
+            seed: opts.rng_seed ^ (ti as u64),
+            ..Default::default()
+        };
+        let Ok(pieces) = recursive_partition(g, target, &ml) else {
+            return local;
+        };
+        for piece in pieces {
+            if piece.len() < opts.min_size || piece.len() > opts.max_size || piece.len() >= g.n() {
+                continue;
+            }
+            if g.volume(&piece) > total / 2.0 {
+                continue;
+            }
+            // Harvest the raw piece...
+            let mut mask = vec![false; g.n()];
+            for &u in &piece {
+                mask[u as usize] = true;
+            }
+            let phi_raw = conductance_of_mask(g, &mask);
+            local.offer(opts.bins_per_decade, phi_raw, &piece);
+            // ...and its MQI polish.
+            if let Ok(improved) = mqi(g, &piece) {
+                if improved.set.len() >= opts.min_size && improved.set.len() <= opts.max_size {
+                    local.offer(opts.bins_per_decade, improved.conductance, &improved.set);
                 }
-                results.lock()[ci] = Some(local);
-            });
+            }
         }
-    })
-    .map_err(|_| crate::PartitionError::InvalidArgument("NCP worker panicked".into()))?;
+        local
+    });
 
     let mut accum = NcpAccum::default();
-    for r in results.into_inner().into_iter().flatten() {
+    for r in locals {
         accum.merge(r, opts.bins_per_decade);
     }
     Ok(accum.into_points())

@@ -78,6 +78,39 @@ impl Budget {
         self
     }
 
+    /// Split this budget into `k` fair shares for parallel workers.
+    ///
+    /// Iteration and work ceilings are divided so the shares sum to at
+    /// most the original ceiling (`floor(total/k)` each, with the
+    /// remainder spread one unit at a time over the *first* shares —
+    /// a pure function of `(total, k)`, so the split is deterministic).
+    /// Unlimited axes stay unlimited, and the wall-clock deadline is
+    /// copied verbatim: workers run concurrently, so they share the
+    /// calendar, not a quota.
+    ///
+    /// Panics if `k == 0`.
+    pub fn split_across(&self, k: usize) -> Vec<Budget> {
+        assert!(k > 0, "cannot split a budget across zero workers");
+        let share = |total: u64, i: u64| -> u64 {
+            if total == u64::MAX {
+                u64::MAX
+            } else {
+                total / k as u64 + u64::from(i < total % k as u64)
+            }
+        };
+        (0..k as u64)
+            .map(|i| Budget {
+                max_iters: if self.max_iters == usize::MAX {
+                    usize::MAX
+                } else {
+                    share(self.max_iters as u64, i) as usize
+                },
+                max_work: share(self.max_work, i),
+                deadline: self.deadline,
+            })
+            .collect()
+    }
+
     /// Begin metering a run against this budget.
     pub fn start(&self) -> BudgetMeter {
         BudgetMeter {
@@ -248,6 +281,35 @@ mod tests {
             waited < Duration::from_millis(500),
             "fired late: {waited:?}"
         );
+    }
+
+    #[test]
+    fn split_across_is_fair_and_preserves_unlimited() {
+        let shares = Budget::work(10).split_across(3);
+        assert_eq!(shares.len(), 3);
+        assert_eq!(
+            shares.iter().map(|b| b.max_work).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
+        assert!(shares.iter().all(|b| b.max_iters == usize::MAX));
+
+        let it = Budget::iterations(7).split_across(2);
+        assert_eq!(it[0].max_iters, 4);
+        assert_eq!(it[1].max_iters, 3);
+
+        let unl = Budget::unlimited().split_across(5);
+        assert!(unl
+            .iter()
+            .all(|b| b.max_iters == usize::MAX && b.max_work == u64::MAX));
+
+        let d = Budget::deadline(Duration::from_secs(9)).split_across(4);
+        assert!(d.iter().all(|b| b.deadline == Some(Duration::from_secs(9))));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero workers")]
+    fn split_across_zero_panics() {
+        let _ = Budget::unlimited().split_across(0);
     }
 
     #[test]

@@ -69,6 +69,28 @@ impl Diagnostics {
         self.elapsed = meter.elapsed();
     }
 
+    /// Fold another run's diagnostics into this one, for fan-out solvers
+    /// that meter each parallel worker separately and report one merged
+    /// record.
+    ///
+    /// Counters add; `elapsed` takes the maximum (workers run
+    /// concurrently, so the slowest one is the wall time); events append
+    /// in call order and each worker's residual trail is concatenated
+    /// (the merged `residual_stride` becomes the coarsest of the two —
+    /// the trail is a convergence sketch, not an aligned time series).
+    /// Merging workers in a fixed order keeps the result deterministic.
+    pub fn merge(&mut self, other: &Diagnostics) {
+        self.iterations += other.iterations;
+        self.work += other.work;
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.restarts += other.restarts;
+        self.residual_stride = self.residual_stride.max(other.residual_stride);
+        for &r in &other.residuals {
+            self.push_residual(r);
+        }
+        self.events.extend(other.events.iter().cloned());
+    }
+
     /// Last recorded residual, if any.
     pub fn last_residual(&self) -> Option<f64> {
         self.residuals.last().copied()
@@ -108,6 +130,30 @@ mod tests {
         d.push_residual(f64::NAN);
         d.push_residual(1.5);
         assert_eq!(d.best_residual(), Some(1.5));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_takes_max_elapsed() {
+        let mut a = Diagnostics::new();
+        a.iterations = 3;
+        a.work = 10;
+        a.elapsed = Duration::from_millis(5);
+        a.push_residual(0.5);
+        a.note("worker 0 done");
+        let mut b = Diagnostics::new();
+        b.iterations = 4;
+        b.work = 7;
+        b.restarts = 1;
+        b.elapsed = Duration::from_millis(9);
+        b.push_residual(0.25);
+        b.note("worker 1 done");
+        a.merge(&b);
+        assert_eq!(a.iterations, 7);
+        assert_eq!(a.work, 17);
+        assert_eq!(a.restarts, 1);
+        assert_eq!(a.elapsed, Duration::from_millis(9));
+        assert_eq!(a.residuals, vec![0.5, 0.25]);
+        assert_eq!(a.events, vec!["worker 0 done", "worker 1 done"]);
     }
 
     #[test]

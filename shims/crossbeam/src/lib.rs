@@ -2,15 +2,18 @@
 //! uses: `crossbeam::scope`, implemented over [`std::thread::scope`]
 //! (stable since Rust 1.63, within the workspace MSRV).
 //!
-//! Behavior difference from upstream: a panicking worker propagates at
-//! scope exit (std semantics) instead of surfacing as `Err`; the `Ok`
-//! path — the only one workspace code relies on for results — is
-//! identical.
+//! Matches upstream error semantics: a panic — in the closure itself or
+//! in an unjoined worker thread — is caught at the scope boundary and
+//! surfaced as `Err(payload)` instead of unwinding the caller. (Upstream
+//! collects every worker payload; this shim reports the one `std`
+//! re-raises at scope exit, which is enough for callers that only match
+//! on `Err`.)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Scope handle passed to the `crossbeam::scope` closure.
 pub struct Scope<'scope, 'env: 'scope> {
@@ -35,11 +38,18 @@ impl<'scope, 'env> Scope<'scope, 'env> {
 
 /// Run `f` with a scope in which borrowing, scoped threads can be
 /// spawned; all workers are joined before this returns.
+///
+/// Returns `Err(payload)` if `f` or any spawned worker panicked, like
+/// upstream `crossbeam::scope`; the calling thread never unwinds.
 pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
-    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    // AssertUnwindSafe is sound here: on Err the closure's captures are
+    // never touched again — the payload is handed straight to the caller.
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
 }
 
 #[cfg(test)]
@@ -60,5 +70,22 @@ mod tests {
         let mut got = sums.into_inner().unwrap();
         got.sort_unstable();
         assert_eq!(got, vec![3, 7]);
+    }
+
+    #[test]
+    fn panicking_worker_surfaces_as_err_not_unwind() {
+        let err = super::scope(|scope| {
+            scope.spawn(|_| panic!("worker exploded"));
+        });
+        assert!(err.is_err(), "worker panic must become Err, not unwind");
+
+        // A panic in the closure itself carries its payload through.
+        let err = super::scope(|_| -> () { panic!("closure exploded") });
+        let payload = err.expect_err("closure panic must become Err");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "closure exploded");
+
+        // And the Ok path still returns the closure's value.
+        assert_eq!(super::scope(|_| 42).ok(), Some(42));
     }
 }

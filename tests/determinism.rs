@@ -98,6 +98,86 @@ fn ncp_pipelines_are_deterministic_across_thread_counts() {
     assert_eq!(key(&a), key(&c));
 }
 
+/// Run `f` with the `ACIR_THREADS` override set to `n`, then clear it.
+///
+/// Every env-flipping assertion lives in the single test below — tests
+/// in one binary run concurrently, and a second test racing on the same
+/// process-global variable would make thread counts nondeterministic in
+/// exactly the suite that checks determinism.
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    std::env::set_var(THREADS_ENV, n.to_string());
+    let out = f();
+    std::env::remove_var(THREADS_ENV);
+    out
+}
+
+#[test]
+fn parallel_kernels_bit_identical_across_env_thread_counts() {
+    let pc = social_network(
+        &mut rng(17),
+        &SocialNetworkParams {
+            core_nodes: 300,
+            core_attach: 3,
+            communities: 6,
+            community_size_range: (5, 40),
+            whiskers: 12,
+            whisker_max_len: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let (g, _) = acir_graph::traversal::largest_component(&pc.graph);
+
+    // Lanczos Fiedler solve: same eigenpair to the last bit.
+    let f1 = with_threads(1, || fiedler_vector(&g).unwrap());
+    let f4 = with_threads(4, || fiedler_vector(&g).unwrap());
+    assert_eq!(f1.lambda2.to_bits(), f4.lambda2.to_bits());
+    assert_eq!(f1.vector, f4.vector);
+
+    // PPR push plus the sweep over its embedding: same vector, same cut.
+    let p1 = with_threads(1, || ppr_push(&g, &[0, 5], 0.08, 1e-4).unwrap());
+    let p4 = with_threads(4, || ppr_push(&g, &[0, 5], 0.08, 1e-4).unwrap());
+    assert_eq!(p1.vector, p4.vector);
+    assert_eq!(p1.pushes, p4.pushes);
+    let dense = |sparse: &[(NodeId, f64)]| {
+        let mut x = vec![0.0; g.n()];
+        for &(u, v) in sparse {
+            x[u as usize] = v;
+        }
+        x
+    };
+    let s1 = sweep_cut_support(&g, &dense(&p1.vector));
+    let s4 = sweep_cut_support(&g, &dense(&p4.vector));
+    assert_eq!(s1.set, s4.set);
+    assert_eq!(s1.conductance.to_bits(), s4.conductance.to_bits());
+
+    // Batched pushes distribute seeds across workers; still identical.
+    let sets: Vec<Vec<NodeId>> = (0..6).map(|i| vec![i * 40]).collect();
+    let b1 = with_threads(1, || ppr_push_batch(&g, &sets, 0.08, 1e-4).unwrap());
+    let b4 = with_threads(4, || ppr_push_batch(&g, &sets, 0.08, 1e-4).unwrap());
+    for (ra, rb) in b1.iter().zip(&b4) {
+        assert_eq!(ra.vector, rb.vector);
+    }
+
+    // The quick NCP sweep (the perfsuite's workload): same envelope.
+    let opts = NcpOptions {
+        min_size: 2,
+        max_size: 120,
+        seeds: 10,
+        alphas: vec![0.1, 0.01],
+        epsilons: vec![1e-3],
+        ..Default::default()
+    };
+    let n1 = with_threads(1, || ncp_local_spectral(&g, &opts).unwrap());
+    let n4 = with_threads(4, || ncp_local_spectral(&g, &opts).unwrap());
+    assert_eq!(n1.len(), n4.len());
+    for (pa, pb) in n1.iter().zip(&n4) {
+        assert_eq!(pa.size, pb.size);
+        assert_eq!(pa.conductance.to_bits(), pb.conductance.to_bits());
+        assert_eq!(pa.set, pb.set);
+    }
+}
+
 #[test]
 fn deterministic_solvers_are_bitwise_stable() {
     let g = gen::deterministic::barbell(7, 1).unwrap();
