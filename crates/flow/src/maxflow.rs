@@ -183,7 +183,7 @@ impl FlowNetwork {
         let upper = out_s.min(in_t);
 
         let mut meter = budget.start();
-        let mut diags = Diagnostics::new();
+        let mut diags = Diagnostics::for_kernel("flow.dinic");
         let mut total = 0.0;
         let mut phases = 0usize;
         let mut level = vec![-1i32; n];
@@ -196,18 +196,18 @@ impl FlowNetwork {
                 diags.note(format!(
                     "{ex} after {phases} blocking-flow phases; returning feasible partial flow"
                 ));
-                return Ok(SolverOutcome::BudgetExhausted {
-                    best_so_far: MaxFlowResult {
+                return Ok(SolverOutcome::exhausted(
+                    MaxFlowResult {
                         value: total,
                         source_side: self.residual_reachable(s),
                     },
-                    exhausted: ex,
-                    certificate: Certificate::FlowGap {
+                    ex,
+                    Certificate::FlowGap {
                         value: total,
                         upper_bound: upper,
                     },
-                    diagnostics: diags,
-                });
+                    diags,
+                ));
             }
             // BFS to build the level graph.
             level.fill(-1);
@@ -246,13 +246,13 @@ impl FlowNetwork {
         }
         diags.absorb_meter(&meter);
         diags.note(format!("maximum flow reached after {phases} phases"));
-        Ok(SolverOutcome::Converged {
-            value: MaxFlowResult {
+        Ok(SolverOutcome::converged(
+            MaxFlowResult {
                 value: total,
                 source_side: self.residual_reachable(s),
             },
-            diagnostics: diags,
-        })
+            diags,
+        ))
     }
 
     /// DFS from `u` pushing at most `limit` flow toward `t` along the

@@ -232,13 +232,10 @@ pub fn mqi_budgeted(
             "MQI side must have at most half the total volume".into(),
         ));
     }
-    let mut diags = Diagnostics::new();
+    let mut diags = Diagnostics::for_kernel("flow.mqi");
     if cut0 == 0.0 {
         diags.note("input side is already disconnected: conductance 0, nothing to improve");
-        return Ok(SolverOutcome::Converged {
-            value: finish(g, &member, 0.0, 0),
-            diagnostics: diags,
-        });
+        return Ok(SolverOutcome::converged(finish(g, &member, 0.0, 0), diags));
     }
     let initial_conductance = cut0 / vol0;
 
@@ -254,15 +251,15 @@ pub fn mqi_budgeted(
             diags.note(format!(
                 "{ex} after {iterations} flow rounds; current side is a valid improved cut"
             ));
-            return Ok(SolverOutcome::BudgetExhausted {
-                best_so_far: finish(g, &current, initial_conductance, iterations),
-                exhausted: ex,
-                certificate: Certificate::FlowGap {
+            return Ok(SolverOutcome::exhausted(
+                finish(g, &current, initial_conductance, iterations),
+                ex,
+                Certificate::FlowGap {
                     value: best_phi,
                     upper_bound: initial_conductance,
                 },
-                diagnostics: diags,
-            });
+                diags,
+            ));
         }
         let nodes: Vec<NodeId> = (0..n as NodeId).filter(|&u| current[u as usize]).collect();
         let k = nodes.len();
@@ -340,10 +337,10 @@ pub fn mqi_budgeted(
     diags.note(format!(
         "quotient-cut optimum inside the side after {iterations} flow rounds"
     ));
-    Ok(SolverOutcome::Converged {
-        value: finish(g, &current, initial_conductance, iterations),
-        diagnostics: diags,
-    })
+    Ok(SolverOutcome::converged(
+        finish(g, &current, initial_conductance, iterations),
+        diags,
+    ))
 }
 
 #[cfg(test)]

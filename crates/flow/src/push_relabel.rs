@@ -126,7 +126,7 @@ impl PushRelabelNetwork {
             .sum();
         let upper = out_s.min(in_t);
         let mut meter = budget.start();
-        let mut diags = Diagnostics::new();
+        let mut diags = Diagnostics::for_kernel("flow.push_relabel");
 
         let mut height = vec![0usize; n];
         let mut excess = vec![0.0f64; n];
@@ -200,18 +200,18 @@ impl PushRelabelNetwork {
                     "{ex} after {discharges} discharges; returning sink excess as partial flow"
                 ));
                 let value = excess[t];
-                return Ok(SolverOutcome::BudgetExhausted {
-                    best_so_far: MaxFlowResult {
+                return Ok(SolverOutcome::exhausted(
+                    MaxFlowResult {
                         value,
                         source_side: self.residual_reachable(s),
                     },
-                    exhausted: ex,
-                    certificate: Certificate::FlowGap {
+                    ex,
+                    Certificate::FlowGap {
                         value,
                         upper_bound: upper,
                     },
-                    diagnostics: diags,
-                });
+                    diags,
+                ));
             }
             if !excess[t].is_finite() {
                 diags.absorb_meter(&meter);
@@ -287,13 +287,13 @@ impl PushRelabelNetwork {
         diags.absorb_meter(&meter);
         diags.note(format!("preflow drained after {discharges} discharges"));
         diags.push_residual((upper - excess[t]).max(0.0));
-        Ok(SolverOutcome::Converged {
-            value: MaxFlowResult {
+        Ok(SolverOutcome::converged(
+            MaxFlowResult {
                 value: excess[t],
                 source_side: self.residual_reachable(s),
             },
-            diagnostics: diags,
-        })
+            diags,
+        ))
     }
 
     /// Nodes reachable from `s` in the current residual network.

@@ -211,7 +211,7 @@ impl ChebyshevExpansion {
         };
 
         let mut meter = budget.start();
-        let mut diags = Diagnostics::new();
+        let mut diags = Diagnostics::for_kernel("linalg.chebyshev");
         // Remaining-tail weights: tail[d] = Σ_{k>d} |c_k|.
         let mut tail: Vec<f64> = vec![0.0; self.coeffs.len()];
         for d in (0..self.coeffs.len().saturating_sub(1)).rev() {
@@ -232,14 +232,14 @@ impl ChebyshevExpansion {
             if let Some(exhausted) = meter.add_work(1) {
                 diags.absorb_meter(&meter);
                 diags.note(format!("truncated at degree {}", deg - 1));
-                return Ok(SolverOutcome::BudgetExhausted {
-                    best_so_far: acc,
+                return Ok(SolverOutcome::exhausted(
+                    acc,
                     exhausted,
-                    certificate: Certificate::ResidualNorm {
+                    Certificate::ResidualNorm {
                         value: tail[deg - 1] * vnorm,
                     },
-                    diagnostics: diags,
-                });
+                    diags,
+                ));
             }
             apply_t(&t_curr, &mut t_next);
             vector::axpby(-1.0, &t_prev, 2.0, &mut t_next);
@@ -268,10 +268,7 @@ impl ChebyshevExpansion {
             std::mem::swap(&mut t_curr, &mut t_next);
         }
         diags.absorb_meter(&meter);
-        Ok(SolverOutcome::Converged {
-            value: acc,
-            diagnostics: diags,
-        })
+        Ok(SolverOutcome::converged(acc, diags))
     }
 }
 
@@ -324,9 +321,9 @@ pub fn cheb_heat_kernel_resilient(
         }
         _ => {
             let value = crate::expm::expm_multiply(op, -t, v, 30)?;
-            let mut diagnostics = Diagnostics::new();
+            let mut diagnostics = Diagnostics::for_kernel("linalg.expm_krylov");
             diagnostics.note("fell back to Krylov expm (power-method family)");
-            Ok(SolverOutcome::Converged { value, diagnostics })
+            Ok(SolverOutcome::converged(value, diagnostics))
         }
     })
 }

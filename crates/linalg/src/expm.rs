@@ -148,11 +148,19 @@ pub fn expm_multiply_budgeted(
         Ok(out)
     };
 
+    // The adopted Lanczos trace is re-wrapped in this kernel's span so
+    // the trace shows expm over its inner tridiagonalization.
     Ok(match outcome {
-        SolverOutcome::Converged { value, diagnostics } => SolverOutcome::Converged {
-            value: lift(&value)?,
-            diagnostics,
-        },
+        SolverOutcome::Converged {
+            value,
+            mut diagnostics,
+        } => {
+            diagnostics.wrap_span("linalg.expm_krylov");
+            SolverOutcome::Converged {
+                value: lift(&value)?,
+                diagnostics,
+            }
+        }
         SolverOutcome::BudgetExhausted {
             best_so_far,
             exhausted,
@@ -163,6 +171,7 @@ pub fn expm_multiply_budgeted(
                 "heat kernel evaluated on a partial Krylov space of dimension {}",
                 best_so_far.k()
             ));
+            diagnostics.wrap_span("linalg.expm_krylov");
             SolverOutcome::BudgetExhausted {
                 best_so_far: lift(&best_so_far)?,
                 exhausted,
@@ -173,12 +182,15 @@ pub fn expm_multiply_budgeted(
         SolverOutcome::Diverged {
             at_iter,
             cause,
-            diagnostics,
-        } => SolverOutcome::Diverged {
-            at_iter,
-            cause,
-            diagnostics,
-        },
+            mut diagnostics,
+        } => {
+            diagnostics.wrap_span("linalg.expm_krylov");
+            SolverOutcome::Diverged {
+                at_iter,
+                cause,
+                diagnostics,
+            }
+        }
     })
 }
 

@@ -11,7 +11,7 @@
 
 use crate::LinOp;
 use acir_runtime::{FaultConfig, FaultStream};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 /// A [`LinOp`] decorator that injects faults into every application.
 ///
@@ -21,6 +21,7 @@ use std::cell::RefCell;
 pub struct FaultyOp<'a> {
     inner: &'a dyn LinOp,
     stream: RefCell<FaultStream>,
+    faults: Cell<u64>,
 }
 
 impl<'a> FaultyOp<'a> {
@@ -29,12 +30,20 @@ impl<'a> FaultyOp<'a> {
         Self {
             inner,
             stream: RefCell::new(config.stream()),
+            faults: Cell::new(0),
         }
     }
 
     /// Number of operator applications performed so far.
     pub fn applies(&self) -> u64 {
         self.stream.borrow().applies()
+    }
+
+    /// Total values corrupted so far, for surfacing as a
+    /// `fault_injected` event via
+    /// `acir_runtime::Diagnostics::fault_injected`.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.get()
     }
 }
 
@@ -47,7 +56,8 @@ impl LinOp for FaultyOp<'_> {
         let mut stream = self.stream.borrow_mut();
         stream.begin_apply();
         self.inner.apply(x, y);
-        stream.corrupt_slice(y);
+        let hit = stream.corrupt_slice(y);
+        self.faults.set(self.faults.get() + hit);
     }
 }
 
@@ -72,6 +82,18 @@ mod tests {
         let f = FaultyOp::new(&a, FaultConfig::nans(1.0));
         let y = f.apply_vec(&[1.0; 4]);
         assert!(y.iter().all(|v| v.is_nan()));
+        assert_eq!(f.faults_injected(), 4);
+    }
+
+    #[test]
+    fn fault_counter_feeds_diagnostics_events() {
+        let a = DenseMatrix::identity(4);
+        let f = FaultyOp::new(&a, FaultConfig::nans(1.0));
+        let _ = f.apply_vec(&[1.0; 4]);
+        let mut d = acir_runtime::Diagnostics::for_kernel("test.faulted");
+        d.fault_injected("nan", f.faults_injected());
+        assert_eq!(d.metrics.counter("faults_injected"), 4);
+        assert_eq!(d.trace.counts()["fault_injected"], 1);
     }
 
     #[test]

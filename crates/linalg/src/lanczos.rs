@@ -213,7 +213,7 @@ pub fn lanczos_budgeted(
     }
 
     let mut meter = budget.start();
-    let mut diags = Diagnostics::new();
+    let mut diags = Diagnostics::for_kernel("linalg.lanczos");
     let mut alpha = Vec::with_capacity(k);
     let mut beta: Vec<f64> = Vec::with_capacity(k.saturating_sub(1));
     let mut basis = vec![q.clone()];
@@ -250,17 +250,17 @@ pub fn lanczos_budgeted(
         meter.tick_iter();
         if let Some(exhausted) = meter.add_work(1) {
             diags.absorb_meter(&meter);
-            return Ok(SolverOutcome::BudgetExhausted {
-                best_so_far: LanczosResult {
+            return Ok(SolverOutcome::exhausted(
+                LanczosResult {
                     alpha,
                     beta,
                     basis,
                     breakdown: false,
                 },
                 exhausted,
-                certificate: Certificate::ResidualNorm { value: b_j },
-                diagnostics: diags,
-            });
+                Certificate::ResidualNorm { value: b_j },
+                diags,
+            ));
         }
         beta.push(b_j);
         let mut next = w.clone();
@@ -269,15 +269,15 @@ pub fn lanczos_budgeted(
     }
 
     diags.absorb_meter(&meter);
-    Ok(SolverOutcome::Converged {
-        value: LanczosResult {
+    Ok(SolverOutcome::converged(
+        LanczosResult {
             alpha,
             beta,
             basis,
             breakdown,
         },
-        diagnostics: diags,
-    })
+        diags,
+    ))
 }
 
 /// Budgeted, retrying version of [`smallest_eigenpairs`]: computes the

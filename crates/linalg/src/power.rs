@@ -157,7 +157,7 @@ pub fn power_method_budgeted(
     // Power residuals plateau legitimately under pure early stopping,
     // so only contamination and blow-up are treated as divergence.
     let mut guard = ConvergenceGuard::new(GuardConfig::contamination_only());
-    let mut diags = Diagnostics::new();
+    let mut diags = Diagnostics::for_kernel("linalg.power");
 
     let mut av = vec![0.0; n];
     let mut eigenvalue;
@@ -218,28 +218,28 @@ pub fn power_method_budgeted(
                 center: best_so_far.eigenvalue,
                 radius: best_so_far.residual,
             };
-            return Ok(SolverOutcome::BudgetExhausted {
+            return Ok(SolverOutcome::exhausted(
                 best_so_far,
                 exhausted,
                 certificate,
-                diagnostics: diags,
-            });
+                diags,
+            ));
         }
     }
 
     diags.absorb_meter(&meter);
     diags.iterations = iterations;
     let converged = opts.tol > 0.0 && residual <= opts.tol;
-    Ok(SolverOutcome::Converged {
-        value: PowerResult {
+    Ok(SolverOutcome::converged(
+        PowerResult {
             eigenvalue,
             eigenvector: v,
             iterations,
             residual,
             converged,
         },
-        diagnostics: diags,
-    })
+        diags,
+    ))
 }
 
 /// Rayleigh quotient `xᵀAx / xᵀx`.

@@ -313,7 +313,7 @@ pub fn cg_budgeted(
         .with_max_iters(budget.max_iters.min(opts.max_iters))
         .start();
     let mut guard = ConvergenceGuard::new(GuardConfig::default());
-    let mut diags = Diagnostics::new();
+    let mut diags = Diagnostics::for_kernel("linalg.cg");
     // Initial matvec for the starting residual.
     meter.add_work(1);
 
@@ -336,30 +336,30 @@ pub fn cg_budgeted(
         if rel <= opts.tol {
             diags.absorb_meter(&meter);
             diags.iterations = iterations;
-            return Ok(SolverOutcome::Converged {
-                value: CgResult {
+            return Ok(SolverOutcome::converged(
+                CgResult {
                     x,
                     iterations,
                     relative_residual: rel,
                     converged: true,
                 },
-                diagnostics: diags,
-            });
+                diags,
+            ));
         }
         meter.tick_iter();
         if let Some(exhausted) = meter.add_work(1) {
             diags.absorb_meter(&meter);
-            return Ok(SolverOutcome::BudgetExhausted {
-                best_so_far: CgResult {
+            return Ok(SolverOutcome::exhausted(
+                CgResult {
                     x: best_x,
                     iterations,
                     relative_residual: best_rel,
                     converged: false,
                 },
                 exhausted,
-                certificate: Certificate::ResidualNorm { value: best_rel },
-                diagnostics: diags,
-            });
+                Certificate::ResidualNorm { value: best_rel },
+                diags,
+            ));
         }
 
         op.apply(&p, &mut ap);
@@ -369,15 +369,15 @@ pub fn cg_budgeted(
                 // Numerically converged; the direction just died first.
                 diags.absorb_meter(&meter);
                 diags.iterations = iterations;
-                return Ok(SolverOutcome::Converged {
-                    value: CgResult {
+                return Ok(SolverOutcome::converged(
+                    CgResult {
                         x,
                         iterations,
                         relative_residual: rel,
                         converged: true,
                     },
-                    diagnostics: diags,
-                });
+                    diags,
+                ));
             }
             diags.absorb_meter(&meter);
             return Ok(SolverOutcome::diverged(

@@ -225,7 +225,7 @@ pub fn hk_relax_budgeted(
     let mut accounted = 0.0;
     let mut work = 0usize;
     let mut meter = budget.start();
-    let mut diags = Diagnostics::new();
+    let mut diags = Diagnostics::for_kernel("local.hk_relax");
 
     let finish = |h: &[f64],
                   ever_touched: &[bool],
@@ -270,15 +270,15 @@ pub fn hk_relax_budgeted(
         if let Some(exhausted) = meter.check() {
             diags.absorb_meter(&meter);
             diags.note(format!("stopped after Taylor term {k} of {terms}"));
-            return Ok(SolverOutcome::BudgetExhausted {
-                best_so_far: finish(&h, &ever_touched, k + 1, accounted, work),
+            return Ok(SolverOutcome::exhausted(
+                finish(&h, &ever_touched, k + 1, accounted, work),
                 exhausted,
-                certificate: Certificate::ResidualMass {
+                Certificate::ResidualMass {
                     remaining: (1.0 - accounted).max(0.0),
                     per_degree_bound: epsilon,
                 },
-                diagnostics: diags,
-            });
+                diags,
+            ));
         }
         let mut next_support: Vec<NodeId> = Vec::with_capacity(support.len() * 2);
         let mut traversals = 0u64;
@@ -302,15 +302,15 @@ pub fn hk_relax_budgeted(
             // (through term k) is still a valid truncation.
             diags.absorb_meter(&meter);
             diags.note(format!("work exhausted propagating term {k}"));
-            return Ok(SolverOutcome::BudgetExhausted {
-                best_so_far: finish(&h, &ever_touched, k + 1, accounted, work),
+            return Ok(SolverOutcome::exhausted(
+                finish(&h, &ever_touched, k + 1, accounted, work),
                 exhausted,
-                certificate: Certificate::ResidualMass {
+                Certificate::ResidualMass {
                     remaining: (1.0 - accounted).max(0.0),
                     per_degree_bound: epsilon,
                 },
-                diagnostics: diags,
-            });
+                diags,
+            ));
         }
         let mut kept = Vec::with_capacity(next_support.len());
         for &v in &next_support {
@@ -343,10 +343,10 @@ pub fn hk_relax_budgeted(
     }
 
     diags.absorb_meter(&meter);
-    Ok(SolverOutcome::Converged {
-        value: finish(&h, &ever_touched, terms, accounted, work),
-        diagnostics: diags,
-    })
+    Ok(SolverOutcome::converged(
+        finish(&h, &ever_touched, terms, accounted, work),
+        diags,
+    ))
 }
 
 #[cfg(test)]

@@ -248,7 +248,7 @@ pub fn ppr_push_budgeted(
     }
 
     let mut meter = budget.start();
-    let mut diags = Diagnostics::new();
+    let mut diags = Diagnostics::for_kernel("local.ppr_push");
     let mut pushes = 0usize;
     let mut work = 0usize;
     // Tracked incrementally: each push moves exactly α·r[u] into p.
@@ -345,23 +345,23 @@ pub fn ppr_push_budgeted(
                 })
                 .fold(0.0f64, f64::max)
                 .max(epsilon);
-            return Ok(SolverOutcome::BudgetExhausted {
-                best_so_far: finish(&p, &r, pushes, work),
+            return Ok(SolverOutcome::exhausted(
+                finish(&p, &r, pushes, work),
                 exhausted,
-                certificate: Certificate::ResidualMass {
+                Certificate::ResidualMass {
                     remaining: residual_mass,
                     per_degree_bound,
                 },
-                diagnostics: diags,
-            });
+                diags,
+            ));
         }
     }
 
     diags.absorb_meter(&meter);
-    Ok(SolverOutcome::Converged {
-        value: finish(&p, &r, pushes, work),
-        diagnostics: diags,
-    })
+    Ok(SolverOutcome::converged(
+        finish(&p, &r, pushes, work),
+        diags,
+    ))
 }
 
 /// Exact lazy-walk PPR by dense fixed-point iteration — the reference

@@ -1,0 +1,203 @@
+//! Golden-trace snapshots: canonical traces committed as JSONL files
+//! and structurally diffed against fresh runs.
+//!
+//! The comparison is *structural*, not textual: event kinds, span
+//! names, and integer counters must match exactly, while float-valued
+//! payloads (residuals, certificate slacks, conductances) compare to a
+//! tolerance — solver behavior drift fails the test, harmless
+//! last-bit noise does not. Set `ACIR_BLESS=1` to (re)write snapshots
+//! instead of checking them; blessing is idempotent because the
+//! canonical form is deterministic.
+
+use crate::trace::Trace;
+use serde_json::Value;
+use std::path::Path;
+
+/// Keys whose numeric payloads compare to tolerance rather than
+/// exactly: these carry floating-point solver quantities.
+const FLOAT_KEYS: [&str; 3] = ["value", "slack", "conductance"];
+
+/// Whether `ACIR_BLESS=1` is set: snapshot writes replace checks.
+pub fn bless_requested() -> bool {
+    std::env::var("ACIR_BLESS")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn numbers_close(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if a.is_nan() && b.is_nan() {
+        return true;
+    }
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+fn values_match(key: &str, a: &Value, b: &Value, tol: f64) -> bool {
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) if FLOAT_KEYS.contains(&key) => {
+            numbers_close(*x, *y, tol)
+        }
+        _ => a == b,
+    }
+}
+
+fn diff_objects(line_no: usize, exp: &Value, act: &Value, tol: f64, out: &mut Vec<String>) {
+    let (Some(em), Some(am)) = (exp.as_object(), act.as_object()) else {
+        out.push(format!("line {line_no}: event is not a JSON object"));
+        return;
+    };
+    for (k, ev) in em {
+        match am.get(k) {
+            None => out.push(format!(
+                "line {line_no}: missing field {k:?} (expected {ev:?})"
+            )),
+            Some(av) if !values_match(k, ev, av, tol) => out.push(format!(
+                "line {line_no}: field {k:?} expected {ev:?}, got {av:?}"
+            )),
+            Some(_) => {}
+        }
+    }
+    for k in am.keys() {
+        if !em.contains_key(k) {
+            out.push(format!("line {line_no}: unexpected field {k:?}"));
+        }
+    }
+}
+
+/// Structurally diff two canonical JSONL documents. Returns one
+/// human-readable message per mismatch; empty means they agree.
+pub fn diff_lines(expected: &str, actual: &str, tol: f64) -> Vec<String> {
+    let exp: Vec<&str> = expected.lines().filter(|l| !l.trim().is_empty()).collect();
+    let act: Vec<&str> = actual.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut out = Vec::new();
+    if exp.len() != act.len() {
+        out.push(format!(
+            "event count mismatch: expected {}, got {}",
+            exp.len(),
+            act.len()
+        ));
+    }
+    for (i, (e, a)) in exp.iter().zip(act.iter()).enumerate() {
+        let line_no = i + 1;
+        match (serde_json::from_str(e), serde_json::from_str(a)) {
+            (Ok(ev), Ok(av)) => diff_objects(line_no, &ev, &av, tol, &mut out),
+            (Err(err), _) => out.push(format!("line {line_no}: unparseable expected line: {err}")),
+            (_, Err(err)) => out.push(format!("line {line_no}: unparseable actual line: {err}")),
+        }
+        if out.len() > 32 {
+            out.push("... (diff truncated)".to_string());
+            break;
+        }
+    }
+    out
+}
+
+/// Check a trace against the snapshot at `path`, or (re)write the
+/// snapshot when `ACIR_BLESS=1`.
+///
+/// On mismatch the error lists every structural difference and the
+/// fresh canonical trace is written next to the snapshot as
+/// `<name>.actual` so CI can upload it as an artifact.
+pub fn check_trace(path: &Path, trace: &Trace, tol: f64) -> Result<(), String> {
+    let actual = {
+        let mut s = trace.canonical_lines().join("\n");
+        s.push('\n');
+        s
+    };
+    if bless_requested() {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        return std::fs::write(path, &actual)
+            .map_err(|e| format!("blessing {}: {e}", path.display()));
+    }
+    let expected = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "missing golden snapshot {}: {e}\nrun the suite once with ACIR_BLESS=1 to create it",
+            path.display()
+        )
+    })?;
+    let diffs = diff_lines(&expected, &actual, tol);
+    if diffs.is_empty() {
+        return Ok(());
+    }
+    let actual_path = path.with_extension("jsonl.actual");
+    let _ = std::fs::write(&actual_path, &actual);
+    Err(format!(
+        "golden trace drift in {} ({} difference(s); fresh trace written to {}):\n  {}",
+        path.display(),
+        diffs.len(),
+        actual_path.display(),
+        diffs.join("\n  ")
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn identical_lines_have_no_diff() {
+        let doc = "{\"kind\":\"residual\",\"value\":0.5}\n{\"kind\":\"span_exit\",\"iterations\":3,\"name\":\"x\",\"work\":9}\n";
+        assert!(diff_lines(doc, doc, 0.0).is_empty());
+    }
+
+    #[test]
+    fn float_fields_compare_to_tolerance() {
+        let a = "{\"kind\":\"residual\",\"value\":0.5}";
+        let b = "{\"kind\":\"residual\",\"value\":0.5000001}";
+        assert!(diff_lines(a, b, 1e-6).is_empty());
+        assert!(!diff_lines(a, b, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn integer_and_kind_fields_compare_exactly() {
+        let a = "{\"iterations\":3,\"kind\":\"span_exit\",\"name\":\"x\",\"work\":9}";
+        let b = "{\"iterations\":4,\"kind\":\"span_exit\",\"name\":\"x\",\"work\":9}";
+        let d = diff_lines(a, b, 1.0);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].contains("iterations"));
+    }
+
+    #[test]
+    fn count_mismatch_is_reported() {
+        let d = diff_lines("{\"kind\":\"note\",\"text\":\"a\"}", "", 0.0);
+        assert!(d[0].contains("count mismatch"));
+    }
+
+    #[test]
+    fn bless_then_check_round_trips() {
+        let dir = std::env::temp_dir().join(format!("acir-obs-golden-{}", std::process::id()));
+        let path = dir.join("t.jsonl");
+        let mut t = Trace::new();
+        t.enter("k");
+        t.record(EventKind::Residual { value: 0.25 });
+        t.close_all(1, 2);
+        // Bless manually (env vars are process-global; don't mutate them
+        // in tests).
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut doc = t.canonical_lines().join("\n");
+        doc.push('\n');
+        std::fs::write(&path, &doc).unwrap();
+        assert!(check_trace(&path, &t, 1e-9).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drift_writes_actual_file() {
+        let dir = std::env::temp_dir().join(format!("acir-obs-drift-{}", std::process::id()));
+        let path = dir.join("t.jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&path, "{\"kind\":\"residual\",\"value\":1.0}\n").unwrap();
+        let mut t = Trace::new();
+        t.record(EventKind::Residual { value: 2.0 });
+        let err = check_trace(&path, &t, 1e-9).unwrap_err();
+        assert!(err.contains("drift"));
+        assert!(path.with_extension("jsonl.actual").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

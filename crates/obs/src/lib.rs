@@ -1,0 +1,47 @@
+//! # acir-obs
+//!
+//! Structured, deterministic observability for the ACIR reproduction
+//! of Mahoney, *"Approximate Computation and Implicit Regularization
+//! for Very Large-scale Data Analysis"* (PODS 2012).
+//!
+//! The paper's argument is about what approximate solvers do *along
+//! the way*: each truncated iterate is the exact solution of an
+//! implicitly regularized problem, so the trajectory — residuals,
+//! restarts, certificates, budget exhaustions, sweep cuts — is the
+//! result, not incidental logging. This crate makes that trajectory a
+//! first-class, assertable artifact:
+//!
+//! * [`Event`] / [`EventKind`] — the typed vocabulary: span
+//!   enter/exit, residual samples, restarts, certificates, budget
+//!   exhaustion, fault injection, sweep cuts, divergence, notes;
+//! * [`Trace`] — an ordered per-run event log with span bookkeeping
+//!   and chunk-ordered merging, bit-stable across `ACIR_THREADS`
+//!   because parallel workers are merged in ascending chunk order
+//!   (the same discipline `acir-exec` applies to values);
+//! * [`MetricsRegistry`] — named counters and log₂-bucket
+//!   [`Histogram`]s whose merge is order-independent;
+//! * [`TraceSink`] — where events go: [`MemorySink`] for tests,
+//!   [`JsonlSink`] for JSONL streams (canonical or wall-stamped, via
+//!   the serde_json shim), [`NullSink`] for zero overhead;
+//! * [`golden`] — snapshot conformance: canonical JSONL snapshots
+//!   checked structurally (kinds and counters exactly, floats to
+//!   tolerance) with `ACIR_BLESS=1` regeneration.
+//!
+//! The crate is dependency-free apart from the workspace's offline
+//! `serde_json` shim; `acir-runtime`'s `Diagnostics` embeds a
+//! [`Trace`] and [`MetricsRegistry`] so every budgeted kernel in the
+//! workspace is traced without changing its call sites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod golden;
+pub mod metrics;
+pub mod sink;
+pub mod trace;
+
+pub use event::{Event, EventKind};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use sink::{JsonlSink, MemorySink, NullSink, TraceSink};
+pub use trace::Trace;

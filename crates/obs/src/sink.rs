@@ -1,0 +1,136 @@
+//! Trace sinks: where recorded events go when a caller wants them
+//! outside the in-memory [`crate::Trace`].
+
+use crate::event::Event;
+use std::io::Write;
+
+/// Consumer of a stream of trace events.
+pub trait TraceSink {
+    /// Accept one event.
+    fn emit(&mut self, event: &Event);
+    /// Flush any buffered output. Default: no-op.
+    fn flush(&mut self) {}
+}
+
+/// Collects events into memory, for tests and in-process inspection.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    events: Vec<Event>,
+}
+
+impl MemorySink {
+    /// Fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Serializes each event as one JSON line into any [`Write`].
+///
+/// With `include_wall` off the output is the canonical golden format;
+/// with it on each line carries its `wall_us` stamp for humans.
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    include_wall: bool,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Canonical (wall-free) JSONL into `writer`.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            include_wall: false,
+        }
+    }
+
+    /// JSONL with wall stamps included.
+    pub fn with_wall(writer: W) -> Self {
+        Self {
+            writer,
+            include_wall: true,
+        }
+    }
+
+    /// Unwrap the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn emit(&mut self, event: &Event) {
+        let line = serde_json::to_string(&event.to_value(self.include_wall));
+        // Sink I/O is best-effort by design: a full disk must not turn
+        // a converged solve into a panic.
+        let _ = writeln!(self.writer, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Discards everything: the zero-overhead default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&mut self, _event: &Event) {}
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::event::EventKind;
+
+    fn sample() -> Event {
+        Event {
+            wall_us: 42,
+            kind: EventKind::Residual { value: 0.5 },
+        }
+    }
+
+    #[test]
+    fn memory_sink_collects() {
+        let mut s = MemorySink::new();
+        s.emit(&sample());
+        s.emit(&sample());
+        assert_eq!(s.events().len(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_canonical_lines() {
+        let mut s = JsonlSink::new(Vec::new());
+        s.emit(&sample());
+        s.flush();
+        let out = String::from_utf8(s.into_inner()).unwrap();
+        assert_eq!(out, "{\"kind\":\"residual\",\"value\":0.5}\n");
+    }
+
+    #[test]
+    fn jsonl_sink_with_wall_includes_stamp() {
+        let mut s = JsonlSink::with_wall(Vec::new());
+        s.emit(&sample());
+        let out = String::from_utf8(s.into_inner()).unwrap();
+        assert!(out.contains("\"wall_us\":42"));
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut s = NullSink;
+        s.emit(&sample());
+        s.flush();
+    }
+}

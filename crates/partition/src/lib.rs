@@ -41,7 +41,8 @@ pub use cheeger::{cheeger_check, conductance_exact_bruteforce, CheegerReport};
 pub use conductance::{conductance, cut_weight, CutStats};
 pub use multilevel::{multilevel_bisect, recursive_partition, refine_bisection, MultilevelOptions};
 pub use ncp::{
-    ncp_local_spectral, ncp_local_spectral_budgeted, ncp_metis_mqi, NcpOptions, NcpPoint,
+    ncp_local_spectral, ncp_local_spectral_budgeted, ncp_metis_mqi, ncp_metis_mqi_traced,
+    NcpOptions, NcpPoint,
 };
 pub use niceness::{cluster_niceness, ClusterNiceness};
 pub use spectral_part::{

@@ -292,7 +292,7 @@ pub fn ncp_local_spectral_budgeted(
     let pool = ExecPool::from_env_or(opts.threads);
     let shards = pool.par_map(&jobs, 1, |&(chunk_seeds, share)| {
         let mut meter = share.start();
-        let mut diags = Diagnostics::new();
+        let mut diags = Diagnostics::for_kernel("partition.ncp_shard");
         let mut accum = NcpAccum::default();
         let mut done = 0usize;
         let mut exhausted = None;
@@ -316,6 +316,7 @@ pub fn ncp_local_spectral_budgeted(
             }
         }
         diags.absorb_meter(&meter);
+        diags.finish_spans();
         BudgetedShard {
             accum,
             done,
@@ -328,7 +329,7 @@ pub fn ncp_local_spectral_budgeted(
     // the reported exhaustion is the first worker's (fixed order, not
     // completion order).
     let mut accum = NcpAccum::default();
-    let mut diags = Diagnostics::new();
+    let mut diags = Diagnostics::for_kernel("partition.ncp_local");
     let mut done = 0usize;
     let mut exhausted = None;
     for shard in shards {
@@ -345,18 +346,39 @@ pub fn ncp_local_spectral_budgeted(
             "{ex}: explored {done} of {planned} planned push runs"
         ));
         let remaining = 1.0 - done as f64 / planned as f64;
-        return Ok(SolverOutcome::BudgetExhausted {
-            best_so_far: accum.into_points(),
-            exhausted: ex,
-            certificate: Certificate::ResidualNorm { value: remaining },
-            diagnostics: diags,
-        });
+        let points = accum.into_points();
+        for p in &points {
+            diags.sweep_cut(p.size, p.conductance);
+        }
+        return Ok(SolverOutcome::exhausted(
+            points,
+            ex,
+            Certificate::ResidualNorm { value: remaining },
+            diags,
+        ));
     }
     diags.note(format!("explored the full grid of {planned} push runs"));
-    Ok(SolverOutcome::Converged {
-        value: accum.into_points(),
-        diagnostics: diags,
-    })
+    let points = accum.into_points();
+    for p in &points {
+        diags.sweep_cut(p.size, p.conductance);
+    }
+    Ok(SolverOutcome::converged(points, diags))
+}
+
+/// Traced variant of [`ncp_metis_mqi`]: the same profile plus a
+/// [`Diagnostics`] record — one `partition.ncp_metis_mqi` span
+/// bracketing a sweep-cut event per harvested profile point, so the
+/// flow-based NCP pipeline shows up in the observability layer
+/// alongside the local-spectral one.
+pub fn ncp_metis_mqi_traced(g: &Graph, opts: &NcpOptions) -> Result<(Vec<NcpPoint>, Diagnostics)> {
+    let mut diags = Diagnostics::for_kernel("partition.ncp_metis_mqi");
+    let points = ncp_metis_mqi(g, opts)?;
+    for p in &points {
+        diags.sweep_cut(p.size, p.conductance);
+    }
+    diags.note(format!("{} profile points harvested", points.len()));
+    diags.finish_spans();
+    Ok((points, diags))
 }
 
 /// Compute the NCP with the Metis+MQI pipeline: recursive multilevel

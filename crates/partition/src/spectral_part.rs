@@ -135,10 +135,18 @@ pub fn spectral_bisect_budgeted(g: &Graph, budget: &Budget) -> Result<SolverOutc
     };
 
     Ok(match out {
-        SolverOutcome::Converged { value, diagnostics } => SolverOutcome::Converged {
-            value: build(value),
-            diagnostics,
-        },
+        SolverOutcome::Converged {
+            value,
+            mut diagnostics,
+        } => {
+            let cut = build(value);
+            diagnostics.sweep_cut(cut.sweep.set.len(), cut.sweep.conductance);
+            diagnostics.wrap_span("partition.spectral_bisect");
+            SolverOutcome::Converged {
+                value: cut,
+                diagnostics,
+            }
+        }
         SolverOutcome::BudgetExhausted {
             best_so_far,
             exhausted,
@@ -156,8 +164,12 @@ pub fn spectral_bisect_budgeted(g: &Graph, budget: &Budget) -> Result<SolverOutc
                 other => other,
             };
             diagnostics.note("sweep cut computed from the truncated power iterate");
+            let cut = build(best_so_far);
+            diagnostics.sweep_cut(cut.sweep.set.len(), cut.sweep.conductance);
+            diagnostics.certificate_issued(&certificate);
+            diagnostics.wrap_span("partition.spectral_bisect");
             SolverOutcome::BudgetExhausted {
-                best_so_far: build(best_so_far),
+                best_so_far: cut,
                 exhausted,
                 certificate,
                 diagnostics,
@@ -166,12 +178,15 @@ pub fn spectral_bisect_budgeted(g: &Graph, budget: &Budget) -> Result<SolverOutc
         SolverOutcome::Diverged {
             at_iter,
             cause,
-            diagnostics,
-        } => SolverOutcome::Diverged {
-            at_iter,
-            cause,
-            diagnostics,
-        },
+            mut diagnostics,
+        } => {
+            diagnostics.wrap_span("partition.spectral_bisect");
+            SolverOutcome::Diverged {
+                at_iter,
+                cause,
+                diagnostics,
+            }
+        }
     })
 }
 

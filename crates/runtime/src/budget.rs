@@ -140,6 +140,18 @@ pub enum Exhaustion {
     Deadline,
 }
 
+impl Exhaustion {
+    /// Stable snake_case axis name, used as the `axis` field of
+    /// [`acir_obs::EventKind::BudgetExhausted`] trace events.
+    pub fn axis_name(&self) -> &'static str {
+        match self {
+            Exhaustion::Iterations => "iterations",
+            Exhaustion::Work => "work",
+            Exhaustion::Deadline => "deadline",
+        }
+    }
+}
+
 impl std::fmt::Display for Exhaustion {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

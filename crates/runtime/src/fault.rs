@@ -149,23 +149,31 @@ impl FaultStream {
     }
 
     /// Corrupt a whole output vector in place according to the config.
-    pub fn corrupt_slice(&mut self, values: &mut [f64]) {
+    /// Returns the number of entries actually corrupted, so harnesses
+    /// can surface fault-injection events in diagnostics traces.
+    pub fn corrupt_slice(&mut self, values: &mut [f64]) -> u64 {
         if !self.active() {
-            return;
+            return 0;
         }
+        let mut hit = 0u64;
         if let Some(q) = self.cfg.rounding_quantum {
             for v in values.iter_mut() {
                 // Round *away* from the true value when possible: the
                 // adversarial direction.
                 let down = (*v / q).floor() * q;
                 let up = (*v / q).ceil() * q;
-                *v = if (*v - down) >= (up - *v) { down } else { up };
+                let rounded = if (*v - down) >= (up - *v) { down } else { up };
+                if rounded != *v {
+                    hit += 1;
+                }
+                *v = rounded;
             }
         }
         if self.cfg.sign_flip_rate > 0.0 {
             for v in values.iter_mut() {
                 if self.rng.unit_f64() < self.cfg.sign_flip_rate {
                     *v = -*v;
+                    hit += 1;
                 }
             }
         }
@@ -173,9 +181,11 @@ impl FaultStream {
             for v in values.iter_mut() {
                 if self.rng.unit_f64() < self.cfg.nan_rate {
                     *v = f64::NAN;
+                    hit += 1;
                 }
             }
         }
+        hit
     }
 
     /// Applications begun so far.

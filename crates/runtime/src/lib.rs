@@ -24,7 +24,9 @@
 //!   [`Certificate`] bounding its quality (the truncated iterate *is*
 //!   the regularized answer — the certificate says how regularized);
 //! * [`Diagnostics`] — per-run residual history, work counters, wall
-//!   time, and a structured event trail;
+//!   time, and a structured event trail, mirrored into a typed
+//!   `acir-obs` trace (spans, residual/certificate/restart events,
+//!   metrics) that golden-trace tests snapshot;
 //! * [`RetryPolicy`] — bounded retry-with-escalation loops (restart
 //!   Lanczos with a fresh seed, fall back from Chebyshev to the power
 //!   method, jitter a stalled CG) expressed once instead of ad-hoc in
@@ -34,7 +36,8 @@
 //!   corruption helpers, used by tests across the workspace to prove
 //!   the guardrails actually fire.
 //!
-//! The crate is dependency-free; the `LinOp` adapter for fault injection
+//! The crate depends only on `acir-obs` (itself dependency-free apart
+//! from the offline serde_json shim); the `LinOp` adapter for fault injection
 //! lives in `acir-linalg::fault` and the budgeted solver entry points
 //! live next to each solver.
 
@@ -48,6 +51,7 @@ pub mod guard;
 pub mod outcome;
 pub mod policy;
 
+pub use acir_obs as obs;
 pub use budget::{Budget, BudgetMeter, Exhaustion};
 pub use diagnostics::Diagnostics;
 pub use fault::{FaultConfig, FaultStream};

@@ -129,6 +129,17 @@ pub enum Certificate {
 }
 
 impl Certificate {
+    /// Stable snake_case family name, used as the `cert` field of
+    /// [`acir_obs::EventKind::CertificateIssued`] trace events.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Certificate::ResidualNorm { .. } => "residual_norm",
+            Certificate::RayleighInterval { .. } => "rayleigh_interval",
+            Certificate::ResidualMass { .. } => "residual_mass",
+            Certificate::FlowGap { .. } => "flow_gap",
+        }
+    }
+
     /// The scalar slack of the certificate: how far the result can be
     /// from the exact answer, in the method's own metric. Zero means
     /// exact.
@@ -208,13 +219,46 @@ pub enum SolverOutcome<T> {
 }
 
 impl<T> SolverOutcome<T> {
+    /// Build a `Converged` outcome, closing any spans still open in
+    /// the diagnostics trace so every traced run ends balanced.
+    pub fn converged(value: T, mut diagnostics: Diagnostics) -> Self {
+        diagnostics.finish_spans();
+        SolverOutcome::Converged { value, diagnostics }
+    }
+
+    /// Build a `BudgetExhausted` outcome. The exhausted axis and the
+    /// certificate are recorded as typed trace events and any open
+    /// spans are closed, so a truncated run tells its own story.
+    pub fn exhausted(
+        best_so_far: T,
+        exhausted: Exhaustion,
+        certificate: Certificate,
+        mut diagnostics: Diagnostics,
+    ) -> Self {
+        diagnostics.budget_exhausted(&exhausted);
+        diagnostics.certificate_issued(&certificate);
+        diagnostics.finish_spans();
+        SolverOutcome::BudgetExhausted {
+            best_so_far,
+            exhausted,
+            certificate,
+            diagnostics,
+        }
+    }
+
     /// Build a `Diverged` outcome from its cause.
     ///
-    /// The cause is also recorded in the diagnostics event trail, so a
-    /// divergence is never silent even when the solver noted nothing
-    /// else along the way.
+    /// The cause is also recorded in the diagnostics event trail (flat
+    /// and typed) and any open spans are closed, so a divergence is
+    /// never silent even when the solver noted nothing else along the
+    /// way.
     pub fn diverged(cause: DivergenceCause, mut diagnostics: Diagnostics) -> Self {
         diagnostics.note(format!("diverged: {cause}"));
+        diagnostics.trace.record(acir_obs::EventKind::Diverged {
+            cause: cause.to_string(),
+            at_iter: cause.at_iter(),
+        });
+        diagnostics.finish_spans();
         SolverOutcome::Diverged {
             at_iter: cause.at_iter(),
             cause,
@@ -347,6 +391,53 @@ mod tests {
             SolverOutcome::Diverged { at_iter, .. } => assert_eq!(at_iter, 4),
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn constructors_record_typed_events_and_close_spans() {
+        let c = SolverOutcome::converged(1u32, Diagnostics::for_kernel("k"));
+        let counts = c.diagnostics().trace.counts();
+        assert_eq!(counts["span_enter"], 1);
+        assert_eq!(counts["span_exit"], 1);
+        assert!(c.diagnostics().trace.open_spans().is_empty());
+
+        let b = SolverOutcome::exhausted(
+            2u32,
+            Exhaustion::Deadline,
+            Certificate::ResidualNorm { value: 0.25 },
+            Diagnostics::for_kernel("k"),
+        );
+        let counts = b.diagnostics().trace.counts();
+        assert_eq!(counts["budget_exhausted"], 1);
+        assert_eq!(counts["certificate"], 1);
+        assert!(b.diagnostics().trace.open_spans().is_empty());
+
+        let d: SolverOutcome<u32> = SolverOutcome::diverged(
+            DivergenceCause::Stagnation {
+                at_iter: 5,
+                window: 3,
+            },
+            Diagnostics::for_kernel("k"),
+        );
+        let counts = d.diagnostics().trace.counts();
+        assert_eq!(counts["diverged"], 1);
+        assert!(d.diagnostics().trace.open_spans().is_empty());
+    }
+
+    #[test]
+    fn certificate_kind_names_are_stable() {
+        assert_eq!(
+            Certificate::ResidualNorm { value: 0.0 }.kind_name(),
+            "residual_norm"
+        );
+        assert_eq!(
+            Certificate::FlowGap {
+                value: 1.0,
+                upper_bound: 2.0
+            }
+            .kind_name(),
+            "flow_gap"
+        );
     }
 
     #[test]

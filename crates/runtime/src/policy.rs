@@ -48,25 +48,41 @@ impl RetryPolicy {
         mut attempt: impl FnMut(usize) -> Result<SolverOutcome<T>, E>,
     ) -> Result<SolverOutcome<T>, E> {
         let attempts = self.max_attempts.max(1);
-        // Event trail carried across attempts, so the surviving outcome
-        // tells the full escalation story.
-        let mut events: Vec<String> = Vec::new();
+        // Trail carried across attempts (flat events and the typed
+        // trace alike), so the surviving outcome tells the full
+        // escalation story.
+        let mut carried = crate::diagnostics::Diagnostics::new();
         let mut k = 0;
         loop {
             let mut outcome = attempt(k)?;
-            outcome.diagnostics_mut().restarts = k;
-            let mut all = std::mem::take(&mut events);
-            all.extend(std::mem::take(&mut outcome.diagnostics_mut().events));
-            outcome.diagnostics_mut().events = all;
-            match &outcome {
-                SolverOutcome::Diverged { cause, .. } if k + 1 < attempts => {
-                    let note = format!("attempt {k} diverged ({cause}); escalating");
-                    events = std::mem::take(&mut outcome.diagnostics_mut().events);
-                    events.push(note);
-                    k += 1;
-                }
-                _ => return Ok(outcome),
+            {
+                let d = outcome.diagnostics_mut();
+                d.restarts = k;
+                let mut all = std::mem::take(&mut carried);
+                all.events.extend(std::mem::take(&mut d.events));
+                all.trace.merge(&std::mem::take(&mut d.trace));
+                all.metrics.merge(&std::mem::take(&mut d.metrics));
+                d.events = all.events;
+                d.trace = all.trace;
+                d.metrics = all.metrics;
             }
+            let cause = match &outcome {
+                SolverOutcome::Diverged { cause, .. } if k + 1 < attempts => *cause,
+                _ => return Ok(outcome),
+            };
+            let d = outcome.diagnostics_mut();
+            carried.events = std::mem::take(&mut d.events);
+            carried.trace = std::mem::take(&mut d.trace);
+            carried.metrics = std::mem::take(&mut d.metrics);
+            carried
+                .events
+                .push(format!("attempt {k} diverged ({cause}); escalating"));
+            carried.trace.record(acir_obs::EventKind::Restart {
+                attempt: k + 1,
+                reason: format!("attempt {k} diverged: {cause}"),
+            });
+            carried.metrics.incr("restarts", 1);
+            k += 1;
         }
     }
 }
@@ -117,6 +133,28 @@ mod tests {
         assert_eq!(out.value(), Some(&2));
         assert_eq!(out.diagnostics().restarts, 2);
         assert!(!out.diagnostics().events.is_empty());
+    }
+
+    #[test]
+    fn escalation_records_restart_events_in_trace() {
+        let out: Result<_, ()> = RetryPolicy::attempts(3).run(|k| {
+            Ok(if k < 2 {
+                SolverOutcome::diverged(
+                    DivergenceCause::NonFiniteResidual { at_iter: 1 },
+                    Diagnostics::for_kernel("test.kernel"),
+                )
+            } else {
+                SolverOutcome::converged(k as u32, Diagnostics::for_kernel("test.kernel"))
+            })
+        });
+        let out = out.unwrap();
+        let counts = out.diagnostics().trace.counts();
+        // Three attempts: three kernel spans, two diverged, two restarts.
+        assert_eq!(counts["span_enter"], 3);
+        assert_eq!(counts["span_exit"], 3);
+        assert_eq!(counts["diverged"], 2);
+        assert_eq!(counts["restart"], 2);
+        assert_eq!(out.diagnostics().metrics.counter("restarts"), 2);
     }
 
     #[test]

@@ -308,12 +308,9 @@ pub fn pagerank_budgeted(
     }
     let s = seed.to_vector(g)?;
     if gamma == 1.0 {
-        let mut diags = Diagnostics::new();
+        let mut diags = Diagnostics::for_kernel("spectral.pagerank");
         diags.note("gamma = 1: PageRank is the seed itself");
-        return Ok(SolverOutcome::Converged {
-            value: s,
-            diagnostics: diags,
-        });
+        return Ok(SolverOutcome::converged(s, diags));
     }
     let n = g.n();
     let sqrt_d: Vec<f64> = g.degrees().iter().map(|&d| d.sqrt()).collect();
@@ -328,7 +325,9 @@ pub fn pagerank_budgeted(
         tol: 1e-12,
     };
     let out = cg_budgeted(&op, &b, &vec![0.0; n], &opts, budget)?;
-    Ok(out.map(|res| res.x.iter().zip(&sqrt_d).map(|(y, d)| y * d).collect()))
+    let mut out = out.map(|res| res.x.iter().zip(&sqrt_d).map(|(y, d)| y * d).collect());
+    out.diagnostics_mut().wrap_span("spectral.pagerank");
+    Ok(out)
 }
 
 /// Budgeted variant of [`heat_kernel_chebyshev`]: the same Chebyshev
@@ -353,22 +352,15 @@ pub fn heat_kernel_chebyshev_budgeted(
     }
     let s = seed.to_vector(g)?;
     if t == 0.0 {
-        let mut diags = Diagnostics::new();
+        let mut diags = Diagnostics::for_kernel("spectral.heat_kernel");
         diags.note("t = 0: heat kernel is the identity");
-        return Ok(SolverOutcome::Converged {
-            value: s,
-            diagnostics: diags,
-        });
+        return Ok(SolverOutcome::converged(s, diags));
     }
     let nl = normalized_laplacian(g);
-    Ok(acir_linalg::chebyshev::cheb_heat_kernel_budgeted(
-        &nl,
-        t,
-        &s,
-        2.0,
-        degree.max(1),
-        budget,
-    )?)
+    let mut out =
+        acir_linalg::chebyshev::cheb_heat_kernel_budgeted(&nl, t, &s, 2.0, degree.max(1), budget)?;
+    out.diagnostics_mut().wrap_span("spectral.heat_kernel");
+    Ok(out)
 }
 
 /// Truncated iterative PageRank: `x ← γs + (1−γ)Mx` for `iters`

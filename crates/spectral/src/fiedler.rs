@@ -146,9 +146,10 @@ pub fn fiedler_vector_budgeted(g: &Graph, budget: &Budget) -> Result<SolverOutco
     Ok(match out {
         SolverOutcome::Converged {
             value: (vals, mut vecs),
-            diagnostics,
+            mut diagnostics,
         } => {
             let (result, _) = build(std::mem::take(&mut vecs[0]), vals[0]);
+            diagnostics.wrap_span("spectral.fiedler");
             SolverOutcome::Converged {
                 value: result,
                 diagnostics,
@@ -162,6 +163,7 @@ pub fn fiedler_vector_budgeted(g: &Graph, budget: &Budget) -> Result<SolverOutco
         } => {
             if vecs.is_empty() {
                 // No Krylov direction survived the budget at all.
+                diagnostics.wrap_span("spectral.fiedler");
                 return Ok(SolverOutcome::diverged(
                     DivergenceCause::Breakdown {
                         at_iter: 0,
@@ -174,22 +176,28 @@ pub fn fiedler_vector_budgeted(g: &Graph, budget: &Budget) -> Result<SolverOutco
             let center = result.rayleigh;
             diagnostics
                 .note("partial Fiedler pair: eigenvalue interval recomputed against the Laplacian");
+            let certificate = Certificate::RayleighInterval { center, radius };
+            diagnostics.certificate_issued(&certificate);
+            diagnostics.wrap_span("spectral.fiedler");
             SolverOutcome::BudgetExhausted {
                 best_so_far: result,
                 exhausted,
-                certificate: Certificate::RayleighInterval { center, radius },
+                certificate,
                 diagnostics,
             }
         }
         SolverOutcome::Diverged {
             at_iter,
             cause,
-            diagnostics,
-        } => SolverOutcome::Diverged {
-            at_iter,
-            cause,
-            diagnostics,
-        },
+            mut diagnostics,
+        } => {
+            diagnostics.wrap_span("spectral.fiedler");
+            SolverOutcome::Diverged {
+                at_iter,
+                cause,
+                diagnostics,
+            }
+        }
     })
 }
 

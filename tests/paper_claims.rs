@@ -201,3 +201,50 @@ fn claim_truncated_pagerank_ranks_well() {
     let overlap = acir_spectral::ranking::top_k_overlap(&exact, &rough, 20);
     assert!(overlap >= 0.9, "top-20 overlap {overlap}");
 }
+
+/// §3.1, Mahoney–Orecchia correspondence, dynamics by dynamics: each of
+/// the three diffusions — heat kernel, PageRank, lazy random walk — is
+/// *exactly* the optimum of the SDP regularized by (respectively) the
+/// entropy, log-determinant, and p-norm regularizer. Checked on two
+/// structurally different graphs with explicit tolerances per dynamics.
+#[test]
+fn claim_mahoney_orecchia_correspondence_all_dynamics() {
+    use acir_regularize::equivalence::lazy_walk_eta_limit;
+    use acir_regularize::{check_heat_kernel, check_lazy_walk, check_pagerank};
+
+    let graphs = [
+        ("barbell(6,2)", gen::deterministic::barbell(6, 2).unwrap()),
+        ("grid2d(4,5)", gen::deterministic::grid2d(4, 5).unwrap()),
+    ];
+    for (name, g) in &graphs {
+        let sp = SpectralProblem::new(g).unwrap();
+        for &eta in &[0.3, 3.0] {
+            // Heat kernel ↔ entropy: F_D(X) = Tr(X log X) − Tr(X).
+            let hk = check_heat_kernel(&sp, eta).unwrap();
+            assert!(
+                hk.agrees(1e-10),
+                "{name}, eta {eta}: heat kernel vs entropy SDP, rel err {}",
+                hk.relative_error
+            );
+            // PageRank ↔ log-det: F_D(X) = −log det(X).
+            let pr = check_pagerank(&sp, eta).unwrap();
+            assert!(
+                pr.agrees(1e-8),
+                "{name}, eta {eta}: pagerank vs log-det SDP, rel err {}",
+                pr.relative_error
+            );
+        }
+        // Lazy walk ↔ p-norm with p = 1 + 1/k: exact only while the
+        // multiplier τ dominates the spectrum (τ ≥ λmax), so pick η
+        // safely inside that regime for each step count k.
+        for k in [1u32, 2, 3] {
+            let eta = lazy_walk_eta_limit(&sp, k).unwrap() * 0.5;
+            let lw = check_lazy_walk(&sp, eta, k).unwrap();
+            assert!(
+                lw.agrees(1e-7),
+                "{name}, k {k}: lazy walk vs p-norm SDP, rel err {}",
+                lw.relative_error
+            );
+        }
+    }
+}

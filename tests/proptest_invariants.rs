@@ -346,3 +346,69 @@ proptest! {
         }
     }
 }
+
+// Satellite invariants for the flow layer: two independent max-flow
+// implementations must agree with each other and with the cut each one
+// witnesses — strong duality checked from both sides.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dinic and push–relabel compute the same maximum flow on random
+    /// weighted networks, and each solver's witnessed source side is a
+    /// cut whose capacity equals its flow value (max-flow = min-cut).
+    #[test]
+    fn dinic_and_push_relabel_agree(
+        g in arb_connected_graph(),
+        s_raw in 0u32..100,
+        t_raw in 0u32..100,
+        cap_seed in 0u64..1000,
+    ) {
+        let n = g.n() as u32;
+        let s = s_raw % n;
+        let t = t_raw % n;
+        prop_assume!(s != t);
+        // Deterministic pseudo-random capacities in [0.5, 4.5].
+        let cap_of = |u: u32, v: u32| -> f64 {
+            let h = (u as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((v as u64).wrapping_mul(0xBF58476D1CE4E5B9))
+                .wrapping_add(cap_seed);
+            0.5 + (h % 1000) as f64 / 250.0
+        };
+        let arcs: Vec<(u32, u32, f64)> = g
+            .edges()
+            .map(|(u, v, _)| (u, v, cap_of(u.min(v), u.max(v))))
+            .collect();
+        let mut dinic = acir_flow::FlowNetwork::new(g.n());
+        let mut pr = acir_flow::PushRelabelNetwork::new(g.n());
+        for &(u, v, c) in &arcs {
+            dinic.add_edge(u as usize, v as usize, c).unwrap();
+            pr.add_edge(u as usize, v as usize, c).unwrap();
+        }
+        let rd = dinic.max_flow(s as usize, t as usize).unwrap();
+        let rp = pr.max_flow(s as usize, t as usize).unwrap();
+        // The two algorithms agree on the optimum.
+        prop_assert!(
+            (rd.value - rp.value).abs() < 1e-6 * (1.0 + rd.value.abs()),
+            "dinic {} vs push-relabel {}",
+            rd.value,
+            rp.value
+        );
+        // Each witnessed cut has capacity equal to its flow value,
+        // recomputed on the original (undirected) capacities.
+        for r in [&rd, &rp] {
+            prop_assert!(r.source_side[s as usize]);
+            prop_assert!(!r.source_side[t as usize]);
+            let cut: f64 = arcs
+                .iter()
+                .filter(|&&(u, v, _)| r.source_side[u as usize] != r.source_side[v as usize])
+                .map(|&(_, _, c)| c)
+                .sum();
+            prop_assert!(
+                (cut - r.value).abs() < 1e-6 * (1.0 + r.value.abs()),
+                "cut {cut} vs flow {}",
+                r.value
+            );
+        }
+    }
+}

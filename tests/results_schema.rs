@@ -1,0 +1,269 @@
+//! Golden-schema tests for the committed experiment outputs under
+//! `results/`.
+//!
+//! The CSVs are artifacts of the figure/case-study pipelines; these
+//! tests pin their *schemas* (headers, column counts, field types) and
+//! the invariants any valid run must satisfy (conductances in [0, 1],
+//! positive sizes, finite errors), so a pipeline change that silently
+//! alters the output shape fails here instead of in a plotting script
+//! much later.
+
+use std::path::{Path, PathBuf};
+
+fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Split one CSV line on commas, keeping commas inside parentheses
+/// (graph labels like `barbell(6,2)` are single fields).
+fn split_fields(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in line.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            ',' if depth == 0 => fields.push(std::mem::take(&mut cur)),
+            _ => cur.push(ch),
+        }
+    }
+    fields.push(cur);
+    // Compound parameter fields like `alpha=0.5519,k=1` are one field:
+    // merge adjacent `key=value` tokens back together.
+    let mut merged: Vec<String> = Vec::with_capacity(fields.len());
+    for f in fields {
+        match merged.last_mut() {
+            Some(prev) if prev.contains('=') && f.contains('=') => {
+                prev.push(',');
+                prev.push_str(&f);
+            }
+            _ => merged.push(f),
+        }
+    }
+    merged
+}
+
+/// Parse a CSV into (header, rows), verifying rectangular shape.
+fn load_csv(name: &str) -> (Vec<String>, Vec<Vec<String>>) {
+    let path = results_dir().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header: Vec<String> =
+        split_fields(lines.next().unwrap_or_else(|| panic!("{name} is empty")));
+    let rows: Vec<Vec<String>> = lines.map(split_fields).collect();
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            row.len(),
+            header.len(),
+            "{name} row {i} has {} fields, header has {}",
+            row.len(),
+            header.len()
+        );
+    }
+    assert!(!rows.is_empty(), "{name} has a header but no data rows");
+    (header, rows)
+}
+
+fn as_f64(name: &str, row: &[String], col: usize) -> f64 {
+    row[col]
+        .parse()
+        .unwrap_or_else(|e| panic!("{name}: `{}` is not a number: {e}", row[col]))
+}
+
+#[test]
+fn fig1a_schema_and_invariants() {
+    let (header, rows) = load_csv("fig1a.csv");
+    assert_eq!(header, ["method", "size", "conductance"]);
+    let mut methods = std::collections::BTreeSet::new();
+    for row in &rows {
+        methods.insert(row[0].clone());
+        let size = as_f64("fig1a", row, 1);
+        assert!(size >= 1.0 && size.fract() == 0.0, "bad size {size}");
+        let phi = as_f64("fig1a", row, 2);
+        assert!((0.0..=1.0).contains(&phi), "conductance {phi} out of [0,1]");
+        assert!(phi > 0.0, "NCP minima must be positive, got {phi}");
+    }
+    // The Figure 1(a) overlay needs both NCP methods present.
+    assert!(methods.contains("spectral"), "missing spectral NCP");
+    assert!(methods.contains("flow"), "missing flow (Metis+MQI) NCP");
+}
+
+#[test]
+fn fig1b_schema_and_invariants() {
+    let (header, rows) = load_csv("fig1b.csv");
+    assert_eq!(header, ["method", "size", "avg_shortest_path"]);
+    for row in &rows {
+        let size = as_f64("fig1b", row, 1);
+        assert!(size >= 1.0 && size.fract() == 0.0);
+        let asp = as_f64("fig1b", row, 2);
+        // Average shortest path of a cluster of ≥ 2 nodes is ≥ 1 when
+        // connected; disconnected clusters report infinity.
+        assert!(
+            asp >= 1.0 || asp.is_infinite(),
+            "avg shortest path {asp} below 1"
+        );
+    }
+}
+
+#[test]
+fn fig1c_schema_and_invariants() {
+    let (header, rows) = load_csv("fig1c.csv");
+    assert_eq!(header, ["method", "size", "ext_int_ratio"]);
+    for row in &rows {
+        let size = as_f64("fig1c", row, 1);
+        assert!(size >= 1.0 && size.fract() == 0.0);
+        let ratio = as_f64("fig1c", row, 2);
+        assert!(
+            ratio >= 0.0 || ratio.is_nan(),
+            "ext/int ratio {ratio} negative"
+        );
+    }
+}
+
+#[test]
+fn casestudy1_equivalence_schema_and_tolerance() {
+    let (header, rows) = load_csv("casestudy1_equivalence.csv");
+    assert_eq!(
+        header,
+        ["graph", "dynamics", "eta", "implied_param", "rel_error"]
+    );
+    let mut dynamics = std::collections::BTreeSet::new();
+    for row in &rows {
+        dynamics.insert(row[1].clone());
+        let eta = as_f64("casestudy1_equivalence", row, 2);
+        assert!(eta > 0.0, "eta must be positive");
+        let err = as_f64("casestudy1_equivalence", row, 4);
+        // The §3.1 theorem holds to numerical precision.
+        assert!(
+            (0.0..1e-8).contains(&err),
+            "equivalence error {err} too large"
+        );
+    }
+    for d in ["heat_kernel", "pagerank", "lazy_walk"] {
+        assert!(dynamics.contains(d), "missing dynamics {d}");
+    }
+}
+
+#[test]
+fn casestudy1_regpath_schema_and_invariants() {
+    let (header, rows) = load_csv("casestudy1_regpath.csv");
+    assert_eq!(
+        header,
+        [
+            "eta",
+            "eff_rank",
+            "tr_lx",
+            "excess_over_lambda2",
+            "walk_steps",
+            "seed_dependence_tv"
+        ]
+    );
+    let mut prev_eta = 0.0;
+    for row in &rows {
+        let eta = as_f64("casestudy1_regpath", row, 0);
+        assert!(eta > prev_eta, "etas must increase along the path");
+        prev_eta = eta;
+        let eff_rank = as_f64("casestudy1_regpath", row, 1);
+        assert!(eff_rank >= 1.0, "effective rank {eff_rank} below 1");
+        let tv = as_f64("casestudy1_regpath", row, 5);
+        assert!((0.0..=1.0).contains(&tv), "total variation {tv}");
+    }
+}
+
+#[test]
+fn casestudy3_locality_schema_and_invariants() {
+    let (header, rows) = load_csv("casestudy3_locality.csv");
+    assert_eq!(
+        header,
+        [
+            "n",
+            "method",
+            "touched",
+            "work",
+            "phi_recovered",
+            "phi_planted",
+            "jaccard"
+        ]
+    );
+    for row in &rows {
+        let n = as_f64("casestudy3_locality", row, 0);
+        let touched = as_f64("casestudy3_locality", row, 2);
+        assert!(touched >= 1.0 && touched <= n, "touched {touched} vs n {n}");
+        for col in [4, 5] {
+            let phi = as_f64("casestudy3_locality", row, col);
+            assert!((0.0..=1.0).contains(&phi), "conductance {phi}");
+        }
+        let jaccard = as_f64("casestudy3_locality", row, 6);
+        assert!((0.0..=1.0).contains(&jaccard), "jaccard {jaccard}");
+    }
+}
+
+#[test]
+fn ablation_cheeger_schema_and_bound_columns() {
+    let (header, rows) = load_csv("ablation_cheeger.csv");
+    assert_eq!(
+        header,
+        [
+            "graph",
+            "lambda2",
+            "lower",
+            "phi_exact",
+            "phi_sweep",
+            "upper",
+            "holds"
+        ]
+    );
+    for row in &rows {
+        let lower = as_f64("ablation_cheeger", row, 2);
+        let phi_sweep = as_f64("ablation_cheeger", row, 4);
+        let upper = as_f64("ablation_cheeger", row, 5);
+        // The committed table must itself satisfy Cheeger.
+        assert!(
+            lower <= phi_sweep + 1e-12 && phi_sweep <= upper + 1e-12,
+            "Cheeger sandwich violated: {lower} ≤ {phi_sweep} ≤ {upper}"
+        );
+        assert_eq!(row[6], "true", "holds column must be true");
+    }
+}
+
+#[test]
+fn all_result_csvs_are_rectangular_and_numeric_where_expected() {
+    // Every committed CSV parses; every field that looks numeric in row
+    // one stays numeric (or inf/nan) in all rows — a cheap guard
+    // against half-written artifacts.
+    for entry in std::fs::read_dir(results_dir()).expect("results dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("csv") {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("file name")
+            .to_string();
+        let (header, rows) = load_csv(&name);
+        assert!(header.len() >= 2, "{name}: fewer than two columns");
+        let numeric: Vec<bool> = (0..header.len())
+            .map(|c| rows[0][c].parse::<f64>().is_ok())
+            .collect();
+        for (i, row) in rows.iter().enumerate() {
+            for (c, is_num) in numeric.iter().enumerate() {
+                if *is_num {
+                    assert!(
+                        row[c].parse::<f64>().is_ok() || row[c] == "-" || row[c].starts_with('~'),
+                        "{name} row {i} col {c}: `{}` stopped being numeric",
+                        row[c]
+                    );
+                }
+            }
+        }
+    }
+}
