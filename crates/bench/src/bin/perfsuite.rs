@@ -1,21 +1,28 @@
-//! Wall-clock perfsuite for the deterministic parallel execution layer.
+//! Wall-clock perfsuite for the deterministic parallel execution layer
+//! and the memory-locality work.
 //!
 //! Times four kernels — SpMV on the normalized Laplacian, a batch of
 //! PPR push runs, the Lanczos Fiedler solve, and a quick NCP sweep —
 //! on the Figure-1 social surrogate at 1/2/4/8 worker threads, checks
 //! that every kernel's output is bit-identical across thread counts,
 //! and writes the timings to `BENCH_parallel.json` in the working
-//! directory (repo root, when run from there). The file is re-read and
-//! validated before the process exits, so a committed artifact always
-//! parses.
+//! directory (repo root, when run from there). A second, single-thread
+//! section measures the locality layer — CSR bandwidth under the RCM
+//! and degree orderings, reordered-vs-original SpMV and NCP timings,
+//! and steady-state heap-allocation counts of `ppr_push` under the
+//! process-wide counting allocator — and writes `BENCH_locality.json`.
+//! Both files are re-read and validated before the process exits, so a
+//! committed artifact always parses.
 //!
 //! ```text
-//! cargo run --release -p acir-bench --bin perfsuite [-- --quick] [--seed N] [--threads N]
+//! cargo run --release -p acir-bench --bin perfsuite [-- --quick] [--seed N] [--threads N] [--reorder M]
 //! ```
 //!
 //! `--threads N` caps the sweep at N (the env override applies to every
 //! other binary; here the sweep *is* the thread axis, so the flag
-//! truncates it instead). Speedups are relative to the 1-thread row of
+//! truncates it instead). `--reorder rcm|degree` relabels the surrogate
+//! before the parallel sweep (the locality section always compares
+//! orderings regardless). Speedups are relative to the 1-thread row of
 //! the same kernel; `host_cpus` records how much hardware parallelism
 //! the host actually had, since speedup on a 1-CPU host is bounded by 1.
 
@@ -26,15 +33,26 @@ use acir::prelude::*;
 use acir_bench::BinArgs;
 use acir_graph::gen::community::{social_network, SocialNetworkParams};
 use acir_graph::traversal::largest_component;
+use acir_graph::{bandwidth_stats, Permutation};
+use acir_local::{ppr_push, ppr_push_ws, PushResult, PushWorkspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::Value;
 
+/// Count every heap allocation the suite makes, so the locality section
+/// can report allocs-per-call for the steady-state diffusion kernels.
+#[global_allocator]
+static ALLOC: acir_mem::CountingAlloc = acir_mem::CountingAlloc;
+
 /// Thread counts the suite sweeps, ascending (validated on re-read).
 const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
-/// Where the artifact lands, relative to the working directory.
+/// Where the parallel-sweep artifact lands, relative to the working
+/// directory.
 const OUT_FILE: &str = "BENCH_parallel.json";
+
+/// Where the locality artifact lands.
+const LOCALITY_FILE: &str = "BENCH_locality.json";
 
 struct KernelTiming {
     kernel: &'static str,
@@ -80,6 +98,19 @@ fn main() {
     };
     let pc = social_network(&mut rng, &params).expect("surrogate generation failed");
     let (g, _) = largest_component(&pc.graph);
+    let g = match args.reorder.permutation(&g) {
+        Some(p) => {
+            let rg = g.permute(&p).expect("reorder permutation failed");
+            println!(
+                "perfsuite: --reorder {} shrank CSR bandwidth {} -> {}",
+                args.reorder,
+                bandwidth_stats(&g).max,
+                bandwidth_stats(&rg).max,
+            );
+            rg
+        }
+        None => g,
+    };
     let reps = if args.quick { 3 } else { 5 };
     println!(
         "perfsuite: fig1 surrogate LCC with {} nodes / {} edges; sweeping {:?} threads, best of {} reps",
@@ -114,6 +145,12 @@ fn main() {
 
     validate(&std::fs::read_to_string(OUT_FILE).expect("re-reading artifact failed"));
     println!("wrote {OUT_FILE} (validated: parses, thread counts monotone)");
+
+    let locality = bench_locality(&g, &args, reps);
+    let text = serde_json::to_string_pretty(&locality);
+    std::fs::write(LOCALITY_FILE, format!("{text}\n")).expect("writing BENCH_locality.json failed");
+    validate_locality(&std::fs::read_to_string(LOCALITY_FILE).expect("re-reading artifact failed"));
+    println!("wrote {LOCALITY_FILE} (validated: parses, zero steady-state allocs)");
 }
 
 /// Run `f` `reps` times under each thread count in `sweep`, returning
@@ -278,6 +315,207 @@ fn render(args: &BinArgs, g: &Graph, sweep: &[usize], timings: &[KernelTiming]) 
         .collect();
     root.insert("kernels".into(), Value::Array(kernels));
     Value::Object(root)
+}
+
+/// Best-of-`reps` wall time of `f` (first call doubles as warmup).
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Per-call allocator traffic and wall time of `f` over `calls`
+/// steady-state invocations (three warmup calls first).
+fn steady_state_allocs<T>(calls: usize, mut f: impl FnMut() -> T) -> (f64, f64, f64) {
+    for _ in 0..3 {
+        std::hint::black_box(f());
+    }
+    let before = acir_mem::snapshot();
+    let t0 = Instant::now();
+    for _ in 0..calls {
+        std::hint::black_box(f());
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let delta = acir_mem::snapshot().since(&before);
+    let n = calls as f64;
+    (
+        delta.heap_events() as f64 / n,
+        delta.bytes as f64 / n,
+        secs / n,
+    )
+}
+
+/// The single-thread locality section: CSR bandwidth under each
+/// ordering, reordered-vs-original SpMV and NCP wall times, and
+/// steady-state allocation counts of the PPR push kernel.
+fn bench_locality(g: &Graph, args: &BinArgs, reps: usize) -> Value {
+    std::env::set_var(THREADS_ENV, "1");
+    let bw_orig = bandwidth_stats(g);
+    let rcm = Permutation::rcm(g);
+    let g_rcm = g.permute(&rcm).expect("RCM permute failed");
+    let bw_rcm = bandwidth_stats(&g_rcm);
+    let deg = Permutation::degree_descending(g);
+    let g_deg = g.permute(&deg).expect("degree permute failed");
+    let bw_deg = bandwidth_stats(&g_deg);
+    println!(
+        "locality: CSR bandwidth max/mean  original {}/{:.1}  rcm {}/{:.1}  degree {}/{:.1}",
+        bw_orig.max, bw_orig.mean, bw_rcm.max, bw_rcm.mean, bw_deg.max, bw_deg.mean,
+    );
+
+    // SpMV: same matvec count as the parallel sweep, original vs RCM.
+    let iters = if args.quick { 20 } else { 50 };
+    let mut kernels: Vec<(&str, &str, f64)> = Vec::new();
+    for (variant, graph) in [("original", g), ("rcm", &g_rcm)] {
+        let l = normalized_laplacian(graph);
+        let x: Vec<f64> = (0..l.ncols())
+            .map(|i| 1.0 + (i % 17) as f64 / 17.0)
+            .collect();
+        let mut y = vec![0.0; l.nrows()];
+        let secs = best_of(reps, || {
+            for _ in 0..iters {
+                l.matvec(&x, &mut y);
+            }
+        });
+        kernels.push(("spmv", variant, secs));
+    }
+
+    // Steady-state PPR push: the pooled public entry point and the
+    // caller-owned-workspace variant, with allocator traffic per call.
+    let seeds = [(g.n() / 2) as NodeId];
+    let calls = if args.quick { 50 } else { 200 };
+    let (pooled_allocs, pooled_bytes, pooled_secs) = steady_state_allocs(calls, || {
+        ppr_push(g, &seeds, 0.05, 1e-4).expect("ppr_push failed")
+    });
+    let mut ws = PushWorkspace::new();
+    let mut out = PushResult::empty();
+    let (ws_allocs, ws_bytes, ws_secs) = steady_state_allocs(calls, || {
+        ppr_push_ws(g, &seeds, 0.05, 1e-4, &mut ws, &mut out).expect("ppr_push_ws failed")
+    });
+    kernels.push(("ppr_push_steady", "pooled", pooled_secs));
+    kernels.push(("ppr_push_steady", "workspace", ws_secs));
+    println!(
+        "locality: ppr_push steady state  pooled {pooled_allocs:.2} allocs/call ({pooled_bytes:.0} B)  workspace {ws_allocs:.2} allocs/call ({ws_bytes:.0} B)",
+    );
+
+    // NCP quick sweep, original vs RCM ordering (timing only: the
+    // reordered run visits seeds under new labels, so outputs differ by
+    // the relabeling while total work stays comparable).
+    let opts = NcpOptions {
+        min_size: 2,
+        max_size: 400,
+        seeds: 12,
+        alphas: vec![0.1, 0.01],
+        epsilons: vec![1e-3],
+        rng_seed: args.seed ^ 0x5eed,
+        ..Default::default()
+    };
+    for (variant, graph) in [("original", g), ("rcm", &g_rcm)] {
+        let secs = best_of(reps.min(2), || {
+            ncp_local_spectral(graph, &opts).expect("ncp_local_spectral failed")
+        });
+        kernels.push(("ncp_quick", variant, secs));
+    }
+    std::env::remove_var(THREADS_ENV);
+
+    for &(kernel, variant, secs) in &kernels {
+        println!("  {kernel:<16} {variant:<9} {:>9.3} ms", secs * 1e3);
+    }
+
+    let bw = |s: acir_graph::BandwidthStats| {
+        let mut m = BTreeMap::new();
+        m.insert("max".into(), Value::from(s.max));
+        m.insert("mean".into(), Value::from(s.mean));
+        Value::Object(m)
+    };
+    let alloc_row = |allocs: f64, bytes: f64| {
+        let mut m = BTreeMap::new();
+        m.insert("allocs_per_call".into(), Value::from(allocs));
+        m.insert("bytes_per_call".into(), Value::from(bytes));
+        Value::Object(m)
+    };
+    let mut root = BTreeMap::new();
+    root.insert("schema".into(), Value::from("acir-bench-locality-v1"));
+    root.insert("quick".into(), Value::from(args.quick));
+    root.insert("seed".into(), Value::from(args.seed));
+    root.insert("reorder".into(), Value::from(args.reorder.to_string()));
+    let mut graph = BTreeMap::new();
+    graph.insert("nodes".into(), Value::from(g.n()));
+    graph.insert("edges".into(), Value::from(g.m()));
+    root.insert("graph".into(), Value::Object(graph));
+    let mut bws = BTreeMap::new();
+    bws.insert("original".into(), bw(bw_orig));
+    bws.insert("rcm".into(), bw(bw_rcm));
+    bws.insert("degree".into(), bw(bw_deg));
+    root.insert("bandwidth".into(), Value::Object(bws));
+    root.insert(
+        "kernels".into(),
+        Value::Array(
+            kernels
+                .iter()
+                .map(|&(kernel, variant, secs)| {
+                    let mut r = BTreeMap::new();
+                    r.insert("kernel".into(), Value::from(kernel));
+                    r.insert("variant".into(), Value::from(variant));
+                    r.insert("secs".into(), Value::from(secs));
+                    Value::Object(r)
+                })
+                .collect(),
+        ),
+    );
+    let mut alloc = BTreeMap::new();
+    alloc.insert("pooled".into(), alloc_row(pooled_allocs, pooled_bytes));
+    alloc.insert("workspace".into(), alloc_row(ws_allocs, ws_bytes));
+    root.insert("ppr_alloc".into(), Value::Object(alloc));
+    Value::Object(root)
+}
+
+/// CI-grade checks on the locality artifact: it parses, names the
+/// expected schema, records all three orderings with finite bandwidth,
+/// has positive timings, and — the regression gate — the caller-owned
+/// workspace path of `ppr_push` performed zero steady-state heap
+/// allocations.
+fn validate_locality(text: &str) {
+    let doc: Value = serde_json::from_str(text).expect("BENCH_locality.json does not parse");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("acir-bench-locality-v1"),
+        "schema marker missing"
+    );
+    let bws = doc
+        .get("bandwidth")
+        .and_then(Value::as_object)
+        .expect("bandwidth object missing");
+    for key in ["original", "rcm", "degree"] {
+        let b = bws.get(key).and_then(Value::as_object).expect(key);
+        assert!(b.get("max").and_then(Value::as_u64).is_some(), "{key}.max");
+        assert!(
+            b.get("mean").and_then(Value::as_f64).unwrap_or(-1.0) >= 0.0,
+            "{key}.mean"
+        );
+    }
+    let kernels = doc
+        .get("kernels")
+        .and_then(Value::as_array)
+        .expect("kernels array missing");
+    assert!(!kernels.is_empty(), "no locality kernels recorded");
+    for k in kernels {
+        let secs = k.get("secs").and_then(Value::as_f64).expect("secs");
+        assert!(secs > 0.0, "non-positive locality timing");
+    }
+    let ws = doc
+        .get("ppr_alloc")
+        .and_then(|a| a.get("workspace"))
+        .and_then(Value::as_object)
+        .expect("ppr_alloc.workspace missing");
+    assert_eq!(
+        ws.get("allocs_per_call").and_then(Value::as_f64),
+        Some(0.0),
+        "steady-state ppr_push_ws must not allocate"
+    );
 }
 
 /// The same checks the CI smoke runs: the artifact parses, names the

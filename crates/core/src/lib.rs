@@ -89,10 +89,12 @@ pub mod prelude {
     pub use acir_exec::{ExecPool, THREADS_ENV};
     pub use acir_flow::{flow_improve, mqi, mqi_budgeted};
     pub use acir_graph::gen;
-    pub use acir_graph::{Graph, GraphBuilder, NodeId};
-    pub use acir_local::push::{ppr_push, ppr_push_batch, ppr_push_budgeted};
-    pub use acir_local::sweep::{set_conductance, sweep_cut, sweep_cut_support};
-    pub use acir_local::{hk_relax, hk_relax_budgeted, mov_vector, nibble};
+    pub use acir_graph::{bandwidth_stats, Graph, GraphBuilder, NodeId, Permutation};
+    pub use acir_local::push::{
+        ppr_push, ppr_push_batch, ppr_push_budgeted, ppr_push_ws, PushResult, PushWorkspace,
+    };
+    pub use acir_local::sweep::{set_conductance, sweep_cut, sweep_cut_sparse, sweep_cut_support};
+    pub use acir_local::{hk_relax, hk_relax_budgeted, mov_vector, nibble, HkWorkspace};
     pub use acir_partition::{
         cheeger_check, cluster_niceness, conductance, multilevel_bisect, ncp_local_spectral,
         ncp_local_spectral_budgeted, ncp_metis_mqi, refine_bisection, spectral_bisect,
@@ -104,6 +106,7 @@ pub mod prelude {
         SpectralProblem,
     };
     pub use acir_runtime::{Budget, Certificate, RetryPolicy, SolverOutcome};
+    pub use acir_runtime::{StampedSet, StampedVec, Workspace, WorkspacePool};
     pub use acir_spectral::{
         fiedler_vector, fiedler_vector_budgeted, heat_kernel, heat_kernel_chebyshev,
         heat_kernel_chebyshev_budgeted, heat_kernel_chebyshev_multi, lazy_walk,

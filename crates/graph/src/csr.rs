@@ -6,6 +6,7 @@
 //! a self-loop's weight is stored once and counted once in the node's
 //! weighted degree, which keeps `L = D − A` positive semidefinite.
 
+use crate::permute::Permutation;
 use crate::{GraphError, Result};
 
 /// Node identifier. `u32` keeps adjacency arrays compact (paper §2.1:
@@ -216,6 +217,10 @@ impl Graph {
     /// Weight of edge `{u, v}`, or 0.0 if absent. `O(log deg(u))`.
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> f64 {
         let r = self.offsets[u as usize]..self.offsets[u as usize + 1];
+        debug_assert!(
+            self.targets[r.clone()].windows(2).all(|w| w[0] < w[1]),
+            "adjacency row of {u} must be strictly sorted for binary search"
+        );
         match self.targets[r.clone()].binary_search(&v) {
             Ok(k) => self.weights[r.start + k],
             Err(_) => 0.0,
@@ -238,6 +243,58 @@ impl Graph {
     /// Volume of a node set: `vol(S) = Σ_{u∈S} d_u`.
     pub fn volume(&self, nodes: &[NodeId]) -> f64 {
         nodes.iter().map(|&u| self.degree(u)).sum()
+    }
+
+    /// Relabel the vertex set by a [`Permutation`]: vertex `old` of
+    /// `self` becomes vertex `perm.to_new(old)` of the result.
+    ///
+    /// The relabelled graph is the *same* graph — every structural and
+    /// spectral quantity is preserved — laid out in a different memory
+    /// order (see [`crate::permute`] for why that matters). Weighted
+    /// degrees and the total volume are **copied bitwise** from the
+    /// cached values rather than re-accumulated, so per-vertex float
+    /// metadata survives the round trip `permute(p)` →
+    /// `permute(p.inverse())` exactly.
+    ///
+    /// Errors if `perm.len() != self.n()`.
+    pub fn permute(&self, perm: &Permutation) -> Result<Graph> {
+        let n = self.n();
+        if perm.len() != n {
+            return Err(GraphError::InvalidArgument(format!(
+                "permutation over {} vertices applied to graph with {n} vertices",
+                perm.len()
+            )));
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for new in 0..n {
+            let old = perm.to_old(new as NodeId);
+            offsets[new + 1] = offsets[new] + self.degree_unweighted(old);
+        }
+        let arcs = self.targets.len();
+        let mut targets: Vec<NodeId> = Vec::with_capacity(arcs);
+        let mut weights: Vec<f64> = Vec::with_capacity(arcs);
+        let mut degrees: Vec<f64> = Vec::with_capacity(n);
+        let mut row: Vec<(NodeId, f64)> = Vec::new();
+        for new in 0..n {
+            let old = perm.to_old(new as NodeId);
+            row.clear();
+            row.extend(self.neighbors(old).map(|(v, w)| (perm.to_new(v), w)));
+            // Relabelling scrambles the within-row target order; CSR
+            // rows must be sorted for binary search and merge walks.
+            row.sort_unstable_by_key(|&(t, _)| t);
+            targets.extend(row.iter().map(|&(t, _)| t));
+            weights.extend(row.iter().map(|&(_, w)| w));
+            degrees.push(self.degrees[old as usize]);
+        }
+        let g = Graph {
+            offsets,
+            targets,
+            weights,
+            degrees,
+            total_volume: self.total_volume,
+        };
+        debug_assert!(g.validate().is_ok(), "{:?}", g.validate());
+        Ok(g)
     }
 
     /// Extract the subgraph induced by `nodes` (order defines new ids).

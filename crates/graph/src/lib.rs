@@ -16,7 +16,11 @@
 //!   expanders for flow) and random families with the statistical
 //!   properties of the social/information networks in Figure 1
 //!   (heavy-tailed degrees, whiskers, planted communities);
-//! * structural statistics ([`stats`]) and simple edge-list IO ([`io`]).
+//! * structural statistics ([`stats`]) and simple edge-list IO ([`io`]);
+//! * locality-improving vertex reorderings ([`permute`]): reverse
+//!   Cuthill–McKee and degree orderings with full inverse-mapping
+//!   support, so results computed on a reordered graph map back to the
+//!   original ids.
 //!
 //! All randomness flows through caller-supplied seeded RNGs; every
 //! generator is deterministic given its seed.
@@ -28,11 +32,13 @@ pub mod builder;
 pub mod csr;
 pub mod gen;
 pub mod io;
+pub mod permute;
 pub mod stats;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::{Graph, NodeId};
+pub use permute::{bandwidth_stats, BandwidthStats, Permutation};
 
 /// Errors produced by the graph substrate.
 #[derive(Debug, Clone, PartialEq)]

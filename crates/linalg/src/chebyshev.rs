@@ -19,7 +19,7 @@ use crate::vector;
 use crate::{LinOp, LinalgError, Result};
 use acir_runtime::{
     Budget, Certificate, ConvergenceGuard, Diagnostics, DivergenceCause, GuardVerdict, RetryPolicy,
-    SolverOutcome,
+    SolverOutcome, Workspace,
 };
 
 /// A Chebyshev expansion of a scalar function on `[a, b]`.
@@ -84,7 +84,20 @@ impl ChebyshevExpansion {
     ///
     /// The operator's spectrum must lie inside `[a, b]` (values outside
     /// make the Chebyshev polynomials blow up exponentially).
+    ///
+    /// Scratch buffers come from the crate's shared pool, so
+    /// steady-state calls allocate only the returned vector; see
+    /// [`Self::apply_ws`] to supply a caller-owned workspace instead.
     pub fn apply(&self, op: &dyn LinOp, v: &[f64]) -> Result<Vec<f64>> {
+        crate::SCRATCH.with(|ws| self.apply_ws(op, v, ws))
+    }
+
+    /// [`Self::apply`] with caller-owned scratch: the three recurrence
+    /// buffers (`T_{k−1} v`, `T_k v`, `T_{k+1} v`) are checked out of
+    /// `ws` and returned to it, so a caller applying the expansion to
+    /// many vectors allocates nothing after the first call.
+    /// Bit-identical to [`Self::apply`].
+    pub fn apply_ws(&self, op: &dyn LinOp, v: &[f64], ws: &mut Workspace) -> Result<Vec<f64>> {
         let n = op.dim();
         if v.len() != n {
             return Err(LinalgError::DimensionMismatch {
@@ -102,14 +115,15 @@ impl ChebyshevExpansion {
             vector::axpby(beta, input, alpha, out);
         };
 
-        let mut t_prev = v.to_vec(); // T_0 v
-        let mut t_curr = vec![0.0; n];
+        let mut t_prev = ws.take_f64(n); // T_0 v
+        t_prev.copy_from_slice(v);
+        let mut t_curr = ws.take_f64(n);
         apply_t(v, &mut t_curr); // T_1 v
         let mut acc: Vec<f64> = v.iter().map(|&x| 0.5 * self.coeffs[0] * x).collect();
         if self.coeffs.len() > 1 {
             vector::axpy(self.coeffs[1], &t_curr, &mut acc);
         }
-        let mut t_next = vec![0.0; n];
+        let mut t_next = ws.take_f64(n);
         for &c in self.coeffs.iter().skip(2) {
             apply_t(&t_curr, &mut t_next);
             vector::axpby(-1.0, &t_prev, 2.0, &mut t_next);
@@ -117,6 +131,9 @@ impl ChebyshevExpansion {
             std::mem::swap(&mut t_prev, &mut t_curr);
             std::mem::swap(&mut t_curr, &mut t_next);
         }
+        ws.put_f64(t_prev);
+        ws.put_f64(t_curr);
+        ws.put_f64(t_next);
         Ok(acc)
     }
 
@@ -528,6 +545,22 @@ mod tests {
         assert!(out.is_usable(), "ladder should recover: {out:?}");
         assert!(out.diagnostics().restarts >= 1);
         assert!(vector::dist2(out.value().unwrap(), &reference) < 1e-6);
+    }
+
+    #[test]
+    fn apply_ws_reuse_is_bit_identical() {
+        let n = 24;
+        let l = path_laplacian(n);
+        let exp = ChebyshevExpansion::fit(|x| (-1.3 * x).exp(), 0.0, 4.0, 30).unwrap();
+        let mut seed = vec![0.0; n];
+        seed[5] = 1.0;
+        let first = exp.apply(&l, &seed).unwrap();
+        let mut ws = Workspace::new();
+        for _ in 0..3 {
+            let again = exp.apply_ws(&l, &seed, &mut ws).unwrap();
+            assert_eq!(again, first);
+        }
+        assert_eq!(ws.parked_f64(), 3, "all scratch buffers returned");
     }
 
     #[test]

@@ -54,13 +54,24 @@ pub use dense::DenseMatrix;
 pub use fault::FaultyOp;
 pub use jacobi::SymEig;
 pub use lanczos::{lanczos, lanczos_budgeted, LanczosResult};
-pub use power::{power_method, power_method_budgeted, PowerOptions, PowerResult};
-pub use solve::{cg, cg_budgeted, cg_resilient, CgOptions, CgResult};
+pub use power::{power_method, power_method_budgeted, power_method_ws, PowerOptions, PowerResult};
+pub use solve::{cg, cg_budgeted, cg_resilient, cg_ws, CgOptions, CgResult};
 pub use sparse::CsrMatrix;
 
 // Resilience-runtime vocabulary, re-exported so downstream crates can
 // budget and match on outcomes without an explicit acir-runtime dep.
-pub use acir_runtime::{Budget, Certificate, DivergenceCause, RetryPolicy, SolverOutcome};
+pub use acir_runtime::{
+    Budget, Certificate, DivergenceCause, RetryPolicy, SolverOutcome, Workspace,
+};
+
+/// Shared scratch pool behind the plain public entry points of the dense
+/// iterative kernels ([`power_method`], [`cg`],
+/// [`chebyshev::ChebyshevExpansion::apply`]): their `O(n)` recurrence
+/// buffers survive across calls, so steady-state invocations stop
+/// hitting the allocator. The `_ws` variants accept a caller-owned
+/// [`Workspace`] instead for callers that manage their own reuse.
+pub(crate) static SCRATCH: acir_runtime::WorkspacePool<Workspace> =
+    acir_runtime::WorkspacePool::new();
 
 /// Errors produced by the linear-algebra substrate.
 #[derive(Debug, Clone, PartialEq)]

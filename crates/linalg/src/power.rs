@@ -13,6 +13,7 @@ use crate::vector;
 use crate::{LinOp, LinalgError, Result};
 use acir_runtime::{
     Budget, Certificate, ConvergenceGuard, Diagnostics, GuardConfig, GuardVerdict, SolverOutcome,
+    Workspace,
 };
 
 /// Options for [`power_method`].
@@ -60,7 +61,24 @@ pub struct PowerResult {
 /// Errors if the seed (after deflation) is numerically zero. Never errors
 /// on non-convergence: per the paper, a truncated run is a legitimate
 /// output, flagged by `converged == false`.
+///
+/// Scratch buffers come from the crate's shared pool, so steady-state
+/// calls do not allocate beyond the returned eigenvector; see
+/// [`power_method_ws`] to supply a caller-owned workspace instead.
 pub fn power_method(op: &dyn LinOp, v0: &[f64], opts: &PowerOptions) -> Result<PowerResult> {
+    crate::SCRATCH.with(|ws| power_method_ws(op, v0, opts, ws))
+}
+
+/// [`power_method`] with caller-owned scratch: the two `O(n)` recurrence
+/// buffers (`A v` and the residual) are checked out of `ws` and returned
+/// to it, so a caller looping over many seeds allocates nothing after
+/// the first call. Bit-identical to [`power_method`].
+pub fn power_method_ws(
+    op: &dyn LinOp,
+    v0: &[f64],
+    opts: &PowerOptions,
+    ws: &mut Workspace,
+) -> Result<PowerResult> {
     let n = op.dim();
     if v0.len() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -78,7 +96,8 @@ pub fn power_method(op: &dyn LinOp, v0: &[f64], opts: &PowerOptions) -> Result<P
         ));
     }
 
-    let mut av = vec![0.0; n];
+    let mut av = ws.take_f64(n);
+    let mut r = ws.take_f64(n);
     let mut eigenvalue = 0.0;
     let mut residual = f64::INFINITY;
     let mut iterations = 0;
@@ -89,7 +108,7 @@ pub fn power_method(op: &dyn LinOp, v0: &[f64], opts: &PowerOptions) -> Result<P
         }
         eigenvalue = vector::dot(&v, &av);
         // residual = ‖Av − λv‖
-        let mut r = av.clone();
+        r.copy_from_slice(&av);
         vector::axpy(-eigenvalue, &v, &mut r);
         residual = vector::norm2(&r);
         iterations += 1;
@@ -104,6 +123,8 @@ pub fn power_method(op: &dyn LinOp, v0: &[f64], opts: &PowerOptions) -> Result<P
             break;
         }
     }
+    ws.put_f64(av);
+    ws.put_f64(r);
 
     Ok(PowerResult {
         eigenvalue,
@@ -160,6 +181,7 @@ pub fn power_method_budgeted(
     let mut diags = Diagnostics::for_kernel("linalg.power");
 
     let mut av = vec![0.0; n];
+    let mut r = vec![0.0; n];
     let mut eigenvalue;
     let mut residual;
     let mut best: Option<PowerResult> = None;
@@ -171,7 +193,7 @@ pub fn power_method_budgeted(
             vector::deflate(&mut av, u);
         }
         eigenvalue = vector::dot(&v, &av);
-        let mut r = av.clone();
+        r.copy_from_slice(&av);
         vector::axpy(-eigenvalue, &v, &mut r);
         residual = vector::norm2(&r);
         iterations += 1;
@@ -410,6 +432,23 @@ mod tests {
         .unwrap();
         assert!(!out.is_usable(), "poisoned run must not yield a value");
         assert!(!out.diagnostics().residuals.is_empty());
+    }
+
+    #[test]
+    fn pooled_scratch_reuse_is_bit_identical() {
+        let a = DenseMatrix::from_diag(&[1.0, 1.01, 1.02]);
+        let opts = PowerOptions {
+            max_iters: 5,
+            tol: 0.0,
+            ..Default::default()
+        };
+        let first = power_method(&a, &[1.0, 0.2, 0.3], &opts).unwrap();
+        for _ in 0..3 {
+            let again = power_method(&a, &[1.0, 0.2, 0.3], &opts).unwrap();
+            assert_eq!(again.eigenvalue.to_bits(), first.eigenvalue.to_bits());
+            assert_eq!(again.residual.to_bits(), first.residual.to_bits());
+            assert_eq!(again.eigenvector, first.eigenvector);
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::vector;
 use crate::{LinOp, LinalgError, Result};
 use acir_runtime::{
     Budget, Certificate, ConvergenceGuard, Diagnostics, DivergenceCause, GuardConfig, GuardVerdict,
-    RetryPolicy, SolverOutcome,
+    RetryPolicy, SolverOutcome, Workspace,
 };
 
 /// Cholesky factorization `A = G Gᵀ` (lower triangular `G`) of an SPD
@@ -232,7 +232,25 @@ pub struct CgResult {
 /// `x0` seeds the iteration (pass zeros if unknown). Like
 /// [`crate::power_method`], this never errors on hitting the budget —
 /// truncated CG is a regularized solve and is reported as such.
+///
+/// Scratch buffers come from the crate's shared pool, so steady-state
+/// calls allocate only the returned solution; see [`cg_ws`] to supply a
+/// caller-owned workspace instead.
 pub fn cg(op: &dyn LinOp, b: &[f64], x0: &[f64], opts: &CgOptions) -> Result<CgResult> {
+    crate::SCRATCH.with(|ws| cg_ws(op, b, x0, opts, ws))
+}
+
+/// [`cg`] with caller-owned scratch: the three `O(n)` recurrence buffers
+/// (residual, search direction, `A p`) are checked out of `ws` and
+/// returned to it, so a caller looping over many right-hand sides
+/// allocates nothing after the first call. Bit-identical to [`cg`].
+pub fn cg_ws(
+    op: &dyn LinOp,
+    b: &[f64],
+    x0: &[f64],
+    opts: &CgOptions,
+    ws: &mut Workspace,
+) -> Result<CgResult> {
     let n = op.dim();
     if b.len() != n || x0.len() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -242,13 +260,15 @@ pub fn cg(op: &dyn LinOp, b: &[f64], x0: &[f64], opts: &CgOptions) -> Result<CgR
     }
     let bnorm = vector::norm2(b).max(f64::MIN_POSITIVE);
     let mut x = x0.to_vec();
-    let mut r = b.to_vec();
-    let ax = op.apply_vec(&x);
-    vector::axpy(-1.0, &ax, &mut r);
-    let mut p = r.clone();
+    let mut r = ws.take_f64(n);
+    let mut p = ws.take_f64(n);
+    let mut ap = ws.take_f64(n);
+    r.copy_from_slice(b);
+    op.apply(&x, &mut ap);
+    vector::axpy(-1.0, &ap, &mut r);
+    p.copy_from_slice(&r);
     let mut rs = vector::dot(&r, &r);
     let mut iterations = 0;
-    let mut ap = vec![0.0; n];
 
     while iterations < opts.max_iters && rs.sqrt() / bnorm > opts.tol {
         op.apply(&p, &mut ap);
@@ -265,6 +285,9 @@ pub fn cg(op: &dyn LinOp, b: &[f64], x0: &[f64], opts: &CgOptions) -> Result<CgR
         rs = rs_new;
         iterations += 1;
     }
+    ws.put_f64(r);
+    ws.put_f64(p);
+    ws.put_f64(ap);
 
     let relative_residual = rs.sqrt() / bnorm;
     Ok(CgResult {
@@ -714,6 +737,25 @@ mod tests {
         let mut ax = vec![0.0; 3];
         a.gemv(1.0, &r.x, 0.0, &mut ax);
         assert!(vector::dist2(&ax, &[1.0, 0.0, 0.0]) < 1e-8);
+    }
+
+    #[test]
+    fn cg_pooled_scratch_reuse_is_bit_identical() {
+        let a = spd3();
+        let b = [1.0, 2.0, 3.0];
+        let opts = CgOptions::default();
+        let first = cg(&a, &b, &[0.0; 3], &opts).unwrap();
+        let mut ws = Workspace::new();
+        for _ in 0..3 {
+            let again = cg_ws(&a, &b, &[0.0; 3], &opts, &mut ws).unwrap();
+            assert_eq!(again.x, first.x);
+            assert_eq!(
+                again.relative_residual.to_bits(),
+                first.relative_residual.to_bits()
+            );
+            assert_eq!(again.iterations, first.iterations);
+        }
+        assert_eq!(ws.parked_f64(), 3, "all scratch buffers returned");
     }
 
     #[test]

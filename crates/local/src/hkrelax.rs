@@ -15,8 +15,11 @@
 //! regularizers — and both are exposed as parameters.
 
 use crate::{LocalError, Result};
-use acir_graph::{Graph, NodeId};
-use acir_runtime::{Budget, Certificate, Diagnostics, DivergenceCause, SolverOutcome};
+use acir_graph::{Graph, NodeId, Permutation};
+use acir_runtime::{
+    Budget, Certificate, Diagnostics, DivergenceCause, SolverOutcome, StampedSet, StampedVec,
+    WorkspacePool,
+};
 
 /// Output of [`hk_relax`].
 #[derive(Debug, Clone)]
@@ -42,7 +45,45 @@ impl HkRelaxResult {
         }
         v
     }
+
+    /// Map a result computed on `g.permute(perm)` back to the original
+    /// vertex ids.
+    pub fn map_back(&self, perm: &Permutation) -> HkRelaxResult {
+        HkRelaxResult {
+            vector: perm.unmap_sparse(&self.vector),
+            terms: self.terms,
+            mass_lost: self.mass_lost,
+            work: self.work,
+            touched: self.touched,
+        }
+    }
 }
+
+/// Reusable scratch for [`hk_relax`]: the accumulated heat vector, the
+/// current and next Taylor terms, the ever-touched set, and the
+/// support lists. All resets are `O(1)`, so a relax run touching `k`
+/// nodes does `O(k·terms)` bookkeeping regardless of `n`.
+#[derive(Debug, Default)]
+pub struct HkWorkspace {
+    h: StampedVec,
+    q: StampedVec,
+    next: StampedVec,
+    ever: StampedSet,
+    support: Vec<NodeId>,
+    next_support: Vec<NodeId>,
+    kept: Vec<NodeId>,
+    /// First-touch order of `h`'s support (sorted during harvest).
+    h_touched: Vec<NodeId>,
+}
+
+impl HkWorkspace {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+static HK_POOL: WorkspacePool<HkWorkspace> = WorkspacePool::new();
 
 /// Number of Taylor terms needed so that `e^{−t} Σ_{k>N} t^k/k! <
 /// tail_tol` (simple forward scan; `t` is small in practice).
@@ -68,8 +109,13 @@ pub fn hk_relax(
     epsilon: f64,
     tail_tol: f64,
 ) -> Result<HkRelaxResult> {
-    let n = g.n();
-    if seed as usize >= n {
+    validate_hk_args(g, seed, t, epsilon, tail_tol)?;
+    Ok(HK_POOL.with(|ws| hk_unchecked(g, seed, t, epsilon, tail_tol, ws)))
+}
+
+/// Parameter validation shared by the pooled and budgeted entry points.
+fn validate_hk_args(g: &Graph, seed: NodeId, t: f64, epsilon: f64, tail_tol: f64) -> Result<()> {
+    if seed as usize >= g.n() {
         return Err(LocalError::InvalidArgument(format!(
             "seed {seed} out of range"
         )));
@@ -89,16 +135,40 @@ pub fn hk_relax(
             "need epsilon > 0 and tail_tol in (0, 1)".into(),
         ));
     }
+    Ok(())
+}
 
+/// The truncated-Taylor loop on stamped scratch. Inputs pre-validated.
+///
+/// Arithmetic, truncation decisions, and accumulation order match the
+/// historical dense implementation exactly (a freshly-reset stamped
+/// array reads like `vec![0.0; n]`, first-touch coincides with the old
+/// `next[v] == 0.0` test because every contribution is positive, and
+/// the final harvest walks the sorted touched list in the same
+/// ascending order the dense `0..n` filter did), so results are
+/// bit-identical to it while per-call work and allocations stay
+/// proportional to the touched set.
+fn hk_unchecked(
+    g: &Graph,
+    seed: NodeId,
+    t: f64,
+    epsilon: f64,
+    tail_tol: f64,
+    ws: &mut HkWorkspace,
+) -> HkRelaxResult {
+    let n = g.n();
     let terms = taylor_terms(t, tail_tol);
     // h accumulates e^{−t} Σ coeff_k q_k with q_0 = s, q_{k+1} = P q_k.
-    let mut h = vec![0.0f64; n];
-    let mut q = vec![0.0f64; n];
-    let mut next = vec![0.0f64; n];
-    let mut support: Vec<NodeId> = vec![seed];
-    let mut ever_touched = vec![false; n];
-    ever_touched[seed as usize] = true;
-    q[seed as usize] = 1.0;
+    ws.h.reset(n);
+    ws.q.reset(n);
+    ws.next.reset(n);
+    ws.ever.reset(n);
+    ws.support.clear();
+    ws.h_touched.clear();
+    ws.support.push(seed);
+    ws.ever.insert(seed as usize);
+    let mut ever_count = 1usize;
+    ws.q.set(seed as usize, 1.0);
 
     let e_neg_t = (-t).exp();
     let mut coeff = e_neg_t; // e^{−t} t^k / k! at k = 0
@@ -106,68 +176,69 @@ pub fn hk_relax(
     let mut work = 0usize;
 
     for k in 0..=terms {
-        for &u in &support {
-            h[u as usize] += coeff * q[u as usize];
-            accounted += coeff * q[u as usize];
+        for &u in &ws.support {
+            let qu = ws.q.get(u as usize);
+            if ws.h.add(u as usize, coeff * qu) {
+                ws.h_touched.push(u);
+            }
+            accounted += coeff * qu;
         }
         if k == terms {
             break;
         }
         // Propagate one walk step with ε-truncation.
-        let mut next_support: Vec<NodeId> = Vec::with_capacity(support.len() * 2);
-        for &u in &support {
-            let qu = q[u as usize];
+        ws.next_support.clear();
+        for &u in &ws.support {
+            let qu = ws.q.get(u as usize);
             if qu == 0.0 {
                 continue;
             }
             let du = g.degree(u);
             for (v, w) in g.neighbors(u) {
                 work += 1;
-                if next[v as usize] == 0.0 {
-                    next_support.push(v);
+                if ws.next.add(v as usize, qu * w / du) {
+                    ws.next_support.push(v);
                 }
-                next[v as usize] += qu * w / du;
             }
         }
-        let mut kept = Vec::with_capacity(next_support.len());
-        for &v in &next_support {
-            if next[v as usize] >= epsilon * g.degree(v) {
-                kept.push(v);
-                ever_touched[v as usize] = true;
-            } else {
-                next[v as usize] = 0.0;
+        ws.kept.clear();
+        for &v in &ws.next_support {
+            if ws.next.get(v as usize) >= epsilon * g.degree(v) {
+                ws.kept.push(v);
+                if ws.ever.insert(v as usize) {
+                    ever_count += 1;
+                }
             }
         }
-        for &u in &support {
-            q[u as usize] = 0.0;
+        ws.q.reset(n);
+        for &v in &ws.kept {
+            let x = ws.next.get(v as usize);
+            ws.q.set(v as usize, x);
         }
-        for &v in &kept {
-            q[v as usize] = next[v as usize];
-            next[v as usize] = 0.0;
-        }
-        support = kept;
+        ws.next.reset(n);
+        std::mem::swap(&mut ws.support, &mut ws.kept);
         coeff *= t / (k + 1) as f64;
-        if support.is_empty() {
+        if ws.support.is_empty() {
             break;
         }
     }
 
-    let mut vector: Vec<(NodeId, f64)> = h
-        .iter()
-        .enumerate()
-        .filter(|&(_, &x)| x > 0.0)
-        .map(|(u, &x)| (u as NodeId, x))
-        .collect();
-    vector.sort_unstable_by_key(|&(u, _)| u);
-    let touched = ever_touched.iter().filter(|&&b| b).count();
+    ws.h_touched.sort_unstable();
+    let mut vector: Vec<(NodeId, f64)> = Vec::with_capacity(ws.h_touched.len());
+    for &u in &ws.h_touched {
+        let x = ws.h.get(u as usize);
+        if x > 0.0 {
+            vector.push((u, x));
+        }
+    }
 
-    Ok(HkRelaxResult {
+    HkRelaxResult {
         vector,
         terms,
         mass_lost: (1.0 - accounted).max(0.0),
         work,
-        touched,
-    })
+        touched: ever_count,
+    }
 }
 
 /// Truncated heat-kernel diffusion under an explicit resource
@@ -190,26 +261,7 @@ pub fn hk_relax_budgeted(
     budget: &Budget,
 ) -> Result<SolverOutcome<HkRelaxResult>> {
     let n = g.n();
-    if seed as usize >= n {
-        return Err(LocalError::InvalidArgument(format!(
-            "seed {seed} out of range"
-        )));
-    }
-    if g.degree(seed) <= 0.0 {
-        return Err(LocalError::InvalidArgument(format!(
-            "seed {seed} has zero degree"
-        )));
-    }
-    if !(t > 0.0 && t.is_finite()) {
-        return Err(LocalError::InvalidArgument(format!(
-            "t must be positive, got {t}"
-        )));
-    }
-    if !(epsilon > 0.0 && epsilon.is_finite() && tail_tol > 0.0 && tail_tol < 1.0) {
-        return Err(LocalError::InvalidArgument(
-            "need epsilon > 0 and tail_tol in (0, 1)".into(),
-        ));
-    }
+    validate_hk_args(g, seed, t, epsilon, tail_tol)?;
 
     let terms = taylor_terms(t, tail_tol);
     let mut h = vec![0.0f64; n];

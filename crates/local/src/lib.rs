@@ -34,11 +34,13 @@ pub mod nibble;
 pub mod push;
 pub mod sweep;
 
-pub use hkrelax::{hk_relax, hk_relax_budgeted, HkRelaxResult};
+pub use hkrelax::{hk_relax, hk_relax_budgeted, HkRelaxResult, HkWorkspace};
 pub use mov::{mov_vector, MovResult};
 pub use nibble::{nibble, NibbleResult};
-pub use push::{ppr_push, ppr_push_batch, ppr_push_budgeted, PushResult};
-pub use sweep::{sweep_cut, sweep_cut_support, SweepResult};
+pub use push::{
+    ppr_push, ppr_push_batch, ppr_push_budgeted, ppr_push_ws, PushResult, PushWorkspace,
+};
+pub use sweep::{sweep_cut, sweep_cut_sparse, sweep_cut_support, SweepResult};
 
 /// Errors from the local-methods layer.
 #[derive(Debug, Clone, PartialEq)]

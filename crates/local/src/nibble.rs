@@ -8,9 +8,10 @@
 //! work — bounded independently of the graph size, at the cost of
 //! leaking probability mass; that leak *is* the implicit regularizer.
 
-use crate::sweep::sweep_cut_support;
+use crate::sweep::sweep_cut_sparse;
 use crate::{LocalError, Result};
 use acir_graph::{Graph, NodeId};
+use acir_runtime::{StampedVec, WorkspacePool};
 
 /// Output of [`nibble`].
 #[derive(Debug, Clone)]
@@ -56,70 +57,99 @@ pub fn nibble(g: &Graph, seed: NodeId, steps: usize, epsilon: f64) -> Result<Nib
         )));
     }
 
-    // Sparse distribution: values on a support list, plus a dense
-    // scratch indexed by node (allocated once).
-    let mut q = vec![0.0f64; n];
-    let mut support: Vec<NodeId> = vec![seed];
-    q[seed as usize] = 1.0;
+    NIBBLE_POOL.with(|ws| nibble_unchecked(g, seed, steps, epsilon, ws))
+}
+
+/// Reusable scratch for [`nibble`]: the current and next distributions
+/// on stamped arrays, support lists, and the per-step sweep input.
+#[derive(Debug, Default)]
+struct NibbleWorkspace {
+    q: StampedVec,
+    next: StampedVec,
+    support: Vec<NodeId>,
+    next_support: Vec<NodeId>,
+    kept: Vec<NodeId>,
+    pairs: Vec<(NodeId, f64)>,
+}
+
+static NIBBLE_POOL: WorkspacePool<NibbleWorkspace> = WorkspacePool::new();
+
+/// The truncated-walk loop on stamped scratch (inputs pre-validated).
+/// Bit-identical to the historical dense implementation: stamped resets
+/// read like fresh zeroed arrays, first touch coincides with the old
+/// `next[v] == 0.0` test (all contributions are positive), and each
+/// per-step sweep runs over exactly the support the dense `0..n` filter
+/// found — the sweep's ordering is a strict total order (ratio
+/// descending, id ascending), so candidate input order cannot matter.
+fn nibble_unchecked(
+    g: &Graph,
+    seed: NodeId,
+    steps: usize,
+    epsilon: f64,
+    ws: &mut NibbleWorkspace,
+) -> Result<NibbleResult> {
+    let n = g.n();
+    ws.q.reset(n);
+    ws.next.reset(n);
+    ws.support.clear();
+    ws.support.push(seed);
+    ws.q.set(seed as usize, 1.0);
 
     let mut best: Option<(Vec<NodeId>, f64, usize)> = None;
     let mut mass_lost = 0.0;
     let mut work = 0usize;
     let mut max_support = 1usize;
-    let mut next = vec![0.0f64; n];
 
     for step in 1..=steps {
         // One lazy step over the support: next = (q + M q)/2 restricted
         // to the out-neighborhood of the support.
-        let mut next_support: Vec<NodeId> = Vec::with_capacity(support.len() * 2);
-        for &u in &support {
-            let qu = q[u as usize];
+        ws.next_support.clear();
+        for &u in &ws.support {
+            let qu = ws.q.get(u as usize);
             if qu == 0.0 {
                 continue;
             }
             // Lazy half stays.
-            if next[u as usize] == 0.0 {
-                next_support.push(u);
+            if ws.next.add(u as usize, 0.5 * qu) {
+                ws.next_support.push(u);
             }
-            next[u as usize] += 0.5 * qu;
             let du = g.degree(u);
             for (v, w) in g.neighbors(u) {
                 work += 1;
-                if next[v as usize] == 0.0 {
-                    next_support.push(v);
+                if ws.next.add(v as usize, 0.5 * qu * w / du) {
+                    ws.next_support.push(v);
                 }
-                next[v as usize] += 0.5 * qu * w / du;
             }
         }
         // Truncate: zero entries below ε·d_v (degree-0 nodes cannot
         // receive mass, so no special case needed).
-        let mut kept: Vec<NodeId> = Vec::with_capacity(next_support.len());
-        for &v in &next_support {
-            let x = next[v as usize];
+        ws.kept.clear();
+        for &v in &ws.next_support {
+            let x = ws.next.get(v as usize);
             if x < epsilon * g.degree(v) {
                 mass_lost += x;
-                next[v as usize] = 0.0;
             } else if x > 0.0 {
-                kept.push(v);
+                ws.kept.push(v);
             }
         }
-        // Swap buffers: clear old support in q, move next into q.
-        for &u in &support {
-            q[u as usize] = 0.0;
+        // Swap buffers: move the kept entries of next into q.
+        ws.q.reset(n);
+        for &v in &ws.kept {
+            let x = ws.next.get(v as usize);
+            ws.q.set(v as usize, x);
         }
-        for &v in &kept {
-            q[v as usize] = next[v as usize];
-            next[v as usize] = 0.0;
-        }
-        // Clear truncated slots of `next` (already zeroed above).
-        support = kept;
-        max_support = max_support.max(support.len());
-        if support.is_empty() {
+        ws.next.reset(n);
+        std::mem::swap(&mut ws.support, &mut ws.kept);
+        max_support = max_support.max(ws.support.len());
+        if ws.support.is_empty() {
             break; // everything truncated away
         }
 
-        // Sweep the current distribution.
-        let sr = sweep_cut_support(g, &q);
+        // Sweep the current distribution (support-sized, not n-sized).
+        ws.pairs.clear();
+        ws.pairs
+            .extend(ws.support.iter().map(|&u| (u, ws.q.get(u as usize))));
+        let sr = sweep_cut_sparse(g, &ws.pairs);
         if sr.set.is_empty() {
             continue;
         }
@@ -130,9 +160,10 @@ pub fn nibble(g: &Graph, seed: NodeId, steps: usize, epsilon: f64) -> Result<Nib
     }
 
     let (set, conductance, best_step) = best.unwrap_or((vec![seed], f64::INFINITY, 0));
-    let mut vector: Vec<(NodeId, f64)> = support
+    let mut vector: Vec<(NodeId, f64)> = ws
+        .support
         .iter()
-        .map(|&u| (u, q[u as usize]))
+        .map(|&u| (u, ws.q.get(u as usize)))
         .filter(|&(_, x)| x > 0.0)
         .collect();
     vector.sort_unstable_by_key(|&(u, _)| u);

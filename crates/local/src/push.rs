@@ -22,8 +22,11 @@
 //! `‖D⁻¹(pr_α(s) − p)‖_∞ ≤ ε`.
 
 use crate::{LocalError, Result};
-use acir_graph::{Graph, NodeId};
-use acir_runtime::{Budget, Certificate, Diagnostics, DivergenceCause, SolverOutcome};
+use acir_graph::{Graph, NodeId, Permutation};
+use acir_runtime::{
+    Budget, Certificate, Diagnostics, DivergenceCause, SolverOutcome, StampedSet, StampedVec,
+    WorkspacePool,
+};
 use std::collections::VecDeque;
 
 /// Output of [`ppr_push`].
@@ -43,6 +46,19 @@ pub struct PushResult {
 }
 
 impl PushResult {
+    /// Empty result, for use as the reusable output slot of
+    /// [`ppr_push_ws`] (steady-state calls then reuse its capacity and
+    /// perform no heap allocation at all).
+    pub fn empty() -> Self {
+        PushResult {
+            vector: Vec::new(),
+            residual_mass: 0.0,
+            pushes: 0,
+            work: 0,
+            touched: 0,
+        }
+    }
+
     /// Densify to a full-length vector (for sweeps over large graphs
     /// prefer [`crate::sweep::sweep_cut_support`] on this).
     pub fn to_dense(&self, n: usize) -> Vec<f64> {
@@ -52,7 +68,56 @@ impl PushResult {
         }
         v
     }
+
+    /// Map a result computed on `g.permute(perm)` back to the original
+    /// vertex ids (scalars are layout-independent and carry over).
+    pub fn map_back(&self, perm: &Permutation) -> PushResult {
+        PushResult {
+            vector: perm.unmap_sparse(&self.vector),
+            residual_mass: self.residual_mass,
+            pushes: self.pushes,
+            work: self.work,
+            touched: self.touched,
+        }
+    }
 }
+
+impl Default for PushResult {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// Reusable scratch for [`ppr_push`]: epoch-stamped `p`/`r` arrays, the
+/// queue-membership set, the work queue, and the touched-node list.
+///
+/// Resetting costs `O(1)`; a push run touching `k` nodes then does
+/// `O(k)` bookkeeping regardless of `n`. A warm workspace makes
+/// [`ppr_push_ws`] allocation-free in steady state; the plain
+/// [`ppr_push`] entry point borrows one from a module-level
+/// [`WorkspacePool`] automatically.
+#[derive(Debug, Default)]
+pub struct PushWorkspace {
+    p: StampedVec,
+    r: StampedVec,
+    in_queue: StampedSet,
+    queue: VecDeque<NodeId>,
+    /// Nodes whose residual was ever touched, in first-touch order
+    /// (sorted during harvest; every node with `p > 0` or `r > 0` is
+    /// here, because mass only ever arrives through `r`).
+    touched: Vec<NodeId>,
+}
+
+impl PushWorkspace {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Pool backing the plain [`ppr_push`] / [`ppr_push_batch`] APIs, so
+/// repeated calls reuse scratch without the caller holding a workspace.
+static PUSH_POOL: WorkspacePool<PushWorkspace> = WorkspacePool::new();
 
 /// Run the ACL push algorithm from `seeds` (uniform mass over them).
 ///
@@ -63,6 +128,35 @@ impl PushResult {
 /// Errors on bad parameters, empty/out-of-range seeds, or degree-0
 /// seeds.
 pub fn ppr_push(g: &Graph, seeds: &[NodeId], alpha: f64, epsilon: f64) -> Result<PushResult> {
+    validate_push_args(g, seeds, alpha, epsilon)?;
+    let mut out = PushResult::empty();
+    PUSH_POOL.with(|ws| push_unchecked(g, seeds, alpha, epsilon, ws, &mut out))?;
+    Ok(out)
+}
+
+/// [`ppr_push`] with caller-held scratch and output: the steady-state
+/// allocation-free entry point.
+///
+/// After one warm-up call on a graph of the same (or larger) size, a
+/// call performs **zero** heap allocations — the workspace arrays and
+/// `out.vector` reuse their capacity (the CI allocation gate asserts
+/// this). The result written to `out` is bit-identical to what
+/// [`ppr_push`] returns; on error `out` is left cleared.
+pub fn ppr_push_ws(
+    g: &Graph,
+    seeds: &[NodeId],
+    alpha: f64,
+    epsilon: f64,
+    ws: &mut PushWorkspace,
+    out: &mut PushResult,
+) -> Result<()> {
+    validate_push_args(g, seeds, alpha, epsilon)?;
+    push_unchecked(g, seeds, alpha, epsilon, ws, out)
+}
+
+/// Parameter and seed validation shared by every push entry point, and
+/// hoisted out of the per-item loop by [`ppr_push_batch`].
+fn validate_push_args(g: &Graph, seeds: &[NodeId], alpha: f64, epsilon: f64) -> Result<()> {
     if !(0.0 < alpha && alpha < 1.0) {
         return Err(LocalError::InvalidArgument(format!(
             "ppr_push needs alpha in (0, 1), got {alpha}"
@@ -89,22 +183,45 @@ pub fn ppr_push(g: &Graph, seeds: &[NodeId], alpha: f64, epsilon: f64) -> Result
             )));
         }
     }
+    Ok(())
+}
 
-    // Sparse state: dense arrays indexed by node are fine for the
-    // *storage* (allocation is O(n) once), but the algorithm only ever
-    // scans nodes in the queue — work stays output-sized.
-    let mut p = vec![0.0f64; n];
-    let mut r = vec![0.0f64; n];
-    let mut in_queue = vec![false; n];
-    let mut queue: VecDeque<NodeId> = VecDeque::new();
+/// The ACL loop on stamped scratch. Inputs are pre-validated.
+///
+/// Work is `O(|touched| + Σ pushed degrees)`: the stamped arrays reset
+/// in `O(1)` and are only ever read/written at queue and neighbor
+/// indices, and the final harvest walks the touched list instead of
+/// scanning `0..n`. Every arithmetic operation, queue transition, and
+/// summation order matches the historical dense implementation exactly,
+/// so results are bit-identical to it (untouched entries read as the
+/// literal `0.0` the dense arrays held, and adding `0.0` to the
+/// residual sum was an exact no-op for the nonnegative residuals).
+fn push_unchecked(
+    g: &Graph,
+    seeds: &[NodeId],
+    alpha: f64,
+    epsilon: f64,
+    ws: &mut PushWorkspace,
+    out: &mut PushResult,
+) -> Result<()> {
+    let n = g.n();
+    ws.p.reset(n);
+    ws.r.reset(n);
+    ws.in_queue.reset(n);
+    ws.queue.clear();
+    ws.touched.clear();
+    out.vector.clear();
+
     let seed_mass = 1.0 / seeds.len() as f64;
     for &u in seeds {
-        r[u as usize] += seed_mass;
+        if ws.r.add(u as usize, seed_mass) {
+            ws.touched.push(u);
+        }
     }
     for &u in seeds {
-        if !in_queue[u as usize] && r[u as usize] >= epsilon * g.degree(u) {
-            in_queue[u as usize] = true;
-            queue.push_back(u);
+        if !ws.in_queue.contains(u as usize) && ws.r.get(u as usize) >= epsilon * g.degree(u) {
+            ws.in_queue.insert(u as usize);
+            ws.queue.push_back(u);
         }
     }
 
@@ -113,10 +230,10 @@ pub fn ppr_push(g: &Graph, seeds: &[NodeId], alpha: f64, epsilon: f64) -> Result
     // Hard safety cap well above the theoretical O(1/(εα)) push bound.
     let push_cap = ((4.0 / (epsilon * alpha)).ceil() as usize).saturating_add(16);
 
-    while let Some(u) = queue.pop_front() {
-        in_queue[u as usize] = false;
+    while let Some(u) = ws.queue.pop_front() {
+        ws.in_queue.remove(u as usize);
         let du = g.degree(u);
-        let ru = r[u as usize];
+        let ru = ws.r.get(u as usize);
         if ru < epsilon * du {
             continue;
         }
@@ -128,43 +245,50 @@ pub fn ppr_push(g: &Graph, seeds: &[NodeId], alpha: f64, epsilon: f64) -> Result
         }
         // Lazy push: α·ru into p; half of the rest stays at u; half
         // spreads over neighbors proportionally to weight.
-        p[u as usize] += alpha * ru;
+        ws.p.add(u as usize, alpha * ru);
         let stay = (1.0 - alpha) * ru / 2.0;
-        r[u as usize] = stay;
+        ws.r.set(u as usize, stay);
         let spread = (1.0 - alpha) * ru / 2.0;
         for (v, w) in g.neighbors(u) {
             work += 1;
             let dv = g.degree(v);
-            r[v as usize] += spread * w / du;
-            if !in_queue[v as usize] && r[v as usize] >= epsilon * dv && dv > 0.0 {
-                in_queue[v as usize] = true;
-                queue.push_back(v);
+            if ws.r.add(v as usize, spread * w / du) {
+                ws.touched.push(v);
+            }
+            if !ws.in_queue.contains(v as usize) && ws.r.get(v as usize) >= epsilon * dv && dv > 0.0
+            {
+                ws.in_queue.insert(v as usize);
+                ws.queue.push_back(v);
             }
         }
         // u itself may still be above threshold (the lazy half).
-        if !in_queue[u as usize] && r[u as usize] >= epsilon * du {
-            in_queue[u as usize] = true;
-            queue.push_back(u);
+        if !ws.in_queue.contains(u as usize) && ws.r.get(u as usize) >= epsilon * du {
+            ws.in_queue.insert(u as usize);
+            ws.queue.push_back(u);
         }
     }
 
-    let mut vector: Vec<(NodeId, f64)> = p
-        .iter()
-        .enumerate()
-        .filter(|&(_, &x)| x > 0.0)
-        .map(|(u, &x)| (u as NodeId, x))
-        .collect();
-    vector.sort_unstable_by_key(|&(u, _)| u);
-    let touched = (0..n).filter(|&u| p[u] > 0.0 || r[u] > 0.0).count();
-    let residual_mass = r.iter().sum();
-
-    Ok(PushResult {
-        vector,
-        residual_mass,
-        pushes,
-        work,
-        touched,
-    })
+    // Harvest over the sorted touched list — ascending node order, the
+    // same order the dense `0..n` scans visited the nonzero entries in.
+    ws.touched.sort_unstable();
+    let mut touched = 0usize;
+    let mut residual_mass = 0.0f64;
+    for &u in &ws.touched {
+        let p = ws.p.get(u as usize);
+        let r = ws.r.get(u as usize);
+        if p > 0.0 {
+            out.vector.push((u, p));
+        }
+        if p > 0.0 || r > 0.0 {
+            touched += 1;
+        }
+        residual_mass += r;
+    }
+    out.residual_mass = residual_mass;
+    out.pushes = pushes;
+    out.work = work;
+    out.touched = touched;
+    Ok(())
 }
 
 /// Run [`ppr_push`] for many seed sets in one call, fanned out over the
@@ -175,15 +299,24 @@ pub fn ppr_push(g: &Graph, seeds: &[NodeId], alpha: f64, epsilon: f64) -> Result
 /// back in input order and each entry is exactly what the corresponding
 /// single-seed call returns, at any thread count. The whole batch fails
 /// on the first invalid seed set — parameter errors are programmer
-/// errors, not data-dependent outcomes.
+/// errors, not data-dependent outcomes — and all validation happens up
+/// front, before any diffusion work is spent. Workers draw scratch from
+/// the shared workspace pool, so a batch of thousands of pushes
+/// materializes at most one workspace per concurrently-live worker.
 pub fn ppr_push_batch(
     g: &Graph,
     seed_sets: &[Vec<NodeId>],
     alpha: f64,
     epsilon: f64,
 ) -> Result<Vec<PushResult>> {
-    let outs = acir_exec::ExecPool::from_env()
-        .par_map(seed_sets, 1, |seeds| ppr_push(g, seeds, alpha, epsilon));
+    for seeds in seed_sets {
+        validate_push_args(g, seeds, alpha, epsilon)?;
+    }
+    let outs = acir_exec::ExecPool::from_env().par_map(seed_sets, 1, |seeds| {
+        let mut out = PushResult::empty();
+        PUSH_POOL.with(|ws| push_unchecked(g, seeds, alpha, epsilon, ws, &mut out))?;
+        Ok::<PushResult, LocalError>(out)
+    });
     outs.into_iter().collect()
 }
 
@@ -592,6 +725,63 @@ mod tests {
         let mut negated = base;
         assert!(corrupt::negative_weights(&mut negated, 0.5, 11) > 0);
         assert!(acir_graph::Graph::from_edges(10, negated).is_err());
+    }
+
+    #[test]
+    fn ws_variant_bit_identical_across_reuse() {
+        // One workspace and one output slot reused across calls of
+        // different sizes and seeds must reproduce fresh results bit
+        // for bit — reuse may never leak state between calls.
+        let mut rng = StdRng::seed_from_u64(11);
+        let big = barabasi_albert(&mut rng, 800, 3).unwrap();
+        let small = barbell(6, 2).unwrap();
+        let mut ws = PushWorkspace::new();
+        let mut out = PushResult::empty();
+        let cases: Vec<(&acir_graph::Graph, Vec<NodeId>)> = vec![
+            (&big, vec![0]),
+            (&small, vec![0]),
+            (&big, vec![17, 399]),
+            (&big, vec![0]), // repeat: shrunk-then-regrown scratch
+        ];
+        for (g, seeds) in cases {
+            let fresh = ppr_push(g, &seeds, 0.1, 1e-4).unwrap();
+            ppr_push_ws(g, &seeds, 0.1, 1e-4, &mut ws, &mut out).unwrap();
+            assert_eq!(out.vector, fresh.vector);
+            assert_eq!(out.residual_mass.to_bits(), fresh.residual_mass.to_bits());
+            assert_eq!(
+                (out.pushes, out.work, out.touched),
+                (fresh.pushes, fresh.work, fresh.touched)
+            );
+        }
+        // Errors still validate through the ws path.
+        assert!(ppr_push_ws(&small, &[], 0.1, 1e-4, &mut ws, &mut out).is_err());
+    }
+
+    #[test]
+    fn map_back_restores_original_ids() {
+        use acir_graph::Permutation;
+        let g = barbell(6, 2).unwrap();
+        let direct = ppr_push(&g, &[0], 0.1, 1e-4).unwrap();
+        assert_eq!(
+            direct.map_back(&Permutation::identity(g.n())).vector,
+            direct.vector
+        );
+        let perm = Permutation::rcm(&g);
+        let pg = g.permute(&perm).unwrap();
+        let mapped_seed = perm.to_new(0);
+        let on_permuted = ppr_push(&pg, &[mapped_seed], 0.1, 1e-4).unwrap();
+        let back = on_permuted.map_back(&perm);
+        // Same support and bookkeeping; values agree to rounding (the
+        // permuted run accumulates in a different neighbor order).
+        let ids: Vec<NodeId> = back.vector.iter().map(|&(u, _)| u).collect();
+        let want: Vec<NodeId> = direct.vector.iter().map(|&(u, _)| u).collect();
+        assert_eq!(ids, want);
+        // Push order differs on the relabelled graph, so the two runs
+        // are different ε-truncations of the same exact PPR: each is
+        // within ε per degree of it, hence within 2ε·d_u of each other.
+        for (a, b) in back.vector.iter().zip(&direct.vector) {
+            assert!((a.1 - b.1).abs() <= 2.0 * 1e-4 * g.degree(a.0));
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! conductance. Cheeger-type theorems guarantee the best prefix is
 //! quadratically close to the best cut correlated with the vector.
 
-use acir_graph::{Graph, NodeId};
+use acir_graph::{Graph, NodeId, Permutation};
+use acir_runtime::{StampedSet, WorkspacePool};
 
 /// Outcome of a sweep cut.
 #[derive(Debug, Clone)]
@@ -24,61 +25,82 @@ pub struct SweepResult {
     pub order: Vec<NodeId>,
 }
 
-/// Shared implementation: sweep over `candidates` ordered by
-/// `score[u] / d_u` descending, computing the conductance of every
-/// prefix incrementally in `O(vol(candidates))` total.
-fn sweep_over(g: &Graph, score: &[f64], candidates: Vec<NodeId>) -> SweepResult {
-    let n = g.n();
-    debug_assert_eq!(score.len(), n);
-    let mut order = candidates;
-    order.sort_by(|&a, &b| {
+impl SweepResult {
+    /// Map a result computed on `g.permute(perm)` back to the original
+    /// vertex ids: `set` is re-sorted, `order` keeps its sweep
+    /// sequence, and the scalar profile/conductance (properties of the
+    /// prefix sets, not of the labelling) carry over.
+    pub fn map_back(&self, perm: &Permutation) -> SweepResult {
+        SweepResult {
+            set: perm.unmap_nodes(&self.set),
+            conductance: self.conductance,
+            profile: self.profile.clone(),
+            order: self.order.iter().map(|&u| perm.to_old(u)).collect(),
+        }
+    }
+}
+
+/// Pool of membership sets shared by every sweep entry point; resets
+/// are `O(1)`, so a sweep's cost stays proportional to the volume of
+/// its candidates even on huge graphs.
+static SET_POOL: WorkspacePool<StampedSet> = WorkspacePool::new();
+
+/// Shared implementation: sweep over `(node, score)` candidates ordered
+/// by `score / d_u` descending (ties by ascending node id), computing
+/// the conductance of every prefix incrementally in
+/// `O(vol(candidates))` total — no length-`n` scan or allocation.
+fn sweep_over(g: &Graph, mut candidates: Vec<(NodeId, f64)>) -> SweepResult {
+    candidates.sort_by(|&(a, xa), &(b, xb)| {
         let da = g.degree(a).max(f64::MIN_POSITIVE);
         let db = g.degree(b).max(f64::MIN_POSITIVE);
-        let ra = score[a as usize] / da;
-        let rb = score[b as usize] / db;
+        let ra = xa / da;
+        let rb = xb / db;
         rb.partial_cmp(&ra)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
+    let order: Vec<NodeId> = candidates.iter().map(|&(u, _)| u).collect();
 
     let total = g.total_volume();
-    let mut in_set = vec![false; n];
     let mut cut = 0.0;
     let mut vol = 0.0;
     let mut best_phi = f64::INFINITY;
     let mut best_len = 0usize;
     let mut profile = Vec::with_capacity(order.len());
 
-    for (i, &u) in order.iter().enumerate() {
-        let d = g.degree(u);
-        // Adding u: every edge to the current set leaves the cut; every
-        // other edge joins it. Self-loops never cross a cut.
-        let mut to_set = 0.0;
-        let mut self_loop = 0.0;
-        for (v, w) in g.neighbors(u) {
-            if v == u {
-                self_loop += w;
-            } else if in_set[v as usize] {
-                to_set += w;
+    SET_POOL.with(|in_set| {
+        in_set.reset(g.n());
+        for (i, &u) in order.iter().enumerate() {
+            let d = g.degree(u);
+            // Adding u: every edge to the current set leaves the cut;
+            // every other edge joins it. Self-loops never cross a cut.
+            let mut to_set = 0.0;
+            let mut self_loop = 0.0;
+            for (v, w) in g.neighbors(u) {
+                if v == u {
+                    self_loop += w;
+                } else if in_set.contains(v as usize) {
+                    to_set += w;
+                }
+            }
+            cut += d - self_loop - 2.0 * to_set;
+            vol += d;
+            in_set.insert(u as usize);
+
+            let denom = vol.min(total - vol);
+            let phi = if denom > 0.0 {
+                cut / denom
+            } else {
+                f64::INFINITY
+            };
+            profile.push((i + 1, phi));
+            // Skip the degenerate full-graph prefix.
+            if (i + 1 < order.len() || vol < total) && phi < best_phi {
+                best_phi = phi;
+                best_len = i + 1;
             }
         }
-        cut += d - self_loop - 2.0 * to_set;
-        vol += d;
-        in_set[u as usize] = true;
-
-        let denom = vol.min(total - vol);
-        let phi = if denom > 0.0 {
-            cut / denom
-        } else {
-            f64::INFINITY
-        };
-        profile.push((i + 1, phi));
-        // Skip the degenerate full-graph prefix.
-        if (i + 1 < order.len() || vol < total) && phi < best_phi {
-            best_phi = phi;
-            best_len = i + 1;
-        }
-    }
+    });
 
     let mut set: Vec<NodeId> = order[..best_len].to_vec();
     set.sort_unstable();
@@ -95,8 +117,13 @@ fn sweep_over(g: &Graph, score: &[f64], candidates: Vec<NodeId>) -> SweepResult 
 /// Returns the best prefix among sizes `1..n` (never the full set, whose
 /// conductance is undefined).
 pub fn sweep_cut(g: &Graph, score: &[f64]) -> SweepResult {
-    let candidates: Vec<NodeId> = (0..g.n() as NodeId).collect();
-    sweep_over(g, score, candidates)
+    debug_assert_eq!(score.len(), g.n());
+    let candidates: Vec<(NodeId, f64)> = score
+        .iter()
+        .enumerate()
+        .map(|(u, &x)| (u as NodeId, x))
+        .collect();
+    sweep_over(g, candidates)
 }
 
 /// Strongly local sweep cut: consider only nodes with `score[u] > 0`
@@ -104,30 +131,46 @@ pub fn sweep_cut(g: &Graph, score: &[f64]) -> SweepResult {
 /// to the support volume — this is what keeps the §3.3 operational
 /// methods independent of graph size.
 pub fn sweep_cut_support(g: &Graph, score: &[f64]) -> SweepResult {
-    let candidates: Vec<NodeId> = (0..g.n() as NodeId)
-        .filter(|&u| score[u as usize] > 0.0)
+    debug_assert_eq!(score.len(), g.n());
+    let candidates: Vec<(NodeId, f64)> = score
+        .iter()
+        .enumerate()
+        .filter(|&(_, &x)| x > 0.0)
+        .map(|(u, &x)| (u as NodeId, x))
         .collect();
-    sweep_over(g, score, candidates)
+    sweep_over(g, candidates)
+}
+
+/// Sweep cut over a sparse embedding, as produced by the truncated
+/// diffusions (`PushResult::vector`, `HkRelaxResult::vector`): exactly
+/// [`sweep_cut_support`] on the densified vector, without ever
+/// materializing a length-`n` array. Entries with value ≤ 0 are
+/// ignored; node ids must be `< g.n()`.
+pub fn sweep_cut_sparse(g: &Graph, pairs: &[(NodeId, f64)]) -> SweepResult {
+    debug_assert!(pairs.iter().all(|&(u, _)| (u as usize) < g.n()));
+    let candidates: Vec<(NodeId, f64)> = pairs.iter().copied().filter(|&(_, x)| x > 0.0).collect();
+    sweep_over(g, candidates)
 }
 
 /// Conductance of an explicit node set (`min`-side normalized):
 /// `φ(S) = cut(S) / min(vol(S), vol(S̄))` — the paper's Eq. (6).
 pub fn set_conductance(g: &Graph, set: &[NodeId]) -> f64 {
-    let n = g.n();
-    let mut member = vec![false; n];
-    for &u in set {
-        member[u as usize] = true;
-    }
     let mut cut = 0.0;
     let mut vol = 0.0;
-    for &u in set {
-        vol += g.degree(u);
-        for (v, w) in g.neighbors(u) {
-            if !member[v as usize] {
-                cut += w;
+    SET_POOL.with(|member| {
+        member.reset(g.n());
+        for &u in set {
+            member.insert(u as usize);
+        }
+        for &u in set {
+            vol += g.degree(u);
+            for (v, w) in g.neighbors(u) {
+                if !member.contains(v as usize) {
+                    cut += w;
+                }
             }
         }
-    }
+    });
     let denom = vol.min(g.total_volume() - vol);
     if denom > 0.0 {
         cut / denom
@@ -216,6 +259,42 @@ mod tests {
         assert!((set_conductance(&g, &[0]) - 1.0).abs() < 1e-12);
         let r = sweep_cut(&g, &[1.0, 0.0]);
         assert!((r.conductance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_sweep_equals_support_sweep() {
+        let g = barbell(6, 3).unwrap();
+        let mut score = vec![0.0; g.n()];
+        score[1] = 0.9;
+        score[4] = 0.4;
+        score[7] = 0.1;
+        score[2] = 0.9; // tie with node 1 → id-order tiebreak exercised
+        let dense = sweep_cut_support(&g, &score);
+        let pairs: Vec<(u32, f64)> = vec![(1, 0.9), (4, 0.4), (7, 0.1), (2, 0.9), (9, 0.0)];
+        let sparse = sweep_cut_sparse(&g, &pairs);
+        assert_eq!(sparse.set, dense.set);
+        assert_eq!(sparse.order, dense.order);
+        assert_eq!(sparse.conductance.to_bits(), dense.conductance.to_bits());
+        assert_eq!(sparse.profile.len(), dense.profile.len());
+        for (a, b) in sparse.profile.iter().zip(&dense.profile) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn sweep_map_back_round_trips() {
+        use acir_graph::Permutation;
+        let g = barbell(6, 0).unwrap();
+        let score: Vec<f64> = (0..12).map(|i| if i < 6 { 1.0 } else { 0.1 }).collect();
+        let direct = sweep_cut(&g, &score);
+        let perm = Permutation::degree_descending(&g);
+        let pg = g.permute(&perm).unwrap();
+        let pscore = perm.map_values(&score);
+        let back = sweep_cut(&pg, &pscore).map_back(&perm);
+        assert_eq!(back.set, direct.set);
+        assert!((back.conductance - direct.conductance).abs() < 1e-15);
+        assert_eq!(back.order.len(), direct.order.len());
     }
 
     #[test]

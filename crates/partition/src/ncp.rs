@@ -27,9 +27,10 @@ use crate::multilevel::{recursive_partition, MultilevelOptions};
 use crate::Result;
 use acir_exec::ExecPool;
 use acir_flow::mqi;
+use acir_graph::Permutation;
 use acir_graph::{Graph, NodeId};
 use acir_local::push::ppr_push;
-use acir_local::sweep::sweep_cut_support;
+use acir_local::sweep::sweep_cut_sparse;
 use acir_runtime::{Budget, Certificate, Diagnostics, Exhaustion, SolverOutcome};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,6 +45,18 @@ pub struct NcpPoint {
     pub conductance: f64,
     /// The winning cluster (sorted node ids).
     pub set: Vec<NodeId>,
+}
+
+impl NcpPoint {
+    /// Map a point computed on `g.permute(perm)` back to the original
+    /// vertex ids (size and conductance are labelling-independent).
+    pub fn map_back(&self, perm: &Permutation) -> NcpPoint {
+        NcpPoint {
+            size: self.size,
+            conductance: self.conductance,
+            set: perm.unmap_nodes(&self.set),
+        }
+    }
 }
 
 /// Options shared by the NCP methods.
@@ -212,8 +225,10 @@ pub fn ncp_local_spectral(g: &Graph, opts: &NcpOptions) -> Result<Vec<NcpPoint>>
                 let Ok(push) = ppr_push(g, &[seed], alpha, eps) else {
                     continue;
                 };
-                let dense = push.to_dense(g.n());
-                let sweep = sweep_cut_support(g, &dense);
+                // Sweep the sparse support directly — no O(n) densify;
+                // the push vector is exactly the positive support the
+                // dense filter used to find.
+                let sweep = sweep_cut_sparse(g, &push.vector);
                 harvest_sweep(g, &mut local, opts, &sweep.order, &sweep.profile);
             }
         }
@@ -308,8 +323,7 @@ pub fn ncp_local_spectral_budgeted(
                         continue;
                     };
                     meter.add_work(push.work as u64);
-                    let dense = push.to_dense(g.n());
-                    let sweep = sweep_cut_support(g, &dense);
+                    let sweep = sweep_cut_sparse(g, &push.vector);
                     harvest_sweep(g, &mut accum, opts, &sweep.order, &sweep.profile);
                     done += 1;
                 }

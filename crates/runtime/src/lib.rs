@@ -34,7 +34,12 @@
 //! * [`fault`] — a deterministic fault-injection stream (NaNs, sign
 //!   flips, adversarial rounding, artificial latency) and graph-level
 //!   corruption helpers, used by tests across the workspace to prove
-//!   the guardrails actually fire.
+//!   the guardrails actually fire;
+//! * [`workspace`] — reusable kernel scratch: epoch-stamped dense
+//!   arrays with `O(|touched|)` reset ([`StampedVec`]/[`StampedSet`]),
+//!   buffer freelists ([`Workspace`]), and a checkout pool
+//!   ([`WorkspacePool`]) so hot kernels stop allocating after warm-up
+//!   without changing a single bit of their output.
 //!
 //! The crate depends only on `acir-obs` (itself dependency-free apart
 //! from the offline serde_json shim); the `LinOp` adapter for fault injection
@@ -50,6 +55,7 @@ pub mod fault;
 pub mod guard;
 pub mod outcome;
 pub mod policy;
+pub mod workspace;
 
 pub use acir_obs as obs;
 pub use budget::{Budget, BudgetMeter, Exhaustion};
@@ -58,3 +64,4 @@ pub use fault::{FaultConfig, FaultStream};
 pub use guard::{ConvergenceGuard, GuardConfig, GuardVerdict};
 pub use outcome::{Certificate, DivergenceCause, SolverOutcome};
 pub use policy::RetryPolicy;
+pub use workspace::{StampedSet, StampedVec, Workspace, WorkspacePool};

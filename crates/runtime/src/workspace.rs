@@ -1,0 +1,423 @@
+//! Reusable kernel workspaces: epoch-stamped dense scratch that resets
+//! in `O(|touched|)`, buffer freelists, and a checkout pool.
+//!
+//! The strongly local diffusions (§3.3) do work proportional to the
+//! *output* size — `O(1/(εα))` for ACL push — yet a naive
+//! implementation allocates and zeroes three dense length-`n` arrays
+//! per call, so an NCP run making thousands of push calls spends most
+//! of its time in the allocator and in cache-hostile `memset`s of
+//! memory it never reads. This module gives every iterative kernel a
+//! place to keep its scratch alive across calls:
+//!
+//! * [`StampedVec`] / [`StampedSet`] — dense arrays whose "clear" is an
+//!   epoch bump: entry `i` is live only if `stamp[i] == epoch`, so
+//!   resetting between calls costs `O(1)` and a call touching `k`
+//!   entries does `O(k)` work no matter how large `n` is;
+//! * [`Workspace`] — freelists of plain `Vec<f64>` / `Vec<u32>`
+//!   buffers for kernels (power, CG, Chebyshev) whose scratch really is
+//!   dense, so steady-state calls stop hitting the allocator;
+//! * [`WorkspacePool`] — a mutex-guarded stack of per-kernel
+//!   workspaces for fan-out callers (batched pushes, NCP workers):
+//!   each worker checks one out, uses it, and returns it, so a pool
+//!   holds at most as many workspaces as were ever live concurrently.
+//!
+//! Reusing a workspace must never change results: a freshly-reset
+//! stamped array reads exactly like `vec![0.0; n]`, and the freelist
+//! re-zeroes dense buffers before handing them out. Tests across the
+//! workspace assert bit-identity between fresh and reused runs.
+
+use std::sync::Mutex;
+
+/// A dense `f64` array with epoch-stamped entries: logically a
+/// `vec![0.0; n]` whose full clear costs `O(1)`.
+///
+/// Entry `i` reads as `0.0` unless it was written since the last
+/// [`reset`](Self::reset). The stamp array is only rebuilt when the
+/// epoch counter wraps (once per `u32::MAX` resets).
+#[derive(Debug, Clone, Default)]
+pub struct StampedVec {
+    values: Vec<f64>,
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl StampedVec {
+    /// Empty stamped vector (resize with [`reset`](Self::reset)).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Logical length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the logical length is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Clear all entries to `0.0` and set the length to `n`.
+    ///
+    /// Costs `O(1)` unless the array grows or the 32-bit epoch wraps.
+    pub fn reset(&mut self, n: usize) {
+        if n > self.values.len() {
+            self.values.resize(n, 0.0);
+            self.stamps.resize(n, 0);
+        } else {
+            self.values.truncate(n);
+            self.stamps.truncate(n);
+        }
+        if self.epoch == u32::MAX {
+            self.stamps.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Read entry `i` (0.0 if untouched since the last reset).
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        if self.stamps[i] == self.epoch {
+            self.values[i]
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether entry `i` was written since the last reset.
+    #[inline]
+    pub fn is_touched(&self, i: usize) -> bool {
+        self.stamps[i] == self.epoch
+    }
+
+    /// Overwrite entry `i`. Returns `true` if this is the first write
+    /// since the last reset (callers maintain their touched lists off
+    /// this signal).
+    #[inline]
+    pub fn set(&mut self, i: usize, v: f64) -> bool {
+        let first = self.stamps[i] != self.epoch;
+        self.stamps[i] = self.epoch;
+        self.values[i] = v;
+        first
+    }
+
+    /// Add `v` to entry `i` (treating untouched entries as `0.0`).
+    /// Returns `true` on first touch.
+    #[inline]
+    pub fn add(&mut self, i: usize, v: f64) -> bool {
+        if self.stamps[i] == self.epoch {
+            self.values[i] += v;
+            false
+        } else {
+            self.stamps[i] = self.epoch;
+            self.values[i] = v;
+            true
+        }
+    }
+}
+
+/// A set of `usize` indices with `O(1)` clear, backed by epoch stamps.
+#[derive(Debug, Clone, Default)]
+pub struct StampedSet {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl StampedSet {
+    /// Empty set (size it with [`reset`](Self::reset)).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Capacity (largest index + 1 the set can hold).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Whether the capacity is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// Empty the set and size it for indices `0..n`. `O(1)` amortized.
+    pub fn reset(&mut self, n: usize) {
+        if n > self.stamps.len() {
+            self.stamps.resize(n, 0);
+        } else {
+            self.stamps.truncate(n);
+        }
+        // Epoch 0 is reserved as "never a member", so `remove` can
+        // stamp entries back to 0 unconditionally.
+        if self.epoch >= u32::MAX - 1 {
+            self.stamps.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.stamps[i] == self.epoch
+    }
+
+    /// Insert `i`; returns `true` if it was not already a member.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        let fresh = self.stamps[i] != self.epoch;
+        self.stamps[i] = self.epoch;
+        fresh
+    }
+
+    /// Remove `i` (no-op if absent).
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        self.stamps[i] = 0;
+    }
+}
+
+/// Freelists of dense scratch buffers for kernels whose working set
+/// really is `O(n)` (power, CG, Chebyshev recurrences).
+///
+/// `take_f64` hands out a zeroed buffer of the requested length —
+/// indistinguishable from a fresh `vec![0.0; n]`, but steady-state
+/// calls reuse capacity instead of allocating. Buffers are returned
+/// with `put_f64` in any order.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    f64_bufs: Vec<Vec<f64>>,
+    u32_bufs: Vec<Vec<u32>>,
+}
+
+impl Workspace {
+    /// Fresh workspace with empty freelists.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check out a zeroed `Vec<f64>` of length `n`.
+    pub fn take_f64(&mut self, n: usize) -> Vec<f64> {
+        match self.f64_bufs.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(n, 0.0);
+                v
+            }
+            None => vec![0.0; n],
+        }
+    }
+
+    /// Return a buffer from [`take_f64`](Self::take_f64) for reuse.
+    pub fn put_f64(&mut self, v: Vec<f64>) {
+        self.f64_bufs.push(v);
+    }
+
+    /// Check out an empty `Vec<u32>` with whatever capacity survived.
+    pub fn take_u32(&mut self) -> Vec<u32> {
+        self.u32_bufs.pop().map_or_else(Vec::new, |mut v| {
+            v.clear();
+            v
+        })
+    }
+
+    /// Return a buffer from [`take_u32`](Self::take_u32) for reuse.
+    pub fn put_u32(&mut self, v: Vec<u32>) {
+        self.u32_bufs.push(v);
+    }
+
+    /// Number of parked `f64` buffers (diagnostics/tests).
+    pub fn parked_f64(&self) -> usize {
+        self.f64_bufs.len()
+    }
+}
+
+/// A mutex-guarded stack of reusable per-kernel workspaces.
+///
+/// `with` pops a workspace (or default-constructs the first one),
+/// runs the closure *outside* the lock, and pushes the workspace back;
+/// concurrent callers therefore never block each other during kernel
+/// execution, and the pool retains at most the peak number of
+/// concurrently-live workspaces. Kernels keep module-level
+/// `static` pools so repeated calls through the plain public API stop
+/// allocating after warm-up.
+#[derive(Debug, Default)]
+pub struct WorkspacePool<W> {
+    slots: Mutex<Vec<W>>,
+}
+
+impl<W: Default> WorkspacePool<W> {
+    /// Empty pool (usable in `static` position).
+    pub const fn new() -> Self {
+        Self {
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Run `f` with a pooled workspace, returning the workspace to the
+    /// pool afterwards. The pool lock is held only to pop/push.
+    ///
+    /// If `f` panics the workspace is dropped rather than returned, so
+    /// a poisoned workspace can never leak into a later call; the pool
+    /// itself recovers from lock poisoning by starting fresh.
+    pub fn with<R>(&self, f: impl FnOnce(&mut W) -> R) -> R {
+        let mut ws = match self.slots.lock() {
+            Ok(mut slots) => slots.pop().unwrap_or_default(),
+            Err(poisoned) => {
+                let mut slots = poisoned.into_inner();
+                slots.clear();
+                W::default()
+            }
+        };
+        let out = f(&mut ws);
+        if let Ok(mut slots) = self.slots.lock() {
+            slots.push(ws);
+        }
+        out
+    }
+
+    /// Number of parked workspaces (diagnostics/tests).
+    pub fn parked(&self) -> usize {
+        self.slots.lock().map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Drop every parked workspace (tests use this to re-measure cold
+    /// starts).
+    pub fn clear(&self) {
+        if let Ok(mut slots) = self.slots.lock() {
+            slots.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamped_vec_reads_like_zeroed() {
+        let mut s = StampedVec::new();
+        s.reset(8);
+        for i in 0..8 {
+            assert_eq!(s.get(i), 0.0);
+            assert!(!s.is_touched(i));
+        }
+        assert!(s.add(3, 1.5));
+        assert!(!s.add(3, 1.0));
+        assert_eq!(s.get(3), 2.5);
+        assert!(s.is_touched(3));
+        assert!(!s.set(3, 7.0));
+        assert_eq!(s.get(3), 7.0);
+        s.reset(8);
+        assert_eq!(s.get(3), 0.0);
+        assert!(s.set(3, 1.0), "first write after reset");
+    }
+
+    #[test]
+    fn stamped_vec_resizes() {
+        let mut s = StampedVec::new();
+        s.reset(4);
+        s.set(2, 1.0);
+        s.reset(10);
+        assert_eq!(s.len(), 10);
+        for i in 0..10 {
+            assert_eq!(s.get(i), 0.0);
+        }
+        s.reset(3);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn stamped_vec_epoch_wrap_is_safe() {
+        let mut s = StampedVec::new();
+        s.reset(2);
+        s.set(0, 5.0);
+        s.epoch = u32::MAX; // simulate 4 billion resets
+        s.stamps[1] = u32::MAX; // a stale stamp that would alias epoch 1
+        s.reset(2);
+        assert_eq!(s.epoch, 1);
+        assert_eq!(s.get(0), 0.0);
+        assert_eq!(s.get(1), 0.0, "wrapped epoch must not resurrect entries");
+    }
+
+    #[test]
+    fn stamped_set_insert_remove() {
+        let mut s = StampedSet::new();
+        s.reset(5);
+        assert!(!s.contains(4));
+        assert!(s.insert(4));
+        assert!(!s.insert(4));
+        assert!(s.contains(4));
+        s.remove(4);
+        assert!(!s.contains(4));
+        assert!(s.insert(4), "re-insert after remove is a fresh insert");
+        s.reset(5);
+        assert!(!s.contains(4));
+    }
+
+    #[test]
+    fn stamped_set_epoch_wrap_is_safe() {
+        let mut s = StampedSet::new();
+        s.reset(2);
+        s.epoch = u32::MAX - 1;
+        s.stamps[0] = u32::MAX - 1;
+        s.reset(2);
+        assert_eq!(s.epoch, 1);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn workspace_buffers_come_back_zeroed() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take_f64(4);
+        a[1] = 9.0;
+        let cap = a.capacity();
+        ws.put_f64(a);
+        let b = ws.take_f64(3);
+        assert_eq!(b, vec![0.0; 3]);
+        assert_eq!(b.capacity(), cap, "capacity survived the round trip");
+        ws.put_f64(b);
+        assert_eq!(ws.parked_f64(), 1);
+
+        let mut u = ws.take_u32();
+        u.extend([1, 2, 3]);
+        ws.put_u32(u);
+        assert!(ws.take_u32().is_empty());
+    }
+
+    #[test]
+    fn pool_reuses_workspaces() {
+        let pool: WorkspacePool<Workspace> = WorkspacePool::new();
+        assert_eq!(pool.parked(), 0);
+        pool.with(|ws| {
+            let v = ws.take_f64(16);
+            ws.put_f64(v);
+        });
+        assert_eq!(pool.parked(), 1);
+        pool.with(|ws| assert_eq!(ws.parked_f64(), 1, "same workspace came back"));
+        pool.clear();
+        assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        static POOL: WorkspacePool<Workspace> = WorkspacePool::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        POOL.with(|ws| {
+                            let v = ws.take_f64(64);
+                            ws.put_f64(v);
+                        });
+                    }
+                });
+            }
+        });
+        assert!(POOL.parked() >= 1 && POOL.parked() <= 4);
+    }
+}

@@ -1,0 +1,82 @@
+//! Steady-state allocation gate for the strongly local kernels.
+//!
+//! The paper's locality argument (work ∝ cluster volume, not graph
+//! size) dies in practice if every call re-allocates length-`n`
+//! scratch. This binary installs the counting allocator and pins the
+//! contract: after warm-up, `ppr_push_ws` with caller-held scratch and
+//! output performs **zero** heap operations per call, and the pooled
+//! public entry points stay within a small constant (the output
+//! buffers they hand back).
+//!
+//! The counters are process-global, so every measurement lives in ONE
+//! `#[test]` — a concurrent test's allocations would otherwise bleed
+//! into the deltas. CI additionally runs this binary with
+//! `--test-threads=1`.
+
+use acir::prelude::*;
+
+#[global_allocator]
+static ALLOC: acir_mem::CountingAlloc = acir_mem::CountingAlloc;
+
+#[test]
+fn steady_state_allocation_budgets() {
+    assert!(acir_mem::is_installed());
+
+    let g = gen::deterministic::ring_of_cliques(12, 10).unwrap();
+    let seeds = [5 as NodeId];
+    let (alpha, eps) = (0.05, 1e-5);
+    const CALLS: u64 = 16;
+
+    // --- ppr_push_ws: exactly zero heap events once warm. ---
+    let mut ws = PushWorkspace::default();
+    let mut out = PushResult::empty();
+    for _ in 0..3 {
+        ppr_push_ws(&g, &seeds, alpha, eps, &mut ws, &mut out).unwrap();
+    }
+    let before = acir_mem::snapshot();
+    for _ in 0..CALLS {
+        ppr_push_ws(&g, &seeds, alpha, eps, &mut ws, &mut out).unwrap();
+    }
+    let delta = acir_mem::snapshot().since(&before);
+    assert_eq!(
+        delta.heap_events(),
+        0,
+        "ppr_push_ws allocated in steady state: {delta:?}"
+    );
+    assert!(!out.vector.is_empty(), "kernel did real work");
+
+    // --- pooled ppr_push: only the returned PushResult may allocate.
+    // Measured at 7 events/call; the gate leaves headroom without
+    // letting a per-node regression (O(n) events) through. ---
+    for _ in 0..3 {
+        ppr_push(&g, &seeds, alpha, eps).unwrap();
+    }
+    let before = acir_mem::snapshot();
+    for _ in 0..CALLS {
+        std::hint::black_box(ppr_push(&g, &seeds, alpha, eps).unwrap());
+    }
+    let delta = acir_mem::snapshot().since(&before);
+    assert!(
+        delta.heap_events() <= 16 * CALLS,
+        "pooled ppr_push regressed to {} heap events over {CALLS} calls: {delta:?}",
+        delta.heap_events()
+    );
+
+    // --- sparse sweep through its pooled membership set: output
+    // (set/profile/order) allocates, scratch must not grow per call. ---
+    let probe = ppr_push(&g, &seeds, alpha, eps).unwrap();
+    for _ in 0..3 {
+        sweep_cut_sparse(&g, &probe.vector);
+    }
+    let support = probe.vector.len() as u64;
+    let before = acir_mem::snapshot();
+    for _ in 0..CALLS {
+        std::hint::black_box(sweep_cut_sparse(&g, &probe.vector));
+    }
+    let delta = acir_mem::snapshot().since(&before);
+    assert!(
+        delta.heap_events() <= (16 + support) * CALLS,
+        "sweep_cut_sparse heap events {} exceed output-proportional budget: {delta:?}",
+        delta.heap_events()
+    );
+}

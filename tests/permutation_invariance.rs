@@ -1,0 +1,233 @@
+//! Graph reordering must be invisible to the mathematics: conductance,
+//! spectral quantities, and locally-biased cluster discovery computed
+//! on a permuted graph, mapped back through the inverse permutation,
+//! must agree with the direct computation. (DESIGN.md §9: reordering is
+//! a memory-layout optimization, never a semantic one.)
+//!
+//! Tolerances are chosen per quantity: cut/volume sums over unweighted
+//! graphs are exact integer arithmetic in `f64`, so conductances must
+//! match to the last bit; eigensolves iterate in a different order
+//! after relabeling, so the Fiedler value gets a 1e-9 band; ACL push is
+//! order-dependent at the `ε` truncation level, so PPR runs are
+//! compared by their sweep-cut *sets* (robust under `ε`-perturbation on
+//! clustered graphs), not vector bits.
+
+use acir::prelude::*;
+use acir_graph::gen::random::barabasi_albert;
+use acir_graph::io::read_metis;
+use acir_linalg::LinOp;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Two triangles joined by a bridge, as an inline METIS document
+/// (1-based neighbor lists): communities {0,1,2} and {3,4,5}.
+const METIS_TRIANGLES: &str = "\
+% two triangles bridged 3-4
+6 7
+2 3
+1 3
+1 2 4
+3 5 6
+4 6
+4 5
+";
+
+fn metis_fixture() -> Graph {
+    read_metis(METIS_TRIANGLES.as_bytes()).unwrap()
+}
+
+fn orderings(g: &Graph) -> Vec<Permutation> {
+    let n = g.n() as u32;
+    // A rotation exercises the fully-general case alongside the two
+    // locality orderings the binaries expose.
+    let rotation =
+        Permutation::from_new_of_old((0..n).map(|i| (i + n / 2 + 1) % n).collect()).unwrap();
+    vec![
+        Permutation::rcm(g),
+        Permutation::degree_descending(g),
+        rotation,
+    ]
+}
+
+#[test]
+fn conductance_is_bit_identical_under_relabeling() {
+    let graphs = vec![
+        metis_fixture(),
+        gen::deterministic::ring_of_cliques(5, 6).unwrap(),
+        barabasi_albert(&mut StdRng::seed_from_u64(11), 200, 3).unwrap(),
+    ];
+    for g in &graphs {
+        let sets: Vec<Vec<NodeId>> = vec![
+            (0..g.n() as NodeId / 2).collect(),
+            vec![0, 1, 2],
+            (0..g.n() as NodeId).step_by(3).collect(),
+        ];
+        for perm in orderings(g) {
+            let gp = g.permute(&perm).unwrap();
+            for set in &sets {
+                let direct = conductance(g, set).unwrap();
+                let mapped = conductance(&gp, &perm.map_nodes(set)).unwrap();
+                assert_eq!(
+                    direct.to_bits(),
+                    mapped.to_bits(),
+                    "conductance changed under relabeling: {direct} vs {mapped}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fiedler_value_is_invariant_under_relabeling() {
+    let graphs = vec![
+        metis_fixture(),
+        gen::deterministic::ring_of_cliques(4, 7).unwrap(),
+    ];
+    for g in &graphs {
+        let direct = fiedler_vector(g).unwrap();
+        for perm in orderings(g) {
+            let gp = g.permute(&perm).unwrap();
+            let relabeled = fiedler_vector(&gp).unwrap();
+            assert!(
+                (direct.lambda2 - relabeled.lambda2).abs() <= 1e-9,
+                "lambda2 moved under relabeling: {} vs {}",
+                direct.lambda2,
+                relabeled.lambda2
+            );
+            // λ2 can be degenerate (ring_of_cliques has rotational
+            // symmetry), so the relabeled solve may return any vector
+            // in the eigenspace — don't compare coordinates. The
+            // permutation-invariant statement: the mapped-back vector
+            // is still a λ2-eigenvector of the *original* Laplacian,
+            // i.e. its Rayleigh quotient there matches.
+            let back = perm.unmap_values(&relabeled.vector);
+            let l = normalized_laplacian(g);
+            let lx = l.apply_vec(&back);
+            let num: f64 = back.iter().zip(&lx).map(|(a, b)| a * b).sum();
+            let den: f64 = back.iter().map(|a| a * a).sum();
+            let rayleigh = num / den;
+            assert!(
+                (rayleigh - direct.lambda2).abs() <= 1e-8,
+                "mapped-back vector left the λ2 eigenspace: rayleigh {} vs λ2 {}",
+                rayleigh,
+                direct.lambda2
+            );
+        }
+    }
+}
+
+#[test]
+fn ppr_sweep_cut_sets_map_back_exactly() {
+    let graphs = vec![
+        metis_fixture(),
+        gen::deterministic::barbell(8, 0).unwrap(),
+        gen::deterministic::ring_of_cliques(6, 8).unwrap(),
+    ];
+    for g in &graphs {
+        for perm in orderings(g) {
+            let gp = g.permute(&perm).unwrap();
+            for seed in [0 as NodeId, (g.n() / 2) as NodeId] {
+                let direct = ppr_push(g, &[seed], 0.05, 1e-6).unwrap();
+                let ds = sweep_cut_sparse(g, &direct.vector);
+                let relabeled = ppr_push(&gp, &[perm.to_new(seed)], 0.05, 1e-6).unwrap();
+                let rs = sweep_cut_sparse(&gp, &relabeled.vector).map_back(&perm);
+                assert_eq!(
+                    ds.set, rs.set,
+                    "sweep-cut set changed under relabeling (seed {seed})"
+                );
+                assert_eq!(
+                    ds.conductance.to_bits(),
+                    rs.conductance.to_bits(),
+                    "sweep-cut conductance changed under relabeling"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn local_clustering_minima_are_invariant_under_relabeling() {
+    // A hand-rolled slice of the NCP inner loop: fixed seeds, the NCP
+    // alpha/epsilon grid, best conductance per (seed, alpha). Running
+    // the full `ncp_local_spectral` on a permuted graph would draw
+    // *different* physical seeds (seed sampling is by node id), so the
+    // invariance statement lives at the per-seed level.
+    let g = gen::deterministic::ring_of_cliques(6, 8).unwrap();
+    let seeds: Vec<NodeId> = (0..6).map(|i| i * 8).collect();
+    for perm in orderings(&g) {
+        let gp = g.permute(&perm).unwrap();
+        for &seed in &seeds {
+            for alpha in [0.1, 0.01] {
+                let direct = ppr_push(&g, &[seed], alpha, 1e-4).unwrap();
+                let ds = sweep_cut_sparse(&g, &direct.vector);
+                let relabeled = ppr_push(&gp, &[perm.to_new(seed)], alpha, 1e-4).unwrap();
+                let rs = sweep_cut_sparse(&gp, &relabeled.vector).map_back(&perm);
+                assert_eq!(ds.set, rs.set, "seed {seed} alpha {alpha}");
+                assert_eq!(ds.conductance.to_bits(), rs.conductance.to_bits());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_permute_then_inverse_is_identity(
+        n in 2usize..40,
+        raw_edges in proptest::collection::vec((0u32..40, 0u32..40), 0..80),
+        k in 0usize..40,
+    ) {
+        let mut pairs: Vec<(NodeId, NodeId)> = raw_edges
+            .into_iter()
+            .filter(|&(a, b)| (a as usize) < n && (b as usize) < n && a != b)
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        let g = Graph::from_pairs(n, pairs).unwrap();
+
+        let rotation = Permutation::from_new_of_old(
+            (0..n as u32).map(|i| (i + k as u32) % n as u32).collect(),
+        ).unwrap();
+        for perm in [rotation, Permutation::rcm(&g), Permutation::degree_descending(&g)] {
+            let round_trip = g.permute(&perm).unwrap().permute(&perm.inverse()).unwrap();
+            prop_assert_eq!(&round_trip, &g);
+        }
+    }
+
+    #[test]
+    fn prop_bandwidth_is_what_the_permuted_graph_measures(
+        n in 2usize..30,
+        raw_edges in proptest::collection::vec((0u32..30, 0u32..30), 1..50),
+    ) {
+        let mut pairs: Vec<(NodeId, NodeId)> = raw_edges
+            .into_iter()
+            .filter(|&(a, b)| (a as usize) < n && (b as usize) < n && a != b)
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        let g = Graph::from_pairs(n, pairs).unwrap();
+        let perm = Permutation::rcm(&g);
+        let gp = g.permute(&perm).unwrap();
+        // Recomputing bandwidth on the materialized permuted graph must
+        // agree with measuring it through the permutation.
+        let direct = bandwidth_stats(&gp);
+        let mut max = 0usize;
+        let mut total = 0usize;
+        let mut arcs = 0usize;
+        for (u, v, _) in g.edges() {
+            let (nu, nv) = (perm.to_new(u), perm.to_new(v));
+            let d = (nu).abs_diff(nv) as usize;
+            max = max.max(d);
+            total += 2 * d; // both arc directions
+            arcs += 2;
+        }
+        prop_assert_eq!(direct.max, max);
+        if arcs > 0 {
+            prop_assert!((direct.mean - total as f64 / arcs as f64).abs() < 1e-12);
+        }
+    }
+}
