@@ -3,6 +3,7 @@
 //! strong-locality claim holds — against MOV, whose cost grows with n.
 
 use acir_graph::gen::random::barabasi_albert;
+use acir_graph::NodeValued;
 use acir_local::hkrelax::hk_relax;
 use acir_local::mov::mov_vector;
 use acir_local::nibble::nibble;

@@ -34,7 +34,7 @@ use acir_bench::BinArgs;
 use acir_graph::gen::community::{social_network, SocialNetworkParams};
 use acir_graph::traversal::largest_component;
 use acir_graph::{bandwidth_stats, Permutation};
-use acir_local::{ppr_push, ppr_push_ws, PushResult, PushWorkspace};
+use acir_local::{ppr_push, ppr_push_ctx, ppr_push_ws, PushResult, PushWorkspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::Value;
@@ -395,10 +395,20 @@ fn bench_locality(g: &Graph, args: &BinArgs, reps: usize) -> Value {
     let (ws_allocs, ws_bytes, ws_secs) = steady_state_allocs(calls, || {
         ppr_push_ws(g, &seeds, 0.05, 1e-4, &mut ws, &mut out).expect("ppr_push_ws failed")
     });
+    // The unified-core seam: an inert KernelCtx constructed directly at
+    // the call site must cost the same as the plain pooled entry point.
+    let (ctx_allocs, ctx_bytes, ctx_secs) = steady_state_allocs(calls, || {
+        let mut ctx = KernelCtx::new();
+        match ppr_push_ctx(g, &seeds, 0.05, 1e-4, &mut ctx).expect("ppr_push_ctx failed") {
+            SolverOutcome::Converged { value, .. } => value,
+            _ => unreachable!("inert context"),
+        }
+    });
     kernels.push(("ppr_push_steady", "pooled", pooled_secs));
     kernels.push(("ppr_push_steady", "workspace", ws_secs));
+    kernels.push(("ppr_push_steady", "ctx", ctx_secs));
     println!(
-        "locality: ppr_push steady state  pooled {pooled_allocs:.2} allocs/call ({pooled_bytes:.0} B)  workspace {ws_allocs:.2} allocs/call ({ws_bytes:.0} B)",
+        "locality: ppr_push steady state  pooled {pooled_allocs:.2} allocs/call ({pooled_bytes:.0} B)  workspace {ws_allocs:.2} allocs/call ({ws_bytes:.0} B)  ctx {ctx_allocs:.2} allocs/call ({ctx_bytes:.0} B)",
     );
 
     // NCP quick sweep, original vs RCM ordering (timing only: the

@@ -6,12 +6,13 @@
 use crate::experiment::{fmt_f, ExperimentContext, TextTable};
 use crate::Result;
 use acir_graph::gen::community::planted_cluster;
-use acir_graph::NodeId;
+use acir_graph::{NodeId, NodeValued};
 use acir_local::hkrelax::hk_relax;
 use acir_local::mov::{mov_embedding, mov_vector};
 use acir_local::nibble::nibble;
-use acir_local::push::ppr_push;
+use acir_local::push::{ppr_push, ppr_push_ctx};
 use acir_local::sweep::{set_conductance, sweep_cut, sweep_cut_support};
+use acir_runtime::{KernelCtx, SolverOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -96,8 +97,15 @@ pub fn run_locality(ctx: &ExperimentContext, cfg: &CaseStudy3Config) -> Result<T
         let seed = planted[cfg.cluster_size / 2];
         let n_total = g.n();
 
-        // ACL push.
-        let push = ppr_push(&g, &[seed], cfg.alpha, cfg.epsilon)?;
+        // ACL push, through the unified context seam so the driver
+        // records a trace alongside the figure data. A traced context
+        // only observes — the iterate sequence is bit-identical to the
+        // plain `ppr_push` entry point.
+        let mut kctx = KernelCtx::traced("local.ppr_push");
+        let push = match ppr_push_ctx(&g, &[seed], cfg.alpha, cfg.epsilon, &mut kctx)? {
+            SolverOutcome::Converged { value, .. } => value,
+            _ => unreachable!("an unmetered context cannot exhaust"),
+        };
         let cut = sweep_cut_support(&g, &push.to_dense(n_total));
         table.row(vec![
             n_total.to_string(),

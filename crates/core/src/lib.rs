@@ -67,7 +67,7 @@ pub mod runtime {
     pub use acir_runtime::fault::corrupt;
     pub use acir_runtime::{
         Budget, BudgetMeter, Certificate, ConvergenceGuard, Diagnostics, DivergenceCause,
-        Exhaustion, FaultConfig, FaultStream, GuardConfig, GuardVerdict, RetryPolicy,
+        Exhaustion, FaultConfig, FaultStream, GuardConfig, GuardVerdict, KernelCtx, RetryPolicy,
         SolverOutcome,
     };
 }
@@ -87,14 +87,18 @@ pub mod exec {
 /// binaries are written against.
 pub mod prelude {
     pub use acir_exec::{ExecPool, THREADS_ENV};
-    pub use acir_flow::{flow_improve, mqi, mqi_budgeted};
+    pub use acir_flow::{flow_improve, mqi, mqi_budgeted, mqi_ctx};
     pub use acir_graph::gen;
-    pub use acir_graph::{bandwidth_stats, Graph, GraphBuilder, NodeId, Permutation};
+    pub use acir_graph::{bandwidth_stats, Graph, GraphBuilder, NodeId, NodeValued, Permutation};
     pub use acir_local::push::{
-        ppr_push, ppr_push_batch, ppr_push_budgeted, ppr_push_ws, PushResult, PushWorkspace,
+        ppr_push, ppr_push_batch, ppr_push_budgeted, ppr_push_ctx, ppr_push_ws, PushResult,
+        PushWorkspace,
     };
     pub use acir_local::sweep::{set_conductance, sweep_cut, sweep_cut_sparse, sweep_cut_support};
-    pub use acir_local::{hk_relax, hk_relax_budgeted, mov_vector, nibble, HkWorkspace};
+    pub use acir_local::{
+        hk_relax, hk_relax_budgeted, hk_relax_ctx, mov_vector, nibble, nibble_budgeted, nibble_ctx,
+        HkWorkspace,
+    };
     pub use acir_partition::{
         cheeger_check, cluster_niceness, conductance, multilevel_bisect, ncp_local_spectral,
         ncp_local_spectral_budgeted, ncp_metis_mqi, refine_bisection, spectral_bisect,
@@ -105,13 +109,16 @@ pub mod prelude {
         check_heat_kernel, check_lazy_walk, check_pagerank, solve_regularized_sdp, Regularizer,
         SpectralProblem,
     };
-    pub use acir_runtime::{Budget, Certificate, RetryPolicy, SolverOutcome};
+    pub use acir_runtime::{
+        Budget, Certificate, GuardConfig, KernelCtx, RetryPolicy, SolverOutcome,
+    };
     pub use acir_runtime::{StampedSet, StampedVec, Workspace, WorkspacePool};
     pub use acir_spectral::{
         fiedler_vector, fiedler_vector_budgeted, heat_kernel, heat_kernel_chebyshev,
         heat_kernel_chebyshev_budgeted, heat_kernel_chebyshev_multi, lazy_walk,
-        normalized_laplacian, pagerank, pagerank_budgeted, pagerank_power, pagerank_power_multi,
-        spectral_clustering, spectral_embedding, streaming_pagerank_of_graph, Seed,
+        normalized_laplacian, pagerank, pagerank_budgeted, pagerank_power, pagerank_power_budgeted,
+        pagerank_power_ctx, pagerank_power_multi, spectral_clustering, spectral_embedding,
+        streaming_pagerank_of_graph, Seed,
     };
 
     pub use crate::experiment::{ExperimentContext, TextTable};

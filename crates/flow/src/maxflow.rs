@@ -7,7 +7,9 @@
 //! residue.
 
 use crate::{FlowError, Result};
-use acir_runtime::{Budget, Certificate, Diagnostics, DivergenceCause, SolverOutcome};
+use acir_runtime::{
+    Budget, Certificate, DivergenceCause, Exhaustion, GuardConfig, KernelCtx, SolverOutcome,
+};
 
 /// Residual capacities below this are treated as zero.
 const EPS: f64 = 1e-9;
@@ -30,6 +32,13 @@ pub struct MaxFlowResult {
     /// Nodes on the source side of a minimum cut (reachable from the
     /// source in the final residual network), as a boolean mask.
     pub source_side: Vec<bool>,
+}
+
+/// How a flow core loop stopped (shared by Dinic and push–relabel).
+pub(crate) enum FlowExit {
+    Done,
+    Exhausted { exhausted: Exhaustion, upper: f64 },
+    Diverged(DivergenceCause),
 }
 
 impl FlowNetwork {
@@ -86,6 +95,21 @@ impl FlowNetwork {
     /// Mutates residual capacities (call on a clone to preserve the
     /// network). Errors if `s == t` or endpoints are out of range.
     pub fn max_flow(&mut self, s: usize, t: usize) -> Result<MaxFlowResult> {
+        let mut ctx = KernelCtx::new();
+        match self.max_flow_ctx(s, t, &mut ctx)? {
+            SolverOutcome::Converged { value, .. } => Ok(value),
+            _ => unreachable!("an inert context can neither exhaust nor diverge"),
+        }
+    }
+
+    /// Run the Dinic phase loop under `ctx`; returns the routed flow
+    /// value, the exit condition, and the witnessed trivial upper bound.
+    fn max_flow_core(
+        &mut self,
+        s: usize,
+        t: usize,
+        ctx: &mut KernelCtx,
+    ) -> Result<(f64, FlowExit)> {
         let n = self.n();
         if s >= n || t >= n {
             return Err(FlowError::InvalidArgument("endpoint out of range".into()));
@@ -93,10 +117,33 @@ impl FlowNetwork {
         if s == t {
             return Err(FlowError::InvalidArgument("source equals sink".into()));
         }
+        // Witnessed trivial cuts on the *original* capacities, taken
+        // before any augmentation: ({s}, rest) and (rest, {t}).
+        let out_s: f64 = self.head[s].iter().map(|&ai| self.cap[ai as usize]).sum();
+        let in_t: f64 = self.head[t]
+            .iter()
+            .map(|&ai| self.cap[(ai ^ 1) as usize])
+            .sum();
+        let upper = out_s.min(in_t);
+
         let mut total = 0.0;
+        let mut phases = 0usize;
         let mut level = vec![-1i32; n];
         let mut iter = vec![0usize; n];
+        let exit;
+        // CORE LOOP
         loop {
+            ctx.tick_iter();
+            ctx.add_work(self.to.len() as u64);
+            if let Some(exhausted) = ctx.check_budget() {
+                ctx.note_with(|| {
+                    format!(
+                        "{exhausted} after {phases} blocking-flow phases; returning feasible partial flow"
+                    )
+                });
+                exit = FlowExit::Exhausted { exhausted, upper };
+                break;
+            }
             // BFS to build the level graph.
             level.fill(-1);
             level[s] = 0;
@@ -112,6 +159,8 @@ impl FlowNetwork {
                 }
             }
             if level[t] < 0 {
+                ctx.note_with(|| format!("maximum flow reached after {phases} phases"));
+                exit = FlowExit::Done;
                 break;
             }
             // Blocking flow via iterative DFS with arc cursors.
@@ -123,10 +172,51 @@ impl FlowNetwork {
                 }
                 total += pushed;
             }
+            phases += 1;
+            if ctx.is_guarded() && !total.is_finite() {
+                exit = FlowExit::Diverged(DivergenceCause::NonFiniteIterate { at_iter: phases });
+                break;
+            }
+            ctx.push_residual((upper - total).max(0.0));
         }
-        Ok(MaxFlowResult {
-            value: total,
-            source_side: self.residual_reachable(s),
+        Ok((total, exit))
+    }
+
+    /// [`max_flow`](Self::max_flow) under an explicit [`KernelCtx`]: the
+    /// same phase loop with metering, guarding, and tracing routed
+    /// through the context. An inert context reproduces
+    /// [`max_flow`](Self::max_flow) exactly; see
+    /// [`max_flow_budgeted`](Self::max_flow_budgeted) for the certified
+    /// exhaustion semantics.
+    pub fn max_flow_ctx(
+        &mut self,
+        s: usize,
+        t: usize,
+        ctx: &mut KernelCtx,
+    ) -> Result<SolverOutcome<MaxFlowResult>> {
+        let (total, exit) = self.max_flow_core(s, t, ctx)?;
+        let diags = ctx.finish();
+        Ok(match exit {
+            FlowExit::Done => SolverOutcome::converged(
+                MaxFlowResult {
+                    value: total,
+                    source_side: self.residual_reachable(s),
+                },
+                diags,
+            ),
+            FlowExit::Exhausted { exhausted, upper } => SolverOutcome::exhausted(
+                MaxFlowResult {
+                    value: total,
+                    source_side: self.residual_reachable(s),
+                },
+                exhausted,
+                Certificate::FlowGap {
+                    value: total,
+                    upper_bound: upper,
+                },
+                diags,
+            ),
+            FlowExit::Diverged(cause) => SolverOutcome::diverged(cause, diags),
         })
     }
 
@@ -166,93 +256,11 @@ impl FlowNetwork {
         t: usize,
         budget: &Budget,
     ) -> Result<SolverOutcome<MaxFlowResult>> {
-        let n = self.n();
-        if s >= n || t >= n {
-            return Err(FlowError::InvalidArgument("endpoint out of range".into()));
-        }
-        if s == t {
-            return Err(FlowError::InvalidArgument("source equals sink".into()));
-        }
-        // Witnessed trivial cuts on the *original* capacities, taken
-        // before any augmentation: ({s}, rest) and (rest, {t}).
-        let out_s: f64 = self.head[s].iter().map(|&ai| self.cap[ai as usize]).sum();
-        let in_t: f64 = self.head[t]
-            .iter()
-            .map(|&ai| self.cap[(ai ^ 1) as usize])
-            .sum();
-        let upper = out_s.min(in_t);
-
-        let mut meter = budget.start();
-        let mut diags = Diagnostics::for_kernel("flow.dinic");
-        let mut total = 0.0;
-        let mut phases = 0usize;
-        let mut level = vec![-1i32; n];
-        let mut iter = vec![0usize; n];
-        loop {
-            meter.tick_iter();
-            meter.add_work(self.to.len() as u64);
-            if let Some(ex) = meter.check() {
-                diags.absorb_meter(&meter);
-                diags.note(format!(
-                    "{ex} after {phases} blocking-flow phases; returning feasible partial flow"
-                ));
-                return Ok(SolverOutcome::exhausted(
-                    MaxFlowResult {
-                        value: total,
-                        source_side: self.residual_reachable(s),
-                    },
-                    ex,
-                    Certificate::FlowGap {
-                        value: total,
-                        upper_bound: upper,
-                    },
-                    diags,
-                ));
-            }
-            // BFS to build the level graph.
-            level.fill(-1);
-            level[s] = 0;
-            let mut queue = std::collections::VecDeque::new();
-            queue.push_back(s);
-            while let Some(u) = queue.pop_front() {
-                for &ai in &self.head[u] {
-                    let v = self.to[ai as usize] as usize;
-                    if self.cap[ai as usize] > EPS && level[v] < 0 {
-                        level[v] = level[u] + 1;
-                        queue.push_back(v);
-                    }
-                }
-            }
-            if level[t] < 0 {
-                break;
-            }
-            iter.fill(0);
-            loop {
-                let pushed = self.dfs_push(s, t, f64::INFINITY, &level, &mut iter);
-                if pushed <= EPS {
-                    break;
-                }
-                total += pushed;
-            }
-            phases += 1;
-            if !total.is_finite() {
-                diags.absorb_meter(&meter);
-                return Ok(SolverOutcome::diverged(
-                    DivergenceCause::NonFiniteIterate { at_iter: phases },
-                    diags,
-                ));
-            }
-            diags.push_residual((upper - total).max(0.0));
-        }
-        diags.absorb_meter(&meter);
-        diags.note(format!("maximum flow reached after {phases} phases"));
-        Ok(SolverOutcome::converged(
-            MaxFlowResult {
-                value: total,
-                source_side: self.residual_reachable(s),
-            },
-            diags,
-        ))
+        // The guard is consulted only for the running-total finiteness
+        // check after each blocking-flow phase.
+        let mut ctx =
+            KernelCtx::budgeted("flow.dinic", budget).with_guard(GuardConfig::contamination_only());
+        self.max_flow_ctx(s, t, &mut ctx)
     }
 
     /// DFS from `u` pushing at most `limit` flow toward `t` along the

@@ -23,10 +23,10 @@
 //! source side of the min cut is that better set. Iterating until no
 //! improvement yields the optimal quotient subset of `A`.
 
-use crate::maxflow::FlowNetwork;
+use crate::maxflow::{FlowExit, FlowNetwork};
 use crate::{FlowError, Result};
 use acir_graph::{Graph, NodeId};
-use acir_runtime::{Budget, Certificate, Diagnostics, DivergenceCause, SolverOutcome};
+use acir_runtime::{Budget, Certificate, DivergenceCause, GuardConfig, KernelCtx, SolverOutcome};
 
 /// Outcome of MQI.
 #[derive(Debug, Clone)]
@@ -65,6 +65,15 @@ fn cut_and_volume(g: &Graph, member: &[bool]) -> (f64, f64) {
 /// `vol(A) ≤ vol(V)/2` (the quotient-cut convention; pass the smaller
 /// side). Errors otherwise. Returns the best-conductance subset found.
 pub fn mqi(g: &Graph, a_side: &[NodeId]) -> Result<MqiResult> {
+    let mut ctx = KernelCtx::new();
+    match mqi_ctx(g, a_side, &mut ctx)? {
+        SolverOutcome::Converged { value, .. } => Ok(value),
+        _ => unreachable!("an inert context can neither exhaust nor diverge"),
+    }
+}
+
+/// Validate `a_side` and return its membership mask.
+fn validate_mqi_side(g: &Graph, a_side: &[NodeId]) -> Result<Vec<bool>> {
     let n = g.n();
     if a_side.is_empty() {
         return Err(FlowError::InvalidArgument(
@@ -81,30 +90,44 @@ pub fn mqi(g: &Graph, a_side: &[NodeId]) -> Result<MqiResult> {
         }
         member[u as usize] = true;
     }
-    let (cut0, vol0) = cut_and_volume(g, &member);
+    let (_, vol0) = cut_and_volume(g, &member);
     if vol0 > g.total_volume() / 2.0 + 1e-9 {
         return Err(FlowError::InvalidArgument(
             "MQI side must have at most half the total volume".into(),
         ));
     }
-    if cut0 == 0.0 {
-        // Already a disconnected component: conductance 0, nothing to do.
-        let mut set = a_side.to_vec();
-        set.sort_unstable();
-        return Ok(MqiResult {
-            set,
-            conductance: 0.0,
-            initial_conductance: 0.0,
-            iterations: 0,
-        });
-    }
-    let initial_conductance = cut0 / vol0;
+    Ok(member)
+}
 
-    let mut current: Vec<bool> = member;
+/// Run the flow-round improvement loop under `ctx`; returns the final
+/// side mask, the best conductance achieved, the round count, and the
+/// exit condition.
+fn mqi_core(
+    g: &Graph,
+    member: Vec<bool>,
+    initial_conductance: f64,
+    ctx: &mut KernelCtx,
+) -> Result<(Vec<bool>, f64, usize, FlowExit)> {
+    let n = g.n();
+    let mut current = member;
     let mut best_phi = initial_conductance;
     let mut iterations = 0usize;
-
+    let exit;
+    // CORE LOOP
     loop {
+        ctx.tick_iter();
+        if let Some(exhausted) = ctx.check_budget() {
+            ctx.note_with(|| {
+                format!(
+                    "{exhausted} after {iterations} flow rounds; current side is a valid improved cut"
+                )
+            });
+            exit = FlowExit::Exhausted {
+                exhausted,
+                upper: initial_conductance,
+            };
+            break;
+        }
         // Relabel current side nodes 0..k, with s = k and t = k + 1.
         let nodes: Vec<NodeId> = (0..n as NodeId).filter(|&u| current[u as usize]).collect();
         let k = nodes.len();
@@ -114,18 +137,22 @@ pub fn mqi(g: &Graph, a_side: &[NodeId]) -> Result<MqiResult> {
         }
         let (c, a) = cut_and_volume(g, &current);
         if c == 0.0 {
+            exit = FlowExit::Done;
             break;
         }
         let s = k;
         let t = k + 1;
         let mut net = FlowNetwork::new(k + 2);
+        let mut arcs = 0u64;
         for (i, &u) in nodes.iter().enumerate() {
             net.add_arc(s, i, c * g.degree(u))?;
+            arcs += 1;
             let mut boundary = 0.0;
             for (v, w) in g.neighbors(u) {
                 if current[v as usize] {
                     if local[v as usize] > i {
                         net.add_edge(i, local[v as usize], a * w)?;
+                        arcs += 1;
                     }
                 } else {
                     boundary += w;
@@ -133,13 +160,17 @@ pub fn mqi(g: &Graph, a_side: &[NodeId]) -> Result<MqiResult> {
             }
             if boundary > 0.0 {
                 net.add_arc(i, t, a * boundary)?;
+                arcs += 1;
             }
         }
+        ctx.add_work(arcs);
         let flow = net.max_flow(s, t)?;
         iterations += 1;
+        ctx.push_residual(best_phi);
 
         // Improvement exists iff min cut < c·a (with slack for floats).
         if flow.value >= c * a * (1.0 - 1e-12) - 1e-9 {
+            exit = FlowExit::Done;
             break;
         }
         let improved: Vec<NodeId> = nodes
@@ -149,6 +180,7 @@ pub fn mqi(g: &Graph, a_side: &[NodeId]) -> Result<MqiResult> {
             .map(|(_, &u)| u)
             .collect();
         if improved.is_empty() || improved.len() == nodes.len() {
+            exit = FlowExit::Done;
             break;
         }
         let mut next = vec![false; n];
@@ -157,27 +189,63 @@ pub fn mqi(g: &Graph, a_side: &[NodeId]) -> Result<MqiResult> {
         }
         let (nc, nv) = cut_and_volume(g, &next);
         let phi = if nv > 0.0 { nc / nv } else { f64::INFINITY };
+        if ctx.is_guarded() && !phi.is_finite() {
+            exit = FlowExit::Diverged(DivergenceCause::NonFiniteResidual {
+                at_iter: iterations,
+            });
+            break;
+        }
         if phi >= best_phi - 1e-15 {
+            exit = FlowExit::Done;
             break; // numerical no-op; stop rather than loop
         }
         best_phi = phi;
         current = next;
     }
+    if matches!(exit, FlowExit::Done) {
+        ctx.note_with(|| {
+            format!("quotient-cut optimum inside the side after {iterations} flow rounds")
+        });
+    }
+    Ok((current, best_phi, iterations, exit))
+}
 
-    let mut set: Vec<NodeId> = (0..n as NodeId).filter(|&u| current[u as usize]).collect();
-    set.sort_unstable();
-    let (fc, fv) = cut_and_volume(g, &{
-        let mut m = vec![false; n];
-        for &u in &set {
-            m[u as usize] = true;
+/// [`mqi`] under an explicit [`KernelCtx`]: the same flow-round loop
+/// with metering, guarding, and tracing routed through the context. An
+/// inert context reproduces [`mqi`] exactly; see [`mqi_budgeted`] for
+/// the anytime exhaustion semantics.
+pub fn mqi_ctx(
+    g: &Graph,
+    a_side: &[NodeId],
+    ctx: &mut KernelCtx,
+) -> Result<SolverOutcome<MqiResult>> {
+    let member = validate_mqi_side(g, a_side)?;
+    let (cut0, vol0) = cut_and_volume(g, &member);
+    if cut0 == 0.0 {
+        // Already a disconnected component: conductance 0, nothing to do.
+        ctx.note_with(|| {
+            "input side is already disconnected: conductance 0, nothing to improve".to_string()
+        });
+        let diags = ctx.finish();
+        return Ok(SolverOutcome::converged(finish(g, &member, 0.0, 0), diags));
+    }
+    let initial_conductance = cut0 / vol0;
+    let (current, best_phi, iterations, exit) = mqi_core(g, member, initial_conductance, ctx)?;
+    let diags = ctx.finish();
+    Ok(match exit {
+        FlowExit::Done => {
+            SolverOutcome::converged(finish(g, &current, initial_conductance, iterations), diags)
         }
-        m
-    });
-    Ok(MqiResult {
-        set,
-        conductance: if fv > 0.0 { fc / fv } else { f64::INFINITY },
-        initial_conductance,
-        iterations,
+        FlowExit::Exhausted { exhausted, upper } => SolverOutcome::exhausted(
+            finish(g, &current, initial_conductance, iterations),
+            exhausted,
+            Certificate::FlowGap {
+                value: best_phi,
+                upper_bound: upper,
+            },
+            diags,
+        ),
+        FlowExit::Diverged(cause) => SolverOutcome::diverged(cause, diags),
     })
 }
 
@@ -210,137 +278,11 @@ pub fn mqi_budgeted(
     a_side: &[NodeId],
     budget: &Budget,
 ) -> Result<SolverOutcome<MqiResult>> {
-    let n = g.n();
-    if a_side.is_empty() {
-        return Err(FlowError::InvalidArgument(
-            "MQI needs a non-empty side".into(),
-        ));
-    }
-    let mut member = vec![false; n];
-    for &u in a_side {
-        if u as usize >= n {
-            return Err(FlowError::InvalidArgument(format!("node {u} out of range")));
-        }
-        if member[u as usize] {
-            return Err(FlowError::InvalidArgument(format!("duplicate node {u}")));
-        }
-        member[u as usize] = true;
-    }
-    let (cut0, vol0) = cut_and_volume(g, &member);
-    if vol0 > g.total_volume() / 2.0 + 1e-9 {
-        return Err(FlowError::InvalidArgument(
-            "MQI side must have at most half the total volume".into(),
-        ));
-    }
-    let mut diags = Diagnostics::for_kernel("flow.mqi");
-    if cut0 == 0.0 {
-        diags.note("input side is already disconnected: conductance 0, nothing to improve");
-        return Ok(SolverOutcome::converged(finish(g, &member, 0.0, 0), diags));
-    }
-    let initial_conductance = cut0 / vol0;
-
-    let mut meter = budget.start();
-    let mut current = member;
-    let mut best_phi = initial_conductance;
-    let mut iterations = 0usize;
-
-    loop {
-        meter.tick_iter();
-        if let Some(ex) = meter.check() {
-            diags.absorb_meter(&meter);
-            diags.note(format!(
-                "{ex} after {iterations} flow rounds; current side is a valid improved cut"
-            ));
-            return Ok(SolverOutcome::exhausted(
-                finish(g, &current, initial_conductance, iterations),
-                ex,
-                Certificate::FlowGap {
-                    value: best_phi,
-                    upper_bound: initial_conductance,
-                },
-                diags,
-            ));
-        }
-        let nodes: Vec<NodeId> = (0..n as NodeId).filter(|&u| current[u as usize]).collect();
-        let k = nodes.len();
-        let mut local = vec![usize::MAX; n];
-        for (i, &u) in nodes.iter().enumerate() {
-            local[u as usize] = i;
-        }
-        let (c, a) = cut_and_volume(g, &current);
-        if c == 0.0 {
-            break;
-        }
-        let s = k;
-        let t = k + 1;
-        let mut net = FlowNetwork::new(k + 2);
-        let mut arcs = 0u64;
-        for (i, &u) in nodes.iter().enumerate() {
-            net.add_arc(s, i, c * g.degree(u))?;
-            arcs += 1;
-            let mut boundary = 0.0;
-            for (v, w) in g.neighbors(u) {
-                if current[v as usize] {
-                    if local[v as usize] > i {
-                        net.add_edge(i, local[v as usize], a * w)?;
-                        arcs += 1;
-                    }
-                } else {
-                    boundary += w;
-                }
-            }
-            if boundary > 0.0 {
-                net.add_arc(i, t, a * boundary)?;
-                arcs += 1;
-            }
-        }
-        meter.add_work(arcs);
-        let flow = net.max_flow(s, t)?;
-        iterations += 1;
-        diags.push_residual(best_phi);
-
-        if flow.value >= c * a * (1.0 - 1e-12) - 1e-9 {
-            break;
-        }
-        let improved: Vec<NodeId> = nodes
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| flow.source_side[i])
-            .map(|(_, &u)| u)
-            .collect();
-        if improved.is_empty() || improved.len() == nodes.len() {
-            break;
-        }
-        let mut next = vec![false; n];
-        for &u in &improved {
-            next[u as usize] = true;
-        }
-        let (nc, nv) = cut_and_volume(g, &next);
-        let phi = if nv > 0.0 { nc / nv } else { f64::INFINITY };
-        if !phi.is_finite() {
-            diags.absorb_meter(&meter);
-            return Ok(SolverOutcome::diverged(
-                DivergenceCause::NonFiniteResidual {
-                    at_iter: iterations,
-                },
-                diags,
-            ));
-        }
-        if phi >= best_phi - 1e-15 {
-            break;
-        }
-        best_phi = phi;
-        current = next;
-    }
-
-    diags.absorb_meter(&meter);
-    diags.note(format!(
-        "quotient-cut optimum inside the side after {iterations} flow rounds"
-    ));
-    Ok(SolverOutcome::converged(
-        finish(g, &current, initial_conductance, iterations),
-        diags,
-    ))
+    // The guard is consulted only for the finiteness check on each
+    // round's candidate conductance.
+    let mut ctx =
+        KernelCtx::budgeted("flow.mqi", budget).with_guard(GuardConfig::contamination_only());
+    mqi_ctx(g, a_side, &mut ctx)
 }
 
 #[cfg(test)]

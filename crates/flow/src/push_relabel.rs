@@ -9,9 +9,9 @@
 //! two entirely different algorithms against each other on random
 //! networks, which is how the flow layer earns its trust.
 
-use crate::maxflow::MaxFlowResult;
+use crate::maxflow::{FlowExit, MaxFlowResult};
 use crate::{FlowError, Result};
-use acir_runtime::{Budget, Certificate, Diagnostics, DivergenceCause, SolverOutcome};
+use acir_runtime::{Budget, Certificate, DivergenceCause, GuardConfig, KernelCtx, SolverOutcome};
 use std::collections::VecDeque;
 
 const EPS: f64 = 1e-9;
@@ -74,10 +74,12 @@ impl PushRelabelNetwork {
 
     /// Compute the max `s → t` flow (mutates residual capacities).
     pub fn max_flow(&mut self, s: usize, t: usize) -> Result<MaxFlowResult> {
-        match self.max_flow_metered(s, t, &Budget::unlimited())? {
+        // The guard keeps the legacy sink-excess finiteness check alive
+        // on the plain path; everything else in the context is inert.
+        let mut ctx = KernelCtx::new().with_guard(GuardConfig::contamination_only());
+        match self.max_flow_ctx(s, t, &mut ctx)? {
             SolverOutcome::Converged { value, .. } => Ok(value),
-            // Unlimited budgets never exhaust, and divergence requires
-            // contaminated capacities, which construction rejects.
+            // An inert context never exhausts.
             SolverOutcome::BudgetExhausted { best_so_far, .. } => Ok(best_so_far),
             SolverOutcome::Diverged { cause, .. } => Err(FlowError::InvalidArgument(format!(
                 "push-relabel halted: {cause}"
@@ -102,15 +104,56 @@ impl PushRelabelNetwork {
         t: usize,
         budget: &Budget,
     ) -> Result<SolverOutcome<MaxFlowResult>> {
-        self.max_flow_metered(s, t, budget)
+        // The guard is consulted only for the sink-excess finiteness
+        // check after each discharge.
+        let mut ctx = KernelCtx::budgeted("flow.push_relabel", budget)
+            .with_guard(GuardConfig::contamination_only());
+        self.max_flow_ctx(s, t, &mut ctx)
     }
 
-    fn max_flow_metered(
+    /// [`max_flow`](Self::max_flow) under an explicit [`KernelCtx`]:
+    /// the same discharge loop with metering, guarding, and tracing
+    /// routed through the context.
+    pub fn max_flow_ctx(
         &mut self,
         s: usize,
         t: usize,
-        budget: &Budget,
+        ctx: &mut KernelCtx,
     ) -> Result<SolverOutcome<MaxFlowResult>> {
+        let (value, exit) = self.max_flow_core(s, t, ctx)?;
+        let diags = ctx.finish();
+        Ok(match exit {
+            FlowExit::Done => SolverOutcome::converged(
+                MaxFlowResult {
+                    value,
+                    source_side: self.residual_reachable(s),
+                },
+                diags,
+            ),
+            FlowExit::Exhausted { exhausted, upper } => SolverOutcome::exhausted(
+                MaxFlowResult {
+                    value,
+                    source_side: self.residual_reachable(s),
+                },
+                exhausted,
+                Certificate::FlowGap {
+                    value,
+                    upper_bound: upper,
+                },
+                diags,
+            ),
+            FlowExit::Diverged(cause) => SolverOutcome::diverged(cause, diags),
+        })
+    }
+
+    /// Run the discharge loop under `ctx`; returns the sink excess (the
+    /// flow value so far) and the exit condition.
+    fn max_flow_core(
+        &mut self,
+        s: usize,
+        t: usize,
+        ctx: &mut KernelCtx,
+    ) -> Result<(f64, FlowExit)> {
         let n = self.n();
         if s >= n || t >= n {
             return Err(FlowError::InvalidArgument("endpoint out of range".into()));
@@ -125,8 +168,6 @@ impl PushRelabelNetwork {
             .map(|&ai| self.cap[(ai ^ 1) as usize])
             .sum();
         let upper = out_s.min(in_t);
-        let mut meter = budget.start();
-        let mut diags = Diagnostics::for_kernel("flow.push_relabel");
 
         let mut height = vec![0usize; n];
         let mut excess = vec![0.0f64; n];
@@ -190,36 +231,25 @@ impl PushRelabelNetwork {
         let mut work = 0usize;
         let relabel_interval = 6 * n + self.to.len() / 2 + 1;
         let mut discharges = 0usize;
+        // CORE LOOP
         while let Some(u) = active.pop_front() {
             discharges += 1;
-            meter.tick_iter();
-            meter.add_work(self.head[u].len() as u64);
-            if let Some(ex) = meter.check() {
-                diags.absorb_meter(&meter);
-                diags.note(format!(
-                    "{ex} after {discharges} discharges; returning sink excess as partial flow"
-                ));
-                let value = excess[t];
-                return Ok(SolverOutcome::exhausted(
-                    MaxFlowResult {
-                        value,
-                        source_side: self.residual_reachable(s),
-                    },
-                    ex,
-                    Certificate::FlowGap {
-                        value,
-                        upper_bound: upper,
-                    },
-                    diags,
-                ));
+            ctx.tick_iter();
+            ctx.add_work(self.head[u].len() as u64);
+            if let Some(exhausted) = ctx.check_budget() {
+                ctx.note_with(|| {
+                    format!(
+                        "{exhausted} after {discharges} discharges; returning sink excess as partial flow"
+                    )
+                });
+                return Ok((excess[t], FlowExit::Exhausted { exhausted, upper }));
             }
-            if !excess[t].is_finite() {
-                diags.absorb_meter(&meter);
-                return Ok(SolverOutcome::diverged(
-                    DivergenceCause::NonFiniteIterate {
+            if ctx.is_guarded() && !excess[t].is_finite() {
+                return Ok((
+                    excess[t],
+                    FlowExit::Diverged(DivergenceCause::NonFiniteIterate {
                         at_iter: discharges,
-                    },
-                    diags,
+                    }),
                 ));
             }
             in_queue[u] = false;
@@ -284,16 +314,9 @@ impl PushRelabelNetwork {
         // Flow value = excess collected at t; min-cut side = nodes that
         // reach t... conventionally: source side = nodes NOT reaching t
         // in the residual, computed as residual-reachability from s.
-        diags.absorb_meter(&meter);
-        diags.note(format!("preflow drained after {discharges} discharges"));
-        diags.push_residual((upper - excess[t]).max(0.0));
-        Ok(SolverOutcome::converged(
-            MaxFlowResult {
-                value: excess[t],
-                source_side: self.residual_reachable(s),
-            },
-            diags,
-        ))
+        ctx.note_with(|| format!("preflow drained after {discharges} discharges"));
+        ctx.push_residual((upper - excess[t]).max(0.0));
+        Ok((excess[t], FlowExit::Done))
     }
 
     /// Nodes reachable from `s` in the current residual network.

@@ -33,12 +33,14 @@ pub mod csr;
 pub mod gen;
 pub mod io;
 pub mod permute;
+pub mod result;
 pub mod stats;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::{Graph, NodeId};
 pub use permute::{bandwidth_stats, BandwidthStats, Permutation};
+pub use result::NodeValued;
 
 /// Errors produced by the graph substrate.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,109 @@
+//! Shared behavior for node-valued kernel results.
+//!
+//! Every local method (ACL push, hk-relax, Nibble) returns a sparse
+//! vector over nodes as sorted `(node, value)` pairs plus some
+//! labelling-independent scalars. Before this trait each result type
+//! carried its own verbatim copies of `to_dense` / `map_back`;
+//! [`NodeValued`] consolidates them so the sparse-support behavior is
+//! written once and every result type gets the same semantics.
+
+use crate::{NodeId, Permutation};
+
+/// A kernel result whose payload is a sparse vector over nodes,
+/// stored as sorted `(node, value)` pairs.
+///
+/// Implementors expose the support; densification, scaling, and
+/// permutation unmapping come for free. A type whose *other* fields
+/// also name nodes (e.g. a best-cluster set alongside the vector)
+/// must override [`NodeValued::map_back`] to remap those fields too —
+/// the default only remaps the support.
+pub trait NodeValued: Clone {
+    /// The sparse support, as sorted `(node, value)` pairs.
+    fn node_values(&self) -> &[(NodeId, f64)];
+
+    /// Mutable access to the support, for the provided combinators.
+    fn node_values_mut(&mut self) -> &mut Vec<(NodeId, f64)>;
+
+    /// Densify to a full-length vector of `n` entries (nodes outside
+    /// the support are zero).
+    fn to_dense(&self, n: usize) -> Vec<f64> {
+        let mut v = vec![0.0; n];
+        for &(u, x) in self.node_values() {
+            v[u as usize] = x;
+        }
+        v
+    }
+
+    /// Scale every support value by `a` in place (e.g. to renormalize
+    /// a truncated distribution); scalars are left untouched.
+    fn scale(&mut self, a: f64) {
+        for (_, x) in self.node_values_mut() {
+            *x *= a;
+        }
+    }
+
+    /// Sum of the support values (the retained probability mass for
+    /// the diffusion methods).
+    fn support_mass(&self) -> f64 {
+        self.node_values().iter().map(|&(_, x)| x).sum()
+    }
+
+    /// Map a result computed on `g.permute(perm)` back to the original
+    /// vertex ids. The default remaps the support and carries every
+    /// other field over unchanged (scalars are layout-independent).
+    fn map_back(&self, perm: &Permutation) -> Self {
+        let mut out = self.clone();
+        *out.node_values_mut() = perm.unmap_sparse(self.node_values());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Default, PartialEq)]
+    struct Toy {
+        vector: Vec<(NodeId, f64)>,
+        work: usize,
+    }
+
+    impl NodeValued for Toy {
+        fn node_values(&self) -> &[(NodeId, f64)] {
+            &self.vector
+        }
+        fn node_values_mut(&mut self) -> &mut Vec<(NodeId, f64)> {
+            &mut self.vector
+        }
+    }
+
+    #[test]
+    fn dense_scale_mass() {
+        let mut t = Toy {
+            vector: vec![(1, 0.25), (3, 0.5)],
+            work: 7,
+        };
+        assert_eq!(t.to_dense(5), vec![0.0, 0.25, 0.0, 0.5, 0.0]);
+        assert!((t.support_mass() - 0.75).abs() < 1e-15);
+        t.scale(2.0);
+        assert_eq!(t.vector, vec![(1, 0.5), (3, 1.0)]);
+        assert_eq!(t.work, 7, "scalars untouched by scale");
+    }
+
+    #[test]
+    fn map_back_remaps_support_only() {
+        // Rotation permutation on 3 nodes: new id i is old id (i+1)%3.
+        let perm = Permutation::from_old_of_new(vec![1, 2, 0]).unwrap();
+        let t = Toy {
+            vector: vec![(0, 0.5), (1, 0.25), (2, 0.125)],
+            work: 3,
+        };
+        let back = t.map_back(&perm);
+        assert_eq!(back.work, 3, "scalars carry over");
+        assert_eq!(
+            back.vector,
+            vec![(0, 0.125), (1, 0.5), (2, 0.25)],
+            "support lands on the original ids, re-sorted"
+        );
+    }
+}

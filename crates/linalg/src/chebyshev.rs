@@ -18,8 +18,8 @@
 use crate::vector;
 use crate::{LinOp, LinalgError, Result};
 use acir_runtime::{
-    Budget, Certificate, ConvergenceGuard, Diagnostics, DivergenceCause, GuardVerdict, RetryPolicy,
-    SolverOutcome, Workspace,
+    Budget, Certificate, Diagnostics, DivergenceCause, Exhaustion, GuardConfig, GuardVerdict,
+    KernelCtx, RetryPolicy, SolverOutcome, Workspace,
 };
 
 /// A Chebyshev expansion of a scalar function on `[a, b]`.
@@ -98,6 +98,37 @@ impl ChebyshevExpansion {
     /// many vectors allocates nothing after the first call.
     /// Bit-identical to [`Self::apply`].
     pub fn apply_ws(&self, op: &dyn LinOp, v: &[f64], ws: &mut Workspace) -> Result<Vec<f64>> {
+        let mut ctx = KernelCtx::new();
+        match self.apply_core(op, v, ws, &mut ctx)? {
+            SolverOutcome::Converged { value, .. } => Ok(value),
+            _ => unreachable!("an inert context can neither exhaust nor diverge"),
+        }
+    }
+
+    /// Apply `f(A)·v` against an explicit [`KernelCtx`]: the unified
+    /// entry point that every single-vector variant wraps. Scratch
+    /// comes from the context's pool override or the crate pool.
+    /// ([`Self::apply_multi`] is the blocked-SpMM form of the same
+    /// recurrence and is verified bit-identical per vector.)
+    pub fn apply_ctx(
+        &self,
+        op: &dyn LinOp,
+        v: &[f64],
+        ctx: &mut KernelCtx,
+    ) -> Result<SolverOutcome<Vec<f64>>> {
+        ctx.scratch_pool_or(&crate::SCRATCH)
+            .with(|ws| self.apply_core(op, v, ws, ctx))
+    }
+
+    /// The single three-term-recurrence loop. Every single-vector entry
+    /// point funnels here; the context decides which concerns are live.
+    fn apply_core(
+        &self,
+        op: &dyn LinOp,
+        v: &[f64],
+        ws: &mut Workspace,
+        ctx: &mut KernelCtx,
+    ) -> Result<SolverOutcome<Vec<f64>>> {
         let n = op.dim();
         if v.len() != n {
             return Err(LinalgError::DimensionMismatch {
@@ -105,6 +136,7 @@ impl ChebyshevExpansion {
                 found: v.len(),
             });
         }
+        let vnorm = vector::norm2(v);
         // Affine map to [-1, 1]: T = alpha·A + beta·I with
         // alpha = 2/(b−a), beta = −(a+b)/(b−a); then T_0 v = v,
         // T_1 v = T v, T_{k+1} v = 2·T·(T_k v) − T_{k−1} v.
@@ -115,18 +147,53 @@ impl ChebyshevExpansion {
             vector::axpby(beta, input, alpha, out);
         };
 
+        enum Exit {
+            Done,
+            Diverged(DivergenceCause),
+            // Exhaustion remembers the degree it struck at, for the
+            // truncation note and the dropped-tail certificate.
+            Exhausted(Exhaustion, usize),
+        }
+
         let mut t_prev = ws.take_f64(n); // T_0 v
         t_prev.copy_from_slice(v);
         let mut t_curr = ws.take_f64(n);
         apply_t(v, &mut t_curr); // T_1 v
+        ctx.add_work(1);
         let mut acc: Vec<f64> = v.iter().map(|&x| 0.5 * self.coeffs[0] * x).collect();
         if self.coeffs.len() > 1 {
             vector::axpy(self.coeffs[1], &t_curr, &mut acc);
         }
         let mut t_next = ws.take_f64(n);
-        for &c in self.coeffs.iter().skip(2) {
+        let mut exit = Exit::Done;
+        // CORE LOOP
+        for (deg, &c) in self.coeffs.iter().enumerate().skip(2) {
+            ctx.tick_iter();
+            if let Some(exhausted) = ctx.add_work(1) {
+                exit = Exit::Exhausted(exhausted, deg);
+                break;
+            }
             apply_t(&t_curr, &mut t_next);
             vector::axpby(-1.0, &t_prev, 2.0, &mut t_next);
+            if ctx.is_guarded() {
+                // On [a, b] every Chebyshev vector satisfies
+                // ‖T_k v‖ ≤ ‖v‖ (spectral calculus); exponential growth
+                // means the spectrum escaped the interval.
+                let tnorm = vector::norm2(&t_next);
+                ctx.push_residual(tnorm);
+                if let GuardVerdict::Halt(cause) = ctx.check_iterate(&t_next, deg) {
+                    exit = Exit::Diverged(cause);
+                    break;
+                }
+                if tnorm > 1e8 * vnorm.max(f64::MIN_POSITIVE) {
+                    exit = Exit::Diverged(DivergenceCause::ResidualBlowup {
+                        at_iter: deg,
+                        residual: tnorm,
+                        best: vnorm,
+                    });
+                    break;
+                }
+            }
             vector::axpy(c, &t_next, &mut acc);
             std::mem::swap(&mut t_prev, &mut t_curr);
             std::mem::swap(&mut t_curr, &mut t_next);
@@ -134,7 +201,29 @@ impl ChebyshevExpansion {
         ws.put_f64(t_prev);
         ws.put_f64(t_curr);
         ws.put_f64(t_next);
-        Ok(acc)
+
+        let mut diags = ctx.finish();
+        match exit {
+            Exit::Diverged(cause) => Ok(SolverOutcome::diverged(cause, diags)),
+            Exit::Exhausted(exhausted, deg) => {
+                diags.note(format!("truncated at degree {}", deg - 1));
+                // Dropped-tail weight Σ_{k≥deg} |c_k|, accumulated from
+                // the high end exactly as the eager tail table did.
+                let tail = self.coeffs[deg..]
+                    .iter()
+                    .rev()
+                    .fold(0.0, |acc, c| acc + c.abs());
+                Ok(SolverOutcome::exhausted(
+                    acc,
+                    exhausted,
+                    Certificate::ResidualNorm {
+                        value: tail * vnorm,
+                    },
+                    diags,
+                ))
+            }
+            Exit::Done => Ok(SolverOutcome::converged(acc, diags)),
+        }
     }
 
     /// Apply `f(A)·vⱼ` to a batch of vectors, advancing the three-term
@@ -212,80 +301,11 @@ impl ChebyshevExpansion {
         v: &[f64],
         budget: &Budget,
     ) -> Result<SolverOutcome<Vec<f64>>> {
-        let n = op.dim();
-        if v.len() != n {
-            return Err(LinalgError::DimensionMismatch {
-                expected: n,
-                found: v.len(),
-            });
-        }
-        let vnorm = vector::norm2(v);
-        let alpha = 2.0 / (self.b - self.a);
-        let beta = -(self.a + self.b) / (self.b - self.a);
-        let apply_t = |input: &[f64], out: &mut [f64]| {
-            op.apply(input, out);
-            vector::axpby(beta, input, alpha, out);
-        };
-
-        let mut meter = budget.start();
-        let mut diags = Diagnostics::for_kernel("linalg.chebyshev");
-        // Remaining-tail weights: tail[d] = Σ_{k>d} |c_k|.
-        let mut tail: Vec<f64> = vec![0.0; self.coeffs.len()];
-        for d in (0..self.coeffs.len().saturating_sub(1)).rev() {
-            tail[d] = tail[d + 1] + self.coeffs[d + 1].abs();
-        }
-
-        let mut t_prev = v.to_vec();
-        let mut t_curr = vec![0.0; n];
-        apply_t(v, &mut t_curr);
-        meter.add_work(1);
-        let mut acc: Vec<f64> = v.iter().map(|&x| 0.5 * self.coeffs[0] * x).collect();
-        if self.coeffs.len() > 1 {
-            vector::axpy(self.coeffs[1], &t_curr, &mut acc);
-        }
-        let mut t_next = vec![0.0; n];
-        for (deg, &c) in self.coeffs.iter().enumerate().skip(2) {
-            meter.tick_iter();
-            if let Some(exhausted) = meter.add_work(1) {
-                diags.absorb_meter(&meter);
-                diags.note(format!("truncated at degree {}", deg - 1));
-                return Ok(SolverOutcome::exhausted(
-                    acc,
-                    exhausted,
-                    Certificate::ResidualNorm {
-                        value: tail[deg - 1] * vnorm,
-                    },
-                    diags,
-                ));
-            }
-            apply_t(&t_curr, &mut t_next);
-            vector::axpby(-1.0, &t_prev, 2.0, &mut t_next);
-            // On [a, b] every Chebyshev vector satisfies ‖T_k v‖ ≤ ‖v‖
-            // (spectral calculus); exponential growth means the
-            // spectrum escaped the interval.
-            let tnorm = vector::norm2(&t_next);
-            diags.push_residual(tnorm);
-            if let GuardVerdict::Halt(cause) = ConvergenceGuard::check_finite(&t_next, deg) {
-                diags.absorb_meter(&meter);
-                return Ok(SolverOutcome::diverged(cause, diags));
-            }
-            if tnorm > 1e8 * vnorm.max(f64::MIN_POSITIVE) {
-                diags.absorb_meter(&meter);
-                return Ok(SolverOutcome::diverged(
-                    DivergenceCause::ResidualBlowup {
-                        at_iter: deg,
-                        residual: tnorm,
-                        best: vnorm,
-                    },
-                    diags,
-                ));
-            }
-            vector::axpy(c, &t_next, &mut acc);
-            std::mem::swap(&mut t_prev, &mut t_curr);
-            std::mem::swap(&mut t_curr, &mut t_next);
-        }
-        diags.absorb_meter(&meter);
-        Ok(SolverOutcome::converged(acc, diags))
+        // The guard is consulted only for NaN/Inf scans and the
+        // interval-escape blow-up check on each Chebyshev vector.
+        let mut ctx = KernelCtx::budgeted("linalg.chebyshev", budget)
+            .with_guard(GuardConfig::contamination_only());
+        self.apply_ctx(op, v, &mut ctx)
     }
 }
 

@@ -15,10 +15,11 @@
 
 use crate::dense::DenseMatrix;
 use crate::jacobi::SymEig;
-use crate::lanczos::lanczos;
+use crate::lanczos::lanczos_ctx;
 use crate::tridiag::tridiag_eig;
 use crate::vector;
 use crate::{LinOp, LinalgError, Result};
+use acir_runtime::{Budget, KernelCtx, SolverOutcome};
 
 /// Dense matrix exponential by scaling and squaring with a Taylor core.
 ///
@@ -69,34 +70,11 @@ pub fn expm_sym(a: &DenseMatrix) -> Result<DenseMatrix> {
 /// kernel on normalized Laplacians (`spectrum ⊂ [0,2]`) at any `t` the
 /// experiments use. Errors on a zero seed.
 pub fn expm_multiply(op: &dyn LinOp, t: f64, v: &[f64], krylov_dim: usize) -> Result<Vec<f64>> {
-    let n = op.dim();
-    if v.len() != n {
-        return Err(LinalgError::DimensionMismatch {
-            expected: n,
-            found: v.len(),
-        });
+    let mut ctx = KernelCtx::new();
+    match expm_multiply_ctx(op, t, v, krylov_dim, &mut ctx)? {
+        SolverOutcome::Converged { value, .. } => Ok(value),
+        _ => unreachable!("an inert context can neither exhaust nor diverge"),
     }
-    let vnorm = vector::norm2(v);
-    if vnorm < 1e-300 {
-        return Err(LinalgError::InvalidArgument("seed vector is zero"));
-    }
-    let res = lanczos(op, v, krylov_dim.max(2), &[])?;
-    let k = res.k();
-    // exp(t T_k) e₁ via the tridiagonal eigendecomposition.
-    let te = tridiag_eig(&res.alpha, &res.beta)?;
-    // coeff_j = Σ_m  U[0,m] e^{t λ_m} U[j,m]
-    let mut coeff = vec![0.0; k];
-    for m in 0..k {
-        let w = te.eigenvectors[(0, m)] * (t * te.eigenvalues[m]).exp();
-        for (j, c) in coeff.iter_mut().enumerate() {
-            *c += w * te.eigenvectors[(j, m)];
-        }
-    }
-    let mut out = vec![0.0; n];
-    for (j, basis_j) in res.basis.iter().enumerate() {
-        vector::axpy(vnorm * coeff[j], basis_j, &mut out);
-    }
-    Ok(out)
 }
 
 /// Krylov `exp(t·A)·v` under an explicit resource [`acir_runtime::Budget`],
@@ -115,9 +93,27 @@ pub fn expm_multiply_budgeted(
     t: f64,
     v: &[f64],
     krylov_dim: usize,
-    budget: &acir_runtime::Budget,
-) -> Result<acir_runtime::SolverOutcome<Vec<f64>>> {
-    use acir_runtime::SolverOutcome;
+    budget: &Budget,
+) -> Result<SolverOutcome<Vec<f64>>> {
+    // Guard mirrors `lanczos_budgeted`: contamination scans only.
+    let mut ctx = KernelCtx::budgeted("linalg.lanczos", budget)
+        .with_guard(acir_runtime::GuardConfig::contamination_only());
+    expm_multiply_ctx(op, t, v, krylov_dim, &mut ctx)
+}
+
+/// Context-driven Krylov `exp(t·A)·v`: the [`KernelCtx`] decides whether
+/// the inner Lanczos run is metered, guarded, or traced.
+///
+/// This module has no iteration loop of its own — the three-term Krylov
+/// recurrence in [`lanczos_ctx`] *is* the loop, and this function lifts
+/// its tridiagonal output through `exp(t T_k)` afterwards.
+pub fn expm_multiply_ctx(
+    op: &dyn LinOp,
+    t: f64,
+    v: &[f64],
+    krylov_dim: usize,
+    ctx: &mut KernelCtx,
+) -> Result<SolverOutcome<Vec<f64>>> {
     let n = op.dim();
     if v.len() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -129,7 +125,8 @@ pub fn expm_multiply_budgeted(
     if vnorm < 1e-300 {
         return Err(LinalgError::InvalidArgument("seed vector is zero"));
     }
-    let outcome = crate::lanczos::lanczos_budgeted(op, v, krylov_dim.max(2), &[], budget)?;
+    // CORE LOOP (delegated: the Krylov recurrence lives in `lanczos_ctx`)
+    let outcome = lanczos_ctx(op, v, krylov_dim.max(2), &[], ctx)?;
 
     let lift = |res: &crate::lanczos::LanczosResult| -> Result<Vec<f64>> {
         let k = res.k();

@@ -19,8 +19,8 @@ use crate::vector;
 use crate::{LinOp, LinalgError, Result};
 use acir_exec::ExecPool;
 use acir_runtime::{
-    Budget, Certificate, ConvergenceGuard, Diagnostics, DivergenceCause, GuardVerdict, RetryPolicy,
-    SolverOutcome,
+    Budget, Certificate, DivergenceCause, Exhaustion, GuardConfig, GuardVerdict, KernelCtx,
+    RetryPolicy, SolverOutcome,
 };
 
 /// Below this many multiplied-out elements (`directions × vector length`)
@@ -110,85 +110,22 @@ pub fn lanczos(
     k: usize,
     deflate: &[Vec<f64>],
 ) -> Result<LanczosResult> {
-    let n = op.dim();
-    if v0.len() != n {
-        return Err(LinalgError::DimensionMismatch {
-            expected: n,
-            found: v0.len(),
-        });
+    let mut ctx = KernelCtx::new();
+    match lanczos_ctx(op, v0, k, deflate, &mut ctx)? {
+        SolverOutcome::Converged { value, .. } => Ok(value),
+        _ => unreachable!("an inert context can neither exhaust nor diverge"),
     }
-    if k == 0 {
-        return Err(LinalgError::InvalidArgument("k must be positive"));
-    }
-    let k = k.min(n);
-
-    let mut q = v0.to_vec();
-    for u in deflate {
-        vector::deflate(&mut q, u);
-    }
-    if vector::normalize2(&mut q) < 1e-300 {
-        return Err(LinalgError::InvalidArgument(
-            "seed vector is zero after deflation",
-        ));
-    }
-
-    let mut alpha = Vec::with_capacity(k);
-    let mut beta: Vec<f64> = Vec::with_capacity(k.saturating_sub(1));
-    let mut basis = vec![q.clone()];
-    let mut breakdown = false;
-    let mut w = vec![0.0; n];
-
-    for j in 0..k {
-        op.apply(&basis[j], &mut w);
-        for u in deflate {
-            vector::deflate(&mut w, u);
-        }
-        let a_j = vector::dot(&basis[j], &w);
-        alpha.push(a_j);
-        vector::axpy(-a_j, &basis[j], &mut w);
-        if j > 0 {
-            vector::axpy(-beta[j - 1], &basis[j - 1], &mut w);
-        }
-        reorthogonalize(&mut w, deflate, &basis);
-        if j + 1 == k {
-            break;
-        }
-        let b_j = vector::norm2(&w);
-        if b_j < 1e-12 {
-            breakdown = true;
-            break;
-        }
-        beta.push(b_j);
-        let mut next = w.clone();
-        vector::scale(1.0 / b_j, &mut next);
-        basis.push(next);
-    }
-
-    Ok(LanczosResult {
-        alpha,
-        beta,
-        basis,
-        breakdown,
-    })
 }
 
-/// Lanczos under an explicit resource [`Budget`], with contamination
-/// guards and a structured [`SolverOutcome`].
-///
-/// Each Lanczos step costs one iteration and one work unit (its
-/// matvec). On budget exhaustion the partial tridiagonalization built
-/// so far is returned with a [`Certificate::ResidualNorm`] carrying the
-/// last off-diagonal `β_j`: by the standard Lanczos residual bound,
-/// every Ritz value of the partial `T_j` lies within `β_j` of a true
-/// eigenvalue of the operator. NaN/Inf contamination of a Krylov vector
-/// yields [`SolverOutcome::Diverged`]. A *lucky* breakdown (invariant
-/// subspace found early) is convergence, exactly as in [`lanczos`].
-pub fn lanczos_budgeted(
+/// Lanczos against an explicit [`KernelCtx`]: the unified entry point
+/// that every legacy variant wraps. The Krylov dimension `k` always
+/// bounds the run; a metered context can additionally cut it short.
+pub fn lanczos_ctx(
     op: &dyn LinOp,
     v0: &[f64],
     k: usize,
     deflate: &[Vec<f64>],
-    budget: &Budget,
+    ctx: &mut KernelCtx,
 ) -> Result<SolverOutcome<LanczosResult>> {
     let n = op.dim();
     if v0.len() != n {
@@ -212,19 +149,25 @@ pub fn lanczos_budgeted(
         ));
     }
 
-    let mut meter = budget.start();
-    let mut diags = Diagnostics::for_kernel("linalg.lanczos");
+    enum Exit {
+        Done,
+        Diverged(DivergenceCause),
+        Exhausted(Exhaustion, f64),
+    }
+
     let mut alpha = Vec::with_capacity(k);
     let mut beta: Vec<f64> = Vec::with_capacity(k.saturating_sub(1));
     let mut basis = vec![q.clone()];
     let mut breakdown = false;
     let mut w = vec![0.0; n];
+    let mut exit = Exit::Done;
 
+    // CORE LOOP
     for j in 0..k {
         op.apply(&basis[j], &mut w);
-        if let GuardVerdict::Halt(cause) = ConvergenceGuard::check_finite(&w, j) {
-            diags.absorb_meter(&meter);
-            return Ok(SolverOutcome::diverged(cause, diags));
+        if let GuardVerdict::Halt(cause) = ctx.check_iterate(&w, j) {
+            exit = Exit::Diverged(cause);
+            break;
         }
         for u in deflate {
             vector::deflate(&mut w, u);
@@ -241,26 +184,16 @@ pub fn lanczos_budgeted(
         }
         let b_j = vector::norm2(&w);
         // The residual of the tridiagonalization *is* the off-diagonal.
-        diags.push_residual(b_j);
+        ctx.push_residual(b_j);
         if b_j < 1e-12 {
             breakdown = true;
-            diags.note(format!("lucky breakdown at step {j}: invariant subspace"));
+            ctx.note_with(|| format!("lucky breakdown at step {j}: invariant subspace"));
             break;
         }
-        meter.tick_iter();
-        if let Some(exhausted) = meter.add_work(1) {
-            diags.absorb_meter(&meter);
-            return Ok(SolverOutcome::exhausted(
-                LanczosResult {
-                    alpha,
-                    beta,
-                    basis,
-                    breakdown: false,
-                },
-                exhausted,
-                Certificate::ResidualNorm { value: b_j },
-                diags,
-            ));
+        ctx.tick_iter();
+        if let Some(exhausted) = ctx.add_work(1) {
+            exit = Exit::Exhausted(exhausted, b_j);
+            break;
         }
         beta.push(b_j);
         let mut next = w.clone();
@@ -268,16 +201,55 @@ pub fn lanczos_budgeted(
         basis.push(next);
     }
 
-    diags.absorb_meter(&meter);
-    Ok(SolverOutcome::converged(
-        LanczosResult {
-            alpha,
-            beta,
-            basis,
-            breakdown,
-        },
-        diags,
-    ))
+    let diags = ctx.finish();
+    match exit {
+        Exit::Diverged(cause) => Ok(SolverOutcome::diverged(cause, diags)),
+        Exit::Exhausted(exhausted, b_j) => Ok(SolverOutcome::exhausted(
+            LanczosResult {
+                alpha,
+                beta,
+                basis,
+                breakdown: false,
+            },
+            exhausted,
+            Certificate::ResidualNorm { value: b_j },
+            diags,
+        )),
+        Exit::Done => Ok(SolverOutcome::converged(
+            LanczosResult {
+                alpha,
+                beta,
+                basis,
+                breakdown,
+            },
+            diags,
+        )),
+    }
+}
+
+/// Lanczos under an explicit resource [`Budget`], with contamination
+/// guards and a structured [`SolverOutcome`].
+///
+/// Each Lanczos step costs one iteration and one work unit (its
+/// matvec). On budget exhaustion the partial tridiagonalization built
+/// so far is returned with a [`Certificate::ResidualNorm`] carrying the
+/// last off-diagonal `β_j`: by the standard Lanczos residual bound,
+/// every Ritz value of the partial `T_j` lies within `β_j` of a true
+/// eigenvalue of the operator. NaN/Inf contamination of a Krylov vector
+/// yields [`SolverOutcome::Diverged`]. A *lucky* breakdown (invariant
+/// subspace found early) is convergence, exactly as in [`lanczos`].
+pub fn lanczos_budgeted(
+    op: &dyn LinOp,
+    v0: &[f64],
+    k: usize,
+    deflate: &[Vec<f64>],
+    budget: &Budget,
+) -> Result<SolverOutcome<LanczosResult>> {
+    // The guard is consulted only for NaN/Inf scans of each Krylov
+    // vector — Lanczos off-diagonals may legitimately plateau.
+    let mut ctx =
+        KernelCtx::budgeted("linalg.lanczos", budget).with_guard(GuardConfig::contamination_only());
+    lanczos_ctx(op, v0, k, deflate, &mut ctx)
 }
 
 /// Budgeted, retrying version of [`smallest_eigenpairs`]: computes the

@@ -53,9 +53,12 @@ pub mod vector;
 pub use dense::DenseMatrix;
 pub use fault::FaultyOp;
 pub use jacobi::SymEig;
-pub use lanczos::{lanczos, lanczos_budgeted, LanczosResult};
-pub use power::{power_method, power_method_budgeted, power_method_ws, PowerOptions, PowerResult};
-pub use solve::{cg, cg_budgeted, cg_resilient, cg_ws, CgOptions, CgResult};
+pub use lanczos::{lanczos, lanczos_budgeted, lanczos_ctx, LanczosResult};
+pub use power::{
+    power_method, power_method_budgeted, power_method_ctx, power_method_ws, PowerOptions,
+    PowerResult,
+};
+pub use solve::{cg, cg_budgeted, cg_ctx, cg_resilient, cg_ws, CgOptions, CgResult};
 pub use sparse::CsrMatrix;
 
 // Resilience-runtime vocabulary, re-exported so downstream crates can

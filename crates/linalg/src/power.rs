@@ -12,8 +12,8 @@
 use crate::vector;
 use crate::{LinOp, LinalgError, Result};
 use acir_runtime::{
-    Budget, Certificate, ConvergenceGuard, Diagnostics, GuardConfig, GuardVerdict, SolverOutcome,
-    Workspace,
+    Budget, Certificate, DivergenceCause, Exhaustion, GuardConfig, GuardVerdict, KernelCtx,
+    SolverOutcome, Workspace,
 };
 
 /// Options for [`power_method`].
@@ -79,6 +79,39 @@ pub fn power_method_ws(
     opts: &PowerOptions,
     ws: &mut Workspace,
 ) -> Result<PowerResult> {
+    let mut ctx = KernelCtx::new();
+    match power_core(op, v0, opts, ws, &mut ctx)? {
+        SolverOutcome::Converged { value, .. } => Ok(value),
+        _ => unreachable!("an inert context can neither exhaust nor diverge"),
+    }
+}
+
+/// Power method against an explicit [`KernelCtx`]: the unified entry
+/// point that every legacy variant wraps. Scratch comes from the
+/// context's pool override or the crate pool.
+///
+/// A metered context drives termination entirely through its budget —
+/// clamp the meter to `opts.max_iters` (as [`power_method_budgeted`]
+/// does) if the options ceiling should still bind.
+pub fn power_method_ctx(
+    op: &dyn LinOp,
+    v0: &[f64],
+    opts: &PowerOptions,
+    ctx: &mut KernelCtx,
+) -> Result<SolverOutcome<PowerResult>> {
+    ctx.scratch_pool_or(&crate::SCRATCH)
+        .with(|ws| power_core(op, v0, opts, ws, ctx))
+}
+
+/// The single power-iteration loop. Every public entry point funnels
+/// here; the context decides which concerns are live.
+fn power_core(
+    op: &dyn LinOp,
+    v0: &[f64],
+    opts: &PowerOptions,
+    ws: &mut Workspace,
+    ctx: &mut KernelCtx,
+) -> Result<SolverOutcome<PowerResult>> {
     let n = op.dim();
     if v0.len() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -96,12 +129,24 @@ pub fn power_method_ws(
         ));
     }
 
+    enum Exit {
+        Done,
+        Diverged(DivergenceCause),
+        Exhausted(Exhaustion),
+    }
+
     let mut av = ws.take_f64(n);
     let mut r = ws.take_f64(n);
     let mut eigenvalue = 0.0;
     let mut residual = f64::INFINITY;
+    // Best iterate seen (smallest residual), kept only under a budget:
+    // it is what an exhausted outcome returns, and the clone per
+    // improvement would break the plain path's allocation contract.
+    let mut best: Option<PowerResult> = None;
     let mut iterations = 0;
-    while iterations < opts.max_iters {
+    let mut exit = Exit::Done;
+    // CORE LOOP
+    while ctx.is_metered() || iterations < opts.max_iters {
         op.apply(&v, &mut av);
         for u in &opts.deflate {
             vector::deflate(&mut av, u);
@@ -113,26 +158,81 @@ pub fn power_method_ws(
         residual = vector::norm2(&r);
         iterations += 1;
 
+        ctx.push_residual(residual);
+        if let GuardVerdict::Halt(cause) = ctx.observe(residual) {
+            exit = Exit::Diverged(cause);
+            break;
+        }
+        if ctx.is_metered() && residual < best.as_ref().map_or(f64::INFINITY, |b| b.residual) {
+            best = Some(PowerResult {
+                eigenvalue,
+                eigenvector: v.clone(),
+                iterations,
+                residual,
+                converged: false,
+            });
+        }
+
         let norm = vector::norm2(&av);
         if norm < 1e-300 {
             // Seed lay in the null space of the (deflated) operator.
+            ctx.note_with(|| "seed fell into the null space of the deflated operator".into());
             break;
         }
         vector::copy_div(norm, &av, &mut v);
+        if let GuardVerdict::Halt(cause) = ctx.check_iterate(&v, iterations - 1) {
+            exit = Exit::Diverged(cause);
+            break;
+        }
         if opts.tol > 0.0 && residual <= opts.tol {
+            break;
+        }
+        ctx.tick_iter();
+        if let Some(exhausted) = ctx.add_work(1) {
+            exit = Exit::Exhausted(exhausted);
             break;
         }
     }
     ws.put_f64(av);
     ws.put_f64(r);
 
-    Ok(PowerResult {
-        eigenvalue,
-        eigenvector: v,
-        iterations,
-        residual,
-        converged: opts.tol > 0.0 && residual <= opts.tol,
-    })
+    let mut diags = ctx.finish();
+    match exit {
+        Exit::Diverged(cause) => Ok(SolverOutcome::diverged(cause, diags)),
+        Exit::Exhausted(exhausted) => {
+            let best_so_far = best.unwrap_or(PowerResult {
+                eigenvalue,
+                eigenvector: v,
+                iterations,
+                residual,
+                converged: false,
+            });
+            let certificate = Certificate::RayleighInterval {
+                center: best_so_far.eigenvalue,
+                radius: best_so_far.residual,
+            };
+            Ok(SolverOutcome::exhausted(
+                best_so_far,
+                exhausted,
+                certificate,
+                diags,
+            ))
+        }
+        Exit::Done => {
+            diags.iterations = iterations;
+            let converged = opts.tol > 0.0 && residual <= opts.tol;
+            Ok(SolverOutcome::converged(
+                PowerResult {
+                    eigenvalue,
+                    eigenvector: v,
+                    iterations,
+                    residual,
+                    converged,
+                },
+                diags,
+            ))
+        }
+    }
 }
 
 /// Power method under an explicit resource [`Budget`], with divergence
@@ -155,113 +255,14 @@ pub fn power_method_budgeted(
     opts: &PowerOptions,
     budget: &Budget,
 ) -> Result<SolverOutcome<PowerResult>> {
-    let n = op.dim();
-    if v0.len() != n {
-        return Err(LinalgError::DimensionMismatch {
-            expected: n,
-            found: v0.len(),
-        });
-    }
-    let mut v = v0.to_vec();
-    for u in &opts.deflate {
-        vector::deflate(&mut v, u);
-    }
-    if vector::normalize2(&mut v) < 1e-300 {
-        return Err(LinalgError::InvalidArgument(
-            "seed vector is zero after deflation",
-        ));
-    }
-
-    let mut meter = budget
-        .with_max_iters(budget.max_iters.min(opts.max_iters))
-        .start();
     // Power residuals plateau legitimately under pure early stopping,
     // so only contamination and blow-up are treated as divergence.
-    let mut guard = ConvergenceGuard::new(GuardConfig::contamination_only());
-    let mut diags = Diagnostics::for_kernel("linalg.power");
-
-    let mut av = vec![0.0; n];
-    let mut r = vec![0.0; n];
-    let mut eigenvalue;
-    let mut residual;
-    let mut best: Option<PowerResult> = None;
-    let mut iterations = 0;
-
-    loop {
-        op.apply(&v, &mut av);
-        for u in &opts.deflate {
-            vector::deflate(&mut av, u);
-        }
-        eigenvalue = vector::dot(&v, &av);
-        r.copy_from_slice(&av);
-        vector::axpy(-eigenvalue, &v, &mut r);
-        residual = vector::norm2(&r);
-        iterations += 1;
-
-        diags.push_residual(residual);
-        if let GuardVerdict::Halt(cause) = guard.observe(residual) {
-            diags.absorb_meter(&meter);
-            return Ok(SolverOutcome::diverged(cause, diags));
-        }
-        if residual < best.as_ref().map_or(f64::INFINITY, |b| b.residual) {
-            best = Some(PowerResult {
-                eigenvalue,
-                eigenvector: v.clone(),
-                iterations,
-                residual,
-                converged: false,
-            });
-        }
-
-        let norm = vector::norm2(&av);
-        if norm < 1e-300 {
-            diags.note("seed fell into the null space of the deflated operator");
-            break;
-        }
-        vector::copy_div(norm, &av, &mut v);
-        if let GuardVerdict::Halt(cause) = ConvergenceGuard::check_finite(&v, iterations - 1) {
-            diags.absorb_meter(&meter);
-            return Ok(SolverOutcome::diverged(cause, diags));
-        }
-        if opts.tol > 0.0 && residual <= opts.tol {
-            break;
-        }
-        meter.tick_iter();
-        if let Some(exhausted) = meter.add_work(1) {
-            diags.absorb_meter(&meter);
-            let best_so_far = best.unwrap_or(PowerResult {
-                eigenvalue,
-                eigenvector: v,
-                iterations,
-                residual,
-                converged: false,
-            });
-            let certificate = Certificate::RayleighInterval {
-                center: best_so_far.eigenvalue,
-                radius: best_so_far.residual,
-            };
-            return Ok(SolverOutcome::exhausted(
-                best_so_far,
-                exhausted,
-                certificate,
-                diags,
-            ));
-        }
-    }
-
-    diags.absorb_meter(&meter);
-    diags.iterations = iterations;
-    let converged = opts.tol > 0.0 && residual <= opts.tol;
-    Ok(SolverOutcome::converged(
-        PowerResult {
-            eigenvalue,
-            eigenvector: v,
-            iterations,
-            residual,
-            converged,
-        },
-        diags,
-    ))
+    let mut ctx = KernelCtx::budgeted(
+        "linalg.power",
+        &budget.with_max_iters(budget.max_iters.min(opts.max_iters)),
+    )
+    .with_guard(GuardConfig::contamination_only());
+    power_method_ctx(op, v0, opts, &mut ctx)
 }
 
 /// Rayleigh quotient `xᵀAx / xᵀx`.

@@ -13,7 +13,7 @@ use crate::dense::DenseMatrix;
 use crate::vector;
 use crate::{LinOp, LinalgError, Result};
 use acir_runtime::{
-    Budget, Certificate, ConvergenceGuard, Diagnostics, DivergenceCause, GuardConfig, GuardVerdict,
+    Budget, Certificate, DivergenceCause, Exhaustion, GuardConfig, GuardVerdict, KernelCtx,
     RetryPolicy, SolverOutcome, Workspace,
 };
 
@@ -251,6 +251,41 @@ pub fn cg_ws(
     opts: &CgOptions,
     ws: &mut Workspace,
 ) -> Result<CgResult> {
+    let mut ctx = KernelCtx::new();
+    match cg_core(op, b, x0, opts, ws, &mut ctx)? {
+        SolverOutcome::Converged { value, .. } => Ok(value),
+        _ => unreachable!("an inert context can neither exhaust nor diverge"),
+    }
+}
+
+/// Conjugate gradient against an explicit [`KernelCtx`]: the unified
+/// entry point that every legacy variant wraps. Scratch comes from the
+/// context's pool override or the crate pool.
+///
+/// A metered context drives termination entirely through its budget —
+/// clamp the meter to `opts.max_iters` (as [`cg_budgeted`] does) if the
+/// options ceiling should still bind.
+pub fn cg_ctx(
+    op: &dyn LinOp,
+    b: &[f64],
+    x0: &[f64],
+    opts: &CgOptions,
+    ctx: &mut KernelCtx,
+) -> Result<SolverOutcome<CgResult>> {
+    ctx.scratch_pool_or(&crate::SCRATCH)
+        .with(|ws| cg_core(op, b, x0, opts, ws, ctx))
+}
+
+/// The single CG recurrence loop. Every public entry point funnels
+/// here; the context decides which concerns are live.
+fn cg_core(
+    op: &dyn LinOp,
+    b: &[f64],
+    x0: &[f64],
+    opts: &CgOptions,
+    ws: &mut Workspace,
+    ctx: &mut KernelCtx,
+) -> Result<SolverOutcome<CgResult>> {
     let n = op.dim();
     if b.len() != n || x0.len() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -268,12 +303,73 @@ pub fn cg_ws(
     vector::axpy(-1.0, &ap, &mut r);
     p.copy_from_slice(&r);
     let mut rs = vector::dot(&r, &r);
-    let mut iterations = 0;
+    // Initial matvec for the starting residual.
+    ctx.add_work(1);
 
-    while iterations < opts.max_iters && rs.sqrt() / bnorm > opts.tol {
+    enum Exit {
+        // Loop left normally: converged iff the final relative residual
+        // meets the tolerance.
+        Finished,
+        // The search direction died while numerically converged — a
+        // success even though the residual may sit just above `tol`.
+        ForcedConverged,
+        Diverged(DivergenceCause),
+        Exhausted(Exhaustion),
+    }
+
+    // Best iterate seen (smallest relative residual), kept only under a
+    // budget: it is what an exhausted outcome returns, and the upfront
+    // clone would break the plain path's allocation contract.
+    let mut best: Option<(Vec<f64>, f64)> = if ctx.is_metered() {
+        Some((x.clone(), rs.sqrt() / bnorm))
+    } else {
+        None
+    };
+    let mut iterations = 0;
+    let mut exit = Exit::Finished;
+    // CORE LOOP
+    loop {
+        let rel = rs.sqrt() / bnorm;
+        ctx.push_residual(rel);
+        if let GuardVerdict::Halt(cause) = ctx.observe(rel) {
+            exit = Exit::Diverged(cause);
+            break;
+        }
+        if let Some((best_x, best_rel)) = best.as_mut() {
+            if rel < *best_rel {
+                *best_rel = rel;
+                best_x.copy_from_slice(&x);
+            }
+        }
+        if rel <= opts.tol {
+            break;
+        }
+        if ctx.is_metered() {
+            ctx.tick_iter();
+            if let Some(exhausted) = ctx.add_work(1) {
+                exit = Exit::Exhausted(exhausted);
+                break;
+            }
+        } else if iterations >= opts.max_iters {
+            break;
+        }
+
         op.apply(&p, &mut ap);
         let pap = vector::dot(&p, &ap);
-        if pap.abs() < 1e-300 {
+        if ctx.is_guarded() {
+            if !pap.is_finite() || pap <= 0.0 {
+                if pap.abs() < 1e-300 && rel <= opts.tol.max(1e-12) {
+                    // Numerically converged; the direction just died first.
+                    exit = Exit::ForcedConverged;
+                } else {
+                    exit = Exit::Diverged(DivergenceCause::Breakdown {
+                        at_iter: iterations,
+                        what: "nonpositive-curvature direction (CG stall)",
+                    });
+                }
+                break;
+            }
+        } else if pap.abs() < 1e-300 {
             break; // Direction in (numerical) null space; cannot proceed.
         }
         let alpha = rs / pap;
@@ -289,13 +385,38 @@ pub fn cg_ws(
     ws.put_f64(p);
     ws.put_f64(ap);
 
-    let relative_residual = rs.sqrt() / bnorm;
-    Ok(CgResult {
-        x,
-        iterations,
-        relative_residual,
-        converged: relative_residual <= opts.tol,
-    })
+    let mut diags = ctx.finish();
+    match exit {
+        Exit::Diverged(cause) => Ok(SolverOutcome::diverged(cause, diags)),
+        Exit::Exhausted(exhausted) => {
+            let (best_x, best_rel) = best.unwrap_or_else(|| (x, rs.sqrt() / bnorm));
+            Ok(SolverOutcome::exhausted(
+                CgResult {
+                    x: best_x,
+                    iterations,
+                    relative_residual: best_rel,
+                    converged: false,
+                },
+                exhausted,
+                Certificate::ResidualNorm { value: best_rel },
+                diags,
+            ))
+        }
+        Exit::Finished | Exit::ForcedConverged => {
+            diags.iterations = iterations;
+            let relative_residual = rs.sqrt() / bnorm;
+            let converged = matches!(exit, Exit::ForcedConverged) || relative_residual <= opts.tol;
+            Ok(SolverOutcome::converged(
+                CgResult {
+                    x,
+                    iterations,
+                    relative_residual,
+                    converged,
+                },
+                diags,
+            ))
+        }
+    }
 }
 
 /// Conjugate gradient under an explicit resource [`Budget`], with
@@ -317,109 +438,12 @@ pub fn cg_budgeted(
     opts: &CgOptions,
     budget: &Budget,
 ) -> Result<SolverOutcome<CgResult>> {
-    let n = op.dim();
-    if b.len() != n || x0.len() != n {
-        return Err(LinalgError::DimensionMismatch {
-            expected: n,
-            found: if b.len() != n { b.len() } else { x0.len() },
-        });
-    }
-    let bnorm = vector::norm2(b).max(f64::MIN_POSITIVE);
-    let mut x = x0.to_vec();
-    let mut r = b.to_vec();
-    let ax = op.apply_vec(&x);
-    vector::axpy(-1.0, &ax, &mut r);
-    let mut p = r.clone();
-    let mut rs = vector::dot(&r, &r);
-
-    let mut meter = budget
-        .with_max_iters(budget.max_iters.min(opts.max_iters))
-        .start();
-    let mut guard = ConvergenceGuard::new(GuardConfig::default());
-    let mut diags = Diagnostics::for_kernel("linalg.cg");
-    // Initial matvec for the starting residual.
-    meter.add_work(1);
-
-    let mut best_x = x.clone();
-    let mut best_rel = rs.sqrt() / bnorm;
-    let mut iterations = 0;
-    let mut ap = vec![0.0; n];
-
-    loop {
-        let rel = rs.sqrt() / bnorm;
-        diags.push_residual(rel);
-        if let GuardVerdict::Halt(cause) = guard.observe(rel) {
-            diags.absorb_meter(&meter);
-            return Ok(SolverOutcome::diverged(cause, diags));
-        }
-        if rel < best_rel {
-            best_rel = rel;
-            best_x.copy_from_slice(&x);
-        }
-        if rel <= opts.tol {
-            diags.absorb_meter(&meter);
-            diags.iterations = iterations;
-            return Ok(SolverOutcome::converged(
-                CgResult {
-                    x,
-                    iterations,
-                    relative_residual: rel,
-                    converged: true,
-                },
-                diags,
-            ));
-        }
-        meter.tick_iter();
-        if let Some(exhausted) = meter.add_work(1) {
-            diags.absorb_meter(&meter);
-            return Ok(SolverOutcome::exhausted(
-                CgResult {
-                    x: best_x,
-                    iterations,
-                    relative_residual: best_rel,
-                    converged: false,
-                },
-                exhausted,
-                Certificate::ResidualNorm { value: best_rel },
-                diags,
-            ));
-        }
-
-        op.apply(&p, &mut ap);
-        let pap = vector::dot(&p, &ap);
-        if !pap.is_finite() || pap <= 0.0 {
-            if pap.abs() < 1e-300 && rel <= opts.tol.max(1e-12) {
-                // Numerically converged; the direction just died first.
-                diags.absorb_meter(&meter);
-                diags.iterations = iterations;
-                return Ok(SolverOutcome::converged(
-                    CgResult {
-                        x,
-                        iterations,
-                        relative_residual: rel,
-                        converged: true,
-                    },
-                    diags,
-                ));
-            }
-            diags.absorb_meter(&meter);
-            return Ok(SolverOutcome::diverged(
-                DivergenceCause::Breakdown {
-                    at_iter: iterations,
-                    what: "nonpositive-curvature direction (CG stall)",
-                },
-                diags,
-            ));
-        }
-        let alpha = rs / pap;
-        vector::axpy(alpha, &p, &mut x);
-        vector::axpy(-alpha, &ap, &mut r);
-        let rs_new = vector::dot(&r, &r);
-        let beta = rs_new / rs;
-        vector::axpby(1.0, &r, beta, &mut p);
-        rs = rs_new;
-        iterations += 1;
-    }
+    let mut ctx = KernelCtx::budgeted(
+        "linalg.cg",
+        &budget.with_max_iters(budget.max_iters.min(opts.max_iters)),
+    )
+    .with_guard(GuardConfig::default());
+    cg_ctx(op, b, x0, opts, &mut ctx)
 }
 
 /// CG with the stall-recovery escalation ladder: on divergence

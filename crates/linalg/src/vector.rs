@@ -18,7 +18,7 @@
 //!
 //! The elementwise updates ([`axpy`], [`scale`], [`hadamard`]) have no
 //! cross-element data flow, so they fan out on the ambient
-//! [`ExecPool`](acir_exec::ExecPool) once a vector is long enough to pay
+//! [`ExecPool`] once a vector is long enough to pay
 //! for it — with per-element arithmetic unchanged, hence bit-identical
 //! at every thread count.
 

@@ -15,14 +15,14 @@
 //! regularizers — and both are exposed as parameters.
 
 use crate::{LocalError, Result};
-use acir_graph::{Graph, NodeId, Permutation};
+use acir_graph::{Graph, NodeId, NodeValued};
 use acir_runtime::{
-    Budget, Certificate, Diagnostics, DivergenceCause, SolverOutcome, StampedSet, StampedVec,
-    WorkspacePool,
+    Budget, Certificate, DivergenceCause, Exhaustion, GuardConfig, KernelCtx, SolverOutcome,
+    StampedSet, StampedVec, WorkspacePool,
 };
 
 /// Output of [`hk_relax`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct HkRelaxResult {
     /// Approximate heat-kernel vector as sorted `(node, value)` pairs.
     pub vector: Vec<(NodeId, f64)>,
@@ -36,26 +36,15 @@ pub struct HkRelaxResult {
     pub touched: usize,
 }
 
-impl HkRelaxResult {
-    /// Densify to length `n`.
-    pub fn to_dense(&self, n: usize) -> Vec<f64> {
-        let mut v = vec![0.0; n];
-        for &(u, x) in &self.vector {
-            v[u as usize] = x;
-        }
-        v
+/// `to_dense` / `scale` / `map_back` come from the shared
+/// [`NodeValued`] trait.
+impl NodeValued for HkRelaxResult {
+    fn node_values(&self) -> &[(NodeId, f64)] {
+        &self.vector
     }
 
-    /// Map a result computed on `g.permute(perm)` back to the original
-    /// vertex ids.
-    pub fn map_back(&self, perm: &Permutation) -> HkRelaxResult {
-        HkRelaxResult {
-            vector: perm.unmap_sparse(&self.vector),
-            terms: self.terms,
-            mass_lost: self.mass_lost,
-            work: self.work,
-            touched: self.touched,
-        }
+    fn node_values_mut(&mut self) -> &mut Vec<(NodeId, f64)> {
+        &mut self.vector
     }
 }
 
@@ -110,7 +99,9 @@ pub fn hk_relax(
     tail_tol: f64,
 ) -> Result<HkRelaxResult> {
     validate_hk_args(g, seed, t, epsilon, tail_tol)?;
-    Ok(HK_POOL.with(|ws| hk_unchecked(g, seed, t, epsilon, tail_tol, ws)))
+    let mut ctx = KernelCtx::new();
+    let (result, _exit) = HK_POOL.with(|ws| hk_core(g, seed, t, epsilon, tail_tol, ws, &mut ctx));
+    Ok(result)
 }
 
 /// Parameter validation shared by the pooled and budgeted entry points.
@@ -138,6 +129,16 @@ fn validate_hk_args(g: &Graph, seed: NodeId, t: f64, epsilon: f64, tail_tol: f64
     Ok(())
 }
 
+/// How the single truncated-Taylor core loop exited.
+enum HkExit {
+    /// All Taylor terms delivered (or the support emptied early).
+    Done,
+    /// Budget ran out; the accumulated partial diffusion was harvested.
+    Exhausted(Exhaustion),
+    /// NaN/Inf contamination of the propagated term (guarded contexts).
+    Diverged(DivergenceCause),
+}
+
 /// The truncated-Taylor loop on stamped scratch. Inputs pre-validated.
 ///
 /// Arithmetic, truncation decisions, and accumulation order match the
@@ -148,14 +149,21 @@ fn validate_hk_args(g: &Graph, seed: NodeId, t: f64, epsilon: f64, tail_tol: f64
 /// ascending order the dense `0..n` filter did), so results are
 /// bit-identical to it while per-call work and allocations stay
 /// proportional to the touched set.
-fn hk_unchecked(
+///
+/// The [`KernelCtx`] supplies the cross-cutting concerns: metering (one
+/// iteration per Taylor term, one work unit per edge traversal),
+/// residual recording of the undelivered mass, and — when a guard is
+/// attached — finiteness scans of every contribution and propagated
+/// entry. An inert context runs the historical plain loop exactly.
+fn hk_core(
     g: &Graph,
     seed: NodeId,
     t: f64,
     epsilon: f64,
     tail_tol: f64,
     ws: &mut HkWorkspace,
-) -> HkRelaxResult {
+    ctx: &mut KernelCtx,
+) -> (HkRelaxResult, HkExit) {
     let n = g.n();
     let terms = taylor_terms(t, tail_tol);
     // h accumulates e^{−t} Σ coeff_k q_k with q_0 = s, q_{k+1} = P q_k.
@@ -174,20 +182,37 @@ fn hk_unchecked(
     let mut coeff = e_neg_t; // e^{−t} t^k / k! at k = 0
     let mut accounted = 0.0; // mass placed into h
     let mut work = 0usize;
+    let mut used_terms = terms;
+    let mut exit = HkExit::Done;
 
-    for k in 0..=terms {
+    // CORE LOOP
+    'terms: for k in 0..=terms {
         for &u in &ws.support {
             let qu = ws.q.get(u as usize);
-            if ws.h.add(u as usize, coeff * qu) {
+            let contribution = coeff * qu;
+            if ctx.is_guarded() && !contribution.is_finite() {
+                exit = HkExit::Diverged(DivergenceCause::NonFiniteIterate { at_iter: k });
+                break 'terms;
+            }
+            if ws.h.add(u as usize, contribution) {
                 ws.h_touched.push(u);
             }
-            accounted += coeff * qu;
+            accounted += contribution;
         }
+        ctx.push_residual((1.0 - accounted).max(0.0));
         if k == terms {
+            break;
+        }
+        ctx.tick_iter();
+        if let Some(exhausted) = ctx.check_budget() {
+            ctx.note_with(|| format!("stopped after Taylor term {k} of {terms}"));
+            used_terms = k + 1;
+            exit = HkExit::Exhausted(exhausted);
             break;
         }
         // Propagate one walk step with ε-truncation.
         ws.next_support.clear();
+        let mut traversals = 0u64;
         for &u in &ws.support {
             let qu = ws.q.get(u as usize);
             if qu == 0.0 {
@@ -196,13 +221,26 @@ fn hk_unchecked(
             let du = g.degree(u);
             for (v, w) in g.neighbors(u) {
                 work += 1;
+                traversals += 1;
                 if ws.next.add(v as usize, qu * w / du) {
                     ws.next_support.push(v);
                 }
             }
         }
+        if let Some(exhausted) = ctx.add_work(traversals) {
+            // The work axis ran out mid-term: the already-accumulated h
+            // (through term k) is still a valid truncation.
+            ctx.note_with(|| format!("work exhausted propagating term {k}"));
+            used_terms = k + 1;
+            exit = HkExit::Exhausted(exhausted);
+            break;
+        }
         ws.kept.clear();
         for &v in &ws.next_support {
+            if ctx.is_guarded() && !ws.next.get(v as usize).is_finite() {
+                exit = HkExit::Diverged(DivergenceCause::NonFiniteIterate { at_iter: k });
+                break 'terms;
+            }
             if ws.next.get(v as usize) >= epsilon * g.degree(v) {
                 ws.kept.push(v);
                 if ws.ever.insert(v as usize) {
@@ -223,6 +261,17 @@ fn hk_unchecked(
         }
     }
 
+    if let HkExit::Diverged(_) = exit {
+        let empty = HkRelaxResult {
+            vector: Vec::new(),
+            terms: 0,
+            mass_lost: 0.0,
+            work: 0,
+            touched: 0,
+        };
+        return (empty, exit);
+    }
+
     ws.h_touched.sort_unstable();
     let mut vector: Vec<(NodeId, f64)> = Vec::with_capacity(ws.h_touched.len());
     for &u in &ws.h_touched {
@@ -232,13 +281,14 @@ fn hk_unchecked(
         }
     }
 
-    HkRelaxResult {
+    let result = HkRelaxResult {
         vector,
-        terms,
+        terms: used_terms,
         mass_lost: (1.0 - accounted).max(0.0),
         work,
         touched: ever_count,
-    }
+    };
+    (result, exit)
 }
 
 /// Truncated heat-kernel diffusion under an explicit resource
@@ -260,145 +310,42 @@ pub fn hk_relax_budgeted(
     tail_tol: f64,
     budget: &Budget,
 ) -> Result<SolverOutcome<HkRelaxResult>> {
-    let n = g.n();
+    // Guard present so the per-contribution finiteness scans run.
+    let mut ctx =
+        KernelCtx::budgeted("local.hk_relax", budget).with_guard(GuardConfig::contamination_only());
+    hk_relax_ctx(g, seed, t, epsilon, tail_tol, &mut ctx)
+}
+
+/// Context-driven truncated heat-kernel diffusion: the [`KernelCtx`]
+/// decides whether the run is metered, guarded, or traced. Scratch is
+/// drawn from the module pool.
+pub fn hk_relax_ctx(
+    g: &Graph,
+    seed: NodeId,
+    t: f64,
+    epsilon: f64,
+    tail_tol: f64,
+    ctx: &mut KernelCtx,
+) -> Result<SolverOutcome<HkRelaxResult>> {
     validate_hk_args(g, seed, t, epsilon, tail_tol)?;
-
-    let terms = taylor_terms(t, tail_tol);
-    let mut h = vec![0.0f64; n];
-    let mut q = vec![0.0f64; n];
-    let mut next = vec![0.0f64; n];
-    let mut support: Vec<NodeId> = vec![seed];
-    let mut ever_touched = vec![false; n];
-    ever_touched[seed as usize] = true;
-    q[seed as usize] = 1.0;
-
-    let e_neg_t = (-t).exp();
-    let mut coeff = e_neg_t;
-    let mut accounted = 0.0;
-    let mut work = 0usize;
-    let mut meter = budget.start();
-    let mut diags = Diagnostics::for_kernel("local.hk_relax");
-
-    let finish = |h: &[f64],
-                  ever_touched: &[bool],
-                  terms: usize,
-                  accounted: f64,
-                  work: usize|
-     -> HkRelaxResult {
-        let mut vector: Vec<(NodeId, f64)> = h
-            .iter()
-            .enumerate()
-            .filter(|&(_, &x)| x > 0.0)
-            .map(|(u, &x)| (u as NodeId, x))
-            .collect();
-        vector.sort_unstable_by_key(|&(u, _)| u);
-        HkRelaxResult {
-            vector,
-            terms,
-            mass_lost: (1.0 - accounted).max(0.0),
-            work,
-            touched: ever_touched.iter().filter(|&&b| b).count(),
-        }
-    };
-
-    for k in 0..=terms {
-        for &u in &support {
-            let contribution = coeff * q[u as usize];
-            if !contribution.is_finite() {
-                diags.absorb_meter(&meter);
-                return Ok(SolverOutcome::diverged(
-                    DivergenceCause::NonFiniteIterate { at_iter: k },
-                    diags,
-                ));
-            }
-            h[u as usize] += contribution;
-            accounted += contribution;
-        }
-        diags.push_residual((1.0 - accounted).max(0.0));
-        if k == terms {
-            break;
-        }
-        meter.tick_iter();
-        if let Some(exhausted) = meter.check() {
-            diags.absorb_meter(&meter);
-            diags.note(format!("stopped after Taylor term {k} of {terms}"));
-            return Ok(SolverOutcome::exhausted(
-                finish(&h, &ever_touched, k + 1, accounted, work),
+    let (result, exit) = HK_POOL.with(|ws| hk_core(g, seed, t, epsilon, tail_tol, ws, ctx));
+    let diags = ctx.finish();
+    Ok(match exit {
+        HkExit::Done => SolverOutcome::converged(result, diags),
+        HkExit::Exhausted(exhausted) => {
+            let remaining = result.mass_lost;
+            SolverOutcome::exhausted(
+                result,
                 exhausted,
                 Certificate::ResidualMass {
-                    remaining: (1.0 - accounted).max(0.0),
+                    remaining,
                     per_degree_bound: epsilon,
                 },
                 diags,
-            ));
+            )
         }
-        let mut next_support: Vec<NodeId> = Vec::with_capacity(support.len() * 2);
-        let mut traversals = 0u64;
-        for &u in &support {
-            let qu = q[u as usize];
-            if qu == 0.0 {
-                continue;
-            }
-            let du = g.degree(u);
-            for (v, w) in g.neighbors(u) {
-                work += 1;
-                traversals += 1;
-                if next[v as usize] == 0.0 {
-                    next_support.push(v);
-                }
-                next[v as usize] += qu * w / du;
-            }
-        }
-        if let Some(exhausted) = meter.add_work(traversals) {
-            // The work axis ran out mid-term: the already-accumulated h
-            // (through term k) is still a valid truncation.
-            diags.absorb_meter(&meter);
-            diags.note(format!("work exhausted propagating term {k}"));
-            return Ok(SolverOutcome::exhausted(
-                finish(&h, &ever_touched, k + 1, accounted, work),
-                exhausted,
-                Certificate::ResidualMass {
-                    remaining: (1.0 - accounted).max(0.0),
-                    per_degree_bound: epsilon,
-                },
-                diags,
-            ));
-        }
-        let mut kept = Vec::with_capacity(next_support.len());
-        for &v in &next_support {
-            if !next[v as usize].is_finite() {
-                diags.absorb_meter(&meter);
-                return Ok(SolverOutcome::diverged(
-                    DivergenceCause::NonFiniteIterate { at_iter: k },
-                    diags,
-                ));
-            }
-            if next[v as usize] >= epsilon * g.degree(v) {
-                kept.push(v);
-                ever_touched[v as usize] = true;
-            } else {
-                next[v as usize] = 0.0;
-            }
-        }
-        for &u in &support {
-            q[u as usize] = 0.0;
-        }
-        for &v in &kept {
-            q[v as usize] = next[v as usize];
-            next[v as usize] = 0.0;
-        }
-        support = kept;
-        coeff *= t / (k + 1) as f64;
-        if support.is_empty() {
-            break;
-        }
-    }
-
-    diags.absorb_meter(&meter);
-    Ok(SolverOutcome::converged(
-        finish(&h, &ever_touched, terms, accounted, work),
-        diags,
-    ))
+        HkExit::Diverged(cause) => SolverOutcome::diverged(cause, diags),
+    })
 }
 
 #[cfg(test)]

@@ -34,13 +34,15 @@ pub mod nibble;
 pub mod push;
 pub mod sweep;
 
-pub use hkrelax::{hk_relax, hk_relax_budgeted, HkRelaxResult, HkWorkspace};
+pub use acir_graph::NodeValued;
+pub use hkrelax::{hk_relax, hk_relax_budgeted, hk_relax_ctx, HkRelaxResult, HkWorkspace};
 pub use mov::{mov_vector, MovResult};
-pub use nibble::{nibble, NibbleResult};
+pub use nibble::{nibble, nibble_budgeted, nibble_ctx, NibbleResult};
 pub use push::{
-    ppr_push, ppr_push_batch, ppr_push_budgeted, ppr_push_ws, PushResult, PushWorkspace,
+    ppr_push, ppr_push_batch, ppr_push_budgeted, ppr_push_ctx, ppr_push_ws, PushResult,
+    PushWorkspace,
 };
-pub use sweep::{sweep_cut, sweep_cut_sparse, sweep_cut_support, SweepResult};
+pub use sweep::{sweep_cut, sweep_cut_ctx, sweep_cut_sparse, sweep_cut_support, SweepResult};
 
 /// Errors from the local-methods layer.
 #[derive(Debug, Clone, PartialEq)]

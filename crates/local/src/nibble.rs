@@ -10,8 +10,11 @@
 
 use crate::sweep::sweep_cut_sparse;
 use crate::{LocalError, Result};
-use acir_graph::{Graph, NodeId};
-use acir_runtime::{StampedVec, WorkspacePool};
+use acir_graph::{Graph, NodeId, NodeValued, Permutation};
+use acir_runtime::{
+    Budget, Certificate, DivergenceCause, Exhaustion, GuardConfig, KernelCtx, SolverOutcome,
+    StampedVec, WorkspacePool,
+};
 
 /// Output of [`nibble`].
 #[derive(Debug, Clone)]
@@ -32,11 +35,39 @@ pub struct NibbleResult {
     pub max_support: usize,
 }
 
+/// `to_dense` / `scale` come from the shared [`NodeValued`] trait;
+/// `map_back` is overridden because the best-cluster `set` names
+/// nodes too and must be remapped alongside the distribution.
+impl NodeValued for NibbleResult {
+    fn node_values(&self) -> &[(NodeId, f64)] {
+        &self.vector
+    }
+
+    fn node_values_mut(&mut self) -> &mut Vec<(NodeId, f64)> {
+        &mut self.vector
+    }
+
+    fn map_back(&self, perm: &Permutation) -> Self {
+        let mut out = self.clone();
+        out.vector = perm.unmap_sparse(&self.vector);
+        out.set = perm.unmap_nodes(&self.set);
+        out
+    }
+}
+
 /// Run truncated lazy random walks from `seed` for `steps` steps with
 /// truncation threshold `epsilon` and holding probability 1/2.
 ///
 /// Errors on bad parameters or a degree-0/out-of-range seed.
 pub fn nibble(g: &Graph, seed: NodeId, steps: usize, epsilon: f64) -> Result<NibbleResult> {
+    validate_nibble_args(g, seed, steps, epsilon)?;
+    let mut ctx = KernelCtx::new();
+    let (result, _exit) = NIBBLE_POOL.with(|ws| nibble_core(g, seed, steps, epsilon, ws, &mut ctx));
+    Ok(result)
+}
+
+/// Parameter validation shared by every nibble entry point.
+fn validate_nibble_args(g: &Graph, seed: NodeId, steps: usize, epsilon: f64) -> Result<()> {
     let n = g.n();
     if seed as usize >= n {
         return Err(LocalError::InvalidArgument(format!(
@@ -56,8 +87,56 @@ pub fn nibble(g: &Graph, seed: NodeId, steps: usize, epsilon: f64) -> Result<Nib
             "epsilon must be positive, got {epsilon}"
         )));
     }
+    Ok(())
+}
 
-    NIBBLE_POOL.with(|ws| nibble_unchecked(g, seed, steps, epsilon, ws))
+/// Truncated random walks under an explicit resource [`Budget`].
+///
+/// Each walk step costs one iteration; each edge traversal costs one
+/// work unit. On exhaustion the best cluster seen so far is returned
+/// with a [`Certificate::ResidualMass`] recording the truncation leak —
+/// a walk stopped early is just a harder truncation of the same
+/// diffusion. NaN/Inf contamination diverges.
+pub fn nibble_budgeted(
+    g: &Graph,
+    seed: NodeId,
+    steps: usize,
+    epsilon: f64,
+    budget: &Budget,
+) -> Result<SolverOutcome<NibbleResult>> {
+    let mut ctx =
+        KernelCtx::budgeted("local.nibble", budget).with_guard(GuardConfig::contamination_only());
+    nibble_ctx(g, seed, steps, epsilon, &mut ctx)
+}
+
+/// Context-driven truncated random walks: the [`KernelCtx`] decides
+/// whether the run is metered, guarded, or traced.
+pub fn nibble_ctx(
+    g: &Graph,
+    seed: NodeId,
+    steps: usize,
+    epsilon: f64,
+    ctx: &mut KernelCtx,
+) -> Result<SolverOutcome<NibbleResult>> {
+    validate_nibble_args(g, seed, steps, epsilon)?;
+    let (result, exit) = NIBBLE_POOL.with(|ws| nibble_core(g, seed, steps, epsilon, ws, ctx));
+    let diags = ctx.finish();
+    Ok(match exit {
+        NibbleExit::Done => SolverOutcome::converged(result, diags),
+        NibbleExit::Exhausted(exhausted) => {
+            let remaining = result.mass_lost;
+            SolverOutcome::exhausted(
+                result,
+                exhausted,
+                Certificate::ResidualMass {
+                    remaining,
+                    per_degree_bound: epsilon,
+                },
+                diags,
+            )
+        }
+        NibbleExit::Diverged(cause) => SolverOutcome::diverged(cause, diags),
+    })
 }
 
 /// Reusable scratch for [`nibble`]: the current and next distributions
@@ -74,6 +153,16 @@ struct NibbleWorkspace {
 
 static NIBBLE_POOL: WorkspacePool<NibbleWorkspace> = WorkspacePool::new();
 
+/// How the single truncated-walk core loop exited.
+enum NibbleExit {
+    /// All steps ran (or the walk truncated away entirely).
+    Done,
+    /// Budget ran out; the best cluster seen so far was harvested.
+    Exhausted(Exhaustion),
+    /// NaN/Inf contamination of the distribution (guarded contexts).
+    Diverged(DivergenceCause),
+}
+
 /// The truncated-walk loop on stamped scratch (inputs pre-validated).
 /// Bit-identical to the historical dense implementation: stamped resets
 /// read like fresh zeroed arrays, first touch coincides with the old
@@ -81,13 +170,19 @@ static NIBBLE_POOL: WorkspacePool<NibbleWorkspace> = WorkspacePool::new();
 /// per-step sweep runs over exactly the support the dense `0..n` filter
 /// found — the sweep's ordering is a strict total order (ratio
 /// descending, id ascending), so candidate input order cannot matter.
-fn nibble_unchecked(
+///
+/// The [`KernelCtx`] supplies the cross-cutting concerns: metering (one
+/// iteration per walk step, one work unit per edge traversal), residual
+/// recording of the truncation leak, and finiteness scans when a guard
+/// is attached. An inert context runs the historical loop exactly.
+fn nibble_core(
     g: &Graph,
     seed: NodeId,
     steps: usize,
     epsilon: f64,
     ws: &mut NibbleWorkspace,
-) -> Result<NibbleResult> {
+    ctx: &mut KernelCtx,
+) -> (NibbleResult, NibbleExit) {
     let n = g.n();
     ws.q.reset(n);
     ws.next.reset(n);
@@ -99,11 +194,14 @@ fn nibble_unchecked(
     let mut mass_lost = 0.0;
     let mut work = 0usize;
     let mut max_support = 1usize;
+    let mut exit = NibbleExit::Done;
 
-    for step in 1..=steps {
+    // CORE LOOP
+    'steps: for step in 1..=steps {
         // One lazy step over the support: next = (q + M q)/2 restricted
         // to the out-neighborhood of the support.
         ws.next_support.clear();
+        let mut traversals = 0u64;
         for &u in &ws.support {
             let qu = ws.q.get(u as usize);
             if qu == 0.0 {
@@ -116,6 +214,7 @@ fn nibble_unchecked(
             let du = g.degree(u);
             for (v, w) in g.neighbors(u) {
                 work += 1;
+                traversals += 1;
                 if ws.next.add(v as usize, 0.5 * qu * w / du) {
                     ws.next_support.push(v);
                 }
@@ -126,6 +225,10 @@ fn nibble_unchecked(
         ws.kept.clear();
         for &v in &ws.next_support {
             let x = ws.next.get(v as usize);
+            if ctx.is_guarded() && !x.is_finite() {
+                exit = NibbleExit::Diverged(DivergenceCause::NonFiniteIterate { at_iter: step });
+                break 'steps;
+            }
             if x < epsilon * g.degree(v) {
                 mass_lost += x;
             } else if x > 0.0 {
@@ -141,6 +244,7 @@ fn nibble_unchecked(
         ws.next.reset(n);
         std::mem::swap(&mut ws.support, &mut ws.kept);
         max_support = max_support.max(ws.support.len());
+        ctx.push_residual(mass_lost);
         if ws.support.is_empty() {
             break; // everything truncated away
         }
@@ -150,13 +254,35 @@ fn nibble_unchecked(
         ws.pairs
             .extend(ws.support.iter().map(|&u| (u, ws.q.get(u as usize))));
         let sr = sweep_cut_sparse(g, &ws.pairs);
-        if sr.set.is_empty() {
-            continue;
+        if let Some(d) = ctx.diags_mut() {
+            d.sweep_cut(sr.set.len(), sr.conductance);
         }
-        match &best {
-            Some((_, phi, _)) if *phi <= sr.conductance => {}
-            _ => best = Some((sr.set, sr.conductance, step)),
+        if !sr.set.is_empty() {
+            match &best {
+                Some((_, phi, _)) if *phi <= sr.conductance => {}
+                _ => best = Some((sr.set, sr.conductance, step)),
+            }
         }
+
+        ctx.tick_iter();
+        if let Some(exhausted) = ctx.add_work(traversals) {
+            ctx.note_with(|| format!("stopped after walk step {step} of {steps}"));
+            exit = NibbleExit::Exhausted(exhausted);
+            break;
+        }
+    }
+
+    if let NibbleExit::Diverged(_) = exit {
+        let empty = NibbleResult {
+            set: Vec::new(),
+            conductance: f64::INFINITY,
+            best_step: 0,
+            vector: Vec::new(),
+            mass_lost: 0.0,
+            work: 0,
+            max_support: 0,
+        };
+        return (empty, exit);
     }
 
     let (set, conductance, best_step) = best.unwrap_or((vec![seed], f64::INFINITY, 0));
@@ -168,7 +294,7 @@ fn nibble_unchecked(
         .collect();
     vector.sort_unstable_by_key(|&(u, _)| u);
 
-    Ok(NibbleResult {
+    let result = NibbleResult {
         set,
         conductance,
         best_step,
@@ -176,7 +302,8 @@ fn nibble_unchecked(
         mass_lost,
         work,
         max_support,
-    })
+    };
+    (result, exit)
 }
 
 #[cfg(test)]

@@ -22,15 +22,15 @@
 //! `‖D⁻¹(pr_α(s) − p)‖_∞ ≤ ε`.
 
 use crate::{LocalError, Result};
-use acir_graph::{Graph, NodeId, Permutation};
+use acir_graph::{Graph, NodeId, NodeValued};
 use acir_runtime::{
-    Budget, Certificate, Diagnostics, DivergenceCause, SolverOutcome, StampedSet, StampedVec,
-    WorkspacePool,
+    Budget, Certificate, DivergenceCause, Exhaustion, GuardConfig, KernelCtx, SolverOutcome,
+    StampedSet, StampedVec, WorkspacePool,
 };
 use std::collections::VecDeque;
 
 /// Output of [`ppr_push`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PushResult {
     /// The approximate PPR vector, stored sparsely as sorted
     /// `(node, value)` pairs (its support is the touched set).
@@ -50,41 +50,20 @@ impl PushResult {
     /// [`ppr_push_ws`] (steady-state calls then reuse its capacity and
     /// perform no heap allocation at all).
     pub fn empty() -> Self {
-        PushResult {
-            vector: Vec::new(),
-            residual_mass: 0.0,
-            pushes: 0,
-            work: 0,
-            touched: 0,
-        }
-    }
-
-    /// Densify to a full-length vector (for sweeps over large graphs
-    /// prefer [`crate::sweep::sweep_cut_support`] on this).
-    pub fn to_dense(&self, n: usize) -> Vec<f64> {
-        let mut v = vec![0.0; n];
-        for &(u, x) in &self.vector {
-            v[u as usize] = x;
-        }
-        v
-    }
-
-    /// Map a result computed on `g.permute(perm)` back to the original
-    /// vertex ids (scalars are layout-independent and carry over).
-    pub fn map_back(&self, perm: &Permutation) -> PushResult {
-        PushResult {
-            vector: perm.unmap_sparse(&self.vector),
-            residual_mass: self.residual_mass,
-            pushes: self.pushes,
-            work: self.work,
-            touched: self.touched,
-        }
+        Self::default()
     }
 }
 
-impl Default for PushResult {
-    fn default() -> Self {
-        Self::empty()
+/// `to_dense` / `scale` / `map_back` come from the shared
+/// [`NodeValued`] trait; for sweeps over large graphs prefer
+/// [`crate::sweep::sweep_cut_support`] on the dense form.
+impl NodeValued for PushResult {
+    fn node_values(&self) -> &[(NodeId, f64)] {
+        &self.vector
+    }
+
+    fn node_values_mut(&mut self) -> &mut Vec<(NodeId, f64)> {
+        &mut self.vector
     }
 }
 
@@ -130,7 +109,8 @@ static PUSH_POOL: WorkspacePool<PushWorkspace> = WorkspacePool::new();
 pub fn ppr_push(g: &Graph, seeds: &[NodeId], alpha: f64, epsilon: f64) -> Result<PushResult> {
     validate_push_args(g, seeds, alpha, epsilon)?;
     let mut out = PushResult::empty();
-    PUSH_POOL.with(|ws| push_unchecked(g, seeds, alpha, epsilon, ws, &mut out))?;
+    let mut ctx = KernelCtx::new();
+    PUSH_POOL.with(|ws| push_core(g, seeds, alpha, epsilon, ws, &mut out, &mut ctx))?;
     Ok(out)
 }
 
@@ -151,7 +131,9 @@ pub fn ppr_push_ws(
     out: &mut PushResult,
 ) -> Result<()> {
     validate_push_args(g, seeds, alpha, epsilon)?;
-    push_unchecked(g, seeds, alpha, epsilon, ws, out)
+    let mut ctx = KernelCtx::new();
+    push_core(g, seeds, alpha, epsilon, ws, out, &mut ctx)?;
+    Ok(())
 }
 
 /// Parameter and seed validation shared by every push entry point, and
@@ -186,6 +168,21 @@ fn validate_push_args(g: &Graph, seeds: &[NodeId], alpha: f64, epsilon: f64) -> 
     Ok(())
 }
 
+/// How the single ACL core loop exited (inert contexts only ever `Done`).
+enum PushExit {
+    /// Every residual fell below `ε·d`: the full ACL guarantee holds.
+    Done,
+    /// Budget ran out mid-diffusion; the partial vector was harvested
+    /// and the certificate ingredients captured at the exit point.
+    Exhausted {
+        exhausted: Exhaustion,
+        remaining: f64,
+        per_degree_bound: f64,
+    },
+    /// Contamination or a violated push bound (guarded contexts only).
+    Diverged(DivergenceCause),
+}
+
 /// The ACL loop on stamped scratch. Inputs are pre-validated.
 ///
 /// Work is `O(|touched| + Σ pushed degrees)`: the stamped arrays reset
@@ -196,14 +193,22 @@ fn validate_push_args(g: &Graph, seeds: &[NodeId], alpha: f64, epsilon: f64) -> 
 /// so results are bit-identical to it (untouched entries read as the
 /// literal `0.0` the dense arrays held, and adding `0.0` to the
 /// residual sum was an exact no-op for the nonnegative residuals).
-fn push_unchecked(
+///
+/// The [`KernelCtx`] decides which cross-cutting concerns run: an inert
+/// context performs no metering, no residual recording, and no
+/// finiteness scans — and allocates nothing, preserving the
+/// zero-allocation guarantee of [`ppr_push_ws`]. A guarded context gets
+/// the budgeted path's NaN/Inf checks and turns the push-bound guard
+/// into a structured divergence instead of an error.
+fn push_core(
     g: &Graph,
     seeds: &[NodeId],
     alpha: f64,
     epsilon: f64,
     ws: &mut PushWorkspace,
     out: &mut PushResult,
-) -> Result<()> {
+    ctx: &mut KernelCtx,
+) -> Result<PushExit> {
     let n = g.n();
     ws.p.reset(n);
     ws.r.reset(n);
@@ -227,18 +232,35 @@ fn push_unchecked(
 
     let mut pushes = 0usize;
     let mut work = 0usize;
+    // Tracked incrementally: each push moves exactly α·r[u] into p.
+    // Only observed by metered/traced contexts (residual recording and
+    // the exhaustion certificate); plain scalar arithmetic otherwise.
+    let mut residual_mass = 1.0f64;
     // Hard safety cap well above the theoretical O(1/(εα)) push bound.
     let push_cap = ((4.0 / (epsilon * alpha)).ceil() as usize).saturating_add(16);
+    let mut exit = PushExit::Done;
 
+    // CORE LOOP
     while let Some(u) = ws.queue.pop_front() {
         ws.in_queue.remove(u as usize);
         let du = g.degree(u);
         let ru = ws.r.get(u as usize);
+        if ctx.is_guarded() && !ru.is_finite() {
+            exit = PushExit::Diverged(DivergenceCause::NonFiniteIterate { at_iter: pushes });
+            break;
+        }
         if ru < epsilon * du {
             continue;
         }
         pushes += 1;
         if pushes > push_cap {
+            if ctx.is_guarded() {
+                exit = PushExit::Diverged(DivergenceCause::Breakdown {
+                    at_iter: pushes,
+                    what: "exceeded the theoretical O(1/(εα)) push bound",
+                });
+                break;
+            }
             return Err(LocalError::InvalidArgument(
                 "ppr_push exceeded its theoretical push bound (bug guard)".into(),
             ));
@@ -246,14 +268,23 @@ fn push_unchecked(
         // Lazy push: α·ru into p; half of the rest stays at u; half
         // spreads over neighbors proportionally to weight.
         ws.p.add(u as usize, alpha * ru);
+        residual_mass -= alpha * ru;
         let stay = (1.0 - alpha) * ru / 2.0;
         ws.r.set(u as usize, stay);
         let spread = (1.0 - alpha) * ru / 2.0;
+        let mut traversals = 0u64;
         for (v, w) in g.neighbors(u) {
             work += 1;
+            traversals += 1;
             let dv = g.degree(v);
             if ws.r.add(v as usize, spread * w / du) {
                 ws.touched.push(v);
+            }
+            // A NaN residual never re-enters the queue (comparisons with
+            // NaN are false), so contamination must be caught here.
+            if ctx.is_guarded() && !ws.r.get(v as usize).is_finite() {
+                exit = PushExit::Diverged(DivergenceCause::NonFiniteIterate { at_iter: pushes });
+                break;
             }
             if !ws.in_queue.contains(v as usize) && ws.r.get(v as usize) >= epsilon * dv && dv > 0.0
             {
@@ -261,18 +292,49 @@ fn push_unchecked(
                 ws.queue.push_back(v);
             }
         }
+        if matches!(exit, PushExit::Diverged(_)) {
+            break;
+        }
         // u itself may still be above threshold (the lazy half).
         if !ws.in_queue.contains(u as usize) && ws.r.get(u as usize) >= epsilon * du {
             ws.in_queue.insert(u as usize);
             ws.queue.push_back(u);
         }
+
+        ctx.tick_iter();
+        ctx.push_residual(residual_mass);
+        if let Some(exhausted) = ctx.add_work(traversals) {
+            // Worst per-degree residual over positive-degree nodes: the
+            // pointwise error bound for the partial vector.
+            let per_degree_bound = (0..n)
+                .map(|u| {
+                    let d = g.degree(u as NodeId);
+                    if d > 0.0 {
+                        ws.r.get(u) / d
+                    } else {
+                        0.0
+                    }
+                })
+                .fold(0.0f64, f64::max)
+                .max(epsilon);
+            exit = PushExit::Exhausted {
+                exhausted,
+                remaining: residual_mass,
+                per_degree_bound,
+            };
+            break;
+        }
+    }
+
+    if matches!(exit, PushExit::Diverged(_)) {
+        return Ok(exit);
     }
 
     // Harvest over the sorted touched list — ascending node order, the
     // same order the dense `0..n` scans visited the nonzero entries in.
     ws.touched.sort_unstable();
     let mut touched = 0usize;
-    let mut residual_mass = 0.0f64;
+    let mut residual_sum = 0.0f64;
     for &u in &ws.touched {
         let p = ws.p.get(u as usize);
         let r = ws.r.get(u as usize);
@@ -282,13 +344,13 @@ fn push_unchecked(
         if p > 0.0 || r > 0.0 {
             touched += 1;
         }
-        residual_mass += r;
+        residual_sum += r;
     }
-    out.residual_mass = residual_mass;
+    out.residual_mass = residual_sum;
     out.pushes = pushes;
     out.work = work;
     out.touched = touched;
-    Ok(())
+    Ok(exit)
 }
 
 /// Run [`ppr_push`] for many seed sets in one call, fanned out over the
@@ -314,10 +376,45 @@ pub fn ppr_push_batch(
     }
     let outs = acir_exec::ExecPool::from_env().par_map(seed_sets, 1, |seeds| {
         let mut out = PushResult::empty();
-        PUSH_POOL.with(|ws| push_unchecked(g, seeds, alpha, epsilon, ws, &mut out))?;
+        let mut ctx = KernelCtx::new();
+        PUSH_POOL.with(|ws| push_core(g, seeds, alpha, epsilon, ws, &mut out, &mut ctx))?;
         Ok::<PushResult, LocalError>(out)
     });
     outs.into_iter().collect()
+}
+
+/// Context-driven ACL push: the [`KernelCtx`] decides whether the run is
+/// metered, guarded against contamination, or traced. Scratch is drawn
+/// from the module pool; the result is structured as a
+/// [`SolverOutcome`] even for inert contexts (which always converge).
+pub fn ppr_push_ctx(
+    g: &Graph,
+    seeds: &[NodeId],
+    alpha: f64,
+    epsilon: f64,
+    ctx: &mut KernelCtx,
+) -> Result<SolverOutcome<PushResult>> {
+    validate_push_args(g, seeds, alpha, epsilon)?;
+    let mut out = PushResult::empty();
+    let exit = PUSH_POOL.with(|ws| push_core(g, seeds, alpha, epsilon, ws, &mut out, ctx))?;
+    let diags = ctx.finish();
+    Ok(match exit {
+        PushExit::Done => SolverOutcome::converged(out, diags),
+        PushExit::Exhausted {
+            exhausted,
+            remaining,
+            per_degree_bound,
+        } => SolverOutcome::exhausted(
+            out,
+            exhausted,
+            Certificate::ResidualMass {
+                remaining,
+                per_degree_bound,
+            },
+            diags,
+        ),
+        PushExit::Diverged(cause) => SolverOutcome::diverged(cause, diags),
+    })
 }
 
 /// ACL push under an explicit resource [`Budget`], with contamination
@@ -338,163 +435,11 @@ pub fn ppr_push_budgeted(
     epsilon: f64,
     budget: &Budget,
 ) -> Result<SolverOutcome<PushResult>> {
-    if !(0.0 < alpha && alpha < 1.0) {
-        return Err(LocalError::InvalidArgument(format!(
-            "ppr_push needs alpha in (0, 1), got {alpha}"
-        )));
-    }
-    if !(epsilon > 0.0 && epsilon.is_finite()) {
-        return Err(LocalError::InvalidArgument(format!(
-            "ppr_push needs epsilon > 0, got {epsilon}"
-        )));
-    }
-    if seeds.is_empty() {
-        return Err(LocalError::InvalidArgument("ppr_push needs seeds".into()));
-    }
-    let n = g.n();
-    for &u in seeds {
-        if u as usize >= n {
-            return Err(LocalError::InvalidArgument(format!(
-                "seed {u} out of range"
-            )));
-        }
-        if g.degree(u) <= 0.0 {
-            return Err(LocalError::InvalidArgument(format!(
-                "seed {u} has zero degree"
-            )));
-        }
-    }
-
-    let mut p = vec![0.0f64; n];
-    let mut r = vec![0.0f64; n];
-    let mut in_queue = vec![false; n];
-    let mut queue: VecDeque<NodeId> = VecDeque::new();
-    let seed_mass = 1.0 / seeds.len() as f64;
-    for &u in seeds {
-        r[u as usize] += seed_mass;
-    }
-    for &u in seeds {
-        if !in_queue[u as usize] && r[u as usize] >= epsilon * g.degree(u) {
-            in_queue[u as usize] = true;
-            queue.push_back(u);
-        }
-    }
-
-    let mut meter = budget.start();
-    let mut diags = Diagnostics::for_kernel("local.ppr_push");
-    let mut pushes = 0usize;
-    let mut work = 0usize;
-    // Tracked incrementally: each push moves exactly α·r[u] into p.
-    let mut residual_mass = 1.0f64;
-    let push_cap = ((4.0 / (epsilon * alpha)).ceil() as usize).saturating_add(16);
-
-    let finish = |p: &[f64], r: &[f64], pushes: usize, work: usize| -> PushResult {
-        let mut vector: Vec<(NodeId, f64)> = p
-            .iter()
-            .enumerate()
-            .filter(|&(_, &x)| x > 0.0)
-            .map(|(u, &x)| (u as NodeId, x))
-            .collect();
-        vector.sort_unstable_by_key(|&(u, _)| u);
-        let touched = (0..n).filter(|&u| p[u] > 0.0 || r[u] > 0.0).count();
-        PushResult {
-            vector,
-            residual_mass: r.iter().sum(),
-            pushes,
-            work,
-            touched,
-        }
-    };
-
-    while let Some(u) = queue.pop_front() {
-        in_queue[u as usize] = false;
-        let du = g.degree(u);
-        let ru = r[u as usize];
-        if !ru.is_finite() {
-            diags.absorb_meter(&meter);
-            return Ok(SolverOutcome::diverged(
-                DivergenceCause::NonFiniteIterate { at_iter: pushes },
-                diags,
-            ));
-        }
-        if ru < epsilon * du {
-            continue;
-        }
-        pushes += 1;
-        if pushes > push_cap {
-            diags.absorb_meter(&meter);
-            return Ok(SolverOutcome::diverged(
-                DivergenceCause::Breakdown {
-                    at_iter: pushes,
-                    what: "exceeded the theoretical O(1/(εα)) push bound",
-                },
-                diags,
-            ));
-        }
-        p[u as usize] += alpha * ru;
-        residual_mass -= alpha * ru;
-        let stay = (1.0 - alpha) * ru / 2.0;
-        r[u as usize] = stay;
-        let spread = (1.0 - alpha) * ru / 2.0;
-        let mut traversals = 0u64;
-        for (v, w) in g.neighbors(u) {
-            work += 1;
-            traversals += 1;
-            let dv = g.degree(v);
-            r[v as usize] += spread * w / du;
-            // A NaN residual never re-enters the queue (comparisons with
-            // NaN are false), so contamination must be caught here.
-            if !r[v as usize].is_finite() {
-                diags.absorb_meter(&meter);
-                return Ok(SolverOutcome::diverged(
-                    DivergenceCause::NonFiniteIterate { at_iter: pushes },
-                    diags,
-                ));
-            }
-            if !in_queue[v as usize] && r[v as usize] >= epsilon * dv && dv > 0.0 {
-                in_queue[v as usize] = true;
-                queue.push_back(v);
-            }
-        }
-        if !in_queue[u as usize] && r[u as usize] >= epsilon * du {
-            in_queue[u as usize] = true;
-            queue.push_back(u);
-        }
-
-        meter.tick_iter();
-        diags.push_residual(residual_mass);
-        if let Some(exhausted) = meter.add_work(traversals) {
-            diags.absorb_meter(&meter);
-            // Worst per-degree residual over positive-degree nodes: the
-            // pointwise error bound for the partial vector.
-            let per_degree_bound = (0..n)
-                .map(|u| {
-                    let d = g.degree(u as NodeId);
-                    if d > 0.0 {
-                        r[u] / d
-                    } else {
-                        0.0
-                    }
-                })
-                .fold(0.0f64, f64::max)
-                .max(epsilon);
-            return Ok(SolverOutcome::exhausted(
-                finish(&p, &r, pushes, work),
-                exhausted,
-                Certificate::ResidualMass {
-                    remaining: residual_mass,
-                    per_degree_bound,
-                },
-                diags,
-            ));
-        }
-    }
-
-    diags.absorb_meter(&meter);
-    Ok(SolverOutcome::converged(
-        finish(&p, &r, pushes, work),
-        diags,
-    ))
+    // Guard present so the in-loop NaN/Inf residual scans run and the
+    // push-bound trip becomes a structured divergence.
+    let mut ctx =
+        KernelCtx::budgeted("local.ppr_push", budget).with_guard(GuardConfig::contamination_only());
+    ppr_push_ctx(g, seeds, alpha, epsilon, &mut ctx)
 }
 
 /// Exact lazy-walk PPR by dense fixed-point iteration — the reference

@@ -8,7 +8,7 @@
 //! quadratically close to the best cut correlated with the vector.
 
 use acir_graph::{Graph, NodeId, Permutation};
-use acir_runtime::{StampedSet, WorkspacePool};
+use acir_runtime::{KernelCtx, StampedSet, WorkspacePool};
 
 /// Outcome of a sweep cut.
 #[derive(Debug, Clone)]
@@ -45,11 +45,36 @@ impl SweepResult {
 /// its candidates even on huge graphs.
 static SET_POOL: WorkspacePool<StampedSet> = WorkspacePool::new();
 
-/// Shared implementation: sweep over `(node, score)` candidates ordered
-/// by `score / d_u` descending (ties by ascending node id), computing
-/// the conductance of every prefix incrementally in
-/// `O(vol(candidates))` total — no length-`n` scan or allocation.
-fn sweep_over(g: &Graph, mut candidates: Vec<(NodeId, f64)>) -> SweepResult {
+/// Shared implementation behind every public entry point: an inert
+/// context reproduces the historical sweep exactly.
+fn sweep_over(g: &Graph, candidates: Vec<(NodeId, f64)>) -> SweepResult {
+    let mut ctx = KernelCtx::new();
+    sweep_core(g, candidates, &mut ctx)
+}
+
+/// Context-driven global sweep cut: [`sweep_cut`] with the run's
+/// metering/tracing decided by the caller's [`KernelCtx`]. A metered
+/// context may truncate the prefix scan when its work budget (one unit
+/// per edge traversal) runs out — the best prefix among those scanned
+/// is still a valid, just coarser, sweep cut. A traced context records
+/// the chosen cut as a structured event.
+pub fn sweep_cut_ctx(g: &Graph, score: &[f64], ctx: &mut KernelCtx) -> SweepResult {
+    debug_assert_eq!(score.len(), g.n());
+    let candidates: Vec<(NodeId, f64)> = score
+        .iter()
+        .enumerate()
+        .map(|(u, &x)| (u as NodeId, x))
+        .collect();
+    sweep_core(g, candidates, ctx)
+}
+
+/// The sweep loop: candidates ordered by `score / d_u` descending (ties
+/// by ascending node id), computing the conductance of every prefix
+/// incrementally in `O(vol(candidates))` total — no length-`n` scan or
+/// allocation. The [`KernelCtx`] meters one iteration per prefix and
+/// one work unit per edge traversal, and records the winning cut when
+/// traced; an inert context adds nothing.
+fn sweep_core(g: &Graph, mut candidates: Vec<(NodeId, f64)>, ctx: &mut KernelCtx) -> SweepResult {
     candidates.sort_by(|&(a, xa), &(b, xb)| {
         let da = g.degree(a).max(f64::MIN_POSITIVE);
         let db = g.degree(b).max(f64::MIN_POSITIVE);
@@ -70,13 +95,16 @@ fn sweep_over(g: &Graph, mut candidates: Vec<(NodeId, f64)>) -> SweepResult {
 
     SET_POOL.with(|in_set| {
         in_set.reset(g.n());
+        // CORE LOOP
         for (i, &u) in order.iter().enumerate() {
             let d = g.degree(u);
             // Adding u: every edge to the current set leaves the cut;
             // every other edge joins it. Self-loops never cross a cut.
             let mut to_set = 0.0;
             let mut self_loop = 0.0;
+            let mut traversals = 0u64;
             for (v, w) in g.neighbors(u) {
+                traversals += 1;
                 if v == u {
                     self_loop += w;
                 } else if in_set.contains(v as usize) {
@@ -99,11 +127,23 @@ fn sweep_over(g: &Graph, mut candidates: Vec<(NodeId, f64)>) -> SweepResult {
                 best_phi = phi;
                 best_len = i + 1;
             }
+
+            ctx.tick_iter();
+            ctx.push_residual(phi);
+            if let Some(_exhausted) = ctx.add_work(traversals) {
+                ctx.note_with(|| {
+                    format!("sweep truncated after prefix {} of {}", i + 1, order.len())
+                });
+                break;
+            }
         }
     });
 
     let mut set: Vec<NodeId> = order[..best_len].to_vec();
     set.sort_unstable();
+    if let Some(d) = ctx.diags_mut() {
+        d.sweep_cut(set.len(), best_phi);
+    }
     SweepResult {
         set,
         conductance: best_phi,

@@ -31,7 +31,7 @@ use acir_graph::Permutation;
 use acir_graph::{Graph, NodeId};
 use acir_local::push::ppr_push;
 use acir_local::sweep::sweep_cut_sparse;
-use acir_runtime::{Budget, Certificate, Diagnostics, Exhaustion, SolverOutcome};
+use acir_runtime::{Budget, Certificate, Diagnostics, Exhaustion, KernelCtx, SolverOutcome};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -187,17 +187,16 @@ fn harvest_sweep(
     }
 }
 
-/// Compute the NCP with the local spectral method (ACL push sweeps
-/// from many seeds at several (α, ε) scales).
-pub fn ncp_local_spectral(g: &Graph, opts: &NcpOptions) -> Result<Vec<NcpPoint>> {
-    validate(g, opts)?;
+/// Validate the local-spectral grid options and sample the push seed
+/// nodes (degree > 0), deterministic given `opts.rng_seed`. Shared by
+/// the plain and budgeted local-spectral NCPs.
+fn sample_push_seeds(g: &Graph, opts: &NcpOptions) -> Result<Vec<NodeId>> {
     if opts.seeds == 0 || opts.alphas.is_empty() || opts.epsilons.is_empty() {
         return Err(crate::PartitionError::InvalidArgument(
             "local spectral NCP needs seeds, alphas and epsilons".into(),
         ));
     }
     let mut rng = StdRng::seed_from_u64(opts.rng_seed);
-    // Sample seed nodes (degree > 0), deterministic given rng_seed.
     let mut seeds: Vec<NodeId> = Vec::with_capacity(opts.seeds);
     let mut guard = 0;
     while seeds.len() < opts.seeds && guard < 50 * opts.seeds {
@@ -212,6 +211,52 @@ pub fn ncp_local_spectral(g: &Graph, opts: &NcpOptions) -> Result<Vec<NcpPoint>>
             "no positive-degree seeds available".into(),
         ));
     }
+    Ok(seeds)
+}
+
+/// One worker's share of the (seed, α, ε) push-sweep grid, run under
+/// `ctx`. Returns the local harvest, the number of push runs completed,
+/// and the first exhaustion hit (if any). An inert context makes the
+/// metering free, so the plain NCP fans this same core out per seed.
+fn ncp_shard(
+    g: &Graph,
+    opts: &NcpOptions,
+    chunk_seeds: &[NodeId],
+    ctx: &mut KernelCtx,
+) -> (NcpAccum, usize, Option<Exhaustion>) {
+    let mut accum = NcpAccum::default();
+    let mut done = 0usize;
+    let mut exhausted = None;
+    // CORE LOOP
+    'grid: for &seed in chunk_seeds {
+        for &alpha in &opts.alphas {
+            for &eps in &opts.epsilons {
+                ctx.tick_iter();
+                if let Some(ex) = ctx.check_budget() {
+                    exhausted = Some(ex);
+                    break 'grid;
+                }
+                let Ok(push) = ppr_push(g, &[seed], alpha, eps) else {
+                    continue;
+                };
+                ctx.add_work(push.work as u64);
+                // Sweep the sparse support directly — no O(n) densify;
+                // the push vector is exactly the positive support the
+                // dense filter used to find.
+                let sweep = sweep_cut_sparse(g, &push.vector);
+                harvest_sweep(g, &mut accum, opts, &sweep.order, &sweep.profile);
+                done += 1;
+            }
+        }
+    }
+    (accum, done, exhausted)
+}
+
+/// Compute the NCP with the local spectral method (ACL push sweeps
+/// from many seeds at several (α, ε) scales).
+pub fn ncp_local_spectral(g: &Graph, opts: &NcpOptions) -> Result<Vec<NcpPoint>> {
+    validate(g, opts)?;
+    let seeds = sample_push_seeds(g, opts)?;
 
     // Per-seed accumulators fanned out on the pool and merged in seed
     // order afterward: the work decomposition is a function of the seed
@@ -219,19 +264,8 @@ pub fn ncp_local_spectral(g: &Graph, opts: &NcpOptions) -> Result<Vec<NcpPoint>>
     // independent of both thread count and completion order.
     let pool = ExecPool::from_env_or(opts.threads);
     let locals = pool.par_map(&seeds, 1, |&seed| {
-        let mut local = NcpAccum::default();
-        for &alpha in &opts.alphas {
-            for &eps in &opts.epsilons {
-                let Ok(push) = ppr_push(g, &[seed], alpha, eps) else {
-                    continue;
-                };
-                // Sweep the sparse support directly — no O(n) densify;
-                // the push vector is exactly the positive support the
-                // dense filter used to find.
-                let sweep = sweep_cut_sparse(g, &push.vector);
-                harvest_sweep(g, &mut local, opts, &sweep.order, &sweep.profile);
-            }
-        }
+        let mut ctx = KernelCtx::new();
+        let (local, _, _) = ncp_shard(g, opts, std::slice::from_ref(&seed), &mut ctx);
         local
     });
 
@@ -273,26 +307,7 @@ pub fn ncp_local_spectral_budgeted(
     budget: &Budget,
 ) -> Result<SolverOutcome<Vec<NcpPoint>>> {
     validate(g, opts)?;
-    if opts.seeds == 0 || opts.alphas.is_empty() || opts.epsilons.is_empty() {
-        return Err(crate::PartitionError::InvalidArgument(
-            "local spectral NCP needs seeds, alphas and epsilons".into(),
-        ));
-    }
-    let mut rng = StdRng::seed_from_u64(opts.rng_seed);
-    let mut seeds: Vec<NodeId> = Vec::with_capacity(opts.seeds);
-    let mut guard = 0;
-    while seeds.len() < opts.seeds && guard < 50 * opts.seeds {
-        let u = rng.gen_range(0..g.n() as NodeId);
-        if g.degree(u) > 0.0 {
-            seeds.push(u);
-        }
-        guard += 1;
-    }
-    if seeds.is_empty() {
-        return Err(crate::PartitionError::InvalidArgument(
-            "no positive-degree seeds available".into(),
-        ));
-    }
+    let seeds = sample_push_seeds(g, opts)?;
 
     let planned = seeds.len() * opts.alphas.len() * opts.epsilons.len();
     // Contiguous seed chunks with matching fair budget shares: both are
@@ -306,30 +321,9 @@ pub fn ncp_local_spectral_budgeted(
 
     let pool = ExecPool::from_env_or(opts.threads);
     let shards = pool.par_map(&jobs, 1, |&(chunk_seeds, share)| {
-        let mut meter = share.start();
-        let mut diags = Diagnostics::for_kernel("partition.ncp_shard");
-        let mut accum = NcpAccum::default();
-        let mut done = 0usize;
-        let mut exhausted = None;
-        'grid: for &seed in chunk_seeds {
-            for &alpha in &opts.alphas {
-                for &eps in &opts.epsilons {
-                    meter.tick_iter();
-                    if let Some(ex) = meter.check() {
-                        exhausted = Some(ex);
-                        break 'grid;
-                    }
-                    let Ok(push) = ppr_push(g, &[seed], alpha, eps) else {
-                        continue;
-                    };
-                    meter.add_work(push.work as u64);
-                    let sweep = sweep_cut_sparse(g, &push.vector);
-                    harvest_sweep(g, &mut accum, opts, &sweep.order, &sweep.profile);
-                    done += 1;
-                }
-            }
-        }
-        diags.absorb_meter(&meter);
+        let mut ctx = KernelCtx::budgeted("partition.ncp_shard", &share);
+        let (accum, done, exhausted) = ncp_shard(g, opts, chunk_seeds, &mut ctx);
+        let mut diags = ctx.finish();
         diags.finish_spans();
         BudgetedShard {
             accum,

@@ -59,34 +59,46 @@ pub fn spectral_bisect_truncated(g: &Graph, iters: usize) -> Result<SpectralCut>
     // 2I − 𝓛 has spectrum in [0, 2] with the Fiedler direction at
     // 2 − λ₂ — the largest after deflation.
     let shifted = ShiftedOp::new(&nl, -1.0, 2.0);
-
-    let mut state = 0x243f6a8885a308d3u64;
-    let seed: Vec<f64> = (0..g.n())
-        .map(|_| {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
-        })
-        .collect();
+    let seed = deterministic_seed(g.n());
     let opts = PowerOptions {
         max_iters: iters,
         tol: 0.0, // pure early stopping: run exactly `iters` steps
         deflate: vec![v1],
     };
     let r = power_method(&shifted, &seed, &opts)?;
-    let embedding = d_inv_sqrt_scale(g, &r.eigenvector);
+    Ok(cut_from_iterate(g, &nl, &r.eigenvector))
+}
+
+/// Deterministic pseudo-random seed vector shared by the truncated and
+/// budgeted bisections (an LCG from a fixed state, so every run — and
+/// every thread count — sees the same starting iterate).
+fn deterministic_seed(n: usize) -> Vec<f64> {
+    let mut state = 0x243f6a8885a308d3u64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect()
+}
+
+/// Sweep a power iterate into a [`SpectralCut`]: degree-normalize the
+/// embedding, sweep it, and report the Rayleigh quotient of the iterate
+/// against `𝓛` (not the shifted operator).
+fn cut_from_iterate(g: &Graph, nl: &acir_linalg::CsrMatrix, v: &[f64]) -> SpectralCut {
+    let embedding = d_inv_sqrt_scale(g, v);
     let sweep = sweep_cut(g, &embedding);
-    // Rayleigh quotient of the iterate against 𝓛 (not the shift).
     let rq = {
-        let lx = nl.apply_vec(&r.eigenvector);
-        vector::dot(&r.eigenvector, &lx)
+        let lx = nl.apply_vec(v);
+        vector::dot(v, &lx)
     };
-    Ok(SpectralCut {
+    SpectralCut {
         sweep,
         embedding,
         lambda2: rq,
-    })
+    }
 }
 
 /// Budgeted spectral bisection: power iteration on `2I − 𝓛` under a
@@ -104,35 +116,16 @@ pub fn spectral_bisect_budgeted(g: &Graph, budget: &Budget) -> Result<SolverOutc
     let nl = normalized_laplacian(g);
     let v1 = trivial_eigenvector(g);
     let shifted = ShiftedOp::new(&nl, -1.0, 2.0);
-    let mut state = 0x243f6a8885a308d3u64;
-    let seed: Vec<f64> = (0..g.n())
-        .map(|_| {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
-        })
-        .collect();
+    let seed = deterministic_seed(g.n());
     let opts = PowerOptions {
         max_iters: usize::MAX,
         tol: 1e-10,
         deflate: vec![v1],
     };
+    // CORE LOOP (delegated: the power recurrence lives in acir-linalg)
     let out = power_method_budgeted(&shifted, &seed, &opts, budget)?;
 
-    let build = |r: acir_linalg::power::PowerResult| {
-        let embedding = d_inv_sqrt_scale(g, &r.eigenvector);
-        let sweep = sweep_cut(g, &embedding);
-        let rq = {
-            let lx = nl.apply_vec(&r.eigenvector);
-            vector::dot(&r.eigenvector, &lx)
-        };
-        SpectralCut {
-            sweep,
-            embedding,
-            lambda2: rq,
-        }
-    };
+    let build = |r: acir_linalg::power::PowerResult| cut_from_iterate(g, &nl, &r.eigenvector);
 
     Ok(match out {
         SolverOutcome::Converged {

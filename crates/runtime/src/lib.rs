@@ -35,6 +35,10 @@
 //!   flips, adversarial rounding, artificial latency) and graph-level
 //!   corruption helpers, used by tests across the workspace to prove
 //!   the guardrails actually fire;
+//! * [`KernelCtx`] — the single seam bundling all of the above (plus
+//!   an execution-pool handle and fault hooks) behind one `&mut`
+//!   parameter, so each kernel keeps exactly one core iteration loop
+//!   and every legacy entry point is a thin context-building wrapper;
 //! * [`workspace`] — reusable kernel scratch: epoch-stamped dense
 //!   arrays with `O(|touched|)` reset ([`StampedVec`]/[`StampedSet`]),
 //!   buffer freelists ([`Workspace`]), and a checkout pool
@@ -50,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod ctx;
 pub mod diagnostics;
 pub mod fault;
 pub mod guard;
@@ -59,6 +64,7 @@ pub mod workspace;
 
 pub use acir_obs as obs;
 pub use budget::{Budget, BudgetMeter, Exhaustion};
+pub use ctx::KernelCtx;
 pub use diagnostics::Diagnostics;
 pub use fault::{FaultConfig, FaultStream};
 pub use guard::{ConvergenceGuard, GuardConfig, GuardVerdict};

@@ -22,7 +22,10 @@ use acir_graph::{Graph, NodeId};
 use acir_linalg::expm::expm_multiply;
 use acir_linalg::solve::{cg, cg_budgeted, CgOptions};
 use acir_linalg::{vector, CsrMatrix, LinOp};
-use acir_runtime::{Budget, Diagnostics, SolverOutcome};
+use acir_runtime::{
+    Budget, Certificate, Diagnostics, DivergenceCause, Exhaustion, GuardVerdict, KernelCtx,
+    SolverOutcome,
+};
 
 /// Seed ("charge") distributions for diffusions.
 #[derive(Debug, Clone)]
@@ -230,6 +233,39 @@ impl LinOp for SysOp<'_> {
     }
 }
 
+fn validate_gamma(gamma: f64) -> Result<()> {
+    if !(0.0 < gamma && gamma <= 1.0) {
+        return Err(SpectralError::InvalidArgument(format!(
+            "pagerank needs gamma in (0, 1], got {gamma}"
+        )));
+    }
+    Ok(())
+}
+
+fn validate_degrees(g: &Graph) -> Result<()> {
+    if g.degrees().iter().any(|&d| d <= 0.0) {
+        return Err(SpectralError::InvalidArgument(
+            "pagerank requires positive degrees (no isolated nodes)".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Assemble the symmetrized SPD system `(I − (1−γ)𝒜) y = γ D^{−1/2} s`
+/// shared by the exact and budgeted PageRank solvers: degree square
+/// roots, normalized adjacency, right-hand side, and CG options.
+fn pagerank_system(g: &Graph, gamma: f64, s: &[f64]) -> (Vec<f64>, CsrMatrix, Vec<f64>, CgOptions) {
+    let n = g.n();
+    let sqrt_d: Vec<f64> = g.degrees().iter().map(|&d| d.sqrt()).collect();
+    let a_norm = crate::laplacian::normalized_adjacency(g);
+    let b: Vec<f64> = (0..n).map(|i| gamma * s[i] / sqrt_d[i]).collect();
+    let opts = CgOptions {
+        max_iters: 10_000,
+        tol: 1e-12,
+    };
+    (sqrt_d, a_norm, b, opts)
+}
+
 /// Exact PageRank vector `R_γ s = γ(I − (1−γ)M)^{−1} s` (paper Eq. (2)),
 /// via the symmetrized SPD system solved with conjugate gradient:
 ///
@@ -239,33 +275,17 @@ impl LinOp for SysOp<'_> {
 ///
 /// Requires all degrees positive (run on a connected component).
 pub fn pagerank(g: &Graph, gamma: f64, seed: &Seed) -> Result<Vec<f64>> {
-    if !(0.0 < gamma && gamma <= 1.0) {
-        return Err(SpectralError::InvalidArgument(format!(
-            "pagerank needs gamma in (0, 1], got {gamma}"
-        )));
-    }
-    if g.degrees().iter().any(|&d| d <= 0.0) {
-        return Err(SpectralError::InvalidArgument(
-            "pagerank requires positive degrees (no isolated nodes)".into(),
-        ));
-    }
+    validate_gamma(gamma)?;
+    validate_degrees(g)?;
     let s = seed.to_vector(g)?;
     if gamma == 1.0 {
         return Ok(s);
     }
     let n = g.n();
-    let sqrt_d: Vec<f64> = g.degrees().iter().map(|&d| d.sqrt()).collect();
-
-    // System operator: I − (1−γ)·𝒜.
-    let a_norm = crate::laplacian::normalized_adjacency(g);
+    let (sqrt_d, a_norm, b, opts) = pagerank_system(g, gamma, &s);
     let op = SysOp {
         a: &a_norm,
         c: 1.0 - gamma,
-    };
-    let b: Vec<f64> = (0..n).map(|i| gamma * s[i] / sqrt_d[i]).collect();
-    let opts = CgOptions {
-        max_iters: 10_000,
-        tol: 1e-12,
     };
     let res = cg(&op, &b, &vec![0.0; n], &opts)?;
     if !res.converged {
@@ -296,16 +316,8 @@ pub fn pagerank_budgeted(
     seed: &Seed,
     budget: &Budget,
 ) -> Result<SolverOutcome<Vec<f64>>> {
-    if !(0.0 < gamma && gamma <= 1.0) {
-        return Err(SpectralError::InvalidArgument(format!(
-            "pagerank needs gamma in (0, 1], got {gamma}"
-        )));
-    }
-    if g.degrees().iter().any(|&d| d <= 0.0) {
-        return Err(SpectralError::InvalidArgument(
-            "pagerank requires positive degrees (no isolated nodes)".into(),
-        ));
-    }
+    validate_gamma(gamma)?;
+    validate_degrees(g)?;
     let s = seed.to_vector(g)?;
     if gamma == 1.0 {
         let mut diags = Diagnostics::for_kernel("spectral.pagerank");
@@ -313,16 +325,10 @@ pub fn pagerank_budgeted(
         return Ok(SolverOutcome::converged(s, diags));
     }
     let n = g.n();
-    let sqrt_d: Vec<f64> = g.degrees().iter().map(|&d| d.sqrt()).collect();
-    let a_norm = crate::laplacian::normalized_adjacency(g);
+    let (sqrt_d, a_norm, b, opts) = pagerank_system(g, gamma, &s);
     let op = SysOp {
         a: &a_norm,
         c: 1.0 - gamma,
-    };
-    let b: Vec<f64> = (0..n).map(|i| gamma * s[i] / sqrt_d[i]).collect();
-    let opts = CgOptions {
-        max_iters: 10_000,
-        tol: 1e-12,
     };
     let out = cg_budgeted(&op, &b, &vec![0.0; n], &opts, budget)?;
     let mut out = out.map(|res| res.x.iter().zip(&sqrt_d).map(|(y, d)| y * d).collect());
@@ -372,18 +378,43 @@ pub fn heat_kernel_chebyshev_budgeted(
 /// update norm (a convergence certificate the caller may ignore —
 /// deliberately, truncation is the point).
 pub fn pagerank_power(g: &Graph, gamma: f64, seed: &Seed, iters: usize) -> Result<(Vec<f64>, f64)> {
-    if !(0.0 < gamma && gamma <= 1.0) {
-        return Err(SpectralError::InvalidArgument(format!(
-            "pagerank needs gamma in (0, 1], got {gamma}"
-        )));
+    let mut ctx = KernelCtx::new();
+    match pagerank_power_ctx(g, gamma, seed, iters, &mut ctx)? {
+        SolverOutcome::Converged { value, .. } => Ok(value),
+        _ => unreachable!("an inert context can neither exhaust nor diverge"),
     }
+}
+
+enum PowerExit {
+    Done,
+    Exhausted(Exhaustion),
+    Diverged(DivergenceCause),
+}
+
+/// [`pagerank_power`] under an explicit [`KernelCtx`]: the same
+/// recurrence with metering, guarding, and tracing routed through the
+/// context. An inert context reproduces [`pagerank_power`] bit for bit;
+/// a metered one may stop after fewer sweeps and certifies the iterate
+/// with its last update norm (`ℓ₁` distance between consecutive
+/// iterates — truncation is the paper's regularization, not a failure).
+pub fn pagerank_power_ctx(
+    g: &Graph,
+    gamma: f64,
+    seed: &Seed,
+    iters: usize,
+    ctx: &mut KernelCtx,
+) -> Result<SolverOutcome<(Vec<f64>, f64)>> {
+    validate_gamma(gamma)?;
     let s = seed.to_vector(g)?;
     let m = random_walk_matrix(g);
     let n = g.n();
+    let sweep_work = m.nnz() as u64;
     let mut x = s.clone();
     let mut mx = vec![0.0; n];
     let mut delta = 0.0;
-    for _ in 0..iters {
+    let mut exit = PowerExit::Done;
+    // CORE LOOP
+    for k in 0..iters {
         m.matvec(&x, &mut mx);
         delta = 0.0;
         for i in 0..n {
@@ -391,8 +422,42 @@ pub fn pagerank_power(g: &Graph, gamma: f64, seed: &Seed, iters: usize) -> Resul
             delta += (next - x[i]).abs();
             x[i] = next;
         }
+        ctx.push_residual(delta);
+        if let GuardVerdict::Halt(cause) = ctx.observe(delta) {
+            exit = PowerExit::Diverged(cause);
+            break;
+        }
+        ctx.tick_iter();
+        if let Some(exhausted) = ctx.add_work(sweep_work) {
+            ctx.note_with(|| format!("stopped after sweep {} of {iters}", k + 1));
+            exit = PowerExit::Exhausted(exhausted);
+            break;
+        }
     }
-    Ok((x, delta))
+    let diags = ctx.finish();
+    Ok(match exit {
+        PowerExit::Done => SolverOutcome::converged((x, delta), diags),
+        PowerExit::Exhausted(exhausted) => SolverOutcome::exhausted(
+            (x, delta),
+            exhausted,
+            Certificate::ResidualNorm { value: delta },
+            diags,
+        ),
+        PowerExit::Diverged(cause) => SolverOutcome::diverged(cause, diags),
+    })
+}
+
+/// Budgeted variant of [`pagerank_power`]: the truncated recurrence
+/// under a resource [`Budget`], each sweep costing `nnz(M)` work units.
+pub fn pagerank_power_budgeted(
+    g: &Graph,
+    gamma: f64,
+    seed: &Seed,
+    iters: usize,
+    budget: &Budget,
+) -> Result<SolverOutcome<(Vec<f64>, f64)>> {
+    let mut ctx = KernelCtx::budgeted("spectral.pagerank_power", budget);
+    pagerank_power_ctx(g, gamma, seed, iters, &mut ctx)
 }
 
 /// `k` steps of the lazy random walk `W_α = αI + (1−α)M` from the seed.
@@ -630,6 +695,28 @@ mod tests {
             err <= slack + 1e-9,
             "error {err} exceeds tail bound {slack}"
         );
+    }
+
+    #[test]
+    fn pagerank_power_budgeted_matches_and_truncates() {
+        let g = path(20).unwrap();
+        // Unlimited budget: bit-identical to the plain recurrence.
+        let (want_x, want_delta) = pagerank_power(&g, 0.1, &Seed::Node(0), 40).unwrap();
+        let out =
+            pagerank_power_budgeted(&g, 0.1, &Seed::Node(0), 40, &Budget::unlimited()).unwrap();
+        assert!(out.is_converged());
+        let (x, delta) = out.value().unwrap();
+        assert_eq!(&want_x, x);
+        assert_eq!(want_delta.to_bits(), delta.to_bits());
+        // Starved: exhausts with the update norm as certificate, and the
+        // partial iterate matches the same number of plain sweeps.
+        let starved =
+            pagerank_power_budgeted(&g, 0.1, &Seed::Node(0), 40, &Budget::iterations(3)).unwrap();
+        assert!(!starved.is_converged() && starved.is_usable());
+        let (x3, _) = starved.value().unwrap();
+        let (want3, _) = pagerank_power(&g, 0.1, &Seed::Node(0), 3).unwrap();
+        assert_eq!(&want3, x3);
+        assert!(starved.certificate().unwrap().slack() > 0.0);
     }
 
     #[test]

@@ -44,17 +44,7 @@ pub struct FiedlerResult {
 /// computing v₂ is not even well-posed", as the paper notes — callers
 /// should extract the largest component first).
 pub fn fiedler_vector(g: &Graph) -> Result<FiedlerResult> {
-    if g.n() < 2 {
-        return Err(SpectralError::InvalidArgument(
-            "fiedler_vector needs at least 2 nodes".into(),
-        ));
-    }
-    if !acir_graph::traversal::is_connected(g) {
-        return Err(SpectralError::InvalidArgument(
-            "fiedler_vector requires a connected graph (extract the largest component first)"
-                .into(),
-        ));
-    }
+    validate_fiedler(g)?;
     let nl = normalized_laplacian(g);
     let v1 = trivial_eigenvector(g);
 
@@ -65,7 +55,10 @@ pub fn fiedler_vector(g: &Graph) -> Result<FiedlerResult> {
     } else {
         // Adaptive Krylov dimension: small eigenvalues of 𝓛 can cluster
         // (e.g. long cycles), so start modest and grow until the
-        // eigenpair residual certifies convergence.
+        // eigenpair residual certifies convergence. The Krylov
+        // recurrence itself lives in `acir_linalg::lanczos`; this is
+        // only the restart-escalation wrapper around it.
+        // CORE LOOP (delegated: the Krylov recurrence lives in acir-linalg)
         let mut krylov = (4 * (g.n() as f64).ln() as usize + 40).min(g.n());
         loop {
             let (vals, vecs) = smallest_eigenpairs(&nl, 1, krylov, std::slice::from_ref(&v1))?;
@@ -102,17 +95,7 @@ pub fn fiedler_vector(g: &Graph) -> Result<FiedlerResult> {
 /// is a usable regularized answer, not an error. Lanczos breakdowns
 /// are retried with perturbed seeds before reporting divergence.
 pub fn fiedler_vector_budgeted(g: &Graph, budget: &Budget) -> Result<SolverOutcome<FiedlerResult>> {
-    if g.n() < 2 {
-        return Err(SpectralError::InvalidArgument(
-            "fiedler_vector needs at least 2 nodes".into(),
-        ));
-    }
-    if !acir_graph::traversal::is_connected(g) {
-        return Err(SpectralError::InvalidArgument(
-            "fiedler_vector requires a connected graph (extract the largest component first)"
-                .into(),
-        ));
-    }
+    validate_fiedler(g)?;
     let nl = normalized_laplacian(g);
     let v1 = trivial_eigenvector(g);
     let krylov = (4 * (g.n() as f64).ln() as usize + 40).min(g.n());
@@ -201,18 +184,39 @@ pub fn fiedler_vector_budgeted(g: &Graph, budget: &Budget) -> Result<SolverOutco
     })
 }
 
+/// Validation shared by both Fiedler entry points.
+fn validate_fiedler(g: &Graph) -> Result<()> {
+    if g.n() < 2 {
+        return Err(SpectralError::InvalidArgument(
+            "fiedler_vector needs at least 2 nodes".into(),
+        ));
+    }
+    if !acir_graph::traversal::is_connected(g) {
+        return Err(SpectralError::InvalidArgument(
+            "fiedler_vector requires a connected graph (extract the largest component first)"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
 /// Rayleigh quotient `xᵀ𝓛x / xᵀx` of an arbitrary vector against the
 /// normalized Laplacian — the forward-error currency of §3.1 ("any
 /// vector can be used with a quality-of-approximation loss that depends
 /// on how far its Rayleigh quotient is from the Rayleigh quotient of
 /// v₂").
+///
+/// Delegates to the operator-level
+/// [`acir_linalg::power::rayleigh_quotient`] on the normalized
+/// Laplacian; the zero vector is defined to have quotient 0 (rather
+/// than the operator version's NaN) because callers probe truncated
+/// diffusion vectors that may be identically zero.
 pub fn rayleigh_quotient(g: &Graph, x: &[f64]) -> f64 {
-    let nl = normalized_laplacian(g);
-    let xx = vector::dot(x, x);
-    if xx == 0.0 {
+    if vector::dot(x, x) == 0.0 {
         return 0.0;
     }
-    nl.quad_form(x) / xx
+    let nl = normalized_laplacian(g);
+    acir_linalg::power::rayleigh_quotient(&nl, x)
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //!   `#![proptest_config(...)]` header, `pat in strategy` arguments, and
 //!   `prop_assert!` / `prop_assert_eq!` / `prop_assume!` inside bodies;
 //! * numeric [`Range`](core::ops::Range) strategies, tuples of
-//!   strategies, [`Just`], `prop_map` / `prop_filter` / `prop_flat_map`
+//!   strategies, [`strategy::Just`], `prop_map` / `prop_filter` / `prop_flat_map`
 //!   combinators, and [`collection::vec`].
 //!
 //! Differences from upstream: failures are *not* shrunk (the failing

@@ -22,6 +22,16 @@ static ALLOC: acir_mem::CountingAlloc = acir_mem::CountingAlloc;
 fn steady_state_allocation_budgets() {
     assert!(acir_mem::is_installed());
 
+    // The libtest harness's main thread blocks in `mpsc::recv` while
+    // this test runs, and its *first* park lazily allocates a
+    // thread-local waker context (two one-time allocations). Whether
+    // that init lands inside a measurement window below is a pure
+    // scheduling race against this thread. Sleeping here guarantees
+    // the main thread completes its first park — and with it the
+    // once-per-thread init — before any window opens; it can never
+    // allocate from that path again.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
     let g = gen::deterministic::ring_of_cliques(12, 10).unwrap();
     let seeds = [5 as NodeId];
     let (alpha, eps) = (0.05, 1e-5);
