@@ -1,0 +1,372 @@
+//! Chaos load generator for the `acir-serve` query engine.
+//!
+//! Drives the engine with open-loop arrivals (inter-arrival gaps do not
+//! wait for responses — the configuration under which overload and
+//! admission control are actually observable) through a fixed set of
+//! fault schedules: a clean baseline, worker panics, NaN injection,
+//! budget starvation, and a deadline storm. For every scenario it
+//! checks the serving invariant — *every admitted request receives
+//! exactly one certified response, and the process never panics* — and
+//! records latency percentiles plus per-rung degradation counts to
+//! `BENCH_serve.json`. The artifact is re-read and validated before the
+//! process exits, so a committed file always parses.
+//!
+//! ```text
+//! cargo run --release -p acir-bench --bin servebench [-- --quick] [--seed N] [--threads N]
+//! ```
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use acir::runtime::Backoff;
+use acir::serve::{Admission, ChaosConfig, Engine, EngineConfig, Query, ResponseKind};
+use acir_bench::BinArgs;
+use acir_graph::gen::community::{social_network, SocialNetworkParams};
+use acir_graph::traversal::largest_component;
+use acir_graph::{Graph, NodeId};
+use acir_serve::chaos::open_loop_gaps_us;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::Value;
+
+/// Where the serving artifact lands, relative to the working directory.
+const OUT_FILE: &str = "BENCH_serve.json";
+
+/// One committed fault schedule the harness drives the engine through.
+struct Scenario {
+    name: &'static str,
+    cfg: EngineConfig,
+    /// Every `deadline_every`-th request carries an already-expired
+    /// deadline (0 disables) — the deadline-storm knob.
+    deadline_every: usize,
+}
+
+fn scenarios(quick: bool) -> Vec<Scenario> {
+    // Per-slot share (capacity / queue_cap) funds the ε = 1e-3 rung
+    // (~4e4 work at α = 0.1) at full accuracy; ε = 1e-4 requests land
+    // one rung down as `coarsened`.
+    let base = EngineConfig {
+        queue_cap: 16,
+        capacity: 800_000,
+        refill_per_cycle: 800_000,
+        min_grant: 256,
+        max_attempts: 3,
+        backoff: Backoff::exponential(Duration::from_micros(50), Duration::from_micros(400)),
+        ..EngineConfig::default()
+    };
+    let rate = if quick { 0.10 } else { 0.05 };
+    vec![
+        Scenario {
+            name: "baseline",
+            cfg: base.clone(),
+            deadline_every: 0,
+        },
+        Scenario {
+            name: "worker_panics",
+            cfg: EngineConfig {
+                chaos: Some(ChaosConfig::with_rates(0xC405, rate, 0.0)),
+                ..base.clone()
+            },
+            deadline_every: 0,
+        },
+        Scenario {
+            name: "nan_injection",
+            cfg: EngineConfig {
+                chaos: Some(ChaosConfig::with_rates(0xC405, 0.0, rate)),
+                ..base.clone()
+            },
+            deadline_every: 0,
+        },
+        // No coarsening rungs: every request attempts its requested ε
+        // against a thin grant, exhausts it into a certified partial,
+        // and keeps its whole grant spent. With refill far below that
+        // demand the bucket drains and admission starts shedding.
+        Scenario {
+            name: "budget_starvation",
+            cfg: EngineConfig {
+                capacity: 20_000,
+                refill_per_cycle: 500,
+                min_grant: 1_000,
+                ladder_rungs: 0,
+                ..base.clone()
+            },
+            deadline_every: 0,
+        },
+        Scenario {
+            name: "deadline_storm",
+            cfg: base,
+            deadline_every: 3,
+        },
+    ]
+}
+
+struct ScenarioReport {
+    name: &'static str,
+    requests: usize,
+    admitted: u64,
+    rejected: u64,
+    latencies_ms: Vec<f64>,
+    degradation: BTreeMap<&'static str, u64>,
+    retries: u64,
+    panics_caught: u64,
+    faults_detected: u64,
+    invariant_ok: bool,
+}
+
+fn main() {
+    let args = BinArgs::parse();
+    // Injected chaos panics are caught by the engine's fence; keep
+    // their default-hook backtraces out of the harness output while
+    // letting genuine panics print.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.starts_with("chaos:") {
+            prev_hook(info);
+        }
+    }));
+
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let params = if args.quick {
+        SocialNetworkParams {
+            core_nodes: 400,
+            core_attach: 3,
+            communities: 8,
+            community_size_range: (6, 60),
+            whiskers: 20,
+            whisker_max_len: 6,
+            ..Default::default()
+        }
+    } else {
+        SocialNetworkParams {
+            core_nodes: 2000,
+            core_attach: 4,
+            communities: 30,
+            community_size_range: (8, 300),
+            whiskers: 80,
+            whisker_max_len: 10,
+            ..Default::default()
+        }
+    };
+    let pc = social_network(&mut rng, &params).expect("surrogate generation failed");
+    let (g, _) = largest_component(&pc.graph);
+    let requests = if args.quick { 60 } else { 300 };
+    println!(
+        "servebench: fig1 surrogate LCC with {} nodes / {} edges; {} open-loop requests per scenario",
+        g.n(),
+        g.m(),
+        requests,
+    );
+
+    let reports: Vec<ScenarioReport> = scenarios(args.quick)
+        .into_iter()
+        .map(|s| drive(&g, s, requests, args.seed))
+        .collect();
+
+    for r in &reports {
+        let p = |q| percentile_ms(&r.latencies_ms, q);
+        println!(
+            "  {:<18} admitted {:>4}/{:<4}  p50 {:>7.3} ms  p99 {:>7.3} ms  degraded {:?}  retries {}  invariant {}",
+            r.name,
+            r.admitted,
+            r.requests,
+            p(0.50),
+            p(0.99),
+            r.degradation,
+            r.retries,
+            if r.invariant_ok { "ok" } else { "VIOLATED" },
+        );
+        assert!(
+            r.invariant_ok,
+            "{}: a request was admitted without exactly one certified response",
+            r.name
+        );
+    }
+
+    let doc = render(&args, &g, &reports);
+    let text = serde_json::to_string_pretty(&doc);
+    std::fs::write(OUT_FILE, format!("{text}\n")).expect("writing BENCH_serve.json failed");
+    validate(&std::fs::read_to_string(OUT_FILE).expect("re-reading artifact failed"));
+    println!("wrote {OUT_FILE} (validated: parses, percentiles ordered, ladder counts add up)");
+}
+
+/// Run one scenario: open-loop arrivals bucketed into engine cycles,
+/// chaos per the schedule, the invariant checked over the full run.
+fn drive(g: &Graph, s: Scenario, requests: usize, seed: u64) -> ScenarioReport {
+    let mut engine = Engine::new(g.clone(), s.cfg);
+    // Open-loop arrivals: exponential inter-arrival gaps, bucketed into
+    // fixed service-cycle windows. Arrivals inside one window submit
+    // back-to-back (so bursts overrun the queue and the bucket exactly
+    // as they would live), then the cycle runs.
+    let gaps = open_loop_gaps_us(seed ^ 0x5e44e, requests, 400);
+    let window_us: u64 = 2_000;
+    let mut admitted_ids = Vec::new();
+    let mut answered_ids = Vec::new();
+    let mut latencies_ms = Vec::new();
+    let mut degradation: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut clock_us = 0u64;
+    let mut window_end = window_us;
+    for (i, gap) in gaps.iter().enumerate() {
+        clock_us += gap;
+        while clock_us >= window_end {
+            for r in engine.run_pending() {
+                answered_ids.push(r.id);
+                latencies_ms.push(r.latency.as_secs_f64() * 1e3);
+                *degradation.entry(r.kind.name()).or_insert(0) += 1;
+            }
+            window_end += window_us;
+        }
+        let deadline = if s.deadline_every > 0 && i % s.deadline_every == 0 {
+            Some(Duration::ZERO)
+        } else {
+            None
+        };
+        let q = Query {
+            seeds: vec![(i * 37 % g.n()) as NodeId],
+            alpha: 0.1,
+            epsilon: if i % 2 == 0 { 1e-3 } else { 1e-4 },
+            deadline,
+        };
+        if let Admission::Accepted { id, .. } = engine.submit(q) {
+            admitted_ids.push(id);
+        }
+    }
+    for r in engine.run_pending() {
+        answered_ids.push(r.id);
+        latencies_ms.push(r.latency.as_secs_f64() * 1e3);
+        *degradation.entry(r.kind.name()).or_insert(0) += 1;
+    }
+    let stats = engine.stats().clone();
+    // Shutdown must drain anything still queued.
+    for r in engine.shutdown() {
+        answered_ids.push(r.id);
+        latencies_ms.push(r.latency.as_secs_f64() * 1e3);
+        *degradation.entry(r.kind.name()).or_insert(0) += 1;
+    }
+    answered_ids.sort_unstable();
+    let invariant_ok = answered_ids == admitted_ids;
+    ScenarioReport {
+        name: s.name,
+        requests,
+        admitted: stats.admitted,
+        rejected: stats.rejected_queue_full + stats.rejected_starved + stats.rejected_invalid,
+        latencies_ms,
+        degradation,
+        retries: stats.retries,
+        panics_caught: stats.panics_caught,
+        faults_detected: stats.faults_detected,
+        invariant_ok,
+    }
+}
+
+/// Nearest-rank percentile over the (unsorted) latency sample, in ms.
+fn percentile_ms(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(f64::total_cmp);
+    let idx = ((s.len() - 1) as f64 * q).round() as usize;
+    s[idx.min(s.len() - 1)]
+}
+
+fn render(args: &BinArgs, g: &Graph, reports: &[ScenarioReport]) -> Value {
+    let mut root = BTreeMap::new();
+    root.insert("schema".into(), Value::from("acir-bench-serve-v1"));
+    root.insert("quick".into(), Value::from(args.quick));
+    root.insert("seed".into(), Value::from(args.seed));
+    let mut graph = BTreeMap::new();
+    graph.insert("nodes".into(), Value::from(g.n()));
+    graph.insert("edges".into(), Value::from(g.m()));
+    root.insert("graph".into(), Value::Object(graph));
+    let scenarios = reports
+        .iter()
+        .map(|r| {
+            let mut m = BTreeMap::new();
+            m.insert("name".into(), Value::from(r.name));
+            m.insert("requests".into(), Value::from(r.requests));
+            m.insert("admitted".into(), Value::from(r.admitted));
+            m.insert("rejected".into(), Value::from(r.rejected));
+            let mut lat = BTreeMap::new();
+            for (key, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("max", 1.0)] {
+                lat.insert(key.into(), Value::from(percentile_ms(&r.latencies_ms, q)));
+            }
+            m.insert("latency_ms".into(), Value::Object(lat));
+            let mut deg = BTreeMap::new();
+            for kind in [
+                ResponseKind::Full,
+                ResponseKind::Coarsened,
+                ResponseKind::Partial,
+                ResponseKind::Stale,
+                ResponseKind::SeedOnly,
+            ] {
+                deg.insert(
+                    kind.name().into(),
+                    Value::from(r.degradation.get(kind.name()).copied().unwrap_or(0)),
+                );
+            }
+            m.insert("degradation".into(), Value::Object(deg));
+            m.insert("retries".into(), Value::from(r.retries));
+            m.insert("panics_caught".into(), Value::from(r.panics_caught));
+            m.insert("faults_detected".into(), Value::from(r.faults_detected));
+            m.insert(
+                "invariant_exactly_one_response".into(),
+                Value::from(r.invariant_ok),
+            );
+            Value::Object(m)
+        })
+        .collect();
+    root.insert("scenarios".into(), Value::Array(scenarios));
+    Value::Object(root)
+}
+
+/// The same checks the CI smoke runs: the artifact parses, names the
+/// expected schema, every scenario's percentiles are ordered, its
+/// degradation-ladder counts sum to its admitted count, and the
+/// exactly-one-response invariant held.
+fn validate(text: &str) {
+    let doc: Value = serde_json::from_str(text).expect("BENCH_serve.json does not parse");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("acir-bench-serve-v1"),
+        "schema marker missing"
+    );
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Value::as_array)
+        .expect("scenarios array missing");
+    assert!(!scenarios.is_empty(), "no scenarios recorded");
+    for s in scenarios {
+        let name = s.get("name").and_then(Value::as_str).expect("name");
+        let lat = s
+            .get("latency_ms")
+            .and_then(Value::as_object)
+            .unwrap_or_else(|| panic!("{name}: latency_ms missing"));
+        let q = |key: &str| lat.get(key).and_then(Value::as_f64).expect("percentile");
+        assert!(
+            q("p50") <= q("p90") && q("p90") <= q("p99") && q("p99") <= q("max"),
+            "{name}: percentiles out of order"
+        );
+        let admitted = s.get("admitted").and_then(Value::as_u64).expect("admitted");
+        let deg = s
+            .get("degradation")
+            .and_then(Value::as_object)
+            .unwrap_or_else(|| panic!("{name}: degradation missing"));
+        let total: u64 = deg.values().map(|v| v.as_u64().expect("count")).sum();
+        assert_eq!(
+            total, admitted,
+            "{name}: ladder counts must sum to the admitted count"
+        );
+        assert_eq!(
+            s.get("invariant_exactly_one_response")
+                .and_then(Value::as_bool),
+            Some(true),
+            "{name}: exactly-one-response invariant violated"
+        );
+    }
+}

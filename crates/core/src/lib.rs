@@ -66,7 +66,7 @@ pub mod figures;
 pub mod runtime {
     pub use acir_runtime::fault::corrupt;
     pub use acir_runtime::{
-        Budget, BudgetMeter, Certificate, ConvergenceGuard, Diagnostics, DivergenceCause,
+        Backoff, Budget, BudgetMeter, Certificate, ConvergenceGuard, Diagnostics, DivergenceCause,
         Exhaustion, FaultConfig, FaultStream, GuardConfig, GuardVerdict, KernelCtx, RetryPolicy,
         SolverOutcome,
     };
@@ -81,6 +81,22 @@ pub mod runtime {
 /// `ACIR_THREADS` environment variable steers the width globally.
 pub mod exec {
     pub use acir_exec::{chunk_ranges, ExecPool, MAX_CHUNKS, THREADS_ENV};
+}
+
+/// The fault-tolerant PPR query engine, re-exported from `acir-serve`.
+///
+/// A long-running [`Engine`](serve::Engine) that answers seed→cluster
+/// queries with admission control (bounded queue + work-token bucket)
+/// and a degradation ladder: under overload, deadline pressure, or
+/// injected faults it serves a coarser, *more* regularized answer —
+/// never a timeout. Every response is certified. The deterministic
+/// [`ChaosConfig`](serve::ChaosConfig) fault scheduler drives both the
+/// chaos test suite and the `servebench` load generator.
+pub mod serve {
+    pub use acir_serve::{
+        Admission, ChaosConfig, Engine, EngineConfig, EngineStats, Overloaded, Query, RejectReason,
+        Response, ResponseKind,
+    };
 }
 
 /// Curated re-exports: the API surface the examples and experiment

@@ -42,6 +42,11 @@
 //! * [`ExecPool::par_chunks_mut`] / [`ExecPool::par_zip_mut`] —
 //!   mutate disjoint chunks of a slice (optionally zipped with an
 //!   equally-chunked read-only slice).
+//! * [`ExecPool::try_par_map`] — [`par_map`](ExecPool::par_map) with a
+//!   per-item [`panic_fence`]: a panicking item yields `Err(message)`
+//!   in its slot instead of tearing down the region. This is the
+//!   panic-isolation seam supervised servers build on: a worker that
+//!   dies becomes a certified `diverged` outcome, never a crash.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +54,33 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Run `f`, converting a panic into `Err(message)`.
+///
+/// Safe-code wrapper over [`std::panic::catch_unwind`]: the supervised
+/// execution seam for code that must never crash the process (serve
+/// workers, chaos tests, batch items). The payload is flattened to a
+/// `String` via [`panic_message`] so callers can thread the cause into
+/// a `Diagnostics` event trail.
+///
+/// The standard panic hook still runs (so aborting panics keep their
+/// backtrace); tests that inject panics on purpose may want
+/// [`std::panic::set_hook`] to silence it.
+pub fn panic_fence<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|p| panic_message(p.as_ref()))
+}
+
+/// Best-effort human-readable form of a panic payload (`&str` and
+/// `String` payloads verbatim, anything else a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Environment variable controlling the default worker count.
 pub const THREADS_ENV: &str = "ACIR_THREADS";
@@ -192,6 +224,27 @@ impl ExecPool {
             );
         }
         out
+    }
+
+    /// Like [`ExecPool::par_map`], but each item runs behind a
+    /// [`panic_fence`]: an item whose closure panics lands as
+    /// `Err(panic message)` in its own slot, and every other item —
+    /// including the rest of the panicking item's chunk — still
+    /// completes. Result order matches input order, and the
+    /// `Ok` results are bit-identical to [`par_map`](ExecPool::par_map)
+    /// of the same closure (the fence adds no reordering).
+    pub fn try_par_map<T, U, F>(
+        &self,
+        items: &[T],
+        min_chunk: usize,
+        f: F,
+    ) -> Vec<Result<U, String>>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.par_map(items, min_chunk, |item| panic_fence(|| f(item)))
     }
 
     /// Deterministic reduction: `map` each chunk range to a partial,
@@ -471,6 +524,42 @@ mod tests {
     fn par_zip_mut_rejects_length_mismatch() {
         let mut dst = vec![0.0; 3];
         ExecPool::with_threads(2).par_zip_mut(&mut dst, &[1.0, 2.0], 1, |_, _| {});
+    }
+
+    #[test]
+    fn panic_fence_catches_and_reports() {
+        assert_eq!(panic_fence(|| 5), Ok(5));
+        let quiet = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let e = panic_fence(|| -> u32 { panic!("boom {}", 7) });
+        let s = panic_fence(|| -> u32 { panic!("literal") });
+        std::panic::set_hook(quiet);
+        assert_eq!(e, Err("boom 7".to_string()));
+        assert_eq!(s, Err("literal".to_string()));
+    }
+
+    #[test]
+    fn try_par_map_isolates_panicking_items() {
+        let quiet = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let items: Vec<u64> = (0..200).collect();
+        for threads in [1usize, 2, 4] {
+            let pool = ExecPool::with_threads(threads);
+            let out = pool.try_par_map(&items, 7, |&x| {
+                assert!(x % 31 != 3, "injected fault at {x}");
+                x * 2
+            });
+            for (i, r) in out.iter().enumerate() {
+                if items[i] % 31 == 3 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("injected fault"), "got {msg:?}");
+                } else {
+                    // Ok items bit-identical to the plain path.
+                    assert_eq!(*r, Ok(items[i] * 2), "threads={threads} i={i}");
+                }
+            }
+        }
+        std::panic::set_hook(quiet);
     }
 
     #[test]

@@ -39,8 +39,8 @@ pub use hkrelax::{hk_relax, hk_relax_budgeted, hk_relax_ctx, HkRelaxResult, HkWo
 pub use mov::{mov_vector, MovResult};
 pub use nibble::{nibble, nibble_budgeted, nibble_ctx, NibbleResult};
 pub use push::{
-    ppr_push, ppr_push_batch, ppr_push_budgeted, ppr_push_ctx, ppr_push_ws, PushResult,
-    PushWorkspace,
+    ppr_push, ppr_push_batch, ppr_push_batch_outcomes, ppr_push_budgeted, ppr_push_ctx,
+    ppr_push_ws, PushResult, PushWorkspace,
 };
 pub use sweep::{sweep_cut, sweep_cut_ctx, sweep_cut_sparse, sweep_cut_support, SweepResult};
 

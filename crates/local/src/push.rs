@@ -383,6 +383,80 @@ pub fn ppr_push_batch(
     outs.into_iter().collect()
 }
 
+/// Batched, per-item-budgeted, panic-isolated push: the serving-layer
+/// entry point. `budgets[i]` meters item `i`; the two slices must have
+/// equal length.
+///
+/// Every item comes back as its own [`SolverOutcome`], never an error
+/// and never a panic escaping the batch:
+///
+/// * a clean run is `Converged` (bit-identical to what
+///   [`ppr_push_budgeted`] returns for the same item, at any thread
+///   count — asserted by tests);
+/// * budget exhaustion is `BudgetExhausted` with the usual
+///   [`Certificate::ResidualMass`];
+/// * NaN/Inf contamination is `Diverged` via the contamination guard;
+/// * a worker panic is caught by [`acir_exec::panic_fence`] and lands
+///   as `Diverged` with the panic message in the event trail, leaving
+///   every other item of the batch intact.
+///
+/// Argument validation still fails the whole batch up front (parameter
+/// errors are programmer errors, not data-dependent outcomes).
+pub fn ppr_push_batch_outcomes(
+    g: &Graph,
+    seed_sets: &[Vec<NodeId>],
+    alpha: f64,
+    epsilon: f64,
+    budgets: &[Budget],
+) -> Result<Vec<SolverOutcome<PushResult>>> {
+    if seed_sets.len() != budgets.len() {
+        return Err(LocalError::InvalidArgument(format!(
+            "ppr_push_batch_outcomes: {} seed sets but {} budgets",
+            seed_sets.len(),
+            budgets.len()
+        )));
+    }
+    for seeds in seed_sets {
+        validate_push_args(g, seeds, alpha, epsilon)?;
+    }
+    let items: Vec<usize> = (0..seed_sets.len()).collect();
+    let fenced = acir_exec::ExecPool::from_env().try_par_map(&items, 1, |&i| {
+        let mut ctx = KernelCtx::budgeted("local.ppr_push", &budgets[i])
+            .with_guard(GuardConfig::contamination_only());
+        ppr_push_ctx(g, &seed_sets[i], alpha, epsilon, &mut ctx)
+    });
+    Ok(fenced
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(Ok(outcome)) => outcome,
+            Ok(Err(err)) => {
+                // Unreachable after up-front validation, but a batch
+                // item must never poison its neighbors.
+                let mut diags = acir_runtime::Diagnostics::new();
+                diags.note(format!("batch item error: {err}"));
+                SolverOutcome::diverged(
+                    DivergenceCause::Breakdown {
+                        at_iter: 0,
+                        what: "batch item returned an error",
+                    },
+                    diags,
+                )
+            }
+            Err(panic_msg) => {
+                let mut diags = acir_runtime::Diagnostics::new();
+                diags.note(format!("worker panic: {panic_msg}"));
+                SolverOutcome::diverged(
+                    DivergenceCause::Breakdown {
+                        at_iter: 0,
+                        what: "worker panicked mid-push",
+                    },
+                    diags,
+                )
+            }
+        })
+        .collect())
+}
+
 /// Context-driven ACL push: the [`KernelCtx`] decides whether the run is
 /// metered, guarded against contamination, or traced. Scratch is drawn
 /// from the module pool; the result is structured as a
@@ -512,6 +586,48 @@ mod tests {
         }
         // One bad seed set poisons the whole batch.
         assert!(ppr_push_batch(&g, &[vec![0], vec![]], 0.1, 1e-4).is_err());
+    }
+
+    #[test]
+    fn batch_outcomes_bit_identical_to_solo_budgeted_path() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = barabasi_albert(&mut rng, 300, 3).unwrap();
+        let seed_sets: Vec<Vec<NodeId>> = vec![vec![0], vec![5, 9], vec![42], vec![100, 200, 17]];
+        let budgets = vec![
+            Budget::unlimited(),
+            Budget::iterations(4),
+            Budget::work(50),
+            Budget::unlimited(),
+        ];
+        let solo: Vec<_> = seed_sets
+            .iter()
+            .zip(&budgets)
+            .map(|(s, b)| ppr_push_budgeted(&g, s, 0.1, 1e-4, b).unwrap())
+            .collect();
+        for threads in ["1", "4"] {
+            std::env::set_var("ACIR_THREADS", threads);
+            let batch = ppr_push_batch_outcomes(&g, &seed_sets, 0.1, 1e-4, &budgets).unwrap();
+            std::env::remove_var("ACIR_THREADS");
+            assert_eq!(batch.len(), solo.len());
+            for (i, (got, want)) in batch.iter().zip(&solo).enumerate() {
+                assert_eq!(got.is_converged(), want.is_converged(), "item {i}");
+                let (gv, wv) = (got.value().unwrap(), want.value().unwrap());
+                assert_eq!(gv.vector, wv.vector, "item {i} at {threads} threads");
+                assert_eq!(gv.pushes, wv.pushes);
+                assert_eq!(gv.residual_mass.to_bits(), wv.residual_mass.to_bits());
+            }
+        }
+        // Items under tight budgets exhaust with a certificate instead
+        // of erroring out.
+        let batch = ppr_push_batch_outcomes(&g, &seed_sets, 0.1, 1e-4, &budgets).unwrap();
+        assert!(!batch[1].is_converged() && batch[1].is_usable());
+        assert!(matches!(
+            batch[1].certificate(),
+            Some(acir_runtime::Certificate::ResidualMass { .. })
+        ));
+        // Length mismatch and bad seeds fail the batch up front.
+        assert!(ppr_push_batch_outcomes(&g, &seed_sets, 0.1, 1e-4, &budgets[..2]).is_err());
+        assert!(ppr_push_batch_outcomes(&g, &[vec![]], 0.1, 1e-4, &[Budget::unlimited()]).is_err());
     }
 
     #[test]

@@ -93,6 +93,16 @@ pub enum EventKind {
         /// The annotation text.
         text: String,
     },
+    /// A serving-layer request crossed a lifecycle stage
+    /// (`"admitted"`, `"degraded"`, `"retried"`, `"responded"`, …).
+    /// Emitted by `acir-serve`, never by kernels, so golden kernel
+    /// traces are unaffected.
+    Request {
+        /// Engine-assigned request id (unique per engine instance).
+        id: u64,
+        /// Lifecycle stage label.
+        stage: String,
+    },
 }
 
 impl EventKind {
@@ -110,6 +120,7 @@ impl EventKind {
             EventKind::SweepCut { .. } => "sweep_cut",
             EventKind::Diverged { .. } => "diverged",
             EventKind::Note { .. } => "note",
+            EventKind::Request { .. } => "request",
         }
     }
 }
@@ -170,6 +181,10 @@ impl Event {
             EventKind::Note { text } => {
                 entries.push(("text", Value::String(text.clone())));
             }
+            EventKind::Request { id, stage } => {
+                entries.push(("id", Value::Number(*id as f64)));
+                entries.push(("stage", Value::String(stage.clone())));
+            }
         }
         if include_wall {
             entries.push(("wall_us", Value::Number(self.wall_us as f64)));
@@ -214,6 +229,22 @@ mod tests {
         assert_eq!(line, r#"{"conductance":0.25,"kind":"sweep_cut","size":7}"#);
         let with_wall = serde_json::to_string(&e.to_value(true));
         assert!(with_wall.contains("\"wall_us\":123"));
+    }
+
+    #[test]
+    fn request_events_serialize_canonically() {
+        let e = Event {
+            wall_us: 0,
+            kind: EventKind::Request {
+                id: 42,
+                stage: "admitted".into(),
+            },
+        };
+        assert_eq!(e.kind.tag(), "request");
+        assert_eq!(
+            e.canonical_line(),
+            r#"{"id":42,"kind":"request","stage":"admitted"}"#
+        );
     }
 
     #[test]

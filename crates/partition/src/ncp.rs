@@ -319,8 +319,12 @@ pub fn ncp_local_spectral_budgeted(
     let shares = budget.split_across(chunks.len());
     let jobs: Vec<(&[NodeId], Budget)> = chunks.into_iter().zip(shares).collect();
 
+    // Each shard runs behind a panic fence: a worker that dies (e.g. a
+    // corrupted graph tripping an assert mid-push) forfeits only its own
+    // grid share — the surviving shards still merge into a certified
+    // partial profile instead of the panic unwinding through the pool.
     let pool = ExecPool::from_env_or(opts.threads);
-    let shards = pool.par_map(&jobs, 1, |&(chunk_seeds, share)| {
+    let shards = pool.try_par_map(&jobs, 1, |&(chunk_seeds, share)| {
         let mut ctx = KernelCtx::budgeted("partition.ncp_shard", &share);
         let (accum, done, exhausted) = ncp_shard(g, opts, chunk_seeds, &mut ctx);
         let mut diags = ctx.finish();
@@ -335,18 +339,44 @@ pub fn ncp_local_spectral_budgeted(
 
     // Merge shards in chunk order: accumulators fold, counters add, and
     // the reported exhaustion is the first worker's (fixed order, not
-    // completion order).
+    // completion order). Panicked shards count as unexplored coverage.
     let mut accum = NcpAccum::default();
     let mut diags = Diagnostics::for_kernel("partition.ncp_local");
     let mut done = 0usize;
     let mut exhausted = None;
-    for shard in shards {
-        accum.merge(shard.accum, opts.bins_per_decade);
-        done += shard.done;
-        diags.merge(&shard.diags);
-        if exhausted.is_none() {
-            exhausted = shard.exhausted;
+    let mut panics = 0usize;
+    let n_shards = shards.len();
+    for (i, slot) in shards.into_iter().enumerate() {
+        match slot {
+            Ok(shard) => {
+                accum.merge(shard.accum, opts.bins_per_decade);
+                done += shard.done;
+                diags.merge(&shard.diags);
+                if exhausted.is_none() {
+                    exhausted = shard.exhausted;
+                }
+            }
+            Err(panic_msg) => {
+                panics += 1;
+                diags.note(format!("shard {i} worker panic: {panic_msg}"));
+            }
         }
+    }
+    if panics == n_shards {
+        // Nothing survived: structured divergence, cause in the trail.
+        diags.finish_spans();
+        return Ok(SolverOutcome::diverged(
+            acir_runtime::DivergenceCause::Breakdown {
+                at_iter: 0,
+                what: "every NCP shard worker panicked",
+            },
+            diags,
+        ));
+    }
+    if panics > 0 && exhausted.is_none() {
+        // A dead shard's grid share will never be explored: certify the
+        // harvest as a partial along the work axis.
+        exhausted = Some(Exhaustion::Work);
     }
 
     if let Some(ex) = exhausted {

@@ -78,6 +78,24 @@ impl Budget {
         self
     }
 
+    /// The empty budget: zero iterations, zero work, no deadline. A
+    /// meter started on it reports [`Exhaustion::Iterations`] on its
+    /// very first check — the well-defined "nothing left" value that
+    /// over-splitting and re-splitting an exhausted run produce.
+    pub fn zero() -> Self {
+        Self {
+            max_iters: 0,
+            max_work: 0,
+            deadline: None,
+        }
+    }
+
+    /// Is this a budget no solver can make progress under (either
+    /// finite axis already at zero)?
+    pub fn is_zero(&self) -> bool {
+        self.max_iters == 0 || self.max_work == 0
+    }
+
     /// Split this budget into `k` fair shares for parallel workers.
     ///
     /// Iteration and work ceilings are divided so the shares sum to at
@@ -88,9 +106,19 @@ impl Budget {
     /// copied verbatim: workers run concurrently, so they share the
     /// calendar, not a quota.
     ///
-    /// Panics if `k == 0`.
+    /// Every edge case is well-defined (the serving layer splits live
+    /// capacity and cannot afford surprises):
+    ///
+    /// * `k == 0` returns an empty vector — no workers, no shares;
+    /// * `k` larger than a finite axis hands the first `total` shares
+    ///   one unit each and the rest [`Budget::zero`]-like zero shares,
+    ///   which exhaust immediately instead of panicking mid-compute;
+    /// * splitting an already-[`Budget::zero`] budget yields `k` zero
+    ///   shares.
     pub fn split_across(&self, k: usize) -> Vec<Budget> {
-        assert!(k > 0, "cannot split a budget across zero workers");
+        if k == 0 {
+            return Vec::new();
+        }
         let share = |total: u64, i: u64| -> u64 {
             if total == u64::MAX {
                 u64::MAX
@@ -237,6 +265,40 @@ impl BudgetMeter {
     pub fn is_exhausted(&self) -> bool {
         self.exhausted.is_some()
     }
+
+    /// Wall-clock time left before the deadline; `None` when no
+    /// deadline is set, `Some(ZERO)` once it has passed. The serving
+    /// layer's degradation ladder keys off this.
+    pub fn remaining_duration(&self) -> Option<Duration> {
+        self.budget
+            .deadline
+            .map(|d| d.saturating_sub(self.started.elapsed()))
+    }
+
+    /// The unconsumed portion of the budget, as a budget of its own:
+    /// finite axes subtract saturating (an exhausted axis leaves zero),
+    /// unlimited axes stay unlimited, and the deadline shrinks to the
+    /// time actually left (`ZERO` once passed, so a re-split of an
+    /// expired run hands out only immediately-exhausted shares).
+    ///
+    /// `remaining.split_across(k)` is therefore always well-defined:
+    /// re-splitting a dry run yields `k` empty budgets, never a panic
+    /// and never freshly minted capacity.
+    pub fn remaining_budget(&self) -> Budget {
+        Budget {
+            max_iters: if self.budget.max_iters == usize::MAX {
+                usize::MAX
+            } else {
+                self.budget.max_iters.saturating_sub(self.iters)
+            },
+            max_work: if self.budget.max_work == u64::MAX {
+                u64::MAX
+            } else {
+                self.budget.max_work.saturating_sub(self.work)
+            },
+            deadline: self.remaining_duration(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -319,9 +381,88 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero workers")]
-    fn split_across_zero_panics() {
-        let _ = Budget::unlimited().split_across(0);
+    fn split_across_zero_shares_is_empty() {
+        assert!(Budget::unlimited().split_across(0).is_empty());
+        assert!(Budget::work(100).split_across(0).is_empty());
+        assert!(Budget::zero().split_across(0).is_empty());
+    }
+
+    #[test]
+    fn split_across_more_shares_than_budget_yields_zero_tails() {
+        // 3 work units over 5 workers: first three get one unit, the
+        // last two get well-defined zero budgets (not a panic, not a
+        // debug-only wrap). A zero share exhausts on its first check.
+        let shares = Budget::work(3).split_across(5);
+        assert_eq!(
+            shares.iter().map(|b| b.max_work).collect::<Vec<_>>(),
+            vec![1, 1, 1, 0, 0]
+        );
+        assert!(shares[4].is_zero());
+        let mut m = shares[4].start();
+        assert_eq!(m.check(), Some(Exhaustion::Work));
+
+        let it = Budget::iterations(2).split_across(4);
+        assert_eq!(
+            it.iter().map(|b| b.max_iters).collect::<Vec<_>>(),
+            vec![1, 1, 0, 0]
+        );
+        let mut m = it[3].start();
+        assert_eq!(m.check(), Some(Exhaustion::Iterations));
+    }
+
+    #[test]
+    fn splitting_a_zero_budget_yields_zero_shares() {
+        let shares = Budget::zero().split_across(3);
+        assert_eq!(shares.len(), 3);
+        for b in shares {
+            assert!(b.is_zero());
+            assert_eq!(b.start().check(), Some(Exhaustion::Iterations));
+        }
+    }
+
+    #[test]
+    fn remaining_budget_subtracts_and_preserves_unlimited() {
+        let mut m = Budget::work(10).with_max_iters(4).start();
+        m.tick_iter();
+        m.add_work(6);
+        let rem = m.remaining_budget();
+        assert_eq!(rem.max_iters, 3);
+        assert_eq!(rem.max_work, 4);
+        assert_eq!(rem.deadline, None);
+
+        // Unlimited axes stay unlimited after consumption.
+        let mut m = Budget::unlimited().start();
+        m.tick_iter();
+        m.add_work(1 << 20);
+        let rem = m.remaining_budget();
+        assert_eq!(rem.max_iters, usize::MAX);
+        assert_eq!(rem.max_work, u64::MAX);
+    }
+
+    #[test]
+    fn resplitting_an_exhausted_run_hands_out_empty_budgets() {
+        let mut m = Budget::work(5).start();
+        assert_eq!(m.add_work(9), Some(Exhaustion::Work));
+        let rem = m.remaining_budget();
+        assert!(rem.is_zero());
+        for b in rem.split_across(4) {
+            assert!(b.is_zero());
+            assert!(b.start().check().is_some());
+        }
+    }
+
+    #[test]
+    fn remaining_duration_clamps_at_zero() {
+        let m = Budget::deadline(Duration::from_secs(3600)).start();
+        let left = m.remaining_duration().unwrap();
+        assert!(left > Duration::from_secs(3500));
+        let mut m = Budget::deadline(Duration::ZERO).start();
+        assert_eq!(m.remaining_duration(), Some(Duration::ZERO));
+        assert_eq!(m.check(), Some(Exhaustion::Deadline));
+        // The remaining budget of an expired run is itself expired.
+        let rem = m.remaining_budget();
+        assert_eq!(rem.deadline, Some(Duration::ZERO));
+        assert_eq!(rem.start().check(), Some(Exhaustion::Deadline));
     }
 
     #[test]

@@ -177,6 +177,27 @@ impl KernelCtx {
         self.meter.as_ref()
     }
 
+    /// Wall-clock left before the deadline: `None` when no meter or no
+    /// deadline is attached (run forever), `Some(ZERO)` once expired.
+    /// Degradation ladders key off this to pick a rung that can still
+    /// finish in time.
+    #[inline]
+    pub fn remaining_time(&self) -> Option<std::time::Duration> {
+        self.meter
+            .as_ref()
+            .and_then(BudgetMeter::remaining_duration)
+    }
+
+    /// What is left of the budget right now, as a [`Budget`] that can
+    /// be handed to a cheaper fallback kernel. Unmetered contexts
+    /// report an unlimited budget.
+    #[inline]
+    pub fn remaining_budget(&self) -> Budget {
+        self.meter
+            .as_ref()
+            .map_or_else(Budget::unlimited, BudgetMeter::remaining_budget)
+    }
+
     // ---- guard hooks ---------------------------------------------------
 
     /// Feed one residual to the guard; [`GuardVerdict::Proceed`] when

@@ -156,6 +156,19 @@ impl Diagnostics {
         self.metrics.incr("faults_injected", count);
     }
 
+    /// Record a serving-layer request lifecycle stage (`"admitted"`,
+    /// `"degraded"`, `"responded"`, …). Kernels never emit these;
+    /// `acir-serve` uses them to stitch per-request stories out of the
+    /// shared trace vocabulary.
+    pub fn request_stage(&mut self, id: u64, stage: impl Into<String>) {
+        let stage = stage.into();
+        self.trace.record(EventKind::Request {
+            id,
+            stage: stage.clone(),
+        });
+        self.events.push(format!("request {id}: {stage}"));
+    }
+
     /// Record a sweep cut (or harvested cluster).
     pub fn sweep_cut(&mut self, size: usize, conductance: f64) {
         self.trace.record(EventKind::SweepCut { size, conductance });
@@ -313,8 +326,11 @@ mod tests {
         d.fault_injected("nan", 3);
         d.fault_injected("nan", 0); // no-op
         d.restart(1, "fresh seed");
+        d.request_stage(7, "admitted");
         d.finish_spans();
         let c = d.trace.counts();
+        assert_eq!(c["request"], 1);
+        assert!(d.events.iter().any(|e| e == "request 7: admitted"));
         assert_eq!(c["span_enter"], 1);
         assert_eq!(c["span_exit"], 1);
         assert_eq!(c["residual"], 1);

@@ -69,5 +69,5 @@ pub use diagnostics::Diagnostics;
 pub use fault::{FaultConfig, FaultStream};
 pub use guard::{ConvergenceGuard, GuardConfig, GuardVerdict};
 pub use outcome::{Certificate, DivergenceCause, SolverOutcome};
-pub use policy::RetryPolicy;
+pub use policy::{Backoff, RetryPolicy};
 pub use workspace::{StampedSet, StampedVec, Workspace, WorkspacePool};

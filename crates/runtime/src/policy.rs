@@ -1,7 +1,103 @@
 //! Retry-with-escalation: a small, reusable shell around "attempt,
-//! and on divergence try the next-stronger variant".
+//! and on divergence try the next-stronger variant", plus the
+//! deterministic exponential [`Backoff`] the serving supervisor waits
+//! between attempts.
 
 use crate::outcome::SolverOutcome;
+use std::time::Duration;
+
+/// Deterministic exponential backoff with bounded jitter.
+///
+/// The nominal delay before retry `k` (0-based: the wait *after* the
+/// first failed attempt has `k = 0`) is `base · factor^k`, capped at
+/// `cap`. Jitter then shrinks it by up to `jitter` of itself:
+/// `delay ∈ [(1 − jitter) · nominal, nominal]`, drawn from a
+/// [SplitMix64-style] hash of `(seed, k)` — a pure function, so a
+/// replayed schedule waits exactly as long as the original and tests
+/// can assert the sequence. Shrinking (rather than stretching) keeps
+/// the cap a hard upper bound, which deadline math relies on.
+///
+/// [SplitMix64-style]: crate::fault
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backoff {
+    /// Nominal delay before the first retry.
+    pub base: Duration,
+    /// Multiplier applied per further retry (≥ 1 in practice).
+    pub factor: f64,
+    /// Hard upper bound on any single delay.
+    pub cap: Duration,
+    /// Jitter fraction in `[0, 1)`: how much of the nominal delay may
+    /// be shaved off.
+    pub jitter: f64,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl Backoff {
+    /// No waiting at all (every delay is zero) — the default, so
+    /// kernel-side retry ladders keep their historical behavior.
+    pub fn none() -> Self {
+        Self {
+            base: Duration::ZERO,
+            factor: 1.0,
+            cap: Duration::ZERO,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Exponential doubling from `base` up to `cap`, no jitter.
+    pub fn exponential(base: Duration, cap: Duration) -> Self {
+        Self {
+            base,
+            factor: 2.0,
+            cap,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Builder: shave up to `fraction` of each delay, deterministically
+    /// from `seed`. `fraction` is clamped to `[0, 1)`.
+    pub fn with_jitter(mut self, fraction: f64, seed: u64) -> Self {
+        self.jitter = fraction.clamp(0.0, 0.999_999);
+        self.seed = seed;
+        self
+    }
+
+    /// The delay before 0-based retry `k`. Pure in `(self, k)`.
+    pub fn delay(&self, k: usize) -> Duration {
+        if self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let nominal = (self.base.as_secs_f64() * self.factor.max(0.0).powi(k.min(64) as i32))
+            .min(self.cap.as_secs_f64().max(self.base.as_secs_f64()));
+        let scaled = if self.jitter > 0.0 {
+            // One SplitMix64 round over (seed, k): replayable jitter.
+            let mut z = self
+                .seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(k as u64 + 1));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            let unit = ((z ^ (z >> 31)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            nominal * (1.0 - self.jitter * unit)
+        } else {
+            nominal
+        };
+        Duration::from_secs_f64(scaled.max(0.0))
+    }
+
+    /// The first `n` delays, for logging a planned schedule.
+    pub fn schedule(&self, n: usize) -> Vec<Duration> {
+        (0..n).map(|k| self.delay(k)).collect()
+    }
+}
 
 /// Bounded retry loop for solvers with known escalation ladders.
 ///
@@ -17,25 +113,42 @@ pub struct RetryPolicy {
     /// Total attempts allowed (including the first). `1` disables
     /// retries.
     pub max_attempts: usize,
+    /// Delay schedule between attempts. Defaults to [`Backoff::none`]
+    /// (no waiting), which is what in-process kernel ladders want; the
+    /// serve supervisor opts into exponential backoff.
+    pub backoff: Backoff,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        Self { max_attempts: 3 }
+        Self {
+            max_attempts: 3,
+            backoff: Backoff::none(),
+        }
     }
 }
 
 impl RetryPolicy {
     /// A policy that never retries.
     pub fn none() -> Self {
-        Self { max_attempts: 1 }
+        Self {
+            max_attempts: 1,
+            backoff: Backoff::none(),
+        }
     }
 
     /// A policy allowing `n` total attempts.
     pub fn attempts(n: usize) -> Self {
         Self {
             max_attempts: n.max(1),
+            backoff: Backoff::none(),
         }
+    }
+
+    /// Builder: wait according to `backoff` before each retry.
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = backoff;
+        self
     }
 
     /// Run `attempt(k)` for `k = 0, 1, …` until it converges, exhausts
@@ -82,6 +195,13 @@ impl RetryPolicy {
                 reason: format!("attempt {k} diverged: {cause}"),
             });
             carried.metrics.incr("restarts", 1);
+            let delay = self.backoff.delay(k);
+            if !delay.is_zero() {
+                carried
+                    .events
+                    .push(format!("backoff before attempt {}: {delay:?}", k + 1));
+                std::thread::sleep(delay);
+            }
             k += 1;
         }
     }
@@ -188,5 +308,71 @@ mod tests {
     fn errors_propagate() {
         let out: Result<SolverOutcome<u32>, &str> = RetryPolicy::default().run(|_| Err("boom"));
         assert_eq!(out.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn backoff_none_is_all_zero() {
+        let b = Backoff::none();
+        assert_eq!(b.schedule(4), vec![Duration::ZERO; 4]);
+    }
+
+    #[test]
+    fn backoff_sequence_doubles_then_caps() {
+        let b = Backoff::exponential(Duration::from_millis(10), Duration::from_millis(50));
+        assert_eq!(
+            b.schedule(5),
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(40),
+                Duration::from_millis(50),
+                Duration::from_millis(50),
+            ]
+        );
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds_and_is_deterministic() {
+        let b = Backoff::exponential(Duration::from_millis(100), Duration::from_secs(1))
+            .with_jitter(0.5, 42);
+        for k in 0..16 {
+            let d = b.delay(k);
+            let nominal = Backoff::exponential(b.base, b.cap).delay(k);
+            assert!(d <= nominal, "jitter must only shrink: {d:?} > {nominal:?}");
+            let floor = nominal.mul_f64(1.0 - b.jitter);
+            assert!(
+                d >= floor.saturating_sub(Duration::from_nanos(1)),
+                "jitter below floor at k={k}: {d:?} < {floor:?}"
+            );
+        }
+        // Same seed → same schedule; different seed → (almost surely) not.
+        assert_eq!(b.schedule(8), b.schedule(8));
+        let other = b.with_jitter(0.5, 43);
+        assert_ne!(b.schedule(8), other.schedule(8));
+    }
+
+    #[test]
+    fn retry_loop_applies_backoff_between_attempts() {
+        let policy = RetryPolicy::attempts(3).with_backoff(Backoff::exponential(
+            Duration::from_millis(2),
+            Duration::from_millis(4),
+        ));
+        let t0 = std::time::Instant::now();
+        let out: Result<SolverOutcome<u32>, ()> = policy.run(|_| Ok(diverged()));
+        // Two retries: 2ms + 4ms of deliberate waiting.
+        assert!(t0.elapsed() >= Duration::from_millis(6));
+        let out = out.unwrap();
+        assert!(!out.is_usable());
+        assert!(out
+            .diagnostics()
+            .events
+            .iter()
+            .any(|e| e.contains("backoff before attempt")));
+    }
+
+    #[test]
+    fn huge_attempt_index_does_not_overflow() {
+        let b = Backoff::exponential(Duration::from_millis(1), Duration::from_secs(2));
+        assert_eq!(b.delay(10_000), Duration::from_secs(2));
     }
 }

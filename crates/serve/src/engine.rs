@@ -1,0 +1,1188 @@
+//! The query engine: admission control, deadline-aware degradation,
+//! retry supervision, and batched execution.
+//!
+//! Lifecycle of a request (each stage mirrored as a `request` event in
+//! the engine trace):
+//!
+//! ```text
+//! submit ──► admission (queue bound + token-bucket grant) ──► queued
+//! run_pending ──► ladder (requested ε → coarser ε → fallback)
+//!             ──► lockstep batch attempt (same α, ε rung, epoch)
+//!             ──► RetryPolicy supervision (panic fence + NaN guard,
+//!                 exponential backoff, capped attempts)
+//!             ──► response: Full | Coarsened | Partial | Stale |
+//!                 SeedOnly — always exactly one, always certified
+//! ```
+
+use crate::chaos::ChaosConfig;
+use acir_graph::{Graph, NodeId};
+use acir_local::push::{ppr_push_batch_outcomes, ppr_push_ctx, PushResult};
+use acir_runtime::{
+    Backoff, Budget, Certificate, Diagnostics, DivergenceCause, GuardConfig, KernelCtx,
+    RetryPolicy, SolverOutcome,
+};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// A seed→cluster PPR query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Seed nodes (uniform teleport mass over them).
+    pub seeds: Vec<NodeId>,
+    /// Teleportation probability, in `(0, 1)`.
+    pub alpha: f64,
+    /// Requested truncation threshold (the client's accuracy ask; the
+    /// ladder may coarsen it under pressure).
+    pub epsilon: f64,
+    /// Per-request deadline; `None` falls back to
+    /// [`EngineConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Bounded queue length; submissions beyond it are rejected.
+    pub queue_cap: usize,
+    /// Token-bucket capacity in work units (edge traversals).
+    pub capacity: u64,
+    /// Tokens added back per [`Engine::run_pending`] cycle.
+    pub refill_per_cycle: u64,
+    /// Smallest admissible grant; a thinner share is rejected as
+    /// budget starvation instead of admitting a request that could
+    /// only ever produce a near-empty partial.
+    pub min_grant: u64,
+    /// Deadline applied to queries that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Total attempts per request (first try + retries).
+    pub max_attempts: usize,
+    /// Delay schedule between attempts.
+    pub backoff: Backoff,
+    /// Number of ×10 ε-coarsening rungs below the requested accuracy.
+    pub ladder_rungs: u32,
+    /// Fault-injection plan for chaos testing; `None` in production.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            queue_cap: 64,
+            capacity: 1_000_000,
+            refill_per_cycle: 1_000_000,
+            min_grant: 64,
+            default_deadline: None,
+            max_attempts: 3,
+            backoff: Backoff::none(),
+            ladder_rungs: 2,
+            chaos: None,
+        }
+    }
+}
+
+/// Why a submission was refused at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded queue is at capacity.
+    QueueFull,
+    /// The token bucket cannot fund a useful grant right now.
+    BudgetStarved,
+    /// The query itself is malformed (bad α/ε, missing or unusable
+    /// seeds); resubmitting without change will never succeed.
+    InvalidQuery,
+}
+
+/// Structured overload/rejection response: the only way the engine
+/// says no, and it says it *at admission*, never mid-compute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Overloaded {
+    /// Which admission gate refused the request.
+    pub reason: RejectReason,
+    /// Human-readable specifics (queue depth, available tokens, …).
+    pub detail: String,
+}
+
+/// Outcome of [`Engine::submit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Admission {
+    /// Admitted: the request will receive exactly one response.
+    Accepted {
+        /// Engine-assigned request id.
+        id: u64,
+        /// Work tokens carved from the global bucket for this request.
+        granted_work: u64,
+    },
+    /// Refused at the door with a structured reason.
+    Rejected(Overloaded),
+}
+
+impl Admission {
+    /// The admitted request id, if any.
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Admission::Accepted { id, .. } => Some(*id),
+            Admission::Rejected(_) => None,
+        }
+    }
+
+    /// Was the request admitted?
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Admission::Accepted { .. })
+    }
+}
+
+/// Which rung of the degradation ladder produced a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseKind {
+    /// Converged at the requested ε.
+    Full,
+    /// Converged, but at a coarser ε chosen to fit the grant.
+    Coarsened,
+    /// Budget or deadline truncated the push; the partial diffusion is
+    /// returned with its exhaustion certificate.
+    Partial,
+    /// A cached (possibly stale-epoch) earlier answer for the same
+    /// seeds and α.
+    Stale,
+    /// Last resort: the seed distribution itself — the most
+    /// regularized answer on the ladder (zero pushes).
+    SeedOnly,
+}
+
+impl ResponseKind {
+    /// Stable snake_case label, used in stages, stats, and BENCH output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResponseKind::Full => "full",
+            ResponseKind::Coarsened => "coarsened",
+            ResponseKind::Partial => "partial",
+            ResponseKind::Stale => "stale",
+            ResponseKind::SeedOnly => "seed_only",
+        }
+    }
+
+    /// Anything below the top rung counts as degraded service.
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, ResponseKind::Full)
+    }
+}
+
+/// The single certified answer an admitted request receives.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Request id from [`Admission::Accepted`].
+    pub id: u64,
+    /// Ladder rung that produced the answer.
+    pub kind: ResponseKind,
+    /// ε the client asked for.
+    pub epsilon_requested: f64,
+    /// ε the answer actually satisfies (== requested for `Full`).
+    pub epsilon_used: f64,
+    /// The cluster embedding, sparse `(node, value)` pairs.
+    pub cluster: Vec<(NodeId, f64)>,
+    /// Quality bound: exactly how approximate this answer is.
+    pub certificate: Certificate,
+    /// Retry attempts consumed by the supervisor.
+    pub retries: usize,
+    /// Admission-to-response wall time.
+    pub latency: Duration,
+    /// Full per-request trail: kernel spans, restarts, faults, stages.
+    pub diagnostics: Diagnostics,
+}
+
+/// Aggregate service counters.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Total submissions, admitted or not.
+    pub submitted: u64,
+    /// Requests admitted (each owed exactly one response).
+    pub admitted: u64,
+    /// Rejections: bounded queue at capacity.
+    pub rejected_queue_full: u64,
+    /// Rejections: token bucket starved.
+    pub rejected_starved: u64,
+    /// Rejections: malformed query.
+    pub rejected_invalid: u64,
+    /// Responses delivered.
+    pub responded: u64,
+    /// Ladder counts, one per [`ResponseKind`].
+    pub full: u64,
+    /// See [`ResponseKind::Coarsened`].
+    pub coarsened: u64,
+    /// See [`ResponseKind::Partial`].
+    pub partial: u64,
+    /// See [`ResponseKind::Stale`].
+    pub stale: u64,
+    /// See [`ResponseKind::SeedOnly`].
+    pub seed_only: u64,
+    /// Retry attempts performed by the supervisor.
+    pub retries: u64,
+    /// Worker panics converted into diverged outcomes.
+    pub panics_caught: u64,
+    /// NaN corruptions detected by response validation.
+    pub faults_detected: u64,
+}
+
+impl EngineStats {
+    /// Responses served below the top ladder rung.
+    pub fn degraded(&self) -> u64 {
+        self.coarsened + self.partial + self.stale + self.seed_only
+    }
+}
+
+/// An admitted request waiting in the bounded queue.
+#[derive(Debug, Clone)]
+struct Pending {
+    id: u64,
+    query: Query,
+    grant: u64,
+    deadline: Option<Duration>,
+    admitted_at: Instant,
+    epoch: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    epoch: u64,
+    epsilon: f64,
+    vector: Vec<(NodeId, f64)>,
+    certificate: Certificate,
+}
+
+type CacheKey = (Vec<NodeId>, u64);
+
+fn cache_key(seeds: &[NodeId], alpha: f64) -> CacheKey {
+    let mut s = seeds.to_vec();
+    s.sort_unstable();
+    s.dedup();
+    (s, alpha.to_bits())
+}
+
+/// Worst-case push count of an ε-truncated diffusion, the same
+/// `O(1/(εα))` bound the kernel's safety cap uses — the ladder's
+/// admission-time cost model.
+fn est_cost(epsilon: f64, alpha: f64) -> u64 {
+    (4.0 / (epsilon * alpha)).ceil() as u64
+}
+
+/// The long-running PPR query engine. See the crate docs for the
+/// degradation contract.
+#[derive(Debug)]
+pub struct Engine {
+    g: Graph,
+    cfg: EngineConfig,
+    epoch: u64,
+    next_id: u64,
+    available: u64,
+    queue: VecDeque<Pending>,
+    cache: HashMap<CacheKey, CacheEntry>,
+    stats: EngineStats,
+    trace: Diagnostics,
+}
+
+impl Engine {
+    /// An engine serving queries against `g`.
+    pub fn new(g: Graph, cfg: EngineConfig) -> Self {
+        let available = cfg.capacity;
+        Self {
+            g,
+            cfg,
+            epoch: 0,
+            next_id: 0,
+            available,
+            cache: HashMap::new(),
+            queue: VecDeque::new(),
+            stats: EngineStats::default(),
+            trace: Diagnostics::new(),
+        }
+    }
+
+    /// Swap in a new graph snapshot and bump the epoch. Requests
+    /// already queued keep their old epoch stamp, so they are never
+    /// batched with new-epoch requests; cached answers from earlier
+    /// epochs remain servable as `Stale`.
+    pub fn update_graph(&mut self, g: Graph) {
+        self.g = g;
+        self.epoch += 1;
+        self.trace
+            .note(format!("graph swapped; epoch {}", self.epoch));
+    }
+
+    /// Current graph epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Queued (admitted, unanswered) request count.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Work tokens currently available for new grants.
+    pub fn available_tokens(&self) -> u64 {
+        self.available
+    }
+
+    /// Service counters so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Engine-level trail of request lifecycle events.
+    pub fn trace(&self) -> &Diagnostics {
+        &self.trace
+    }
+
+    fn validate(&self, q: &Query) -> Result<(), String> {
+        if !(q.alpha > 0.0 && q.alpha < 1.0) {
+            return Err(format!("alpha must be in (0, 1), got {}", q.alpha));
+        }
+        if !(q.epsilon > 0.0 && q.epsilon.is_finite()) {
+            return Err(format!("epsilon must be positive, got {}", q.epsilon));
+        }
+        if q.seeds.is_empty() {
+            return Err("query needs at least one seed".into());
+        }
+        for &u in &q.seeds {
+            if u as usize >= self.g.n() {
+                return Err(format!("seed {u} out of range for |V| = {}", self.g.n()));
+            }
+            if self.g.degree(u) <= 0.0 {
+                return Err(format!("seed {u} has zero degree"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Admission control: bounded queue plus a token-bucket grant.
+    ///
+    /// The grant is the first (largest) share of
+    /// `Budget::work(available).split_across(free_slots)` — splitting
+    /// over the *free* queue slots keeps enough in reserve that a
+    /// burst right behind this request is not automatically starved.
+    /// Rejections are structural ([`Overloaded`]) and happen before
+    /// any diffusion work is spent.
+    pub fn submit(&mut self, query: Query) -> Admission {
+        self.stats.submitted += 1;
+        if let Err(detail) = self.validate(&query) {
+            self.stats.rejected_invalid += 1;
+            return Admission::Rejected(Overloaded {
+                reason: RejectReason::InvalidQuery,
+                detail,
+            });
+        }
+        if self.queue.len() >= self.cfg.queue_cap {
+            self.stats.rejected_queue_full += 1;
+            return Admission::Rejected(Overloaded {
+                reason: RejectReason::QueueFull,
+                detail: format!("queue at capacity {}", self.cfg.queue_cap),
+            });
+        }
+        let free = self.cfg.queue_cap - self.queue.len();
+        let grant = Budget::work(self.available)
+            .split_across(free)
+            .first()
+            .map_or(0, |b| b.max_work);
+        if grant < self.cfg.min_grant {
+            self.stats.rejected_starved += 1;
+            return Admission::Rejected(Overloaded {
+                reason: RejectReason::BudgetStarved,
+                detail: format!(
+                    "{} work tokens available across {free} free slots",
+                    self.available
+                ),
+            });
+        }
+        self.available -= grant;
+        let id = self.next_id;
+        self.next_id += 1;
+        let deadline = query.deadline.or(self.cfg.default_deadline);
+        self.trace.request_stage(id, "admitted");
+        self.queue.push_back(Pending {
+            id,
+            query,
+            grant,
+            deadline,
+            admitted_at: Instant::now(),
+            epoch: self.epoch,
+        });
+        self.stats.admitted += 1;
+        Admission::Accepted {
+            id,
+            granted_work: grant,
+        }
+    }
+
+    /// Pick the ladder rung for a queued request: the finest ε whose
+    /// estimated cost fits the grant, coarsening ×10 per rung. Returns
+    /// `None` when the deadline has already expired — such a request
+    /// skips compute entirely and goes straight to the cached/seed-only
+    /// fallback. If even the coarsest rung cannot fit, the coarsest is
+    /// attempted anyway and the meter truncates it into a certified
+    /// partial.
+    fn choose_rung(&self, p: &Pending) -> Option<(f64, Budget)> {
+        let remaining = match p.deadline {
+            Some(d) => {
+                let left = d.saturating_sub(p.admitted_at.elapsed());
+                if left.is_zero() {
+                    return None;
+                }
+                Some(left)
+            }
+            None => None,
+        };
+        let mut eps_used = p.query.epsilon;
+        for k in 0..=self.cfg.ladder_rungs {
+            eps_used = p.query.epsilon * 10f64.powi(k as i32);
+            if est_cost(eps_used, p.query.alpha) <= p.grant {
+                break;
+            }
+        }
+        let mut budget = Budget::work(p.grant);
+        if let Some(left) = remaining {
+            budget = budget.with_deadline(left);
+        }
+        Some((eps_used, budget))
+    }
+
+    /// Execute everything queued: ladder selection, lockstep batching
+    /// of compatible requests, retry supervision, fallback service.
+    /// Returns exactly one certified [`Response`] per queued request,
+    /// in admission order, and refills the token bucket for the next
+    /// cycle.
+    pub fn run_pending(&mut self) -> Vec<Response> {
+        let pending: Vec<Pending> = self.queue.drain(..).collect();
+        let mut responses: Vec<Response> = Vec::with_capacity(pending.len());
+        if pending.is_empty() {
+            self.refill();
+            return responses;
+        }
+
+        let mut computes: Vec<(Pending, f64, Budget)> = Vec::new();
+        for p in pending {
+            match self.choose_rung(&p) {
+                Some((eps_used, budget)) => {
+                    if eps_used > p.query.epsilon {
+                        self.trace
+                            .request_stage(p.id, format!("degraded:eps={eps_used:e}"));
+                    }
+                    computes.push((p, eps_used, budget));
+                }
+                None => {
+                    self.trace.request_stage(p.id, "deadline_expired");
+                    let r = self.fallback_response(p, Diagnostics::new());
+                    responses.push(r);
+                }
+            }
+        }
+
+        // Coalesce compatible requests (same α, same ε rung, same graph
+        // epoch) into one lockstep batch call for attempt 0. BTreeMap
+        // keys keep group order deterministic.
+        let mut groups: BTreeMap<(u64, u64, u64), Vec<usize>> = BTreeMap::new();
+        for (i, (p, eps, _)) in computes.iter().enumerate() {
+            groups
+                .entry((p.query.alpha.to_bits(), eps.to_bits(), p.epoch))
+                .or_default()
+                .push(i);
+        }
+        let mut firsts: Vec<Option<SolverOutcome<PushResult>>> =
+            (0..computes.len()).map(|_| None).collect();
+        for ((_, _, epoch), idxs) in &groups {
+            if *epoch != self.epoch {
+                // The graph moved underneath these requests; they take
+                // the solo supervised path against the current graph.
+                continue;
+            }
+            let alpha = computes[idxs[0]].0.query.alpha;
+            let eps = computes[idxs[0]].1;
+            if self.cfg.chaos.is_none() {
+                let seed_sets: Vec<Vec<NodeId>> = idxs
+                    .iter()
+                    .map(|&i| computes[i].0.query.seeds.clone())
+                    .collect();
+                let budgets: Vec<Budget> = idxs.iter().map(|&i| computes[i].2).collect();
+                if let Ok(outs) = ppr_push_batch_outcomes(&self.g, &seed_sets, alpha, eps, &budgets)
+                {
+                    for (&slot, out) in idxs.iter().zip(outs) {
+                        firsts[slot] = Some(out);
+                    }
+                }
+            } else {
+                // Chaos-instrumented lockstep call: same per-item
+                // budgeted/guarded context as the batch entry point,
+                // plus the fault hooks, each item behind its own fence.
+                let g = &self.g;
+                let chaos = self.cfg.chaos.as_ref();
+                let outs = acir_exec::ExecPool::from_env().par_map(idxs, 1, |&i| {
+                    let (p, e, b) = &computes[i];
+                    supervised_attempt(g, chaos, p.id, &p.query.seeds, p.query.alpha, *e, b, 0)
+                });
+                for (&slot, out) in idxs.iter().zip(outs) {
+                    firsts[slot] = Some(out);
+                }
+            }
+        }
+
+        for ((p, eps_used, budget), first) in computes.into_iter().zip(firsts) {
+            let r = self.supervise(p, eps_used, budget, first);
+            responses.push(r);
+        }
+
+        self.refill();
+        responses.sort_by_key(|r| r.id);
+        responses
+    }
+
+    /// Drain the queue and return every outstanding response. The
+    /// admitted-means-answered invariant holds through shutdown.
+    pub fn shutdown(mut self) -> Vec<Response> {
+        let responses = self.run_pending();
+        debug_assert!(self.queue.is_empty());
+        responses
+    }
+
+    fn refill(&mut self) {
+        self.available = self
+            .available
+            .saturating_add(self.cfg.refill_per_cycle)
+            .min(self.cfg.capacity);
+    }
+
+    /// Retry supervision for one request: the batched attempt 0 feeds a
+    /// [`RetryPolicy`] loop (panics and NaNs arrive as `Diverged`),
+    /// with exponential backoff between attempts and the whole trail
+    /// carried into the surviving outcome. A request that exhausts its
+    /// attempts falls through to the cached/seed-only rungs — it still
+    /// gets a certified response.
+    fn supervise(
+        &mut self,
+        p: Pending,
+        eps_used: f64,
+        budget: Budget,
+        first: Option<SolverOutcome<PushResult>>,
+    ) -> Response {
+        let policy = RetryPolicy::attempts(self.cfg.max_attempts).with_backoff(self.cfg.backoff);
+        let out = {
+            let g = &self.g;
+            let chaos = self.cfg.chaos.as_ref();
+            let mut first = first;
+            let run: Result<_, std::convert::Infallible> = policy.run(|k| {
+                Ok(match first.take() {
+                    Some(o) if k == 0 => o,
+                    _ => supervised_attempt(
+                        g,
+                        chaos,
+                        p.id,
+                        &p.query.seeds,
+                        p.query.alpha,
+                        eps_used,
+                        &budget,
+                        k,
+                    ),
+                })
+            });
+            match run {
+                Ok(out) => out,
+                Err(never) => match never {},
+            }
+        };
+
+        let retries = out.diagnostics().restarts;
+        self.stats.retries += retries as u64;
+        let panics = out
+            .diagnostics()
+            .events
+            .iter()
+            .filter(|e| e.contains("worker panic:"))
+            .count() as u64;
+        self.stats.panics_caught += panics;
+        self.stats.faults_detected += out.diagnostics().metrics.counter("faults_injected");
+
+        match out {
+            SolverOutcome::Converged { value, diagnostics } => {
+                let certificate = Certificate::ResidualMass {
+                    remaining: value.residual_mass,
+                    per_degree_bound: eps_used,
+                };
+                self.cache.insert(
+                    cache_key(&p.query.seeds, p.query.alpha),
+                    CacheEntry {
+                        epoch: p.epoch,
+                        epsilon: eps_used,
+                        vector: value.vector.clone(),
+                        certificate,
+                    },
+                );
+                let kind = if eps_used > p.query.epsilon {
+                    ResponseKind::Coarsened
+                } else {
+                    ResponseKind::Full
+                };
+                self.respond(
+                    p,
+                    kind,
+                    eps_used,
+                    value.vector,
+                    certificate,
+                    retries,
+                    diagnostics,
+                )
+            }
+            SolverOutcome::BudgetExhausted {
+                best_so_far,
+                certificate,
+                diagnostics,
+                ..
+            } => self.respond(
+                p,
+                ResponseKind::Partial,
+                eps_used,
+                best_so_far.vector,
+                certificate,
+                retries,
+                diagnostics,
+            ),
+            SolverOutcome::Diverged { diagnostics, .. } => self.fallback_response(p, diagnostics),
+        }
+    }
+
+    /// The bottom of the ladder: a cached earlier answer for the same
+    /// seeds and α if one exists (served as `Stale`), otherwise the
+    /// seed distribution itself with a trivial certificate — zero
+    /// pushes, residual mass 1: the most regularized answer the engine
+    /// can give, but still an answer, never an error.
+    fn fallback_response(&mut self, p: Pending, mut diags: Diagnostics) -> Response {
+        let retries = diags.restarts;
+        if let Some(entry) = self.cache.get(&cache_key(&p.query.seeds, p.query.alpha)) {
+            diags.note(format!(
+                "serving cached answer (epoch {}, ε = {:e})",
+                entry.epoch, entry.epsilon
+            ));
+            let (vector, certificate, epsilon) =
+                (entry.vector.clone(), entry.certificate, entry.epsilon);
+            return self.respond(
+                p,
+                ResponseKind::Stale,
+                epsilon,
+                vector,
+                certificate,
+                retries,
+                diags,
+            );
+        }
+        diags.note("seed-only fallback: serving the seed distribution");
+        let mut mass: BTreeMap<NodeId, f64> = BTreeMap::new();
+        let share = 1.0 / p.query.seeds.len() as f64;
+        for &u in &p.query.seeds {
+            *mass.entry(u).or_insert(0.0) += share;
+        }
+        let vector: Vec<(NodeId, f64)> = mass.into_iter().collect();
+        let certificate = Certificate::ResidualMass {
+            remaining: 1.0,
+            per_degree_bound: 1.0,
+        };
+        let epsilon = p.query.epsilon;
+        self.respond(
+            p,
+            ResponseKind::SeedOnly,
+            epsilon,
+            vector,
+            certificate,
+            retries,
+            diags,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn respond(
+        &mut self,
+        p: Pending,
+        kind: ResponseKind,
+        epsilon_used: f64,
+        cluster: Vec<(NodeId, f64)>,
+        certificate: Certificate,
+        retries: usize,
+        mut diagnostics: Diagnostics,
+    ) -> Response {
+        // Best-effort refund of unspent work tokens (counters reflect
+        // the surviving attempt).
+        let used = diagnostics.work;
+        self.available = self
+            .available
+            .saturating_add(p.grant.saturating_sub(used))
+            .min(self.cfg.capacity);
+        diagnostics.certificate_issued(&certificate);
+        diagnostics.request_stage(p.id, format!("responded:{}", kind.name()));
+        self.trace
+            .request_stage(p.id, format!("responded:{}", kind.name()));
+        match kind {
+            ResponseKind::Full => self.stats.full += 1,
+            ResponseKind::Coarsened => self.stats.coarsened += 1,
+            ResponseKind::Partial => self.stats.partial += 1,
+            ResponseKind::Stale => self.stats.stale += 1,
+            ResponseKind::SeedOnly => self.stats.seed_only += 1,
+        }
+        self.stats.responded += 1;
+        Response {
+            id: p.id,
+            kind,
+            epsilon_requested: p.query.epsilon,
+            epsilon_used,
+            cluster,
+            certificate,
+            retries,
+            latency: p.admitted_at.elapsed(),
+            diagnostics,
+        }
+    }
+}
+
+/// One supervised attempt: chaos hooks, the budgeted/guarded push, NaN
+/// injection, and response validation — all behind a panic fence, so
+/// the only ways out are a [`SolverOutcome`] or a caught panic turned
+/// into `Diverged` with the cause in the event trail.
+#[allow(clippy::too_many_arguments)]
+fn supervised_attempt(
+    g: &Graph,
+    chaos: Option<&ChaosConfig>,
+    id: u64,
+    seeds: &[NodeId],
+    alpha: f64,
+    epsilon: f64,
+    budget: &Budget,
+    attempt: usize,
+) -> SolverOutcome<PushResult> {
+    let fenced = acir_exec::panic_fence(|| {
+        if let Some(c) = chaos {
+            if c.panics(id, attempt) {
+                panic!("chaos: injected worker panic (request {id}, attempt {attempt})");
+            }
+        }
+        let mut ctx = KernelCtx::budgeted("serve.query", budget)
+            .with_guard(GuardConfig::contamination_only());
+        ppr_push_ctx(g, seeds, alpha, epsilon, &mut ctx)
+    });
+    let mut out = match fenced {
+        Ok(Ok(out)) => out,
+        Ok(Err(err)) => {
+            let mut diags = Diagnostics::new();
+            diags.note(format!("query error: {err}"));
+            return SolverOutcome::diverged(
+                DivergenceCause::Breakdown {
+                    at_iter: 0,
+                    what: "query returned an error",
+                },
+                diags,
+            );
+        }
+        Err(panic_msg) => {
+            let mut diags = Diagnostics::new();
+            diags.note(format!("worker panic: {panic_msg}"));
+            return SolverOutcome::diverged(
+                DivergenceCause::Breakdown {
+                    at_iter: 0,
+                    what: "worker panicked",
+                },
+                diags,
+            );
+        }
+    };
+    // Injected result corruption: physically poison one entry, then
+    // let the shared validation below catch it — the same path that
+    // catches a real NaN slipping past the kernel guard.
+    if chaos.is_some_and(|c| c.corrupts(id, attempt)) {
+        out = match out {
+            SolverOutcome::Converged {
+                mut value,
+                diagnostics,
+            } => {
+                poison(&mut value);
+                SolverOutcome::Converged { value, diagnostics }
+            }
+            SolverOutcome::BudgetExhausted {
+                mut best_so_far,
+                exhausted,
+                certificate,
+                diagnostics,
+            } => {
+                poison(&mut best_so_far);
+                SolverOutcome::BudgetExhausted {
+                    best_so_far,
+                    exhausted,
+                    certificate,
+                    diagnostics,
+                }
+            }
+            d => d,
+        };
+        out.diagnostics_mut().fault_injected("nan", 1);
+    }
+    // Response validation: a non-finite value must never reach a
+    // client; it becomes a structured divergence the supervisor
+    // retries.
+    if let Some(v) = out.value() {
+        if v.vector.iter().any(|&(_, x)| !x.is_finite()) {
+            let mut diags = out.diagnostics().clone();
+            diags.note("non-finite value detected while validating the computed cluster");
+            return SolverOutcome::diverged(
+                DivergenceCause::NonFiniteIterate { at_iter: 0 },
+                diags,
+            );
+        }
+    }
+    out
+}
+
+fn poison(r: &mut PushResult) {
+    if let Some(slot) = r.vector.first_mut() {
+        slot.1 = f64::NAN;
+    } else {
+        r.vector.push((0, f64::NAN));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use acir_graph::gen::deterministic::{barbell, cycle};
+    use acir_local::push::ppr_push_budgeted;
+
+    fn quiet<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(prev);
+        r
+    }
+
+    // ε chosen so the worst-case cost (~4e3) fits the default per-slot
+    // grant (1M / 64 slots) and converges at the top rung.
+    fn query(seeds: &[NodeId]) -> Query {
+        Query {
+            seeds: seeds.to_vec(),
+            alpha: 0.1,
+            epsilon: 1e-2,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn admission_sheds_load_at_every_gate() {
+        let g = barbell(6, 2).unwrap();
+        let cfg = EngineConfig {
+            queue_cap: 2,
+            capacity: 100_000,
+            min_grant: 64,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(g, cfg);
+        // Malformed queries are a structural rejection.
+        let bad = e.submit(Query {
+            alpha: 1.5,
+            ..query(&[0])
+        });
+        assert!(matches!(
+            bad,
+            Admission::Rejected(Overloaded {
+                reason: RejectReason::InvalidQuery,
+                ..
+            })
+        ));
+        assert!(!e.submit(query(&[999])).is_accepted());
+        // Fill the bounded queue.
+        assert!(e.submit(query(&[0])).is_accepted());
+        assert!(e.submit(query(&[1])).is_accepted());
+        let full = e.submit(query(&[2]));
+        assert!(matches!(
+            full,
+            Admission::Rejected(Overloaded {
+                reason: RejectReason::QueueFull,
+                ..
+            })
+        ));
+        assert_eq!(e.stats().admitted, 2);
+        assert_eq!(e.stats().rejected_queue_full, 1);
+        assert_eq!(e.stats().rejected_invalid, 2);
+
+        // Budget starvation: 100 tokens across 4 free slots is a
+        // 25-token share, below min_grant — rejected before any work.
+        let g2 = barbell(6, 2).unwrap();
+        let mut starved = Engine::new(
+            g2,
+            EngineConfig {
+                queue_cap: 4,
+                capacity: 100,
+                refill_per_cycle: 0,
+                min_grant: 64,
+                ..EngineConfig::default()
+            },
+        );
+        let a = starved.submit(query(&[1]));
+        assert!(matches!(
+            a,
+            Admission::Rejected(Overloaded {
+                reason: RejectReason::BudgetStarved,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn batched_responses_bit_identical_to_solo_path() {
+        let g = barbell(8, 3).unwrap();
+        let cfg = EngineConfig {
+            queue_cap: 8,
+            capacity: 1_000_000,
+            ..EngineConfig::default()
+        };
+        for threads in ["1", "4"] {
+            std::env::set_var(acir_exec::THREADS_ENV, threads);
+            let mut e = Engine::new(g.clone(), cfg.clone());
+            let seeds: Vec<Vec<NodeId>> = vec![vec![0], vec![7, 9], vec![3]];
+            let grants: Vec<u64> = seeds
+                .iter()
+                .map(|s| match e.submit(query(s)) {
+                    Admission::Accepted { granted_work, .. } => granted_work,
+                    r => panic!("not admitted: {r:?}"),
+                })
+                .collect();
+            let responses = e.run_pending();
+            assert_eq!(responses.len(), 3);
+            for ((r, s), grant) in responses.iter().zip(&seeds).zip(&grants) {
+                assert_eq!(r.kind, ResponseKind::Full, "at {threads} threads");
+                let solo = ppr_push_budgeted(&g, s, 0.1, 1e-2, &Budget::work(*grant)).unwrap();
+                let want = &solo.value().unwrap().vector;
+                assert_eq!(&r.cluster, want, "at {threads} threads");
+                match r.certificate {
+                    Certificate::ResidualMass { remaining, .. } => assert_eq!(
+                        remaining.to_bits(),
+                        solo.value().unwrap().residual_mass.to_bits()
+                    ),
+                    c => panic!("wrong certificate {c:?}"),
+                }
+            }
+            std::env::remove_var(acir_exec::THREADS_ENV);
+        }
+    }
+
+    #[test]
+    fn ladder_degrades_instead_of_erroring_under_tiny_grants() {
+        let g = barbell(10, 4).unwrap();
+        let cfg = EngineConfig {
+            queue_cap: 1,
+            capacity: 600,
+            min_grant: 1,
+            ladder_rungs: 2,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(g, cfg);
+        // Requested ε = 1e-5 needs ~4e6 work; even the coarsest rung
+        // (1e-3 → ~4e4) exceeds the 600-token grant.
+        let q = Query {
+            epsilon: 1e-5,
+            ..query(&[0])
+        };
+        assert!(e.submit(q).is_accepted());
+        let rs = e.run_pending();
+        assert_eq!(rs.len(), 1);
+        let r = &rs[0];
+        assert!(r.kind.is_degraded(), "kind {:?}", r.kind);
+        assert!(r.epsilon_used >= r.epsilon_requested);
+        assert!(matches!(r.certificate, Certificate::ResidualMass { .. }));
+        assert_eq!(e.stats().responded, 1);
+        assert_eq!(e.stats().degraded(), 1);
+    }
+
+    #[test]
+    fn expired_deadline_serves_fallback_then_stale_cache() {
+        let g = barbell(6, 2).unwrap();
+        let mut e = Engine::new(
+            g,
+            EngineConfig {
+                queue_cap: 4,
+                ..EngineConfig::default()
+            },
+        );
+        // Cold cache + already-expired deadline → seed-only.
+        let dead = Query {
+            deadline: Some(Duration::ZERO),
+            ..query(&[0, 0, 3])
+        };
+        assert!(e.submit(dead.clone()).is_accepted());
+        let rs = e.run_pending();
+        assert_eq!(rs[0].kind, ResponseKind::SeedOnly);
+        // Duplicate seeds aggregate; the distribution sums to 1.
+        let total: f64 = rs[0].cluster.iter().map(|&(_, x)| x).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        match rs[0].certificate {
+            Certificate::ResidualMass { remaining, .. } => assert_eq!(remaining, 1.0),
+            c => panic!("wrong certificate {c:?}"),
+        }
+        // Warm the cache with the same seeds, then expire again → stale.
+        assert!(e.submit(query(&[0, 0, 3])).is_accepted());
+        assert_eq!(e.run_pending()[0].kind, ResponseKind::Full);
+        assert!(e.submit(dead).is_accepted());
+        let rs = e.run_pending();
+        assert_eq!(rs[0].kind, ResponseKind::Stale);
+        assert_eq!(e.stats().seed_only, 1);
+        assert_eq!(e.stats().stale, 1);
+    }
+
+    #[test]
+    fn injected_panic_is_retried_to_success() {
+        quiet(|| {
+            let g = barbell(6, 2).unwrap();
+            let mut chaos = ChaosConfig::default();
+            chaos.forced_panics.insert((0, 0));
+            let mut e = Engine::new(
+                g,
+                EngineConfig {
+                    chaos: Some(chaos),
+                    max_attempts: 3,
+                    ..EngineConfig::default()
+                },
+            );
+            assert!(e.submit(query(&[0])).is_accepted());
+            let rs = e.run_pending();
+            assert_eq!(rs[0].kind, ResponseKind::Full);
+            assert_eq!(rs[0].retries, 1);
+            assert!(rs[0]
+                .diagnostics
+                .events
+                .iter()
+                .any(|ev| ev.contains("worker panic:")));
+            assert_eq!(e.stats().panics_caught, 1);
+            assert_eq!(e.stats().retries, 1);
+        });
+    }
+
+    #[test]
+    fn persistent_panics_exhaust_retries_into_certified_fallback() {
+        quiet(|| {
+            let g = barbell(6, 2).unwrap();
+            let mut chaos = ChaosConfig::default();
+            for attempt in 0..3 {
+                chaos.forced_panics.insert((0, attempt));
+            }
+            let mut e = Engine::new(
+                g,
+                EngineConfig {
+                    chaos: Some(chaos),
+                    max_attempts: 3,
+                    ..EngineConfig::default()
+                },
+            );
+            assert!(e.submit(query(&[0])).is_accepted());
+            let rs = e.run_pending();
+            assert_eq!(rs.len(), 1);
+            assert_eq!(rs[0].kind, ResponseKind::SeedOnly);
+            assert!(matches!(
+                rs[0].certificate,
+                Certificate::ResidualMass { remaining, .. } if remaining == 1.0
+            ));
+            assert_eq!(rs[0].retries, 2);
+            assert_eq!(e.stats().panics_caught, 3);
+        });
+    }
+
+    #[test]
+    fn nan_injection_is_detected_and_retried() {
+        let g = barbell(6, 2).unwrap();
+        let mut chaos = ChaosConfig::default();
+        chaos.forced_nans.insert((0, 0));
+        let mut e = Engine::new(
+            g.clone(),
+            EngineConfig {
+                chaos: Some(chaos),
+                ..EngineConfig::default()
+            },
+        );
+        assert!(e.submit(query(&[0])).is_accepted());
+        let rs = e.run_pending();
+        assert_eq!(rs[0].kind, ResponseKind::Full);
+        assert_eq!(rs[0].retries, 1);
+        assert!(e.stats().faults_detected >= 1);
+        // The served cluster is clean — and identical to an unfaulted
+        // engine's answer.
+        assert!(rs[0].cluster.iter().all(|&(_, x)| x.is_finite()));
+        let mut clean = Engine::new(g, EngineConfig::default());
+        assert!(clean.submit(query(&[0])).is_accepted());
+        assert_eq!(clean.run_pending()[0].cluster, rs[0].cluster);
+    }
+
+    #[test]
+    fn every_admitted_request_gets_exactly_one_response() {
+        quiet(|| {
+            let g = cycle(40).unwrap();
+            let mut e = Engine::new(
+                g,
+                EngineConfig {
+                    queue_cap: 8,
+                    capacity: 20_000,
+                    refill_per_cycle: 20_000,
+                    min_grant: 16,
+                    chaos: Some(ChaosConfig::with_rates(13, 0.3, 0.3)),
+                    ..EngineConfig::default()
+                },
+            );
+            let mut admitted = Vec::new();
+            let mut answered = Vec::new();
+            for wave in 0..4u32 {
+                for i in 0..12u32 {
+                    let q = query(&[((wave * 12 + i) % 40)]);
+                    if let Admission::Accepted { id, .. } = e.submit(q) {
+                        admitted.push(id);
+                    }
+                }
+                for r in e.run_pending() {
+                    answered.push(r.id);
+                    assert!(matches!(r.certificate, Certificate::ResidualMass { .. }));
+                }
+            }
+            answered.extend(e.shutdown().into_iter().map(|r| r.id));
+            answered.sort_unstable();
+            admitted.sort_unstable();
+            assert_eq!(answered, admitted);
+        });
+    }
+
+    #[test]
+    fn unused_tokens_are_refunded() {
+        let g = barbell(6, 2).unwrap();
+        let cap = 100_000;
+        let mut e = Engine::new(
+            g,
+            EngineConfig {
+                queue_cap: 4,
+                capacity: cap,
+                refill_per_cycle: 0,
+                ..EngineConfig::default()
+            },
+        );
+        let grant = match e.submit(query(&[0])) {
+            Admission::Accepted { granted_work, .. } => granted_work,
+            r => panic!("not admitted: {r:?}"),
+        };
+        assert_eq!(e.available_tokens(), cap - grant);
+        let rs = e.run_pending();
+        let used = rs[0].diagnostics.work;
+        assert!(used > 0 && used < grant);
+        assert_eq!(e.available_tokens(), cap - used);
+    }
+
+    #[test]
+    fn epoch_bump_prevents_cross_epoch_batching_but_still_answers() {
+        let g = barbell(6, 2).unwrap();
+        let mut e = Engine::new(g, EngineConfig::default());
+        assert!(e.submit(query(&[0])).is_accepted());
+        e.update_graph(barbell(8, 1).unwrap());
+        assert!(e.submit(query(&[1])).is_accepted());
+        let rs = e.run_pending();
+        assert_eq!(rs.len(), 2);
+        // Old-epoch request still gets a (solo-path) certified answer.
+        assert!(rs.iter().all(|r| r.kind == ResponseKind::Full));
+        assert_eq!(e.epoch(), 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! # acir-serve
+//!
+//! A fault-tolerant seed→cluster PPR query engine built on the thesis
+//! of Mahoney (PODS 2012) §3.3: *truncating an approximate computation
+//! early is not a failure mode — it is the regularizer*. A server built
+//! on that principle never returns a timeout error. Under overload,
+//! injected faults, or deadline pressure it degrades to a cheaper,
+//! more-regularized answer, and every response carries a
+//! [`Certificate`](acir_runtime::Certificate) saying exactly how
+//! approximate the answer is.
+//!
+//! The engine enforces one invariant end to end, and the chaos suite
+//! (`tests/chaos_serve.rs`) asserts it under worker panics, NaN
+//! injection, budget starvation, and deadline storms:
+//!
+//! > **Every admitted request receives exactly one certified response,
+//! > and the process never panics.**
+//!
+//! Mechanisms, in the order a request meets them:
+//!
+//! * **Admission control** ([`Engine::submit`]) — a bounded queue plus
+//!   a global work-token bucket. Each accepted request is granted a
+//!   [`Budget`](acir_runtime::Budget) carved from the currently
+//!   available tokens via `Budget::split_across`; requests that would
+//!   breach capacity are rejected *at admission* with a structured
+//!   [`Overloaded`] response. Load is shed early, never mid-compute.
+//! * **Degradation ladder** — per request, by remaining budget and
+//!   deadline: full push at the requested ε → coarser ε (×10 per
+//!   rung) → cached/stale answer → seed-only fallback. A deadline
+//!   expiring *mid-push* still lands as a certified partial (the
+//!   meter's deadline axis), because the truncated diffusion *is* a
+//!   more aggressively regularized PPR.
+//! * **Retry supervision** — worker panics are caught by
+//!   [`acir_exec::panic_fence`] and NaN contamination by the
+//!   convergence guard; both become `Diverged` outcomes that a
+//!   [`RetryPolicy`](acir_runtime::RetryPolicy) with deterministic
+//!   exponential [`Backoff`](acir_runtime::Backoff) retries, capped per
+//!   request, with the retry trail in the response's
+//!   [`Diagnostics`](acir_runtime::Diagnostics).
+//! * **Batched execution** — queued requests with the same (α, ε rung,
+//!   graph epoch) coalesce into one `ppr_push_batch_outcomes` lockstep
+//!   call; per-item results are bit-identical to the solo path at any
+//!   thread count (test-asserted).
+//!
+//! [`chaos`] holds the deterministic fault scheduler the chaos harness
+//! and the `servebench` load generator share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod engine;
+
+pub use chaos::ChaosConfig;
+pub use engine::{
+    Admission, Engine, EngineConfig, EngineStats, Overloaded, Query, RejectReason, Response,
+    ResponseKind,
+};

@@ -1,0 +1,257 @@
+//! Chaos suite for the `acir-serve` query engine.
+//!
+//! Property-tests the serving invariant over random fault × arrival
+//! interleavings — worker panics, NaN corruption, budget starvation,
+//! and deadline storms, at 1 and 4 worker threads:
+//!
+//! > Every admitted request receives exactly one certified response,
+//! > the shutdown drain answers everything still queued, and the
+//! > process never panics.
+//!
+//! Because every fault decision is a pure function of `(seed, id,
+//! attempt)` and work decomposition is a pure function of the input,
+//! the *entire service history* — ids, ladder rungs, clusters, retry
+//! counts — must also be bit-identical across thread counts; the suite
+//! asserts that too.
+
+use acir::serve::{Admission, ChaosConfig, Engine, EngineConfig, Query, Response};
+use acir_runtime::Certificate;
+use proptest::prelude::*;
+use std::sync::Once;
+use std::time::Duration;
+
+/// Suppress the default panic hook's backtrace for injected chaos
+/// panics (they are caught by the engine's fence); real panics — test
+/// assertion failures included — still print.
+fn quiet_chaos_panics() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.starts_with("chaos:") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// One randomized service run: fault schedule, offered load, and the
+/// admission-control pressure it plays out under.
+#[derive(Debug, Clone)]
+struct Plan {
+    chaos_seed: u64,
+    panic_rate: f64,
+    nan_rate: f64,
+    /// Per request: `(seed-node selector, expired-deadline?, fine-ε?)`.
+    requests: Vec<(u32, bool, bool)>,
+    waves: usize,
+    capacity: u64,
+    queue_cap: usize,
+    max_attempts: usize,
+}
+
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    (
+        (0u64..1_000_000, 0u8..4, 0u8..4),
+        collection::vec((0u32..64, 0u8..4), 1..28),
+        (1usize..4, 64u64..200_000, 1usize..9, 1usize..5),
+    )
+        .prop_map(
+            |((chaos_seed, p, n), reqs, (waves, capacity, queue_cap, max_attempts))| Plan {
+                chaos_seed,
+                panic_rate: f64::from(p) * 0.15,
+                nan_rate: f64::from(n) * 0.15,
+                requests: reqs
+                    .into_iter()
+                    .map(|(sel, flavor)| (sel, flavor & 1 != 0, flavor & 2 != 0))
+                    .collect(),
+                waves,
+                capacity,
+                queue_cap,
+                max_attempts,
+            },
+        )
+}
+
+/// What must be identical across thread counts: the full service
+/// history minus wall-clock times.
+type Summary = (u64, &'static str, u64, Vec<(u32, u64)>, usize);
+
+fn summarize(r: &Response) -> Summary {
+    (
+        r.id,
+        r.kind.name(),
+        r.epsilon_used.to_bits(),
+        r.cluster.iter().map(|&(u, x)| (u, x.to_bits())).collect(),
+        r.retries,
+    )
+}
+
+/// Drive one full engine lifetime under `plan` and check the serving
+/// invariant; returns the deterministic service history.
+fn run_plan(plan: &Plan) -> Vec<Summary> {
+    let g = acir_graph::gen::deterministic::barbell(10, 3).unwrap();
+    let n = g.n() as u32;
+    let cfg = EngineConfig {
+        queue_cap: plan.queue_cap,
+        capacity: plan.capacity,
+        refill_per_cycle: plan.capacity / 2,
+        min_grant: 16,
+        max_attempts: plan.max_attempts,
+        chaos: Some(ChaosConfig::with_rates(
+            plan.chaos_seed,
+            plan.panic_rate,
+            plan.nan_rate,
+        )),
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(g, cfg);
+    let mut admitted: Vec<u64> = Vec::new();
+    let mut responses: Vec<Response> = Vec::new();
+    let wave_len = plan.requests.len().div_ceil(plan.waves);
+    for wave in plan.requests.chunks(wave_len.max(1)) {
+        for &(sel, expired, fine) in wave {
+            let q = Query {
+                seeds: vec![sel % n],
+                alpha: 0.1,
+                epsilon: if fine { 1e-4 } else { 1e-2 },
+                deadline: expired.then_some(Duration::ZERO),
+            };
+            match engine.submit(q) {
+                Admission::Accepted { id, .. } => admitted.push(id),
+                Admission::Rejected(o) => {
+                    // Rejections are structural, never mid-compute.
+                    assert!(!o.detail.is_empty());
+                }
+            }
+        }
+        responses.extend(engine.run_pending());
+    }
+    // Submit one last burst, then shut down without running a cycle:
+    // the shutdown drain must still answer it.
+    for &(sel, ..) in plan.requests.iter().take(3) {
+        if let Admission::Accepted { id, .. } = engine.submit(Query {
+            seeds: vec![sel % n],
+            alpha: 0.1,
+            epsilon: 1e-2,
+            deadline: None,
+        }) {
+            admitted.push(id);
+        }
+    }
+    responses.extend(engine.shutdown());
+
+    // Exactly one response per admitted request, nothing else.
+    let mut answered: Vec<u64> = responses.iter().map(|r| r.id).collect();
+    answered.sort_unstable();
+    admitted.sort_unstable();
+    assert_eq!(answered, admitted, "admitted ≠ answered under {plan:?}");
+
+    // Every response is certified and clean — no uncertified converged
+    // result and no NaN ever reaches a client.
+    for r in &responses {
+        match r.certificate {
+            Certificate::ResidualMass {
+                remaining,
+                per_degree_bound,
+            } => {
+                assert!(
+                    (0.0..=1.0 + 1e-12).contains(&remaining),
+                    "uncertifiable residual mass {remaining} on request {}",
+                    r.id
+                );
+                assert!(per_degree_bound > 0.0);
+            }
+            Certificate::ResidualNorm { value } => assert!(value.is_finite()),
+            other => panic!("certificate kind {other:?} cannot come from the serve ladder"),
+        }
+        assert!(
+            r.cluster.iter().all(|&(_, x)| x.is_finite()),
+            "non-finite value served on request {}",
+            r.id
+        );
+        if !r.kind.is_degraded() {
+            assert_eq!(r.epsilon_used.to_bits(), r.epsilon_requested.to_bits());
+        }
+    }
+    responses.iter().map(summarize).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The serving invariant holds under arbitrary fault × arrival
+    /// interleavings, and the full service history is bit-identical
+    /// at 1 and 4 worker threads.
+    #[test]
+    fn admitted_requests_get_exactly_one_certified_response(plan in arb_plan()) {
+        quiet_chaos_panics();
+        std::env::set_var(acir::exec::THREADS_ENV, "1");
+        let solo = run_plan(&plan);
+        std::env::set_var(acir::exec::THREADS_ENV, "4");
+        let wide = run_plan(&plan);
+        std::env::remove_var(acir::exec::THREADS_ENV);
+        prop_assert_eq!(solo, wide);
+    }
+}
+
+/// The committed fault schedules the acceptance gate names: a panic
+/// storm, a NaN storm, a starvation squeeze, and a deadline storm, each
+/// driven deterministically and each ending with every admitted request
+/// answered exactly once.
+#[test]
+fn committed_fault_schedules_hold_the_invariant() {
+    quiet_chaos_panics();
+    let schedules = [
+        Plan {
+            chaos_seed: 0xACE,
+            panic_rate: 0.5,
+            nan_rate: 0.0,
+            requests: (0..24).map(|i| (i, false, i % 2 == 0)).collect(),
+            waves: 3,
+            capacity: 150_000,
+            queue_cap: 8,
+            max_attempts: 3,
+        },
+        Plan {
+            chaos_seed: 0xBEE,
+            panic_rate: 0.0,
+            nan_rate: 0.5,
+            requests: (0..24).map(|i| (i * 7, false, false)).collect(),
+            waves: 2,
+            capacity: 150_000,
+            queue_cap: 8,
+            max_attempts: 2,
+        },
+        Plan {
+            chaos_seed: 0xCAB,
+            panic_rate: 0.25,
+            nan_rate: 0.25,
+            requests: (0..32).map(|i| (i * 3, false, true)).collect(),
+            waves: 4,
+            capacity: 256, // squeezed bucket: most requests starve
+            queue_cap: 4,
+            max_attempts: 3,
+        },
+        Plan {
+            chaos_seed: 0xDAD,
+            panic_rate: 0.25,
+            nan_rate: 0.0,
+            requests: (0..24).map(|i| (i, i % 3 == 0, false)).collect(),
+            waves: 3,
+            capacity: 150_000,
+            queue_cap: 8,
+            max_attempts: 3,
+        },
+    ];
+    for plan in &schedules {
+        let history = run_plan(plan);
+        assert!(!history.is_empty() || plan.capacity < 1024);
+    }
+}
