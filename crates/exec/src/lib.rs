@@ -55,6 +55,12 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+pub mod spmv;
+
+pub use spmv::{
+    current_spmv_layout, spmv_layout_scope, SpmvLayout, SpmvLayoutScope, SPMV_LAYOUT_ENV,
+};
+
 /// Run `f`, converting a panic into `Err(message)`.
 ///
 /// Safe-code wrapper over [`std::panic::catch_unwind`]: the supervised

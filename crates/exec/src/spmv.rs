@@ -1,0 +1,188 @@
+//! Sparse-storage layout selection for the SpMV family.
+//!
+//! The CSR products in `acir-linalg` can run on alternate storage
+//! layouts (unrolled CSR, SELL-C-σ, merge-based nnz chunking) that are
+//! all **bit-identical** to the scalar scan — the layout is purely an
+//! execution policy, like the thread count. This module is the policy
+//! knob: a small [`SpmvLayout`] enum, the `ACIR_SPMV_LAYOUT`
+//! environment variable (mirroring [`crate::THREADS_ENV`]), and a
+//! thread-local override installed as an RAII scope by kernel entry
+//! points (via `KernelCtx::spmv_scope` in `acir-runtime`).
+//!
+//! The enum lives here — below `acir-linalg` in the dependency order —
+//! so `acir-runtime`'s `KernelCtx` can carry a layout preference
+//! without depending on the linear-algebra crate that implements the
+//! layouts.
+//!
+//! Selection precedence, resolved on the **calling** thread before any
+//! fan-out (worker threads never consult it):
+//!
+//! 1. the innermost live [`SpmvLayoutScope`] on this thread;
+//! 2. `ACIR_SPMV_LAYOUT` (read per call, like `ACIR_THREADS`);
+//! 3. [`SpmvLayout::Csr`], the scalar reference layout.
+
+use std::cell::Cell;
+
+/// Environment variable naming the default SpMV layout
+/// (`csr`/`scalar`, `unrolled`, `sell`, `merge`, `auto`). Unset or
+/// unrecognized values fall back to [`SpmvLayout::Csr`].
+pub const SPMV_LAYOUT_ENV: &str = "ACIR_SPMV_LAYOUT";
+
+/// Which storage layout the CSR product family should execute on.
+///
+/// Every variant produces bitwise-identical results (pinned by the
+/// `layout_equivalence` test matrix); they differ only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpmvLayout {
+    /// The scalar CSR gather — the reference layout and the default.
+    #[default]
+    Csr,
+    /// CSR storage with 8-wide unrolled, left-associated row
+    /// accumulation (same addition order as the scalar scan).
+    Unrolled,
+    /// SELL-C-σ: rows sorted by length within σ-windows and packed
+    /// into column-major slices of C rows, so the C lanes advance C
+    /// *different* rows per step — inter-row instruction-level
+    /// parallelism instead of one serial add chain per row.
+    Sell,
+    /// Merge-based nnz-balanced chunking for skewed (power-law) degree
+    /// distributions: chunk boundaries split the *entry* space evenly;
+    /// rows crossing a boundary are recomputed sequentially so no
+    /// addition is ever re-associated.
+    Merge,
+    /// Pick per matrix: `Unrolled` below the parallel threshold, else
+    /// `Merge` for heavily skewed rows and `Sell` otherwise.
+    Auto,
+}
+
+impl SpmvLayout {
+    /// Canonical lowercase name (the token `ACIR_SPMV_LAYOUT` accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpmvLayout::Csr => "csr",
+            SpmvLayout::Unrolled => "unrolled",
+            SpmvLayout::Sell => "sell",
+            SpmvLayout::Merge => "merge",
+            SpmvLayout::Auto => "auto",
+        }
+    }
+
+    /// All selectable layouts, scalar reference first (the order bench
+    /// and test matrices iterate in).
+    pub const ALL: [SpmvLayout; 5] = [
+        SpmvLayout::Csr,
+        SpmvLayout::Unrolled,
+        SpmvLayout::Sell,
+        SpmvLayout::Merge,
+        SpmvLayout::Auto,
+    ];
+}
+
+impl std::fmt::Display for SpmvLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SpmvLayout {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "csr" | "scalar" => Ok(SpmvLayout::Csr),
+            "unrolled" => Ok(SpmvLayout::Unrolled),
+            "sell" | "sell-c-sigma" => Ok(SpmvLayout::Sell),
+            "merge" => Ok(SpmvLayout::Merge),
+            "auto" => Ok(SpmvLayout::Auto),
+            other => Err(format!("unknown SpMV layout {other:?}")),
+        }
+    }
+}
+
+thread_local! {
+    /// Innermost scope override for this thread (`None` = use the env).
+    static OVERRIDE: Cell<Option<SpmvLayout>> = const { Cell::new(None) };
+}
+
+/// The layout the next CSR product on this thread should run on:
+/// scope override, else `ACIR_SPMV_LAYOUT`, else [`SpmvLayout::Csr`].
+pub fn current_spmv_layout() -> SpmvLayout {
+    if let Some(k) = OVERRIDE.with(Cell::get) {
+        return k;
+    }
+    std::env::var(SPMV_LAYOUT_ENV)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_default()
+}
+
+/// RAII guard restoring the previous thread-local layout on drop.
+/// Scopes nest: the innermost live scope wins.
+#[derive(Debug)]
+pub struct SpmvLayoutScope {
+    prev: Option<SpmvLayout>,
+}
+
+/// Install `layout` as this thread's SpMV layout until the returned
+/// scope drops. Kernel entry points call this (through
+/// `KernelCtx::spmv_scope`) so a per-request preference reaches every
+/// product in the kernel without signature changes.
+pub fn spmv_layout_scope(layout: SpmvLayout) -> SpmvLayoutScope {
+    SpmvLayoutScope {
+        prev: OVERRIDE.with(|c| c.replace(Some(layout))),
+    }
+}
+
+impl Drop for SpmvLayoutScope {
+    fn drop(&mut self) {
+        OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip_and_aliases() {
+        for k in SpmvLayout::ALL {
+            assert_eq!(k.name().parse::<SpmvLayout>().unwrap(), k);
+            assert_eq!(k.to_string(), k.name());
+        }
+        assert_eq!("scalar".parse::<SpmvLayout>().unwrap(), SpmvLayout::Csr);
+        assert_eq!(
+            "SELL-C-Sigma".parse::<SpmvLayout>().unwrap(),
+            SpmvLayout::Sell
+        );
+        assert!("blocked".parse::<SpmvLayout>().is_err());
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        // Note: no env manipulation here — this test relies only on
+        // the thread-local, so it is safe under parallel test threads.
+        let base = OVERRIDE.with(Cell::get);
+        assert_eq!(base, None);
+        {
+            let _outer = spmv_layout_scope(SpmvLayout::Sell);
+            assert_eq!(current_spmv_layout(), SpmvLayout::Sell);
+            {
+                let _inner = spmv_layout_scope(SpmvLayout::Merge);
+                assert_eq!(current_spmv_layout(), SpmvLayout::Merge);
+            }
+            assert_eq!(current_spmv_layout(), SpmvLayout::Sell);
+        }
+        assert_eq!(OVERRIDE.with(Cell::get), None);
+    }
+
+    #[test]
+    fn override_is_thread_local() {
+        let _scope = spmv_layout_scope(SpmvLayout::Unrolled);
+        assert_eq!(current_spmv_layout(), SpmvLayout::Unrolled);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert_eq!(OVERRIDE.with(Cell::get), None);
+            });
+        });
+    }
+}

@@ -116,6 +116,7 @@ impl ChebyshevExpansion {
         v: &[f64],
         ctx: &mut KernelCtx,
     ) -> Result<SolverOutcome<Vec<f64>>> {
+        let _spmv = ctx.spmv_scope();
         ctx.scratch_pool_or(&crate::SCRATCH)
             .with(|ws| self.apply_core(op, v, ws, ctx))
     }
@@ -247,35 +248,42 @@ impl ChebyshevExpansion {
         }
         let alpha = 2.0 / (self.b - self.a);
         let beta = -(self.a + self.b) / (self.b - self.a);
-        let apply_t_multi = |inputs: &[Vec<f64>]| -> Vec<Vec<f64>> {
-            let mut outs = a.matvec_multi(inputs);
-            for (out, input) in outs.iter_mut().zip(inputs) {
-                vector::axpby(beta, input, alpha, out);
-            }
-            outs
-        };
+        // Workspace-backed SpMM plus rotated recurrence buffers: one
+        // staging block checkout per degree and zero fresh output
+        // vectors after the first two degrees.
+        let apply_t_multi =
+            |inputs: &[Vec<f64>], ws: &mut crate::Workspace, outs: &mut Vec<Vec<f64>>| {
+                a.matvec_multi_ws(inputs, ws, outs);
+                for (out, input) in outs.iter_mut().zip(inputs) {
+                    vector::axpby(beta, input, alpha, out);
+                }
+            };
 
-        let mut t_prev: Vec<Vec<f64>> = vs.to_vec();
-        let mut t_curr = apply_t_multi(vs);
-        let mut accs: Vec<Vec<f64>> = vs
-            .iter()
-            .map(|v| v.iter().map(|&x| 0.5 * self.coeffs[0] * x).collect())
-            .collect();
-        if self.coeffs.len() > 1 {
-            for (acc, tc) in accs.iter_mut().zip(&t_curr) {
-                vector::axpy(self.coeffs[1], tc, acc);
+        Ok(crate::SCRATCH.with(|ws| {
+            let mut t_prev: Vec<Vec<f64>> = vs.to_vec();
+            let mut t_curr = Vec::new();
+            apply_t_multi(vs, ws, &mut t_curr);
+            let mut accs: Vec<Vec<f64>> = vs
+                .iter()
+                .map(|v| v.iter().map(|&x| 0.5 * self.coeffs[0] * x).collect())
+                .collect();
+            if self.coeffs.len() > 1 {
+                for (acc, tc) in accs.iter_mut().zip(&t_curr) {
+                    vector::axpy(self.coeffs[1], tc, acc);
+                }
             }
-        }
-        for &c in self.coeffs.iter().skip(2) {
-            let mut t_next = apply_t_multi(&t_curr);
-            for ((nx, pr), acc) in t_next.iter_mut().zip(&t_prev).zip(accs.iter_mut()) {
-                vector::axpby(-1.0, pr, 2.0, nx);
-                vector::axpy(c, nx, acc);
+            let mut t_next: Vec<Vec<f64>> = Vec::new();
+            for &c in self.coeffs.iter().skip(2) {
+                apply_t_multi(&t_curr, ws, &mut t_next);
+                for ((nx, pr), acc) in t_next.iter_mut().zip(&t_prev).zip(accs.iter_mut()) {
+                    vector::axpby(-1.0, pr, 2.0, nx);
+                    vector::axpy(c, nx, acc);
+                }
+                std::mem::swap(&mut t_prev, &mut t_curr);
+                std::mem::swap(&mut t_curr, &mut t_next);
             }
-            t_prev = t_curr;
-            t_curr = t_next;
-        }
-        Ok(accs)
+            accs
+        }))
     }
 }
 

@@ -127,6 +127,7 @@ pub fn lanczos_ctx(
     deflate: &[Vec<f64>],
     ctx: &mut KernelCtx,
 ) -> Result<SolverOutcome<LanczosResult>> {
+    let _spmv = ctx.spmv_scope();
     let n = op.dim();
     if v0.len() != n {
         return Err(LinalgError::DimensionMismatch {

@@ -1,0 +1,134 @@
+//! Pluggable sparse-storage layouts for the CSR product family.
+//!
+//! [`crate::CsrMatrix`] keeps one canonical representation — CSR — and
+//! can *execute* its products on alternate layouts that trade storage
+//! shape for throughput. The contract every layout must honor:
+//!
+//! > **Bit-identity.** Each output element is accumulated strictly
+//! > left-to-right over its row's stored entries, exactly like the
+//! > scalar CSR scan, so every layout produces bitwise-identical
+//! > results at every thread count (pinned by the
+//! > `layout_equivalence` test matrix).
+//!
+//! Three layouts, behind the [`SparseLayout`] trait:
+//!
+//! * [`UnrolledCsr`] — the CSR arrays as-is, with the row accumulation
+//!   8-wide unrolled and left-associated (the [`crate::vector::dot`]
+//!   idiom): lower loop overhead, same addition sequence.
+//! * [`SellCSigma`] — SELL-C-σ: rows sorted by descending length
+//!   within σ-row windows (an internal [`Permutation`]-style
+//!   relabeling, mapped back on write-out, mirroring the graph
+//!   reordering plumbing of `acir-graph`), packed into column-major
+//!   slices of C rows. The C lanes of a slice advance C *different*
+//!   rows per step, so the serial FP-add chain per row becomes C
+//!   independent chains — instruction-level parallelism the scalar
+//!   scan cannot express. Padding lanes are never multiplied (a
+//!   `0.0 × ∞` would manufacture NaNs and `-0.0 + 0.0` would flip
+//!   signed zeros): descending lengths make the active lanes a prefix
+//!   at every column position, so the kernel just shortens the lane
+//!   loop.
+//! * [`MergePlan`] — merge-based nnz balancing for skewed (power-law)
+//!   degree distributions: chunk boundaries split the *entry* space
+//!   evenly, so one hub row can no longer capsize a chunk. Rows that a
+//!   boundary would split are excluded from the parallel phase and
+//!   recomputed sequentially afterwards (ascending, ≤ one per
+//!   boundary), because summing split-row partials would re-associate
+//!   additions and break bit-identity.
+//!
+//! Selection happens per call in `CsrMatrix::matvec` from the ambient
+//! [`acir_exec::SpmvLayout`] policy (thread-local scope installed by
+//! `KernelCtx::spmv_scope`, else `ACIR_SPMV_LAYOUT`, else scalar CSR).
+//! Derived layouts are built lazily on first use and cached inside the
+//! matrix (`AltCache`); any `&mut self` mutation of the values
+//! invalidates the cache.
+//!
+//! [`Permutation`]: https://docs.rs/acir-graph
+
+pub mod merge;
+pub mod sell;
+pub mod unrolled;
+
+pub use merge::MergePlan;
+pub use sell::SellCSigma;
+pub use unrolled::UnrolledCsr;
+
+use crate::sparse::CsrMatrix;
+use acir_exec::SpmvLayout;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// An execution layout for sparse matrix–vector products.
+///
+/// Implementations borrow the canonical CSR arrays (and any derived
+/// arrays they own) and must keep per-row accumulation order identical
+/// to the scalar scan — see the [module docs](self) for the contract.
+pub trait SparseLayout {
+    /// Which [`SpmvLayout`] policy value selects this implementation.
+    fn layout(&self) -> SpmvLayout;
+
+    /// `y = A x`, bit-identical to [`CsrMatrix::matvec`] on the
+    /// scalar layout. `a` must be the matrix this layout was derived
+    /// from (enforced by the caching in [`CsrMatrix`]).
+    fn matvec(&self, a: &CsrMatrix, x: &[f64], y: &mut [f64]);
+}
+
+/// Chunk plan for the row-chunked products: nnz-balanced row ranges
+/// plus their row counts (the `lens` argument of `par_parts_mut`).
+pub(crate) type ChunkPlan = (Vec<Range<usize>>, Vec<usize>);
+
+/// Lazily-built derived layouts and chunk plans, cached inside
+/// [`CsrMatrix`].
+///
+/// The cache is **not** part of the matrix's value: `Clone` produces an
+/// empty cache, `PartialEq` ignores it, and `Debug` elides it — so the
+/// derived arrays can never leak into equality tests or snapshots.
+/// Every `&mut self` mutator of the matrix calls
+/// [`AltCache::invalidate`].
+#[derive(Default)]
+pub(crate) struct AltCache {
+    chunks: OnceLock<ChunkPlan>,
+    sell: OnceLock<SellCSigma>,
+    merge: OnceLock<MergePlan>,
+    auto: OnceLock<SpmvLayout>,
+}
+
+impl AltCache {
+    /// Drop every derived structure (the matrix's values changed).
+    pub(crate) fn invalidate(&mut self) {
+        *self = Self::default();
+    }
+
+    pub(crate) fn chunks(&self, build: impl FnOnce() -> ChunkPlan) -> &ChunkPlan {
+        self.chunks.get_or_init(build)
+    }
+
+    pub(crate) fn sell(&self, a: &CsrMatrix) -> &SellCSigma {
+        self.sell.get_or_init(|| SellCSigma::build(a))
+    }
+
+    pub(crate) fn merge(&self, a: &CsrMatrix) -> &MergePlan {
+        self.merge.get_or_init(|| MergePlan::build(a))
+    }
+
+    pub(crate) fn auto(&self, decide: impl FnOnce() -> SpmvLayout) -> SpmvLayout {
+        *self.auto.get_or_init(decide)
+    }
+}
+
+impl Clone for AltCache {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl PartialEq for AltCache {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl std::fmt::Debug for AltCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AltCache { .. }")
+    }
+}

@@ -43,6 +43,7 @@ pub mod expm;
 pub mod fault;
 pub mod jacobi;
 pub mod lanczos;
+pub mod layout;
 pub mod power;
 pub mod sketch;
 pub mod solve;
@@ -54,6 +55,7 @@ pub use dense::DenseMatrix;
 pub use fault::FaultyOp;
 pub use jacobi::SymEig;
 pub use lanczos::{lanczos, lanczos_budgeted, lanczos_ctx, LanczosResult};
+pub use layout::{MergePlan, SellCSigma, SparseLayout, UnrolledCsr};
 pub use power::{
     power_method, power_method_budgeted, power_method_ctx, power_method_ws, PowerOptions,
     PowerResult,
@@ -66,6 +68,10 @@ pub use sparse::CsrMatrix;
 pub use acir_runtime::{
     Budget, Certificate, DivergenceCause, RetryPolicy, SolverOutcome, Workspace,
 };
+
+// SpMV layout policy vocabulary (lives in acir-exec so the runtime's
+// KernelCtx can carry it), re-exported for the same reason.
+pub use acir_exec::{current_spmv_layout, spmv_layout_scope, SpmvLayout, SpmvLayoutScope};
 
 /// Shared scratch pool behind the plain public entry points of the dense
 /// iterative kernels ([`power_method`], [`cg`],

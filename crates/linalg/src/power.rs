@@ -99,6 +99,7 @@ pub fn power_method_ctx(
     opts: &PowerOptions,
     ctx: &mut KernelCtx,
 ) -> Result<SolverOutcome<PowerResult>> {
+    let _spmv = ctx.spmv_scope();
     ctx.scratch_pool_or(&crate::SCRATCH)
         .with(|ws| power_core(op, v0, opts, ws, ctx))
 }

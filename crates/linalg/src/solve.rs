@@ -272,6 +272,7 @@ pub fn cg_ctx(
     opts: &CgOptions,
     ctx: &mut KernelCtx,
 ) -> Result<SolverOutcome<CgResult>> {
+    let _spmv = ctx.spmv_scope();
     ctx.scratch_pool_or(&crate::SCRATCH)
         .with(|ws| cg_core(op, b, x0, opts, ws, ctx))
 }

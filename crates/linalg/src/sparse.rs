@@ -19,17 +19,19 @@
 //! additions) reproducible as well.
 
 use crate::dense::DenseMatrix;
+use crate::layout::{self, AltCache, ChunkPlan, SparseLayout};
 use crate::vector;
-use acir_exec::ExecPool;
+use acir_exec::{ExecPool, SpmvLayout};
+use acir_runtime::Workspace;
 
 /// Below this many stored entries the products stay on their sequential
 /// paths: fan-out costs more than the scan. A size (not thread-count)
 /// threshold, so the chosen path — and its rounding — is reproducible.
-const PAR_MIN_NNZ: usize = 16_384;
+pub(crate) const PAR_MIN_NNZ: usize = 16_384;
 
 /// Target stored entries per row chunk for [`CsrMatrix::matvec`] /
 /// [`CsrMatrix::matvec_multi`].
-const CHUNK_TARGET_NNZ: usize = 8_192;
+pub(crate) const CHUNK_TARGET_NNZ: usize = 8_192;
 
 /// Chunk-count cap for [`CsrMatrix::matvec_transpose`], which needs one
 /// dense accumulator of `ncols` floats per chunk.
@@ -51,6 +53,10 @@ pub struct CsrMatrix {
     row_ptr: Vec<usize>,
     col_idx: Vec<u32>,
     values: Vec<f64>,
+    /// Lazily-built alternate layouts and chunk plans (see
+    /// [`crate::layout`]). Not part of the matrix's value: cloned
+    /// empty, ignored by `PartialEq`, invalidated by every mutator.
+    alt: AltCache,
 }
 
 impl CsrMatrix {
@@ -95,6 +101,7 @@ impl CsrMatrix {
             row_ptr,
             col_idx,
             values,
+            alt: AltCache::default(),
         };
         debug_assert!(m.validate().is_ok(), "{:?}", m.validate());
         m
@@ -114,6 +121,7 @@ impl CsrMatrix {
             row_ptr,
             col_idx,
             values,
+            alt: AltCache::default(),
         };
         m.validate()?;
         Ok(m)
@@ -127,6 +135,7 @@ impl CsrMatrix {
             row_ptr: (0..=n).collect(),
             col_idx: (0..n as u32).collect(),
             values: vec![1.0; n],
+            alt: AltCache::default(),
         }
     }
 
@@ -139,6 +148,7 @@ impl CsrMatrix {
             row_ptr: (0..=n).collect(),
             col_idx: (0..n as u32).collect(),
             values: d.to_vec(),
+            alt: AltCache::default(),
         }
     }
 
@@ -247,28 +257,100 @@ impl CsrMatrix {
         out
     }
 
+    /// Raw CSR arrays `(row_ptr, col_idx, values)` for the layout
+    /// kernels in [`crate::layout`].
+    #[inline]
+    pub(crate) fn raw_parts(&self) -> (&[usize], &[u32], &[f64]) {
+        (&self.row_ptr, &self.col_idx, &self.values)
+    }
+
+    /// The cached nnz-balanced chunk plan shared by [`Self::matvec`]
+    /// and [`Self::matvec_multi`] (built on first use; a pure function
+    /// of the matrix, so caching cannot change results — it only drops
+    /// the per-call plan allocation and binary searches).
+    pub(crate) fn chunk_plan(&self) -> &ChunkPlan {
+        self.alt.chunks(|| {
+            let chunks = self.nnz_balanced_row_chunks(CHUNK_TARGET_NNZ, acir_exec::MAX_CHUNKS);
+            let lens = chunks.iter().map(std::ops::Range::len).collect();
+            (chunks, lens)
+        })
+    }
+
+    /// The layout the current call should execute on: the ambient
+    /// policy ([`acir_exec::current_spmv_layout`]), with `Auto`
+    /// resolved — once per matrix, from its shape — to `Unrolled`
+    /// (small), `Merge` (heavily skewed rows) or `Sell`.
+    fn active_layout(&self) -> SpmvLayout {
+        match acir_exec::current_spmv_layout() {
+            SpmvLayout::Auto => self.alt.auto(|| {
+                if self.nnz() < PAR_MIN_NNZ {
+                    return SpmvLayout::Unrolled;
+                }
+                let mean = (self.nnz() / self.nrows.max(1)).max(1);
+                let max = self
+                    .row_ptr
+                    .windows(2)
+                    .map(|w| w[1] - w[0])
+                    .max()
+                    .unwrap_or(0);
+                if max > 8 * mean {
+                    SpmvLayout::Merge
+                } else {
+                    SpmvLayout::Sell
+                }
+            }),
+            k => k,
+        }
+    }
+
+    /// Chunked driver shared by the row-ordered matvec routes: run
+    /// `kernel(self, x, first_row, y_chunk)` over the cached chunk
+    /// plan (sequentially below [`PAR_MIN_NNZ`]).
+    pub(crate) fn matvec_on_row_chunks(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        kernel: fn(&CsrMatrix, &[f64], usize, &mut [f64]),
+    ) {
+        if self.nnz() < PAR_MIN_NNZ {
+            kernel(self, x, 0, y);
+            return;
+        }
+        let (chunks, lens) = self.chunk_plan();
+        ExecPool::from_env().par_parts_mut(y, lens, |c, y_chunk| {
+            kernel(self, x, chunks[c].start, y_chunk);
+        });
+    }
+
     /// Sparse matrix–vector product `y = A x` (overwrites `y`).
     ///
     /// Parallelized over nnz-balanced row chunks on the ambient
     /// [`ExecPool`]; each `y[i]` is accumulated sequentially over its
     /// row either way, so the result is bit-identical to the
     /// sequential scan at every thread count.
+    ///
+    /// The *execution layout* is chosen per call from the ambient
+    /// [`SpmvLayout`] policy (a `KernelCtx` scope or
+    /// `ACIR_SPMV_LAYOUT`; scalar CSR by default) — see
+    /// [`crate::layout`]. Every layout is bit-identical to the scalar
+    /// scan; derived layouts are built lazily and cached inside the
+    /// matrix.
     pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "matvec: x length");
         assert_eq!(y.len(), self.nrows, "matvec: y length");
-        if self.nnz() < PAR_MIN_NNZ {
-            self.matvec_rows(x, 0, y);
-            return;
+        match self.active_layout() {
+            SpmvLayout::Csr => self.matvec_on_row_chunks(x, y, Self::matvec_rows),
+            SpmvLayout::Unrolled => layout::unrolled::UNROLLED.matvec(self, x, y),
+            SpmvLayout::Sell => self.alt.sell(self).matvec(self, x, y),
+            SpmvLayout::Merge => self.alt.merge(self).matvec(self, x, y),
+            SpmvLayout::Auto => unreachable!("active_layout resolves Auto"),
         }
-        let chunks = self.nnz_balanced_row_chunks(CHUNK_TARGET_NNZ, acir_exec::MAX_CHUNKS);
-        let lens: Vec<usize> = chunks.iter().map(|r| r.len()).collect();
-        ExecPool::from_env().par_parts_mut(y, &lens, |c, y_chunk| {
-            self.matvec_rows(x, chunks[c].start, y_chunk);
-        });
     }
 
-    /// Sequential kernel: `y_chunk[k] = (A x)[first_row + k]`.
+    /// Sequential scalar kernel: `y_chunk[k] = (A x)[first_row + k]`.
+    /// The reference accumulation order every layout must reproduce.
     fn matvec_rows(&self, x: &[f64], first_row: usize, y_chunk: &mut [f64]) {
+        // CORE LOOP
         for (k, yi) in y_chunk.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (c, v) in self.row(first_row + k) {
@@ -288,16 +370,26 @@ impl CsrMatrix {
     pub fn matvec_transpose(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.nrows, "matvec_transpose: x length");
         assert_eq!(y.len(), self.ncols, "matvec_transpose: y length");
+        // Layout routing for the scatter product swaps only the
+        // per-row inner kernel (unrolled vs. scalar — same update
+        // order per output element, hence bit-identical); the chunk
+        // structure and merge order are shared, because *they* are
+        // what fixes this product's rounding.
+        let scatter: fn(&CsrMatrix, &[f64], std::ops::Range<usize>, &mut [f64]) =
+            match self.active_layout() {
+                SpmvLayout::Csr => Self::scatter_rows,
+                _ => layout::unrolled::scatter_rows,
+            };
         if self.nnz() < PAR_MIN_NNZ {
             y.fill(0.0);
-            self.scatter_rows(x, 0..self.nrows, y);
+            scatter(self, x, 0..self.nrows, y);
             return;
         }
         let chunks = self.nnz_balanced_row_chunks(CHUNK_TARGET_NNZ, TRANSPOSE_MAX_CHUNKS);
         let pool = ExecPool::from_env();
         let partials: Vec<Vec<f64>> = pool.par_map(&chunks, 1, |r| {
             let mut buf = vec![0.0f64; self.ncols];
-            self.scatter_rows(x, r.clone(), &mut buf);
+            scatter(self, x, r.clone(), &mut buf);
             buf
         });
         y.fill(0.0);
@@ -336,43 +428,72 @@ impl CsrMatrix {
     ///
     /// Parallelized over the same nnz-balanced row chunks as `matvec`.
     /// Panics if any `xs[j].len() != ncols`.
+    ///
+    /// Allocates the returned vectors (and checks staging out of the
+    /// crate scratch pool); steady-state callers that can hold buffers
+    /// across calls should use [`Self::matvec_multi_ws`], which reuses
+    /// both and allocates nothing once warm.
     pub fn matvec_multi(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        crate::SCRATCH.with(|ws| self.matvec_multi_ws(xs, ws, &mut out));
+        out
+    }
+
+    /// [`Self::matvec_multi`] with caller-held buffers: the staging
+    /// block comes from `ws` and the output vectors in `out` are
+    /// reused (resized and fully overwritten; `out` is truncated or
+    /// grown to `xs.len()` entries). With a warm workspace and a
+    /// same-shape `out`, the sequential path performs **zero heap
+    /// allocations** (pinned by `alloc_gate`); the chunked path
+    /// allocates only its per-call `lens` bookkeeping. Results are
+    /// bit-identical to [`Self::matvec_multi`].
+    pub fn matvec_multi_ws(&self, xs: &[Vec<f64>], ws: &mut Workspace, out: &mut Vec<Vec<f64>>) {
         let k = xs.len();
+        out.truncate(k);
         if k == 0 {
-            return Vec::new();
+            return;
         }
         for (j, x) in xs.iter().enumerate() {
             assert_eq!(x.len(), self.ncols, "matvec_multi: xs[{j}] length");
         }
+        let multi: fn(&CsrMatrix, &[Vec<f64>], usize, &mut [f64]) = match self.active_layout() {
+            SpmvLayout::Csr => Self::multi_rows,
+            _ => layout::unrolled::multi_rows,
+        };
         // Row-major staging block: row i occupies block[i*k..(i+1)*k],
         // so row chunks own disjoint block slices.
-        let mut block = vec![0.0f64; self.nrows * k];
-        let chunks = self.nnz_balanced_row_chunks(CHUNK_TARGET_NNZ, acir_exec::MAX_CHUNKS);
-        let pool = if self.nnz() * k < PAR_MIN_NNZ {
-            ExecPool::with_threads(1)
+        let mut block = ws.take_f64(self.nrows * k);
+        if self.nnz() * k < PAR_MIN_NNZ {
+            multi(self, xs, 0, &mut block);
         } else {
-            ExecPool::from_env()
-        };
-        let lens: Vec<usize> = chunks.iter().map(|r| r.len() * k).collect();
-        pool.par_parts_mut(&mut block, &lens, |ci, chunk| {
-            let first_row = chunks[ci].start;
-            for (local, acc) in chunk.chunks_exact_mut(k).enumerate() {
-                for (c, v) in self.row(first_row + local) {
-                    let xc = c as usize;
-                    for (a, x) in acc.iter_mut().zip(xs) {
-                        *a += v * x[xc];
-                    }
+            let (chunks, _) = self.chunk_plan();
+            let lens: Vec<usize> = chunks.iter().map(|r| r.len() * k).collect();
+            ExecPool::from_env().par_parts_mut(&mut block, &lens, |ci, chunk| {
+                multi(self, xs, chunks[ci].start, chunk);
+            });
+        }
+        // Unstage: column j of the block is output vector j.
+        out.resize_with(k, Vec::new);
+        for (j, outj) in out.iter_mut().enumerate() {
+            outj.clear();
+            outj.extend(block[j..].iter().step_by(k).copied());
+        }
+        ws.put_f64(block);
+    }
+
+    /// Sequential scalar multi-RHS kernel over a row chunk's staging
+    /// block: per (row, rhs) the accumulation order is exactly
+    /// [`Self::matvec_rows`]'s.
+    fn multi_rows(&self, xs: &[Vec<f64>], first_row: usize, block_chunk: &mut [f64]) {
+        let k = xs.len();
+        for (local, acc) in block_chunk.chunks_exact_mut(k).enumerate() {
+            for (c, v) in self.row(first_row + local) {
+                let xc = c as usize;
+                for (a, x) in acc.iter_mut().zip(xs) {
+                    *a += v * x[xc];
                 }
             }
-        });
-        // Unstage: column j of the block is output vector j.
-        let mut out = vec![vec![0.0f64; self.nrows]; k];
-        for (i, row) in block.chunks_exact(k).enumerate() {
-            for (j, &v) in row.iter().enumerate() {
-                out[j][i] = v;
-            }
         }
-        out
     }
 
     /// Transpose into a new CSR matrix.
@@ -402,6 +523,7 @@ impl CsrMatrix {
             row_ptr,
             col_idx,
             values,
+            alt: AltCache::default(),
         }
     }
 
@@ -421,6 +543,7 @@ impl CsrMatrix {
 
     /// Scale row `i` by `s[i]` in place: `A ← diag(s)·A`.
     pub fn scale_rows(&mut self, s: &[f64]) {
+        self.alt.invalidate();
         assert_eq!(s.len(), self.nrows);
         for (r, &factor) in s.iter().enumerate() {
             let range = self.row_ptr[r]..self.row_ptr[r + 1];
@@ -430,6 +553,7 @@ impl CsrMatrix {
 
     /// Scale column `j` by `s[j]` in place: `A ← A·diag(s)`.
     pub fn scale_cols(&mut self, s: &[f64]) {
+        self.alt.invalidate();
         assert_eq!(s.len(), self.ncols);
         for (c, v) in self.col_idx.iter().zip(self.values.iter_mut()) {
             *v *= s[*c as usize];
@@ -438,11 +562,13 @@ impl CsrMatrix {
 
     /// Scale every stored value by `a`.
     pub fn scale(&mut self, a: f64) {
+        self.alt.invalidate();
         vector::scale(a, &mut self.values);
     }
 
     /// Drop stored entries with `|value| <= tol`.
     pub fn prune(&mut self, tol: f64) {
+        self.alt.invalidate();
         let mut new_row_ptr = vec![0usize; self.nrows + 1];
         let mut w = 0usize;
         for r in 0..self.nrows {

@@ -43,7 +43,7 @@ use crate::diagnostics::Diagnostics;
 use crate::fault::FaultStream;
 use crate::guard::{ConvergenceGuard, GuardConfig, GuardVerdict};
 use crate::workspace::{Workspace, WorkspacePool};
-use acir_exec::ExecPool;
+use acir_exec::{ExecPool, SpmvLayout, SpmvLayoutScope};
 
 /// Per-invocation bundle of every cross-cutting concern a kernel core
 /// loop may consult. See the [module docs](self) for the design.
@@ -70,6 +70,7 @@ pub struct KernelCtx {
     scratch: Option<&'static WorkspacePool<Workspace>>,
     pool: Option<ExecPool>,
     faults: Option<FaultStream>,
+    spmv: Option<SpmvLayout>,
 }
 
 impl KernelCtx {
@@ -127,6 +128,16 @@ impl KernelCtx {
     /// Kernels that support injection drain it via [`Self::faults_mut`].
     pub fn with_faults(mut self, faults: FaultStream) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Builder: request a sparse-storage layout ([`SpmvLayout`]) for
+    /// every CSR product the kernel performs. Kernel entry points
+    /// install it with [`Self::spmv_scope`]; all layouts are
+    /// bit-identical, so this is a pure speed knob — like
+    /// [`Self::with_exec_pool`], it never changes results.
+    pub fn with_spmv_layout(mut self, layout: SpmvLayout) -> Self {
+        self.spmv = Some(layout);
         self
     }
 
@@ -276,6 +287,27 @@ impl KernelCtx {
     #[inline]
     pub fn faults_mut(&mut self) -> Option<&mut FaultStream> {
         self.faults.as_mut()
+    }
+
+    /// The layout preference attached with [`Self::with_spmv_layout`],
+    /// if any.
+    #[inline]
+    pub fn spmv_layout(&self) -> Option<SpmvLayout> {
+        self.spmv
+    }
+
+    /// Install the context's layout preference as the calling thread's
+    /// SpMV layout for the duration of the returned scope; `None` (and
+    /// no scope, no note, no allocation) when the context carries no
+    /// preference. Kernel `*_ctx` entry points call this once before
+    /// their core loop — the products themselves stay signature-free.
+    /// A traced context records the routing as a `note` event so golden
+    /// traces pin which layout served the run.
+    #[inline]
+    pub fn spmv_scope(&mut self) -> Option<SpmvLayoutScope> {
+        let layout = self.spmv?;
+        self.note_with(|| format!("spmv layout {layout}"));
+        Some(acir_exec::spmv_layout_scope(layout))
     }
 
     // ---- teardown ------------------------------------------------------

@@ -62,6 +62,7 @@ pub mod outcome;
 pub mod policy;
 pub mod workspace;
 
+pub use acir_exec::SpmvLayout;
 pub use acir_obs as obs;
 pub use budget::{Budget, BudgetMeter, Exhaustion};
 pub use ctx::KernelCtx;

@@ -19,7 +19,7 @@ use acir_graph::{Graph, NodeId};
 use acir_local::push::{ppr_push_batch_outcomes, ppr_push_ctx, PushResult};
 use acir_runtime::{
     Backoff, Budget, Certificate, Diagnostics, DivergenceCause, GuardConfig, KernelCtx,
-    RetryPolicy, SolverOutcome,
+    RetryPolicy, SolverOutcome, SpmvLayout,
 };
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::{Duration, Instant};
@@ -62,6 +62,11 @@ pub struct EngineConfig {
     pub ladder_rungs: u32,
     /// Fault-injection plan for chaos testing; `None` in production.
     pub chaos: Option<ChaosConfig>,
+    /// SpMV layout preference installed on every attempt's
+    /// [`KernelCtx`] (ambient for any sparse products the attempt
+    /// performs, and recorded in its trace). `None` keeps the process
+    /// default (`ACIR_SPMV_LAYOUT` or scalar CSR).
+    pub spmv: Option<SpmvLayout>,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +81,7 @@ impl Default for EngineConfig {
             backoff: Backoff::none(),
             ladder_rungs: 2,
             chaos: None,
+            spmv: None,
         }
     }
 }
@@ -514,9 +520,20 @@ impl Engine {
                 // plus the fault hooks, each item behind its own fence.
                 let g = &self.g;
                 let chaos = self.cfg.chaos.as_ref();
+                let spmv = self.cfg.spmv;
                 let outs = acir_exec::ExecPool::from_env().par_map(idxs, 1, |&i| {
                     let (p, e, b) = &computes[i];
-                    supervised_attempt(g, chaos, p.id, &p.query.seeds, p.query.alpha, *e, b, 0)
+                    supervised_attempt(
+                        g,
+                        chaos,
+                        spmv,
+                        p.id,
+                        &p.query.seeds,
+                        p.query.alpha,
+                        *e,
+                        b,
+                        0,
+                    )
                 });
                 for (&slot, out) in idxs.iter().zip(outs) {
                     firsts[slot] = Some(out);
@@ -566,6 +583,7 @@ impl Engine {
         let out = {
             let g = &self.g;
             let chaos = self.cfg.chaos.as_ref();
+            let spmv = self.cfg.spmv;
             let mut first = first;
             let run: Result<_, std::convert::Infallible> = policy.run(|k| {
                 Ok(match first.take() {
@@ -573,6 +591,7 @@ impl Engine {
                     _ => supervised_attempt(
                         g,
                         chaos,
+                        spmv,
                         p.id,
                         &p.query.seeds,
                         p.query.alpha,
@@ -746,6 +765,7 @@ impl Engine {
 fn supervised_attempt(
     g: &Graph,
     chaos: Option<&ChaosConfig>,
+    spmv: Option<SpmvLayout>,
     id: u64,
     seeds: &[NodeId],
     alpha: f64,
@@ -761,6 +781,13 @@ fn supervised_attempt(
         }
         let mut ctx = KernelCtx::budgeted("serve.query", budget)
             .with_guard(GuardConfig::contamination_only());
+        if let Some(layout) = spmv {
+            ctx = ctx.with_spmv_layout(layout);
+        }
+        // Ambient for every sparse product this attempt performs (and
+        // recorded in the trace); the push kernel itself is a local
+        // sweep, but degraded rungs and future kernels inherit it.
+        let _spmv = ctx.spmv_scope();
         ppr_push_ctx(g, seeds, alpha, epsilon, &mut ctx)
     });
     let mut out = match fenced {

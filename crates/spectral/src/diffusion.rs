@@ -180,7 +180,7 @@ pub fn heat_kernel_chebyshev_multi(
 
 /// Batched [`pagerank_power`]: advance one truncated-PageRank recurrence
 /// per seed in lockstep, so each sweep multiplies `M` into the whole
-/// batch at once ([`acir_linalg::CsrMatrix::matvec_multi`]). Per-seed
+/// batch at once ([`acir_linalg::CsrMatrix::matvec_multi_ws`]). Per-seed
 /// arithmetic is unchanged, so each `(vector, delta)` pair is
 /// bit-identical to the corresponding independent call.
 pub fn pagerank_power_multi(
@@ -202,8 +202,13 @@ pub fn pagerank_power_multi(
     let n = g.n();
     let mut xs = ss.clone();
     let mut deltas = vec![0.0; ss.len()];
+    // Staging workspace and output batch held across sweeps: after the
+    // first sweep the SpMM allocates nothing
+    // ([`acir_linalg::CsrMatrix::matvec_multi_ws`]).
+    let mut ws = acir_linalg::Workspace::default();
+    let mut mxs: Vec<Vec<f64>> = Vec::new();
     for _ in 0..iters {
-        let mxs = m.matvec_multi(&xs);
+        m.matvec_multi_ws(&xs, &mut ws, &mut mxs);
         for ((x, mx), (s, delta)) in xs.iter_mut().zip(&mxs).zip(ss.iter().zip(&mut deltas)) {
             *delta = 0.0;
             for i in 0..n {
@@ -405,6 +410,7 @@ pub fn pagerank_power_ctx(
     ctx: &mut KernelCtx,
 ) -> Result<SolverOutcome<(Vec<f64>, f64)>> {
     validate_gamma(gamma)?;
+    let _spmv = ctx.spmv_scope();
     let s = seed.to_vector(g)?;
     let m = random_walk_matrix(g);
     let n = g.n();

@@ -312,6 +312,24 @@ fn golden_spectral_pagerank_converged() {
 }
 
 #[test]
+fn golden_spectral_pagerank_power_sell() {
+    // The SpMV layout routed through the context: the `spmv layout
+    // sell` note in this snapshot pins that a per-request preference
+    // reaches the kernel (and is recorded), and the identical residual
+    // stream pins that SELL-C-σ execution is bit-identical to the
+    // default layout.
+    let g = grid2d(4, 4).expect("grid");
+    let mut ctx =
+        acir_runtime::KernelCtx::budgeted("spectral.pagerank_power", &Budget::unlimited())
+            .with_spmv_layout(acir_runtime::SpmvLayout::Sell);
+    let out =
+        acir_spectral::pagerank_power_ctx(&g, 0.2, &acir_spectral::Seed::Node(0), 30, &mut ctx)
+            .expect("pagerank power");
+    assert!(out.is_converged());
+    check("spectral_pagerank_power_sell", out.diagnostics());
+}
+
+#[test]
 fn golden_spectral_heat_kernel_converged() {
     let g = grid2d(4, 4).expect("grid");
     let out = acir_spectral::heat_kernel_chebyshev_budgeted(
