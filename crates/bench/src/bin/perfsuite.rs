@@ -15,8 +15,16 @@
 //! (scalar CSR, unrolled, SELL-C-σ, merge-based, and the `auto`
 //! policy) on the generator suite — three power-law graphs and a
 //! uniform-degree control — asserting bitwise-identical products and
-//! writing `BENCH_spmv.json`. All files are re-read and validated
-//! before the process exits, so a committed artifact always parses.
+//! writing `BENCH_spmv.json`. A fourth section measures the hub-sketch
+//! splice path (DESIGN.md §13) on forest-fire and R-MAT generators:
+//! residual mass pushed and nodes touched per query, cold push vs
+//! sketch-spliced at equal certified ε, swept over hub-coverage
+//! levels, with the parallel sketch build and splice asserted
+//! bit-identical at 1 and 4 threads — writing `BENCH_sketch.json`.
+//! Its ≥5× mass gate is *never* waived on degraded hosts: the gated
+//! quantities are deterministic operation counts, not wall times.
+//! All files are re-read and validated before the process exits, so a
+//! committed artifact always parses.
 //! Hosts that expose a single CPU are flagged `degraded_host: true`
 //! in every artifact (and warned about on stderr): parallel speedups
 //! there are bounded by 1 and say nothing about the kernels.
@@ -43,7 +51,10 @@ use acir_graph::gen::random::{barabasi_albert, forest_fire, rmat, watts_strogatz
 use acir_graph::traversal::largest_component;
 use acir_graph::{bandwidth_stats, Permutation};
 use acir_linalg::{spmv_layout_scope, CsrMatrix, MergePlan, SellCSigma, SpmvLayout};
-use acir_local::{ppr_push, ppr_push_ctx, ppr_push_ws, PushResult, PushWorkspace};
+use acir_local::{
+    build_hub_sketches, ppr_push, ppr_push_ctx, ppr_push_spliced, ppr_push_ws, PushResult,
+    PushWorkspace,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::Value;
@@ -65,6 +76,16 @@ const LOCALITY_FILE: &str = "BENCH_locality.json";
 
 /// Where the SpMV layout-comparison artifact lands.
 const SPMV_FILE: &str = "BENCH_spmv.json";
+
+/// Where the hub-sketch splice artifact lands.
+const SKETCH_FILE: &str = "BENCH_sketch.json";
+
+/// The factor by which the best hub-coverage level must cut the
+/// residual mass pushed per query (spliced vs cold, equal certified ε)
+/// on every power-law generator. Unlike the wall-clock gates this one
+/// is never waived: mass pushed and nodes touched are deterministic
+/// counts, identical on any host.
+const SKETCH_TARGET_RATIO: f64 = 5.0;
 
 /// The speedup a power-law graph must show under some alternate layout
 /// for `target_met` (waived when `degraded_host` — a 1-CPU host cannot
@@ -182,6 +203,14 @@ fn main() {
     std::fs::write(SPMV_FILE, format!("{text}\n")).expect("writing BENCH_spmv.json failed");
     validate_spmv(&std::fs::read_to_string(SPMV_FILE).expect("re-reading artifact failed"));
     println!("wrote {SPMV_FILE} (validated: parses, layouts bit-identical, speedup gate)");
+
+    let sketch = bench_sketch(&args);
+    let text = serde_json::to_string_pretty(&sketch);
+    std::fs::write(SKETCH_FILE, format!("{text}\n")).expect("writing BENCH_sketch.json failed");
+    validate_sketch(&std::fs::read_to_string(SKETCH_FILE).expect("re-reading artifact failed"));
+    println!(
+        "wrote {SKETCH_FILE} (validated: parses, bit-identical, ≥{SKETCH_TARGET_RATIO}x mass gate)"
+    );
 }
 
 /// Hardware parallelism the host actually exposes.
@@ -808,6 +837,297 @@ fn bench_spmv_layouts(args: &BinArgs, reps: usize) -> Value {
     root.insert("target_speedup".into(), Value::from(SPMV_TARGET_SPEEDUP));
     root.insert("target_met".into(), Value::from(target_met));
     Value::Object(root)
+}
+
+/// Deterministic per-query push counters summed over a query set.
+#[derive(Default, Clone, Copy)]
+struct SpliceCounters {
+    mass_pushed: f64,
+    touched: usize,
+    pushes: usize,
+    work: usize,
+}
+
+impl SpliceCounters {
+    fn to_json(self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("mass_pushed".into(), Value::from(self.mass_pushed));
+        m.insert("touched".into(), Value::from(self.touched));
+        m.insert("pushes".into(), Value::from(self.pushes));
+        m.insert("work".into(), Value::from(self.work));
+        Value::Object(m)
+    }
+}
+
+/// The hub-sketch splice section (DESIGN.md §13): on each power-law
+/// generator, run the same query set cold (direct `ppr_push`) and
+/// spliced through hub sketches at several coverage levels, at equal
+/// certified ε, recording residual mass pushed and nodes touched per
+/// query plus the offline build cost. The gated quantities are
+/// deterministic counts, so the ≥`SKETCH_TARGET_RATIO`× gate holds on
+/// any host — no degraded-host waiver. The largest coverage level is
+/// additionally built and spliced at 1 and 4 worker threads and
+/// checked bit-for-bit.
+fn bench_sketch(args: &BinArgs) -> Value {
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5ce7c);
+    // Deep diffusions (small α, tight ε) are where serving burns work
+    // — and where parking the frontier on precomputed hubs pays.
+    let alpha = 0.05;
+    let epsilon = 1e-5;
+    let eps_sketch = epsilon / 10.0;
+    let queries = if args.quick { 16 } else { 32 };
+    let hub_counts: [usize; 3] = [64, 256, 1024];
+
+    let graphs: Vec<(&'static str, Graph)> = vec![
+        (
+            "forest_fire",
+            largest_component(&forest_fire(&mut rng, 3_000, 0.37).expect("forest_fire failed")).0,
+        ),
+        (
+            "rmat",
+            largest_component(
+                &rmat(&mut rng, 12, 8, (0.57, 0.19, 0.19, 0.05)).expect("rmat failed"),
+            )
+            .0,
+        ),
+    ];
+
+    let mut all_met = true;
+    let mut graph_docs = Vec::new();
+    for (name, g) in &graphs {
+        let n = g.n();
+        let seeds: Vec<NodeId> = (0..queries)
+            .map(|i| ((i * n) / queries) as NodeId)
+            .collect();
+
+        let mut cold = SpliceCounters::default();
+        let cold_secs = best_of(1, || {
+            cold = SpliceCounters::default();
+            for &s in &seeds {
+                let r = ppr_push(g, &[s], alpha, epsilon).expect("cold ppr_push failed");
+                cold.mass_pushed += r.mass_pushed;
+                cold.touched += r.touched;
+                cold.pushes += r.pushes;
+                cold.work += r.work;
+            }
+        });
+
+        let mut best_mass_ratio = 0.0f64;
+        let mut best_touched_ratio = 0.0f64;
+        let mut sweep_docs = Vec::new();
+        for &k in &hub_counts {
+            let set = build_hub_sketches(g, k, alpha, eps_sketch).expect("hub sketch build failed");
+            let mut spliced = SpliceCounters::default();
+            let mut hubs_spliced = 0usize;
+            let spliced_secs = best_of(1, || {
+                spliced = SpliceCounters::default();
+                hubs_spliced = 0;
+                for &s in &seeds {
+                    let r = ppr_push_spliced(g, &[s], alpha, epsilon, &set)
+                        .expect("ppr_push_spliced failed");
+                    assert!(
+                        r.per_degree_bound <= epsilon * (1.0 + 1e-12),
+                        "sketch[{name}] K={k}: certified bound {} exceeds ε {epsilon:e}",
+                        r.per_degree_bound
+                    );
+                    spliced.mass_pushed += r.mass_pushed;
+                    spliced.touched += r.touched;
+                    spliced.pushes += r.pushes;
+                    spliced.work += r.work;
+                    hubs_spliced += r.hubs_spliced;
+                }
+            });
+            let mass_ratio = cold.mass_pushed / spliced.mass_pushed.max(1e-12);
+            let touched_ratio = cold.touched as f64 / spliced.touched.max(1) as f64;
+            best_mass_ratio = best_mass_ratio.max(mass_ratio);
+            best_touched_ratio = best_touched_ratio.max(touched_ratio);
+            println!(
+                "sketch[{name}] K={k:<5} mass {:.1} -> {:.1} ({mass_ratio:.1}x)  touched {} -> {} ({touched_ratio:.1}x)  build {} pushes",
+                cold.mass_pushed,
+                spliced.mass_pushed,
+                cold.touched,
+                spliced.touched,
+                set.build_pushes(),
+            );
+            let mut row = BTreeMap::new();
+            row.insert("hubs".into(), Value::from(set.len()));
+            row.insert("build_pushes".into(), Value::from(set.build_pushes()));
+            row.insert("spliced".into(), spliced.to_json());
+            row.insert("secs".into(), Value::from(spliced_secs));
+            row.insert("mass_ratio".into(), Value::from(mass_ratio));
+            row.insert("touched_ratio".into(), Value::from(touched_ratio));
+            row.insert(
+                "hubs_spliced_per_query".into(),
+                Value::from(hubs_spliced as f64 / queries as f64),
+            );
+            sweep_docs.push(Value::Object(row));
+        }
+        let met = best_mass_ratio >= SKETCH_TARGET_RATIO && best_touched_ratio > 1.0;
+        all_met &= met;
+        println!(
+            "sketch[{name}] best mass ratio {best_mass_ratio:.1}x, best touched ratio {best_touched_ratio:.1}x (target {SKETCH_TARGET_RATIO:.0}x, {})",
+            if met { "met" } else { "NOT met" },
+        );
+
+        // Thread-count invariance at the heaviest coverage level: the
+        // parallel build and every spliced answer, bit for bit.
+        let k = *hub_counts.last().expect("non-empty sweep");
+        std::env::set_var(THREADS_ENV, "1");
+        let set1 = build_hub_sketches(g, k, alpha, eps_sketch).expect("build at 1 thread failed");
+        let sp1: Vec<_> = seeds
+            .iter()
+            .map(|&s| {
+                ppr_push_spliced(g, &[s], alpha, epsilon, &set1).expect("splice at 1 thread failed")
+            })
+            .collect();
+        std::env::set_var(THREADS_ENV, "4");
+        let set4 = build_hub_sketches(g, k, alpha, eps_sketch).expect("build at 4 threads failed");
+        let sp4: Vec<_> = seeds
+            .iter()
+            .map(|&s| {
+                ppr_push_spliced(g, &[s], alpha, epsilon, &set4)
+                    .expect("splice at 4 threads failed")
+            })
+            .collect();
+        std::env::remove_var(THREADS_ENV);
+        for (a, b) in set1.sketches().iter().zip(set4.sketches()) {
+            assert_eq!(a.hub, b.hub, "sketch[{name}]: hub order diverged");
+            assert_eq!(
+                a.estimate, b.estimate,
+                "sketch[{name}]: sketch build not bit-identical across thread counts"
+            );
+            assert_eq!(a.residual, b.residual);
+        }
+        for (a, b) in sp1.iter().zip(&sp4) {
+            assert_eq!(
+                a.vector, b.vector,
+                "sketch[{name}]: splice not bit-identical across thread counts"
+            );
+        }
+
+        let mut doc = BTreeMap::new();
+        doc.insert("graph".into(), Value::from(*name));
+        doc.insert("family".into(), Value::from("power_law"));
+        doc.insert("nodes".into(), Value::from(n));
+        doc.insert("edges".into(), Value::from(g.m()));
+        doc.insert("queries".into(), Value::from(queries));
+        doc.insert("cold".into(), cold.to_json());
+        doc.insert("cold_secs".into(), Value::from(cold_secs));
+        doc.insert("hub_sweep".into(), Value::Array(sweep_docs));
+        doc.insert("best_mass_ratio".into(), Value::from(best_mass_ratio));
+        doc.insert("best_touched_ratio".into(), Value::from(best_touched_ratio));
+        doc.insert("target_met".into(), Value::from(met));
+        doc.insert("bit_identical".into(), Value::from(true));
+        graph_docs.push(Value::Object(doc));
+    }
+
+    let cpus = host_cpus();
+    let mut root = BTreeMap::new();
+    root.insert("schema".into(), Value::from("acir-bench-sketch-v1"));
+    root.insert("quick".into(), Value::from(args.quick));
+    root.insert("seed".into(), Value::from(args.seed));
+    root.insert("host_cpus".into(), Value::from(cpus));
+    root.insert("degraded_host".into(), Value::from(cpus == 1));
+    root.insert("alpha".into(), Value::from(alpha));
+    root.insert("epsilon".into(), Value::from(epsilon));
+    root.insert("sketch_epsilon".into(), Value::from(eps_sketch));
+    root.insert("target_ratio".into(), Value::from(SKETCH_TARGET_RATIO));
+    root.insert("target_met".into(), Value::from(all_met));
+    root.insert("graphs".into(), Value::Array(graph_docs));
+    Value::Object(root)
+}
+
+/// CI-grade checks on the sketch artifact: it parses, names the
+/// expected schema, covers both power-law generators with positive
+/// deterministic counts, attests thread-count bit-identity, and — the
+/// hard gate, never waived — every graph's best hub-coverage level
+/// pushed at least `target_ratio`× less residual mass than the cold
+/// push while touching fewer nodes.
+fn validate_sketch(text: &str) {
+    let doc: Value = serde_json::from_str(text).expect("BENCH_sketch.json does not parse");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("acir-bench-sketch-v1"),
+        "schema marker missing"
+    );
+    let target = doc
+        .get("target_ratio")
+        .and_then(Value::as_f64)
+        .expect("target_ratio missing");
+    let graphs = doc
+        .get("graphs")
+        .and_then(Value::as_array)
+        .expect("graphs array missing");
+    let names: Vec<&str> = graphs
+        .iter()
+        .map(|g| g.get("graph").and_then(Value::as_str).expect("graph name"))
+        .collect();
+    for expected in ["forest_fire", "rmat"] {
+        assert!(names.contains(&expected), "generator {expected} missing");
+    }
+    for gdoc in graphs {
+        let name = gdoc.get("graph").and_then(Value::as_str).expect("name");
+        let cold = gdoc.get("cold").and_then(Value::as_object).expect("cold");
+        assert!(
+            cold.get("mass_pushed")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0)
+                > 0.0,
+            "{name}: cold pushed no mass"
+        );
+        let sweep = gdoc
+            .get("hub_sweep")
+            .and_then(Value::as_array)
+            .expect("hub_sweep array");
+        assert!(!sweep.is_empty(), "{name}: empty hub sweep");
+        let mut prev = 0u64;
+        for row in sweep {
+            let hubs = row.get("hubs").and_then(Value::as_u64).expect("hubs");
+            assert!(hubs > prev, "{name}: hub counts must ascend");
+            prev = hubs;
+            assert!(
+                row.get("build_pushes").and_then(Value::as_u64).unwrap_or(0) > 0,
+                "{name}: zero build cost recorded"
+            );
+            let ratio = row
+                .get("mass_ratio")
+                .and_then(Value::as_f64)
+                .expect("mass_ratio");
+            assert!(ratio.is_finite() && ratio > 0.0, "{name}: bogus ratio");
+        }
+        let best = gdoc
+            .get("best_mass_ratio")
+            .and_then(Value::as_f64)
+            .expect("best_mass_ratio");
+        let best_touched = gdoc
+            .get("best_touched_ratio")
+            .and_then(Value::as_f64)
+            .expect("best_touched_ratio");
+        assert_eq!(
+            gdoc.get("bit_identical").and_then(Value::as_bool),
+            Some(true),
+            "{name}: thread-count bit-identity not attested"
+        );
+        assert_eq!(
+            gdoc.get("target_met").and_then(Value::as_bool),
+            Some(best >= target && best_touched > 1.0),
+            "{name}: target_met inconsistent"
+        );
+        // The hard gate: deterministic counts, no degraded-host waiver.
+        assert!(
+            best >= target,
+            "{name}: spliced queries pushed only {best:.2}x less mass than cold (target {target:.0}x)"
+        );
+        assert!(
+            best_touched > 1.0,
+            "{name}: spliced queries touched no fewer nodes than cold"
+        );
+    }
+    assert_eq!(
+        doc.get("target_met").and_then(Value::as_bool),
+        Some(true),
+        "sketch mass gate not met"
+    );
 }
 
 /// CI-grade checks on the SpMV layout artifact: it parses, names the

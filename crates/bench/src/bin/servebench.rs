@@ -300,6 +300,7 @@ fn render(args: &BinArgs, g: &Graph, reports: &[ScenarioReport]) -> Value {
             let mut deg = BTreeMap::new();
             for kind in [
                 ResponseKind::Full,
+                ResponseKind::Cached,
                 ResponseKind::Coarsened,
                 ResponseKind::Partial,
                 ResponseKind::Stale,

@@ -32,6 +32,7 @@ pub mod hkrelax;
 pub mod mov;
 pub mod nibble;
 pub mod push;
+pub mod sketch;
 pub mod sweep;
 
 pub use acir_graph::NodeValued;
@@ -41,6 +42,10 @@ pub use nibble::{nibble, nibble_budgeted, nibble_ctx, NibbleResult};
 pub use push::{
     ppr_push, ppr_push_batch, ppr_push_batch_outcomes, ppr_push_budgeted, ppr_push_ctx,
     ppr_push_ws, PushResult, PushWorkspace,
+};
+pub use sketch::{
+    build_hub_sketches, build_hub_sketches_ctx, ppr_push_spliced, ppr_push_spliced_ctx, HubSketch,
+    SketchSet, SpliceResult,
 };
 pub use sweep::{sweep_cut, sweep_cut_ctx, sweep_cut_sparse, sweep_cut_support, SweepResult};
 

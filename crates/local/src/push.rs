@@ -43,6 +43,16 @@ pub struct PushResult {
     pub work: usize,
     /// Number of distinct nodes with nonzero `p` or `r` at exit.
     pub touched: usize,
+    /// The residual vector at exit, stored sparsely as sorted
+    /// `(node, value)` pairs — every entry satisfies `r < ε·d`. Hub
+    /// sketches ([`crate::sketch`]) store it alongside the estimate so
+    /// splices can account for the mass a sketch leaves undistributed.
+    pub residuals: Vec<(NodeId, f64)>,
+    /// Total residual mass processed by the push loop (`Σ r[u]` over
+    /// push operations). Each push recirculates `(1−α)·r[u]`, so this
+    /// exceeds 1 for long diffusions — it is the natural "how much
+    /// diffusion happened" measure the sketch benchmarks compare.
+    pub mass_pushed: f64,
 }
 
 impl PushResult {
@@ -77,14 +87,14 @@ impl NodeValued for PushResult {
 /// [`WorkspacePool`] automatically.
 #[derive(Debug, Default)]
 pub struct PushWorkspace {
-    p: StampedVec,
-    r: StampedVec,
-    in_queue: StampedSet,
-    queue: VecDeque<NodeId>,
+    pub(crate) p: StampedVec,
+    pub(crate) r: StampedVec,
+    pub(crate) in_queue: StampedSet,
+    pub(crate) queue: VecDeque<NodeId>,
     /// Nodes whose residual was ever touched, in first-touch order
     /// (sorted during harvest; every node with `p > 0` or `r > 0` is
     /// here, because mass only ever arrives through `r`).
-    touched: Vec<NodeId>,
+    pub(crate) touched: Vec<NodeId>,
 }
 
 impl PushWorkspace {
@@ -94,9 +104,11 @@ impl PushWorkspace {
     }
 }
 
-/// Pool backing the plain [`ppr_push`] / [`ppr_push_batch`] APIs, so
-/// repeated calls reuse scratch without the caller holding a workspace.
-static PUSH_POOL: WorkspacePool<PushWorkspace> = WorkspacePool::new();
+/// Pool backing the plain [`ppr_push`] / [`ppr_push_batch`] APIs (and
+/// the splice kernel in [`crate::sketch`], which shares the same
+/// scratch shape), so repeated calls reuse scratch without the caller
+/// holding a workspace.
+pub(crate) static PUSH_POOL: WorkspacePool<PushWorkspace> = WorkspacePool::new();
 
 /// Run the ACL push algorithm from `seeds` (uniform mass over them).
 ///
@@ -136,9 +148,15 @@ pub fn ppr_push_ws(
     Ok(())
 }
 
-/// Parameter and seed validation shared by every push entry point, and
-/// hoisted out of the per-item loop by [`ppr_push_batch`].
-fn validate_push_args(g: &Graph, seeds: &[NodeId], alpha: f64, epsilon: f64) -> Result<()> {
+/// Parameter and seed validation shared by every push entry point
+/// (including the splice path in [`crate::sketch`]), and hoisted out of
+/// the per-item loop by [`ppr_push_batch`].
+pub(crate) fn validate_push_args(
+    g: &Graph,
+    seeds: &[NodeId],
+    alpha: f64,
+    epsilon: f64,
+) -> Result<()> {
     if !(0.0 < alpha && alpha < 1.0) {
         return Err(LocalError::InvalidArgument(format!(
             "ppr_push needs alpha in (0, 1), got {alpha}"
@@ -169,7 +187,7 @@ fn validate_push_args(g: &Graph, seeds: &[NodeId], alpha: f64, epsilon: f64) -> 
 }
 
 /// How the single ACL core loop exited (inert contexts only ever `Done`).
-enum PushExit {
+pub(crate) enum PushExit {
     /// Every residual fell below `ε·d`: the full ACL guarantee holds.
     Done,
     /// Budget ran out mid-diffusion; the partial vector was harvested
@@ -200,7 +218,7 @@ enum PushExit {
 /// zero-allocation guarantee of [`ppr_push_ws`]. A guarded context gets
 /// the budgeted path's NaN/Inf checks and turns the push-bound guard
 /// into a structured divergence instead of an error.
-fn push_core(
+pub(crate) fn push_core(
     g: &Graph,
     seeds: &[NodeId],
     alpha: f64,
@@ -216,6 +234,7 @@ fn push_core(
     ws.queue.clear();
     ws.touched.clear();
     out.vector.clear();
+    out.residuals.clear();
 
     let seed_mass = 1.0 / seeds.len() as f64;
     for &u in seeds {
@@ -232,6 +251,7 @@ fn push_core(
 
     let mut pushes = 0usize;
     let mut work = 0usize;
+    let mut mass_pushed = 0.0f64;
     // Tracked incrementally: each push moves exactly α·r[u] into p.
     // Only observed by metered/traced contexts (residual recording and
     // the exhaustion certificate); plain scalar arithmetic otherwise.
@@ -253,6 +273,7 @@ fn push_core(
             continue;
         }
         pushes += 1;
+        mass_pushed += ru;
         if pushes > push_cap {
             if ctx.is_guarded() {
                 exit = PushExit::Diverged(DivergenceCause::Breakdown {
@@ -341,6 +362,9 @@ fn push_core(
         if p > 0.0 {
             out.vector.push((u, p));
         }
+        if r > 0.0 {
+            out.residuals.push((u, r));
+        }
         if p > 0.0 || r > 0.0 {
             touched += 1;
         }
@@ -350,6 +374,7 @@ fn push_core(
     out.pushes = pushes;
     out.work = work;
     out.touched = touched;
+    out.mass_pushed = mass_pushed;
     Ok(exit)
 }
 

@@ -1,0 +1,766 @@
+//! Hub-sketch precomputation and online splice for sublinear PPR
+//! serving (FORA/TopPPR-style, refs \[FORA, TopPPR\]; paper §3.3).
+//!
+//! The ACL push loop is output-local, but a *cold* push from every
+//! query seed still re-diffuses the same high-degree neighborhoods over
+//! and over: on power-law graphs most of the frontier's residual mass
+//! lands on a handful of hubs within a hop or two. This module
+//! precomputes push sketches from the top-K hubs (degree-descending)
+//! and splices them into the online push:
+//!
+//! * **Offline** ([`build_hub_sketches`]): run [`ppr_push_ctx`] from
+//!   each hub `h` at a fine threshold `ε_sketch`, storing the truncated
+//!   estimate `p_h` and residual `r_h` vectors.
+//! * **Online** ([`ppr_push_spliced`]): push from the query seed at
+//!   threshold `ε_push = ε − ε_sketch`, but *never enqueue a sketched
+//!   hub* — residual arriving at a hub parks there. When the frontier
+//!   drains, every remaining non-hub residual is `< ε_push·d` and the
+//!   parked hub residual is substituted by linearity of PPR:
+//!
+//!   ```text
+//!   pr_α(s) = p + Σ_h r[h]·pr_α(e_h) + pr_α(r_nonhub)
+//!           ≈ p + Σ_h r[h]·p_h            (the spliced answer)
+//!   ```
+//!
+//!   The unaccounted mass is `Σ_v r_nonhub[v] + Σ_h r[h]·‖r_h‖₁`, and
+//!   per unit degree it is bounded by `ε_push + ε_sketch·Σ_h r[h]
+//!   ≤ ε` since the parked mass is at most 1 — the *same* `ε·deg`
+//!   invariant direct push certifies, at a fraction of the pushed mass.
+//!
+//! When no sketch can help (empty store, mismatched α, `ε_sketch ≥ ε`)
+//! the splice entry point degrades to the exact push core loop and
+//! is bit-identical to [`crate::push::ppr_push`].
+
+use crate::push::{ppr_push_ctx, push_core, validate_push_args, PushExit, PushResult, PUSH_POOL};
+use crate::{LocalError, Result};
+use acir_graph::{Graph, NodeId, NodeValued, Permutation};
+use acir_runtime::{Certificate, KernelCtx, SolverOutcome};
+use std::collections::BTreeMap;
+
+/// Sentinel in [`SketchSet::slot`] marking a node with no sketch.
+const NO_SKETCH: u32 = u32::MAX;
+
+/// One precomputed hub diffusion: the truncated `(estimate, residual)`
+/// pair of an ACL push from `hub`.
+#[derive(Debug, Clone)]
+pub struct HubSketch {
+    /// The hub the sketch diffuses from.
+    pub hub: NodeId,
+    /// Truncated PPR estimate `p_h`, sorted `(node, value)` pairs.
+    pub estimate: Vec<(NodeId, f64)>,
+    /// Residual `r_h` at exit (every entry `< ε_sketch·d`), sorted.
+    pub residual: Vec<(NodeId, f64)>,
+    /// `‖r_h‖₁` — the mass the sketch leaves undistributed; splices
+    /// charge `r[h]·residual_mass` of slack per unit of parked mass.
+    pub residual_mass: f64,
+    /// Pushes the offline build spent on this hub.
+    pub pushes: usize,
+}
+
+/// An immutable set of hub sketches for one `(graph, α, ε_sketch)`
+/// triple, with O(1) hub-membership lookup for the splice loop.
+#[derive(Debug, Clone)]
+pub struct SketchSet {
+    alpha: f64,
+    epsilon: f64,
+    n: usize,
+    /// Per-node sketch index, `NO_SKETCH` for non-hubs.
+    slot: Vec<u32>,
+    sketches: Vec<HubSketch>,
+}
+
+impl SketchSet {
+    /// A set with no sketches at all: every splice against it takes the
+    /// pure-push fallback.
+    pub fn empty() -> Self {
+        Self {
+            alpha: 0.0,
+            epsilon: 0.0,
+            n: 0,
+            slot: Vec::new(),
+            sketches: Vec::new(),
+        }
+    }
+
+    /// Teleportation probability the sketches were built for.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Truncation threshold the sketches were pushed to.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Node count of the graph the sketches were built against.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of sketched hubs.
+    pub fn len(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// Does the set hold no sketches?
+    pub fn is_empty(&self) -> bool {
+        self.sketches.is_empty()
+    }
+
+    /// Is `u` a sketched hub?
+    pub fn covers(&self, u: NodeId) -> bool {
+        self.slot.get(u as usize).is_some_and(|&s| s != NO_SKETCH)
+    }
+
+    /// The sketch diffusing from `u`, if `u` is a sketched hub.
+    pub fn get(&self, u: NodeId) -> Option<&HubSketch> {
+        match self.slot.get(u as usize) {
+            Some(&s) if s != NO_SKETCH => self.sketches.get(s as usize),
+            _ => None,
+        }
+    }
+
+    /// All sketches, in hub-rank (degree-descending) order.
+    pub fn sketches(&self) -> &[HubSketch] {
+        &self.sketches
+    }
+
+    /// Total offline pushes spent building the set.
+    pub fn build_pushes(&self) -> usize {
+        self.sketches.iter().map(|s| s.pushes).sum()
+    }
+}
+
+/// Precompute push sketches from the top-`k` hubs of `g` by
+/// unweighted degree (ties by id, via
+/// [`Permutation::degree_descending`]), at threshold `epsilon`.
+///
+/// `k = 0` yields a valid set that covers nothing. Hubs are pushed in
+/// parallel over the ambient [`acir_exec::ExecPool`]; the result is
+/// identical at any thread count (each hub's push is independent and
+/// results are collected in rank order).
+pub fn build_hub_sketches(g: &Graph, k: usize, alpha: f64, epsilon: f64) -> Result<SketchSet> {
+    let mut ctx = KernelCtx::new();
+    build_hub_sketches_ctx(g, k, alpha, epsilon, &mut ctx)
+}
+
+/// [`build_hub_sketches`] against a caller-supplied [`KernelCtx`]; the
+/// build's aggregate cost is noted in the context's diagnostics (each
+/// per-hub push runs [`ppr_push_ctx`] on its own inert context).
+pub fn build_hub_sketches_ctx(
+    g: &Graph,
+    k: usize,
+    alpha: f64,
+    epsilon: f64,
+    ctx: &mut KernelCtx,
+) -> Result<SketchSet> {
+    // Same α/ε validity rules as the push kernel itself.
+    if !(0.0 < alpha && alpha < 1.0) {
+        return Err(LocalError::InvalidArgument(format!(
+            "build_hub_sketches needs alpha in (0, 1), got {alpha}"
+        )));
+    }
+    if !(epsilon > 0.0 && epsilon.is_finite()) {
+        return Err(LocalError::InvalidArgument(format!(
+            "build_hub_sketches needs epsilon > 0, got {epsilon}"
+        )));
+    }
+    let n = g.n();
+    let perm = Permutation::degree_descending(g);
+    let hubs: Vec<NodeId> = (0..k.min(n))
+        .map(|rank| perm.to_old(rank as NodeId))
+        .filter(|&u| g.degree(u) > 0.0)
+        .collect();
+    let pushed = acir_exec::ExecPool::from_env().par_map(&hubs, 1, |&h| {
+        let mut hub_ctx = KernelCtx::new();
+        let out = ppr_push_ctx(g, &[h], alpha, epsilon, &mut hub_ctx)?;
+        out.into_value().ok_or_else(|| {
+            LocalError::InvalidArgument(format!("hub {h} sketch diverged on an inert context"))
+        })
+    });
+    let mut slot = vec![NO_SKETCH; n];
+    let mut sketches = Vec::with_capacity(hubs.len());
+    for (hub, result) in hubs.into_iter().zip(pushed) {
+        let r = result?;
+        slot[hub as usize] = sketches.len() as u32;
+        sketches.push(HubSketch {
+            hub,
+            estimate: r.vector,
+            residual: r.residuals,
+            residual_mass: r.residual_mass,
+            pushes: r.pushes,
+        });
+    }
+    ctx.note_with(|| {
+        format!(
+            "hub sketches built: {} hubs at eps {epsilon:e} ({} offline pushes)",
+            sketches.len(),
+            sketches.iter().map(|s| s.pushes).sum::<usize>(),
+        )
+    });
+    Ok(SketchSet {
+        alpha,
+        epsilon,
+        n,
+        slot,
+        sketches,
+    })
+}
+
+/// Output of [`ppr_push_spliced`].
+#[derive(Debug, Clone, Default)]
+pub struct SpliceResult {
+    /// The combined PPR estimate (online push plus spliced hub
+    /// sketches), sorted `(node, value)` pairs.
+    pub vector: Vec<(NodeId, f64)>,
+    /// Total unaccounted mass: non-hub residual of the online loop plus
+    /// `Σ_h r[h]·‖r_h‖₁` inherited from the spliced sketches.
+    pub residual_mass: f64,
+    /// Certified per-unit-degree error bound of `vector`; at most the
+    /// requested ε when the run converged.
+    pub per_degree_bound: f64,
+    /// Online pushes performed (0 when every seed is a sketched hub).
+    pub pushes: usize,
+    /// Online edge traversals.
+    pub work: usize,
+    /// Distinct nodes the *online* frontier touched — the per-query
+    /// locality measure the benchmarks compare against cold push.
+    pub touched: usize,
+    /// Hubs whose sketches were spliced in.
+    pub hubs_spliced: usize,
+    /// Residual mass parked on hubs and answered from sketches,
+    /// `Σ_h r[h]` (≤ 1).
+    pub hub_mass: f64,
+    /// Residual mass processed by the online loop (`Σ r[u]` over
+    /// pushes) — cold push's same counter is the speedup denominator.
+    pub mass_pushed: f64,
+    /// False when the call degraded to the pure-push fallback (empty or
+    /// incompatible sketch set); the result is then bit-identical to
+    /// [`crate::push::ppr_push`].
+    pub used_sketches: bool,
+}
+
+/// `to_dense` / `map_back` via the shared [`NodeValued`] trait.
+impl NodeValued for SpliceResult {
+    fn node_values(&self) -> &[(NodeId, f64)] {
+        &self.vector
+    }
+
+    fn node_values_mut(&mut self) -> &mut Vec<(NodeId, f64)> {
+        &mut self.vector
+    }
+}
+
+impl From<SpliceResult> for PushResult {
+    /// Flatten a splice into the [`PushResult`] shape serving layers
+    /// already speak (the combined vector and residual accounting; the
+    /// post-combination residual support is not materialized).
+    fn from(s: SpliceResult) -> Self {
+        PushResult {
+            vector: s.vector,
+            residual_mass: s.residual_mass,
+            pushes: s.pushes,
+            work: s.work,
+            touched: s.touched,
+            residuals: Vec::new(),
+            mass_pushed: s.mass_pushed,
+        }
+    }
+}
+
+/// Sketch-spliced approximate PPR from `seeds`: equivalent (within the
+/// certified `ε·deg` bound) to [`crate::push::ppr_push`] at the same ε,
+/// but pushing only until the frontier's residual is parked on sketched
+/// hubs. Falls back to the exact push loop — bit-identical to
+/// `ppr_push` — when `set` is empty, was built for a different α, or
+/// its `ε_sketch` is not finer than `epsilon`.
+pub fn ppr_push_spliced(
+    g: &Graph,
+    seeds: &[NodeId],
+    alpha: f64,
+    epsilon: f64,
+    set: &SketchSet,
+) -> Result<SpliceResult> {
+    let mut ctx = KernelCtx::new();
+    match ppr_push_spliced_ctx(g, seeds, alpha, epsilon, set, &mut ctx)? {
+        SolverOutcome::Converged { value, .. } => Ok(value),
+        // An inert context never meters or guards, so the loop can only
+        // run to completion.
+        _ => Err(LocalError::InvalidArgument(
+            "splice on an inert context did not converge (bug guard)".into(),
+        )),
+    }
+}
+
+/// Context-driven [`ppr_push_spliced`]: metered, guarded, or traced per
+/// the [`KernelCtx`]. Budget exhaustion returns a certified partial
+/// whose [`Certificate::ResidualMass`] accounts for both the un-pushed
+/// online residual and the slack inherited from spliced sketches.
+pub fn ppr_push_spliced_ctx(
+    g: &Graph,
+    seeds: &[NodeId],
+    alpha: f64,
+    epsilon: f64,
+    set: &SketchSet,
+    ctx: &mut KernelCtx,
+) -> Result<SolverOutcome<SpliceResult>> {
+    validate_push_args(g, seeds, alpha, epsilon)?;
+    let fallback_reason = if set.is_empty() {
+        Some("empty sketch set")
+    } else if set.n() != g.n() {
+        return Err(LocalError::InvalidArgument(format!(
+            "sketch set built for {} nodes, graph has {}",
+            set.n(),
+            g.n()
+        )));
+    } else if set.alpha().to_bits() != alpha.to_bits() {
+        Some("sketch alpha mismatch")
+    } else if set.epsilon() >= epsilon {
+        Some("sketch epsilon not finer than the query epsilon")
+    } else {
+        None
+    };
+    if let Some(reason) = fallback_reason {
+        ctx.note_with(|| format!("sketch fallback to pure push: {reason}"));
+        let mut out = PushResult::empty();
+        let exit = PUSH_POOL.with(|ws| push_core(g, seeds, alpha, epsilon, ws, &mut out, ctx))?;
+        let diags = ctx.finish();
+        return Ok(match exit {
+            PushExit::Done => {
+                let value = fallback_result(out, epsilon);
+                SolverOutcome::converged(value, diags)
+            }
+            PushExit::Exhausted {
+                exhausted,
+                remaining,
+                per_degree_bound,
+            } => {
+                let mut value = fallback_result(out, per_degree_bound);
+                value.residual_mass = remaining;
+                SolverOutcome::exhausted(
+                    value,
+                    exhausted,
+                    Certificate::ResidualMass {
+                        remaining,
+                        per_degree_bound,
+                    },
+                    diags,
+                )
+            }
+            PushExit::Diverged(cause) => SolverOutcome::diverged(cause, diags),
+        });
+    }
+
+    let mut out = SpliceResult::default();
+    let exit =
+        PUSH_POOL.with(|ws| splice_core(g, seeds, alpha, epsilon, set, ws, &mut out, ctx))?;
+    ctx.note_with(|| {
+        format!(
+            "splice: {} hubs park {:.3e} mass; {} online pushes ({:.3e} mass pushed)",
+            out.hubs_spliced, out.hub_mass, out.pushes, out.mass_pushed,
+        )
+    });
+    let diags = ctx.finish();
+    Ok(match exit {
+        PushExit::Done => SolverOutcome::converged(out, diags),
+        PushExit::Exhausted {
+            exhausted,
+            remaining,
+            per_degree_bound,
+        } => SolverOutcome::exhausted(
+            out,
+            exhausted,
+            Certificate::ResidualMass {
+                remaining,
+                per_degree_bound,
+            },
+            diags,
+        ),
+        PushExit::Diverged(cause) => SolverOutcome::diverged(cause, diags),
+    })
+}
+
+/// Shape a pure-push fallback as a [`SpliceResult`] (`used_sketches =
+/// false`, nothing spliced).
+fn fallback_result(out: PushResult, per_degree_bound: f64) -> SpliceResult {
+    SpliceResult {
+        vector: out.vector,
+        residual_mass: out.residual_mass,
+        per_degree_bound,
+        pushes: out.pushes,
+        work: out.work,
+        touched: out.touched,
+        hubs_spliced: 0,
+        hub_mass: 0.0,
+        mass_pushed: out.mass_pushed,
+        used_sketches: false,
+    }
+}
+
+/// The splice loop on the shared push scratch. Inputs are pre-validated
+/// and `set` is known compatible (`ε_sketch < ε`, same α, same n).
+///
+/// Identical to [`push_core`] except sketched hubs are never enqueued:
+/// residual arriving at a hub parks there, and the harvest substitutes
+/// `r[h]·p_h` for it (ascending hub id, so the combination order — and
+/// hence every bit of the output — is deterministic at any thread
+/// count). The online threshold is `ε_push = ε − ε_sketch`, which makes
+/// the combined per-degree bound `ε_push + ε_sketch·Σ_h r[h] ≤ ε`.
+#[allow(clippy::too_many_arguments)]
+fn splice_core(
+    g: &Graph,
+    seeds: &[NodeId],
+    alpha: f64,
+    epsilon: f64,
+    set: &SketchSet,
+    ws: &mut crate::push::PushWorkspace,
+    out: &mut SpliceResult,
+    ctx: &mut KernelCtx,
+) -> Result<PushExit> {
+    use acir_runtime::DivergenceCause;
+    let n = g.n();
+    let eps_push = epsilon - set.epsilon();
+    ws.p.reset(n);
+    ws.r.reset(n);
+    ws.in_queue.reset(n);
+    ws.queue.clear();
+    ws.touched.clear();
+    out.vector.clear();
+
+    let seed_mass = 1.0 / seeds.len() as f64;
+    for &u in seeds {
+        if ws.r.add(u as usize, seed_mass) {
+            ws.touched.push(u);
+        }
+    }
+    for &u in seeds {
+        if !set.covers(u)
+            && !ws.in_queue.contains(u as usize)
+            && ws.r.get(u as usize) >= eps_push * g.degree(u)
+        {
+            ws.in_queue.insert(u as usize);
+            ws.queue.push_back(u);
+        }
+    }
+
+    let mut pushes = 0usize;
+    let mut work = 0usize;
+    let mut mass_pushed = 0.0f64;
+    let mut residual_mass = 1.0f64;
+    let push_cap = ((4.0 / (eps_push * alpha)).ceil() as usize).saturating_add(16);
+    let mut exit = PushExit::Done;
+
+    // CORE LOOP
+    while let Some(u) = ws.queue.pop_front() {
+        ws.in_queue.remove(u as usize);
+        let du = g.degree(u);
+        let ru = ws.r.get(u as usize);
+        if ctx.is_guarded() && !ru.is_finite() {
+            exit = PushExit::Diverged(DivergenceCause::NonFiniteIterate { at_iter: pushes });
+            break;
+        }
+        if ru < eps_push * du {
+            continue;
+        }
+        pushes += 1;
+        mass_pushed += ru;
+        if pushes > push_cap {
+            if ctx.is_guarded() {
+                exit = PushExit::Diverged(DivergenceCause::Breakdown {
+                    at_iter: pushes,
+                    what: "exceeded the theoretical O(1/(εα)) push bound",
+                });
+                break;
+            }
+            return Err(LocalError::InvalidArgument(
+                "ppr_push_spliced exceeded its theoretical push bound (bug guard)".into(),
+            ));
+        }
+        ws.p.add(u as usize, alpha * ru);
+        residual_mass -= alpha * ru;
+        let stay = (1.0 - alpha) * ru / 2.0;
+        ws.r.set(u as usize, stay);
+        let spread = (1.0 - alpha) * ru / 2.0;
+        let mut traversals = 0u64;
+        for (v, w) in g.neighbors(u) {
+            work += 1;
+            traversals += 1;
+            let dv = g.degree(v);
+            if ws.r.add(v as usize, spread * w / du) {
+                ws.touched.push(v);
+            }
+            if ctx.is_guarded() && !ws.r.get(v as usize).is_finite() {
+                exit = PushExit::Diverged(DivergenceCause::NonFiniteIterate { at_iter: pushes });
+                break;
+            }
+            // Hubs park their residual: it is answered from the sketch
+            // at harvest instead of being pushed on.
+            if !set.covers(v)
+                && !ws.in_queue.contains(v as usize)
+                && ws.r.get(v as usize) >= eps_push * dv
+                && dv > 0.0
+            {
+                ws.in_queue.insert(v as usize);
+                ws.queue.push_back(v);
+            }
+        }
+        if matches!(exit, PushExit::Diverged(_)) {
+            break;
+        }
+        // u was enqueued, so it is not a hub; the lazy half may requeue.
+        if !ws.in_queue.contains(u as usize) && ws.r.get(u as usize) >= eps_push * du {
+            ws.in_queue.insert(u as usize);
+            ws.queue.push_back(u);
+        }
+
+        ctx.tick_iter();
+        ctx.push_residual(residual_mass);
+        if let Some(exhausted) = ctx.add_work(traversals) {
+            exit = PushExit::Exhausted {
+                exhausted,
+                remaining: residual_mass,
+                per_degree_bound: eps_push,
+            };
+            break;
+        }
+    }
+
+    if matches!(exit, PushExit::Diverged(_)) {
+        return Ok(exit);
+    }
+
+    // Harvest: ascending node order, like the push kernel. Non-hub
+    // residuals stay unaccounted; hub residuals are substituted by
+    // their sketches below.
+    ws.touched.sort_unstable();
+    let mut touched = 0usize;
+    let mut own_residual = 0.0f64;
+    let mut worst_per_degree = 0.0f64;
+    let mut hub_mass = 0.0f64;
+    let mut hubs_spliced = 0usize;
+    let mut sketch_slack = 0.0f64;
+    let mut combined: BTreeMap<NodeId, f64> = BTreeMap::new();
+    for &u in &ws.touched {
+        let p = ws.p.get(u as usize);
+        let r = ws.r.get(u as usize);
+        if p > 0.0 {
+            *combined.entry(u).or_insert(0.0) += p;
+        }
+        if p > 0.0 || r > 0.0 {
+            touched += 1;
+        }
+        if r > 0.0 {
+            if let Some(sketch) = set.get(u) {
+                hub_mass += r;
+                hubs_spliced += 1;
+                sketch_slack += r * sketch.residual_mass;
+                for &(v, x) in &sketch.estimate {
+                    *combined.entry(v).or_insert(0.0) += r * x;
+                }
+            } else {
+                own_residual += r;
+                let d = g.degree(u);
+                if d > 0.0 {
+                    worst_per_degree = worst_per_degree.max(r / d);
+                }
+            }
+        }
+    }
+    out.vector
+        .extend(combined.into_iter().filter(|&(_, x)| x > 0.0));
+    let remaining = own_residual + sketch_slack;
+    // Converged: every non-hub residual is < ε_push·d by the loop exit
+    // condition. Exhausted: the frontier may still hold larger
+    // residuals, so the realized worst per-degree residual takes over.
+    let base = match &exit {
+        PushExit::Exhausted { .. } => worst_per_degree.max(eps_push),
+        _ => eps_push,
+    };
+    let per_degree_bound = base + set.epsilon() * hub_mass;
+    out.residual_mass = remaining;
+    out.per_degree_bound = per_degree_bound;
+    out.pushes = pushes;
+    out.work = work;
+    out.touched = touched;
+    out.hubs_spliced = hubs_spliced;
+    out.hub_mass = hub_mass;
+    out.mass_pushed = mass_pushed;
+    out.used_sketches = true;
+    if let PushExit::Exhausted {
+        remaining: r,
+        per_degree_bound: b,
+        ..
+    } = &mut exit
+    {
+        // The certificate must describe the *combined* answer.
+        *r = remaining;
+        *b = per_degree_bound;
+    }
+    Ok(exit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::push::{ppr_exact_reference, ppr_push};
+    use acir_graph::gen::deterministic::barbell;
+    use acir_graph::gen::random::barabasi_albert;
+    use acir_runtime::Budget;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ba(n: usize, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        barabasi_albert(&mut rng, n, 3).unwrap()
+    }
+
+    #[test]
+    fn build_selects_top_degree_hubs_and_validates() {
+        let g = ba(200, 5);
+        let set = build_hub_sketches(&g, 8, 0.1, 1e-4).unwrap();
+        assert_eq!(set.len(), 8);
+        assert_eq!(set.n(), g.n());
+        // Every sketched hub has degree at least any non-hub's degree.
+        let min_hub = set
+            .sketches()
+            .iter()
+            .map(|s| g.degree_unweighted(s.hub))
+            .min()
+            .unwrap();
+        for u in 0..g.n() as NodeId {
+            if !set.covers(u) {
+                assert!(g.degree_unweighted(u) <= min_hub);
+            }
+        }
+        // Each sketch is a genuine push result with the ACL guarantee.
+        for s in set.sketches() {
+            assert!(s.residual_mass < 1.0);
+            for &(v, r) in &s.residual {
+                assert!(r < 1e-4 * g.degree(v));
+            }
+            let direct = ppr_push(&g, &[s.hub], 0.1, 1e-4).unwrap();
+            assert_eq!(s.estimate, direct.vector);
+        }
+        assert!(build_hub_sketches(&g, 4, 0.0, 1e-4).is_err());
+        assert!(build_hub_sketches(&g, 4, 0.1, 0.0).is_err());
+        assert!(build_hub_sketches(&g, 0, 0.1, 1e-4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn build_is_thread_count_invariant() {
+        let g = ba(300, 9);
+        let mut baseline: Option<SketchSet> = None;
+        for threads in ["1", "4"] {
+            std::env::set_var(acir_exec::THREADS_ENV, threads);
+            let set = build_hub_sketches(&g, 16, 0.1, 1e-4).unwrap();
+            std::env::remove_var(acir_exec::THREADS_ENV);
+            if let Some(b) = &baseline {
+                for (a, c) in b.sketches().iter().zip(set.sketches()) {
+                    assert_eq!(a.hub, c.hub);
+                    assert_eq!(a.estimate, c.estimate);
+                    assert_eq!(a.residual, c.residual);
+                    assert_eq!(a.residual_mass.to_bits(), c.residual_mass.to_bits());
+                }
+            } else {
+                baseline = Some(set);
+            }
+        }
+    }
+
+    #[test]
+    fn splice_matches_direct_push_within_certified_bound() {
+        let g = ba(250, 11);
+        let eps = 1e-3;
+        let set = build_hub_sketches(&g, 12, 0.1, eps / 5.0).unwrap();
+        let spliced = ppr_push_spliced(&g, &[40], 0.1, eps, &set).unwrap();
+        assert!(spliced.used_sketches);
+        assert!(spliced.per_degree_bound <= eps + 1e-12);
+        let exact = ppr_exact_reference(&g, &[40], 0.1, 4000).unwrap();
+        let dense = spliced.to_dense(g.n());
+        for u in 0..g.n() {
+            let err = (exact[u] - dense[u]) / g.degree(u as NodeId);
+            assert!(err >= -1e-9, "node {u}: splice overshoots by {err}");
+            assert!(
+                err <= spliced.per_degree_bound + 1e-9,
+                "node {u}: err {err} vs bound {}",
+                spliced.per_degree_bound
+            );
+        }
+        // Mass conservation: the combined estimate plus the combined
+        // residual accounts for all teleported mass.
+        let p_mass: f64 = spliced.vector.iter().map(|&(_, x)| x).sum();
+        assert!((p_mass + spliced.residual_mass - 1.0).abs() < 1e-9);
+        // And it genuinely spliced: fewer pushes than the cold run.
+        let cold = ppr_push(&g, &[40], 0.1, eps).unwrap();
+        assert!(spliced.hubs_spliced > 0);
+        assert!(spliced.mass_pushed < cold.mass_pushed);
+    }
+
+    #[test]
+    fn fallback_paths_are_bit_identical_to_ppr_push() {
+        let g = barbell(8, 3).unwrap();
+        let direct = ppr_push(&g, &[0], 0.1, 1e-4).unwrap();
+        // Empty set, mismatched α, and non-finer ε all fall back.
+        let coarse = build_hub_sketches(&g, 4, 0.1, 1e-2).unwrap();
+        for set in [
+            SketchSet::empty(),
+            build_hub_sketches(&g, 0, 0.1, 1e-5).unwrap(),
+            build_hub_sketches(&g, 4, 0.2, 1e-5).unwrap(),
+            coarse,
+        ] {
+            let s = ppr_push_spliced(&g, &[0], 0.1, 1e-4, &set).unwrap();
+            assert!(!s.used_sketches);
+            assert_eq!(s.vector, direct.vector);
+            assert_eq!(s.residual_mass.to_bits(), direct.residual_mass.to_bits());
+            assert_eq!(s.pushes, direct.pushes);
+            assert_eq!(s.per_degree_bound, 1e-4);
+        }
+    }
+
+    #[test]
+    fn seed_on_a_hub_needs_no_pushes() {
+        let g = ba(200, 5);
+        let set = build_hub_sketches(&g, 8, 0.1, 1e-5).unwrap();
+        let hub = set.sketches()[0].hub;
+        let s = ppr_push_spliced(&g, &[hub], 0.1, 1e-3, &set).unwrap();
+        assert!(s.used_sketches);
+        assert_eq!(s.pushes, 0);
+        assert!((s.hub_mass - 1.0).abs() < 1e-12);
+        // The whole answer is the hub's own sketch.
+        assert_eq!(s.vector, set.sketches()[0].estimate);
+    }
+
+    #[test]
+    fn budget_exhaustion_certifies_the_combined_answer() {
+        let g = ba(400, 13);
+        let set = build_hub_sketches(&g, 8, 0.05, 1e-6).unwrap();
+        let mut ctx = acir_runtime::KernelCtx::budgeted("test.splice", &Budget::iterations(3));
+        let out = ppr_push_spliced_ctx(&g, &[17], 0.05, 1e-5, &set, &mut ctx).unwrap();
+        assert!(!out.is_converged() && out.is_usable());
+        let (remaining, bound) = match out.certificate() {
+            Some(&Certificate::ResidualMass {
+                remaining,
+                per_degree_bound,
+            }) => (remaining, per_degree_bound),
+            c => panic!("wrong certificate {c:?}"),
+        };
+        let v = out.value().unwrap();
+        assert_eq!(remaining.to_bits(), v.residual_mass.to_bits());
+        assert_eq!(bound.to_bits(), v.per_degree_bound.to_bits());
+        // The certified bound really does bound the pointwise error.
+        let exact = ppr_exact_reference(&g, &[17], 0.05, 4000).unwrap();
+        let dense = v.to_dense(g.n());
+        for u in 0..g.n() {
+            let err = (exact[u] - dense[u]) / g.degree(u as NodeId);
+            assert!(err >= -1e-9 && err <= bound + 1e-9, "node {u}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_graphs() {
+        let g = ba(200, 5);
+        let other = ba(100, 5);
+        let set = build_hub_sketches(&g, 4, 0.1, 1e-5).unwrap();
+        assert!(ppr_push_spliced(&other, &[0], 0.1, 1e-3, &set).is_err());
+    }
+}

@@ -126,6 +126,19 @@ pub enum Certificate {
         /// Capacity of a witnessed cut (an upper bound on the max flow).
         upper_bound: f64,
     },
+    /// A [`Certificate::ResidualMass`] bound served from a cache after
+    /// the graph moved on: the bound held against the graph snapshot
+    /// identified by `epoch`, not necessarily against the current one.
+    /// Serving layers use this so a stale answer can never masquerade
+    /// as a fresh one.
+    StaleResidualMass {
+        /// Residual mass not distributed when the answer was computed.
+        remaining: f64,
+        /// Per-unit-degree error bound against the `epoch` snapshot.
+        per_degree_bound: f64,
+        /// Graph version the bound was certified against.
+        epoch: u64,
+    },
 }
 
 impl Certificate {
@@ -137,6 +150,39 @@ impl Certificate {
             Certificate::RayleighInterval { .. } => "rayleigh_interval",
             Certificate::ResidualMass { .. } => "residual_mass",
             Certificate::FlowGap { .. } => "flow_gap",
+            Certificate::StaleResidualMass { .. } => "stale_residual_mass",
+        }
+    }
+
+    /// Label a residual-mass certificate with the graph epoch its
+    /// answer was certified against, producing the stale form a cache
+    /// rung serves. Idempotent on already-stale certificates (the
+    /// original epoch label is replaced); other certificate families
+    /// pass through unchanged.
+    pub fn staled(self, epoch: u64) -> Certificate {
+        match self {
+            Certificate::ResidualMass {
+                remaining,
+                per_degree_bound,
+            }
+            | Certificate::StaleResidualMass {
+                remaining,
+                per_degree_bound,
+                ..
+            } => Certificate::StaleResidualMass {
+                remaining,
+                per_degree_bound,
+                epoch,
+            },
+            other => other,
+        }
+    }
+
+    /// The graph-epoch label, if this certificate carries one.
+    pub fn epoch(&self) -> Option<u64> {
+        match *self {
+            Certificate::StaleResidualMass { epoch, .. } => Some(epoch),
+            _ => None,
         }
     }
 
@@ -149,6 +195,7 @@ impl Certificate {
             Certificate::RayleighInterval { radius, .. } => radius,
             Certificate::ResidualMass { remaining, .. } => remaining,
             Certificate::FlowGap { value, upper_bound } => (upper_bound - value).max(0.0),
+            Certificate::StaleResidualMass { remaining, .. } => remaining,
         }
     }
 }
@@ -175,6 +222,14 @@ impl std::fmt::Display for Certificate {
             Certificate::FlowGap { value, upper_bound } => {
                 write!(f, "flow {value:.6e} ≤ max-flow ≤ {upper_bound:.6e}")
             }
+            Certificate::StaleResidualMass {
+                remaining,
+                per_degree_bound,
+                epoch,
+            } => write!(
+                f,
+                "stale (epoch {epoch}): residual mass {remaining:.3e}, per-degree error ≤ {per_degree_bound:.3e}"
+            ),
         }
     }
 }
@@ -438,6 +493,25 @@ mod tests {
             .kind_name(),
             "flow_gap"
         );
+    }
+
+    #[test]
+    fn staled_labels_residual_mass_with_epoch() {
+        let fresh = Certificate::ResidualMass {
+            remaining: 0.2,
+            per_degree_bound: 1e-4,
+        };
+        assert_eq!(fresh.epoch(), None);
+        let stale = fresh.staled(3);
+        assert_eq!(stale.epoch(), Some(3));
+        assert_eq!(stale.kind_name(), "stale_residual_mass");
+        assert_eq!(stale.slack(), 0.2);
+        // Idempotent: re-labeling replaces the epoch.
+        assert_eq!(stale.staled(5).epoch(), Some(5));
+        // Other families pass through untouched.
+        let norm = Certificate::ResidualNorm { value: 0.1 };
+        assert_eq!(norm.staled(7), norm);
+        assert!(stale.to_string().contains("epoch 3"));
     }
 
     #[test]

@@ -6,17 +6,28 @@
 //!
 //! ```text
 //! submit ──► admission (queue bound + token-bucket grant) ──► queued
-//! run_pending ──► ladder (requested ε → coarser ε → fallback)
-//!             ──► lockstep batch attempt (same α, ε rung, epoch)
+//! run_pending ──► answer cache (exact (seeds, α, ε, epoch) hit → Cached)
+//!             ──► ladder (requested ε → coarser ε → fallback)
+//!             ──► sketch splice (attempt 0, when hub sketches cover
+//!                 the epoch and α) or lockstep batch attempt
 //!             ──► RetryPolicy supervision (panic fence + NaN guard,
-//!                 exponential backoff, capped attempts)
-//!             ──► response: Full | Coarsened | Partial | Stale |
-//!                 SeedOnly — always exactly one, always certified
+//!                 exponential backoff, capped attempts; retries take
+//!                 the raw push path, so a faulty splice degrades to
+//!                 raw push before descending the ladder)
+//!             ──► response: Full | Cached | Coarsened | Partial |
+//!                 Stale | SeedOnly — always exactly one, certified
 //! ```
+//!
+//! Graph mutation ([`Engine::update_graph`]) bumps the epoch, drops
+//! every answer-cache entry, and rebuilds the hub sketches, so a
+//! pre-mutation answer can only ever surface as `Stale` — labeled with
+//! its epoch in the certificate — never as `Full` or `Cached`.
 
 use crate::chaos::ChaosConfig;
+use crate::store::SketchStore;
 use acir_graph::{Graph, NodeId};
 use acir_local::push::{ppr_push_batch_outcomes, ppr_push_ctx, PushResult};
+use acir_local::sketch::{ppr_push_spliced_ctx, SketchSet};
 use acir_runtime::{
     Backoff, Budget, Certificate, Diagnostics, DivergenceCause, GuardConfig, KernelCtx,
     RetryPolicy, SolverOutcome, SpmvLayout,
@@ -67,6 +78,22 @@ pub struct EngineConfig {
     /// performs, and recorded in its trace). `None` keeps the process
     /// default (`ACIR_SPMV_LAYOUT` or scalar CSR).
     pub spmv: Option<SpmvLayout>,
+    /// Number of top-degree hubs to precompute PPR sketches from;
+    /// `0` disables the sketch-splice path entirely. Sketches are
+    /// rebuilt on every graph swap.
+    pub sketch_hubs: usize,
+    /// α the hub sketches are built for (sketches are α-specific);
+    /// queries at any other α take the ordinary push path.
+    pub sketch_alpha: f64,
+    /// ε the hub sketches are pushed to. A query at ε can splice only
+    /// when `sketch_epsilon < ε`; the online loop then runs at
+    /// `ε − sketch_epsilon` and the combined answer still satisfies
+    /// the `ε·deg` invariant.
+    pub sketch_epsilon: f64,
+    /// Answer-cache capacity: exact `(seeds, α, ε, epoch)` repeats are
+    /// served from cache as [`ResponseKind::Cached`] (full quality,
+    /// zero compute). `0` disables the cache. Eviction is FIFO.
+    pub answer_cache_cap: usize,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +109,10 @@ impl Default for EngineConfig {
             ladder_rungs: 2,
             chaos: None,
             spmv: None,
+            sketch_hubs: 0,
+            sketch_alpha: 0.1,
+            sketch_epsilon: 1e-5,
+            answer_cache_cap: 256,
         }
     }
 }
@@ -142,6 +173,11 @@ impl Admission {
 pub enum ResponseKind {
     /// Converged at the requested ε.
     Full,
+    /// An exact answer-cache hit: the same `(seeds, α, ε)` was answered
+    /// `Full` earlier *in the current graph epoch*, so the cached
+    /// vector and certificate are returned without any compute. Not a
+    /// degraded rung — the answer satisfies the requested ε.
+    Cached,
     /// Converged, but at a coarser ε chosen to fit the grant.
     Coarsened,
     /// Budget or deadline truncated the push; the partial diffusion is
@@ -160,6 +196,7 @@ impl ResponseKind {
     pub fn name(&self) -> &'static str {
         match self {
             ResponseKind::Full => "full",
+            ResponseKind::Cached => "cached",
             ResponseKind::Coarsened => "coarsened",
             ResponseKind::Partial => "partial",
             ResponseKind::Stale => "stale",
@@ -167,9 +204,11 @@ impl ResponseKind {
         }
     }
 
-    /// Anything below the top rung counts as degraded service.
+    /// Anything below the top rung counts as degraded service
+    /// (`Cached` answers satisfy the requested ε, so they sit on the
+    /// top rung alongside `Full`).
     pub fn is_degraded(&self) -> bool {
-        !matches!(self, ResponseKind::Full)
+        !matches!(self, ResponseKind::Full | ResponseKind::Cached)
     }
 }
 
@@ -213,6 +252,8 @@ pub struct EngineStats {
     pub responded: u64,
     /// Ladder counts, one per [`ResponseKind`].
     pub full: u64,
+    /// See [`ResponseKind::Cached`].
+    pub cached: u64,
     /// See [`ResponseKind::Coarsened`].
     pub coarsened: u64,
     /// See [`ResponseKind::Partial`].
@@ -227,6 +268,9 @@ pub struct EngineStats {
     pub panics_caught: u64,
     /// NaN corruptions detected by response validation.
     pub faults_detected: u64,
+    /// Requests answered through the sketch-splice path (attempt 0
+    /// spliced hub sketches instead of a cold push).
+    pub spliced: u64,
 }
 
 impl EngineStats {
@@ -264,6 +308,26 @@ fn cache_key(seeds: &[NodeId], alpha: f64) -> CacheKey {
     (s, alpha.to_bits())
 }
 
+/// Exact answer-cache key: sorted deduped seeds, α bits, ε bits, and
+/// the graph epoch the answer was computed in. The epoch component is
+/// the invalidation mechanism — a bumped epoch misses by construction
+/// (and [`Engine::update_graph`] purges old entries besides).
+type AnswerKey = (Vec<NodeId>, u64, u64, u64);
+
+fn answer_key(seeds: &[NodeId], alpha: f64, epsilon: f64, epoch: u64) -> AnswerKey {
+    let mut s = seeds.to_vec();
+    s.sort_unstable();
+    s.dedup();
+    (s, alpha.to_bits(), epsilon.to_bits(), epoch)
+}
+
+#[derive(Debug, Clone)]
+struct AnswerEntry {
+    epsilon: f64,
+    vector: Vec<(NodeId, f64)>,
+    certificate: Certificate,
+}
+
 /// Worst-case push count of an ε-truncated diffusion, the same
 /// `O(1/(εα))` bound the kernel's safety cap uses — the ladder's
 /// admission-time cost model.
@@ -282,36 +346,77 @@ pub struct Engine {
     available: u64,
     queue: VecDeque<Pending>,
     cache: HashMap<CacheKey, CacheEntry>,
+    answers: HashMap<AnswerKey, AnswerEntry>,
+    answer_order: VecDeque<AnswerKey>,
+    sketches: Option<SketchStore>,
     stats: EngineStats,
     trace: Diagnostics,
 }
 
 impl Engine {
     /// An engine serving queries against `g`.
+    ///
+    /// When `cfg.sketch_hubs > 0` the hub sketches are built here (and
+    /// again on every [`Engine::update_graph`]); invalid sketch
+    /// parameters are a configuration bug and panic.
     pub fn new(g: Graph, cfg: EngineConfig) -> Self {
         let available = cfg.capacity;
-        Self {
+        let mut engine = Self {
             g,
             cfg,
             epoch: 0,
             next_id: 0,
             available,
             cache: HashMap::new(),
+            answers: HashMap::new(),
+            answer_order: VecDeque::new(),
+            sketches: None,
             queue: VecDeque::new(),
             stats: EngineStats::default(),
-            trace: Diagnostics::new(),
+            trace: Diagnostics::for_kernel("serve.engine"),
+        };
+        engine.rebuild_sketches();
+        engine
+    }
+
+    /// (Re)build the hub-sketch store for the current graph and epoch.
+    fn rebuild_sketches(&mut self) {
+        self.sketches = None;
+        if self.cfg.sketch_hubs == 0 {
+            return;
         }
+        let store = SketchStore::build(
+            &self.g,
+            self.cfg.sketch_hubs,
+            self.cfg.sketch_alpha,
+            self.cfg.sketch_epsilon,
+            self.epoch,
+        )
+        .unwrap_or_else(|e| panic!("invalid sketch configuration: {e}"));
+        self.trace.note(format!(
+            "hub sketches built: {} hubs at eps {:e} (epoch {})",
+            store.len(),
+            self.cfg.sketch_epsilon,
+            self.epoch
+        ));
+        self.sketches = Some(store);
     }
 
     /// Swap in a new graph snapshot and bump the epoch. Requests
     /// already queued keep their old epoch stamp, so they are never
-    /// batched with new-epoch requests; cached answers from earlier
-    /// epochs remain servable as `Stale`.
+    /// batched (or spliced) with new-epoch requests; the answer cache
+    /// is purged (its keys are epoch-specific anyway) and the hub
+    /// sketches are rebuilt against the new snapshot. Stale-cache
+    /// answers from earlier epochs remain servable as `Stale`, labeled
+    /// with their epoch in the certificate.
     pub fn update_graph(&mut self, g: Graph) {
         self.g = g;
         self.epoch += 1;
+        self.answers.clear();
+        self.answer_order.clear();
         self.trace
             .note(format!("graph swapped; epoch {}", self.epoch));
+        self.rebuild_sketches();
     }
 
     /// Current graph epoch.
@@ -337,6 +442,47 @@ impl Engine {
     /// Engine-level trail of request lifecycle events.
     pub fn trace(&self) -> &Diagnostics {
         &self.trace
+    }
+
+    /// The hub-sketch store, when the sketch path is enabled.
+    pub fn sketch_store(&self) -> Option<&SketchStore> {
+        self.sketches.as_ref()
+    }
+
+    /// Answer-cache entries currently held.
+    pub fn answer_cache_len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// The sketch set to splice for a current-epoch request at
+    /// `(alpha, eps)`, if the store covers that combination.
+    fn splice_set(&self, alpha: f64, eps: f64) -> Option<&SketchSet> {
+        let store = self.sketches.as_ref()?;
+        let set = store.set();
+        (store.epoch() == self.epoch
+            && !set.is_empty()
+            && set.alpha().to_bits() == alpha.to_bits()
+            && set.epsilon() < eps)
+            .then_some(set)
+    }
+
+    /// Record a `Full`-quality answer for exact-repeat service, with
+    /// FIFO eviction at the configured capacity.
+    fn cache_answer(&mut self, key: AnswerKey, entry: AnswerEntry) {
+        if self.cfg.answer_cache_cap == 0 {
+            return;
+        }
+        if self.answers.insert(key.clone(), entry).is_none() {
+            self.answer_order.push_back(key);
+        }
+        while self.answers.len() > self.cfg.answer_cache_cap {
+            match self.answer_order.pop_front() {
+                Some(old) => {
+                    self.answers.remove(&old);
+                }
+                None => break,
+            }
+        }
     }
 
     fn validate(&self, q: &Query) -> Result<(), String> {
@@ -466,6 +612,26 @@ impl Engine {
 
         let mut computes: Vec<(Pending, f64, Budget)> = Vec::new();
         for p in pending {
+            // Exact answer-cache hit: same seeds, α, ε, and epoch as an
+            // earlier Full answer — served without compute (and without
+            // consulting the deadline; a cache hit is free). Sits above
+            // the Stale rung: keys are epoch-exact, so a pre-mutation
+            // answer can never surface here.
+            let key = answer_key(&p.query.seeds, p.query.alpha, p.query.epsilon, p.epoch);
+            if let Some(entry) = self.answers.get(&key).cloned() {
+                self.trace.request_stage(p.id, "cache_hit");
+                let r = self.respond(
+                    p,
+                    ResponseKind::Cached,
+                    entry.epsilon,
+                    entry.vector,
+                    entry.certificate,
+                    0,
+                    Diagnostics::new(),
+                );
+                responses.push(r);
+                continue;
+            }
             match self.choose_rung(&p) {
                 Some((eps_used, budget)) => {
                     if eps_used > p.query.epsilon {
@@ -502,7 +668,14 @@ impl Engine {
             }
             let alpha = computes[idxs[0]].0.query.alpha;
             let eps = computes[idxs[0]].1;
-            if self.cfg.chaos.is_none() {
+            let splice = self.splice_set(alpha, eps).is_some();
+            if splice {
+                for &i in idxs {
+                    self.trace.request_stage(computes[i].0.id, "splice");
+                }
+                self.stats.spliced += idxs.len() as u64;
+            }
+            if self.cfg.chaos.is_none() && !splice {
                 let seed_sets: Vec<Vec<NodeId>> = idxs
                     .iter()
                     .map(|&i| computes[i].0.query.seeds.clone())
@@ -515,18 +688,25 @@ impl Engine {
                     }
                 }
             } else {
-                // Chaos-instrumented lockstep call: same per-item
-                // budgeted/guarded context as the batch entry point,
-                // plus the fault hooks, each item behind its own fence.
+                // Chaos- or sketch-instrumented lockstep call: same
+                // per-item budgeted/guarded context as the batch entry
+                // point, plus the fault hooks and (attempt 0 only) the
+                // sketch splice, each item behind its own fence.
                 let g = &self.g;
                 let chaos = self.cfg.chaos.as_ref();
                 let spmv = self.cfg.spmv;
+                let set = if splice {
+                    self.sketches.as_ref().map(|s| s.set())
+                } else {
+                    None
+                };
                 let outs = acir_exec::ExecPool::from_env().par_map(idxs, 1, |&i| {
                     let (p, e, b) = &computes[i];
                     supervised_attempt(
                         g,
                         chaos,
                         spmv,
+                        set,
                         p.id,
                         &p.query.seeds,
                         p.query.alpha,
@@ -588,10 +768,14 @@ impl Engine {
             let run: Result<_, std::convert::Infallible> = policy.run(|k| {
                 Ok(match first.take() {
                     Some(o) if k == 0 => o,
+                    // Retries (and solo first attempts) always take the
+                    // raw push path: a fault during a splice degrades
+                    // to raw push before descending the ladder.
                     _ => supervised_attempt(
                         g,
                         chaos,
                         spmv,
+                        None,
                         p.id,
                         &p.query.seeds,
                         p.query.alpha,
@@ -628,6 +812,16 @@ impl Engine {
                     cache_key(&p.query.seeds, p.query.alpha),
                     CacheEntry {
                         epoch: p.epoch,
+                        epsilon: eps_used,
+                        vector: value.vector.clone(),
+                        certificate,
+                    },
+                );
+                // Exact-repeat cache, keyed by the ε the answer
+                // satisfies (== requested for Full responses).
+                self.cache_answer(
+                    answer_key(&p.query.seeds, p.query.alpha, eps_used, p.epoch),
+                    AnswerEntry {
                         epsilon: eps_used,
                         vector: value.vector.clone(),
                         certificate,
@@ -678,8 +872,14 @@ impl Engine {
                 "serving cached answer (epoch {}, ε = {:e})",
                 entry.epoch, entry.epsilon
             ));
-            let (vector, certificate, epsilon) =
-                (entry.vector.clone(), entry.certificate, entry.epsilon);
+            // The Stale rung always labels the answer with the epoch it
+            // was certified against — a stale answer never masquerades
+            // as a fresh bound.
+            let (vector, certificate, epsilon) = (
+                entry.vector.clone(),
+                entry.certificate.staled(entry.epoch),
+                entry.epsilon,
+            );
             return self.respond(
                 p,
                 ResponseKind::Stale,
@@ -733,10 +933,12 @@ impl Engine {
             .min(self.cfg.capacity);
         diagnostics.certificate_issued(&certificate);
         diagnostics.request_stage(p.id, format!("responded:{}", kind.name()));
+        self.trace.certificate_issued(&certificate);
         self.trace
             .request_stage(p.id, format!("responded:{}", kind.name()));
         match kind {
             ResponseKind::Full => self.stats.full += 1,
+            ResponseKind::Cached => self.stats.cached += 1,
             ResponseKind::Coarsened => self.stats.coarsened += 1,
             ResponseKind::Partial => self.stats.partial += 1,
             ResponseKind::Stale => self.stats.stale += 1,
@@ -766,6 +968,7 @@ fn supervised_attempt(
     g: &Graph,
     chaos: Option<&ChaosConfig>,
     spmv: Option<SpmvLayout>,
+    sketches: Option<&SketchSet>,
     id: u64,
     seeds: &[NodeId],
     alpha: f64,
@@ -788,7 +991,11 @@ fn supervised_attempt(
         // recorded in the trace); the push kernel itself is a local
         // sweep, but degraded rungs and future kernels inherit it.
         let _spmv = ctx.spmv_scope();
-        ppr_push_ctx(g, seeds, alpha, epsilon, &mut ctx)
+        match sketches {
+            Some(set) => ppr_push_spliced_ctx(g, seeds, alpha, epsilon, set, &mut ctx)
+                .map(|o| o.map(PushResult::from)),
+            None => ppr_push_ctx(g, seeds, alpha, epsilon, &mut ctx),
+        }
     });
     let mut out = match fenced {
         Ok(Ok(out)) => out,
@@ -1047,14 +1254,122 @@ mod tests {
             Certificate::ResidualMass { remaining, .. } => assert_eq!(remaining, 1.0),
             c => panic!("wrong certificate {c:?}"),
         }
-        // Warm the cache with the same seeds, then expire again → stale.
+        // Warm the cache with the same seeds. An exact repeat — even a
+        // dead one — is now an answer-cache hit: Cached, not degraded.
         assert!(e.submit(query(&[0, 0, 3])).is_accepted());
         assert_eq!(e.run_pending()[0].kind, ResponseKind::Full);
+        assert!(e.submit(dead.clone()).is_accepted());
+        let rs = e.run_pending();
+        assert_eq!(rs[0].kind, ResponseKind::Cached);
+        assert!(!rs[0].kind.is_degraded());
+        // A graph swap invalidates the answer cache; the (seeds, α)
+        // stale cache survives the swap but labels its answer with the
+        // epoch it was certified against.
+        e.update_graph(barbell(6, 2).unwrap());
         assert!(e.submit(dead).is_accepted());
         let rs = e.run_pending();
         assert_eq!(rs[0].kind, ResponseKind::Stale);
+        match rs[0].certificate {
+            Certificate::StaleResidualMass { epoch, .. } => assert_eq!(epoch, 0),
+            c => panic!("wrong certificate {c:?}"),
+        }
         assert_eq!(e.stats().seed_only, 1);
+        assert_eq!(e.stats().cached, 1);
         assert_eq!(e.stats().stale, 1);
+    }
+
+    #[test]
+    fn answer_cache_serves_exact_repeats_bit_identically() {
+        let g = barbell(6, 2).unwrap();
+        let mut e = Engine::new(g, EngineConfig::default());
+        assert!(e.submit(query(&[0, 3])).is_accepted());
+        let first = e.run_pending().remove(0);
+        assert_eq!(first.kind, ResponseKind::Full);
+        assert_eq!(e.answer_cache_len(), 1);
+        // Exact repeat (seed order and duplicates don't matter): served
+        // from the answer cache, bit-identical, zero work spent.
+        assert!(e.submit(query(&[3, 0, 0])).is_accepted());
+        let again = e.run_pending().remove(0);
+        assert_eq!(again.kind, ResponseKind::Cached);
+        assert!(!again.kind.is_degraded());
+        assert_eq!(again.cluster, first.cluster);
+        assert_eq!(again.certificate, first.certificate);
+        assert_eq!(e.stats().cached, 1);
+        // A different ε is a different answer — cache miss.
+        assert!(e
+            .submit(Query {
+                epsilon: 5e-3,
+                ..query(&[0, 3])
+            })
+            .is_accepted());
+        assert_eq!(e.run_pending()[0].kind, ResponseKind::Full);
+        assert_eq!(e.stats().cached, 1);
+        assert_eq!(e.answer_cache_len(), 2);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_answers_and_rebuilds_sketches() {
+        let g = barbell(6, 2).unwrap();
+        let mut e = Engine::new(
+            g,
+            EngineConfig {
+                sketch_hubs: 4,
+                ..EngineConfig::default()
+            },
+        );
+        let store = e.sketch_store().expect("sketches configured");
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.len(), 4);
+        assert!(e.submit(query(&[0])).is_accepted());
+        assert_eq!(e.run_pending()[0].kind, ResponseKind::Full);
+        assert_eq!(e.answer_cache_len(), 1);
+        // The swap purges every pre-mutation answer and restamps the
+        // sketches; the repeat recomputes (Full, current-epoch
+        // certificate), never serving the old answer as fresh.
+        e.update_graph(barbell(6, 2).unwrap());
+        assert_eq!(e.answer_cache_len(), 0);
+        assert_eq!(e.sketch_store().unwrap().epoch(), 1);
+        assert!(e.submit(query(&[0])).is_accepted());
+        let r = e.run_pending().remove(0);
+        assert_eq!(r.kind, ResponseKind::Full);
+        assert!(matches!(r.certificate, Certificate::ResidualMass { .. }));
+        assert_eq!(e.stats().cached, 0);
+    }
+
+    #[test]
+    fn spliced_first_attempt_matches_direct_push_within_bound() {
+        let g = barbell(6, 2).unwrap();
+        let direct = acir_local::ppr_push(&g, &[0], 0.1, 1e-2).unwrap();
+        let mut e = Engine::new(
+            g.clone(),
+            EngineConfig {
+                sketch_hubs: 3,
+                ..EngineConfig::default()
+            },
+        );
+        assert!(e.submit(query(&[0])).is_accepted());
+        let r = e.run_pending().remove(0);
+        assert_eq!(r.kind, ResponseKind::Full);
+        assert_eq!(e.stats().spliced, 1);
+        match r.certificate {
+            Certificate::ResidualMass {
+                per_degree_bound, ..
+            } => assert!(per_degree_bound <= 1e-2),
+            c => panic!("wrong certificate {c:?}"),
+        }
+        // Both answers are within ε·deg of the exact PPR vector, so
+        // they are within 2ε·deg of each other.
+        let spliced: std::collections::HashMap<NodeId, f64> = r.cluster.into_iter().collect();
+        let exact: std::collections::HashMap<NodeId, f64> = direct.vector.iter().copied().collect();
+        for u in 0..g.n() as NodeId {
+            let d = g.degree(u) as f64;
+            let a = spliced.get(&u).copied().unwrap_or(0.0);
+            let b = exact.get(&u).copied().unwrap_or(0.0);
+            assert!(
+                (a - b).abs() <= 2.0 * 1e-2 * d + 1e-12,
+                "node {u}: spliced {a} vs direct {b}"
+            );
+        }
     }
 
     #[test]

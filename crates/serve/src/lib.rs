@@ -41,6 +41,24 @@
 //!   graph epoch) coalesce into one `ppr_push_batch_outcomes` lockstep
 //!   call; per-item results are bit-identical to the solo path at any
 //!   thread count (test-asserted).
+//! * **Hub sketches** ([`SketchStore`]) — when configured, the engine
+//!   precomputes truncated push vectors from the top-degree hubs and
+//!   routes first attempts through the splice kernel
+//!   (`acir_local::sketch`): push from the seed until the remaining
+//!   residual frontier is covered by sketched hubs, then combine the
+//!   stored hub vectors by PPR linearity. The spliced answer carries
+//!   the same ε·deg certificate as a direct push while touching far
+//!   fewer nodes. Sketches are stamped with the graph epoch and
+//!   rebuilt on every [`Engine::update_graph`], so a stale sketch is
+//!   never consulted.
+//! * **Answer caching** — exact repeats keyed by
+//!   `(seeds, α, ε, graph epoch)` are served from an epoch-keyed
+//!   answer cache as [`ResponseKind::Cached`] — a non-degraded rung
+//!   above `Stale`, since the cached certificate still holds verbatim
+//!   on the current graph. Graph swaps invalidate the whole cache;
+//!   the older `(seeds, α)` stale cache survives swaps but labels its
+//!   answers with the epoch they were certified against
+//!   (`Certificate::StaleResidualMass`).
 //!
 //! [`chaos`] holds the deterministic fault scheduler the chaos harness
 //! and the `servebench` load generator share.
@@ -50,9 +68,11 @@
 
 pub mod chaos;
 pub mod engine;
+pub mod store;
 
 pub use chaos::ChaosConfig;
 pub use engine::{
     Admission, Engine, EngineConfig, EngineStats, Overloaded, Query, RejectReason, Response,
     ResponseKind,
 };
+pub use store::SketchStore;

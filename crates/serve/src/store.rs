@@ -1,0 +1,75 @@
+//! The engine-side hub-sketch store: an immutable
+//! [`SketchSet`] stamped with the graph epoch it was built against.
+//!
+//! The engine rebuilds the store on every graph swap
+//! ([`crate::engine::Engine::update_graph`]), so a store whose epoch
+//! disagrees with the engine's current epoch is *never* consulted —
+//! sketches can go stale only by construction, not by use. That makes
+//! invalidation trivial to reason about: the epoch stamp is the whole
+//! protocol.
+
+use acir_graph::Graph;
+use acir_local::{build_hub_sketches, SketchSet};
+
+/// An epoch-stamped [`SketchSet`] owned by the serve engine.
+#[derive(Debug, Clone)]
+pub struct SketchStore {
+    set: SketchSet,
+    epoch: u64,
+}
+
+impl SketchStore {
+    /// Build sketches from the top-`hubs` hubs of `g` at `(α, ε)`,
+    /// stamped with `epoch`. Fails only on invalid α/ε — a programmer
+    /// error in the engine configuration, reported as a string so the
+    /// caller can decide whether to panic or disable the path.
+    pub fn build(
+        g: &Graph,
+        hubs: usize,
+        alpha: f64,
+        epsilon: f64,
+        epoch: u64,
+    ) -> Result<Self, String> {
+        let set = build_hub_sketches(g, hubs, alpha, epsilon)
+            .map_err(|e| format!("hub sketch build failed: {e}"))?;
+        Ok(Self { set, epoch })
+    }
+
+    /// The graph epoch the sketches were built against.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The sketches themselves.
+    pub fn set(&self) -> &SketchSet {
+        &self.set
+    }
+
+    /// Number of sketched hubs.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Does the store hold no sketches?
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use acir_graph::gen::deterministic::barbell;
+
+    #[test]
+    fn build_stamps_the_epoch() {
+        let g = barbell(8, 2).unwrap();
+        let s = SketchStore::build(&g, 4, 0.1, 1e-4, 7).unwrap();
+        assert_eq!(s.epoch(), 7);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.set().alpha(), 0.1);
+        assert!(SketchStore::build(&g, 4, 2.0, 1e-4, 0).is_err());
+    }
+}

@@ -54,6 +54,8 @@ struct Plan {
     capacity: u64,
     queue_cap: usize,
     max_attempts: usize,
+    /// Hub-sketch count; 0 disables the splice path entirely.
+    sketch_hubs: usize,
 }
 
 fn arb_plan() -> impl Strategy<Value = Plan> {
@@ -61,9 +63,10 @@ fn arb_plan() -> impl Strategy<Value = Plan> {
         (0u64..1_000_000, 0u8..4, 0u8..4),
         collection::vec((0u32..64, 0u8..4), 1..28),
         (1usize..4, 64u64..200_000, 1usize..9, 1usize..5),
+        0usize..3,
     )
         .prop_map(
-            |((chaos_seed, p, n), reqs, (waves, capacity, queue_cap, max_attempts))| Plan {
+            |((chaos_seed, p, n), reqs, (waves, capacity, queue_cap, max_attempts), hubs)| Plan {
                 chaos_seed,
                 panic_rate: f64::from(p) * 0.15,
                 nan_rate: f64::from(n) * 0.15,
@@ -75,6 +78,7 @@ fn arb_plan() -> impl Strategy<Value = Plan> {
                 capacity,
                 queue_cap,
                 max_attempts,
+                sketch_hubs: hubs * 8,
             },
         )
 }
@@ -109,6 +113,7 @@ fn run_plan(plan: &Plan) -> Vec<Summary> {
             plan.panic_rate,
             plan.nan_rate,
         )),
+        sketch_hubs: plan.sketch_hubs,
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(g, cfg);
@@ -169,6 +174,23 @@ fn run_plan(plan: &Plan) -> Vec<Summary> {
                 assert!(per_degree_bound > 0.0);
             }
             Certificate::ResidualNorm { value } => assert!(value.is_finite()),
+            Certificate::StaleResidualMass {
+                remaining,
+                per_degree_bound,
+                ..
+            } => {
+                // Only the Stale rung may serve an epoch-labeled
+                // answer; everything fresher certifies against the
+                // current graph.
+                assert_eq!(
+                    r.kind.name(),
+                    "stale",
+                    "epoch-labeled certificate on non-stale rung for request {}",
+                    r.id
+                );
+                assert!((0.0..=1.0 + 1e-12).contains(&remaining));
+                assert!(per_degree_bound > 0.0);
+            }
             other => panic!("certificate kind {other:?} cannot come from the serve ladder"),
         }
         assert!(
@@ -218,6 +240,7 @@ fn committed_fault_schedules_hold_the_invariant() {
             capacity: 150_000,
             queue_cap: 8,
             max_attempts: 3,
+            sketch_hubs: 0,
         },
         Plan {
             chaos_seed: 0xBEE,
@@ -228,6 +251,7 @@ fn committed_fault_schedules_hold_the_invariant() {
             capacity: 150_000,
             queue_cap: 8,
             max_attempts: 2,
+            sketch_hubs: 0,
         },
         Plan {
             chaos_seed: 0xCAB,
@@ -238,6 +262,7 @@ fn committed_fault_schedules_hold_the_invariant() {
             capacity: 256, // squeezed bucket: most requests starve
             queue_cap: 4,
             max_attempts: 3,
+            sketch_hubs: 8,
         },
         Plan {
             chaos_seed: 0xDAD,
@@ -248,10 +273,90 @@ fn committed_fault_schedules_hold_the_invariant() {
             capacity: 150_000,
             queue_cap: 8,
             max_attempts: 3,
+            sketch_hubs: 0,
+        },
+        // Panic + NaN storm with the splice path live: faults during
+        // spliced first attempts must degrade through raw-push retries
+        // and down the ladder, with the history still deterministic.
+        Plan {
+            chaos_seed: 0xFAB,
+            panic_rate: 0.5,
+            nan_rate: 0.25,
+            requests: (0..24).map(|i| (i * 5, i % 5 == 0, i % 2 == 0)).collect(),
+            waves: 3,
+            capacity: 150_000,
+            queue_cap: 8,
+            max_attempts: 3,
+            sketch_hubs: 8,
         },
     ];
     for plan in &schedules {
         let history = run_plan(plan);
         assert!(!history.is_empty() || plan.capacity < 1024);
     }
+}
+
+/// A panic injected into the spliced first attempt degrades to a raw
+/// push retry and still lands a Full answer — the splice path adds a
+/// rung above the ladder, never a new failure mode.
+#[test]
+fn injected_splice_fault_degrades_to_raw_push() {
+    quiet_chaos_panics();
+    let g = acir_graph::gen::deterministic::barbell(10, 3).unwrap();
+    let mut chaos = ChaosConfig::default();
+    chaos.forced_panics.insert((0, 0)); // kill the splice attempt
+    let mut e = Engine::new(
+        g,
+        EngineConfig {
+            chaos: Some(chaos),
+            sketch_hubs: 8,
+            max_attempts: 3,
+            ..EngineConfig::default()
+        },
+    );
+    let Admission::Accepted { .. } = e.submit(Query {
+        seeds: vec![0],
+        alpha: 0.1,
+        epsilon: 1e-2,
+        deadline: None,
+    }) else {
+        panic!("query rejected");
+    };
+    let rs = e.run_pending();
+    assert_eq!(rs[0].kind.name(), "full");
+    assert_eq!(rs[0].retries, 1);
+    assert!(rs[0].cluster.iter().all(|&(_, x)| x.is_finite()));
+    assert_eq!(e.stats().spliced, 1);
+}
+
+/// With retries exhausted by splice faults, the request walks the rest
+/// of the ladder instead of erroring: the answer is degraded, certified,
+/// and NaN-free.
+#[test]
+fn splice_faults_with_no_retries_walk_the_ladder() {
+    quiet_chaos_panics();
+    let g = acir_graph::gen::deterministic::barbell(10, 3).unwrap();
+    let mut chaos = ChaosConfig::default();
+    chaos.forced_panics.insert((0, 0));
+    let mut e = Engine::new(
+        g,
+        EngineConfig {
+            chaos: Some(chaos),
+            sketch_hubs: 8,
+            max_attempts: 1, // no retry budget: the fault must degrade
+            ..EngineConfig::default()
+        },
+    );
+    assert!(e
+        .submit(Query {
+            seeds: vec![0],
+            alpha: 0.1,
+            epsilon: 1e-2,
+            deadline: None,
+        })
+        .is_accepted());
+    let rs = e.run_pending();
+    assert_eq!(rs.len(), 1);
+    assert!(rs[0].kind.is_degraded(), "kind {:?}", rs[0].kind);
+    assert!(rs[0].cluster.iter().all(|&(_, x)| x.is_finite()));
 }

@@ -404,6 +404,38 @@ fn golden_partition_ncp_metis_mqi() {
     check("partition_ncp_metis_mqi", &diags);
 }
 
+// ----------------------------------------------------------------- serve
+
+/// A sketch-routed serve query's full stage progression —
+/// `admitted → splice → certificate → responded:full` — plus the
+/// hub-sketch build note, pinned structurally. A regression that stops
+/// routing eligible queries through the splice path (or reorders the
+/// ladder) shows up here as a stage-event diff.
+#[test]
+fn golden_serve_sketch_query() {
+    let g = ring_of_cliques(4, 6).expect("ring of cliques");
+    let mut engine = acir::serve::Engine::new(
+        g,
+        acir::serve::EngineConfig {
+            sketch_hubs: 4,
+            ..acir::serve::EngineConfig::default()
+        },
+    );
+    let admission = engine.submit(acir::serve::Query {
+        seeds: vec![0],
+        alpha: 0.1,
+        epsilon: 1e-2,
+        deadline: None,
+    });
+    assert!(admission.is_accepted());
+    let rs = engine.run_pending();
+    assert_eq!(rs[0].kind.name(), "full");
+    assert_eq!(engine.stats().spliced, 1);
+    let mut diags = engine.trace().clone();
+    diags.finish_spans();
+    check("serve_sketch_query", &diags);
+}
+
 // -------------------------------------------------- cross-cutting checks
 
 /// A kernel trace round-trips through the JSONL sink and parses back as

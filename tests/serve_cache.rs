@@ -1,0 +1,140 @@
+//! Answer-cache and sketch-store invalidation tier for `acir-serve`
+//! (DESIGN.md §13): the epoch stamp is the whole protocol.
+//!
+//! * An exact repeat `(seeds, α, ε, epoch)` is served from the answer
+//!   cache bit-identically, as the non-degraded `Cached` rung.
+//! * A graph mutation bumps the epoch, drops every cached answer, and
+//!   rebuilds the hub sketches — a pre-mutation answer is *never*
+//!   served as `Full` or `Cached` on the new graph.
+//! * Only the `Stale` rung may serve across epochs, and when it does
+//!   the certificate is `StaleResidualMass` carrying the epoch the
+//!   answer was actually certified against.
+
+use acir::serve::{Engine, EngineConfig, Query, ResponseKind};
+use acir_graph::{Graph, NodeId};
+use acir_runtime::Certificate;
+use std::time::Duration;
+
+/// Two small graphs that differ enough for PPR answers to differ:
+/// a 6-cycle, and the same cycle with a chord through the seed.
+fn cycle6() -> Graph {
+    Graph::from_pairs(6, (0u32..6).map(|u| (u, (u + 1) % 6))).unwrap()
+}
+
+fn cycle6_chord() -> Graph {
+    let mut pairs: Vec<(u32, u32)> = (0u32..6).map(|u| (u, (u + 1) % 6)).collect();
+    pairs.push((0, 3));
+    Graph::from_pairs(6, pairs).unwrap()
+}
+
+fn query(seeds: &[NodeId]) -> Query {
+    Query {
+        seeds: seeds.to_vec(),
+        alpha: 0.1,
+        epsilon: 1e-2,
+        deadline: None,
+    }
+}
+
+fn bits(v: &[(NodeId, f64)]) -> Vec<(NodeId, u64)> {
+    v.iter().map(|&(u, x)| (u, x.to_bits())).collect()
+}
+
+#[test]
+fn exact_repeats_hit_the_cache_until_the_graph_changes() {
+    let mut e = Engine::new(cycle6(), EngineConfig::default());
+    assert!(e.submit(query(&[0])).is_accepted());
+    let first = e.run_pending().remove(0);
+    assert_eq!(first.kind, ResponseKind::Full);
+
+    // Bit-identical repeat from the cache, not recomputed.
+    assert!(e.submit(query(&[0])).is_accepted());
+    let hit = e.run_pending().remove(0);
+    assert_eq!(hit.kind, ResponseKind::Cached);
+    assert!(!hit.kind.is_degraded());
+    assert_eq!(bits(&hit.cluster), bits(&first.cluster));
+    assert_eq!(hit.certificate, first.certificate);
+    assert_eq!(e.stats().cached, 1);
+
+    // Mutate the graph: the old answer is wrong now, and the engine
+    // must recompute rather than serve it as fresh.
+    e.update_graph(cycle6_chord());
+    assert_eq!(e.answer_cache_len(), 0);
+    assert!(e.submit(query(&[0])).is_accepted());
+    let fresh = e.run_pending().remove(0);
+    assert_eq!(
+        fresh.kind,
+        ResponseKind::Full,
+        "post-mutation repeat must recompute"
+    );
+    assert_eq!(e.stats().cached, 1, "no cache hit across the epoch bump");
+    assert_ne!(
+        bits(&fresh.cluster),
+        bits(&first.cluster),
+        "the chord changes the diffusion; serving the old vector would be a stale answer as Full"
+    );
+    // And the recomputed answer re-primes the cache under the new key.
+    assert!(e.submit(query(&[0])).is_accepted());
+    let rehit = e.run_pending().remove(0);
+    assert_eq!(rehit.kind, ResponseKind::Cached);
+    assert_eq!(bits(&rehit.cluster), bits(&fresh.cluster));
+}
+
+#[test]
+fn epoch_bump_restamps_sketches() {
+    let mut e = Engine::new(
+        cycle6(),
+        EngineConfig {
+            sketch_hubs: 3,
+            ..EngineConfig::default()
+        },
+    );
+    assert_eq!(e.sketch_store().unwrap().epoch(), 0);
+    e.update_graph(cycle6_chord());
+    let store = e.sketch_store().unwrap();
+    assert_eq!(store.epoch(), e.epoch());
+    assert_eq!(store.epoch(), 1);
+    // The rebuilt sketches serve the new graph: a spliced query still
+    // lands Full with a current-epoch certificate.
+    assert!(e.submit(query(&[0])).is_accepted());
+    let r = e.run_pending().remove(0);
+    assert_eq!(r.kind, ResponseKind::Full);
+    assert!(matches!(r.certificate, Certificate::ResidualMass { .. }));
+    assert_eq!(e.stats().spliced, 1);
+}
+
+#[test]
+fn only_the_stale_rung_crosses_epochs_and_it_says_so() {
+    let mut e = Engine::new(cycle6(), EngineConfig::default());
+    // Warm the (seeds, α) stale cache at epoch 0.
+    assert!(e.submit(query(&[2])).is_accepted());
+    assert_eq!(e.run_pending()[0].kind, ResponseKind::Full);
+    // Two mutations later, an expired deadline has nothing fresh to
+    // serve; the stale rung answers, labeled with the birth epoch.
+    e.update_graph(cycle6_chord());
+    e.update_graph(cycle6());
+    assert_eq!(e.epoch(), 2);
+    let dead = Query {
+        deadline: Some(Duration::ZERO),
+        ..query(&[2])
+    };
+    assert!(e.submit(dead).is_accepted());
+    let r = e.run_pending().remove(0);
+    assert_eq!(r.kind, ResponseKind::Stale);
+    assert!(r.kind.is_degraded());
+    match r.certificate {
+        Certificate::StaleResidualMass {
+            remaining,
+            per_degree_bound,
+            epoch,
+        } => {
+            assert_eq!(epoch, 0, "label the epoch the answer was certified at");
+            assert!((0.0..=1.0).contains(&remaining));
+            assert!(per_degree_bound > 0.0);
+        }
+        c => panic!("stale rung must carry an epoch-labeled certificate, got {c:?}"),
+    }
+    // Every non-stale response in this run certified against the
+    // current graph (no epoch label).
+    assert_eq!(e.stats().stale, 1);
+}
