@@ -23,6 +23,12 @@
 //! bit-identical at 1 and 4 threads — writing `BENCH_sketch.json`.
 //! Its ≥5× mass gate is *never* waived on degraded hosts: the gated
 //! quantities are deterministic operation counts, not wall times.
+//! A fifth section streams seeded single-edge deltas through the
+//! delta-overlay CSR (DESIGN.md §14), repairing hub sketches and
+//! cached answers with the push-style residual-repair kernel while
+//! also recomputing them from scratch, and writes `BENCH_dynamic.json`
+//! gating repair at ≥10× less push work than rebuild — the same
+//! deterministic-counter discipline, never waived.
 //! All files are re-read and validated before the process exits, so a
 //! committed artifact always parses.
 //! Hosts that expose a single CPU are flagged `degraded_host: true`
@@ -49,11 +55,12 @@ use acir_bench::BinArgs;
 use acir_graph::gen::community::{social_network, SocialNetworkParams};
 use acir_graph::gen::random::{barabasi_albert, forest_fire, rmat, watts_strogatz};
 use acir_graph::traversal::largest_component;
-use acir_graph::{bandwidth_stats, Permutation};
+use acir_graph::{bandwidth_stats, DeltaGraph, Permutation};
 use acir_linalg::{spmv_layout_scope, CsrMatrix, MergePlan, SellCSigma, SpmvLayout};
 use acir_local::{
-    build_hub_sketches, ppr_push, ppr_push_ctx, ppr_push_spliced, ppr_push_ws, PushResult,
-    PushWorkspace,
+    build_hub_sketches, ppr_push, ppr_push_ctx, ppr_push_spliced, ppr_push_ws,
+    repair::{ppr_repair, RepairRequest, DEFAULT_REPAIR_MASS_THRESHOLD},
+    repair_hub_sketches, PushResult, PushWorkspace,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -86,6 +93,16 @@ const SKETCH_FILE: &str = "BENCH_sketch.json";
 /// is never waived: mass pushed and nodes touched are deterministic
 /// counts, identical on any host.
 const SKETCH_TARGET_RATIO: f64 = 5.0;
+
+/// Where the dynamic-graph (delta + residual repair) artifact lands.
+const DYNAMIC_FILE: &str = "BENCH_dynamic.json";
+
+/// The factor by which incremental residual repair must cut total push
+/// work (hub sketches + cached answers) relative to a from-scratch
+/// rebuild after a single-edge delta, on every power-law generator.
+/// Like the sketch gate, this one is *never* waived: pushes are
+/// deterministic counts, identical on any host.
+const DYNAMIC_TARGET_RATIO: f64 = 10.0;
 
 /// The speedup a power-law graph must show under some alternate layout
 /// for `target_met` (waived when `degraded_host` — a 1-CPU host cannot
@@ -210,6 +227,14 @@ fn main() {
     validate_sketch(&std::fs::read_to_string(SKETCH_FILE).expect("re-reading artifact failed"));
     println!(
         "wrote {SKETCH_FILE} (validated: parses, bit-identical, ≥{SKETCH_TARGET_RATIO}x mass gate)"
+    );
+
+    let dynamic = bench_dynamic(&args);
+    let text = serde_json::to_string_pretty(&dynamic);
+    std::fs::write(DYNAMIC_FILE, format!("{text}\n")).expect("writing BENCH_dynamic.json failed");
+    validate_dynamic(&std::fs::read_to_string(DYNAMIC_FILE).expect("re-reading artifact failed"));
+    println!(
+        "wrote {DYNAMIC_FILE} (validated: parses, bit-identical, ≥{DYNAMIC_TARGET_RATIO}x repair gate)"
     );
 }
 
@@ -1229,5 +1254,349 @@ fn validate_spmv(text: &str) {
     assert!(
         target_met || degraded,
         "power-law SpMV speedup {best:.2}x misses the {target:.1}x target on a multi-CPU host"
+    );
+}
+
+/// The dynamic-graph section (DESIGN.md §14): on each power-law
+/// generator, build a hub-sketch set and answer a batch of PPR queries,
+/// then stream seeded single-edge deltas through the delta-overlay
+/// CSR. After every delta the suite repairs the sketches and the
+/// cached answers with the push-style residual-repair kernel *and*
+/// recomputes both from scratch, counting pushes on each side. The
+/// gated quantity — total from-scratch pushes over total repair pushes
+/// — is a deterministic counter, so the ≥`DYNAMIC_TARGET_RATIO`× gate
+/// holds on any host, degraded or not. Every repaired answer's
+/// measured per-degree bound is asserted `< ε` and its vector checked
+/// node-by-node against the from-scratch reference; the final delta's
+/// repair pipeline is additionally run at 1 and 4 worker threads and
+/// checked bit-for-bit.
+fn bench_dynamic(args: &BinArgs) -> Value {
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xd17a);
+    let alpha = 0.05;
+    let epsilon = 1e-5;
+    let eps_sketch = epsilon / 10.0;
+    let queries = if args.quick { 8 } else { 16 };
+    let deltas = if args.quick { 4 } else { 8 };
+    let hubs = if args.quick { 64 } else { 256 };
+
+    let graphs: Vec<(&'static str, Graph)> = vec![
+        (
+            "forest_fire",
+            largest_component(&forest_fire(&mut rng, 3_000, 0.37).expect("forest_fire failed")).0,
+        ),
+        (
+            "rmat",
+            largest_component(
+                &rmat(&mut rng, 12, 8, (0.57, 0.19, 0.19, 0.05)).expect("rmat failed"),
+            )
+            .0,
+        ),
+    ];
+
+    let mut all_met = true;
+    let mut graph_docs = Vec::new();
+    for (name, g0) in &graphs {
+        let n = g0.n();
+        let seeds: Vec<NodeId> = (0..queries)
+            .map(|i| ((i * n) / queries) as NodeId)
+            .collect();
+
+        // A cached answer carried across the churn: (vector, residuals).
+        type CachedAnswer = (Vec<(NodeId, f64)>, Vec<(NodeId, f64)>);
+        let mut g = g0.clone();
+        let mut set = build_hub_sketches(&g, hubs, alpha, eps_sketch).expect("sketch build failed");
+        let mut answers: Vec<CachedAnswer> = seeds
+            .iter()
+            .map(|&s| {
+                let r = ppr_push(&g, &[s], alpha, epsilon).expect("initial ppr_push failed");
+                (r.vector, r.residuals)
+            })
+            .collect();
+
+        let mut repair_sketch_pushes = 0u64;
+        let mut rebuild_sketch_pushes = 0u64;
+        let mut repair_answer_pushes = 0u64;
+        let mut rebuild_answer_pushes = 0u64;
+        let mut sketch_fallbacks = 0usize;
+        let mut delta_docs = Vec::new();
+        for d in 0..deltas {
+            // Seeded single-edge churn: a fresh edge (or reweight) per
+            // delta, endpoints spread by multiplicative hashing so the
+            // stream hits different neighborhoods deterministically.
+            let u = ((d * 7919 + 13) % n) as NodeId;
+            let mut v = ((d * 104_729 + 2) % n) as NodeId;
+            if u == v {
+                v = (v + 1) % n as NodeId;
+            }
+            let w = 1.0 + (d % 3) as f64 * 0.5;
+            let mut dg = DeltaGraph::new(&g);
+            dg.insert_edge(u, v, w).expect("delta insert failed");
+            let delta = dg.net_delta();
+            let (g_new, _relabel) = dg.compact().expect("compact failed");
+
+            let rep = repair_hub_sketches(&g_new, &set, &delta).expect("sketch repair failed");
+            repair_sketch_pushes += rep.pushes as u64;
+            sketch_fallbacks += rep.fallbacks;
+            let rebuilt =
+                build_hub_sketches(&g_new, hubs, alpha, eps_sketch).expect("rebuild failed");
+            rebuild_sketch_pushes += rebuilt.build_pushes() as u64;
+            set = rep.set;
+
+            let mut dra = 0u64;
+            let mut drb = 0u64;
+            for (qi, (est, res)) in answers.iter_mut().enumerate() {
+                let req = RepairRequest {
+                    seeds: &seeds[qi..=qi],
+                    estimate: est,
+                    residual: res,
+                    delta: &delta,
+                    alpha,
+                    epsilon,
+                    mass_threshold: DEFAULT_REPAIR_MASS_THRESHOLD,
+                };
+                let rr = ppr_repair(&g_new, &req).expect("answer repair failed");
+                assert!(
+                    rr.per_degree_bound < epsilon,
+                    "dynamic[{name}] delta {d} query {qi}: repaired bound {} ≥ ε {epsilon:e}",
+                    rr.per_degree_bound
+                );
+                let scratch =
+                    ppr_push(&g_new, &seeds[qi..=qi], alpha, epsilon).expect("scratch failed");
+                // Repaired and from-scratch answers agree node-by-node
+                // within the certified band (both carry ≤ ε·d error).
+                let mut dense_rep = vec![0.0f64; n];
+                for &(node, x) in &rr.vector {
+                    dense_rep[node as usize] += x;
+                }
+                let mut dense_ref = vec![0.0f64; n];
+                for &(node, x) in &scratch.vector {
+                    dense_ref[node as usize] += x;
+                }
+                for node in 0..n {
+                    let slack = 2.0 * epsilon * g_new.degree(node as NodeId) + 1e-12;
+                    assert!(
+                        (dense_rep[node] - dense_ref[node]).abs() <= slack,
+                        "dynamic[{name}] delta {d} query {qi} node {node}: repaired {} vs scratch {}",
+                        dense_rep[node],
+                        dense_ref[node]
+                    );
+                }
+                dra += rr.pushes as u64;
+                drb += scratch.pushes as u64;
+                *est = rr.vector;
+                *res = rr.residuals;
+            }
+            repair_answer_pushes += dra;
+            rebuild_answer_pushes += drb;
+
+            let mut row = BTreeMap::new();
+            row.insert("delta".into(), Value::from(d));
+            row.insert(
+                "edge".into(),
+                Value::Array(vec![Value::from(u as u64), Value::from(v as u64)]),
+            );
+            row.insert("weight".into(), Value::from(w));
+            row.insert("sketch_repair_pushes".into(), Value::from(rep.pushes));
+            row.insert(
+                "sketch_rebuild_pushes".into(),
+                Value::from(rebuilt.build_pushes()),
+            );
+            row.insert("sketches_repaired".into(), Value::from(rep.repaired));
+            row.insert("sketches_untouched".into(), Value::from(rep.untouched));
+            row.insert("answer_repair_pushes".into(), Value::from(dra));
+            row.insert("answer_rebuild_pushes".into(), Value::from(drb));
+            delta_docs.push(Value::Object(row));
+            g = g_new;
+        }
+
+        let repair_total = repair_sketch_pushes + repair_answer_pushes;
+        let rebuild_total = rebuild_sketch_pushes + rebuild_answer_pushes;
+        let ratio = rebuild_total as f64 / (repair_total.max(1)) as f64;
+        let met = ratio >= DYNAMIC_TARGET_RATIO;
+        all_met &= met;
+        println!(
+            "dynamic[{name}] {deltas} single-edge deltas: repair {repair_total} pushes vs rebuild {rebuild_total} ({ratio:.1}x; target {DYNAMIC_TARGET_RATIO:.0}x, {})",
+            if met { "met" } else { "NOT met" },
+        );
+
+        // Thread-count invariance of the whole repair pipeline on the
+        // final delta: sketch repair and every answer repair, bit for
+        // bit at 1 and 4 worker threads.
+        let u = (((deltas) * 7919 + 13) % n) as NodeId;
+        let mut v = (((deltas) * 104_729 + 2) % n) as NodeId;
+        if u == v {
+            v = (v + 1) % n as NodeId;
+        }
+        let mut dg = DeltaGraph::new(&g);
+        dg.insert_edge(u, v, 2.0).expect("invariance insert failed");
+        let delta = dg.net_delta();
+        let (g_new, _relabel) = dg.compact().expect("invariance compact failed");
+        let run = |threads: &str| {
+            std::env::set_var(THREADS_ENV, threads);
+            let rep = repair_hub_sketches(&g_new, &set, &delta).expect("repair failed");
+            let ans: Vec<_> = answers
+                .iter()
+                .enumerate()
+                .map(|(qi, (est, res))| {
+                    let req = RepairRequest {
+                        seeds: &seeds[qi..=qi],
+                        estimate: est,
+                        residual: res,
+                        delta: &delta,
+                        alpha,
+                        epsilon,
+                        mass_threshold: DEFAULT_REPAIR_MASS_THRESHOLD,
+                    };
+                    ppr_repair(&g_new, &req).expect("repair failed")
+                })
+                .collect();
+            std::env::remove_var(THREADS_ENV);
+            (rep, ans)
+        };
+        let (rep1, ans1) = run("1");
+        let (rep4, ans4) = run("4");
+        for (a, b) in rep1.set.sketches().iter().zip(rep4.set.sketches()) {
+            assert_eq!(a.hub, b.hub, "dynamic[{name}]: hub order diverged");
+            assert_eq!(
+                a.estimate, b.estimate,
+                "dynamic[{name}]: sketch repair not bit-identical across thread counts"
+            );
+            assert_eq!(a.residual, b.residual);
+        }
+        for (a, b) in ans1.iter().zip(&ans4) {
+            assert_eq!(
+                a.vector, b.vector,
+                "dynamic[{name}]: answer repair not bit-identical across thread counts"
+            );
+            assert_eq!(a.residuals, b.residuals);
+        }
+
+        let mut doc = BTreeMap::new();
+        doc.insert("graph".into(), Value::from(*name));
+        doc.insert("family".into(), Value::from("power_law"));
+        doc.insert("nodes".into(), Value::from(n));
+        doc.insert("edges".into(), Value::from(g0.m()));
+        doc.insert("queries".into(), Value::from(queries));
+        doc.insert("deltas".into(), Value::from(deltas));
+        doc.insert("hubs".into(), Value::from(hubs));
+        doc.insert(
+            "sketch_repair_pushes".into(),
+            Value::from(repair_sketch_pushes),
+        );
+        doc.insert(
+            "sketch_rebuild_pushes".into(),
+            Value::from(rebuild_sketch_pushes),
+        );
+        doc.insert("sketch_fallbacks".into(), Value::from(sketch_fallbacks));
+        doc.insert(
+            "answer_repair_pushes".into(),
+            Value::from(repair_answer_pushes),
+        );
+        doc.insert(
+            "answer_rebuild_pushes".into(),
+            Value::from(rebuild_answer_pushes),
+        );
+        doc.insert("repair_pushes".into(), Value::from(repair_total));
+        doc.insert("rebuild_pushes".into(), Value::from(rebuild_total));
+        doc.insert("ratio".into(), Value::from(ratio));
+        doc.insert("target_met".into(), Value::from(met));
+        doc.insert("bit_identical".into(), Value::from(true));
+        doc.insert("delta_log".into(), Value::Array(delta_docs));
+        graph_docs.push(Value::Object(doc));
+    }
+
+    let cpus = host_cpus();
+    let mut root = BTreeMap::new();
+    root.insert("schema".into(), Value::from("acir-bench-dynamic-v1"));
+    root.insert("quick".into(), Value::from(args.quick));
+    root.insert("seed".into(), Value::from(args.seed));
+    root.insert("host_cpus".into(), Value::from(cpus));
+    root.insert("degraded_host".into(), Value::from(cpus == 1));
+    root.insert("alpha".into(), Value::from(alpha));
+    root.insert("epsilon".into(), Value::from(epsilon));
+    root.insert("sketch_epsilon".into(), Value::from(eps_sketch));
+    root.insert("target_ratio".into(), Value::from(DYNAMIC_TARGET_RATIO));
+    root.insert("target_met".into(), Value::from(all_met));
+    root.insert("graphs".into(), Value::Array(graph_docs));
+    Value::Object(root)
+}
+
+/// CI-grade checks on the dynamic artifact: it parses, names the
+/// expected schema, covers both power-law generators with positive
+/// deterministic push counts on both sides of every delta, attests
+/// thread-count bit-identity, and — the hard gate, never waived, even
+/// on degraded hosts — total from-scratch push work exceeds total
+/// repair push work by at least `target_ratio`× on every graph.
+fn validate_dynamic(text: &str) {
+    let doc: Value = serde_json::from_str(text).expect("BENCH_dynamic.json does not parse");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("acir-bench-dynamic-v1"),
+        "schema marker missing"
+    );
+    let target = doc
+        .get("target_ratio")
+        .and_then(Value::as_f64)
+        .expect("target_ratio missing");
+    let graphs = doc
+        .get("graphs")
+        .and_then(Value::as_array)
+        .expect("graphs array missing");
+    let names: Vec<&str> = graphs
+        .iter()
+        .map(|g| g.get("graph").and_then(Value::as_str).expect("graph name"))
+        .collect();
+    for expected in ["forest_fire", "rmat"] {
+        assert!(names.contains(&expected), "generator {expected} missing");
+    }
+    for gdoc in graphs {
+        let name = gdoc.get("graph").and_then(Value::as_str).expect("name");
+        let repair = gdoc
+            .get("repair_pushes")
+            .and_then(Value::as_u64)
+            .expect("repair_pushes");
+        let rebuild = gdoc
+            .get("rebuild_pushes")
+            .and_then(Value::as_u64)
+            .expect("rebuild_pushes");
+        assert!(rebuild > 0, "{name}: zero rebuild work recorded");
+        let log = gdoc
+            .get("delta_log")
+            .and_then(Value::as_array)
+            .expect("delta_log array");
+        assert!(!log.is_empty(), "{name}: empty delta log");
+        for row in log {
+            assert!(
+                row.get("sketch_rebuild_pushes")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0)
+                    > 0,
+                "{name}: a delta recorded zero rebuild cost"
+            );
+        }
+        let ratio = gdoc.get("ratio").and_then(Value::as_f64).expect("ratio");
+        assert!(ratio.is_finite() && ratio > 0.0, "{name}: bogus ratio");
+        assert_eq!(
+            gdoc.get("bit_identical").and_then(Value::as_bool),
+            Some(true),
+            "{name}: thread-count bit-identity not attested"
+        );
+        assert_eq!(
+            gdoc.get("target_met").and_then(Value::as_bool),
+            Some(ratio >= target),
+            "{name}: target_met inconsistent"
+        );
+        // The hard gate: deterministic counters, no degraded-host
+        // waiver — a single-edge delta must cost an order of magnitude
+        // less push work to repair than to recompute.
+        assert!(
+            ratio >= target,
+            "{name}: repair spent {repair} pushes vs {rebuild} from scratch ({ratio:.2}x; target {target:.0}x)"
+        );
+    }
+    assert_eq!(
+        doc.get("target_met").and_then(Value::as_bool),
+        Some(true),
+        "dynamic repair gate not met"
     );
 }

@@ -1,0 +1,542 @@
+//! A mutable edge-delta overlay over the immutable CSR [`Graph`].
+//!
+//! Production graphs mutate; the CSR does not. [`DeltaGraph`] bridges
+//! the two: it borrows a base snapshot and accumulates edge inserts,
+//! re-weights, and deletes in sorted per-node side-lists, giving
+//! `O(log d)` edge lookup and merged neighbor iteration that is
+//! **bit-compatible** with the CSR a fresh [`Graph::from_edges`] build
+//! of the edited edge list would produce (same targets, same weights,
+//! same degree sums in the same order). [`DeltaGraph::compact`]
+//! performs exactly that rebuild and emits a [`Permutation`] relabeling
+//! hook — the identity today, the seam through which a future
+//! compaction that drops or renumbers vertices plugs into the existing
+//! `map_back` plumbing.
+//!
+//! Snapshot semantics: the overlay is a *writer-side* structure. The
+//! borrowed base and every compacted CSR are immutable snapshots, so a
+//! reader holding one (stamped with an epoch, as the serve engine does)
+//! never observes a half-applied delta — writers append to the overlay
+//! and publish a new snapshot atomically via `compact`. The
+//! [`DeltaGraph::version`] counter advances once per applied mutation;
+//! [`DeltaGraph::net_delta`] summarizes the accumulated edits as one
+//! [`EdgeDelta`] record per changed edge, the input contract of the
+//! push-style residual repair kernel in `acir-local`.
+
+use crate::permute::Permutation;
+use crate::{Graph, GraphError, NodeId, Result};
+use std::collections::BTreeMap;
+
+/// One edge mutation to apply to a [`DeltaGraph`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeOp {
+    /// Insert the edge `{u, v}` with `weight`, or overwrite its weight
+    /// if it already exists.
+    Insert {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint (`u == v` is a self-loop).
+        v: NodeId,
+        /// New edge weight; must be finite and positive.
+        weight: f64,
+    },
+    /// Remove the edge `{u, v}` (a no-op if absent).
+    Delete {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+}
+
+/// The net effect of the accumulated mutations on one edge, in the
+/// canonical `u <= v` orientation: the weight the base graph held
+/// (`None` if the edge did not exist) and the weight the merged view
+/// holds now (`None` if deleted). This is the record the residual
+/// repair kernel consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeDelta {
+    /// Smaller endpoint.
+    pub u: NodeId,
+    /// Larger endpoint (`u == v` for self-loops).
+    pub v: NodeId,
+    /// Weight in the base snapshot (`None` = edge absent).
+    pub old: Option<f64>,
+    /// Weight in the merged view (`None` = edge deleted).
+    pub new: Option<f64>,
+}
+
+impl EdgeDelta {
+    /// Net weighted-degree change this edit contributes at endpoint
+    /// `c` (zero if `c` is not an endpoint). Self-loops contribute
+    /// their weight once, matching the CSR degree convention.
+    pub fn degree_change_at(&self, c: NodeId) -> f64 {
+        if c != self.u && c != self.v {
+            return 0.0;
+        }
+        self.new.unwrap_or(0.0) - self.old.unwrap_or(0.0)
+    }
+}
+
+/// A sorted per-node overlay row: `(target, Some(weight))` overrides
+/// the base arc's weight (or inserts a new arc); `(target, None)`
+/// tombstones it.
+type OverlayRow = Vec<(NodeId, Option<f64>)>;
+
+/// An edge-insert/delete overlay over a borrowed CSR snapshot. See the
+/// [module docs](self).
+#[derive(Debug, Clone)]
+pub struct DeltaGraph<'g> {
+    base: &'g Graph,
+    overlay: BTreeMap<NodeId, OverlayRow>,
+    /// Merged weighted degree of every touched node, recomputed after
+    /// each mutation by summing the merged row in ascending-target
+    /// order — the same order `Graph::from_edges` sums rows in, so the
+    /// cached value is bit-identical to the compacted CSR's.
+    degrees: BTreeMap<NodeId, f64>,
+    version: u64,
+}
+
+impl<'g> DeltaGraph<'g> {
+    /// An empty overlay over `base`.
+    pub fn new(base: &'g Graph) -> Self {
+        Self {
+            base,
+            overlay: BTreeMap::new(),
+            degrees: BTreeMap::new(),
+            version: 0,
+        }
+    }
+
+    /// The borrowed base snapshot.
+    pub fn base(&self) -> &Graph {
+        self.base
+    }
+
+    /// Number of nodes (the overlay never adds or removes vertices;
+    /// relabeling across such compactions is what the [`Permutation`]
+    /// hook of [`Self::compact`] exists for).
+    pub fn n(&self) -> usize {
+        self.base.n()
+    }
+
+    /// Write cursor: advances once per applied mutation. Readers pair
+    /// it with an immutable snapshot to detect concurrent edits.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Has any mutation been applied?
+    pub fn is_dirty(&self) -> bool {
+        !self.overlay.is_empty()
+    }
+
+    /// Nodes with at least one overlaid arc, ascending.
+    pub fn touched_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.overlay.keys().copied()
+    }
+
+    /// Apply one [`EdgeOp`]; returns the edge's previous merged weight
+    /// (`None` if it did not exist).
+    pub fn apply(&mut self, op: &EdgeOp) -> Result<Option<f64>> {
+        match *op {
+            EdgeOp::Insert { u, v, weight } => self.insert_edge(u, v, weight),
+            EdgeOp::Delete { u, v } => self.delete_edge(u, v),
+        }
+    }
+
+    /// Insert `{u, v}` with `weight`, overwriting an existing weight.
+    /// Returns the previous merged weight, if any.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> Result<Option<f64>> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(GraphError::BadWeight(weight));
+        }
+        let old = self.lookup(u, v);
+        self.set_overlay(u, v, Some(weight));
+        if u != v {
+            self.set_overlay(v, u, Some(weight));
+        }
+        self.refresh_degree(u);
+        if u != v {
+            self.refresh_degree(v);
+        }
+        self.version += 1;
+        Ok(old)
+    }
+
+    /// Delete `{u, v}`. Returns the weight it had, or `None` (and
+    /// leaves the overlay untouched) if the edge does not exist.
+    pub fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Result<Option<f64>> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        let old = self.lookup(u, v);
+        if old.is_none() {
+            return Ok(None);
+        }
+        self.set_overlay(u, v, None);
+        if u != v {
+            self.set_overlay(v, u, None);
+        }
+        self.refresh_degree(u);
+        if u != v {
+            self.refresh_degree(v);
+        }
+        self.version += 1;
+        Ok(old)
+    }
+
+    /// Merged weight of `{u, v}`, or 0.0 if absent. `O(log d)`:
+    /// a binary search of the overlay row, then of the CSR row.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> f64 {
+        self.lookup(u, v).unwrap_or(0.0)
+    }
+
+    /// Whether `{u, v}` is an edge in the merged view.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_weight(u, v) > 0.0
+    }
+
+    /// Merged weighted degree of `u` — bit-identical to what the
+    /// compacted CSR reports.
+    pub fn degree(&self, u: NodeId) -> f64 {
+        match self.degrees.get(&u) {
+            Some(&d) => d,
+            None => self.base.degree(u),
+        }
+    }
+
+    /// Merged total volume `Σ_u d_u`, summed in node order — the same
+    /// order `Graph::from_edges` uses, so bit-identical to the
+    /// compacted CSR's.
+    pub fn total_volume(&self) -> f64 {
+        if self.overlay.is_empty() {
+            return self.base.total_volume();
+        }
+        (0..self.n() as NodeId).map(|u| self.degree(u)).sum()
+    }
+
+    /// Iterate over the merged `(neighbor, weight)` row of `u`, sorted
+    /// by neighbor — element-for-element and bit-for-bit what the
+    /// compacted CSR's `neighbors(u)` yields.
+    pub fn neighbors(&self, u: NodeId) -> MergedNeighbors<'_> {
+        MergedNeighbors {
+            base: Box::new(self.base.neighbors(u)),
+            base_peek: None,
+            over: self
+                .overlay
+                .get(&u)
+                .map_or(&[][..], |row| row.as_slice())
+                .iter(),
+            over_peek: None,
+            primed: false,
+        }
+    }
+
+    /// The accumulated edits as one canonical record per changed edge
+    /// (ascending `(u, v)`, `u <= v`), dropping edits that net out to
+    /// no change. This is the delta the residual repair kernel and the
+    /// serve engine's sketch/answer maintenance consume.
+    pub fn net_delta(&self) -> Vec<EdgeDelta> {
+        let mut out = Vec::new();
+        for (&u, row) in &self.overlay {
+            for &(v, new) in row {
+                if v < u {
+                    continue; // recorded once, from the smaller endpoint
+                }
+                let old = match self.base.edge_weight(u, v) {
+                    w if w > 0.0 => Some(w),
+                    _ => None,
+                };
+                let changed = match (old, new) {
+                    (Some(a), Some(b)) => a.to_bits() != b.to_bits(),
+                    (None, None) => false,
+                    _ => true,
+                };
+                if changed {
+                    out.push(EdgeDelta { u, v, old, new });
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuild the CSR from the merged view and emit the relabeling
+    /// hook. The rebuilt graph is exactly `Graph::from_edges` of the
+    /// edited edge list — bit-identical to a fresh build — and the
+    /// permutation is the identity (the overlay neither adds nor drops
+    /// vertices); callers should still route results through it, so a
+    /// future compaction that renumbers vertices is a local change.
+    pub fn compact(&self) -> Result<(Graph, Permutation)> {
+        let n = self.n();
+        let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+        for u in 0..n as NodeId {
+            for (v, w) in self.neighbors(u) {
+                if v >= u {
+                    edges.push((u, v, w));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, edges)?;
+        Ok((g, Permutation::identity(n)))
+    }
+
+    fn check_node(&self, u: NodeId) -> Result<()> {
+        if u as usize >= self.n() {
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                n: self.n(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Merged weight lookup as an `Option`.
+    fn lookup(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        if let Some(row) = self.overlay.get(&u) {
+            if let Ok(k) = row.binary_search_by_key(&v, |e| e.0) {
+                return row[k].1;
+            }
+        }
+        match self.base.edge_weight(u, v) {
+            w if w > 0.0 => Some(w),
+            _ => None,
+        }
+    }
+
+    fn set_overlay(&mut self, u: NodeId, target: NodeId, val: Option<f64>) {
+        let row = self.overlay.entry(u).or_default();
+        match row.binary_search_by_key(&target, |e| e.0) {
+            Ok(k) => row[k].1 = val,
+            Err(k) => row.insert(k, (target, val)),
+        }
+    }
+
+    fn refresh_degree(&mut self, u: NodeId) {
+        let d: f64 = self.neighbors(u).map(|(_, w)| w).sum();
+        self.degrees.insert(u, d);
+    }
+}
+
+/// Iterator over a [`DeltaGraph`] node's merged `(neighbor, weight)`
+/// row: a two-pointer merge of the CSR row and the overlay side-list,
+/// both sorted by target. Overlay entries override (or tombstone) base
+/// arcs with the same target.
+pub struct MergedNeighbors<'a> {
+    base: Box<dyn Iterator<Item = (NodeId, f64)> + 'a>,
+    base_peek: Option<(NodeId, f64)>,
+    over: std::slice::Iter<'a, (NodeId, Option<f64>)>,
+    over_peek: Option<(NodeId, Option<f64>)>,
+    primed: bool,
+}
+
+impl Iterator for MergedNeighbors<'_> {
+    type Item = (NodeId, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.primed {
+            self.base_peek = self.base.next();
+            self.over_peek = self.over.next().copied();
+            self.primed = true;
+        }
+        loop {
+            match (self.base_peek, self.over_peek) {
+                (Some((bv, bw)), Some((ov, val))) => {
+                    if bv < ov {
+                        self.base_peek = self.base.next();
+                        return Some((bv, bw));
+                    }
+                    if bv == ov {
+                        self.base_peek = self.base.next();
+                    }
+                    self.over_peek = self.over.next().copied();
+                    match val {
+                        Some(w) => return Some((ov, w)),
+                        None => continue, // tombstoned arc
+                    }
+                }
+                (Some((bv, bw)), None) => {
+                    self.base_peek = self.base.next();
+                    return Some((bv, bw));
+                }
+                (None, Some((ov, val))) => {
+                    self.over_peek = self.over.next().copied();
+                    match val {
+                        Some(w) => return Some((ov, w)),
+                        None => continue,
+                    }
+                }
+                (None, None) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::gen::deterministic::{barbell, cycle};
+
+    fn bits(it: impl Iterator<Item = (NodeId, f64)>) -> Vec<(NodeId, u64)> {
+        it.map(|(v, w)| (v, w.to_bits())).collect()
+    }
+
+    fn assert_bitwise_same(a: &Graph, b: &Graph) {
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.arc_count(), b.arc_count());
+        for u in 0..a.n() as NodeId {
+            assert_eq!(bits(a.neighbors(u)), bits(b.neighbors(u)), "row {u}");
+            assert_eq!(a.degree(u).to_bits(), b.degree(u).to_bits(), "degree {u}");
+        }
+        assert_eq!(a.total_volume().to_bits(), b.total_volume().to_bits());
+    }
+
+    #[test]
+    fn empty_overlay_reads_like_the_base() {
+        let g = barbell(5, 2).unwrap();
+        let d = DeltaGraph::new(&g);
+        assert!(!d.is_dirty());
+        assert_eq!(d.version(), 0);
+        for u in 0..g.n() as NodeId {
+            assert_eq!(bits(d.neighbors(u)), bits(g.neighbors(u)));
+            assert_eq!(d.degree(u).to_bits(), g.degree(u).to_bits());
+        }
+        assert_eq!(d.total_volume().to_bits(), g.total_volume().to_bits());
+        assert!(d.net_delta().is_empty());
+        let (c, p) = d.compact().unwrap();
+        assert!(p.is_identity());
+        assert_bitwise_same(&c, &g);
+    }
+
+    #[test]
+    fn insert_delete_reweight_round_trip() {
+        let g = cycle(6).unwrap();
+        let mut d = DeltaGraph::new(&g);
+        // Insert a chord.
+        assert_eq!(d.insert_edge(0, 3, 2.0).unwrap(), None);
+        assert_eq!(d.edge_weight(0, 3), 2.0);
+        assert_eq!(d.edge_weight(3, 0), 2.0);
+        assert_eq!(d.degree(0), g.degree(0) + 2.0);
+        // Reweight an existing base edge.
+        assert_eq!(d.insert_edge(1, 2, 5.0).unwrap(), Some(1.0));
+        assert_eq!(d.edge_weight(2, 1), 5.0);
+        // Delete a base edge.
+        assert_eq!(d.delete_edge(4, 5).unwrap(), Some(1.0));
+        assert!(!d.has_edge(4, 5));
+        assert_eq!(d.degree(4), 1.0);
+        // Deleting a non-edge is a no-op.
+        let v = d.version();
+        assert_eq!(d.delete_edge(0, 2).unwrap(), None);
+        assert_eq!(d.version(), v);
+
+        let delta = d.net_delta();
+        assert_eq!(
+            delta,
+            vec![
+                EdgeDelta {
+                    u: 0,
+                    v: 3,
+                    old: None,
+                    new: Some(2.0)
+                },
+                EdgeDelta {
+                    u: 1,
+                    v: 2,
+                    old: Some(1.0),
+                    new: Some(5.0)
+                },
+                EdgeDelta {
+                    u: 4,
+                    v: 5,
+                    old: Some(1.0),
+                    new: None
+                },
+            ]
+        );
+        assert_eq!(delta[0].degree_change_at(0), 2.0);
+        assert_eq!(delta[2].degree_change_at(5), -1.0);
+        assert_eq!(delta[2].degree_change_at(0), 0.0);
+    }
+
+    #[test]
+    fn merged_view_bit_identical_to_fresh_build() {
+        let g = barbell(6, 3).unwrap();
+        let mut d = DeltaGraph::new(&g);
+        d.insert_edge(0, 14, 0.5).unwrap();
+        d.delete_edge(0, 1).unwrap();
+        d.insert_edge(3, 3, 1.25).unwrap(); // self-loop
+        d.insert_edge(2, 4, 7.0).unwrap(); // reweight inside the clique
+        d.delete_edge(6, 7).unwrap(); // bridge segment edge
+                                      // Reference: fresh CSR from the edited edge list.
+        let mut edges: Vec<(NodeId, NodeId, f64)> = g
+            .edges()
+            .filter(|&(u, v, _)| !((u, v) == (0, 1) || (u, v) == (6, 7)))
+            .map(|(u, v, w)| {
+                if (u, v) == (2, 4) {
+                    (u, v, 7.0)
+                } else {
+                    (u, v, w)
+                }
+            })
+            .collect();
+        edges.push((0, 14, 0.5));
+        edges.push((3, 3, 1.25));
+        let fresh = Graph::from_edges(g.n(), edges).unwrap();
+        for u in 0..g.n() as NodeId {
+            assert_eq!(bits(d.neighbors(u)), bits(fresh.neighbors(u)), "row {u}");
+            assert_eq!(d.degree(u).to_bits(), fresh.degree(u).to_bits());
+        }
+        assert_eq!(d.total_volume().to_bits(), fresh.total_volume().to_bits());
+        let (compacted, perm) = d.compact().unwrap();
+        assert!(perm.is_identity());
+        assert_bitwise_same(&compacted, &fresh);
+    }
+
+    #[test]
+    fn lookup_is_consistent_after_overwrites() {
+        let g = cycle(4).unwrap();
+        let mut d = DeltaGraph::new(&g);
+        d.insert_edge(0, 2, 1.0).unwrap();
+        d.delete_edge(0, 2).unwrap();
+        assert!(!d.has_edge(0, 2));
+        assert!(d.net_delta().is_empty(), "insert+delete nets out");
+        d.insert_edge(0, 2, 3.0).unwrap();
+        assert_eq!(d.edge_weight(0, 2), 3.0);
+        assert_eq!(d.net_delta().len(), 1);
+        // Re-inserting the base weight of an existing edge nets out too.
+        d.insert_edge(0, 1, 2.0).unwrap();
+        d.insert_edge(0, 1, 1.0).unwrap();
+        assert_eq!(d.net_delta().len(), 1);
+    }
+
+    #[test]
+    fn validates_nodes_and_weights() {
+        let g = cycle(4).unwrap();
+        let mut d = DeltaGraph::new(&g);
+        assert!(d.insert_edge(0, 9, 1.0).is_err());
+        assert!(d.insert_edge(9, 0, 1.0).is_err());
+        assert!(d.insert_edge(0, 1, 0.0).is_err());
+        assert!(d.insert_edge(0, 1, f64::NAN).is_err());
+        assert!(d.insert_edge(0, 1, -1.0).is_err());
+        assert!(d.delete_edge(9, 0).is_err());
+        assert_eq!(d.version(), 0);
+        assert!(!d.is_dirty());
+    }
+
+    #[test]
+    fn touched_nodes_and_apply() {
+        let g = cycle(5).unwrap();
+        let mut d = DeltaGraph::new(&g);
+        d.apply(&EdgeOp::Insert {
+            u: 4,
+            v: 1,
+            weight: 1.0,
+        })
+        .unwrap();
+        d.apply(&EdgeOp::Delete { u: 2, v: 3 }).unwrap();
+        let touched: Vec<NodeId> = d.touched_nodes().collect();
+        assert_eq!(touched, vec![1, 2, 3, 4]);
+        assert_eq!(d.version(), 2);
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod gen;
 pub mod io;
 pub mod permute;
@@ -39,6 +40,7 @@ pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::{Graph, NodeId};
+pub use delta::{DeltaGraph, EdgeDelta, EdgeOp};
 pub use permute::{bandwidth_stats, BandwidthStats, Permutation};
 pub use result::NodeValued;
 

@@ -32,6 +32,7 @@ pub mod hkrelax;
 pub mod mov;
 pub mod nibble;
 pub mod push;
+pub mod repair;
 pub mod sketch;
 pub mod sweep;
 
@@ -43,9 +44,12 @@ pub use push::{
     ppr_push, ppr_push_batch, ppr_push_batch_outcomes, ppr_push_budgeted, ppr_push_ctx,
     ppr_push_ws, PushResult, PushWorkspace,
 };
+pub use repair::{
+    ppr_repair, ppr_repair_ctx, RepairRequest, RepairResult, DEFAULT_REPAIR_MASS_THRESHOLD,
+};
 pub use sketch::{
-    build_hub_sketches, build_hub_sketches_ctx, ppr_push_spliced, ppr_push_spliced_ctx, HubSketch,
-    SketchSet, SpliceResult,
+    build_hub_sketches, build_hub_sketches_ctx, ppr_push_spliced, ppr_push_spliced_ctx,
+    repair_hub_sketches, HubSketch, SketchRepair, SketchSet, SpliceResult,
 };
 pub use sweep::{sweep_cut, sweep_cut_ctx, sweep_cut_sparse, sweep_cut_support, SweepResult};
 

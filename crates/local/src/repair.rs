@@ -1,0 +1,774 @@
+//! Push-style residual **repair**: update a prior ACL `(estimate,
+//! residual)` pair to a mutated graph without recomputing from scratch.
+//!
+//! The ACL invariant (see [`crate::push`]) is, written for the lazy
+//! walk matrix `W = (I + A D⁻¹)/2`,
+//!
+//! ```text
+//! s = r + (1/α)(I − (1−α)W) p .
+//! ```
+//!
+//! When the graph mutates (`A, D → A', D'`), keep `p` fixed and solve
+//! for the residual that restores the invariant on the new graph:
+//!
+//! ```text
+//! r' = r + ((1−α)/(2α)) (A'D'⁻¹ − AD⁻¹) p .
+//! ```
+//!
+//! Only columns of changed endpoints differ, so the correction is
+//! supported on `N_old(c) ∪ N_new(c)` for each delta endpoint `c` with
+//! `p_c ≠ 0` — `O(d_u + d_v)` work per changed edge, independent of
+//! how much diffusion built the prior. The corrected residual is
+//! **signed** (a deleted edge can leave `p` locally too large), and the
+//! ordinary push recurrence is sign-agnostic: pushing while
+//! `|r_u| ≥ ε·d_u` restores `‖D⁻¹(pr_α(s) − p)‖_∞ ≤ ε` on the new
+//! graph, because `D⁻¹ pr_α(r')` is a row-stochastic-matrix average of
+//! `r'/d`. Mass conservation holds exactly throughout: `Σp + Σr = 1`.
+//!
+//! Termination: each push removes `α·|r_u|` of absolute residual mass
+//! and the injected perturbation is `Δ = Σ|Δr|`, so the push count is
+//! `O((1 + Δ)/(εα))`. When `Δ` exceeds a caller-set mass threshold the
+//! kernel abandons repair and falls back to a from-scratch push — the
+//! "how approximate is optimal" dial of Perry–Mahoney applied to
+//! incremental maintenance: a large enough perturbation makes
+//! recomputation the cheaper regularizer.
+//!
+//! This is the engine behind incremental hub-sketch maintenance
+//! ([`crate::sketch::repair_hub_sketches`]) and the serve layer's
+//! cached-answer revalidation.
+
+use crate::push::{push_core, validate_push_args, PushExit, PushResult, PUSH_POOL};
+use crate::{LocalError, Result};
+use acir_graph::delta::EdgeDelta;
+use acir_graph::{Graph, NodeId, NodeValued};
+use acir_runtime::{Certificate, DivergenceCause, KernelCtx, SolverOutcome};
+
+/// Default perturbation threshold above which [`ppr_repair`] falls back
+/// to a from-scratch push: the full unit of diffusion mass. A fresh
+/// push reflows `Σr = 1` of mass; a repair reflows `O(Δ)` — so repair
+/// is the economical choice exactly while the injected perturbation
+/// stays below one unit, and beyond it the fallback's tighter constant
+/// wins.
+pub const DEFAULT_REPAIR_MASS_THRESHOLD: f64 = 1.0;
+
+/// Everything a repair needs besides the (new) graph: the prior state,
+/// the edge delta that separates the graph the prior was computed on
+/// from the graph being repaired against, and the ACL parameters the
+/// prior was computed with.
+#[derive(Debug, Clone, Copy)]
+pub struct RepairRequest<'a> {
+    /// Seed set of the prior computation (used by the from-scratch
+    /// fallback; must be valid on the new graph).
+    pub seeds: &'a [NodeId],
+    /// Prior estimate `p`, sparse sorted `(node, value)`.
+    pub estimate: &'a [(NodeId, f64)],
+    /// Prior residual `r`, sparse sorted `(node, value)`.
+    pub residual: &'a [(NodeId, f64)],
+    /// Net edge changes from the prior's graph to this one, as
+    /// produced by `DeltaGraph::net_delta`.
+    pub delta: &'a [EdgeDelta],
+    /// Teleportation probability; must match the prior run.
+    pub alpha: f64,
+    /// Truncation threshold; must match the prior run.
+    pub epsilon: f64,
+    /// Fall back to a from-scratch push when the injected perturbation
+    /// `Σ|Δr|` exceeds this ([`DEFAULT_REPAIR_MASS_THRESHOLD`] is the
+    /// usual choice; `f64::INFINITY` disables the fallback).
+    pub mass_threshold: f64,
+}
+
+/// Output of [`ppr_repair`]. Mirrors [`PushResult`] plus repair
+/// bookkeeping; `vector` and `residuals` describe the repaired state
+/// on the new graph, satisfying `|r| < ε·d` everywhere when converged.
+#[derive(Debug, Clone, Default)]
+pub struct RepairResult {
+    /// Repaired estimate, sparse sorted `(node, value)`. Entries can
+    /// be negative by up to `ε·d` near the truncation frontier (the
+    /// signed residual can overshoot); consumers that need
+    /// nonnegativity should clamp at presentation time.
+    pub vector: Vec<(NodeId, f64)>,
+    /// Repaired residual, sparse sorted `(node, value)`, signed.
+    pub residuals: Vec<(NodeId, f64)>,
+    /// Signed residual mass `Σ_u r[u]` at exit (`Σp + Σr = 1` exactly).
+    pub residual_mass: f64,
+    /// **Measured** worst per-degree residual `max_u |r_u|/d_u` at
+    /// exit — `< ε` when converged. This is the pointwise error bound
+    /// the certificate carries.
+    pub per_degree_bound: f64,
+    /// Push operations performed (0 = the delta did not disturb the
+    /// invariant; the prior was returned unchanged, bit for bit).
+    pub pushes: usize,
+    /// Edge traversals performed (correction pass + push loop).
+    pub work: usize,
+    /// Distinct nodes with nonzero `p` or `r` at exit.
+    pub touched: usize,
+    /// Absolute residual mass processed by the push loop.
+    pub mass_pushed: f64,
+    /// Injected perturbation `Σ|Δr|` from the edge delta.
+    pub perturbation: f64,
+    /// `true` if the prior was repaired incrementally; `false` if the
+    /// kernel fell back to a from-scratch push.
+    pub repaired: bool,
+}
+
+impl NodeValued for RepairResult {
+    fn node_values(&self) -> &[(NodeId, f64)] {
+        &self.vector
+    }
+
+    fn node_values_mut(&mut self) -> &mut Vec<(NodeId, f64)> {
+        &mut self.vector
+    }
+}
+
+impl From<RepairResult> for PushResult {
+    fn from(r: RepairResult) -> Self {
+        PushResult {
+            vector: r.vector,
+            residual_mass: r.residual_mass,
+            pushes: r.pushes,
+            work: r.work,
+            touched: r.touched,
+            residuals: r.residuals,
+            mass_pushed: r.mass_pushed,
+        }
+    }
+}
+
+fn validate_repair_args(g: &Graph, req: &RepairRequest<'_>) -> Result<()> {
+    validate_push_args(g, req.seeds, req.alpha, req.epsilon)?;
+    if req.mass_threshold.is_nan() || req.mass_threshold <= 0.0 {
+        return Err(LocalError::InvalidArgument(format!(
+            "ppr_repair needs mass_threshold > 0, got {}",
+            req.mass_threshold
+        )));
+    }
+    let n = g.n();
+    for (name, slice) in [("estimate", req.estimate), ("residual", req.residual)] {
+        for &(u, x) in slice {
+            if u as usize >= n {
+                return Err(LocalError::InvalidArgument(format!(
+                    "ppr_repair: {name} node {u} out of range"
+                )));
+            }
+            if !x.is_finite() {
+                return Err(LocalError::InvalidArgument(format!(
+                    "ppr_repair: {name} value at node {u} is not finite"
+                )));
+            }
+        }
+    }
+    for d in req.delta {
+        if d.u as usize >= n || d.v as usize >= n {
+            return Err(LocalError::InvalidArgument(format!(
+                "ppr_repair: delta edge ({}, {}) out of range",
+                d.u, d.v
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Changed arcs at one endpoint: `(target, old_weight, new_weight)`
+/// sorted by target (0.0 = absent).
+type ArcChanges = Vec<(NodeId, f64, f64)>;
+
+/// Per-endpoint view of the delta: for endpoint `c`, the changed arcs
+/// `(target, old_weight, new_weight)` sorted by target (0.0 = absent).
+fn endpoint_changes(delta: &[EdgeDelta]) -> Vec<(NodeId, ArcChanges)> {
+    let mut map: std::collections::BTreeMap<NodeId, ArcChanges> = Default::default();
+    for d in delta {
+        let (old, new) = (d.old.unwrap_or(0.0), d.new.unwrap_or(0.0));
+        map.entry(d.u).or_default().push((d.v, old, new));
+        if d.u != d.v {
+            map.entry(d.v).or_default().push((d.u, old, new));
+        }
+    }
+    map.into_iter()
+        .map(|(c, mut row)| {
+            row.sort_unstable_by_key(|e| e.0);
+            (c, row)
+        })
+        .collect()
+}
+
+/// The repair loop on the shared push scratch. Inputs are
+/// pre-validated. See the [module docs](self) for the math; the loop
+/// body is the ordinary ACL push with `|r|` in place of `r`.
+#[allow(clippy::too_many_lines)]
+fn repair_core(
+    g: &Graph,
+    req: &RepairRequest<'_>,
+    ws: &mut crate::push::PushWorkspace,
+    out: &mut RepairResult,
+    ctx: &mut KernelCtx,
+) -> Result<PushExit> {
+    let n = g.n();
+    let (alpha, epsilon) = (req.alpha, req.epsilon);
+    ws.p.reset(n);
+    ws.r.reset(n);
+    ws.in_queue.reset(n);
+    ws.queue.clear();
+    ws.touched.clear();
+    out.vector.clear();
+    out.residuals.clear();
+
+    // Load the prior state. Adding into freshly-stamped zeros is exact,
+    // so a zero-delta repair returns the prior bit for bit.
+    let mut residual_mass = 0.0f64;
+    for &(u, x) in req.estimate {
+        if ws.p.add(u as usize, x) {
+            ws.touched.push(u);
+        }
+    }
+    for &(u, x) in req.residual {
+        if ws.r.add(u as usize, x) {
+            ws.touched.push(u);
+        }
+        residual_mass += x;
+    }
+
+    // Correction pass: restore the invariant on the new graph by
+    // adjusting r at the changed columns (delta endpoints with p ≠ 0).
+    let changes = endpoint_changes(req.delta);
+    let mut perturbation = 0.0f64;
+    let mut work = 0usize;
+    let mut unrepairable = false;
+    for (c, row) in &changes {
+        let pc = ws.p.get(*c as usize);
+        if pc == 0.0 {
+            continue; // column c never received estimate mass
+        }
+        let d_new = g.degree(*c);
+        let d_old = d_new - row.iter().map(|&(_, o, nw)| nw - o).sum::<f64>();
+        if d_old <= 0.0 || d_new <= 0.0 {
+            // A node carrying estimate mass gained its first edges or
+            // lost its last ones: the column swap is degenerate, and a
+            // fresh push is the only honest answer.
+            unrepairable = true;
+            break;
+        }
+        let kappa = pc * (1.0 - alpha) / (2.0 * alpha);
+        // Net column swap A'_{·c}/d'_c − A_{·c}/d_c, one merged pass:
+        // the new CSR row (old weights restored from the delta record)
+        // plus fully-deleted arcs. Unchanged arcs nearly cancel —
+        // their adjustment is κ·w·(1/d' − 1/d) — so the measured
+        // perturbation scales with the *relative* degree change, not
+        // with the column mass.
+        for (x, w_new) in g.neighbors(*c) {
+            work += 1;
+            let w_old = match row.binary_search_by_key(&x, |e| e.0) {
+                Ok(k) => row[k].1,
+                Err(_) => w_new,
+            };
+            let adj = kappa * (w_new / d_new - w_old / d_old);
+            if adj != 0.0 {
+                perturbation += adj.abs();
+                residual_mass += adj;
+                if ws.r.add(x as usize, adj) {
+                    ws.touched.push(x);
+                }
+            }
+        }
+        for &(x, w_old, w_new) in row {
+            if w_new == 0.0 && w_old > 0.0 {
+                work += 1;
+                let adj = -kappa * w_old / d_old;
+                perturbation += adj.abs();
+                residual_mass += adj;
+                if ws.r.add(x as usize, adj) {
+                    ws.touched.push(x);
+                }
+            }
+        }
+    }
+    out.perturbation = perturbation;
+
+    if unrepairable || perturbation > req.mass_threshold {
+        // From-scratch fallback: an ordinary push on the new graph.
+        ctx.note_with(|| {
+            if unrepairable {
+                "repair fallback: delta isolates or newly connects an estimate-bearing node".into()
+            } else {
+                format!(
+                    "repair fallback: perturbation {:.3e} exceeds threshold {:.3e}",
+                    perturbation, req.mass_threshold
+                )
+            }
+        });
+        let mut fresh = PushResult::empty();
+        let exit = push_core(g, req.seeds, alpha, epsilon, ws, &mut fresh, ctx)?;
+        out.per_degree_bound = match &exit {
+            PushExit::Exhausted {
+                per_degree_bound, ..
+            } => *per_degree_bound,
+            _ => fresh
+                .residuals
+                .iter()
+                .map(|&(u, r)| r.abs() / g.degree(u))
+                .fold(0.0f64, f64::max),
+        };
+        out.vector = std::mem::take(&mut fresh.vector);
+        out.residuals = std::mem::take(&mut fresh.residuals);
+        out.residual_mass = fresh.residual_mass;
+        out.pushes = fresh.pushes;
+        out.work = work + fresh.work;
+        out.touched = fresh.touched;
+        out.mass_pushed = fresh.mass_pushed;
+        out.repaired = false;
+        return Ok(exit);
+    }
+
+    // Re-arm the queue: the only nodes whose `|r| ≥ ε·d` status can
+    // have changed are the endpoints (degree changed) and the nodes
+    // their corrections landed on (residual changed).
+    let mut candidates: Vec<NodeId> = Vec::new();
+    for (c, row) in &changes {
+        candidates.push(*c);
+        for (x, _) in g.neighbors(*c) {
+            candidates.push(x);
+        }
+        for &(x, w_old, w_new) in row {
+            if w_new == 0.0 && w_old > 0.0 {
+                candidates.push(x);
+            }
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    for &u in &candidates {
+        let du = g.degree(u);
+        if !ws.in_queue.contains(u as usize)
+            && ws.r.get(u as usize).abs() >= epsilon * du
+            && du > 0.0
+        {
+            ws.in_queue.insert(u as usize);
+            ws.queue.push_back(u);
+        }
+    }
+
+    let mut pushes = 0usize;
+    let mut mass_pushed = 0.0f64;
+    // Safety cap: each push retires α·|r| of absolute residual mass,
+    // of which at most 1 + Δ exists.
+    let push_cap =
+        ((4.0 * (1.0 + perturbation) / (epsilon * alpha)).ceil() as usize).saturating_add(16);
+    let mut exit = PushExit::Done;
+
+    // CORE LOOP
+    while let Some(u) = ws.queue.pop_front() {
+        ws.in_queue.remove(u as usize);
+        let du = g.degree(u);
+        let ru = ws.r.get(u as usize);
+        if ctx.is_guarded() && !ru.is_finite() {
+            exit = PushExit::Diverged(DivergenceCause::NonFiniteIterate { at_iter: pushes });
+            break;
+        }
+        if ru.abs() < epsilon * du {
+            continue;
+        }
+        pushes += 1;
+        mass_pushed += ru.abs();
+        if pushes > push_cap {
+            if ctx.is_guarded() {
+                exit = PushExit::Diverged(DivergenceCause::Breakdown {
+                    at_iter: pushes,
+                    what: "exceeded the perturbation-scaled O((1+Δ)/(εα)) push bound",
+                });
+                break;
+            }
+            return Err(LocalError::InvalidArgument(
+                "ppr_repair exceeded its perturbation-scaled push bound (bug guard)".into(),
+            ));
+        }
+        // The ordinary lazy push, sign-agnostic: α·ru into p, half the
+        // rest stays, half spreads. Negative residuals retract mass.
+        if ws.p.add(u as usize, alpha * ru) {
+            ws.touched.push(u);
+        }
+        residual_mass -= alpha * ru;
+        let stay = (1.0 - alpha) * ru / 2.0;
+        ws.r.set(u as usize, stay);
+        let spread = (1.0 - alpha) * ru / 2.0;
+        let mut traversals = 0u64;
+        for (v, w) in g.neighbors(u) {
+            work += 1;
+            traversals += 1;
+            let dv = g.degree(v);
+            if ws.r.add(v as usize, spread * w / du) {
+                ws.touched.push(v);
+            }
+            if ctx.is_guarded() && !ws.r.get(v as usize).is_finite() {
+                exit = PushExit::Diverged(DivergenceCause::NonFiniteIterate { at_iter: pushes });
+                break;
+            }
+            if !ws.in_queue.contains(v as usize)
+                && ws.r.get(v as usize).abs() >= epsilon * dv
+                && dv > 0.0
+            {
+                ws.in_queue.insert(v as usize);
+                ws.queue.push_back(v);
+            }
+        }
+        if matches!(exit, PushExit::Diverged(_)) {
+            break;
+        }
+        if !ws.in_queue.contains(u as usize) && ws.r.get(u as usize).abs() >= epsilon * du {
+            ws.in_queue.insert(u as usize);
+            ws.queue.push_back(u);
+        }
+
+        ctx.tick_iter();
+        ctx.push_residual(residual_mass);
+        if let Some(exhausted) = ctx.add_work(traversals) {
+            let per_degree_bound = (0..n)
+                .map(|u| {
+                    let d = g.degree(u as NodeId);
+                    if d > 0.0 {
+                        ws.r.get(u).abs() / d
+                    } else {
+                        0.0
+                    }
+                })
+                .fold(0.0f64, f64::max)
+                .max(epsilon);
+            exit = PushExit::Exhausted {
+                exhausted,
+                remaining: residual_mass,
+                per_degree_bound,
+            };
+            break;
+        }
+    }
+
+    if matches!(exit, PushExit::Diverged(_)) {
+        return Ok(exit);
+    }
+
+    // Harvest. The touched list can hold a node twice (first-touched
+    // separately through p and r), so dedup after sorting.
+    ws.touched.sort_unstable();
+    ws.touched.dedup();
+    let mut touched = 0usize;
+    let mut residual_sum = 0.0f64;
+    let mut bound = 0.0f64;
+    for &u in &ws.touched {
+        let p = ws.p.get(u as usize);
+        let r = ws.r.get(u as usize);
+        if p != 0.0 {
+            out.vector.push((u, p));
+        }
+        if r != 0.0 {
+            out.residuals.push((u, r));
+            let d = g.degree(u);
+            if d > 0.0 {
+                bound = bound.max(r.abs() / d);
+            }
+        }
+        if p != 0.0 || r != 0.0 {
+            touched += 1;
+        }
+        residual_sum += r;
+    }
+    out.residual_mass = residual_sum;
+    out.per_degree_bound = match &exit {
+        PushExit::Exhausted {
+            per_degree_bound, ..
+        } => *per_degree_bound,
+        _ => bound,
+    };
+    out.pushes = pushes;
+    out.work = work;
+    out.touched = touched;
+    out.mass_pushed = mass_pushed;
+    out.repaired = true;
+    Ok(exit)
+}
+
+/// Repair a prior push state against an edge delta. See the
+/// [module docs](self).
+///
+/// Returns the repaired state on the new graph with the invariant
+/// `|r_u| < ε·d_u` restored everywhere (so the repaired vector carries
+/// the same `‖D⁻¹(pr_α(s) − p)‖_∞ ≤ ε` guarantee a from-scratch push
+/// earns). An empty delta returns the prior unchanged, bit for bit,
+/// with `pushes == 0`.
+pub fn ppr_repair(g: &Graph, req: &RepairRequest<'_>) -> Result<RepairResult> {
+    validate_repair_args(g, req)?;
+    let mut out = RepairResult::default();
+    let mut ctx = KernelCtx::new();
+    PUSH_POOL.with(|ws| repair_core(g, req, ws, &mut out, &mut ctx))?;
+    Ok(out)
+}
+
+/// Context-driven repair: metering, contamination guards, and tracing
+/// per the [`KernelCtx`], with the result structured as a
+/// [`SolverOutcome`] whose certificate is the usual
+/// [`Certificate::ResidualMass`] — `remaining` is the signed residual
+/// mass and `per_degree_bound` the **measured** worst `|r|/d` at exit.
+pub fn ppr_repair_ctx(
+    g: &Graph,
+    req: &RepairRequest<'_>,
+    ctx: &mut KernelCtx,
+) -> Result<SolverOutcome<RepairResult>> {
+    validate_repair_args(g, req)?;
+    let mut out = RepairResult::default();
+    let exit = PUSH_POOL.with(|ws| repair_core(g, req, ws, &mut out, ctx))?;
+    let diags = ctx.finish();
+    Ok(match exit {
+        PushExit::Done => SolverOutcome::converged(out, diags),
+        PushExit::Exhausted {
+            exhausted,
+            remaining,
+            per_degree_bound,
+        } => SolverOutcome::exhausted(
+            out,
+            exhausted,
+            Certificate::ResidualMass {
+                remaining,
+                per_degree_bound,
+            },
+            diags,
+        ),
+        PushExit::Diverged(cause) => SolverOutcome::diverged(cause, diags),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::push::{ppr_exact_reference, ppr_push};
+    use acir_graph::gen::deterministic::{barbell, cycle};
+    use acir_graph::DeltaGraph;
+
+    fn repair_after(
+        g_old: &Graph,
+        edits: impl FnOnce(&mut DeltaGraph<'_>),
+        seeds: &[NodeId],
+        alpha: f64,
+        epsilon: f64,
+    ) -> (Graph, Vec<EdgeDelta>, RepairResult) {
+        let prior = ppr_push(g_old, seeds, alpha, epsilon).unwrap();
+        let mut dg = DeltaGraph::new(g_old);
+        edits(&mut dg);
+        let delta = dg.net_delta();
+        let (g_new, _) = dg.compact().unwrap();
+        let rr = ppr_repair(
+            &g_new,
+            &RepairRequest {
+                seeds,
+                estimate: &prior.vector,
+                residual: &prior.residuals,
+                delta: &delta,
+                alpha,
+                epsilon,
+                mass_threshold: DEFAULT_REPAIR_MASS_THRESHOLD,
+            },
+        )
+        .unwrap();
+        (g_new, delta, rr)
+    }
+
+    #[test]
+    fn empty_delta_returns_prior_bit_for_bit() {
+        let g = barbell(6, 2).unwrap();
+        let prior = ppr_push(&g, &[0], 0.1, 1e-4).unwrap();
+        let rr = ppr_repair(
+            &g,
+            &RepairRequest {
+                seeds: &[0],
+                estimate: &prior.vector,
+                residual: &prior.residuals,
+                delta: &[],
+                alpha: 0.1,
+                epsilon: 1e-4,
+                mass_threshold: DEFAULT_REPAIR_MASS_THRESHOLD,
+            },
+        )
+        .unwrap();
+        assert!(rr.repaired);
+        assert_eq!(rr.pushes, 0);
+        assert_eq!(rr.perturbation, 0.0);
+        assert_eq!(rr.vector, prior.vector);
+        assert_eq!(rr.residuals, prior.residuals);
+        assert_eq!(rr.residual_mass.to_bits(), prior.residual_mass.to_bits());
+    }
+
+    #[test]
+    fn repaired_state_meets_invariant_and_tracks_reference() {
+        let (alpha, eps) = (0.1, 1e-5);
+        let g_old = barbell(8, 2).unwrap();
+        let (g_new, _, rr) = repair_after(
+            &g_old,
+            |dg| {
+                dg.insert_edge(0, 12, 1.0).unwrap();
+                dg.delete_edge(1, 2).unwrap();
+            },
+            &[0],
+            alpha,
+            eps,
+        );
+        assert!(rr.repaired);
+        assert!(rr.pushes > 0);
+        // Invariant restored: measured bound below ε.
+        assert!(rr.per_degree_bound < eps, "bound {}", rr.per_degree_bound);
+        for &(u, r) in &rr.residuals {
+            assert!(r.abs() < eps * g_new.degree(u));
+        }
+        // Mass conserved exactly through correction and push.
+        let p_mass: f64 = rr.vector.iter().map(|&(_, x)| x).sum();
+        assert!((p_mass + rr.residual_mass - 1.0).abs() < 1e-12);
+        // Within ε·d of the exact answer on the NEW graph, node by node.
+        let exact = ppr_exact_reference(&g_new, &[0], alpha, 20_000).unwrap();
+        let dense = rr.to_dense(g_new.n());
+        for u in 0..g_new.n() {
+            let err = (exact[u] - dense[u]).abs() / g_new.degree(u as NodeId);
+            assert!(err <= eps + 1e-9, "node {u}: err {err}");
+        }
+    }
+
+    #[test]
+    fn repair_is_cheaper_than_recompute_for_single_edges() {
+        let (alpha, eps) = (0.05, 1e-6);
+        let g_old = barbell(10, 3).unwrap();
+        // Reweight an edge inside the far clique: little of the seed's
+        // estimate mass sits on the endpoints, so the perturbation —
+        // and the repair work — is small.
+        let (g_new, _, rr) = repair_after(
+            &g_old,
+            |dg| {
+                dg.insert_edge(14, 20, 3.0).unwrap();
+            },
+            &[0],
+            alpha,
+            eps,
+        );
+        let fresh = ppr_push(&g_new, &[0], alpha, eps).unwrap();
+        assert!(rr.repaired);
+        assert!(
+            rr.pushes * 5 <= fresh.pushes,
+            "repair {} vs rebuild {} pushes",
+            rr.pushes,
+            fresh.pushes
+        );
+        // And the two agree within 2ε per degree (both ε-truncations of
+        // the same exact PPR).
+        let dense_r = rr.to_dense(g_new.n());
+        let dense_f = fresh.to_dense(g_new.n());
+        for u in 0..g_new.n() {
+            let diff = (dense_r[u] - dense_f[u]).abs() / g_new.degree(u as NodeId);
+            assert!(diff <= 2.0 * eps + 1e-12, "node {u}: {diff}");
+        }
+    }
+
+    #[test]
+    fn oversized_perturbation_falls_back_to_scratch() {
+        let (alpha, eps) = (0.1, 1e-4);
+        let g_old = cycle(12).unwrap();
+        let prior = ppr_push(&g_old, &[0], alpha, eps).unwrap();
+        let mut dg = DeltaGraph::new(&g_old);
+        // Rewire everything around the seed: huge perturbation.
+        for v in 2..10 {
+            dg.insert_edge(0, v, 10.0).unwrap();
+        }
+        let delta = dg.net_delta();
+        let (g_new, _) = dg.compact().unwrap();
+        let req = RepairRequest {
+            seeds: &[0],
+            estimate: &prior.vector,
+            residual: &prior.residuals,
+            delta: &delta,
+            alpha,
+            epsilon: eps,
+            mass_threshold: 1e-6, // force the fallback
+        };
+        let rr = ppr_repair(&g_new, &req).unwrap();
+        assert!(!rr.repaired);
+        assert!(rr.perturbation > 1e-6);
+        let fresh = ppr_push(&g_new, &[0], alpha, eps).unwrap();
+        assert_eq!(rr.vector, fresh.vector);
+        assert_eq!(rr.residuals, fresh.residuals);
+        assert_eq!(rr.pushes, fresh.pushes);
+    }
+
+    #[test]
+    fn isolating_an_estimate_node_is_unrepairable() {
+        let (alpha, eps) = (0.1, 1e-4);
+        let g_old = barbell(4, 1).unwrap(); // bridge node 4 between cliques
+        let prior = ppr_push(&g_old, &[0], alpha, eps).unwrap();
+        let mut dg = DeltaGraph::new(&g_old);
+        // Cut the bridge node loose entirely.
+        dg.delete_edge(3, 4).unwrap();
+        dg.delete_edge(4, 5).unwrap();
+        let delta = dg.net_delta();
+        let (g_new, _) = dg.compact().unwrap();
+        let rr = ppr_repair(
+            &g_new,
+            &RepairRequest {
+                seeds: &[0],
+                estimate: &prior.vector,
+                residual: &prior.residuals,
+                delta: &delta,
+                alpha,
+                epsilon: eps,
+                mass_threshold: f64::INFINITY,
+            },
+        )
+        .unwrap();
+        assert!(!rr.repaired, "degenerate column swap must fall back");
+        let fresh = ppr_push(&g_new, &[0], alpha, eps).unwrap();
+        assert_eq!(rr.vector, fresh.vector);
+    }
+
+    #[test]
+    fn ctx_variant_certifies_and_validates() {
+        let (alpha, eps) = (0.1, 1e-4);
+        let g_old = barbell(6, 2).unwrap();
+        let prior = ppr_push(&g_old, &[0], alpha, eps).unwrap();
+        let mut dg = DeltaGraph::new(&g_old);
+        dg.insert_edge(0, 9, 1.0).unwrap();
+        let delta = dg.net_delta();
+        let (g_new, _) = dg.compact().unwrap();
+        let req = RepairRequest {
+            seeds: &[0],
+            estimate: &prior.vector,
+            residual: &prior.residuals,
+            delta: &delta,
+            alpha,
+            epsilon: eps,
+            mass_threshold: DEFAULT_REPAIR_MASS_THRESHOLD,
+        };
+        let mut ctx = acir_runtime::KernelCtx::traced("local.ppr_repair");
+        let out = ppr_repair_ctx(&g_new, &req, &mut ctx).unwrap();
+        assert!(out.is_converged());
+        assert!(out.value().unwrap().per_degree_bound < eps);
+
+        // Bad arguments are rejected before any work.
+        let bad = RepairRequest {
+            mass_threshold: 0.0,
+            ..req
+        };
+        assert!(ppr_repair(&g_new, &bad).is_err());
+        let bad = RepairRequest {
+            estimate: &[(9999, 0.1)],
+            ..req
+        };
+        assert!(ppr_repair(&g_new, &bad).is_err());
+        let bad = RepairRequest {
+            residual: &[(0, f64::NAN)],
+            ..req
+        };
+        assert!(ppr_repair(&g_new, &bad).is_err());
+        let bad_delta = [EdgeDelta {
+            u: 0,
+            v: 9999,
+            old: None,
+            new: Some(1.0),
+        }];
+        let bad = RepairRequest {
+            delta: &bad_delta,
+            ..req
+        };
+        assert!(ppr_repair(&g_new, &bad).is_err());
+    }
+}

@@ -32,7 +32,9 @@
 //! is bit-identical to [`crate::push::ppr_push`].
 
 use crate::push::{ppr_push_ctx, push_core, validate_push_args, PushExit, PushResult, PUSH_POOL};
+use crate::repair::{ppr_repair, RepairRequest, DEFAULT_REPAIR_MASS_THRESHOLD};
 use crate::{LocalError, Result};
+use acir_graph::delta::EdgeDelta;
 use acir_graph::{Graph, NodeId, NodeValued, Permutation};
 use acir_runtime::{Certificate, KernelCtx, SolverOutcome};
 use std::collections::BTreeMap;
@@ -204,6 +206,140 @@ pub fn build_hub_sketches_ctx(
         n,
         slot,
         sketches,
+    })
+}
+
+/// Output of [`repair_hub_sketches`]: the repaired set plus the exact
+/// work accounting the dynamic benchmarks compare against a full
+/// rebuild.
+#[derive(Debug, Clone)]
+pub struct SketchRepair {
+    /// The repaired sketch set — same hubs, same `(α, ε_sketch)`,
+    /// every sketch valid on the *new* graph.
+    pub set: SketchSet,
+    /// Sketches whose support touched the delta and were incrementally
+    /// repaired.
+    pub repaired: usize,
+    /// Sketches whose estimate and residual were both zero at every
+    /// delta endpoint: carried over verbatim at zero cost.
+    pub untouched: usize,
+    /// Sketches the repair kernel recomputed from scratch (oversized
+    /// perturbation or a degenerate column swap), plus hubs the delta
+    /// isolated entirely (their sketch becomes empty and inert).
+    pub fallbacks: usize,
+    /// Fresh pushes this repair spent, across all sketches — the
+    /// numerator of the repair-vs-rebuild gate.
+    pub pushes: usize,
+    /// Fresh edge traversals this repair spent.
+    pub work: usize,
+}
+
+/// Incrementally maintain a hub-sketch set across an edge delta,
+/// instead of rebuilding all K sketches from scratch.
+///
+/// A sketch can only be invalidated by the delta if its diffusion ever
+/// put estimate or residual mass on a delta endpoint (the changed
+/// columns of the walk matrix); everything else is carried over
+/// verbatim. Touched sketches go through [`ppr_repair`] with the hub as
+/// seed at the set's own `(α, ε_sketch)`, preserving the per-sketch ACL
+/// guarantee on the new graph. A hub the delta isolates entirely keeps
+/// its slot but becomes an empty sketch — no residual can ever park on
+/// a degree-0 node, so splices never consult it.
+///
+/// Sketches are repaired in parallel over the ambient
+/// [`acir_exec::ExecPool`]; the result is identical at any thread
+/// count. Errors if the set was built for a different node count.
+pub fn repair_hub_sketches(
+    g: &Graph,
+    set: &SketchSet,
+    delta: &[EdgeDelta],
+) -> Result<SketchRepair> {
+    if !set.is_empty() && set.n() != g.n() {
+        return Err(LocalError::InvalidArgument(format!(
+            "sketch set built for {} nodes, graph has {}",
+            set.n(),
+            g.n()
+        )));
+    }
+    let mut endpoints: Vec<NodeId> = delta.iter().flat_map(|d| [d.u, d.v]).collect();
+    endpoints.sort_unstable();
+    endpoints.dedup();
+
+    let touches = |s: &HubSketch| {
+        endpoints.iter().any(|&c| {
+            s.estimate.binary_search_by_key(&c, |e| e.0).is_ok()
+                || s.residual.binary_search_by_key(&c, |e| e.0).is_ok()
+        })
+    };
+
+    let idxs: Vec<usize> = (0..set.len()).collect();
+    let outcomes = acir_exec::ExecPool::from_env().par_map(&idxs, 1, |&i| {
+        let s = &set.sketches[i];
+        if endpoints.is_empty() || !touches(s) {
+            return Ok::<(HubSketch, u8, usize), LocalError>((s.clone(), 0, 0));
+        }
+        if g.degree(s.hub) <= 0.0 {
+            // The delta cut the hub loose: park an inert empty sketch.
+            let empty = HubSketch {
+                hub: s.hub,
+                estimate: Vec::new(),
+                residual: Vec::new(),
+                residual_mass: 0.0,
+                pushes: s.pushes,
+            };
+            return Ok((empty, 2, 0));
+        }
+        let rr = ppr_repair(
+            g,
+            &RepairRequest {
+                seeds: &[s.hub],
+                estimate: &s.estimate,
+                residual: &s.residual,
+                delta,
+                alpha: set.alpha,
+                epsilon: set.epsilon,
+                mass_threshold: DEFAULT_REPAIR_MASS_THRESHOLD,
+            },
+        )?;
+        let kind = if rr.repaired { 1 } else { 2 };
+        let work = rr.work;
+        let sketch = HubSketch {
+            hub: s.hub,
+            estimate: rr.vector,
+            residual: rr.residuals,
+            residual_mass: rr.residual_mass,
+            pushes: s.pushes + rr.pushes,
+        };
+        Ok((sketch, kind, work))
+    });
+
+    let mut sketches = Vec::with_capacity(set.len());
+    let (mut repaired, mut untouched, mut fallbacks) = (0usize, 0usize, 0usize);
+    let (mut pushes, mut work) = (0usize, 0usize);
+    for (outcome, prior) in outcomes.into_iter().zip(&set.sketches) {
+        let (sketch, kind, w) = outcome?;
+        pushes += sketch.pushes - prior.pushes;
+        work += w;
+        match kind {
+            0 => untouched += 1,
+            1 => repaired += 1,
+            _ => fallbacks += 1,
+        }
+        sketches.push(sketch);
+    }
+    Ok(SketchRepair {
+        set: SketchSet {
+            alpha: set.alpha,
+            epsilon: set.epsilon,
+            n: set.n,
+            slot: set.slot.clone(),
+            sketches,
+        },
+        repaired,
+        untouched,
+        fallbacks,
+        pushes,
+        work,
     })
 }
 
@@ -762,5 +898,85 @@ mod tests {
         let other = ba(100, 5);
         let set = build_hub_sketches(&g, 4, 0.1, 1e-5).unwrap();
         assert!(ppr_push_spliced(&other, &[0], 0.1, 1e-3, &set).is_err());
+        assert!(repair_hub_sketches(&other, &set, &[]).is_err());
+    }
+
+    #[test]
+    fn sketch_repair_tracks_a_fresh_rebuild() {
+        use acir_graph::DeltaGraph;
+        let g_old = ba(300, 21);
+        let (alpha, eps) = (0.1, 1e-5);
+        let set = build_hub_sketches(&g_old, 10, alpha, eps).unwrap();
+        let mut dg = DeltaGraph::new(&g_old);
+        dg.insert_edge(0, 299, 1.0).unwrap();
+        let delta = dg.net_delta();
+        let (g_new, _) = dg.compact().unwrap();
+        let rep = repair_hub_sketches(&g_new, &set, &delta).unwrap();
+        assert_eq!(rep.set.len(), set.len());
+        assert_eq!(rep.repaired + rep.untouched + rep.fallbacks, set.len());
+        let rebuilt = build_hub_sketches(&g_new, 10, alpha, eps).unwrap();
+        assert!(
+            rep.pushes < rebuilt.build_pushes(),
+            "repair {} vs rebuild {} pushes",
+            rep.pushes,
+            rebuilt.build_pushes()
+        );
+        // Every repaired sketch satisfies the ACL bound on the new
+        // graph and agrees with the fresh sketch within 2ε per degree.
+        for (r, f) in rep.set.sketches().iter().zip(rebuilt.sketches()) {
+            assert_eq!(r.hub, f.hub);
+            for &(v, x) in &r.residual {
+                assert!(x.abs() < eps * g_new.degree(v));
+            }
+            let dense_r = {
+                let mut d = vec![0.0; g_new.n()];
+                for &(v, x) in &r.estimate {
+                    d[v as usize] = x;
+                }
+                d
+            };
+            let dense_f = {
+                let mut d = vec![0.0; g_new.n()];
+                for &(v, x) in &f.estimate {
+                    d[v as usize] = x;
+                }
+                d
+            };
+            for u in 0..g_new.n() {
+                let diff = (dense_r[u] - dense_f[u]).abs() / g_new.degree(u as NodeId);
+                assert!(diff <= 2.0 * eps + 1e-12, "hub {} node {u}: {diff}", r.hub);
+            }
+        }
+    }
+
+    #[test]
+    fn untouched_sketches_carry_over_verbatim() {
+        // Two far-apart cliques: a delta inside one never touches the
+        // other's hub sketch.
+        let g_old = barbell(8, 30).unwrap();
+        let set = build_hub_sketches(&g_old, 6, 0.2, 1e-4).unwrap();
+        use acir_graph::DeltaGraph;
+        let mut dg = DeltaGraph::new(&g_old);
+        dg.insert_edge(0, 3, 4.0).unwrap(); // inside clique A
+        let delta = dg.net_delta();
+        let (g_new, _) = dg.compact().unwrap();
+        let rep = repair_hub_sketches(&g_new, &set, &delta).unwrap();
+        assert!(rep.untouched > 0, "some hub must be unaffected");
+        for (r, p) in rep.set.sketches().iter().zip(set.sketches()) {
+            let unaffected = p
+                .estimate
+                .iter()
+                .chain(&p.residual)
+                .all(|&(v, _)| v != 0 && v != 3);
+            if unaffected {
+                assert_eq!(r.estimate, p.estimate, "hub {}", p.hub);
+                assert_eq!(r.residual, p.residual, "hub {}", p.hub);
+                assert_eq!(r.pushes, p.pushes);
+            }
+        }
+        // An empty delta is a pure carry-over.
+        let rep = repair_hub_sketches(&g_new, &rep.set, &[]).unwrap();
+        assert_eq!(rep.untouched, rep.set.len());
+        assert_eq!(rep.pushes, 0);
     }
 }

@@ -23,6 +23,13 @@ pub struct ChaosConfig {
     pub forced_panics: BTreeSet<(u64, usize)>,
     /// `(request id, attempt)` pairs that always corrupt.
     pub forced_nans: BTreeSet<(u64, usize)>,
+    /// Graph epochs at which the incremental sketch/answer repair path
+    /// fails mid-flight; the engine must fall back to a full rebuild
+    /// (the epoch is the one *after* the delta bump).
+    pub forced_repair_faults: BTreeSet<u64>,
+    /// Probability that the repair path fails at a given epoch, in
+    /// `[0, 1]`.
+    pub repair_fault_rate: f64,
 }
 
 impl ChaosConfig {
@@ -49,6 +56,14 @@ impl ChaosConfig {
     pub fn corrupts(&self, id: u64, attempt: usize) -> bool {
         self.forced_nans.contains(&(id, attempt))
             || unit(self.seed, id, attempt as u64, 0x6e616e73) < self.nan_rate
+    }
+
+    /// Does the incremental repair path fail at this (post-delta)
+    /// epoch? A `true` forces the engine onto the full-rebuild path —
+    /// the repair analogue of a worker panic.
+    pub fn fails_repair(&self, epoch: u64) -> bool {
+        self.forced_repair_faults.contains(&epoch)
+            || unit(self.seed, epoch, 0, 0x72657061) < self.repair_fault_rate
     }
 }
 
@@ -107,6 +122,19 @@ mod tests {
         c.forced_nans.insert((3, 1));
         assert!(c.panics(3, 0) && !c.panics(3, 1));
         assert!(c.corrupts(3, 1) && !c.corrupts(3, 0));
+    }
+
+    #[test]
+    fn repair_faults_are_forced_or_rate_driven() {
+        let mut c = ChaosConfig::with_rates(1, 0.0, 0.0);
+        assert!((0..200).all(|e| !c.fails_repair(e)));
+        c.forced_repair_faults.insert(17);
+        assert!(c.fails_repair(17) && !c.fails_repair(16));
+        let rated = ChaosConfig {
+            repair_fault_rate: 1.0,
+            ..ChaosConfig::default()
+        };
+        assert!((0..50).all(|e| rated.fails_repair(e)));
     }
 
     #[test]

@@ -18,15 +18,26 @@
 //!                 Stale | SeedOnly — always exactly one, certified
 //! ```
 //!
-//! Graph mutation ([`Engine::update_graph`]) bumps the epoch, drops
-//! every answer-cache entry, and rebuilds the hub sketches, so a
-//! pre-mutation answer can only ever surface as `Stale` — labeled with
-//! its epoch in the certificate — never as `Full` or `Cached`.
+//! Graph mutation comes in two grades. A full swap
+//! ([`Engine::update_graph`]) bumps the epoch, drops every answer-cache
+//! entry, and rebuilds the hub sketches, so a pre-mutation answer can
+//! only ever surface as `Stale` — labeled with its epoch in the
+//! certificate — never as `Full` or `Cached`. An *edge delta*
+//! ([`Engine::update_graph_delta`]) also bumps the epoch, but instead
+//! of discarding state it repairs it: hub sketches whose residual
+//! support touches the delta are reflowed in place
+//! (`repair_hub_sketches`), cached answers are revalidated-or-repaired
+//! by the push-style residual-repair kernel (`ppr_repair`) and re-keyed
+//! to the new epoch, and anything unrepairable is dropped — never
+//! served. Either way the epoch stamp is the consistency protocol:
+//! in-flight requests keep their admission-time epoch and are never
+//! batched, spliced, or cache-served across a mutation.
 
 use crate::chaos::ChaosConfig;
 use crate::store::SketchStore;
-use acir_graph::{Graph, NodeId};
+use acir_graph::{DeltaGraph, EdgeDelta, EdgeOp, Graph, NodeId};
 use acir_local::push::{ppr_push_batch_outcomes, ppr_push_ctx, PushResult};
+use acir_local::repair::{ppr_repair, RepairRequest, DEFAULT_REPAIR_MASS_THRESHOLD};
 use acir_local::sketch::{ppr_push_spliced_ctx, SketchSet};
 use acir_runtime::{
     Backoff, Budget, Certificate, Diagnostics, DivergenceCause, GuardConfig, KernelCtx,
@@ -94,6 +105,19 @@ pub struct EngineConfig {
     /// served from cache as [`ResponseKind::Cached`] (full quality,
     /// zero compute). `0` disables the cache. Eviction is FIFO.
     pub answer_cache_cap: usize,
+    /// Per-entry answer-cache time-to-live, measured in *request
+    /// count* (submissions seen since the entry was cached), not wall
+    /// time — deterministic and replayable. An entry older than this
+    /// many requests is expired before it can be served; expiry walks
+    /// the same FIFO order as capacity eviction, oldest first. `0`
+    /// disables TTL expiry.
+    pub answer_ttl: u64,
+    /// Amortized full-rebuild cadence for the delta path: after this
+    /// many [`Engine::update_graph_delta`] calls since the last full
+    /// sketch build, the next delta rebuilds the sketches from scratch
+    /// instead of repairing them, resetting accumulated repair error
+    /// and truncation debris. `0` means repair forever.
+    pub resketch_after: u64,
 }
 
 impl Default for EngineConfig {
@@ -113,6 +137,8 @@ impl Default for EngineConfig {
             sketch_alpha: 0.1,
             sketch_epsilon: 1e-5,
             answer_cache_cap: 256,
+            answer_ttl: 0,
+            resketch_after: 0,
         }
     }
 }
@@ -326,6 +352,50 @@ struct AnswerEntry {
     epsilon: f64,
     vector: Vec<(NodeId, f64)>,
     certificate: Certificate,
+    /// Sorted, deduped seeds (the key's seed component) — what the
+    /// repair kernel's from-scratch fallback diffuses from.
+    seeds: Vec<NodeId>,
+    /// The answer's residual vector, kept so an edge delta can repair
+    /// the entry in place instead of purging it. Splice-sourced answers
+    /// carry an empty residual with nonzero certified mass — those are
+    /// unrepairable and dropped on the first delta.
+    residuals: Vec<(NodeId, f64)>,
+    /// Request-clock stamp at caching time, for TTL expiry.
+    born: u64,
+}
+
+/// What one [`Engine::update_graph_delta`] call did to the engine's
+/// derived state. All counters are exact and deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaSummary {
+    /// The epoch after the delta (unchanged if the delta was a no-op).
+    pub epoch: u64,
+    /// Net edges changed (inserts + deletes + reweights, after
+    /// cancellation). `0` means nothing else in this summary happened.
+    pub edges: usize,
+    /// Hub sketches incrementally repaired.
+    pub sketches_repaired: usize,
+    /// Hub sketches untouched by the delta, carried over verbatim.
+    pub sketches_untouched: usize,
+    /// Hub sketches recomputed from scratch by the repair kernel.
+    pub sketch_fallbacks: usize,
+    /// `true` when the sketch set was fully rebuilt instead of
+    /// repaired (amortized cadence, injected repair fault, or a repair
+    /// error).
+    pub sketches_rebuilt: bool,
+    /// Cached answers whose invariant survived the delta untouched
+    /// (zero repair pushes) — re-keyed to the new epoch for free.
+    pub answers_revalidated: usize,
+    /// Cached answers reflowed by the repair kernel and re-keyed.
+    pub answers_repaired: usize,
+    /// Cached answers dropped as unrepairable (splice-born entries,
+    /// degenerate deltas, or repair errors).
+    pub answers_dropped: usize,
+    /// Fresh pushes spent repairing sketches and answers — the
+    /// repair-vs-rebuild gate numerator.
+    pub repair_pushes: usize,
+    /// Fresh edge traversals spent repairing sketches and answers.
+    pub repair_work: usize,
 }
 
 /// Worst-case push count of an ε-truncated diffusion, the same
@@ -351,6 +421,10 @@ pub struct Engine {
     sketches: Option<SketchStore>,
     stats: EngineStats,
     trace: Diagnostics,
+    /// Monotone submission counter; the TTL clock.
+    request_clock: u64,
+    /// Deltas applied since the last full sketch build.
+    deltas_since_resketch: u64,
 }
 
 impl Engine {
@@ -374,14 +448,19 @@ impl Engine {
             queue: VecDeque::new(),
             stats: EngineStats::default(),
             trace: Diagnostics::for_kernel("serve.engine"),
+            request_clock: 0,
+            deltas_since_resketch: 0,
         };
-        engine.rebuild_sketches();
+        if engine.cfg.sketch_hubs > 0 {
+            engine.rebuild_sketches();
+        }
         engine
     }
 
     /// (Re)build the hub-sketch store for the current graph and epoch.
     fn rebuild_sketches(&mut self) {
         self.sketches = None;
+        self.deltas_since_resketch = 0;
         if self.cfg.sketch_hubs == 0 {
             return;
         }
@@ -416,12 +495,216 @@ impl Engine {
         self.answer_order.clear();
         self.trace
             .note(format!("graph swapped; epoch {}", self.epoch));
-        self.rebuild_sketches();
+        // With the sketch path disabled there is nothing to rebuild —
+        // skip the call rather than churn through a no-op.
+        if self.cfg.sketch_hubs > 0 {
+            self.rebuild_sketches();
+        } else {
+            self.deltas_since_resketch = 0;
+        }
+    }
+
+    /// Apply an edge delta to the serving graph *in place*: compact the
+    /// overlay into a fresh CSR, bump the epoch, and **repair** the
+    /// derived state instead of discarding it.
+    ///
+    /// * Hub sketches whose residual support touches a delta endpoint
+    ///   are reflowed by the residual-repair kernel; the rest carry
+    ///   over verbatim. Every `cfg.resketch_after` deltas (and on an
+    ///   injected repair fault, or any repair error) the set is rebuilt
+    ///   from scratch instead.
+    /// * Cached answers are revalidated-or-repaired under the same
+    ///   kernel and re-keyed to the new epoch, each re-issued
+    ///   certificate carrying the *measured* post-repair residual mass.
+    ///   Unrepairable entries (splice-born answers with no stored
+    ///   residual, degenerate column swaps) are dropped, never served.
+    ///
+    /// The delta is atomic: `ops` are validated against an overlay
+    /// before any engine state changes, so a rejected op leaves the
+    /// engine bit-for-bit untouched and in-flight requests can never
+    /// observe a half-applied delta. An empty net delta (ops that
+    /// cancel out) is a no-op that does not bump the epoch.
+    pub fn update_graph_delta(&mut self, ops: &[EdgeOp]) -> Result<DeltaSummary, String> {
+        let (new_graph, delta) = {
+            let mut dg = DeltaGraph::new(&self.g);
+            for op in ops {
+                dg.apply(op).map_err(|e| format!("delta rejected: {e}"))?;
+            }
+            let delta = dg.net_delta();
+            if delta.is_empty() {
+                return Ok(DeltaSummary {
+                    epoch: self.epoch,
+                    ..DeltaSummary::default()
+                });
+            }
+            let (g, _relabel) = dg
+                .compact()
+                .map_err(|e| format!("delta compaction failed: {e}"))?;
+            (g, delta)
+        };
+        self.g = new_graph;
+        self.epoch += 1;
+        let mut summary = DeltaSummary {
+            epoch: self.epoch,
+            edges: delta.len(),
+            ..DeltaSummary::default()
+        };
+        self.trace.note(format!(
+            "delta applied: {} edges; epoch {}",
+            delta.len(),
+            self.epoch
+        ));
+
+        if self.cfg.sketch_hubs > 0 {
+            self.deltas_since_resketch += 1;
+            let faulted = self
+                .cfg
+                .chaos
+                .as_ref()
+                .is_some_and(|c| c.fails_repair(self.epoch));
+            let amortized = self.cfg.resketch_after > 0
+                && self.deltas_since_resketch >= self.cfg.resketch_after;
+            let repaired = if faulted {
+                self.trace.note(format!(
+                    "chaos: sketch repair fault at epoch {}; rebuilding",
+                    self.epoch
+                ));
+                None
+            } else if amortized {
+                self.trace.note(format!(
+                    "amortized sketch rebuild after {} deltas",
+                    self.deltas_since_resketch
+                ));
+                None
+            } else {
+                match self
+                    .sketches
+                    .as_ref()
+                    .map(|s| s.repair(&self.g, &delta, self.epoch))
+                {
+                    Some(Ok(ok)) => Some(ok),
+                    Some(Err(e)) => {
+                        self.trace
+                            .note(format!("sketch repair failed ({e}); rebuilding"));
+                        None
+                    }
+                    None => None,
+                }
+            };
+            match repaired {
+                Some((store, stats)) => {
+                    self.trace.note(format!(
+                        "hub sketches repaired: {} repaired, {} untouched, {} fallbacks \
+                         ({} pushes; epoch {})",
+                        stats.repaired, stats.untouched, stats.fallbacks, stats.pushes, self.epoch
+                    ));
+                    summary.sketches_repaired = stats.repaired;
+                    summary.sketches_untouched = stats.untouched;
+                    summary.sketch_fallbacks = stats.fallbacks;
+                    summary.repair_pushes += stats.pushes;
+                    summary.repair_work += stats.work;
+                    self.sketches = Some(store);
+                }
+                None => {
+                    self.rebuild_sketches();
+                    summary.sketches_rebuilt = true;
+                }
+            }
+        }
+
+        self.repair_answers(&delta, &mut summary);
+        Ok(summary)
+    }
+
+    /// Revalidate-or-repair every answer-cache entry across `delta`,
+    /// re-keying survivors to the current (just-bumped) epoch. Walks
+    /// `answer_order` (the FIFO), not the map, so the pass is
+    /// deterministic and preserves eviction order.
+    fn repair_answers(&mut self, delta: &[EdgeDelta], summary: &mut DeltaSummary) {
+        let old_order = std::mem::take(&mut self.answer_order);
+        let mut old_answers = std::mem::take(&mut self.answers);
+        for key in old_order {
+            let Some(mut entry) = old_answers.remove(&key) else {
+                continue;
+            };
+            // A splice-born answer stores no residual vector but
+            // certifies nonzero remaining mass: the invariant cannot be
+            // re-established from what we kept. Drop it.
+            let certified_remaining = match entry.certificate {
+                Certificate::ResidualMass { remaining, .. } => remaining,
+                _ => 1.0,
+            };
+            if entry.residuals.is_empty() && certified_remaining != 0.0 {
+                summary.answers_dropped += 1;
+                continue;
+            }
+            let alpha = f64::from_bits(key.1);
+            let req = RepairRequest {
+                seeds: &entry.seeds,
+                estimate: &entry.vector,
+                residual: &entry.residuals,
+                delta,
+                alpha,
+                epsilon: entry.epsilon,
+                mass_threshold: DEFAULT_REPAIR_MASS_THRESHOLD,
+            };
+            match ppr_repair(&self.g, &req) {
+                Ok(rr) => {
+                    if rr.pushes == 0 && rr.repaired {
+                        summary.answers_revalidated += 1;
+                    } else {
+                        summary.answers_repaired += 1;
+                    }
+                    summary.repair_pushes += rr.pushes;
+                    summary.repair_work += rr.work;
+                    // The re-issued certificate carries the *measured*
+                    // post-repair worst |r|/d — tighter than the ε the
+                    // answer was asked for (an all-zero residual
+                    // measures 0.0; report the satisfied ε instead so
+                    // the bound stays meaningful and positive).
+                    let measured = if rr.per_degree_bound > 0.0 {
+                        rr.per_degree_bound
+                    } else {
+                        entry.epsilon
+                    };
+                    let certificate = Certificate::ResidualMass {
+                        remaining: rr.residual_mass,
+                        per_degree_bound: measured,
+                    };
+                    self.trace.certificate_issued(&certificate);
+                    entry.vector = rr.vector;
+                    entry.residuals = rr.residuals;
+                    entry.certificate = certificate;
+                    let new_key = (key.0, key.1, key.2, self.epoch);
+                    self.answer_order.push_back(new_key.clone());
+                    self.answers.insert(new_key, entry);
+                }
+                Err(e) => {
+                    self.trace
+                        .note(format!("cached answer unrepairable ({e}); dropped"));
+                    summary.answers_dropped += 1;
+                }
+            }
+        }
+        if summary.answers_revalidated + summary.answers_repaired + summary.answers_dropped > 0 {
+            self.trace.note(format!(
+                "answer cache: {} revalidated, {} repaired, {} dropped (epoch {})",
+                summary.answers_revalidated,
+                summary.answers_repaired,
+                summary.answers_dropped,
+                self.epoch
+            ));
+        }
     }
 
     /// Current graph epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The graph snapshot currently being served.
+    pub fn graph(&self) -> &Graph {
+        &self.g
     }
 
     /// Queued (admitted, unanswered) request count.
@@ -472,6 +755,7 @@ impl Engine {
         if self.cfg.answer_cache_cap == 0 {
             return;
         }
+        self.expire_answers();
         if self.answers.insert(key.clone(), entry).is_none() {
             self.answer_order.push_back(key);
         }
@@ -481,6 +765,30 @@ impl Engine {
                     self.answers.remove(&old);
                 }
                 None => break,
+            }
+        }
+    }
+
+    /// Expire answer-cache entries older than `cfg.answer_ttl`
+    /// requests, oldest (FIFO front) first — the same order capacity
+    /// eviction uses, so the two mechanisms never disagree about which
+    /// entry goes next.
+    fn expire_answers(&mut self) {
+        let ttl = self.cfg.answer_ttl;
+        if ttl == 0 {
+            return;
+        }
+        let clock = self.request_clock;
+        while let Some(front) = self.answer_order.front() {
+            let expired = match self.answers.get(front) {
+                Some(e) => clock.saturating_sub(e.born) > ttl,
+                None => true,
+            };
+            if !expired {
+                break;
+            }
+            if let Some(old) = self.answer_order.pop_front() {
+                self.answers.remove(&old);
             }
         }
     }
@@ -516,6 +824,7 @@ impl Engine {
     /// any diffusion work is spent.
     pub fn submit(&mut self, query: Query) -> Admission {
         self.stats.submitted += 1;
+        self.request_clock += 1;
         if let Err(detail) = self.validate(&query) {
             self.stats.rejected_invalid += 1;
             return Admission::Rejected(Overloaded {
@@ -603,6 +912,7 @@ impl Engine {
     /// in admission order, and refills the token bucket for the next
     /// cycle.
     pub fn run_pending(&mut self) -> Vec<Response> {
+        self.expire_answers();
         let pending: Vec<Pending> = self.queue.drain(..).collect();
         let mut responses: Vec<Response> = Vec::with_capacity(pending.len());
         if pending.is_empty() {
@@ -818,13 +1128,20 @@ impl Engine {
                     },
                 );
                 // Exact-repeat cache, keyed by the ε the answer
-                // satisfies (== requested for Full responses).
+                // satisfies (== requested for Full responses). The
+                // residual vector rides along so an edge delta can
+                // repair the entry instead of purging it.
+                let key = answer_key(&p.query.seeds, p.query.alpha, eps_used, p.epoch);
+                let seeds = key.0.clone();
                 self.cache_answer(
-                    answer_key(&p.query.seeds, p.query.alpha, eps_used, p.epoch),
+                    key,
                     AnswerEntry {
                         epsilon: eps_used,
                         vector: value.vector.clone(),
                         certificate,
+                        seeds,
+                        residuals: value.residuals.clone(),
+                        born: self.request_clock,
                     },
                 );
                 let kind = if eps_used > p.query.epsilon {
@@ -1512,6 +1829,223 @@ mod tests {
         let used = rs[0].diagnostics.work;
         assert!(used > 0 && used < grant);
         assert_eq!(e.available_tokens(), cap - used);
+    }
+
+    #[test]
+    fn answer_ttl_expires_entries_in_fifo_order() {
+        let g = barbell(8, 2).unwrap();
+        let mut e = Engine::new(
+            g,
+            EngineConfig {
+                answer_ttl: 3,
+                ..EngineConfig::default()
+            },
+        );
+        // Three answers cached at clocks 1, 2, 3 (one submit each).
+        for s in [0u32, 1, 2] {
+            assert!(e.submit(query(&[s])).is_accepted());
+            assert_eq!(e.run_pending()[0].kind, ResponseKind::Full);
+        }
+        assert_eq!(e.answer_cache_len(), 3);
+        // Clock 4: entry born at 1 is exactly ttl old — still alive.
+        assert!(e.submit(query(&[0])).is_accepted());
+        assert_eq!(e.run_pending()[0].kind, ResponseKind::Cached);
+        // Clock 5: the oldest entry (seed 0, born 1) crosses the TTL
+        // and expires; the younger two survive. FIFO order is pinned:
+        // seed 0 goes first, never seed 1 or 2.
+        assert!(e.submit(query(&[3])).is_accepted());
+        assert_eq!(e.run_pending()[0].kind, ResponseKind::Full);
+        assert_eq!(e.answer_cache_len(), 3); // 1, 2, and the new 3
+        assert!(e.submit(query(&[0])).is_accepted());
+        // Recomputed, not cached: its entry expired.
+        assert_eq!(e.run_pending()[0].kind, ResponseKind::Full);
+        // Seed 2 (born 3, clock now 7) is also gone; seed 3 (born 5)
+        // survives.
+        assert!(e.submit(query(&[3])).is_accepted());
+        assert_eq!(e.run_pending()[0].kind, ResponseKind::Cached);
+    }
+
+    #[test]
+    fn delta_repairs_answers_and_sketches_instead_of_purging() {
+        let g = barbell(8, 3).unwrap();
+        let mut e = Engine::new(
+            g,
+            EngineConfig {
+                sketch_hubs: 0, // raw-push answers carry residuals
+                ..EngineConfig::default()
+            },
+        );
+        assert!(e.submit(query(&[0])).is_accepted());
+        let before = e.run_pending().remove(0);
+        assert_eq!(before.kind, ResponseKind::Full);
+        assert_eq!(e.answer_cache_len(), 1);
+
+        // Reweight an edge inside clique B — far from seed 0.
+        let ops = [EdgeOp::Insert {
+            u: 12,
+            v: 13,
+            weight: 2.0,
+        }];
+        let s = e.update_graph_delta(&ops).unwrap();
+        assert_eq!(s.epoch, 1);
+        assert_eq!(e.epoch(), 1);
+        assert_eq!(s.edges, 1);
+        assert_eq!(s.answers_revalidated + s.answers_repaired, 1);
+        assert_eq!(s.answers_dropped, 0);
+        // The entry survived the delta, re-keyed to the new epoch: an
+        // exact repeat is a cache hit, not a recompute.
+        assert_eq!(e.answer_cache_len(), 1);
+        assert!(e.submit(query(&[0])).is_accepted());
+        let after = e.run_pending().remove(0);
+        assert_eq!(after.kind, ResponseKind::Cached);
+        // The repaired answer satisfies the requested ε on the *new*
+        // graph: compare to a fresh push.
+        let fresh = acir_local::ppr_push(&e.g, &[0], 0.1, 1e-2).unwrap();
+        let got: std::collections::HashMap<NodeId, f64> = after.cluster.into_iter().collect();
+        let want: std::collections::HashMap<NodeId, f64> = fresh.vector.into_iter().collect();
+        for u in 0..e.g.n() as NodeId {
+            let d = e.g.degree(u);
+            let a = got.get(&u).copied().unwrap_or(0.0);
+            let b = want.get(&u).copied().unwrap_or(0.0);
+            assert!(
+                (a - b).abs() <= 2.0 * 1e-2 * d + 1e-12,
+                "node {u}: repaired {a} vs fresh {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_net_delta_is_a_no_op_and_bad_ops_are_atomic() {
+        let g = barbell(6, 2).unwrap();
+        let mut e = Engine::new(g, EngineConfig::default());
+        assert!(e.submit(query(&[0])).is_accepted());
+        assert_eq!(e.run_pending()[0].kind, ResponseKind::Full);
+        // Insert + delete cancel: no epoch bump, cache intact.
+        let ops = [
+            EdgeOp::Insert {
+                u: 0,
+                v: 9,
+                weight: 1.0,
+            },
+            EdgeOp::Delete { u: 0, v: 9 },
+        ];
+        let s = e.update_graph_delta(&ops).unwrap();
+        assert_eq!(s, DeltaSummary::default());
+        assert_eq!(e.epoch(), 0);
+        assert_eq!(e.answer_cache_len(), 1);
+        // A malformed op rejects the whole delta before any state
+        // changes — even ops earlier in the stream are not applied.
+        let bad = [
+            EdgeOp::Insert {
+                u: 0,
+                v: 5,
+                weight: 2.0,
+            },
+            EdgeOp::Insert {
+                u: 0,
+                v: 999,
+                weight: 1.0,
+            },
+        ];
+        assert!(e.update_graph_delta(&bad).is_err());
+        assert_eq!(e.epoch(), 0);
+        assert_eq!(e.g.edge_weight(0, 5), 1.0);
+        assert_eq!(e.answer_cache_len(), 1);
+    }
+
+    #[test]
+    fn delta_repairs_hub_sketches_in_place() {
+        let g = barbell(10, 3).unwrap();
+        let mut e = Engine::new(
+            g,
+            EngineConfig {
+                sketch_hubs: 4,
+                sketch_epsilon: 1e-4,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(e.sketch_store().unwrap().epoch(), 0);
+        let ops = [EdgeOp::Insert {
+            u: 14,
+            v: 20,
+            weight: 3.0,
+        }];
+        let s = e.update_graph_delta(&ops).unwrap();
+        assert!(!s.sketches_rebuilt);
+        assert_eq!(
+            s.sketches_repaired + s.sketches_untouched + s.sketch_fallbacks,
+            4
+        );
+        let store = e.sketch_store().unwrap();
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.len(), 4);
+        // Splice-born cache entries store no residuals; the engine must
+        // still answer correctly after the delta (sketches repaired,
+        // splice still live).
+        assert!(e.submit(query(&[0])).is_accepted());
+        assert_eq!(e.run_pending()[0].kind, ResponseKind::Full);
+    }
+
+    #[test]
+    fn forced_repair_fault_falls_back_to_full_rebuild() {
+        let g = barbell(8, 2).unwrap();
+        let mut chaos = ChaosConfig::default();
+        chaos.forced_repair_faults.insert(1); // the post-delta epoch
+        let mut e = Engine::new(
+            g,
+            EngineConfig {
+                sketch_hubs: 3,
+                chaos: Some(chaos),
+                ..EngineConfig::default()
+            },
+        );
+        let ops = [EdgeOp::Insert {
+            u: 0,
+            v: 11,
+            weight: 1.0,
+        }];
+        let s = e.update_graph_delta(&ops).unwrap();
+        assert!(s.sketches_rebuilt);
+        assert_eq!(s.sketches_repaired, 0);
+        let store = e.sketch_store().unwrap();
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.len(), 3);
+        // The rebuilt store is exactly what a cold build produces.
+        assert!(e
+            .trace()
+            .events
+            .iter()
+            .any(|ev| ev.contains("sketch repair fault")));
+        // The next delta (epoch 2, unfaulted) repairs normally.
+        let ops2 = [EdgeOp::Insert {
+            u: 1,
+            v: 10,
+            weight: 1.0,
+        }];
+        let s2 = e.update_graph_delta(&ops2).unwrap();
+        assert!(!s2.sketches_rebuilt);
+    }
+
+    #[test]
+    fn amortized_resketch_cadence_rebuilds_on_schedule() {
+        let g = barbell(8, 2).unwrap();
+        let mut e = Engine::new(
+            g,
+            EngineConfig {
+                sketch_hubs: 3,
+                resketch_after: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let op = |u, v| [EdgeOp::Insert { u, v, weight: 1.5 }];
+        let s1 = e.update_graph_delta(&op(0, 1)).unwrap();
+        assert!(!s1.sketches_rebuilt);
+        // Second delta since the last full build hits the cadence.
+        let s2 = e.update_graph_delta(&op(2, 3)).unwrap();
+        assert!(s2.sketches_rebuilt);
+        // Counter reset: the next delta repairs again.
+        let s3 = e.update_graph_delta(&op(4, 5)).unwrap();
+        assert!(!s3.sketches_rebuilt);
     }
 
     #[test]

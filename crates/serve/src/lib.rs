@@ -55,10 +55,23 @@
 //!   `(seeds, α, ε, graph epoch)` are served from an epoch-keyed
 //!   answer cache as [`ResponseKind::Cached`] — a non-degraded rung
 //!   above `Stale`, since the cached certificate still holds verbatim
-//!   on the current graph. Graph swaps invalidate the whole cache;
-//!   the older `(seeds, α)` stale cache survives swaps but labels its
-//!   answers with the epoch they were certified against
-//!   (`Certificate::StaleResidualMass`).
+//!   on the current graph. Full graph swaps invalidate the whole
+//!   cache; the older `(seeds, α)` stale cache survives swaps but
+//!   labels its answers with the epoch they were certified against
+//!   (`Certificate::StaleResidualMass`). A per-entry request-count TTL
+//!   ([`engine::EngineConfig::answer_ttl`]) expires entries in the
+//!   same FIFO order capacity eviction uses.
+//! * **Incremental deltas** ([`Engine::update_graph_delta`]) — edge
+//!   mutations that arrive as an [`acir_graph::EdgeOp`] stream are
+//!   applied through a [`acir_graph::DeltaGraph`] overlay and
+//!   compacted into a fresh CSR, and the derived state is *repaired*,
+//!   not discarded: hub sketches whose residual support touches the
+//!   delta are reflowed by `acir_local::repair`, cached answers are
+//!   revalidated-or-repaired and re-keyed to the new epoch with
+//!   re-measured certificates, and anything unrepairable is dropped.
+//!   For single-edge deltas this costs a small constant factor of the
+//!   perturbation instead of a full recompute (gated ≥10× cheaper in
+//!   `BENCH_dynamic.json`).
 //!
 //! [`chaos`] holds the deterministic fault scheduler the chaos harness
 //! and the `servebench` load generator share.
@@ -72,7 +85,7 @@ pub mod store;
 
 pub use chaos::ChaosConfig;
 pub use engine::{
-    Admission, Engine, EngineConfig, EngineStats, Overloaded, Query, RejectReason, Response,
-    ResponseKind,
+    Admission, DeltaSummary, Engine, EngineConfig, EngineStats, Overloaded, Query, RejectReason,
+    Response, ResponseKind,
 };
-pub use store::SketchStore;
+pub use store::{SketchStore, StoreRepairStats};

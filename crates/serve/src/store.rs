@@ -1,15 +1,16 @@
 //! The engine-side hub-sketch store: an immutable
 //! [`SketchSet`] stamped with the graph epoch it was built against.
 //!
-//! The engine rebuilds the store on every graph swap
-//! ([`crate::engine::Engine::update_graph`]), so a store whose epoch
-//! disagrees with the engine's current epoch is *never* consulted —
-//! sketches can go stale only by construction, not by use. That makes
-//! invalidation trivial to reason about: the epoch stamp is the whole
-//! protocol.
+//! The engine rebuilds the store on every full graph swap
+//! ([`crate::engine::Engine::update_graph`]) and *repairs* it across
+//! edge deltas ([`crate::engine::Engine::update_graph_delta`]), so a
+//! store whose epoch disagrees with the engine's current epoch is
+//! *never* consulted — sketches can go stale only by construction, not
+//! by use. That makes invalidation trivial to reason about: the epoch
+//! stamp is the whole protocol.
 
-use acir_graph::Graph;
-use acir_local::{build_hub_sketches, SketchSet};
+use acir_graph::{EdgeDelta, Graph};
+use acir_local::{build_hub_sketches, repair_hub_sketches, SketchSet};
 
 /// An epoch-stamped [`SketchSet`] owned by the serve engine.
 #[derive(Debug, Clone)]
@@ -35,6 +36,36 @@ impl SketchStore {
         Ok(Self { set, epoch })
     }
 
+    /// Repair this store across `delta` (the net edge changes from the
+    /// store's graph to `g`), restamped with the new `epoch`. Only
+    /// sketches whose residual support touches a delta endpoint are
+    /// reflowed; the rest carry over verbatim. Returns the repaired
+    /// store and the repair accounting (pushes spent is the
+    /// repair-vs-rebuild gate numerator).
+    pub fn repair(
+        &self,
+        g: &Graph,
+        delta: &[EdgeDelta],
+        epoch: u64,
+    ) -> Result<(Self, StoreRepairStats), String> {
+        let rep = repair_hub_sketches(g, &self.set, delta)
+            .map_err(|e| format!("hub sketch repair failed: {e}"))?;
+        let stats = StoreRepairStats {
+            repaired: rep.repaired,
+            untouched: rep.untouched,
+            fallbacks: rep.fallbacks,
+            pushes: rep.pushes,
+            work: rep.work,
+        };
+        Ok((
+            Self {
+                set: rep.set,
+                epoch,
+            },
+            stats,
+        ))
+    }
+
     /// The graph epoch the sketches were built against.
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -56,11 +87,28 @@ impl SketchStore {
     }
 }
 
+/// Accounting for one [`SketchStore::repair`] pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreRepairStats {
+    /// Sketches incrementally repaired.
+    pub repaired: usize,
+    /// Sketches untouched by the delta, carried over verbatim.
+    pub untouched: usize,
+    /// Sketches recomputed from scratch (oversized perturbation,
+    /// degenerate column swap, or an isolated hub).
+    pub fallbacks: usize,
+    /// Fresh pushes the repair spent across all sketches.
+    pub pushes: usize,
+    /// Fresh edge traversals the repair spent.
+    pub work: usize,
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)]
     use super::*;
     use acir_graph::gen::deterministic::barbell;
+    use acir_graph::DeltaGraph;
 
     #[test]
     fn build_stamps_the_epoch() {
@@ -71,5 +119,29 @@ mod tests {
         assert!(!s.is_empty());
         assert_eq!(s.set().alpha(), 0.1);
         assert!(SketchStore::build(&g, 4, 2.0, 1e-4, 0).is_err());
+    }
+
+    #[test]
+    fn repair_restamps_and_spends_less_than_a_rebuild() {
+        let g = barbell(8, 2).unwrap();
+        let store = SketchStore::build(&g, 4, 0.1, 1e-4, 0).unwrap();
+        let mut dg = DeltaGraph::new(&g);
+        dg.insert_edge(0, 17, 2.0).unwrap();
+        let delta = dg.net_delta();
+        let (g2, _) = dg.compact().unwrap();
+        let (repaired, stats) = store.repair(&g2, &delta, 1).unwrap();
+        assert_eq!(repaired.epoch(), 1);
+        assert_eq!(repaired.len(), 4);
+        assert_eq!(
+            stats.repaired + stats.untouched + stats.fallbacks,
+            store.len()
+        );
+        let rebuilt = SketchStore::build(&g2, 4, 0.1, 1e-4, 1).unwrap();
+        assert!(
+            stats.pushes < rebuilt.set().build_pushes(),
+            "repair spent {} pushes, rebuild {}",
+            stats.pushes,
+            rebuilt.set().build_pushes()
+        );
     }
 }

@@ -436,6 +436,52 @@ fn golden_serve_sketch_query() {
     check("serve_sketch_query", &diags);
 }
 
+/// The dynamic-graph stage progression — a query answered and cached,
+/// then `delta applied → hub sketches repaired → certificate
+/// (re-issued for the repaired answer) → answer cache accounting`,
+/// then the repaired answer served as `cache_hit → responded:cached`
+/// on the new epoch — pinned structurally. A regression that silently
+/// reverts the delta path to purge-and-rebuild shows up here as a
+/// missing `repaired` note or a dropped certificate event.
+#[test]
+fn golden_serve_delta_repair() {
+    let g = ring_of_cliques(4, 6).expect("ring of cliques");
+    let mut engine = acir::serve::Engine::new(
+        g,
+        acir::serve::EngineConfig {
+            // Sketches live at α = 0.1; the query runs at α = 0.2, so
+            // its answer takes the raw push path and caches a
+            // repairable residual vector (a spliced answer would not).
+            sketch_hubs: 4,
+            sketch_alpha: 0.1,
+            ..acir::serve::EngineConfig::default()
+        },
+    );
+    let q = acir::serve::Query {
+        seeds: vec![0],
+        alpha: 0.2,
+        epsilon: 1e-2,
+        deadline: None,
+    };
+    assert!(engine.submit(q.clone()).is_accepted());
+    assert_eq!(engine.run_pending()[0].kind.name(), "full");
+    let summary = engine
+        .update_graph_delta(&[acir_graph::EdgeOp::Insert {
+            u: 0,
+            v: 12,
+            weight: 2.0,
+        }])
+        .expect("delta applies");
+    assert_eq!(summary.epoch, 1);
+    assert_eq!(summary.answers_revalidated + summary.answers_repaired, 1);
+    assert!(!summary.sketches_rebuilt);
+    assert!(engine.submit(q).is_accepted());
+    assert_eq!(engine.run_pending()[0].kind.name(), "cached");
+    let mut diags = engine.trace().clone();
+    diags.finish_spans();
+    check("serve_delta_repair", &diags);
+}
+
 // -------------------------------------------------- cross-cutting checks
 
 /// A kernel trace round-trips through the JSONL sink and parses back as
