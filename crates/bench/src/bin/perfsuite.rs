@@ -29,6 +29,15 @@
 //! also recomputing them from scratch, and writes `BENCH_dynamic.json`
 //! gating repair at ≥10× less push work than rebuild — the same
 //! deterministic-counter discipline, never waived.
+//! A sixth section drives the serving engine's snapshot lifecycle
+//! (DESIGN.md §15): open-loop queries pin the head snapshot at
+//! admission while staged writers publish edge deltas and relabeling
+//! compactions at every interleaving point mid-flight; every response
+//! is replayed bitwise against a `ppr_push` oracle on its pinned
+//! snapshot and the run is asserted bit-identical at 1 and 4 threads,
+//! writing `BENCH_snapshot.json`. Its gate — zero half-applied-delta
+//! observations, with responses on superseded snapshots actually
+//! observed — is likewise never waived.
 //! All files are re-read and validated before the process exits, so a
 //! committed artifact always parses.
 //! Hosts that expose a single CPU are flagged `degraded_host: true`
@@ -51,11 +60,13 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use acir::prelude::*;
+use acir::serve::{Admission, Engine, EngineConfig, PublishPoint, Query, ResponseKind, WriteOp};
 use acir_bench::BinArgs;
 use acir_graph::gen::community::{social_network, SocialNetworkParams};
 use acir_graph::gen::random::{barabasi_albert, forest_fire, rmat, watts_strogatz};
+use acir_graph::snapshot::CompactionOrder;
 use acir_graph::traversal::largest_component;
-use acir_graph::{bandwidth_stats, DeltaGraph, Permutation};
+use acir_graph::{bandwidth_stats, DeltaGraph, EdgeOp, Permutation};
 use acir_linalg::{spmv_layout_scope, CsrMatrix, MergePlan, SellCSigma, SpmvLayout};
 use acir_local::{
     build_hub_sketches, ppr_push, ppr_push_ctx, ppr_push_spliced, ppr_push_ws,
@@ -96,6 +107,9 @@ const SKETCH_TARGET_RATIO: f64 = 5.0;
 
 /// Where the dynamic-graph (delta + residual repair) artifact lands.
 const DYNAMIC_FILE: &str = "BENCH_dynamic.json";
+
+/// Where the snapshot-consistency artifact lands.
+const SNAPSHOT_FILE: &str = "BENCH_snapshot.json";
 
 /// The factor by which incremental residual repair must cut total push
 /// work (hub sketches + cached answers) relative to a from-scratch
@@ -235,6 +249,14 @@ fn main() {
     validate_dynamic(&std::fs::read_to_string(DYNAMIC_FILE).expect("re-reading artifact failed"));
     println!(
         "wrote {DYNAMIC_FILE} (validated: parses, bit-identical, ≥{DYNAMIC_TARGET_RATIO}x repair gate)"
+    );
+
+    let snapshot = bench_snapshot(&args);
+    let text = serde_json::to_string_pretty(&snapshot);
+    std::fs::write(SNAPSHOT_FILE, format!("{text}\n")).expect("writing BENCH_snapshot.json failed");
+    validate_snapshot(&std::fs::read_to_string(SNAPSHOT_FILE).expect("re-reading artifact failed"));
+    println!(
+        "wrote {SNAPSHOT_FILE} (validated: parses, zero torn reads, superseded snapshots exercised)"
     );
 }
 
@@ -1599,4 +1621,329 @@ fn validate_dynamic(text: &str) {
         Some(true),
         "dynamic repair gate not met"
     );
+}
+
+/// `(request id, rung name, external cluster)` — one served response.
+type SnapshotResponse = (u64, &'static str, Vec<(NodeId, f64)>);
+
+/// Everything one deterministic serving run against staged mid-flight
+/// writers produced, for the bit-identity comparison and the artifact.
+struct SnapshotRun {
+    /// Served responses in response order.
+    responses: Vec<SnapshotResponse>,
+    /// Responses replayed bitwise against the pinned-snapshot oracle.
+    checked: u64,
+    /// Oracle mismatches — any value here is a torn (half-applied) read.
+    torn: u64,
+    /// Responses whose pinned snapshot had been superseded by the time
+    /// their drain cycle finished — the races the layer exists for.
+    superseded: u64,
+    staged_deltas: u64,
+    staged_compacts: u64,
+    final_epoch: u64,
+    head_relabeled: bool,
+}
+
+/// Drain one engine cycle, oracle-checking every response against the
+/// snapshot its request pinned at admission: internal seeds through the
+/// pinned lineage, `ppr_push` on the pinned graph, result mapped back
+/// to external ids, compared bitwise.
+fn drain_snapshot_cycle(
+    engine: &mut Engine,
+    pinned: &mut BTreeMap<
+        u64,
+        (
+            std::sync::Arc<acir_graph::snapshot::GraphSnapshot>,
+            Vec<NodeId>,
+        ),
+    >,
+    run: &mut SnapshotRun,
+    alpha: f64,
+    epsilon: f64,
+) {
+    let responses = engine.run_pending();
+    let head = engine.epoch();
+    for r in responses {
+        let (snap, seeds) = pinned.remove(&r.id).expect("response for unknown request");
+        if snap.epoch() < head {
+            run.superseded += 1;
+        }
+        if matches!(r.kind, ResponseKind::Full | ResponseKind::Cached) {
+            let internal = if snap.is_relabeled() {
+                snap.lineage().map_nodes(&seeds)
+            } else {
+                seeds.clone()
+            };
+            let o = ppr_push(snap.graph(), &internal, alpha, epsilon).expect("oracle push failed");
+            let expected = if snap.is_relabeled() {
+                snap.lineage().unmap_sparse(&o.vector)
+            } else {
+                o.vector
+            };
+            run.checked += 1;
+            if r.cluster != expected {
+                run.torn += 1;
+            }
+        }
+        run.responses.push((r.id, r.kind.name(), r.cluster));
+    }
+}
+
+/// One deterministic serving run: distinct-seed queries pin the head
+/// snapshot at admission; single-edge deltas and relabeling
+/// compactions are staged against in-flight requests, cycling through
+/// every [`PublishPoint`], and fire while earlier admissions are still
+/// queued. Budget is generous enough that every answer is `full` —
+/// each one oracle-checked.
+fn drive_snapshot(g: &Graph, queries: usize, alpha: f64, epsilon: f64) -> SnapshotRun {
+    let n = g.n();
+    let mut engine = Engine::new(
+        g.clone(),
+        EngineConfig {
+            queue_cap: 64,
+            capacity: 50_000_000,
+            refill_per_cycle: 50_000_000,
+            ..EngineConfig::default()
+        },
+    );
+    let points = [
+        PublishPoint::BeforeCacheCheck,
+        PublishPoint::BeforeBatch,
+        PublishPoint::BeforeSupervise,
+        PublishPoint::AfterRespond,
+    ];
+    let mut run = SnapshotRun {
+        responses: Vec::new(),
+        checked: 0,
+        torn: 0,
+        superseded: 0,
+        staged_deltas: 0,
+        staged_compacts: 0,
+        final_epoch: 0,
+        head_relabeled: false,
+    };
+    let mut pinned = BTreeMap::new();
+    for i in 0..queries {
+        let seeds = vec![((i * 37) % n) as NodeId];
+        let q = Query {
+            seeds: seeds.clone(),
+            alpha,
+            epsilon,
+            deadline: None,
+            options: Default::default(),
+        };
+        let id = match engine.submit(q) {
+            Admission::Accepted { id, .. } => id,
+            Admission::Rejected { .. } => panic!("snapshot bench: request {i} rejected"),
+        };
+        pinned.insert(id, (engine.snapshot(), seeds));
+        if i % 3 == 1 {
+            let u = ((i * 7919 + 13) % n) as NodeId;
+            let mut v = ((i * 104_729 + 2) % n) as NodeId;
+            if u == v {
+                v = (v + 1) % n as NodeId;
+            }
+            let w = 1.0 + (i % 3) as f64 * 0.5;
+            engine.stage_write(
+                points[i % points.len()],
+                id,
+                WriteOp::Delta(vec![EdgeOp::Insert { u, v, weight: w }]),
+            );
+            run.staged_deltas += 1;
+        }
+        if i % 8 == 5 {
+            engine.stage_write(
+                points[(i / 8) % points.len()],
+                id,
+                WriteOp::Compact(CompactionOrder::Rcm),
+            );
+            run.staged_compacts += 1;
+        }
+        // Drain every fourth arrival, so three admissions share each
+        // cycle and staged publications land between their stages.
+        if i % 4 == 3 {
+            drain_snapshot_cycle(&mut engine, &mut pinned, &mut run, alpha, epsilon);
+        }
+    }
+    drain_snapshot_cycle(&mut engine, &mut pinned, &mut run, alpha, epsilon);
+    assert!(pinned.is_empty(), "snapshot bench: unanswered admissions");
+    assert_eq!(
+        engine.staged_writes(),
+        0,
+        "snapshot bench: a staged write never fired"
+    );
+    run.final_epoch = engine.epoch();
+    run.head_relabeled = engine.snapshot().is_relabeled();
+    run
+}
+
+fn bench_snapshot(args: &BinArgs) -> Value {
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x54a9);
+    let alpha = 0.1;
+    let epsilon = 1e-3;
+    let queries = if args.quick { 24 } else { 64 };
+
+    let graphs: Vec<(&'static str, Graph)> = vec![
+        (
+            "forest_fire",
+            largest_component(&forest_fire(&mut rng, 3_000, 0.37).expect("forest_fire failed")).0,
+        ),
+        (
+            "rmat",
+            largest_component(
+                &rmat(&mut rng, 12, 8, (0.57, 0.19, 0.19, 0.05)).expect("rmat failed"),
+            )
+            .0,
+        ),
+    ];
+
+    let mut graph_docs = Vec::new();
+    for (name, g0) in &graphs {
+        // The whole schedule — staged interleavings included — must be
+        // bit-identical across worker-thread counts: staged writes fire
+        // in the sequential driver loop, never inside a parallel region.
+        let run = |threads: &str| {
+            std::env::set_var(THREADS_ENV, threads);
+            let r = drive_snapshot(g0, queries, alpha, epsilon);
+            std::env::remove_var(THREADS_ENV);
+            r
+        };
+        let r1 = run("1");
+        let r4 = run("4");
+        assert_eq!(
+            r1.responses, r4.responses,
+            "snapshot[{name}]: serving not bit-identical across thread counts"
+        );
+        // The hard gate, asserted here for a first-failure message and
+        // re-checked from the artifact by `validate_snapshot`: a torn
+        // read means a response observed a half-applied publication.
+        assert_eq!(
+            r1.torn, 0,
+            "snapshot[{name}]: {} of {} responses diverged from their pinned-snapshot oracle",
+            r1.torn, r1.checked
+        );
+        assert!(
+            r1.superseded > 0,
+            "snapshot[{name}]: no response outlived its snapshot — the schedule exercised nothing"
+        );
+        assert_eq!(
+            r1.final_epoch,
+            r1.staged_deltas + r1.staged_compacts,
+            "snapshot[{name}]: epoch must advance once per fired write"
+        );
+        println!(
+            "snapshot[{name}] {queries} pinned queries vs {} staged deltas + {} staged compactions: {} checked bitwise, {} torn, {} answered on superseded snapshots",
+            r1.staged_deltas, r1.staged_compacts, r1.checked, r1.torn, r1.superseded,
+        );
+
+        let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for (_, kind, _) in &r1.responses {
+            *kinds.entry(kind).or_insert(0) += 1;
+        }
+        let mut doc = BTreeMap::new();
+        doc.insert("graph".into(), Value::from(*name));
+        doc.insert("nodes".into(), Value::from(g0.n()));
+        doc.insert("edges".into(), Value::from(g0.m()));
+        doc.insert("queries".into(), Value::from(queries));
+        doc.insert("responses".into(), Value::from(r1.responses.len()));
+        doc.insert("checked_responses".into(), Value::from(r1.checked));
+        doc.insert("torn_reads".into(), Value::from(r1.torn));
+        doc.insert("superseded_responses".into(), Value::from(r1.superseded));
+        doc.insert("staged_deltas".into(), Value::from(r1.staged_deltas));
+        doc.insert("staged_compactions".into(), Value::from(r1.staged_compacts));
+        doc.insert("final_epoch".into(), Value::from(r1.final_epoch));
+        doc.insert("head_relabeled".into(), Value::from(r1.head_relabeled));
+        doc.insert(
+            "degradation".into(),
+            Value::Object(
+                kinds
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), Value::from(v)))
+                    .collect(),
+            ),
+        );
+        doc.insert("bit_identical".into(), Value::from(true));
+        graph_docs.push(Value::Object(doc));
+    }
+
+    let cpus = host_cpus();
+    let mut root = BTreeMap::new();
+    root.insert("schema".into(), Value::from("acir-bench-snapshot-v1"));
+    root.insert("quick".into(), Value::from(args.quick));
+    root.insert("seed".into(), Value::from(args.seed));
+    root.insert("host_cpus".into(), Value::from(cpus));
+    root.insert("degraded_host".into(), Value::from(cpus == 1));
+    root.insert("alpha".into(), Value::from(alpha));
+    root.insert("epsilon".into(), Value::from(epsilon));
+    root.insert("graphs".into(), Value::Array(graph_docs));
+    Value::Object(root)
+}
+
+/// CI-grade checks on the snapshot artifact: it parses, names the
+/// expected schema, covers both power-law generators, attests
+/// thread-count bit-identity, accounts one epoch per fired write — and
+/// the hard gate, never waived, even on degraded hosts: zero torn
+/// (half-applied-delta) observations, with at least one response per
+/// graph answered on a snapshot that had already been superseded (so
+/// the race the gate guards actually happened).
+fn validate_snapshot(text: &str) {
+    let doc: Value = serde_json::from_str(text).expect("BENCH_snapshot.json does not parse");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("acir-bench-snapshot-v1"),
+        "schema marker missing"
+    );
+    let graphs = doc
+        .get("graphs")
+        .and_then(Value::as_array)
+        .expect("graphs array missing");
+    let names: Vec<&str> = graphs
+        .iter()
+        .map(|g| g.get("graph").and_then(Value::as_str).expect("graph name"))
+        .collect();
+    for expected in ["forest_fire", "rmat"] {
+        assert!(names.contains(&expected), "generator {expected} missing");
+    }
+    for gdoc in graphs {
+        let name = gdoc.get("graph").and_then(Value::as_str).expect("name");
+        let u = |key: &str| {
+            gdoc.get(key)
+                .and_then(Value::as_u64)
+                .unwrap_or_else(|| panic!("{name}: {key} missing"))
+        };
+        assert!(u("checked_responses") > 0, "{name}: nothing oracle-checked");
+        assert_eq!(
+            u("responses"),
+            u("checked_responses"),
+            "{name}: some responses escaped the oracle check"
+        );
+        assert!(
+            u("superseded_responses") > 0,
+            "{name}: no response was answered on a superseded snapshot"
+        );
+        assert!(u("staged_deltas") > 0, "{name}: no deltas staged");
+        assert!(u("staged_compactions") > 0, "{name}: no compactions staged");
+        assert_eq!(
+            u("final_epoch"),
+            u("staged_deltas") + u("staged_compactions"),
+            "{name}: epoch accounting broken"
+        );
+        assert_eq!(
+            gdoc.get("head_relabeled").and_then(Value::as_bool),
+            Some(true),
+            "{name}: relabeling compactions left an identity lineage"
+        );
+        assert_eq!(
+            gdoc.get("bit_identical").and_then(Value::as_bool),
+            Some(true),
+            "{name}: thread-count bit-identity not attested"
+        );
+        // The hard gate: a torn read is a response that mixed state
+        // from two epochs. Deterministic counter, no waiver.
+        assert_eq!(
+            u("torn_reads"),
+            0,
+            "{name}: half-applied publication observed by a pinned read"
+        );
+    }
 }

@@ -4,7 +4,9 @@
 //! wait for responses — the configuration under which overload and
 //! admission control are actually observable) through a fixed set of
 //! fault schedules: a clean baseline, worker panics, NaN injection,
-//! budget starvation, and a deadline storm. For every scenario it
+//! budget starvation, a deadline storm, and a delta storm (streaming
+//! edge deltas plus periodic relabeling compactions published while
+//! requests are in flight). For every scenario it
 //! checks the serving invariant — *every admitted request receives
 //! exactly one certified response, and the process never panics* — and
 //! records latency percentiles plus per-rung degradation counts to
@@ -22,8 +24,9 @@ use acir::runtime::Backoff;
 use acir::serve::{Admission, ChaosConfig, Engine, EngineConfig, Query, ResponseKind};
 use acir_bench::BinArgs;
 use acir_graph::gen::community::{social_network, SocialNetworkParams};
+use acir_graph::snapshot::CompactionOrder;
 use acir_graph::traversal::largest_component;
-use acir_graph::{Graph, NodeId};
+use acir_graph::{EdgeOp, Graph, NodeId};
 use acir_serve::chaos::open_loop_gaps_us;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,6 +42,13 @@ struct Scenario {
     /// Every `deadline_every`-th request carries an already-expired
     /// deadline (0 disables) — the deadline-storm knob.
     deadline_every: usize,
+    /// Every `delta_every`-th request is chased by a single-edge delta
+    /// published while earlier requests are still queued (0 disables)
+    /// — the delta-storm knob.
+    delta_every: usize,
+    /// Every `compact_every`-th request is chased by a relabeling
+    /// compaction likewise (0 disables).
+    compact_every: usize,
 }
 
 fn scenarios(quick: bool) -> Vec<Scenario> {
@@ -60,6 +70,8 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
             name: "baseline",
             cfg: base.clone(),
             deadline_every: 0,
+            delta_every: 0,
+            compact_every: 0,
         },
         Scenario {
             name: "worker_panics",
@@ -68,6 +80,8 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
                 ..base.clone()
             },
             deadline_every: 0,
+            delta_every: 0,
+            compact_every: 0,
         },
         Scenario {
             name: "nan_injection",
@@ -76,6 +90,8 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
                 ..base.clone()
             },
             deadline_every: 0,
+            delta_every: 0,
+            compact_every: 0,
         },
         // No coarsening rungs: every request attempts its requested ε
         // against a thin grant, exhausts it into a certified partial,
@@ -91,11 +107,26 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
                 ..base.clone()
             },
             deadline_every: 0,
+            delta_every: 0,
+            compact_every: 0,
         },
         Scenario {
             name: "deadline_storm",
-            cfg: base,
+            cfg: base.clone(),
             deadline_every: 3,
+            delta_every: 0,
+            compact_every: 0,
+        },
+        // Writers race readers: requests still queued when a delta or a
+        // relabeling compaction publishes must answer against the
+        // snapshot they pinned at admission — the serving invariant is
+        // unchanged, which is exactly the point.
+        Scenario {
+            name: "delta_storm",
+            cfg: base,
+            deadline_every: 0,
+            delta_every: 7,
+            compact_every: 31,
         },
     ]
 }
@@ -110,6 +141,9 @@ struct ScenarioReport {
     retries: u64,
     panics_caught: u64,
     faults_detected: u64,
+    deltas_published: u64,
+    compactions_published: u64,
+    final_epoch: u64,
     invariant_ok: bool,
 }
 
@@ -211,6 +245,8 @@ fn drive(g: &Graph, s: Scenario, requests: usize, seed: u64) -> ScenarioReport {
     let mut degradation: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut clock_us = 0u64;
     let mut window_end = window_us;
+    let mut deltas_published = 0u64;
+    let mut compactions_published = 0u64;
     for (i, gap) in gaps.iter().enumerate() {
         clock_us += gap;
         while clock_us >= window_end {
@@ -231,9 +267,31 @@ fn drive(g: &Graph, s: Scenario, requests: usize, seed: u64) -> ScenarioReport {
             alpha: 0.1,
             epsilon: if i % 2 == 0 { 1e-3 } else { 1e-4 },
             deadline,
+            options: Default::default(),
         };
         if let Admission::Accepted { id, .. } = engine.submit(q) {
             admitted_ids.push(id);
+        }
+        // Delta-storm writers publish immediately after the arrival, so
+        // everything still queued from earlier windows is pinned to an
+        // older snapshot when it finally runs.
+        if s.delta_every > 0 && i > 0 && i % s.delta_every == 0 {
+            let u = (i * 13 % g.n()) as NodeId;
+            let mut v = (i * 29 % g.n()) as NodeId;
+            if u == v {
+                v = (v + 1) % g.n() as NodeId;
+            }
+            let w = 1.0 + (i % 3) as f64 * 0.5;
+            engine
+                .update_graph_delta(&[EdgeOp::Insert { u, v, weight: w }])
+                .expect("delta-storm delta publish failed");
+            deltas_published += 1;
+        }
+        if s.compact_every > 0 && i > 0 && i % s.compact_every == 0 {
+            engine
+                .compact(CompactionOrder::Rcm)
+                .expect("delta-storm compaction failed");
+            compactions_published += 1;
         }
     }
     for r in engine.run_pending() {
@@ -242,6 +300,7 @@ fn drive(g: &Graph, s: Scenario, requests: usize, seed: u64) -> ScenarioReport {
         *degradation.entry(r.kind.name()).or_insert(0) += 1;
     }
     let stats = engine.stats().clone();
+    let final_epoch = engine.epoch();
     // Shutdown must drain anything still queued.
     for r in engine.shutdown() {
         answered_ids.push(r.id);
@@ -260,6 +319,9 @@ fn drive(g: &Graph, s: Scenario, requests: usize, seed: u64) -> ScenarioReport {
         retries: stats.retries,
         panics_caught: stats.panics_caught,
         faults_detected: stats.faults_detected,
+        deltas_published,
+        compactions_published,
+        final_epoch,
         invariant_ok,
     }
 }
@@ -315,6 +377,12 @@ fn render(args: &BinArgs, g: &Graph, reports: &[ScenarioReport]) -> Value {
             m.insert("retries".into(), Value::from(r.retries));
             m.insert("panics_caught".into(), Value::from(r.panics_caught));
             m.insert("faults_detected".into(), Value::from(r.faults_detected));
+            m.insert("deltas_published".into(), Value::from(r.deltas_published));
+            m.insert(
+                "compactions_published".into(),
+                Value::from(r.compactions_published),
+            );
+            m.insert("final_epoch".into(), Value::from(r.final_epoch));
             m.insert(
                 "invariant_exactly_one_response".into(),
                 Value::from(r.invariant_ok),
@@ -368,6 +436,12 @@ fn validate(text: &str) {
                 .and_then(Value::as_bool),
             Some(true),
             "{name}: exactly-one-response invariant violated"
+        );
+        let u = |key: &str| s.get(key).and_then(Value::as_u64).expect(key);
+        assert_eq!(
+            u("final_epoch"),
+            u("deltas_published") + u("compactions_published"),
+            "{name}: the graph epoch must advance once per published write"
         );
     }
 }

@@ -94,8 +94,8 @@ pub mod exec {
 /// chaos test suite and the `servebench` load generator.
 pub mod serve {
     pub use acir_serve::{
-        Admission, ChaosConfig, Engine, EngineConfig, EngineStats, Overloaded, Query, RejectReason,
-        Response, ResponseKind,
+        Admission, ChaosConfig, CompactionSummary, Engine, EngineConfig, EngineStats, Overloaded,
+        PublishPoint, Query, QueryOptions, RejectReason, Response, ResponseKind, SweepCut, WriteOp,
     };
 }
 

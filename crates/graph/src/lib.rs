@@ -20,7 +20,11 @@
 //! * locality-improving vertex reorderings ([`permute`]): reverse
 //!   Cuthill–McKee and degree orderings with full inverse-mapping
 //!   support, so results computed on a reordered graph map back to the
-//!   original ids.
+//!   original ids;
+//! * an epoch-versioned snapshot layer ([`snapshot`]): immutable
+//!   `Arc`-published [`GraphSnapshot`]s with delta records and
+//!   permutation lineage, so readers pin a consistent graph while a
+//!   writer applies deltas or relabeling compactions off to the side.
 //!
 //! All randomness flows through caller-supplied seeded RNGs; every
 //! generator is deterministic given its seed.
@@ -35,6 +39,7 @@ pub mod gen;
 pub mod io;
 pub mod permute;
 pub mod result;
+pub mod snapshot;
 pub mod stats;
 pub mod traversal;
 
@@ -43,6 +48,7 @@ pub use csr::{Graph, NodeId};
 pub use delta::{DeltaGraph, EdgeDelta, EdgeOp};
 pub use permute::{bandwidth_stats, BandwidthStats, Permutation};
 pub use result::NodeValued;
+pub use snapshot::{compact_ordered, CompactionOrder, GraphSnapshot, SnapshotStore};
 
 /// Errors produced by the graph substrate.
 #[derive(Debug, Clone, PartialEq)]

@@ -107,6 +107,29 @@ impl Permutation {
         }
     }
 
+    /// Compose with a second relabeling applied *after* this one:
+    /// `self.then(next).to_new(u) == next.to_new(self.to_new(u))`.
+    ///
+    /// This is the lineage accumulator for snapshot chains
+    /// ([`crate::snapshot::SnapshotStore`]): each relabeling compaction
+    /// contributes one `step` permutation, and the composed product
+    /// maps root-snapshot ids directly into the newest snapshot's ids.
+    /// Panics if the two permutations disagree on length (distinct
+    /// vertex universes cannot be chained).
+    pub fn then(&self, next: &Permutation) -> Permutation {
+        assert_eq!(
+            self.len(),
+            next.len(),
+            "cannot compose permutations over different vertex counts"
+        );
+        let new_of_old: Vec<NodeId> = self.new_of_old.iter().map(|&m| next.to_new(m)).collect();
+        let old_of_new: Vec<NodeId> = next.old_of_new.iter().map(|&m| self.to_old(m)).collect();
+        Permutation {
+            new_of_old,
+            old_of_new,
+        }
+    }
+
     /// Whether this is the identity.
     pub fn is_identity(&self) -> bool {
         self.new_of_old

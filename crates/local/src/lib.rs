@@ -45,11 +45,13 @@ pub use push::{
     ppr_push_ws, PushResult, PushWorkspace,
 };
 pub use repair::{
-    ppr_repair, ppr_repair_ctx, RepairRequest, RepairResult, DEFAULT_REPAIR_MASS_THRESHOLD,
+    ppr_repair, ppr_repair_ctx, ppr_repair_relabeled, RepairRequest, RepairResult,
+    DEFAULT_REPAIR_MASS_THRESHOLD,
 };
 pub use sketch::{
-    build_hub_sketches, build_hub_sketches_ctx, ppr_push_spliced, ppr_push_spliced_ctx,
-    repair_hub_sketches, HubSketch, SketchRepair, SketchSet, SpliceResult,
+    build_hub_sketches, build_hub_sketches_ctx, build_sketches_for_hubs, ppr_push_spliced,
+    ppr_push_spliced_ctx, relabel_sketch_set, repair_hub_sketches, HubSketch, SketchRepair,
+    SketchSet, SpliceResult,
 };
 pub use sweep::{sweep_cut, sweep_cut_ctx, sweep_cut_sparse, sweep_cut_support, SweepResult};
 

@@ -156,7 +156,95 @@ pub fn build_hub_sketches_ctx(
     epsilon: f64,
     ctx: &mut KernelCtx,
 ) -> Result<SketchSet> {
-    // Same α/ε validity rules as the push kernel itself.
+    validate_sketch_params(alpha, epsilon)?;
+    let n = g.n();
+    let perm = Permutation::degree_descending(g);
+    let hubs: Vec<NodeId> = (0..k.min(n))
+        .map(|rank| perm.to_old(rank as NodeId))
+        .filter(|&u| g.degree(u) > 0.0)
+        .collect();
+    build_for_hub_list(g, hubs, alpha, epsilon, ctx)
+}
+
+/// Build sketches for an explicit, caller-chosen hub list instead of
+/// the top-`k`-by-degree selection — the engine uses this to *reuse*
+/// a previous store's hub set when a pure-reweight delta leaves the
+/// unweighted degree sequence (and therefore the top-K selection)
+/// unchanged. Out-of-range hubs are an error; duplicates collapse to
+/// their first occurrence and edgeless hubs are skipped, mirroring
+/// [`build_hub_sketches`]. Per-hub output is bit-identical to what the
+/// top-K builder would produce for the same hub.
+pub fn build_sketches_for_hubs(
+    g: &Graph,
+    hubs: &[NodeId],
+    alpha: f64,
+    epsilon: f64,
+) -> Result<SketchSet> {
+    validate_sketch_params(alpha, epsilon)?;
+    let n = g.n();
+    let mut seen = vec![false; n];
+    let mut list = Vec::with_capacity(hubs.len());
+    for &h in hubs {
+        if h as usize >= n {
+            return Err(LocalError::InvalidArgument(format!(
+                "build_sketches_for_hubs: hub {h} out of range for graph with {n} nodes"
+            )));
+        }
+        if !seen[h as usize] && g.degree(h) > 0.0 {
+            seen[h as usize] = true;
+            list.push(h);
+        }
+    }
+    let mut ctx = KernelCtx::new();
+    build_for_hub_list(g, list, alpha, epsilon, &mut ctx)
+}
+
+/// Relabel a sketch set into a new vertex numbering: `step` maps the
+/// set's (old) ids to the new ids, exactly as a relabeling compaction
+/// ([`acir_graph::snapshot::CompactionOrder`]) permutes the graph.
+/// Hub ids, estimate/residual supports, and the hub-membership slots
+/// are re-laid-out; masses, push counts, and `(α, ε_sketch)` carry
+/// over bitwise — a relabeling permutes a diffusion, it does not
+/// change it. An identity `step` returns a verbatim clone.
+pub fn relabel_sketch_set(set: &SketchSet, step: &Permutation) -> Result<SketchSet> {
+    if step.is_identity() {
+        return Ok(set.clone());
+    }
+    if step.len() != set.n {
+        return Err(LocalError::InvalidArgument(format!(
+            "relabel_sketch_set: permutation over {} vertices cannot relabel a sketch set built for {} nodes",
+            step.len(),
+            set.n
+        )));
+    }
+    let mut slot = vec![NO_SKETCH; set.n];
+    let sketches: Vec<HubSketch> = set
+        .sketches
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let hub = step.to_new(s.hub);
+            slot[hub as usize] = i as u32;
+            HubSketch {
+                hub,
+                estimate: step.map_sparse(&s.estimate),
+                residual: step.map_sparse(&s.residual),
+                residual_mass: s.residual_mass,
+                pushes: s.pushes,
+            }
+        })
+        .collect();
+    Ok(SketchSet {
+        alpha: set.alpha,
+        epsilon: set.epsilon,
+        n: set.n,
+        slot,
+        sketches,
+    })
+}
+
+/// Same α/ε validity rules as the push kernel itself.
+fn validate_sketch_params(alpha: f64, epsilon: f64) -> Result<()> {
     if !(0.0 < alpha && alpha < 1.0) {
         return Err(LocalError::InvalidArgument(format!(
             "build_hub_sketches needs alpha in (0, 1), got {alpha}"
@@ -167,12 +255,20 @@ pub fn build_hub_sketches_ctx(
             "build_hub_sketches needs epsilon > 0, got {epsilon}"
         )));
     }
+    Ok(())
+}
+
+/// Shared tail of the sketch builders: push every hub in `hubs` in
+/// parallel and assemble the set (see [`build_hub_sketches_ctx`] for
+/// the determinism argument).
+fn build_for_hub_list(
+    g: &Graph,
+    hubs: Vec<NodeId>,
+    alpha: f64,
+    epsilon: f64,
+    ctx: &mut KernelCtx,
+) -> Result<SketchSet> {
     let n = g.n();
-    let perm = Permutation::degree_descending(g);
-    let hubs: Vec<NodeId> = (0..k.min(n))
-        .map(|rank| perm.to_old(rank as NodeId))
-        .filter(|&u| g.degree(u) > 0.0)
-        .collect();
     let pushed = acir_exec::ExecPool::from_env().par_map(&hubs, 1, |&h| {
         let mut hub_ctx = KernelCtx::new();
         let out = ppr_push_ctx(g, &[h], alpha, epsilon, &mut hub_ctx)?;
@@ -801,6 +897,69 @@ mod tests {
                 baseline = Some(set);
             }
         }
+    }
+
+    #[test]
+    fn explicit_hub_build_matches_topk_selection() {
+        let g = ba(200, 5);
+        let topk = build_hub_sketches(&g, 8, 0.1, 1e-4).unwrap();
+        let hubs: Vec<NodeId> = topk.sketches().iter().map(|s| s.hub).collect();
+        let explicit = build_sketches_for_hubs(&g, &hubs, 0.1, 1e-4).unwrap();
+        assert_eq!(explicit.len(), topk.len());
+        for (a, b) in topk.sketches().iter().zip(explicit.sketches()) {
+            assert_eq!(a.hub, b.hub);
+            assert_eq!(a.estimate, b.estimate);
+            assert_eq!(a.residual, b.residual);
+            assert_eq!(a.residual_mass.to_bits(), b.residual_mass.to_bits());
+        }
+        // Duplicates collapse; out-of-range hubs are rejected.
+        let dup = build_sketches_for_hubs(&g, &[hubs[0], hubs[0]], 0.1, 1e-4).unwrap();
+        assert_eq!(dup.len(), 1);
+        assert!(build_sketches_for_hubs(&g, &[g.n() as NodeId], 0.1, 1e-4).is_err());
+    }
+
+    #[test]
+    fn relabeled_set_answers_like_the_original() {
+        let g = ba(220, 7);
+        let set = build_hub_sketches(&g, 10, 0.1, 1e-5).unwrap();
+        let step = Permutation::rcm(&g);
+        assert!(!step.is_identity());
+        let gp = g.permute(&step).unwrap();
+        let mapped = relabel_sketch_set(&set, &step).unwrap();
+        assert_eq!(mapped.len(), set.len());
+        assert_eq!(mapped.alpha(), set.alpha());
+        assert_eq!(mapped.n(), set.n());
+        for (orig, rel) in set.sketches().iter().zip(mapped.sketches()) {
+            assert_eq!(rel.hub, step.to_new(orig.hub));
+            assert!(mapped.covers(rel.hub));
+            assert_eq!(rel.estimate, step.map_sparse(&orig.estimate));
+            assert_eq!(rel.residual, step.map_sparse(&orig.residual));
+            assert_eq!(rel.residual_mass.to_bits(), orig.residual_mass.to_bits());
+            // The mapped sketch is a valid truncated push on gp: the
+            // residual bound transfers because degrees are preserved.
+            for &(v, r) in &rel.residual {
+                assert!(r < 1e-5 * gp.degree(v));
+            }
+        }
+        // Splicing through the relabeled set on the permuted graph
+        // still certifies: the combined answer tracks the exact PPR
+        // within its measured bound.
+        let seed = step.to_new(3);
+        let spliced = ppr_push_spliced(&gp, &[seed], 0.1, 1e-3, &mapped).unwrap();
+        assert!(spliced.used_sketches);
+        assert!(spliced.per_degree_bound <= 1e-3 + 1e-12);
+        let exact = ppr_exact_reference(&gp, &[seed], 0.1, 4000).unwrap();
+        let dense = spliced.to_dense(gp.n());
+        for u in 0..gp.n() {
+            let err = (exact[u] - dense[u]) / gp.degree(u as NodeId);
+            assert!(err >= -1e-9 && err <= spliced.per_degree_bound + 1e-9);
+        }
+        // Mismatched length and identity fast-path.
+        let small = build_hub_sketches(&ba(50, 1), 2, 0.1, 1e-4).unwrap();
+        assert!(relabel_sketch_set(&small, &step).is_err());
+        let ident = Permutation::identity(g.n());
+        let same = relabel_sketch_set(&set, &ident).unwrap();
+        assert_eq!(same.sketches()[0].estimate, set.sketches()[0].estimate);
     }
 
     #[test]

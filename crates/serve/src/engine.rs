@@ -18,35 +18,66 @@
 //!                 Stale | SeedOnly — always exactly one, certified
 //! ```
 //!
-//! Graph mutation comes in two grades. A full swap
-//! ([`Engine::update_graph`]) bumps the epoch, drops every answer-cache
-//! entry, and rebuilds the hub sketches, so a pre-mutation answer can
-//! only ever surface as `Stale` — labeled with its epoch in the
-//! certificate — never as `Full` or `Cached`. An *edge delta*
-//! ([`Engine::update_graph_delta`]) also bumps the epoch, but instead
-//! of discarding state it repairs it: hub sketches whose residual
-//! support touches the delta are reflowed in place
+//! The engine no longer owns a mutable graph: it owns a
+//! [`SnapshotStore`] publishing immutable `Arc`-backed
+//! [`GraphSnapshot`]s. Every admitted request **pins** the head
+//! snapshot at admission and runs against it end-to-end — ladder, batch,
+//! splice, retries — even if a writer publishes deltas or compacts
+//! mid-flight, so a request's answer is always bit-identical to a
+//! serial replay against its admission snapshot. Queries and responses
+//! live in the *root* (external) id space; a relabeling compaction
+//! records its [`Permutation`] in the snapshot lineage and the engine
+//! routes seeds in and clusters out through it, so clients never see
+//! internal renumbering.
+//!
+//! Graph mutation comes in three grades. A full swap
+//! ([`Engine::update_graph`]) publishes a fresh root snapshot, drops
+//! every answer-cache entry, and rebuilds the hub sketches (reusing
+//! the previous hub *selection* when the unweighted degree sequence is
+//! unchanged), so a pre-mutation answer can only ever surface as
+//! `Stale` — labeled with its epoch in the certificate — never as
+//! `Full` or `Cached`. An *edge delta*
+//! ([`Engine::update_graph_delta`]) publishes a delta snapshot, and
+//! instead of discarding derived state it repairs it: hub sketches
+//! whose residual support touches the delta are reflowed in place
 //! (`repair_hub_sketches`), cached answers are revalidated-or-repaired
 //! by the push-style residual-repair kernel (`ppr_repair`) and re-keyed
 //! to the new epoch, and anything unrepairable is dropped — never
-//! served. Either way the epoch stamp is the consistency protocol:
-//! in-flight requests keep their admission-time epoch and are never
-//! batched, spliced, or cache-served across a mutation.
+//! served. A *relabeling compaction* ([`Engine::compact`]) publishes a
+//! renumbered snapshot and routes sketches and cached answers through
+//! the recorded `Permutation` (`ppr_repair_relabeled`,
+//! `relabel_sketch_set`) — repaired, not rebuilt or purged, with fresh
+//! measured certificates. The epoch stamp remains the consistency
+//! protocol: requests pinned to different snapshots are never batched,
+//! spliced, or cache-served together.
+//!
+//! For deterministic concurrency testing, a writer can be *staged*
+//! ([`Engine::stage_write`]) to fire at an exact [`PublishPoint`]
+//! between two stages of a specific request — the chaos suite uses
+//! this to force a publication at every seam of the pipeline and
+//! assert pinned-snapshot isolation.
 
 use crate::chaos::ChaosConfig;
 use crate::store::SketchStore;
-use acir_graph::{DeltaGraph, EdgeDelta, EdgeOp, Graph, NodeId};
+use acir_graph::snapshot::{compact_ordered, CompactionOrder, GraphSnapshot, SnapshotStore};
+use acir_graph::{DeltaGraph, EdgeDelta, EdgeOp, Graph, NodeId, Permutation};
 use acir_local::push::{ppr_push_batch_outcomes, ppr_push_ctx, PushResult};
-use acir_local::repair::{ppr_repair, RepairRequest, DEFAULT_REPAIR_MASS_THRESHOLD};
+use acir_local::repair::{
+    ppr_repair, ppr_repair_relabeled, RepairRequest, DEFAULT_REPAIR_MASS_THRESHOLD,
+};
 use acir_local::sketch::{ppr_push_spliced_ctx, SketchSet};
+use acir_local::sweep::sweep_cut_sparse;
 use acir_runtime::{
     Backoff, Budget, Certificate, Diagnostics, DivergenceCause, GuardConfig, KernelCtx,
     RetryPolicy, SolverOutcome, SpmvLayout,
 };
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A seed→cluster PPR query.
+/// A seed→cluster PPR query. Seeds are in the root (external) id
+/// space; the engine routes them through the pinned snapshot's lineage
+/// when the graph has been relabeled by a compaction.
 #[derive(Debug, Clone)]
 pub struct Query {
     /// Seed nodes (uniform teleport mass over them).
@@ -59,6 +90,32 @@ pub struct Query {
     /// Per-request deadline; `None` falls back to
     /// [`EngineConfig::default_deadline`].
     pub deadline: Option<Duration>,
+    /// Optional extras; `QueryOptions::default()` is the plain query.
+    pub options: QueryOptions,
+}
+
+/// Per-query opt-ins beyond the core `(seeds, α, ε)` ask.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Run a sweep cut over the answer's support and attach the
+    /// best-conductance prefix cut to the response
+    /// ([`Response::sweep`]). Applies to computed and cached answers
+    /// (`Full`/`Coarsened`/`Partial`/`Cached`); the bottom fallback
+    /// rungs (`Stale`/`SeedOnly`) carry no snapshot-consistent
+    /// diffusion to sweep.
+    pub sweep: bool,
+}
+
+/// The best-conductance sweep cut over a response's PPR support,
+/// reported in external ids (mapped back through the request's
+/// snapshot lineage).
+#[derive(Debug, Clone)]
+pub struct SweepCut {
+    /// Cut member nodes, sorted ascending, external ids.
+    pub set: Vec<NodeId>,
+    /// Conductance of the cut on the request's snapshot graph
+    /// (invariant under relabeling).
+    pub conductance: f64,
 }
 
 /// Engine tuning knobs.
@@ -257,6 +314,10 @@ pub struct Response {
     pub retries: usize,
     /// Admission-to-response wall time.
     pub latency: Duration,
+    /// Best-conductance sweep cut over the cluster support, when the
+    /// query opted in ([`QueryOptions::sweep`]) and the response rung
+    /// carries a snapshot-consistent diffusion.
+    pub sweep: Option<SweepCut>,
     /// Full per-request trail: kernel spans, restarts, faults, stages.
     pub diagnostics: Diagnostics,
 }
@@ -306,7 +367,9 @@ impl EngineStats {
     }
 }
 
-/// An admitted request waiting in the bounded queue.
+/// An admitted request waiting in the bounded queue, pinned to the
+/// snapshot that was head at admission: every stage of its execution
+/// reads `snapshot`, never the store's (possibly newer) head.
 #[derive(Debug, Clone)]
 struct Pending {
     id: u64,
@@ -314,7 +377,67 @@ struct Pending {
     grant: u64,
     deadline: Option<Duration>,
     admitted_at: Instant,
-    epoch: u64,
+    snapshot: Arc<GraphSnapshot>,
+    /// The sketch store as of admission, pinned with the snapshot so a
+    /// mid-flight rebuild/relabel cannot change this request's splice
+    /// eligibility.
+    sketches: Option<Arc<SketchStore>>,
+}
+
+impl Pending {
+    fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// The query's seeds in the pinned snapshot's internal id space.
+    fn internal_seeds(&self) -> Vec<NodeId> {
+        if self.snapshot.is_relabeled() {
+            let lineage = self.snapshot.lineage();
+            self.query
+                .seeds
+                .iter()
+                .map(|&u| lineage.to_new(u))
+                .collect()
+        } else {
+            self.query.seeds.clone()
+        }
+    }
+}
+
+/// A writer action staged by [`Engine::stage_write`] to fire at a
+/// deterministic point inside [`Engine::run_pending`].
+#[derive(Debug, Clone)]
+pub enum WriteOp {
+    /// Apply an edge-op stream, publishing a delta snapshot (exactly
+    /// [`Engine::update_graph_delta`]).
+    Delta(Vec<EdgeOp>),
+    /// Publish a compacted (possibly relabeled) snapshot (exactly
+    /// [`Engine::compact`]).
+    Compact(CompactionOrder),
+}
+
+/// Deterministic seams in the request pipeline where a staged writer
+/// can publish. All four fire in the sequential driver loop of
+/// [`Engine::run_pending`] — never inside a parallel region — so an
+/// interleaving is reproducible at any `ACIR_THREADS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PublishPoint {
+    /// Before the request's answer-cache check.
+    BeforeCacheCheck,
+    /// After ladder selection, before the request's batch attempt runs.
+    BeforeBatch,
+    /// After the batched attempt 0, before retry supervision.
+    BeforeSupervise,
+    /// After the request's response has been assembled.
+    AfterRespond,
+}
+
+/// One staged write: fires when `request` reaches `point`.
+#[derive(Debug, Clone)]
+struct StagedWrite {
+    point: PublishPoint,
+    request: u64,
+    op: WriteOp,
 }
 
 #[derive(Debug, Clone)]
@@ -398,6 +521,27 @@ pub struct DeltaSummary {
     pub repair_work: usize,
 }
 
+/// What one [`Engine::compact`] call did to the engine's derived
+/// state. All counters are exact and deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionSummary {
+    /// The epoch after the compaction.
+    pub epoch: u64,
+    /// `true` when the chosen order renumbered vertices (a
+    /// [`CompactionOrder::Preserve`] compaction publishes an identity
+    /// step).
+    pub relabeled: bool,
+    /// Hub sketches routed through the permutation (all of them; a
+    /// relabeling never rebuilds a sketch).
+    pub sketches_relabeled: usize,
+    /// Cached answers routed through the permutation with a freshly
+    /// measured certificate.
+    pub answers_relabeled: usize,
+    /// Cached answers dropped because the relabel-repair errored
+    /// (should not happen; kept for honesty in accounting).
+    pub answers_dropped: usize,
+}
+
 /// Worst-case push count of an ε-truncated diffusion, the same
 /// `O(1/(εα))` bound the kernel's safety cap uses — the ladder's
 /// admission-time cost model.
@@ -409,22 +553,36 @@ fn est_cost(epsilon: f64, alpha: f64) -> u64 {
 /// degradation contract.
 #[derive(Debug)]
 pub struct Engine {
-    g: Graph,
+    /// The snapshot publication point. Writers (`update_graph*`,
+    /// `compact`) build the next snapshot off to the side and publish
+    /// it here; every admitted request pins the head at admission.
+    snapshots: SnapshotStore,
+    /// Cached pin of the store's head (always equal to the store's
+    /// current snapshot; avoids a lock round-trip on every read).
+    head: Arc<GraphSnapshot>,
     cfg: EngineConfig,
-    epoch: u64,
     next_id: u64,
     available: u64,
     queue: VecDeque<Pending>,
     cache: HashMap<CacheKey, CacheEntry>,
+    /// Answer-cache payloads live in the *head snapshot's internal* id
+    /// space and are kept synchronized with the head across deltas
+    /// (repair) and compactions (relabel); keys carry external seeds.
     answers: HashMap<AnswerKey, AnswerEntry>,
     answer_order: VecDeque<AnswerKey>,
-    sketches: Option<SketchStore>,
+    /// The hub-sketch store, `Arc`-shared so each admission pins the
+    /// store alongside its snapshot: a rebuild, repair, or relabel
+    /// publishes a *new* store and in-flight requests keep splicing
+    /// (or not) exactly as they would have at admission time.
+    sketches: Option<Arc<SketchStore>>,
     stats: EngineStats,
     trace: Diagnostics,
     /// Monotone submission counter; the TTL clock.
     request_clock: u64,
     /// Deltas applied since the last full sketch build.
     deltas_since_resketch: u64,
+    /// Writer actions staged to fire at deterministic pipeline seams.
+    staged: Vec<StagedWrite>,
 }
 
 impl Engine {
@@ -435,10 +593,12 @@ impl Engine {
     /// parameters are a configuration bug and panic.
     pub fn new(g: Graph, cfg: EngineConfig) -> Self {
         let available = cfg.capacity;
+        let snapshots = SnapshotStore::new(g);
+        let head = snapshots.pin();
         let mut engine = Self {
-            g,
+            snapshots,
+            head,
             cfg,
-            epoch: 0,
             next_id: 0,
             available,
             cache: HashMap::new(),
@@ -450,58 +610,99 @@ impl Engine {
             trace: Diagnostics::for_kernel("serve.engine"),
             request_clock: 0,
             deltas_since_resketch: 0,
+            staged: Vec::new(),
         };
         if engine.cfg.sketch_hubs > 0 {
-            engine.rebuild_sketches();
+            engine.rebuild_sketches(None);
         }
         engine
     }
 
-    /// (Re)build the hub-sketch store for the current graph and epoch.
-    fn rebuild_sketches(&mut self) {
+    /// (Re)build the hub-sketch store for the head snapshot and epoch.
+    /// `reuse_hubs` carries the previous store's hub list when the
+    /// caller has proven the top-K selection cannot have changed (the
+    /// unweighted degree sequence is identical), skipping reselection
+    /// while still rebuilding every sketch against the new weights.
+    fn rebuild_sketches(&mut self, reuse_hubs: Option<Vec<NodeId>>) {
         self.sketches = None;
         self.deltas_since_resketch = 0;
         if self.cfg.sketch_hubs == 0 {
             return;
         }
-        let store = SketchStore::build(
-            &self.g,
-            self.cfg.sketch_hubs,
-            self.cfg.sketch_alpha,
-            self.cfg.sketch_epsilon,
-            self.epoch,
-        )
+        let epoch = self.head.epoch();
+        let store = match reuse_hubs {
+            Some(hubs) => {
+                self.trace.note(format!(
+                    "hub selection reused: degree sequence unchanged ({} hubs; epoch {epoch})",
+                    hubs.len()
+                ));
+                SketchStore::build_for_hubs(
+                    self.head.graph(),
+                    &hubs,
+                    self.cfg.sketch_alpha,
+                    self.cfg.sketch_epsilon,
+                    epoch,
+                )
+            }
+            None => SketchStore::build(
+                self.head.graph(),
+                self.cfg.sketch_hubs,
+                self.cfg.sketch_alpha,
+                self.cfg.sketch_epsilon,
+                epoch,
+            ),
+        }
         .unwrap_or_else(|e| panic!("invalid sketch configuration: {e}"));
         self.trace.note(format!(
             "hub sketches built: {} hubs at eps {:e} (epoch {})",
             store.len(),
             self.cfg.sketch_epsilon,
-            self.epoch
+            epoch
         ));
-        self.sketches = Some(store);
+        self.sketches = Some(Arc::new(store));
     }
 
-    /// Swap in a new graph snapshot and bump the epoch. Requests
-    /// already queued keep their old epoch stamp, so they are never
-    /// batched (or spliced) with new-epoch requests; the answer cache
-    /// is purged (its keys are epoch-specific anyway) and the hub
-    /// sketches are rebuilt against the new snapshot. Stale-cache
-    /// answers from earlier epochs remain servable as `Stale`, labeled
-    /// with their epoch in the certificate.
+    /// Swap in a new graph as a fresh root snapshot and bump the
+    /// epoch. Requests already queued keep their pinned snapshot, so
+    /// they are never batched (or spliced) with new-epoch requests and
+    /// still answer against the graph they were admitted under; the
+    /// answer cache is purged (its keys are epoch-specific anyway) and
+    /// the hub sketches are rebuilt against the new snapshot — reusing
+    /// the previous hub *selection* when the unweighted degree
+    /// sequence is unchanged (a pure-reweight swap cannot move the
+    /// top-K cut line, so reselection is skipped; the restamp and the
+    /// per-sketch rebuild still happen). Stale-cache answers from
+    /// earlier epochs remain servable as `Stale`, labeled with their
+    /// epoch in the certificate.
     pub fn update_graph(&mut self, g: Graph) {
-        self.g = g;
-        self.epoch += 1;
+        let reuse_hubs = self.reusable_hub_selection(&g);
+        self.head = self.snapshots.publish_root(g);
         self.answers.clear();
         self.answer_order.clear();
         self.trace
-            .note(format!("graph swapped; epoch {}", self.epoch));
+            .note(format!("graph swapped; epoch {}", self.head.epoch()));
         // With the sketch path disabled there is nothing to rebuild —
         // skip the call rather than churn through a no-op.
         if self.cfg.sketch_hubs > 0 {
-            self.rebuild_sketches();
+            self.rebuild_sketches(reuse_hubs);
         } else {
             self.deltas_since_resketch = 0;
         }
+    }
+
+    /// The current store's hub list, when `g` provably yields the same
+    /// top-K selection: same vertex count and an identical unweighted
+    /// degree sequence (ties in [`Permutation::degree_descending`]
+    /// break by id, so equal degrees force equal selection).
+    fn reusable_hub_selection(&self, g: &Graph) -> Option<Vec<NodeId>> {
+        let store = self.sketches.as_ref()?;
+        let old = self.head.graph();
+        if g.n() != old.n()
+            || (0..g.n() as NodeId).any(|u| g.degree_unweighted(u) != old.degree_unweighted(u))
+        {
+            return None;
+        }
+        Some(store.hubs())
     }
 
     /// Apply an edge delta to the serving graph *in place*: compact the
@@ -526,14 +727,23 @@ impl Engine {
     /// cancel out) is a no-op that does not bump the epoch.
     pub fn update_graph_delta(&mut self, ops: &[EdgeOp]) -> Result<DeltaSummary, String> {
         let (new_graph, delta) = {
-            let mut dg = DeltaGraph::new(&self.g);
+            // Build the successor entirely off to the side, against the
+            // pinned head — readers keep serving the old snapshot until
+            // the single atomic publish below.
+            let base = Arc::clone(&self.head);
+            let mut dg = DeltaGraph::new(base.graph());
             for op in ops {
-                dg.apply(op).map_err(|e| format!("delta rejected: {e}"))?;
+                // Ops name endpoints in external (root) ids, like
+                // queries; translate into the head's labeling first.
+                // Out-of-range endpoints pass through untranslated so
+                // the overlay rejects them with its canonical error.
+                let op = internalize_op(&base, op);
+                dg.apply(&op).map_err(|e| format!("delta rejected: {e}"))?;
             }
             let delta = dg.net_delta();
             if delta.is_empty() {
                 return Ok(DeltaSummary {
-                    epoch: self.epoch,
+                    epoch: self.head.epoch(),
                     ..DeltaSummary::default()
                 });
             }
@@ -542,17 +752,17 @@ impl Engine {
                 .map_err(|e| format!("delta compaction failed: {e}"))?;
             (g, delta)
         };
-        self.g = new_graph;
-        self.epoch += 1;
+        self.head = self.snapshots.publish_delta(new_graph, delta.clone());
+        let epoch = self.head.epoch();
         let mut summary = DeltaSummary {
-            epoch: self.epoch,
+            epoch,
             edges: delta.len(),
             ..DeltaSummary::default()
         };
         self.trace.note(format!(
             "delta applied: {} edges; epoch {}",
             delta.len(),
-            self.epoch
+            epoch
         ));
 
         if self.cfg.sketch_hubs > 0 {
@@ -561,13 +771,12 @@ impl Engine {
                 .cfg
                 .chaos
                 .as_ref()
-                .is_some_and(|c| c.fails_repair(self.epoch));
+                .is_some_and(|c| c.fails_repair(epoch));
             let amortized = self.cfg.resketch_after > 0
                 && self.deltas_since_resketch >= self.cfg.resketch_after;
             let repaired = if faulted {
                 self.trace.note(format!(
-                    "chaos: sketch repair fault at epoch {}; rebuilding",
-                    self.epoch
+                    "chaos: sketch repair fault at epoch {epoch}; rebuilding"
                 ));
                 None
             } else if amortized {
@@ -580,7 +789,7 @@ impl Engine {
                 match self
                     .sketches
                     .as_ref()
-                    .map(|s| s.repair(&self.g, &delta, self.epoch))
+                    .map(|s| s.repair(self.head.graph(), &delta, epoch))
                 {
                     Some(Ok(ok)) => Some(ok),
                     Some(Err(e)) => {
@@ -595,18 +804,18 @@ impl Engine {
                 Some((store, stats)) => {
                     self.trace.note(format!(
                         "hub sketches repaired: {} repaired, {} untouched, {} fallbacks \
-                         ({} pushes; epoch {})",
-                        stats.repaired, stats.untouched, stats.fallbacks, stats.pushes, self.epoch
+                         ({} pushes; epoch {epoch})",
+                        stats.repaired, stats.untouched, stats.fallbacks, stats.pushes
                     ));
                     summary.sketches_repaired = stats.repaired;
                     summary.sketches_untouched = stats.untouched;
                     summary.sketch_fallbacks = stats.fallbacks;
                     summary.repair_pushes += stats.pushes;
                     summary.repair_work += stats.work;
-                    self.sketches = Some(store);
+                    self.sketches = Some(Arc::new(store));
                 }
                 None => {
-                    self.rebuild_sketches();
+                    self.rebuild_sketches(None);
                     summary.sketches_rebuilt = true;
                 }
             }
@@ -621,12 +830,21 @@ impl Engine {
     /// `answer_order` (the FIFO), not the map, so the pass is
     /// deterministic and preserves eviction order.
     fn repair_answers(&mut self, delta: &[EdgeDelta], summary: &mut DeltaSummary) {
+        let epoch = self.head.epoch();
         let old_order = std::mem::take(&mut self.answer_order);
         let mut old_answers = std::mem::take(&mut self.answers);
         for key in old_order {
             let Some(mut entry) = old_answers.remove(&key) else {
                 continue;
             };
+            // The cache is kept synchronized with the head: every live
+            // entry's key carries the pre-delta epoch. Anything else is
+            // a stray (should not happen) and cannot be repaired by a
+            // single-step delta — drop it rather than mislabel it.
+            if key.3 + 1 != epoch {
+                summary.answers_dropped += 1;
+                continue;
+            }
             // A splice-born answer stores no residual vector but
             // certifies nonzero remaining mass: the invariant cannot be
             // re-established from what we kept. Drop it.
@@ -648,7 +866,7 @@ impl Engine {
                 epsilon: entry.epsilon,
                 mass_threshold: DEFAULT_REPAIR_MASS_THRESHOLD,
             };
-            match ppr_repair(&self.g, &req) {
+            match ppr_repair(self.head.graph(), &req) {
                 Ok(rr) => {
                     if rr.pushes == 0 && rr.repaired {
                         summary.answers_revalidated += 1;
@@ -675,7 +893,7 @@ impl Engine {
                     entry.vector = rr.vector;
                     entry.residuals = rr.residuals;
                     entry.certificate = certificate;
-                    let new_key = (key.0, key.1, key.2, self.epoch);
+                    let new_key = (key.0, key.1, key.2, epoch);
                     self.answer_order.push_back(new_key.clone());
                     self.answers.insert(new_key, entry);
                 }
@@ -688,23 +906,218 @@ impl Engine {
         }
         if summary.answers_revalidated + summary.answers_repaired + summary.answers_dropped > 0 {
             self.trace.note(format!(
-                "answer cache: {} revalidated, {} repaired, {} dropped (epoch {})",
-                summary.answers_revalidated,
-                summary.answers_repaired,
-                summary.answers_dropped,
-                self.epoch
+                "answer cache: {} revalidated, {} repaired, {} dropped (epoch {epoch})",
+                summary.answers_revalidated, summary.answers_repaired, summary.answers_dropped
             ));
         }
     }
 
-    /// Current graph epoch.
-    pub fn epoch(&self) -> u64 {
-        self.epoch
+    /// Publish a compacted snapshot of the current head under `order`,
+    /// bumping the epoch, and route the derived state *through the
+    /// relabeling* instead of rebuilding or purging it:
+    ///
+    /// * hub sketches are relabeled in place (`relabel_sketch_set`) and
+    ///   restamped — a permutation permutes a diffusion, it does not
+    ///   change it, so not a single push is spent;
+    /// * cached answers are routed through the permutation by the
+    ///   relabel-aware repair kernel (`ppr_repair_relabeled` with an
+    ///   empty delta), re-keyed to the new epoch, and re-issued a
+    ///   **freshly measured** `ResidualMass` certificate against the
+    ///   relabeled graph.
+    ///
+    /// In-flight requests pinned to the pre-compaction snapshot are
+    /// unaffected: their snapshot (and its id space) stays alive until
+    /// they respond. A [`CompactionOrder::Preserve`] compaction
+    /// publishes an identity step — everything above degenerates to a
+    /// re-key.
+    pub fn compact(&mut self, order: CompactionOrder) -> Result<CompactionSummary, String> {
+        let (new_graph, step) = {
+            let base = Arc::clone(&self.head);
+            let dg = DeltaGraph::new(base.graph());
+            compact_ordered(&dg, order).map_err(|e| format!("compaction failed: {e}"))?
+        };
+        self.head = self.snapshots.publish_compacted(new_graph, step.clone());
+        let epoch = self.head.epoch();
+        let mut summary = CompactionSummary {
+            epoch,
+            relabeled: !step.is_identity(),
+            ..CompactionSummary::default()
+        };
+        self.trace.note(format!(
+            "compacted ({}); epoch {epoch}",
+            match order {
+                CompactionOrder::Preserve => "preserve",
+                CompactionOrder::Rcm => "rcm",
+                CompactionOrder::DegreeDescending => "degree-descending",
+            }
+        ));
+
+        if let Some(store) = self.sketches.take() {
+            let relabeled = store
+                .relabel(&step, epoch)
+                .map_err(|e| format!("sketch relabel failed: {e}"))?;
+            summary.sketches_relabeled = relabeled.len();
+            self.trace.note(format!(
+                "hub sketches relabeled: {} carried through the permutation (epoch {epoch})",
+                relabeled.len()
+            ));
+            self.sketches = Some(Arc::new(relabeled));
+        }
+
+        self.relabel_answers(&step, &mut summary);
+        Ok(summary)
     }
 
-    /// The graph snapshot currently being served.
+    /// Route every answer-cache entry through a compaction `step`:
+    /// payloads are mapped into the new id space, keys re-keyed to the
+    /// new epoch (external seed components are lineage-stable and stay
+    /// put), and repairable entries get a freshly measured certificate
+    /// from the relabel-aware repair kernel. Splice-born entries (no
+    /// stored residual) are mapped verbatim with their original
+    /// certificate — a relabeling preserves degrees, so the old bound
+    /// still holds word for word.
+    fn relabel_answers(&mut self, step: &Permutation, summary: &mut CompactionSummary) {
+        let epoch = self.head.epoch();
+        let old_order = std::mem::take(&mut self.answer_order);
+        let mut old_answers = std::mem::take(&mut self.answers);
+        for key in old_order {
+            let Some(mut entry) = old_answers.remove(&key) else {
+                continue;
+            };
+            if key.3 + 1 != epoch {
+                summary.answers_dropped += 1;
+                continue;
+            }
+            let certified_remaining = match entry.certificate {
+                Certificate::ResidualMass { remaining, .. } => remaining,
+                _ => 1.0,
+            };
+            if entry.residuals.is_empty() && certified_remaining != 0.0 {
+                // Splice-born: no residual to re-measure from, but the
+                // certified bound survives a pure relabel unchanged.
+                entry.vector = step.map_sparse(&entry.vector);
+                entry.seeds = step.map_nodes(&entry.seeds);
+            } else {
+                let alpha = f64::from_bits(key.1);
+                let req = RepairRequest {
+                    seeds: &entry.seeds,
+                    estimate: &entry.vector,
+                    residual: &entry.residuals,
+                    delta: &[],
+                    alpha,
+                    epsilon: entry.epsilon,
+                    mass_threshold: DEFAULT_REPAIR_MASS_THRESHOLD,
+                };
+                match ppr_repair_relabeled(self.head.graph(), &req, step) {
+                    Ok(rr) => {
+                        let measured = if rr.per_degree_bound > 0.0 {
+                            rr.per_degree_bound
+                        } else {
+                            entry.epsilon
+                        };
+                        let certificate = Certificate::ResidualMass {
+                            remaining: rr.residual_mass,
+                            per_degree_bound: measured,
+                        };
+                        self.trace.certificate_issued(&certificate);
+                        entry.vector = rr.vector;
+                        entry.residuals = rr.residuals;
+                        entry.certificate = certificate;
+                        entry.seeds = step.map_nodes(&entry.seeds);
+                    }
+                    Err(e) => {
+                        self.trace
+                            .note(format!("cached answer unrelabelable ({e}); dropped"));
+                        summary.answers_dropped += 1;
+                        continue;
+                    }
+                }
+            }
+            summary.answers_relabeled += 1;
+            let new_key = (key.0, key.1, key.2, epoch);
+            self.answer_order.push_back(new_key.clone());
+            self.answers.insert(new_key, entry);
+        }
+        if summary.answers_relabeled + summary.answers_dropped > 0 {
+            self.trace.note(format!(
+                "answer cache: {} relabeled, {} dropped (epoch {epoch})",
+                summary.answers_relabeled, summary.answers_dropped
+            ));
+        }
+    }
+
+    /// Current (head) graph epoch.
+    pub fn epoch(&self) -> u64 {
+        self.head.epoch()
+    }
+
+    /// The head snapshot's graph. In-flight requests may still be
+    /// reading older pinned snapshots; this is what *new* admissions
+    /// will pin.
     pub fn graph(&self) -> &Graph {
-        &self.g
+        self.head.graph()
+    }
+
+    /// Pin the head snapshot, exactly as an admission would: the
+    /// returned `Arc` stays valid across any number of later
+    /// publications. Serial-replay harnesses use this to capture the
+    /// graph a request will be (or was) answered against.
+    pub fn snapshot(&self) -> Arc<GraphSnapshot> {
+        Arc::clone(&self.head)
+    }
+
+    /// The snapshot publication point itself, for readers that want to
+    /// pin independently of the engine's bookkeeping.
+    pub fn snapshot_store(&self) -> &SnapshotStore {
+        &self.snapshots
+    }
+
+    /// Stage a writer action to fire when request `request` reaches
+    /// `point` inside [`Engine::run_pending`] — the deterministic
+    /// interleaving hook the chaos suite uses to force a publication
+    /// between any two stages of a specific request. Staged writes
+    /// fire in the sequential driver loop (never inside a parallel
+    /// region), in the order they were staged; a write whose request
+    /// never reaches its point stays staged. Failures are recorded in
+    /// the engine trace, not raised — the harness asserts on the trace.
+    pub fn stage_write(&mut self, point: PublishPoint, request: u64, op: WriteOp) {
+        self.staged.push(StagedWrite { point, request, op });
+    }
+
+    /// Writer actions staged and not yet fired.
+    pub fn staged_writes(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Fire every staged write registered for (`point`, `request`), in
+    /// staging order.
+    fn fire_staged(&mut self, point: PublishPoint, request: u64) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.staged.len() {
+            if self.staged[i].point == point && self.staged[i].request == request {
+                let w = self.staged.remove(i);
+                self.trace.request_stage(
+                    request,
+                    format!("staged_write:{:?}", w.point).to_lowercase(),
+                );
+                let outcome = match w.op {
+                    WriteOp::Delta(ops) => self
+                        .update_graph_delta(&ops)
+                        .map(|s| format!("delta published; epoch {}", s.epoch))
+                        .unwrap_or_else(|e| format!("staged delta failed: {e}")),
+                    WriteOp::Compact(order) => self
+                        .compact(order)
+                        .map(|s| format!("compaction published; epoch {}", s.epoch))
+                        .unwrap_or_else(|e| format!("staged compaction failed: {e}")),
+                };
+                self.trace.note(outcome);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Queued (admitted, unanswered) request count.
@@ -729,7 +1142,7 @@ impl Engine {
 
     /// The hub-sketch store, when the sketch path is enabled.
     pub fn sketch_store(&self) -> Option<&SketchStore> {
-        self.sketches.as_ref()
+        self.sketches.as_deref()
     }
 
     /// Answer-cache entries currently held.
@@ -737,12 +1150,21 @@ impl Engine {
         self.answers.len()
     }
 
-    /// The sketch set to splice for a current-epoch request at
-    /// `(alpha, eps)`, if the store covers that combination.
-    fn splice_set(&self, alpha: f64, eps: f64) -> Option<&SketchSet> {
-        let store = self.sketches.as_ref()?;
+    /// The sketch set to splice for a request pinned at `epoch` with
+    /// `(alpha, eps)`, if `store` — the store the request pinned at
+    /// admission — covers that combination. Stores are epoch-stamped
+    /// and published alongside snapshots, so a request whose pinned
+    /// store disagrees with its pinned epoch takes the raw push path
+    /// against its own snapshot.
+    fn splice_set(
+        store: Option<&SketchStore>,
+        alpha: f64,
+        eps: f64,
+        epoch: u64,
+    ) -> Option<&SketchSet> {
+        let store = store?;
         let set = store.set();
-        (store.epoch() == self.epoch
+        (store.epoch() == epoch
             && !set.is_empty()
             && set.alpha().to_bits() == alpha.to_bits()
             && set.epsilon() < eps)
@@ -803,11 +1225,15 @@ impl Engine {
         if q.seeds.is_empty() {
             return Err("query needs at least one seed".into());
         }
+        let head = self.head.graph();
         for &u in &q.seeds {
-            if u as usize >= self.g.n() {
-                return Err(format!("seed {u} out of range for |V| = {}", self.g.n()));
+            if u as usize >= head.n() {
+                return Err(format!("seed {u} out of range for |V| = {}", head.n()));
             }
-            if self.g.degree(u) <= 0.0 {
+            // Seeds arrive in external ids; degree is checked where the
+            // diffusion will actually start.
+            let internal = self.head.lineage().to_new(u);
+            if head.degree(internal) <= 0.0 {
                 return Err(format!("seed {u} has zero degree"));
             }
         }
@@ -865,7 +1291,11 @@ impl Engine {
             grant,
             deadline,
             admitted_at: Instant::now(),
-            epoch: self.epoch,
+            // Pin the head: this request now runs against this exact
+            // snapshot (and sketch store) end-to-end, whatever writers
+            // publish later.
+            snapshot: Arc::clone(&self.head),
+            sketches: self.sketches.clone(),
         });
         self.stats.admitted += 1;
         Admission::Accepted {
@@ -922,21 +1352,27 @@ impl Engine {
 
         let mut computes: Vec<(Pending, f64, Budget)> = Vec::new();
         for p in pending {
+            self.fire_staged(PublishPoint::BeforeCacheCheck, p.id);
             // Exact answer-cache hit: same seeds, α, ε, and epoch as an
             // earlier Full answer — served without compute (and without
             // consulting the deadline; a cache hit is free). Sits above
-            // the Stale rung: keys are epoch-exact, so a pre-mutation
-            // answer can never surface here.
-            let key = answer_key(&p.query.seeds, p.query.alpha, p.query.epsilon, p.epoch);
+            // the Stale rung: keys are epoch-exact and the cache is
+            // head-synchronized, so the entry's id space is exactly the
+            // pinned snapshot's — a pre-mutation answer can never
+            // surface here.
+            let key = answer_key(&p.query.seeds, p.query.alpha, p.query.epsilon, p.epoch());
             if let Some(entry) = self.answers.get(&key).cloned() {
                 self.trace.request_stage(p.id, "cache_hit");
+                let sweep = self.sweep_stage(&p, &entry.vector);
+                let cluster = externalize(&p.snapshot, entry.vector);
                 let r = self.respond(
                     p,
                     ResponseKind::Cached,
                     entry.epsilon,
-                    entry.vector,
+                    cluster,
                     entry.certificate,
                     0,
+                    sweep,
                     Diagnostics::new(),
                 );
                 responses.push(r);
@@ -958,40 +1394,46 @@ impl Engine {
             }
         }
 
-        // Coalesce compatible requests (same α, same ε rung, same graph
-        // epoch) into one lockstep batch call for attempt 0. BTreeMap
-        // keys keep group order deterministic.
+        // Coalesce compatible requests (same α, same ε rung, same
+        // pinned epoch) into one lockstep batch call for attempt 0.
+        // BTreeMap keys keep group order deterministic. Same epoch ⇒
+        // same published snapshot, so the whole group shares one
+        // pinned graph — including groups whose snapshot has since
+        // been superseded: they batch and execute against their own
+        // snapshot, exactly as if the writer had never published.
         let mut groups: BTreeMap<(u64, u64, u64), Vec<usize>> = BTreeMap::new();
         for (i, (p, eps, _)) in computes.iter().enumerate() {
             groups
-                .entry((p.query.alpha.to_bits(), eps.to_bits(), p.epoch))
+                .entry((p.query.alpha.to_bits(), eps.to_bits(), p.epoch()))
                 .or_default()
                 .push(i);
         }
         let mut firsts: Vec<Option<SolverOutcome<PushResult>>> =
             (0..computes.len()).map(|_| None).collect();
-        for ((_, _, epoch), idxs) in &groups {
-            if *epoch != self.epoch {
-                // The graph moved underneath these requests; they take
-                // the solo supervised path against the current graph.
-                continue;
+        for idxs in groups.values() {
+            for &i in idxs {
+                self.fire_staged(PublishPoint::BeforeBatch, computes[i].0.id);
             }
+            let snap = Arc::clone(&computes[idxs[0]].0.snapshot);
+            let pinned_store = computes[idxs[0]].0.sketches.clone();
             let alpha = computes[idxs[0]].0.query.alpha;
             let eps = computes[idxs[0]].1;
-            let splice = self.splice_set(alpha, eps).is_some();
+            let splice =
+                Engine::splice_set(pinned_store.as_deref(), alpha, eps, snap.epoch()).is_some();
             if splice {
                 for &i in idxs {
                     self.trace.request_stage(computes[i].0.id, "splice");
                 }
                 self.stats.spliced += idxs.len() as u64;
             }
+            let seed_sets: Vec<Vec<NodeId>> = idxs
+                .iter()
+                .map(|&i| computes[i].0.internal_seeds())
+                .collect();
             if self.cfg.chaos.is_none() && !splice {
-                let seed_sets: Vec<Vec<NodeId>> = idxs
-                    .iter()
-                    .map(|&i| computes[i].0.query.seeds.clone())
-                    .collect();
                 let budgets: Vec<Budget> = idxs.iter().map(|&i| computes[i].2).collect();
-                if let Ok(outs) = ppr_push_batch_outcomes(&self.g, &seed_sets, alpha, eps, &budgets)
+                if let Ok(outs) =
+                    ppr_push_batch_outcomes(snap.graph(), &seed_sets, alpha, eps, &budgets)
                 {
                     for (&slot, out) in idxs.iter().zip(outs) {
                         firsts[slot] = Some(out);
@@ -1002,15 +1444,17 @@ impl Engine {
                 // per-item budgeted/guarded context as the batch entry
                 // point, plus the fault hooks and (attempt 0 only) the
                 // sketch splice, each item behind its own fence.
-                let g = &self.g;
+                let g = snap.graph();
                 let chaos = self.cfg.chaos.as_ref();
                 let spmv = self.cfg.spmv;
                 let set = if splice {
-                    self.sketches.as_ref().map(|s| s.set())
+                    pinned_store.as_deref().map(|s| s.set())
                 } else {
                     None
                 };
-                let outs = acir_exec::ExecPool::from_env().par_map(idxs, 1, |&i| {
+                let positions: Vec<usize> = (0..idxs.len()).collect();
+                let outs = acir_exec::ExecPool::from_env().par_map(&positions, 1, |&k| {
+                    let i = idxs[k];
                     let (p, e, b) = &computes[i];
                     supervised_attempt(
                         g,
@@ -1018,7 +1462,7 @@ impl Engine {
                         spmv,
                         set,
                         p.id,
-                        &p.query.seeds,
+                        &seed_sets[k],
                         p.query.alpha,
                         *e,
                         b,
@@ -1032,8 +1476,11 @@ impl Engine {
         }
 
         for ((p, eps_used, budget), first) in computes.into_iter().zip(firsts) {
+            self.fire_staged(PublishPoint::BeforeSupervise, p.id);
+            let id = p.id;
             let r = self.supervise(p, eps_used, budget, first);
             responses.push(r);
+            self.fire_staged(PublishPoint::AfterRespond, id);
         }
 
         self.refill();
@@ -1070,8 +1517,9 @@ impl Engine {
         first: Option<SolverOutcome<PushResult>>,
     ) -> Response {
         let policy = RetryPolicy::attempts(self.cfg.max_attempts).with_backoff(self.cfg.backoff);
+        let seeds_internal = p.internal_seeds();
         let out = {
-            let g = &self.g;
+            let g = p.snapshot.graph();
             let chaos = self.cfg.chaos.as_ref();
             let spmv = self.cfg.spmv;
             let mut first = first;
@@ -1079,15 +1527,17 @@ impl Engine {
                 Ok(match first.take() {
                     Some(o) if k == 0 => o,
                     // Retries (and solo first attempts) always take the
-                    // raw push path: a fault during a splice degrades
-                    // to raw push before descending the ladder.
+                    // raw push path against the pinned snapshot: a
+                    // fault during a splice degrades to raw push before
+                    // descending the ladder, and a writer publishing
+                    // mid-retry never changes what this request sees.
                     _ => supervised_attempt(
                         g,
                         chaos,
                         spmv,
                         None,
                         p.id,
-                        &p.query.seeds,
+                        &seeds_internal,
                         p.query.alpha,
                         eps_used,
                         &budget,
@@ -1118,30 +1568,42 @@ impl Engine {
                     remaining: value.residual_mass,
                     per_degree_bound: eps_used,
                 };
-                self.cache.insert(
-                    cache_key(&p.query.seeds, p.query.alpha),
-                    CacheEntry {
-                        epoch: p.epoch,
-                        epsilon: eps_used,
-                        vector: value.vector.clone(),
-                        certificate,
-                    },
-                );
+                let sweep = self.sweep_stage(&p, &value.vector);
                 // Exact-repeat cache, keyed by the ε the answer
                 // satisfies (== requested for Full responses). The
                 // residual vector rides along so an edge delta can
-                // repair the entry instead of purging it.
-                let key = answer_key(&p.query.seeds, p.query.alpha, eps_used, p.epoch);
-                let seeds = key.0.clone();
-                self.cache_answer(
-                    key,
-                    AnswerEntry {
+                // repair the entry instead of purging it. Payloads are
+                // stored in head-internal coordinates, so only answers
+                // computed against the current head may enter — a
+                // response from a superseded snapshot is still served
+                // in full, it just isn't cached.
+                if p.epoch() == self.head.epoch() {
+                    let key = answer_key(&p.query.seeds, p.query.alpha, eps_used, p.epoch());
+                    let seeds = if p.snapshot.is_relabeled() {
+                        p.snapshot.lineage().map_nodes(&key.0)
+                    } else {
+                        key.0.clone()
+                    };
+                    self.cache_answer(
+                        key,
+                        AnswerEntry {
+                            epsilon: eps_used,
+                            vector: value.vector.clone(),
+                            certificate,
+                            seeds,
+                            residuals: value.residuals.clone(),
+                            born: self.request_clock,
+                        },
+                    );
+                }
+                let external = externalize(&p.snapshot, value.vector);
+                self.cache.insert(
+                    cache_key(&p.query.seeds, p.query.alpha),
+                    CacheEntry {
+                        epoch: p.epoch(),
                         epsilon: eps_used,
-                        vector: value.vector.clone(),
+                        vector: external.clone(),
                         certificate,
-                        seeds,
-                        residuals: value.residuals.clone(),
-                        born: self.request_clock,
                     },
                 );
                 let kind = if eps_used > p.query.epsilon {
@@ -1153,9 +1615,10 @@ impl Engine {
                     p,
                     kind,
                     eps_used,
-                    value.vector,
+                    external,
                     certificate,
                     retries,
+                    sweep,
                     diagnostics,
                 )
             }
@@ -1164,15 +1627,20 @@ impl Engine {
                 certificate,
                 diagnostics,
                 ..
-            } => self.respond(
-                p,
-                ResponseKind::Partial,
-                eps_used,
-                best_so_far.vector,
-                certificate,
-                retries,
-                diagnostics,
-            ),
+            } => {
+                let sweep = self.sweep_stage(&p, &best_so_far.vector);
+                let external = externalize(&p.snapshot, best_so_far.vector);
+                self.respond(
+                    p,
+                    ResponseKind::Partial,
+                    eps_used,
+                    external,
+                    certificate,
+                    retries,
+                    sweep,
+                    diagnostics,
+                )
+            }
             SolverOutcome::Diverged { diagnostics, .. } => self.fallback_response(p, diagnostics),
         }
     }
@@ -1204,6 +1672,7 @@ impl Engine {
                 vector,
                 certificate,
                 retries,
+                None,
                 diags,
             );
         }
@@ -1226,8 +1695,34 @@ impl Engine {
             vector,
             certificate,
             retries,
+            None,
             diags,
         )
+    }
+
+    /// Optional sweep-cut stage: when the query opted in, run
+    /// [`sweep_cut_sparse`] over the support of the diffusion vector
+    /// (in the pinned snapshot's internal id space) and map the
+    /// best-conductance set back to external ids through the
+    /// snapshot's lineage.
+    fn sweep_stage(&mut self, p: &Pending, vector: &[(NodeId, f64)]) -> Option<SweepCut> {
+        if !p.query.options.sweep || vector.is_empty() {
+            return None;
+        }
+        let sr = sweep_cut_sparse(p.snapshot.graph(), vector);
+        if sr.set.is_empty() {
+            return None;
+        }
+        let set = if p.snapshot.is_relabeled() {
+            p.snapshot.lineage().unmap_nodes(&sr.set)
+        } else {
+            sr.set
+        };
+        self.trace.request_stage(p.id, "sweep");
+        Some(SweepCut {
+            set,
+            conductance: sr.conductance,
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1239,6 +1734,7 @@ impl Engine {
         cluster: Vec<(NodeId, f64)>,
         certificate: Certificate,
         retries: usize,
+        sweep: Option<SweepCut>,
         mut diagnostics: Diagnostics,
     ) -> Response {
         // Best-effort refund of unspent work tokens (counters reflect
@@ -1271,8 +1767,47 @@ impl Engine {
             certificate,
             retries,
             latency: p.admitted_at.elapsed(),
+            sweep,
             diagnostics,
         }
+    }
+}
+
+/// Translate an edge op's endpoints from external (root) ids into the
+/// snapshot's internal labeling. Endpoints outside the vertex range
+/// are passed through unchanged so the delta overlay rejects them
+/// with its own error message.
+fn internalize_op(snap: &GraphSnapshot, op: &EdgeOp) -> EdgeOp {
+    if !snap.is_relabeled() {
+        return *op;
+    }
+    let n = snap.graph().n();
+    let m = |x: NodeId| {
+        if (x as usize) < n {
+            snap.lineage().to_new(x)
+        } else {
+            x
+        }
+    };
+    match *op {
+        EdgeOp::Insert { u, v, weight } => EdgeOp::Insert {
+            u: m(u),
+            v: m(v),
+            weight,
+        },
+        EdgeOp::Delete { u, v } => EdgeOp::Delete { u: m(u), v: m(v) },
+    }
+}
+
+/// Map a sparse vector from a snapshot's internal id space back to
+/// external (root) ids. Identity lineage is a free pass-through, so
+/// never-compacted graphs keep responses bit-identical to the
+/// pre-snapshot engine.
+fn externalize(snap: &GraphSnapshot, v: Vec<(NodeId, f64)>) -> Vec<(NodeId, f64)> {
+    if snap.is_relabeled() {
+        snap.lineage().unmap_sparse(&v)
+    } else {
+        v
     }
 }
 
@@ -1416,6 +1951,7 @@ mod tests {
             alpha: 0.1,
             epsilon: 1e-2,
             deadline: None,
+            options: QueryOptions::default(),
         }
     }
 
@@ -1900,11 +2436,11 @@ mod tests {
         assert_eq!(after.kind, ResponseKind::Cached);
         // The repaired answer satisfies the requested ε on the *new*
         // graph: compare to a fresh push.
-        let fresh = acir_local::ppr_push(&e.g, &[0], 0.1, 1e-2).unwrap();
+        let fresh = acir_local::ppr_push(e.graph(), &[0], 0.1, 1e-2).unwrap();
         let got: std::collections::HashMap<NodeId, f64> = after.cluster.into_iter().collect();
         let want: std::collections::HashMap<NodeId, f64> = fresh.vector.into_iter().collect();
-        for u in 0..e.g.n() as NodeId {
-            let d = e.g.degree(u);
+        for u in 0..e.graph().n() as NodeId {
+            let d = e.graph().degree(u);
             let a = got.get(&u).copied().unwrap_or(0.0);
             let b = want.get(&u).copied().unwrap_or(0.0);
             assert!(
@@ -1949,7 +2485,7 @@ mod tests {
         ];
         assert!(e.update_graph_delta(&bad).is_err());
         assert_eq!(e.epoch(), 0);
-        assert_eq!(e.g.edge_weight(0, 5), 1.0);
+        assert_eq!(e.graph().edge_weight(0, 5), 1.0);
         assert_eq!(e.answer_cache_len(), 1);
     }
 

@@ -72,6 +72,20 @@
 //!   For single-edge deltas this costs a small constant factor of the
 //!   perturbation instead of a full recompute (gated ≥10× cheaper in
 //!   `BENCH_dynamic.json`).
+//! * **Snapshot-pinned reads** — the engine owns its graph through an
+//!   [`acir_graph::snapshot::SnapshotStore`]: every mutation builds a
+//!   new immutable [`acir_graph::snapshot::GraphSnapshot`] aside and
+//!   publishes it atomically, while each admitted request pins the
+//!   snapshot it was admitted against and runs against it end to end.
+//!   A writer publishing a delta — or a relabeling [`Engine::compact`]
+//!   — mid-flight never changes what an in-flight request computes:
+//!   its answer is bit-identical to a serial run against its pinned
+//!   snapshot (asserted by `tests/snapshot_consistency.rs` under
+//!   deterministic writer interleavings staged via
+//!   [`Engine::stage_write`]). After a relabeling compaction, hub
+//!   sketches and cached answers are carried *through* the
+//!   [`acir_graph::Permutation`] — zero fresh pushes for sketches,
+//!   fresh measured certificates for answers — rather than rebuilt.
 //!
 //! [`chaos`] holds the deterministic fault scheduler the chaos harness
 //! and the `servebench` load generator share.
@@ -85,7 +99,7 @@ pub mod store;
 
 pub use chaos::ChaosConfig;
 pub use engine::{
-    Admission, DeltaSummary, Engine, EngineConfig, EngineStats, Overloaded, Query, RejectReason,
-    Response, ResponseKind,
+    Admission, CompactionSummary, DeltaSummary, Engine, EngineConfig, EngineStats, Overloaded,
+    PublishPoint, Query, QueryOptions, RejectReason, Response, ResponseKind, SweepCut, WriteOp,
 };
 pub use store::{SketchStore, StoreRepairStats};

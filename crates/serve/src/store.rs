@@ -9,8 +9,10 @@
 //! by use. That makes invalidation trivial to reason about: the epoch
 //! stamp is the whole protocol.
 
-use acir_graph::{EdgeDelta, Graph};
-use acir_local::{build_hub_sketches, repair_hub_sketches, SketchSet};
+use acir_graph::{EdgeDelta, Graph, NodeId, Permutation};
+use acir_local::{
+    build_hub_sketches, build_sketches_for_hubs, relabel_sketch_set, repair_hub_sketches, SketchSet,
+};
 
 /// An epoch-stamped [`SketchSet`] owned by the serve engine.
 #[derive(Debug, Clone)]
@@ -34,6 +36,36 @@ impl SketchStore {
         let set = build_hub_sketches(g, hubs, alpha, epsilon)
             .map_err(|e| format!("hub sketch build failed: {e}"))?;
         Ok(Self { set, epoch })
+    }
+
+    /// Build sketches for an explicit, pre-selected hub list — the
+    /// pure-reweight fast path where the unweighted degree sequence
+    /// (and therefore the top-K selection) is unchanged and re-running
+    /// the selection would be wasted work.
+    pub fn build_for_hubs(
+        g: &Graph,
+        hubs: &[NodeId],
+        alpha: f64,
+        epsilon: f64,
+        epoch: u64,
+    ) -> Result<Self, String> {
+        let set = build_sketches_for_hubs(g, hubs, alpha, epsilon)
+            .map_err(|e| format!("hub sketch build failed: {e}"))?;
+        Ok(Self { set, epoch })
+    }
+
+    /// Carry this store through a relabeling compaction: every sketch
+    /// is mapped through `step` (zero pushes, certificates carried
+    /// bitwise) and the store is restamped with the new `epoch`.
+    pub fn relabel(&self, step: &Permutation, epoch: u64) -> Result<Self, String> {
+        let set = relabel_sketch_set(&self.set, step)
+            .map_err(|e| format!("hub sketch relabel failed: {e}"))?;
+        Ok(Self { set, epoch })
+    }
+
+    /// The sketched hub ids, in slot order.
+    pub fn hubs(&self) -> Vec<NodeId> {
+        self.set.sketches().iter().map(|s| s.hub).collect()
     }
 
     /// Repair this store across `delta` (the net edge changes from the

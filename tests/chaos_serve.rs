@@ -143,6 +143,7 @@ fn run_plan(plan: &Plan) -> Vec<Summary> {
                 alpha: 0.1,
                 epsilon: if fine { 1e-4 } else { 1e-2 },
                 deadline: expired.then_some(Duration::ZERO),
+                options: Default::default(),
             };
             match engine.submit(q) {
                 Admission::Accepted { id, .. } => admitted.push(id),
@@ -184,6 +185,7 @@ fn run_plan(plan: &Plan) -> Vec<Summary> {
             alpha: 0.1,
             epsilon: 1e-2,
             deadline: None,
+            options: Default::default(),
         }) {
             admitted.push(id);
         }
@@ -388,6 +390,7 @@ fn injected_splice_fault_degrades_to_raw_push() {
         alpha: 0.1,
         epsilon: 1e-2,
         deadline: None,
+        options: Default::default(),
     }) else {
         panic!("query rejected");
     };
@@ -422,6 +425,7 @@ fn splice_faults_with_no_retries_walk_the_ladder() {
             alpha: 0.1,
             epsilon: 1e-2,
             deadline: None,
+            options: Default::default(),
         })
         .is_accepted());
     let rs = e.run_pending();

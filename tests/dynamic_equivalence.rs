@@ -269,6 +269,7 @@ fn engine_delta_stream_keeps_cached_answers_certified() {
         alpha: 0.1,
         epsilon: eps,
         deadline: None,
+        options: Default::default(),
     };
     assert!(e.submit(q(0)).is_accepted());
     assert!(e.submit(q(15)).is_accepted());

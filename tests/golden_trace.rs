@@ -426,6 +426,7 @@ fn golden_serve_sketch_query() {
         alpha: 0.1,
         epsilon: 1e-2,
         deadline: None,
+        options: Default::default(),
     });
     assert!(admission.is_accepted());
     let rs = engine.run_pending();
@@ -462,6 +463,7 @@ fn golden_serve_delta_repair() {
         alpha: 0.2,
         epsilon: 1e-2,
         deadline: None,
+        options: Default::default(),
     };
     assert!(engine.submit(q.clone()).is_accepted());
     assert_eq!(engine.run_pending()[0].kind.name(), "full");
@@ -480,6 +482,62 @@ fn golden_serve_delta_repair() {
     let mut diags = engine.trace().clone();
     diags.finish_spans();
     check("serve_delta_repair", &diags);
+}
+
+/// The snapshot-lifecycle stage progression (DESIGN.md §15): a query
+/// answered and cached, then a *relabeling compaction staged to fire
+/// between admission and batch execution* of a second query — which
+/// still answers `full` against its pinned pre-compaction snapshot —
+/// with the `compacted`, `hub sketches relabeled`, and `answer cache
+/// relabeled` notes landing between its `admitted` and `responded`
+/// stages, then the relabeled cache entry served as `cache_hit` on the
+/// new epoch. A regression that un-pins in-flight requests, or reverts
+/// the compaction path to purge-and-rebuild, shows up here as a stage
+/// or note diff.
+#[test]
+fn golden_serve_compact_inflight() {
+    let g = ring_of_cliques(4, 6).expect("ring of cliques");
+    let mut engine = acir::serve::Engine::new(
+        g,
+        acir::serve::EngineConfig {
+            sketch_hubs: 4,
+            sketch_alpha: 0.1,
+            ..acir::serve::EngineConfig::default()
+        },
+    );
+    let q = acir::serve::Query {
+        seeds: vec![0],
+        alpha: 0.2,
+        epsilon: 1e-2,
+        deadline: None,
+        options: Default::default(),
+    };
+    assert!(engine.submit(q.clone()).is_accepted());
+    assert_eq!(engine.run_pending()[0].kind.name(), "full");
+    // A second query (fresh seed, so the cache cannot answer it early)
+    // with the compaction staged to fire just before its batch runs.
+    let acir::serve::Admission::Accepted { id, .. } = engine.submit(acir::serve::Query {
+        seeds: vec![7],
+        ..q.clone()
+    }) else {
+        panic!("query rejected");
+    };
+    engine.stage_write(
+        acir::serve::PublishPoint::BeforeBatch,
+        id,
+        acir::serve::WriteOp::Compact(acir_graph::snapshot::CompactionOrder::Rcm),
+    );
+    let r = engine.run_pending().remove(0);
+    // The pinned request is served in full from its pre-compaction
+    // snapshot even though the head moved underneath it.
+    assert_eq!(r.kind.name(), "full");
+    assert_eq!(engine.epoch(), 1);
+    assert!(engine.snapshot().is_relabeled());
+    assert!(engine.submit(q).is_accepted());
+    assert_eq!(engine.run_pending()[0].kind.name(), "cached");
+    let mut diags = engine.trace().clone();
+    diags.finish_spans();
+    check("serve_compact_inflight", &diags);
 }
 
 // -------------------------------------------------- cross-cutting checks

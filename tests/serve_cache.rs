@@ -33,6 +33,7 @@ fn query(seeds: &[NodeId]) -> Query {
         alpha: 0.1,
         epsilon: 1e-2,
         deadline: None,
+        options: Default::default(),
     }
 }
 
